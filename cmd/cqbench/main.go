@@ -1,0 +1,81 @@
+// Command cqbench runs the experiment harness that regenerates every
+// figure, worked example, and quantitative theorem of the paper (see the
+// index in DESIGN.md §3).
+//
+// Usage:
+//
+//	cqbench -list
+//	cqbench -experiment E7
+//	cqbench -all [-markdown]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"cqbound/internal/experiments"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list experiment ids")
+	exp := flag.String("experiment", "", "run a single experiment (E1..E19)")
+	all := flag.Bool("all", false, "run every experiment")
+	markdown := flag.Bool("markdown", false, "emit results as Markdown tables")
+	flag.Parse()
+
+	switch {
+	case *list:
+		for _, id := range experiments.IDs() {
+			fmt.Println(id)
+		}
+	case *exp != "":
+		run(*exp, *markdown)
+	case *all:
+		failures := 0
+		for _, id := range experiments.IDs() {
+			failures += run(id, *markdown)
+		}
+		if failures > 0 {
+			fmt.Fprintf(os.Stderr, "cqbench: %d rows diverged from the paper\n", failures)
+			os.Exit(1)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func run(id string, markdown bool) int {
+	rep, err := experiments.Run(id)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cqbench:", err)
+		os.Exit(1)
+	}
+	if markdown {
+		printMarkdown(rep)
+	} else {
+		fmt.Println(rep)
+	}
+	return len(rep.Failed())
+}
+
+func printMarkdown(rep *experiments.Report) {
+	fmt.Printf("### %s — %s (%s)\n\n", rep.ID, rep.Title, rep.Artifact)
+	fmt.Println("| workload | paper | measured | ok |")
+	fmt.Println("|---|---|---|---|")
+	for _, row := range rep.Rows {
+		ok := "yes"
+		if !row.OK {
+			ok = "**NO**"
+		}
+		fmt.Printf("| %s | %s | %s | %s |\n",
+			escape(row.Name), escape(row.Paper), escape(row.Measured), ok)
+	}
+	fmt.Println()
+}
+
+func escape(s string) string {
+	return strings.ReplaceAll(s, "|", "\\|")
+}

@@ -1,0 +1,83 @@
+// Command cqbound analyzes a conjunctive query: it prints the chase, the
+// color number C(chase(Q)), the worst-case size bound rmax^C, the entropy
+// upper bound s(Q), the size-increase decision, fractional edge covers, and
+// the treewidth-preservation verdict.
+//
+// Usage:
+//
+//	cqbound [-chase] [-coloring] [-rmax N] [file]
+//
+// The query is read from the file argument or standard input, in the form
+//
+//	Q(X,Y,Z) <- R(X,Y), R(X,Z), S(Y,Z).
+//	key R[1].
+//	fd S[1],S[2] -> S[2].
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"cqbound/internal/core"
+	"cqbound/internal/cq"
+)
+
+func main() {
+	chaseFlag := flag.Bool("chase", false, "print chase(Q)")
+	coloringFlag := flag.Bool("coloring", false, "print the optimal coloring")
+	rmaxFlag := flag.Int("rmax", 0, "print the size bound for this input relation size")
+	flag.Parse()
+
+	var src []byte
+	var err error
+	switch flag.NArg() {
+	case 0:
+		src, err = io.ReadAll(os.Stdin)
+	case 1:
+		src, err = os.ReadFile(flag.Arg(0))
+	default:
+		fmt.Fprintln(os.Stderr, "usage: cqbound [-chase] [-coloring] [-rmax N] [file]")
+		os.Exit(2)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	q, err := cq.Parse(string(src))
+	if err != nil {
+		fatal(err)
+	}
+	a, err := core.Analyze(q)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(a.Summary())
+	if *chaseFlag {
+		fmt.Printf("chase(Q):\n%s\n", a.Chased)
+	}
+	if *coloringFlag && a.Coloring != nil {
+		fmt.Println("optimal coloring of chase(Q):")
+		vars := make([]string, 0, len(a.Coloring))
+		for v := range a.Coloring {
+			vars = append(vars, string(v))
+		}
+		sort.Strings(vars)
+		for _, v := range vars {
+			fmt.Printf("  L(%s) = %v\n", v, a.Coloring[cq.Variable(v)].Sorted())
+		}
+	}
+	if *rmaxFlag > 0 {
+		bound, err := a.SizeBound(*rmaxFlag)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("size bound for rmax=%d: |Q(D)| <= %.1f\n", *rmaxFlag, bound)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cqbound:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,78 @@
+package cqbound_test
+
+import (
+	"fmt"
+
+	"cqbound"
+)
+
+// ExampleAnalyze reproduces Example 3.3: the triangle query has color
+// number 3/2, so its output is at most rmax^{3/2} — the AGM bound.
+func ExampleAnalyze() {
+	q := cqbound.MustParse("S(X,Y,Z) <- R(X,Y), R(X,Z), R(Y,Z).")
+	a, err := cqbound.Analyze(q)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("C(chase(Q)) =", a.ColorNumber.RatString())
+	fmt.Println("size increase possible:", a.SizeIncreasePossible)
+	fmt.Println("treewidth:", a.Treewidth)
+	// Output:
+	// C(chase(Q)) = 3/2
+	// size increase possible: true
+	// treewidth: preserved
+}
+
+// ExampleChase reproduces Example 2.2: the key R1[1] plus the atom
+// R1(W,W,W) force W, X and Y to coincide.
+func ExampleChase() {
+	q := cqbound.MustParse("R0(W,X,Y,Z) <- R1(W,X,Y), R1(W,W,W), R2(Y,Z).\nkey R1[1].")
+	fmt.Println(cqbound.Chase(q).Head)
+	// Output:
+	// R0(W,W,W,Z)
+}
+
+// ExampleEvaluate runs a small composition query.
+func ExampleEvaluate() {
+	q := cqbound.MustParse("Q(X,Z) <- R(X,Y), S(Y,Z).")
+	db := cqbound.NewDatabase()
+	r := cqbound.NewRelation("R", "a", "b")
+	r.MustInsert("ann", "bob")
+	r.MustInsert("cid", "bob")
+	s := cqbound.NewRelation("S", "a", "b")
+	s.MustInsert("bob", "dan")
+	db.MustAdd(r)
+	db.MustAdd(s)
+	out, err := cqbound.Evaluate(q, db)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(out.Size(), "tuples")
+	// Output:
+	// 2 tuples
+}
+
+// ExampleTwoColoringExists shows the Proposition 5.9 characterization: the
+// sibling view admits a 2-coloring with color number 2, so it cannot
+// preserve bounded treewidth.
+func ExampleTwoColoringExists() {
+	q := cqbound.MustParse("V(Y,Z) <- Edge(X,Y), Edge(X,Z).")
+	_, unboundedTW := cqbound.TwoColoringExists(q)
+	fmt.Println("treewidth can blow up:", unboundedTW)
+
+	keyed := cqbound.MustParse("V(X,Z) <- Edge(X,Y), Edge(Y,Z).\nkey Edge[1].")
+	_, unboundedTW = cqbound.TwoColoringExists(keyed)
+	fmt.Println("with keys:", unboundedTW)
+	// Output:
+	// treewidth can blow up: true
+	// with keys: false
+}
+
+// ExampleSizeIncreasePossible shows the polynomial Theorem 7.2 decision.
+func ExampleSizeIncreasePossible() {
+	grow := cqbound.MustParse("Q(X,Z) <- R(X,Y), S(Y,Z).")
+	flat := cqbound.MustParse("Q(X,Z) <- R(X,Y), S(Y,Z).\nkey S[1].")
+	fmt.Println(cqbound.SizeIncreasePossible(grow), cqbound.SizeIncreasePossible(flat))
+	// Output:
+	// true false
+}

@@ -1,0 +1,136 @@
+// Package chase implements the chase procedure of Definition 2.3: given a
+// conjunctive query and a set of functional dependencies, it iteratively
+// unifies variables that the dependencies force to be equal, eliminating the
+// implied dependencies illustrated by Example 2.2. By Fact 2.4 the chased
+// query computes the same result as the original on every database.
+package chase
+
+import (
+	"cqbound/internal/cq"
+)
+
+// Result is the outcome of chasing a query.
+type Result struct {
+	// Query is chase(Q). Functional dependencies are carried over unchanged;
+	// exact duplicate atoms produced by the unification are removed.
+	Query *cq.Query
+	// Subst maps every original variable to its representative in
+	// chase(Q). Variables that were not merged map to themselves.
+	Subst map[cq.Variable]cq.Variable
+	// Steps is the number of unification steps performed.
+	Steps int
+}
+
+// Chase computes chase(Q) per Definition 2.3. The replacement ordering is
+// fixed as follows: dependencies are scanned in declaration order, atom pairs
+// in increasing body order, and when two variables are unified the
+// representative is the one occurring first in the query (the other is
+// replaced everywhere, including the head). The chase result is unique up to
+// variable renaming regardless of this choice (Maier et al. 1979); fixing it
+// makes the function deterministic.
+//
+// The input query is not modified.
+func Chase(q *cq.Query) Result {
+	work := q.Clone()
+	subst := make(map[cq.Variable]cq.Variable)
+	for _, v := range q.Variables() {
+		subst[v] = v
+	}
+	// rank orders variables by first occurrence in the original query, used
+	// to pick the representative of a merged pair.
+	rank := make(map[cq.Variable]int)
+	for i, v := range q.Variables() {
+		rank[v] = i
+	}
+
+	steps := 0
+	for changed := true; changed; {
+		changed = false
+		for _, fd := range work.FDs {
+			for j := range work.Body {
+				if work.Body[j].Relation != fd.Relation {
+					continue
+				}
+				for k := range work.Body {
+					if k == j || work.Body[k].Relation != fd.Relation {
+						continue
+					}
+					if !lhsMatch(work.Body[j], work.Body[k], fd.From) {
+						continue
+					}
+					a := work.Body[j].Vars[fd.To-1]
+					b := work.Body[k].Vars[fd.To-1]
+					if a == b {
+						continue
+					}
+					keep, drop := a, b
+					if rank[b] < rank[a] {
+						keep, drop = b, a
+					}
+					substitute(work, drop, keep)
+					for v, w := range subst {
+						if w == drop {
+							subst[v] = keep
+						}
+					}
+					steps++
+					changed = true
+				}
+			}
+		}
+	}
+	work.Body = dedupeAtoms(work.Body)
+	return Result{Query: work, Subst: subst, Steps: steps}
+}
+
+// lhsMatch reports whether atoms a and b carry identical variables in every
+// left-hand-side position of the dependency.
+func lhsMatch(a, b cq.Atom, from []int) bool {
+	for _, p := range from {
+		if a.Vars[p-1] != b.Vars[p-1] {
+			return false
+		}
+	}
+	return true
+}
+
+// substitute replaces every occurrence of drop with keep, in the head and in
+// every body atom.
+func substitute(q *cq.Query, drop, keep cq.Variable) {
+	replace := func(a *cq.Atom) {
+		for i, v := range a.Vars {
+			if v == drop {
+				a.Vars[i] = keep
+			}
+		}
+	}
+	replace(&q.Head)
+	for i := range q.Body {
+		replace(&q.Body[i])
+	}
+}
+
+// dedupeAtoms removes exact duplicate atoms, keeping first occurrences.
+func dedupeAtoms(body []cq.Atom) []cq.Atom {
+	var out []cq.Atom
+	for _, a := range body {
+		dup := false
+		for _, b := range out {
+			if a.Equal(b) {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// IsChased reports whether chasing q would leave it unchanged (up to the
+// deterministic ordering used by Chase).
+func IsChased(q *cq.Query) bool {
+	r := Chase(q)
+	return r.Steps == 0 && len(r.Query.Body) == len(q.Body)
+}

@@ -1,0 +1,130 @@
+package chase
+
+import (
+	"testing"
+
+	"cqbound/internal/cq"
+)
+
+func TestChaseIntroExample(t *testing.T) {
+	// Section 1: Q = R(X,Y,Z) <- S(X,Y) ∧ S(X,Z) with S[1]->S[2]
+	// chases to R(X,Y,Y) <- S(X,Y).
+	q := cq.MustParse("R(X,Y,Z) <- S(X,Y), S(X,Z).\nfd S[1] -> S[2].")
+	r := Chase(q)
+	if len(r.Query.Body) != 1 {
+		t.Fatalf("chase body = %v, want single atom", r.Query.Body)
+	}
+	h := r.Query.Head
+	if h.Vars[1] != h.Vars[2] {
+		t.Fatalf("head = %v, want second and third variables merged", h)
+	}
+	if h.Vars[0] == h.Vars[1] {
+		t.Fatalf("head = %v, X must stay distinct", h)
+	}
+	if r.Steps == 0 {
+		t.Fatal("expected at least one unification step")
+	}
+}
+
+func TestChaseExample22(t *testing.T) {
+	// Example 2.2 / 3.4: R0(W,X,Y,Z) <- R1(W,X,Y) ∧ R1(W,W,W) ∧ R2(Y,Z),
+	// first position of R1 a key. chase(Q) = R0(W,W,W,Z) <- R1(W,W,W) ∧ R2(W,Z).
+	q := cq.MustParse("R0(W,X,Y,Z) <- R1(W,X,Y), R1(W,W,W), R2(Y,Z).\nkey R1[1].")
+	r := Chase(q)
+	got := r.Query
+	if len(got.Body) != 2 {
+		t.Fatalf("chase body = %v, want 2 atoms (duplicate R1 removed)", got.Body)
+	}
+	w := got.Head.Vars[0]
+	for i := 0; i < 3; i++ {
+		if got.Head.Vars[i] != w {
+			t.Fatalf("head = %v, want first three positions equal", got.Head)
+		}
+	}
+	if got.Head.Vars[3] == w {
+		t.Fatalf("head = %v, Z must stay distinct", got.Head)
+	}
+	// Substitution should map X and Y to W.
+	if r.Subst["X"] != "W" || r.Subst["Y"] != "W" || r.Subst["W"] != "W" || r.Subst["Z"] != "Z" {
+		t.Fatalf("Subst = %v", r.Subst)
+	}
+}
+
+func TestChaseCompoundFD(t *testing.T) {
+	q := cq.MustParse("Q(X,Y,Z,W) <- R(X,Y,Z), R(X,Y,W).\nfd R[1],R[2] -> R[3].")
+	r := Chase(q)
+	if len(r.Query.Body) != 1 {
+		t.Fatalf("chase body = %v, want one atom", r.Query.Body)
+	}
+	if r.Query.Head.Vars[2] != r.Query.Head.Vars[3] {
+		t.Fatalf("head = %v, want Z and W merged", r.Query.Head)
+	}
+}
+
+func TestChaseNoFDsIsIdentity(t *testing.T) {
+	q := cq.MustParse("Q(X,Y,Z) <- R(X,Y), R(X,Z), R(Y,Z).")
+	r := Chase(q)
+	if !r.Query.Equal(q) {
+		t.Fatalf("chase without FDs changed query:\n%s\nvs\n%s", q, r.Query)
+	}
+	if r.Steps != 0 {
+		t.Fatalf("Steps = %d, want 0", r.Steps)
+	}
+}
+
+func TestChaseDoesNotFireOnDifferentLHS(t *testing.T) {
+	q := cq.MustParse("Q(X,Y,A,B) <- R(X,Y), R(A,B).\nfd R[1] -> R[2].")
+	r := Chase(q)
+	if r.Steps != 0 {
+		t.Fatalf("chase merged variables with distinct keys: %s", r.Query)
+	}
+}
+
+func TestChaseIdempotent(t *testing.T) {
+	qs := []string{
+		"R0(W,X,Y,Z) <- R1(W,X,Y), R1(W,W,W), R2(Y,Z).\nkey R1[1].",
+		"Q(X,Y,Z,W) <- R(X,Y,Z), R(X,Y,W).\nfd R[1],R[2] -> R[3].",
+		"Q(X,Y) <- S(X,Y), S(X,X).\nkey S[1].",
+	}
+	for _, src := range qs {
+		q := cq.MustParse(src)
+		once := Chase(q)
+		twice := Chase(once.Query)
+		if twice.Steps != 0 || !twice.Query.Equal(once.Query) {
+			t.Errorf("chase not idempotent for %q:\nonce:  %s\ntwice: %s", src, once.Query, twice.Query)
+		}
+		if !IsChased(once.Query) {
+			t.Errorf("IsChased(chase(Q)) = false for %q", src)
+		}
+	}
+}
+
+func TestChaseCascades(t *testing.T) {
+	// Two keys chain: unifying via S key then via T key.
+	q := cq.MustParse("Q(A,B,C,D) <- S(A,B), S(A,C), T(B,D), T(C,E).\nkey S[1].\nkey T[1].")
+	r := Chase(q)
+	// B and C merge; then T(B,D), T(B,E) merge D and E.
+	if r.Subst["C"] != r.Subst["B"] {
+		t.Fatalf("Subst = %v, want B and C merged", r.Subst)
+	}
+	if r.Subst["E"] != r.Subst["D"] {
+		t.Fatalf("Subst = %v, want D and E merged after cascade", r.Subst)
+	}
+}
+
+func TestChaseInputUnmodified(t *testing.T) {
+	q := cq.MustParse("R(X,Y,Z) <- S(X,Y), S(X,Z).\nfd S[1] -> S[2].")
+	before := q.String()
+	Chase(q)
+	if q.String() != before {
+		t.Fatal("Chase modified its input")
+	}
+}
+
+func TestChaseKeepsFDs(t *testing.T) {
+	q := cq.MustParse("R(X,Y,Z) <- S(X,Y), S(X,Z).\nfd S[1] -> S[2].")
+	r := Chase(q)
+	if len(r.Query.FDs) != 1 {
+		t.Fatalf("FDs = %v, want carried over", r.Query.FDs)
+	}
+}

@@ -1,0 +1,77 @@
+package chase
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"cqbound/internal/cq"
+	"cqbound/internal/datagen"
+)
+
+func randomFDQuery(seed int64) *cq.Query {
+	rng := rand.New(rand.NewSource(seed))
+	return datagen.RandomQuery(rng, datagen.QueryParams{
+		MaxVars: 6, MaxAtoms: 5, MaxArity: 3,
+		HeadFraction: 0.5, RepeatRelationProb: 0.5,
+		SimpleFDProb: 0.3, CompoundFDProb: 0.3,
+	})
+}
+
+// TestQuickChaseIdempotent: chase(chase(Q)) = chase(Q).
+func TestQuickChaseIdempotent(t *testing.T) {
+	f := func(seed int64) bool {
+		q := randomFDQuery(seed)
+		once := Chase(q)
+		twice := Chase(once.Query)
+		return twice.Steps == 0 && twice.Query.Equal(once.Query)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickChaseShrinks: the chase never increases the number of variables
+// or atoms, and the substitution maps onto surviving variables.
+func TestQuickChaseShrinks(t *testing.T) {
+	f := func(seed int64) bool {
+		q := randomFDQuery(seed)
+		res := Chase(q)
+		if len(res.Query.Variables()) > len(q.Variables()) {
+			return false
+		}
+		if len(res.Query.Body) > len(q.Body) {
+			return false
+		}
+		surviving := map[cq.Variable]bool{}
+		for _, v := range res.Query.Variables() {
+			surviving[v] = true
+		}
+		for _, to := range res.Subst {
+			if !surviving[to] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickChaseValid: the chased query still validates and keeps the head
+// relation and arity.
+func TestQuickChaseValid(t *testing.T) {
+	f := func(seed int64) bool {
+		q := randomFDQuery(seed)
+		res := Chase(q)
+		if err := res.Query.Validate(); err != nil {
+			return false
+		}
+		return res.Query.Head.Relation == q.Head.Relation &&
+			res.Query.Head.Arity() == q.Head.Arity()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

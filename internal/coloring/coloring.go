@@ -1,0 +1,173 @@
+// Package coloring implements the paper's central tool: colorings of query
+// variables (Definition 3.1) and the color number C(Q) (Definition 3.2).
+// Intuitively each color is a unit of entropy a variable may carry; the color
+// number is the worst-case ratio of output entropy to input entropy, and
+// Section 4 shows rmax(D)^C(chase(Q)) is a tight worst-case size bound when
+// the functional dependencies are simple.
+package coloring
+
+import (
+	"fmt"
+	"math/big"
+	"sort"
+
+	"cqbound/internal/cq"
+)
+
+// ColorSet is a set of colors, identified by small integers.
+type ColorSet map[int]bool
+
+// NewColorSet builds a set from the listed colors.
+func NewColorSet(colors ...int) ColorSet {
+	s := make(ColorSet, len(colors))
+	for _, c := range colors {
+		s[c] = true
+	}
+	return s
+}
+
+// Sorted returns the colors in increasing order.
+func (s ColorSet) Sorted() []int {
+	out := make([]int, 0, len(s))
+	for c := range s {
+		out = append(out, c)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Union returns a new set holding s ∪ t.
+func (s ColorSet) Union(t ColorSet) ColorSet {
+	u := make(ColorSet, len(s)+len(t))
+	for c := range s {
+		u[c] = true
+	}
+	for c := range t {
+		u[c] = true
+	}
+	return u
+}
+
+// SubsetOf reports whether s ⊆ t.
+func (s ColorSet) SubsetOf(t ColorSet) bool {
+	for c := range s {
+		if !t[c] {
+			return false
+		}
+	}
+	return true
+}
+
+// Coloring assigns a label L(X) of colors to each query variable. Variables
+// absent from the map are treated as having the empty label.
+type Coloring map[cq.Variable]ColorSet
+
+// Clone returns a deep copy.
+func (l Coloring) Clone() Coloring {
+	out := make(Coloring, len(l))
+	for v, s := range l {
+		cp := make(ColorSet, len(s))
+		for c := range s {
+			cp[c] = true
+		}
+		out[v] = cp
+	}
+	return out
+}
+
+// Label returns L(X), never nil.
+func (l Coloring) Label(v cq.Variable) ColorSet {
+	if s, ok := l[v]; ok {
+		return s
+	}
+	return ColorSet{}
+}
+
+// UnionOver returns ∪_{X ∈ vars} L(X).
+func (l Coloring) UnionOver(vars []cq.Variable) ColorSet {
+	u := make(ColorSet)
+	for _, v := range vars {
+		for c := range l.Label(v) {
+			u[c] = true
+		}
+	}
+	return u
+}
+
+// TotalColors returns the number of distinct colors used anywhere.
+func (l Coloring) TotalColors() int {
+	u := make(ColorSet)
+	for _, s := range l {
+		for c := range s {
+			u[c] = true
+		}
+	}
+	return len(u)
+}
+
+// String renders the coloring deterministically, e.g. {X:{1} Y:{} Z:{2}}.
+func (l Coloring) String() string {
+	vars := make([]string, 0, len(l))
+	for v := range l {
+		vars = append(vars, string(v))
+	}
+	sort.Strings(vars)
+	out := "{"
+	for i, v := range vars {
+		if i > 0 {
+			out += " "
+		}
+		out += fmt.Sprintf("%s:%v", v, l.Label(cq.Variable(v)).Sorted())
+	}
+	return out + "}"
+}
+
+// Validate checks that l is a valid coloring of q per Definition 3.1:
+// for every lifted functional dependency X1...Xk -> Y of the query,
+// L(Y) ⊆ L(X1) ∪ ... ∪ L(Xk); and at least one variable of the query has a
+// non-empty label. Variables outside var(Q) must not be labeled.
+func Validate(q *cq.Query, l Coloring) error {
+	known := make(map[cq.Variable]bool)
+	for _, v := range q.Variables() {
+		known[v] = true
+	}
+	someColored := false
+	for v, s := range l {
+		if len(s) > 0 && !known[v] {
+			return fmt.Errorf("coloring: label on unknown variable %s", v)
+		}
+		if len(s) > 0 {
+			someColored = true
+		}
+	}
+	if !someColored {
+		return fmt.Errorf("coloring: no variable has a non-empty label")
+	}
+	for _, fd := range q.VarFDs() {
+		lhs := l.UnionOver(fd.From)
+		if !l.Label(fd.To).SubsetOf(lhs) {
+			return fmt.Errorf("coloring: dependency %s violated: L(%s)=%v not within %v",
+				fd, fd.To, l.Label(fd.To).Sorted(), lhs.Sorted())
+		}
+	}
+	return nil
+}
+
+// Number returns the color number of coloring l for query q per
+// Definition 3.2: |∪_{X∈u0} L(X)| divided by max_{j≥1} |∪_{X∈uj} L(X)|.
+// It returns an error if every body atom is colorless (the ratio is then
+// undefined; this cannot happen for a valid coloring since every variable
+// occurs in the body).
+func Number(q *cq.Query, l Coloring) (*big.Rat, error) {
+	num := len(l.UnionOver(q.Head.Vars))
+	den := 0
+	for _, a := range q.Body {
+		if n := len(l.UnionOver(a.Vars)); n > den {
+			den = n
+		}
+	}
+	if den == 0 {
+		return nil, fmt.Errorf("coloring: all body atoms are colorless")
+	}
+	return big.NewRat(int64(num), int64(den)), nil
+}

@@ -1,0 +1,250 @@
+package coloring
+
+import (
+	"fmt"
+	"math/big"
+
+	"cqbound/internal/chase"
+	"cqbound/internal/cq"
+)
+
+// Elimination is the outcome of the functional-dependency removal procedure
+// from the proof of Theorem 4.4. It transforms a chased query with simple
+// (variable-level) dependencies into a query Q' with no dependencies at all,
+// such that C(chase(Q)) = C(Q') (Lemma 4.7) and the worst-case size increase
+// is preserved.
+type Elimination struct {
+	// Query is Q': every atom renamed to a distinct relation, atoms extended
+	// with functionally determined variables, and no functional dependencies.
+	Query *cq.Query
+	// Log records the dependencies in removal order; PullBack replays it
+	// backwards to translate colorings of Q' into colorings of the input.
+	Log []cq.VarFD
+}
+
+// EliminateSimpleFDs applies the Theorem 4.4 procedure to q, which should
+// already be chased and whose lifted dependencies must all be simple
+// (single-variable left-hand sides). Rounds follow the first-occurrence
+// variable order; within round i, every dependency X_i -> X_j is removed by
+//
+//   - appending X_j to every atom (head included) that contains X_i but
+//     not X_j,
+//   - adding X_k -> X_j for every dependency X_k -> X_i currently present,
+//   - deleting X_i -> X_j.
+//
+// Only dependencies with later left-hand sides are ever added, so the
+// procedure terminates with an empty dependency set.
+func EliminateSimpleFDs(q *cq.Query) (*Elimination, error) {
+	work := q.Clone()
+	// Q* step: each body atom becomes a distinct relation so that extending
+	// one atom's positions cannot clash with another occurrence.
+	for i := range work.Body {
+		work.Body[i].Relation = fmt.Sprintf("%s__%d", work.Body[i].Relation, i+1)
+	}
+	fds := q.VarFDs()
+	for _, f := range fds {
+		if len(f.From) != 1 {
+			return nil, fmt.Errorf("coloring: EliminateSimpleFDs requires simple dependencies, got %s", f)
+		}
+	}
+	type sfd struct{ from, to cq.Variable }
+	set := make(map[sfd]bool)
+	var list []sfd
+	addFD := func(f sfd) {
+		if f.from == f.to || set[f] {
+			return
+		}
+		set[f] = true
+		list = append(list, f)
+	}
+	for _, f := range fds {
+		addFD(sfd{f.From[0], f.To})
+	}
+
+	extend := func(a *cq.Atom, x, y cq.Variable) {
+		hasX, hasY := false, false
+		for _, v := range a.Vars {
+			if v == x {
+				hasX = true
+			}
+			if v == y {
+				hasY = true
+			}
+		}
+		if hasX && !hasY {
+			a.Vars = append(a.Vars, y)
+		}
+	}
+
+	elim := &Elimination{}
+	for _, xi := range q.Variables() {
+		for {
+			// Find a live dependency with LHS xi.
+			var cur sfd
+			found := false
+			for _, f := range list {
+				if set[f] && f.from == xi {
+					cur, found = f, true
+					break
+				}
+			}
+			if !found {
+				break
+			}
+			extend(&work.Head, cur.from, cur.to)
+			for i := range work.Body {
+				extend(&work.Body[i], cur.from, cur.to)
+			}
+			for _, f := range list {
+				if set[f] && f.to == xi {
+					addFD(sfd{f.from, cur.to})
+				}
+			}
+			delete(set, cur)
+			elim.Log = append(elim.Log, cq.VarFD{From: []cq.Variable{cur.from}, To: cur.to})
+		}
+	}
+	for f := range set {
+		return nil, fmt.Errorf("coloring: internal: dependency %s -> %s survived elimination", f.from, f.to)
+	}
+	work.FDs = nil
+	elim.Query = work
+	return elim, nil
+}
+
+// PullBack translates a coloring of the eliminated query Q' into a coloring
+// of the original (chased) query by replaying the removal log backwards with
+// the Lemma 4.7 rule L1(X) := L2(X) ∪ L2(Y). The result is valid for the
+// original dependency set and attains the same color number.
+func (e *Elimination) PullBack(l Coloring) Coloring {
+	out := l.Clone()
+	for i := len(e.Log) - 1; i >= 0; i-- {
+		x, y := e.Log[i].From[0], e.Log[i].To
+		out[x] = out.Label(x).Union(out.Label(y))
+	}
+	return out
+}
+
+// NumberWithSimpleFDs computes C(chase(Q)) along the Theorem 4.4 pipeline:
+// chase, eliminate all (simple) dependencies, solve the Proposition 3.6
+// linear program, and pull the optimal coloring back to chase(Q). It returns
+// the color number, a valid coloring of chase(Q) attaining it, and chase(Q)
+// itself. It fails if some lifted dependency of chase(Q) is compound; use
+// the entropy-LP formulation (Proposition 6.10) in that case.
+func NumberWithSimpleFDs(q *cq.Query) (*big.Rat, Coloring, *cq.Query, error) {
+	ch := chase.Chase(q).Query
+	elim, err := EliminateSimpleFDs(ch)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	val, col, err := NumberNoFDs(elim.Query)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	pulled := elim.PullBack(col)
+	if err := Validate(ch, pulled); err != nil {
+		return nil, nil, nil, fmt.Errorf("coloring: internal: pulled-back coloring invalid: %v", err)
+	}
+	got, err := Number(ch, pulled)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	if got.Cmp(val) != 0 {
+		return nil, nil, nil, fmt.Errorf("coloring: internal: pulled-back color number %v != LP value %v", got, val)
+	}
+	return val, pulled, ch, nil
+}
+
+// NumberSimple computes C(Q) of the query itself — without chasing — for
+// queries whose lifted dependencies are all simple, by eliminating the
+// dependencies (Lemma 4.7 preserves the color number) and solving the
+// Proposition 3.6 program. Note that the paper's size bounds use
+// C(chase(Q)), not C(Q); see NumberWithSimpleFDs. Example 3.4 is a query
+// where the two differ (C(Q) = 2 but C(chase(Q)) = 1).
+func NumberSimple(q *cq.Query) (*big.Rat, Coloring, error) {
+	elim, err := EliminateSimpleFDs(q)
+	if err != nil {
+		return nil, nil, err
+	}
+	val, col, err := NumberNoFDs(elim.Query)
+	if err != nil {
+		return nil, nil, err
+	}
+	pulled := elim.PullBack(col)
+	if err := Validate(q, pulled); err != nil {
+		return nil, nil, fmt.Errorf("coloring: internal: pulled-back coloring invalid: %v", err)
+	}
+	got, err := Number(q, pulled)
+	if err != nil {
+		return nil, nil, err
+	}
+	if got.Cmp(val) != 0 {
+		return nil, nil, fmt.Errorf("coloring: internal: pulled-back color number %v != LP value %v", got, val)
+	}
+	return val, pulled, nil
+}
+
+// TwoColoringNoFDs decides, for a query without functional dependencies,
+// whether a valid coloring with 2 colors and color number 2 exists
+// (Proposition 5.9). Per the proposition's proof this holds exactly when two
+// distinct head variables never occur together in a body atom; the witness
+// coloring labels one {1}, the other {2}.
+func TwoColoringNoFDs(q *cq.Query) (Coloring, bool) {
+	head := q.HeadVars()
+	for i := 0; i < len(head); i++ {
+		for j := i + 1; j < len(head); j++ {
+			if !coOccur(q, head[i], head[j]) {
+				return Coloring{
+					head[i]: NewColorSet(1),
+					head[j]: NewColorSet(2),
+				}, true
+			}
+		}
+	}
+	return nil, false
+}
+
+// TwoColoringSimpleFDs decides, for a query with simple functional
+// dependencies, whether chase(Q) admits a valid coloring with 2 colors and
+// color number 2 (Theorem 5.10). It runs the chase, eliminates the
+// dependencies, applies the Proposition 5.9 pair test to Q', and pulls the
+// witness back to chase(Q). The returned coloring, when present, is a valid
+// 2-color coloring of chase(Q) with color number 2.
+func TwoColoringSimpleFDs(q *cq.Query) (Coloring, *cq.Query, bool, error) {
+	ch := chase.Chase(q).Query
+	elim, err := EliminateSimpleFDs(ch)
+	if err != nil {
+		return nil, nil, false, err
+	}
+	col, ok := TwoColoringNoFDs(elim.Query)
+	if !ok {
+		return nil, ch, false, nil
+	}
+	pulled := elim.PullBack(col)
+	if err := Validate(ch, pulled); err != nil {
+		return nil, nil, false, fmt.Errorf("coloring: internal: pulled-back 2-coloring invalid: %v", err)
+	}
+	n, err := Number(ch, pulled)
+	if err != nil || n.Cmp(big.NewRat(2, 1)) != 0 {
+		return nil, nil, false, fmt.Errorf("coloring: internal: pulled-back 2-coloring has number %v (err %v)", n, err)
+	}
+	return pulled, ch, true, nil
+}
+
+func coOccur(q *cq.Query, x, y cq.Variable) bool {
+	for _, a := range q.Body {
+		hasX, hasY := false, false
+		for _, v := range a.Vars {
+			if v == x {
+				hasX = true
+			}
+			if v == y {
+				hasY = true
+			}
+		}
+		if hasX && hasY {
+			return true
+		}
+	}
+	return false
+}

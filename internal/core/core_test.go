@@ -1,0 +1,156 @@
+package core
+
+import (
+	"math"
+	"math/big"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"cqbound/internal/cq"
+	"cqbound/internal/datagen"
+)
+
+func TestAnalyzeTriangle(t *testing.T) {
+	a, err := Analyze(cq.MustParse("S(X,Y,Z) <- R(X,Y), R(X,Z), R(Y,Z)."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Class != NoFDs {
+		t.Fatalf("class = %v", a.Class)
+	}
+	if a.ColorNumber.Cmp(big.NewRat(3, 2)) != 0 {
+		t.Fatalf("C = %v", a.ColorNumber)
+	}
+	if !a.SizeBoundTight || !a.SizeIncreasePossible {
+		t.Fatal("triangle: bound should be tight and increase possible")
+	}
+	if a.RhoStar.Cmp(big.NewRat(3, 2)) != 0 || a.RhoStarHead.Cmp(big.NewRat(3, 2)) != 0 {
+		t.Fatalf("rho = %v / %v", a.RhoStar, a.RhoStarHead)
+	}
+	if a.EntropyUpperBound.Cmp(big.NewRat(3, 2)) != 0 {
+		t.Fatalf("s(Q) = %v", a.EntropyUpperBound)
+	}
+	if a.Treewidth != TWPreserved {
+		t.Fatalf("treewidth verdict = %v", a.Treewidth)
+	}
+	b, err := a.SizeBound(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(b-1000) > 1e-6 {
+		t.Fatalf("SizeBound(100) = %v, want 1000", b)
+	}
+	if !strings.Contains(a.Summary(), "3/2") {
+		t.Fatalf("Summary missing C:\n%s", a.Summary())
+	}
+}
+
+func TestAnalyzeExample34(t *testing.T) {
+	a, err := Analyze(cq.MustParse("R0(W,X,Y,Z) <- R1(W,X,Y), R1(W,W,W), R2(Y,Z).\nkey R1[1]."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// After the chase every lifted dependency is trivial (W -> W), so the
+	// effective class is NoFDs.
+	if a.Class != NoFDs {
+		t.Fatalf("class = %v", a.Class)
+	}
+	if a.ChaseSteps == 0 {
+		t.Fatal("chase should fire")
+	}
+	if a.ColorNumber.Cmp(big.NewRat(1, 1)) != 0 {
+		t.Fatalf("C(chase(Q)) = %v, want 1", a.ColorNumber)
+	}
+	if a.SizeIncreasePossible {
+		t.Fatal("no size increase possible after chase")
+	}
+}
+
+func TestAnalyzeSimpleFDClass(t *testing.T) {
+	// The key survives the chase here: Y -> Z stays a live simple
+	// dependency of chase(Q).
+	a, err := Analyze(cq.MustParse("Q(X,Z) <- R(X,Y), S(Y,Z).\nkey S[1]."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Class != SimpleFDs {
+		t.Fatalf("class = %v, want simple", a.Class)
+	}
+	if a.ColorNumber.Cmp(big.NewRat(1, 1)) != 0 {
+		t.Fatalf("C(chase(Q)) = %v, want 1", a.ColorNumber)
+	}
+	if a.Treewidth != TWPreserved {
+		t.Fatalf("verdict = %v, want preserved", a.Treewidth)
+	}
+	if a.ColorNumberMethod != "fd-elimination" {
+		t.Fatalf("method = %q", a.ColorNumberMethod)
+	}
+}
+
+func TestAnalyzeBlowupQuery(t *testing.T) {
+	a, err := Analyze(cq.MustParse("R2(X,Y,Z) <- R(X,Y), R(X,Z)."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Treewidth != TWUnbounded {
+		t.Fatalf("verdict = %v, want unbounded", a.Treewidth)
+	}
+	if a.TwoColoring == nil {
+		t.Fatal("missing blowup witness coloring")
+	}
+}
+
+func TestAnalyzeCompoundOpenVerdict(t *testing.T) {
+	// Compound FD, single-atom head: no 2-coloring, verdict open.
+	a, err := Analyze(cq.MustParse("Q(X,Y,Z) <- R(X,Y,Z).\nfd R[1],R[2] -> R[3]."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Class != CompoundFDs {
+		t.Fatalf("class = %v", a.Class)
+	}
+	if a.Treewidth != TWOpen {
+		t.Fatalf("verdict = %v, want open", a.Treewidth)
+	}
+	if a.SizeBoundTight {
+		t.Fatal("bound must not be marked tight with compound FDs")
+	}
+}
+
+func TestAnalyzeInvalidQuery(t *testing.T) {
+	bad := &cq.Query{Head: cq.NewAtom("Q", "X")}
+	if _, err := Analyze(bad); err == nil {
+		t.Fatal("accepted invalid query")
+	}
+}
+
+// TestAnalyzeConsistencyRandom cross-checks the analysis invariants the
+// paper proves: C ≤ s(Q); size increase ⇔ C > 1; with no FDs,
+// C = head-restricted ρ*.
+func TestAnalyzeConsistencyRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	one := big.NewRat(1, 1)
+	for trial := 0; trial < 40; trial++ {
+		q := datagen.RandomQuery(rng, datagen.QueryParams{
+			MaxVars: 5, MaxAtoms: 4, MaxArity: 3, HeadFraction: 0.5,
+			SimpleFDProb: 0.2, CompoundFDProb: 0.2, RepeatRelationProb: 0.3,
+		})
+		a, err := Analyze(q)
+		if err != nil {
+			t.Fatalf("trial %d (%s): %v", trial, q, err)
+		}
+		if a.ColorNumber == nil {
+			continue
+		}
+		if a.EntropyUpperBound != nil && a.ColorNumber.Cmp(a.EntropyUpperBound) > 0 {
+			t.Fatalf("trial %d: C = %v > s = %v for %s", trial, a.ColorNumber, a.EntropyUpperBound, q)
+		}
+		if a.SizeIncreasePossible != (a.ColorNumber.Cmp(one) > 0) {
+			t.Fatalf("trial %d: increase = %v but C = %v for %s", trial, a.SizeIncreasePossible, a.ColorNumber, q)
+		}
+		if a.Class == NoFDs && a.ColorNumber.Cmp(a.RhoStarHead) != 0 {
+			t.Fatalf("trial %d: C = %v != head rho* = %v for %s", trial, a.ColorNumber, a.RhoStarHead, q)
+		}
+	}
+}

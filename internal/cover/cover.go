@@ -1,0 +1,150 @@
+// Package cover computes (fractional) edge covers of query hypergraphs.
+// Definition 3.5 defines the minimal fractional edge cover number ρ*(Q); by
+// LP duality (Section 3.1) the color number of a query without functional
+// dependencies equals the minimal fractional edge cover of the hypergraph
+// restricted to the head variables. The AGM bound (Proposition 4.3, after
+// Grohe–Marx and Atserias–Grohe–Marx) states |Q(D)| ≤ rmax(D)^ρ*(Q) for
+// total join queries.
+package cover
+
+import (
+	"fmt"
+	"math/big"
+
+	"cqbound/internal/cq"
+	"cqbound/internal/lp"
+)
+
+// Result describes a fractional edge cover.
+type Result struct {
+	// Rho is the cover value Σ y_j.
+	Rho *big.Rat
+	// Weights has one entry per hyperedge, aligned with the input edges.
+	Weights []*big.Rat
+}
+
+// Fractional solves the fractional edge cover LP of Definition 3.5 on an
+// arbitrary hypergraph: minimize Σ y_e subject to Σ_{e ∋ v} y_e ≥ 1 for every
+// vertex v, y ≥ 0. It returns an error when some vertex lies in no edge (the
+// LP is then infeasible).
+func Fractional(h cq.Hypergraph) (*Result, error) {
+	p := lp.NewProblem(lp.Minimize)
+	ys := make([]int, len(h.Edges))
+	for j := range h.Edges {
+		ys[j] = p.AddVariable(fmt.Sprintf("y%d", j), lp.NonNegative)
+		p.SetObjective(ys[j], lp.RI(1))
+	}
+	member := make(map[cq.Variable][]int)
+	for j, e := range h.Edges {
+		for _, v := range e {
+			member[v] = append(member[v], j)
+		}
+	}
+	for _, v := range h.Vertices {
+		edges := member[v]
+		if len(edges) == 0 {
+			return nil, fmt.Errorf("cover: vertex %s lies in no hyperedge", v)
+		}
+		coeffs := make(map[int]*big.Rat, len(edges))
+		for _, j := range edges {
+			coeffs[ys[j]] = lp.RI(1)
+		}
+		p.AddConstraint(coeffs, lp.GE, lp.RI(1))
+	}
+	s := p.SolveExact()
+	if s.Status != lp.Optimal {
+		return nil, fmt.Errorf("cover: unexpected LP status %v", s.Status)
+	}
+	weights := make([]*big.Rat, len(h.Edges))
+	for j := range h.Edges {
+		weights[j] = s.X[ys[j]]
+	}
+	return &Result{Rho: s.Value, Weights: weights}, nil
+}
+
+// FractionalEdgeCover returns ρ*(Q) of Definition 3.5: the fractional edge
+// cover number of the query's full hypergraph (all variables must be
+// covered).
+func FractionalEdgeCover(q *cq.Query) (*Result, error) {
+	return Fractional(q.Hypergraph())
+}
+
+// FractionalEdgeCoverHead returns the fractional edge cover number of the
+// hypergraph obtained by removing non-head variables from all atoms
+// (Section 3.1). For queries without functional dependencies this value
+// equals the color number C(Q) by LP duality.
+func FractionalEdgeCoverHead(q *cq.Query) (*Result, error) {
+	return Fractional(q.HeadRestrictedHypergraph())
+}
+
+// Integral computes a minimum integral edge cover of the hypergraph by
+// exhaustive search over edge subsets (suitable for the small queries this
+// library targets; m ≤ 20). It returns the number of edges used and the
+// selected edge indices, or an error when some vertex is uncoverable.
+func Integral(h cq.Hypergraph) (int, []int, error) {
+	m := len(h.Edges)
+	if m > 20 {
+		return 0, nil, fmt.Errorf("cover: integral cover limited to 20 edges, got %d", m)
+	}
+	need := make(map[cq.Variable]bool, len(h.Vertices))
+	for _, v := range h.Vertices {
+		need[v] = true
+	}
+	member := make(map[cq.Variable]bool)
+	for _, e := range h.Edges {
+		for _, v := range e {
+			member[v] = true
+		}
+	}
+	for v := range need {
+		if !member[v] {
+			return 0, nil, fmt.Errorf("cover: vertex %s lies in no hyperedge", v)
+		}
+	}
+	bestSize := m + 1
+	var best []int
+	for mask := 0; mask < 1<<m; mask++ {
+		size := popcount(mask)
+		if size >= bestSize {
+			continue
+		}
+		covered := make(map[cq.Variable]bool)
+		for j := 0; j < m; j++ {
+			if mask&(1<<j) == 0 {
+				continue
+			}
+			for _, v := range h.Edges[j] {
+				covered[v] = true
+			}
+		}
+		ok := true
+		for v := range need {
+			if !covered[v] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			bestSize = size
+			best = nil
+			for j := 0; j < m; j++ {
+				if mask&(1<<j) != 0 {
+					best = append(best, j)
+				}
+			}
+		}
+	}
+	if bestSize > m {
+		return 0, nil, fmt.Errorf("cover: no integral cover found")
+	}
+	return bestSize, best, nil
+}
+
+func popcount(x int) int {
+	n := 0
+	for x != 0 {
+		x &= x - 1
+		n++
+	}
+	return n
+}

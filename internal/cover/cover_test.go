@@ -1,0 +1,145 @@
+package cover
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+
+	"cqbound/internal/coloring"
+	"cqbound/internal/cq"
+	"cqbound/internal/datagen"
+)
+
+func TestTriangleRho(t *testing.T) {
+	q := cq.MustParse("S(X,Y,Z) <- R(X,Y), R(X,Z), R(Y,Z).")
+	r, err := FractionalEdgeCover(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Rho.Cmp(big.NewRat(3, 2)) != 0 {
+		t.Fatalf("rho* = %v, want 3/2", r.Rho)
+	}
+	// The symmetric optimum puts weight 1/2 on each edge; any optimum's
+	// weights must sum to 3/2.
+	sum := new(big.Rat)
+	for _, w := range r.Weights {
+		sum.Add(sum, w)
+	}
+	if sum.Cmp(r.Rho) != 0 {
+		t.Fatalf("weights sum %v != rho %v", sum, r.Rho)
+	}
+}
+
+func TestCliqueK4Rho(t *testing.T) {
+	// K4 as a join of all 6 edges: rho* = 2.
+	q := cq.MustParse("Q(A,B,C,D) <- R(A,B), R(A,C), R(A,D), R(B,C), R(B,D), R(C,D).")
+	r, err := FractionalEdgeCover(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Rho.Cmp(big.NewRat(2, 1)) != 0 {
+		t.Fatalf("rho* = %v, want 2", r.Rho)
+	}
+}
+
+func TestPathRho(t *testing.T) {
+	// Path of 2 edges covering 3 vertices: rho* = 2? Edges {X,Y},{Y,Z}:
+	// X needs e1, Z needs e2, so rho* = 2.
+	q := cq.MustParse("Q(X,Y,Z) <- R(X,Y), S(Y,Z).")
+	r, err := FractionalEdgeCover(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Rho.Cmp(big.NewRat(2, 1)) != 0 {
+		t.Fatalf("rho* = %v, want 2", r.Rho)
+	}
+}
+
+func TestHeadRestrictedEqualsColorNumber(t *testing.T) {
+	// Section 3.1: for FD-free queries, C(Q) equals the fractional edge
+	// cover number of the head-restricted hypergraph.
+	queries := []string{
+		"S(X,Y,Z) <- R(X,Y), R(X,Z), R(Y,Z).",
+		"Q(X,Z) <- R(X,Y), S(Y,Z).",
+		"Q(X,Y) <- R(X,Y), S(Y,Z).",
+		"Q(A,B,C,D) <- R(A,B), R(B,C), R(C,D), R(D,A).",
+		"Q(A,C) <- R(A,B), R(B,C), R(C,D), R(D,A).",
+	}
+	for _, src := range queries {
+		q := cq.MustParse(src)
+		cval, _, err := coloring.NumberNoFDs(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := FractionalEdgeCoverHead(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cval.Cmp(r.Rho) != 0 {
+			t.Errorf("%s: C(Q) = %v but head rho* = %v", src, cval, r.Rho)
+		}
+	}
+}
+
+func TestHeadRestrictedEqualsColorNumberRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 60; trial++ {
+		q := datagen.RandomQuery(rng, datagen.QueryParams{
+			MaxVars: 6, MaxAtoms: 5, MaxArity: 3, HeadFraction: 0.6,
+		})
+		cval, _, err := coloring.NumberNoFDs(q)
+		if err != nil {
+			t.Fatalf("trial %d (%s): %v", trial, q, err)
+		}
+		r, err := FractionalEdgeCoverHead(q)
+		if err != nil {
+			t.Fatalf("trial %d (%s): %v", trial, q, err)
+		}
+		if cval.Cmp(r.Rho) != 0 {
+			t.Fatalf("trial %d: duality mismatch for %s: C=%v rho=%v", trial, q, cval, r.Rho)
+		}
+	}
+}
+
+func TestIntegralCover(t *testing.T) {
+	q := cq.MustParse("S(X,Y,Z) <- R(X,Y), R(X,Z), R(Y,Z).")
+	n, edges, err := Integral(q.Hypergraph())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 || len(edges) != 2 {
+		t.Fatalf("integral cover = %d %v, want 2 edges", n, edges)
+	}
+}
+
+func TestIntegralAtLeastFractional(t *testing.T) {
+	qs := []string{
+		"S(X,Y,Z) <- R(X,Y), R(X,Z), R(Y,Z).",
+		"Q(A,B,C,D) <- R(A,B), R(B,C), R(C,D), R(D,A).",
+		"Q(X,Y,Z) <- R(X,Y), S(Y,Z).",
+	}
+	for _, src := range qs {
+		q := cq.MustParse(src)
+		frac, err := FractionalEdgeCover(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n, _, err := Integral(q.Hypergraph())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if big.NewRat(int64(n), 1).Cmp(frac.Rho) < 0 {
+			t.Errorf("%s: integral %d < fractional %v", src, n, frac.Rho)
+		}
+	}
+}
+
+func TestUncoverableVertex(t *testing.T) {
+	h := cq.Hypergraph{Vertices: []cq.Variable{"X", "Y"}, Edges: [][]cq.Variable{{"X"}}}
+	if _, err := Fractional(h); err == nil {
+		t.Fatal("Fractional accepted uncoverable vertex")
+	}
+	if _, _, err := Integral(h); err == nil {
+		t.Fatal("Integral accepted uncoverable vertex")
+	}
+}

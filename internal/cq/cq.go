@@ -1,0 +1,493 @@
+// Package cq models conjunctive queries in datalog-rule form together with
+// functional dependencies, following Section 2 of Gottlob, Lee, Valiant and
+// Valiant, "Size and Treewidth Bounds for Conjunctive Queries" (PODS 2009).
+//
+// A query has the shape
+//
+//	R0(u0) <- Ri1(u1) ∧ ... ∧ Rim(um)
+//
+// where each uj is a list of (not necessarily distinct) variables. A single
+// relation may appear several times in the body. Functional dependencies are
+// stated on relation positions (1-based); the package also lifts them to
+// dependencies between query variables, which is the form the coloring
+// machinery of the paper consumes.
+package cq
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Variable is a query variable. Variables are compared by name.
+type Variable string
+
+// Atom is a relational atom R(X1,...,Xk). The same variable may occur in
+// several positions.
+type Atom struct {
+	Relation string
+	Vars     []Variable
+}
+
+// NewAtom builds an atom from a relation name and variable names.
+func NewAtom(relation string, vars ...string) Atom {
+	vs := make([]Variable, len(vars))
+	for i, v := range vars {
+		vs[i] = Variable(v)
+	}
+	return Atom{Relation: relation, Vars: vs}
+}
+
+// Arity returns the number of argument positions of the atom.
+func (a Atom) Arity() int { return len(a.Vars) }
+
+// Clone returns a deep copy of the atom.
+func (a Atom) Clone() Atom {
+	vs := make([]Variable, len(a.Vars))
+	copy(vs, a.Vars)
+	return Atom{Relation: a.Relation, Vars: vs}
+}
+
+// Equal reports whether two atoms have the same relation and variable list.
+func (a Atom) Equal(b Atom) bool {
+	if a.Relation != b.Relation || len(a.Vars) != len(b.Vars) {
+		return false
+	}
+	for i := range a.Vars {
+		if a.Vars[i] != b.Vars[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// VarSet returns the set of variables occurring in the atom.
+func (a Atom) VarSet() map[Variable]bool {
+	s := make(map[Variable]bool, len(a.Vars))
+	for _, v := range a.Vars {
+		s[v] = true
+	}
+	return s
+}
+
+// DistinctVars returns the variables of the atom in first-occurrence order
+// with duplicates removed.
+func (a Atom) DistinctVars() []Variable {
+	seen := make(map[Variable]bool, len(a.Vars))
+	var out []Variable
+	for _, v := range a.Vars {
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// String renders the atom as R(X,Y,Z).
+func (a Atom) String() string {
+	parts := make([]string, len(a.Vars))
+	for i, v := range a.Vars {
+		parts[i] = string(v)
+	}
+	return a.Relation + "(" + strings.Join(parts, ",") + ")"
+}
+
+// FD is a functional dependency R[i1],...,ik -> R[t] on the positions of a
+// relation. Positions are 1-based. A dependency with a single position on the
+// left-hand side is called simple (Section 2).
+type FD struct {
+	Relation string
+	From     []int
+	To       int
+}
+
+// Simple reports whether the dependency has a single left-hand-side position.
+func (f FD) Simple() bool { return len(f.From) == 1 }
+
+// Clone returns a deep copy of the dependency.
+func (f FD) Clone() FD {
+	from := make([]int, len(f.From))
+	copy(from, f.From)
+	return FD{Relation: f.Relation, From: from, To: f.To}
+}
+
+// Equal reports whether two dependencies are syntactically identical.
+func (f FD) Equal(g FD) bool {
+	if f.Relation != g.Relation || f.To != g.To || len(f.From) != len(g.From) {
+		return false
+	}
+	for i := range f.From {
+		if f.From[i] != g.From[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the dependency as R[1],R[2] -> R[3].
+func (f FD) String() string {
+	parts := make([]string, len(f.From))
+	for i, p := range f.From {
+		parts[i] = fmt.Sprintf("%s[%d]", f.Relation, p)
+	}
+	return fmt.Sprintf("%s -> %s[%d]", strings.Join(parts, ","), f.Relation, f.To)
+}
+
+// VarFD is a functional dependency lifted to query variables, as in the
+// "slight abuse of notation" of Section 2: for an FD R[i]->R[j] and a body
+// atom R(u) with X and Y in positions i and j, the lifted dependency is X->Y.
+type VarFD struct {
+	From []Variable
+	To   Variable
+}
+
+// String renders the lifted dependency as X,Y -> Z.
+func (f VarFD) String() string {
+	parts := make([]string, len(f.From))
+	for i, v := range f.From {
+		parts[i] = string(v)
+	}
+	return strings.Join(parts, ",") + " -> " + string(f.To)
+}
+
+// Trivial reports whether the right-hand side already occurs on the left.
+func (f VarFD) Trivial() bool {
+	for _, v := range f.From {
+		if v == f.To {
+			return true
+		}
+	}
+	return false
+}
+
+// key returns a canonical string for deduplication. Left-hand sides are
+// treated as sets.
+func (f VarFD) key() string {
+	from := make([]string, len(f.From))
+	for i, v := range f.From {
+		from[i] = string(v)
+	}
+	sort.Strings(from)
+	return strings.Join(from, "\x00") + "\x01" + string(f.To)
+}
+
+// NormalizeVarFD sorts and deduplicates the left-hand side of a lifted
+// dependency.
+func NormalizeVarFD(f VarFD) VarFD {
+	seen := make(map[Variable]bool, len(f.From))
+	var from []Variable
+	for _, v := range f.From {
+		if !seen[v] {
+			seen[v] = true
+			from = append(from, v)
+		}
+	}
+	sort.Slice(from, func(i, j int) bool { return from[i] < from[j] })
+	return VarFD{From: from, To: f.To}
+}
+
+// Query is a conjunctive query R0(u0) <- body, with functional dependencies.
+type Query struct {
+	Head Atom
+	Body []Atom
+	FDs  []FD
+}
+
+// Clone returns a deep copy of the query.
+func (q *Query) Clone() *Query {
+	out := &Query{Head: q.Head.Clone()}
+	out.Body = make([]Atom, len(q.Body))
+	for i, a := range q.Body {
+		out.Body[i] = a.Clone()
+	}
+	out.FDs = make([]FD, len(q.FDs))
+	for i, f := range q.FDs {
+		out.FDs[i] = f.Clone()
+	}
+	return out
+}
+
+// Equal reports whether two queries are syntactically identical (same head,
+// same body atom order, same dependency order).
+func (q *Query) Equal(r *Query) bool {
+	if !q.Head.Equal(r.Head) || len(q.Body) != len(r.Body) || len(q.FDs) != len(r.FDs) {
+		return false
+	}
+	for i := range q.Body {
+		if !q.Body[i].Equal(r.Body[i]) {
+			return false
+		}
+	}
+	for i := range q.FDs {
+		if !q.FDs[i].Equal(r.FDs[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Variables returns var(Q): every variable occurring in the query, in
+// first-occurrence order scanning the body and then the head.
+func (q *Query) Variables() []Variable {
+	seen := make(map[Variable]bool)
+	var out []Variable
+	add := func(vs []Variable) {
+		for _, v := range vs {
+			if !seen[v] {
+				seen[v] = true
+				out = append(out, v)
+			}
+		}
+	}
+	for _, a := range q.Body {
+		add(a.Vars)
+	}
+	add(q.Head.Vars)
+	return out
+}
+
+// HeadVars returns the distinct head variables in first-occurrence order.
+func (q *Query) HeadVars() []Variable {
+	return q.Head.DistinctVars()
+}
+
+// HeadVarSet returns the set of head variables.
+func (q *Query) HeadVarSet() map[Variable]bool {
+	return q.Head.VarSet()
+}
+
+// Rep returns rep(Q), the maximum number of times any single relation name
+// appears in the body (Proposition 4.1).
+func (q *Query) Rep() int {
+	counts := make(map[string]int)
+	rep := 0
+	for _, a := range q.Body {
+		counts[a.Relation]++
+		if counts[a.Relation] > rep {
+			rep = counts[a.Relation]
+		}
+	}
+	return rep
+}
+
+// RelationArities maps each body relation name to its arity.
+func (q *Query) RelationArities() map[string]int {
+	out := make(map[string]int)
+	for _, a := range q.Body {
+		out[a.Relation] = a.Arity()
+	}
+	return out
+}
+
+// BodyRelations returns the distinct body relation names in first-occurrence
+// order.
+func (q *Query) BodyRelations() []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, a := range q.Body {
+		if !seen[a.Relation] {
+			seen[a.Relation] = true
+			out = append(out, a.Relation)
+		}
+	}
+	return out
+}
+
+// Validate checks the structural well-formedness required by Section 2:
+// non-empty body, every head variable occurs in the body, consistent arities
+// for repeated relation names, and functional dependencies referring to known
+// relations and valid positions.
+func (q *Query) Validate() error {
+	if len(q.Body) == 0 {
+		return fmt.Errorf("cq: query %s has an empty body", q.Head.Relation)
+	}
+	arity := make(map[string]int)
+	bodyVars := make(map[Variable]bool)
+	for _, a := range q.Body {
+		if a.Arity() == 0 {
+			return fmt.Errorf("cq: atom %s has arity 0", a.Relation)
+		}
+		if prev, ok := arity[a.Relation]; ok && prev != a.Arity() {
+			return fmt.Errorf("cq: relation %s used with arities %d and %d", a.Relation, prev, a.Arity())
+		}
+		arity[a.Relation] = a.Arity()
+		for _, v := range a.Vars {
+			bodyVars[v] = true
+		}
+	}
+	if _, ok := arity[q.Head.Relation]; ok {
+		// The output relation reusing a body relation name would make the
+		// semantics of FDs on that name ambiguous.
+		return fmt.Errorf("cq: head relation %s also appears in the body", q.Head.Relation)
+	}
+	for _, v := range q.Head.Vars {
+		if !bodyVars[v] {
+			return fmt.Errorf("cq: head variable %s does not occur in the body", v)
+		}
+	}
+	for _, f := range q.FDs {
+		ar, ok := arity[f.Relation]
+		if !ok {
+			return fmt.Errorf("cq: functional dependency %s refers to unknown relation %s", f, f.Relation)
+		}
+		if len(f.From) == 0 {
+			return fmt.Errorf("cq: functional dependency %s has an empty left-hand side", f)
+		}
+		seen := make(map[int]bool)
+		for _, p := range f.From {
+			if p < 1 || p > ar {
+				return fmt.Errorf("cq: functional dependency %s: position %d out of range for arity %d", f, p, ar)
+			}
+			if seen[p] {
+				return fmt.Errorf("cq: functional dependency %s repeats position %d", f, p)
+			}
+			seen[p] = true
+		}
+		if f.To < 1 || f.To > ar {
+			return fmt.Errorf("cq: functional dependency %s: position %d out of range for arity %d", f, f.To, ar)
+		}
+	}
+	return nil
+}
+
+// HasFDs reports whether any functional dependencies are declared.
+func (q *Query) HasFDs() bool { return len(q.FDs) > 0 }
+
+// AllFDsSimple reports whether every declared dependency is simple.
+func (q *Query) AllFDsSimple() bool {
+	for _, f := range q.FDs {
+		if !f.Simple() {
+			return false
+		}
+	}
+	return true
+}
+
+// VarFDs lifts the positional functional dependencies to dependencies between
+// query variables: one lifted dependency per (FD, body atom with the FD's
+// relation) pair. Trivial dependencies (RHS contained in LHS) are dropped and
+// the result is deduplicated, with deterministic order.
+func (q *Query) VarFDs() []VarFD {
+	var out []VarFD
+	seen := make(map[string]bool)
+	for _, f := range q.FDs {
+		for _, a := range q.Body {
+			if a.Relation != f.Relation {
+				continue
+			}
+			from := make([]Variable, len(f.From))
+			for i, p := range f.From {
+				from[i] = a.Vars[p-1]
+			}
+			vf := NormalizeVarFD(VarFD{From: from, To: a.Vars[f.To-1]})
+			if vf.Trivial() {
+				continue
+			}
+			k := vf.key()
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			out = append(out, vf)
+		}
+	}
+	return out
+}
+
+// AllVarFDsSimple reports whether every lifted dependency has a single
+// variable on its left-hand side. A compound positional FD can still lift to
+// a simple variable dependency when an atom repeats a variable.
+func (q *Query) AllVarFDsSimple() bool {
+	for _, f := range q.VarFDs() {
+		if len(f.From) > 1 {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the query as a datalog rule followed by one functional
+// dependency per line, in a form accepted by Parse.
+func (q *Query) String() string {
+	var b strings.Builder
+	b.WriteString(q.Head.String())
+	b.WriteString(" <- ")
+	parts := make([]string, len(q.Body))
+	for i, a := range q.Body {
+		parts[i] = a.String()
+	}
+	b.WriteString(strings.Join(parts, ", "))
+	b.WriteString(".")
+	for _, f := range q.FDs {
+		b.WriteString("\nfd ")
+		b.WriteString(f.String())
+		b.WriteString(".")
+	}
+	return b.String()
+}
+
+// AddKey declares positions key as a (simple or compound) key of relation:
+// it appends the functional dependencies key -> p for every position p of the
+// relation outside key. The relation must occur in the body so its arity is
+// known.
+func (q *Query) AddKey(relation string, key ...int) error {
+	ar, ok := q.RelationArities()[relation]
+	if !ok {
+		return fmt.Errorf("cq: key on unknown relation %s", relation)
+	}
+	inKey := make(map[int]bool, len(key))
+	for _, p := range key {
+		if p < 1 || p > ar {
+			return fmt.Errorf("cq: key position %d out of range for %s (arity %d)", p, relation, ar)
+		}
+		inKey[p] = true
+	}
+	for p := 1; p <= ar; p++ {
+		if inKey[p] {
+			continue
+		}
+		from := make([]int, len(key))
+		copy(from, key)
+		q.FDs = append(q.FDs, FD{Relation: relation, From: from, To: p})
+	}
+	return nil
+}
+
+// Hypergraph is the hypergraph associated with a query: vertices are the
+// query variables and each body atom contributes the hyperedge of its
+// variables (Definition 3.5).
+type Hypergraph struct {
+	Vertices []Variable
+	Edges    [][]Variable
+}
+
+// Hypergraph returns the query's hypergraph. Edges appear in body-atom order;
+// each edge lists the atom's distinct variables in first-occurrence order.
+func (q *Query) Hypergraph() Hypergraph {
+	h := Hypergraph{Vertices: q.Variables()}
+	for _, a := range q.Body {
+		h.Edges = append(h.Edges, a.DistinctVars())
+	}
+	return h
+}
+
+// HeadRestrictedHypergraph returns the hypergraph of the query Q' obtained by
+// removing all variables that do not appear in the head from all atoms
+// (Section 3.1). Atoms left with no head variables contribute no edge.
+func (q *Query) HeadRestrictedHypergraph() Hypergraph {
+	head := q.HeadVarSet()
+	h := Hypergraph{Vertices: q.HeadVars()}
+	for _, a := range q.Body {
+		var edge []Variable
+		for _, v := range a.DistinctVars() {
+			if head[v] {
+				edge = append(edge, v)
+			}
+		}
+		if len(edge) > 0 {
+			h.Edges = append(h.Edges, edge)
+		}
+	}
+	return h
+}

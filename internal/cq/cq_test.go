@@ -1,0 +1,264 @@
+package cq
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestVariablesOrderAndDedup(t *testing.T) {
+	q := MustParse("Q(Z,X) <- R(X,Y), S(Y,Z,X).")
+	got := q.Variables()
+	want := []Variable{"X", "Y", "Z"}
+	if len(got) != len(want) {
+		t.Fatalf("Variables() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Variables() = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestHeadVarsDedup(t *testing.T) {
+	q := MustParse("Q(X,X,Y) <- R(X,Y).")
+	got := q.HeadVars()
+	if len(got) != 2 || got[0] != "X" || got[1] != "Y" {
+		t.Fatalf("HeadVars() = %v, want [X Y]", got)
+	}
+}
+
+func TestRep(t *testing.T) {
+	q := MustParse("Q(X,Y,Z) <- R(X,Y), R(X,Z), S(Y,Z).")
+	if got := q.Rep(); got != 2 {
+		t.Fatalf("Rep() = %d, want 2", got)
+	}
+	q2 := MustParse("Q(X) <- R(X).")
+	if got := q2.Rep(); got != 1 {
+		t.Fatalf("Rep() = %d, want 1", got)
+	}
+}
+
+func TestValidateRejectsHeadVarNotInBody(t *testing.T) {
+	q := &Query{
+		Head: NewAtom("Q", "X", "W"),
+		Body: []Atom{NewAtom("R", "X", "Y")},
+	}
+	if err := q.Validate(); err == nil {
+		t.Fatal("Validate() accepted head variable missing from body")
+	}
+}
+
+func TestValidateRejectsInconsistentArity(t *testing.T) {
+	q := &Query{
+		Head: NewAtom("Q", "X"),
+		Body: []Atom{NewAtom("R", "X", "Y"), NewAtom("R", "X")},
+	}
+	if err := q.Validate(); err == nil {
+		t.Fatal("Validate() accepted inconsistent arities for R")
+	}
+}
+
+func TestValidateRejectsEmptyBody(t *testing.T) {
+	q := &Query{Head: NewAtom("Q", "X")}
+	if err := q.Validate(); err == nil {
+		t.Fatal("Validate() accepted empty body")
+	}
+}
+
+func TestValidateRejectsHeadNameInBody(t *testing.T) {
+	q := &Query{
+		Head: NewAtom("R", "X"),
+		Body: []Atom{NewAtom("R", "X")},
+	}
+	if err := q.Validate(); err == nil {
+		t.Fatal("Validate() accepted head relation reused in body")
+	}
+}
+
+func TestValidateRejectsBadFDPositions(t *testing.T) {
+	for _, fd := range []FD{
+		{Relation: "R", From: []int{3}, To: 1},
+		{Relation: "R", From: []int{1}, To: 5},
+		{Relation: "T", From: []int{1}, To: 1},
+		{Relation: "R", From: nil, To: 1},
+		{Relation: "R", From: []int{1, 1}, To: 2},
+	} {
+		q := &Query{
+			Head: NewAtom("Q", "X"),
+			Body: []Atom{NewAtom("R", "X", "Y")},
+			FDs:  []FD{fd},
+		}
+		if err := q.Validate(); err == nil {
+			t.Fatalf("Validate() accepted bad FD %v", fd)
+		}
+	}
+}
+
+func TestKeyExpansion(t *testing.T) {
+	q := MustParse("Q(X) <- R(X,Y,Z).\nkey R[1].")
+	if len(q.FDs) != 2 {
+		t.Fatalf("key R[1] expanded to %d FDs, want 2: %v", len(q.FDs), q.FDs)
+	}
+	for _, f := range q.FDs {
+		if !f.Simple() || f.From[0] != 1 {
+			t.Fatalf("unexpected FD %v", f)
+		}
+	}
+}
+
+func TestCompoundKeyExpansion(t *testing.T) {
+	q := MustParse("Q(X) <- R(X,Y,Z,W).\nkey R[1,2].")
+	if len(q.FDs) != 2 {
+		t.Fatalf("key R[1,2] expanded to %d FDs, want 2", len(q.FDs))
+	}
+	for _, f := range q.FDs {
+		if f.Simple() {
+			t.Fatalf("compound key produced simple FD %v", f)
+		}
+		if f.To != 3 && f.To != 4 {
+			t.Fatalf("unexpected FD target %v", f)
+		}
+	}
+}
+
+func TestVarFDsLiftPerAtom(t *testing.T) {
+	// R appears twice; the simple FD R[1]->R[2] lifts to X->Y and X->Z.
+	q := MustParse("Q(X,Y,Z) <- R(X,Y), R(X,Z).\nfd R[1] -> R[2].")
+	fds := q.VarFDs()
+	if len(fds) != 2 {
+		t.Fatalf("VarFDs() = %v, want 2 lifted dependencies", fds)
+	}
+	got := map[string]bool{}
+	for _, f := range fds {
+		got[f.String()] = true
+	}
+	if !got["X -> Y"] || !got["X -> Z"] {
+		t.Fatalf("VarFDs() = %v, want X->Y and X->Z", fds)
+	}
+}
+
+func TestVarFDsDropTrivialAndDedup(t *testing.T) {
+	// The atom R(X,X) lifts R[1]->R[2] to the trivial X->X.
+	q := MustParse("Q(X,Y) <- R(X,X), R(X,Y), R(X,Y).\nfd R[1] -> R[2].")
+	fds := q.VarFDs()
+	if len(fds) != 1 || fds[0].String() != "X -> Y" {
+		t.Fatalf("VarFDs() = %v, want exactly X->Y", fds)
+	}
+}
+
+func TestAllVarFDsSimpleWithRepeatedVariable(t *testing.T) {
+	// Compound positional FD lifting to a simple variable dependency.
+	q := MustParse("Q(X,Y) <- R(X,X,Y).\nfd R[1],R[2] -> R[3].")
+	if !q.AllFDsSimple() == false {
+		// positional FD is compound
+		t.Fatal("expected compound positional FD")
+	}
+	if !q.AllVarFDsSimple() {
+		t.Fatalf("VarFDs %v should be simple (X,X collapses)", q.VarFDs())
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	src := "Q(X,Y,Z) <- R(X,Y), R(X,Z), S(Y,Z).\nfd R[1] -> R[2].\nfd S[1],S[2] -> S[2]."
+	q := MustParse(src)
+	q2, err := Parse(q.String())
+	if err != nil {
+		t.Fatalf("round-trip parse failed: %v\ntext:\n%s", err, q.String())
+	}
+	if !q.Equal(q2) {
+		t.Fatalf("round trip changed query:\n%s\nvs\n%s", q, q2)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"Q(X)",
+		"Q(X) <- ",
+		"Q(X) <- R(X)",            // missing period
+		"Q(X) <- R(X). key T[1].", // unknown relation
+		"Q(X) <- R(X,Y). fd R[1] -> S[2].",
+		"Q(X) <- R(X,Y). key R[9].",
+		"Q(X) <- R(X,Y). bogus R[1].",
+		"Q() <- R(X).",
+		"Q(X) <- R(X,Y). fd R[1] R[2].",
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestParseAcceptsCommentsAndColonDash(t *testing.T) {
+	q, err := Parse("# triangle\nQ(X,Y,Z) :- R(X,Y), R(Y,Z), R(X,Z). % done\n")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(q.Body) != 3 {
+		t.Fatalf("body = %v", q.Body)
+	}
+}
+
+func TestHypergraph(t *testing.T) {
+	q := MustParse("Q(X,Z) <- R(X,Y), S(Y,Z).")
+	h := q.Hypergraph()
+	if len(h.Vertices) != 3 || len(h.Edges) != 2 {
+		t.Fatalf("Hypergraph = %+v", h)
+	}
+	hr := q.HeadRestrictedHypergraph()
+	if len(hr.Vertices) != 2 {
+		t.Fatalf("head-restricted vertices = %v", hr.Vertices)
+	}
+	// R contributes {X}, S contributes {Z}.
+	if len(hr.Edges) != 2 || len(hr.Edges[0]) != 1 || len(hr.Edges[1]) != 1 {
+		t.Fatalf("head-restricted edges = %v", hr.Edges)
+	}
+}
+
+func TestHeadRestrictedHypergraphDropsEmptyEdges(t *testing.T) {
+	q := MustParse("Q(X) <- R(X,Y), T(Y,Z).")
+	hr := q.HeadRestrictedHypergraph()
+	if len(hr.Edges) != 1 {
+		t.Fatalf("edges = %v, want only R's restriction", hr.Edges)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	q := MustParse("Q(X,Y) <- R(X,Y).\nfd R[1] -> R[2].")
+	c := q.Clone()
+	c.Body[0].Vars[0] = "Z"
+	c.FDs[0].From[0] = 2
+	if q.Body[0].Vars[0] != "X" || q.FDs[0].From[0] != 1 {
+		t.Fatal("Clone shares storage with original")
+	}
+}
+
+func TestAtomString(t *testing.T) {
+	a := NewAtom("R", "X", "Y")
+	if a.String() != "R(X,Y)" {
+		t.Fatalf("String() = %q", a.String())
+	}
+}
+
+func TestFDString(t *testing.T) {
+	f := FD{Relation: "S", From: []int{1, 2}, To: 3}
+	if got := f.String(); got != "S[1],S[2] -> S[3]" {
+		t.Fatalf("String() = %q", got)
+	}
+}
+
+func TestQueryStringContainsFDs(t *testing.T) {
+	q := MustParse("Q(X) <- R(X,Y).\nkey R[1].")
+	if !strings.Contains(q.String(), "fd R[1] -> R[2].") {
+		t.Fatalf("String() = %q", q.String())
+	}
+}
+
+func TestBodyRelations(t *testing.T) {
+	q := MustParse("Q(X) <- R(X,Y), S(Y,X), R(X,X).")
+	rels := q.BodyRelations()
+	if len(rels) != 2 || rels[0] != "R" || rels[1] != "S" {
+		t.Fatalf("BodyRelations() = %v", rels)
+	}
+}

@@ -1,0 +1,322 @@
+package cq
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// Parse reads a conjunctive query from its textual form. The grammar is
+//
+//	query      := head ("<-" | ":-") atom ("," atom)* "."
+//	atom       := ident "(" ident ("," ident)* ")"
+//	keydecl    := "key" ident "[" int ("," int)* "]" "."
+//	fddecl     := "fd" pos ("," pos)* "->" pos "."
+//	pos        := ident "[" int "]"
+//
+// The rule must come first; any number of key and fd declarations may follow.
+// A key declaration on positions K of R expands to the dependencies K -> p
+// for all other positions p of R. Comments run from '#' or '%' to the end of
+// the line. Example:
+//
+//	Q(X,Y,Z) <- R(X,Y), R(X,Z), S(Y,Z).
+//	key R[1].
+//	fd S[1],S[2] -> S[2].
+func Parse(text string) (*Query, error) {
+	p := &parser{}
+	p.tokenize(text)
+	q, err := p.parseQuery()
+	if err != nil {
+		return nil, err
+	}
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+// MustParse is Parse but panics on error; intended for tests and examples.
+func MustParse(text string) *Query {
+	q, err := Parse(text)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+type token struct {
+	kind string // "ident", "int", or a punctuation literal
+	text string
+	line int
+	col  int
+}
+
+type parser struct {
+	toks []token
+	pos  int
+	err  error
+}
+
+func (p *parser) tokenize(text string) {
+	line, col := 1, 1
+	i := 0
+	for i < len(text) {
+		c := rune(text[i])
+		switch {
+		case c == '\n':
+			line++
+			col = 1
+			i++
+		case c == ' ' || c == '\t' || c == '\r':
+			col++
+			i++
+		case c == '#' || c == '%':
+			for i < len(text) && text[i] != '\n' {
+				i++
+			}
+		case unicode.IsLetter(c) || c == '_':
+			start := i
+			for i < len(text) && (isIdentRune(rune(text[i]))) {
+				i++
+			}
+			p.toks = append(p.toks, token{"ident", text[start:i], line, col})
+			col += i - start
+		case unicode.IsDigit(c):
+			start := i
+			for i < len(text) && unicode.IsDigit(rune(text[i])) {
+				i++
+			}
+			p.toks = append(p.toks, token{"int", text[start:i], line, col})
+			col += i - start
+		case strings.HasPrefix(text[i:], "<-") || strings.HasPrefix(text[i:], ":-") || strings.HasPrefix(text[i:], "->"):
+			p.toks = append(p.toks, token{text[i : i+2], text[i : i+2], line, col})
+			i += 2
+			col += 2
+		case strings.ContainsRune("(),.[]", c):
+			p.toks = append(p.toks, token{string(c), string(c), line, col})
+			i++
+			col++
+		default:
+			if p.err == nil {
+				p.err = fmt.Errorf("cq: %d:%d: unexpected character %q", line, col, c)
+			}
+			i++
+			col++
+		}
+	}
+}
+
+func isIdentRune(c rune) bool {
+	return unicode.IsLetter(c) || unicode.IsDigit(c) || c == '_' || c == '\''
+}
+
+func (p *parser) peek() (token, bool) {
+	if p.pos < len(p.toks) {
+		return p.toks[p.pos], true
+	}
+	return token{}, false
+}
+
+func (p *parser) next() (token, bool) {
+	t, ok := p.peek()
+	if ok {
+		p.pos++
+	}
+	return t, ok
+}
+
+func (p *parser) expect(kind string) (token, error) {
+	t, ok := p.next()
+	if !ok {
+		return token{}, fmt.Errorf("cq: unexpected end of input, want %q", kind)
+	}
+	if t.kind != kind {
+		return token{}, fmt.Errorf("cq: %d:%d: got %q, want %q", t.line, t.col, t.text, kind)
+	}
+	return t, nil
+}
+
+func (p *parser) parseQuery() (*Query, error) {
+	if p.err != nil {
+		return nil, p.err
+	}
+	q := &Query{}
+	head, err := p.parseAtom()
+	if err != nil {
+		return nil, err
+	}
+	q.Head = head
+	t, ok := p.next()
+	if !ok || (t.kind != "<-" && t.kind != ":-") {
+		return nil, fmt.Errorf("cq: expected <- or :- after head atom")
+	}
+	for {
+		a, err := p.parseAtom()
+		if err != nil {
+			return nil, err
+		}
+		q.Body = append(q.Body, a)
+		t, ok := p.next()
+		if !ok {
+			return nil, fmt.Errorf("cq: missing '.' at end of rule")
+		}
+		if t.kind == "." {
+			break
+		}
+		if t.kind != "," {
+			return nil, fmt.Errorf("cq: %d:%d: got %q, want ',' or '.'", t.line, t.col, t.text)
+		}
+	}
+	// key and fd declarations.
+	type keyDecl struct {
+		relation  string
+		positions []int
+	}
+	var keys []keyDecl
+	for {
+		t, ok := p.peek()
+		if !ok {
+			break
+		}
+		if t.kind != "ident" {
+			return nil, fmt.Errorf("cq: %d:%d: got %q, want key or fd declaration", t.line, t.col, t.text)
+		}
+		switch t.text {
+		case "key":
+			p.next()
+			rel, err := p.expect("ident")
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect("["); err != nil {
+				return nil, err
+			}
+			var positions []int
+			for {
+				n, err := p.expect("int")
+				if err != nil {
+					return nil, err
+				}
+				v, _ := strconv.Atoi(n.text)
+				positions = append(positions, v)
+				t, ok := p.next()
+				if !ok {
+					return nil, fmt.Errorf("cq: unterminated key declaration")
+				}
+				if t.kind == "]" {
+					break
+				}
+				if t.kind != "," {
+					return nil, fmt.Errorf("cq: %d:%d: got %q, want ',' or ']'", t.line, t.col, t.text)
+				}
+			}
+			if _, err := p.expect("."); err != nil {
+				return nil, err
+			}
+			keys = append(keys, keyDecl{rel.text, positions})
+		case "fd":
+			p.next()
+			fd, err := p.parseFD()
+			if err != nil {
+				return nil, err
+			}
+			q.FDs = append(q.FDs, fd)
+		default:
+			return nil, fmt.Errorf("cq: %d:%d: unknown declaration %q", t.line, t.col, t.text)
+		}
+	}
+	for _, k := range keys {
+		if err := q.AddKey(k.relation, k.positions...); err != nil {
+			return nil, err
+		}
+	}
+	return q, nil
+}
+
+func (p *parser) parseAtom() (Atom, error) {
+	rel, err := p.expect("ident")
+	if err != nil {
+		return Atom{}, err
+	}
+	if _, err := p.expect("("); err != nil {
+		return Atom{}, err
+	}
+	a := Atom{Relation: rel.text}
+	for {
+		v, err := p.expect("ident")
+		if err != nil {
+			return Atom{}, err
+		}
+		a.Vars = append(a.Vars, Variable(v.text))
+		t, ok := p.next()
+		if !ok {
+			return Atom{}, fmt.Errorf("cq: unterminated atom %s", rel.text)
+		}
+		if t.kind == ")" {
+			break
+		}
+		if t.kind != "," {
+			return Atom{}, fmt.Errorf("cq: %d:%d: got %q, want ',' or ')'", t.line, t.col, t.text)
+		}
+	}
+	return a, nil
+}
+
+// parsePos parses R[3] and returns the relation name and position.
+func (p *parser) parsePos() (string, int, error) {
+	rel, err := p.expect("ident")
+	if err != nil {
+		return "", 0, err
+	}
+	if _, err := p.expect("["); err != nil {
+		return "", 0, err
+	}
+	n, err := p.expect("int")
+	if err != nil {
+		return "", 0, err
+	}
+	if _, err := p.expect("]"); err != nil {
+		return "", 0, err
+	}
+	v, _ := strconv.Atoi(n.text)
+	return rel.text, v, nil
+}
+
+func (p *parser) parseFD() (FD, error) {
+	var fd FD
+	for {
+		rel, pos, err := p.parsePos()
+		if err != nil {
+			return FD{}, err
+		}
+		if fd.Relation == "" {
+			fd.Relation = rel
+		} else if fd.Relation != rel {
+			return FD{}, fmt.Errorf("cq: functional dependency mixes relations %s and %s", fd.Relation, rel)
+		}
+		fd.From = append(fd.From, pos)
+		t, ok := p.next()
+		if !ok {
+			return FD{}, fmt.Errorf("cq: unterminated fd declaration")
+		}
+		if t.kind == "->" {
+			break
+		}
+		if t.kind != "," {
+			return FD{}, fmt.Errorf("cq: %d:%d: got %q, want ',' or '->'", t.line, t.col, t.text)
+		}
+	}
+	rel, pos, err := p.parsePos()
+	if err != nil {
+		return FD{}, err
+	}
+	if rel != fd.Relation {
+		return FD{}, fmt.Errorf("cq: functional dependency mixes relations %s and %s", fd.Relation, rel)
+	}
+	fd.To = pos
+	if _, err := p.expect("."); err != nil {
+		return FD{}, err
+	}
+	return fd, nil
+}

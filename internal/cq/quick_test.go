@@ -1,0 +1,114 @@
+package cq
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randomQuery builds a small random query locally (datagen depends on cq,
+// so this package rolls its own generator to avoid an import cycle).
+func randomQueryLocal(rng *rand.Rand) *Query {
+	vars := []Variable{"A", "B", "C", "D", "E"}
+	nAtoms := 1 + rng.Intn(4)
+	q := &Query{}
+	for i := 0; i < nAtoms; i++ {
+		a := Atom{Relation: string(rune('R' + rng.Intn(3)))}
+		arity := 1 + rng.Intn(3)
+		for j := 0; j < arity; j++ {
+			a.Vars = append(a.Vars, vars[rng.Intn(len(vars))])
+		}
+		q.Body = append(q.Body, a)
+	}
+	// Consistent arities: reuse the first occurrence's arity.
+	arities := map[string]int{}
+	for i := range q.Body {
+		if ar, ok := arities[q.Body[i].Relation]; ok {
+			for len(q.Body[i].Vars) < ar {
+				q.Body[i].Vars = append(q.Body[i].Vars, q.Body[i].Vars[0])
+			}
+			q.Body[i].Vars = q.Body[i].Vars[:ar]
+		} else {
+			arities[q.Body[i].Relation] = q.Body[i].Arity()
+		}
+	}
+	used := q.Variables()
+	q.Head = Atom{Relation: "Q", Vars: []Variable{used[rng.Intn(len(used))]}}
+	for _, v := range used {
+		if rng.Intn(2) == 0 {
+			q.Head.Vars = append(q.Head.Vars, v)
+		}
+	}
+	for rel, ar := range arities {
+		if ar >= 2 && rng.Intn(2) == 0 {
+			q.FDs = append(q.FDs, FD{Relation: rel, From: []int{1}, To: ar})
+		}
+	}
+	return q
+}
+
+// TestQuickStringParseRoundTrip: Parse(q.String()) reproduces q exactly.
+func TestQuickStringParseRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		q := randomQueryLocal(rng)
+		if err := q.Validate(); err != nil {
+			return true // generator made something invalid; skip
+		}
+		back, err := Parse(q.String())
+		if err != nil {
+			t.Logf("reparse failed for %q: %v", q.String(), err)
+			return false
+		}
+		return q.Equal(back)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickVariablesInvariants: Variables() is duplicate-free and covers
+// exactly the variables of head and body.
+func TestQuickVariablesInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		q := randomQueryLocal(rng)
+		vars := q.Variables()
+		seen := map[Variable]bool{}
+		for _, v := range vars {
+			if seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		for _, a := range append([]Atom{q.Head}, q.Body...) {
+			for _, v := range a.Vars {
+				if !seen[v] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickVarFDsNeverTrivial: lifted dependencies never have their target
+// inside the left-hand side.
+func TestQuickVarFDsNeverTrivial(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		q := randomQueryLocal(rng)
+		for _, fd := range q.VarFDs() {
+			if fd.Trivial() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,156 @@
+// Package database groups named relations into a finite structure
+// D = (U_D, R1, ..., Rn) as in Section 2, and extracts the measures the
+// paper studies: rmax(D) (the largest relation a query reads) and the
+// Gaifman graph G(D), whose treewidth defines tw(D).
+package database
+
+import (
+	"fmt"
+	"sort"
+
+	"cqbound/internal/cq"
+	"cqbound/internal/graph"
+	"cqbound/internal/relation"
+)
+
+// Database is a set of uniquely named relations.
+type Database struct {
+	rels  map[string]*relation.Relation
+	order []string
+}
+
+// New returns an empty database.
+func New() *Database {
+	return &Database{rels: make(map[string]*relation.Relation)}
+}
+
+// Add registers a relation; names must be unique.
+func (d *Database) Add(r *relation.Relation) error {
+	if _, ok := d.rels[r.Name]; ok {
+		return fmt.Errorf("database: duplicate relation %s", r.Name)
+	}
+	d.rels[r.Name] = r
+	d.order = append(d.order, r.Name)
+	return nil
+}
+
+// MustAdd is Add but panics on error.
+func (d *Database) MustAdd(r *relation.Relation) {
+	if err := d.Add(r); err != nil {
+		panic(err)
+	}
+}
+
+// Relation returns the named relation, or nil.
+func (d *Database) Relation(name string) *relation.Relation { return d.rels[name] }
+
+// Names returns the relation names in insertion order.
+func (d *Database) Names() []string { return append([]string(nil), d.order...) }
+
+// RMax returns rmax(D) with respect to query q: the number of tuples in the
+// largest relation among those referenced by q's body (Section 2). It
+// returns an error when the body references a missing relation or the arity
+// disagrees.
+func (d *Database) RMax(q *cq.Query) (int, error) {
+	max := 0
+	seen := make(map[string]bool)
+	for _, a := range q.Body {
+		if seen[a.Relation] {
+			continue
+		}
+		seen[a.Relation] = true
+		r := d.rels[a.Relation]
+		if r == nil {
+			return 0, fmt.Errorf("database: query reads missing relation %s", a.Relation)
+		}
+		if r.Arity() != a.Arity() {
+			return 0, fmt.Errorf("database: relation %s has arity %d, query uses %d", a.Relation, r.Arity(), a.Arity())
+		}
+		if r.Size() > max {
+			max = r.Size()
+		}
+	}
+	return max, nil
+}
+
+// RMaxAll returns the size of the largest relation in the database.
+func (d *Database) RMaxAll() int {
+	max := 0
+	for _, name := range d.order {
+		if s := d.rels[name].Size(); s > max {
+			max = s
+		}
+	}
+	return max
+}
+
+// Universe returns the sorted set of values appearing in any relation.
+func (d *Database) Universe() []relation.Value {
+	set := make(map[relation.Value]bool)
+	for _, name := range d.order {
+		for _, t := range d.rels[name].Tuples() {
+			for _, v := range t {
+				set[v] = true
+			}
+		}
+	}
+	out := make([]relation.Value, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// CheckFDs verifies that the instance satisfies every functional dependency
+// declared on q, returning the first violation found.
+func (d *Database) CheckFDs(q *cq.Query) error {
+	for _, fd := range q.FDs {
+		r := d.rels[fd.Relation]
+		if r == nil {
+			return fmt.Errorf("database: FD %s on missing relation", fd)
+		}
+		from := make([]int, len(fd.From))
+		for i, p := range fd.From {
+			from[i] = p - 1
+		}
+		if !r.CheckFD(from, fd.To-1) {
+			return fmt.Errorf("database: instance violates %s", fd)
+		}
+	}
+	return nil
+}
+
+// GaifmanGraph returns G(D): one vertex per universe element, an edge
+// between two distinct elements that occur together in some tuple.
+func (d *Database) GaifmanGraph() *graph.Graph {
+	rels := make([]*relation.Relation, 0, len(d.order))
+	for _, name := range d.order {
+		rels = append(rels, d.rels[name])
+	}
+	return GaifmanOf(rels...)
+}
+
+// GaifmanOf returns the Gaifman graph of the listed relations, written
+// G(⟨R, S⟩) in the paper.
+func GaifmanOf(rels ...*relation.Relation) *graph.Graph {
+	g := graph.New()
+	for _, r := range rels {
+		if r == nil {
+			continue
+		}
+		for _, t := range r.Tuples() {
+			for i := range t {
+				g.EnsureVertex(string(t[i]))
+			}
+			for i := 0; i < len(t); i++ {
+				for j := i + 1; j < len(t); j++ {
+					if t[i] != t[j] {
+						g.AddEdgeLabels(string(t[i]), string(t[j]))
+					}
+				}
+			}
+		}
+	}
+	return g
+}

@@ -1,0 +1,141 @@
+// Package datagen produces seeded random conjunctive queries and database
+// instances for tests and benchmarks. Everything is deterministic given the
+// *rand.Rand passed in, so failures reproduce.
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"cqbound/internal/cq"
+)
+
+// QueryParams controls RandomQuery.
+type QueryParams struct {
+	// MaxVars bounds the variable pool (at least 1 used).
+	MaxVars int
+	// MaxAtoms bounds the number of body atoms (at least 1).
+	MaxAtoms int
+	// MaxArity bounds relation arity (at least 1).
+	MaxArity int
+	// HeadFraction is the probability that each used variable appears in
+	// the head; at least one always does.
+	HeadFraction float64
+	// RepeatRelationProb is the chance an atom reuses an earlier relation
+	// name (with its arity), producing rep(Q) > 1.
+	RepeatRelationProb float64
+	// SimpleFDProb is the per-(relation, ordered position pair) probability
+	// of declaring the simple dependency R[i] -> R[j].
+	SimpleFDProb float64
+	// CompoundFDProb is the per-relation probability of declaring one
+	// compound dependency with a 2-position left-hand side (requires
+	// arity >= 3 to be non-trivial).
+	CompoundFDProb float64
+}
+
+// RandomQuery generates a valid conjunctive query. The result always passes
+// (*cq.Query).Validate.
+func RandomQuery(rng *rand.Rand, p QueryParams) *cq.Query {
+	if p.MaxVars < 1 {
+		p.MaxVars = 1
+	}
+	if p.MaxAtoms < 1 {
+		p.MaxAtoms = 1
+	}
+	if p.MaxArity < 1 {
+		p.MaxArity = 1
+	}
+	nVars := 1 + rng.Intn(p.MaxVars)
+	pool := make([]cq.Variable, nVars)
+	for i := range pool {
+		pool[i] = cq.Variable(fmt.Sprintf("V%d", i+1))
+	}
+	nAtoms := 1 + rng.Intn(p.MaxAtoms)
+
+	q := &cq.Query{}
+	type relInfo struct {
+		name  string
+		arity int
+	}
+	var rels []relInfo
+	for i := 0; i < nAtoms; i++ {
+		var ri relInfo
+		if len(rels) > 0 && rng.Float64() < p.RepeatRelationProb {
+			ri = rels[rng.Intn(len(rels))]
+		} else {
+			ri = relInfo{name: fmt.Sprintf("R%d", len(rels)+1), arity: 1 + rng.Intn(p.MaxArity)}
+			rels = append(rels, ri)
+		}
+		a := cq.Atom{Relation: ri.name}
+		for j := 0; j < ri.arity; j++ {
+			a.Vars = append(a.Vars, pool[rng.Intn(nVars)])
+		}
+		q.Body = append(q.Body, a)
+	}
+
+	used := q.Variables()
+	var headVars []cq.Variable
+	for _, v := range used {
+		if rng.Float64() < p.HeadFraction {
+			headVars = append(headVars, v)
+		}
+	}
+	if len(headVars) == 0 {
+		headVars = append(headVars, used[rng.Intn(len(used))])
+	}
+	q.Head = cq.Atom{Relation: "Q"}
+	q.Head.Vars = headVars
+
+	arities := q.RelationArities()
+	for rel, ar := range arities {
+		if p.SimpleFDProb > 0 && ar >= 2 {
+			for i := 1; i <= ar; i++ {
+				for j := 1; j <= ar; j++ {
+					if i != j && rng.Float64() < p.SimpleFDProb {
+						q.FDs = append(q.FDs, cq.FD{Relation: rel, From: []int{i}, To: j})
+					}
+				}
+			}
+		}
+		if p.CompoundFDProb > 0 && ar >= 3 && rng.Float64() < p.CompoundFDProb {
+			i := 1 + rng.Intn(ar)
+			j := 1 + rng.Intn(ar)
+			for j == i {
+				j = 1 + rng.Intn(ar)
+			}
+			t := 1 + rng.Intn(ar)
+			for t == i || t == j {
+				t = 1 + rng.Intn(ar)
+			}
+			q.FDs = append(q.FDs, cq.FD{Relation: rel, From: []int{min(i, j), max(i, j)}, To: t})
+		}
+	}
+	// Deterministic FD order regardless of map iteration: sort by string.
+	sortFDs(q.FDs)
+	if err := q.Validate(); err != nil {
+		panic(fmt.Sprintf("datagen: generated invalid query %s: %v", q, err))
+	}
+	return q
+}
+
+func sortFDs(fds []cq.FD) {
+	for i := 1; i < len(fds); i++ {
+		for j := i; j > 0 && fds[j].String() < fds[j-1].String(); j-- {
+			fds[j], fds[j-1] = fds[j-1], fds[j]
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

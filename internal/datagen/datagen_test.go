@@ -1,0 +1,59 @@
+package datagen
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestRandomQueryAlwaysValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 300; i++ {
+		q := RandomQuery(rng, QueryParams{
+			MaxVars: 6, MaxAtoms: 5, MaxArity: 4,
+			HeadFraction: 0.5, RepeatRelationProb: 0.4,
+			SimpleFDProb: 0.3, CompoundFDProb: 0.3,
+		})
+		if err := q.Validate(); err != nil {
+			t.Fatalf("iteration %d: invalid query %s: %v", i, q, err)
+		}
+	}
+}
+
+func TestRandomQueryDeterministic(t *testing.T) {
+	p := QueryParams{MaxVars: 5, MaxAtoms: 4, MaxArity: 3, HeadFraction: 0.5, SimpleFDProb: 0.2}
+	a := RandomQuery(rand.New(rand.NewSource(42)), p)
+	b := RandomQuery(rand.New(rand.NewSource(42)), p)
+	if !a.Equal(b) {
+		t.Fatalf("same seed, different queries:\n%s\nvs\n%s", a, b)
+	}
+}
+
+func TestRandomDatabaseSatisfiesFDs(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 100; i++ {
+		q := RandomQuery(rng, QueryParams{
+			MaxVars: 5, MaxAtoms: 4, MaxArity: 4,
+			HeadFraction: 0.5, SimpleFDProb: 0.5, CompoundFDProb: 0.5,
+		})
+		db := RandomDatabase(rng, q, DBParams{Tuples: 20, Universe: 3})
+		if err := db.CheckFDs(q); err != nil {
+			t.Fatalf("iteration %d: %v", i, err)
+		}
+		for _, rel := range q.BodyRelations() {
+			if db.Relation(rel) == nil {
+				t.Fatalf("iteration %d: missing relation %s", i, rel)
+			}
+		}
+	}
+}
+
+func TestRandomDatabaseNonEmpty(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	q := RandomQuery(rng, QueryParams{MaxVars: 3, MaxAtoms: 2, MaxArity: 2, HeadFraction: 1})
+	db := RandomDatabase(rng, q, DBParams{Tuples: 5, Universe: 10})
+	for _, rel := range q.BodyRelations() {
+		if db.Relation(rel).Size() == 0 {
+			t.Fatalf("relation %s empty", rel)
+		}
+	}
+}

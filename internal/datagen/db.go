@@ -1,0 +1,130 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"cqbound/internal/cq"
+	"cqbound/internal/database"
+	"cqbound/internal/relation"
+)
+
+// DBParams controls RandomDatabase.
+type DBParams struct {
+	// Tuples is the number of tuples drawn per relation (before FD repair
+	// and deduplication).
+	Tuples int
+	// Universe is the number of distinct values drawn from.
+	Universe int
+}
+
+// RandomDatabase builds a database for q's body relations whose instance
+// satisfies every functional dependency declared on q. Tuples are drawn
+// uniformly and then repaired: for each dependency, right-hand values are
+// rewritten to the value of the first tuple sharing the left-hand key;
+// repair passes repeat until a fixpoint. The result always passes
+// db.CheckFDs(q).
+func RandomDatabase(rng *rand.Rand, q *cq.Query, p DBParams) *database.Database {
+	if p.Tuples < 1 {
+		p.Tuples = 1
+	}
+	if p.Universe < 1 {
+		p.Universe = 1
+	}
+	val := func(i int) relation.Value {
+		return relation.Value(fmt.Sprintf("u%d", i))
+	}
+	fdsByRel := make(map[string][]cq.FD)
+	for _, f := range q.FDs {
+		fdsByRel[f.Relation] = append(fdsByRel[f.Relation], f)
+	}
+	db := database.New()
+	for rel, arity := range relArities(q) {
+		rows := make([][]relation.Value, p.Tuples)
+		for i := range rows {
+			row := make([]relation.Value, arity)
+			for j := range row {
+				row[j] = val(rng.Intn(p.Universe))
+			}
+			rows[i] = row
+		}
+		// FD repair, phase 1 (rewrite): right-hand values are rewritten to
+		// the value of the first tuple sharing the left-hand key. Rewrites
+		// can interact across dependencies, so the pass count is capped.
+		for pass := 0; pass < 8*(len(fdsByRel[rel])+1); pass++ {
+			changed := false
+			for _, fd := range fdsByRel[rel] {
+				canon := make(map[string]relation.Value)
+				for _, row := range rows {
+					k := fdKey(row, fd.From)
+					if want, ok := canon[k]; ok {
+						if row[fd.To-1] != want {
+							row[fd.To-1] = want
+							changed = true
+						}
+					} else {
+						canon[k] = row[fd.To-1]
+					}
+				}
+			}
+			if !changed {
+				break
+			}
+		}
+		// FD repair, phase 2 (delete): drop any tuple still conflicting with
+		// an earlier one. Deletion is monotone, so this always converges.
+		for {
+			deleted := false
+			for _, fd := range fdsByRel[rel] {
+				canon := make(map[string]relation.Value)
+				kept := rows[:0]
+				for _, row := range rows {
+					k := fdKey(row, fd.From)
+					if want, ok := canon[k]; ok && row[fd.To-1] != want {
+						deleted = true
+						continue
+					} else if !ok {
+						canon[k] = row[fd.To-1]
+					}
+					kept = append(kept, row)
+				}
+				rows = kept
+			}
+			if !deleted {
+				break
+			}
+		}
+		r := relation.New(rel, attrNames(arity)...)
+		for _, row := range rows {
+			r.MustInsert(row...)
+		}
+		db.MustAdd(r)
+	}
+	if err := db.CheckFDs(q); err != nil {
+		// The repair loop above converges because values only move to
+		// first-seen canonical ones; reaching this indicates a bug.
+		panic(fmt.Sprintf("datagen: FD repair failed: %v", err))
+	}
+	return db
+}
+
+func relArities(q *cq.Query) map[string]int {
+	return q.RelationArities()
+}
+
+func attrNames(arity int) []string {
+	out := make([]string, arity)
+	for i := range out {
+		out[i] = fmt.Sprintf("a%d", i+1)
+	}
+	return out
+}
+
+func fdKey(row []relation.Value, from []int) string {
+	k := ""
+	for _, p := range from {
+		v := row[p-1]
+		k += fmt.Sprintf("%d:%s", len(v), v)
+	}
+	return k
+}

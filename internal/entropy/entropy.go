@@ -1,0 +1,192 @@
+// Package entropy provides the information-theoretic machinery of Section 6:
+// entropy vectors over small variable sets, the I-measure (atoms of the
+// information diagram, Figures 2 and 3), empirical entropies of database
+// relations under the uniform tuple distribution, the Shannon-inequality
+// linear program bounding the worst-case size increase (Proposition 6.9),
+// the entropy-LP characterization of the color number (Proposition 6.10),
+// the left-hand-side reduction of Fact 6.12, and the knitted complexity of
+// Definition 8.1.
+package entropy
+
+import (
+	"fmt"
+	"math"
+
+	"cqbound/internal/relation"
+)
+
+// MaxVars bounds the number of jointly analyzed variables (vectors store
+// 2^k entries).
+const MaxVars = 20
+
+// Set is a subset of up to MaxVars variables, as a bitmask.
+type Set uint32
+
+// Has reports whether variable i (0-based) is in the set.
+func (s Set) Has(i int) bool { return s&(1<<uint(i)) != 0 }
+
+// With returns s ∪ {i}.
+func (s Set) With(i int) Set { return s | (1 << uint(i)) }
+
+// Size returns |s|.
+func (s Set) Size() int {
+	n := 0
+	for x := s; x != 0; x &= x - 1 {
+		n++
+	}
+	return n
+}
+
+// Members lists the elements of s in increasing order.
+func (s Set) Members() []int {
+	var out []int
+	for i := 0; i < MaxVars; i++ {
+		if s.Has(i) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Vector is an entropy vector over k variables: H(S) for every S ⊆ [k], in
+// bits. H(∅) = 0 always.
+type Vector struct {
+	K int
+	H []float64 // indexed by Set, length 2^K
+}
+
+// NewVector returns a zero entropy vector over k variables.
+func NewVector(k int) (*Vector, error) {
+	if k < 1 || k > MaxVars {
+		return nil, fmt.Errorf("entropy: k = %d out of range [1, %d]", k, MaxVars)
+	}
+	return &Vector{K: k, H: make([]float64, 1<<uint(k))}, nil
+}
+
+// Full returns the set of all K variables.
+func (v *Vector) Full() Set { return Set(1<<uint(v.K)) - 1 }
+
+// Empirical computes the entropy vector of the uniform distribution over the
+// tuples of r, one random variable per column.
+func Empirical(r *relation.Relation) (*Vector, error) {
+	k := r.Arity()
+	v, err := NewVector(k)
+	if err != nil {
+		return nil, err
+	}
+	n := r.Size()
+	if n == 0 {
+		return nil, fmt.Errorf("entropy: empty relation %s", r.Name)
+	}
+	tuples := r.Tuples()
+	for s := Set(1); s <= v.Full(); s++ {
+		counts := make(map[string]int)
+		cols := s.Members()
+		for _, t := range tuples {
+			key := ""
+			for _, c := range cols {
+				key += fmt.Sprintf("%d:%s", len(t[c]), t[c])
+			}
+			counts[key]++
+		}
+		h := 0.0
+		for _, c := range counts {
+			p := float64(c) / float64(n)
+			h -= p * math.Log2(p)
+		}
+		v.H[s] = h
+	}
+	return v, nil
+}
+
+// Atoms returns the I-measure of the vector: for every non-empty S,
+// a_S = I(S | [k]∖S), the signed measure of the information-diagram region
+// belonging to exactly the variables of S. They satisfy
+// H(T) = Σ_{S∩T≠∅} a_S (Fact 6.7) and are computed by Möbius inversion:
+//
+//	a_S = −Σ_{T ⊆ S} (−1)^{|T|} · H(T ∪ ([k]∖S)).
+//
+// The returned slice is indexed by Set; entry 0 is unused (zero).
+func (v *Vector) Atoms() []float64 {
+	full := v.Full()
+	atoms := make([]float64, len(v.H))
+	for s := Set(1); s <= full; s++ {
+		comp := full &^ s
+		a := 0.0
+		// Enumerate T ⊆ S.
+		t := s
+		for {
+			sign := 1.0
+			if t.Size()%2 == 1 {
+				sign = -1.0
+			}
+			a -= sign * v.H[t|comp]
+			if t == 0 {
+				break
+			}
+			t = (t - 1) & s
+		}
+		atoms[s] = a
+	}
+	return atoms
+}
+
+// FromAtoms reconstructs an entropy vector from I-measure atoms (the inverse
+// of Atoms): H(T) = Σ_{S∩T≠∅} a_S.
+func FromAtoms(k int, atoms []float64) (*Vector, error) {
+	v, err := NewVector(k)
+	if err != nil {
+		return nil, err
+	}
+	if len(atoms) != len(v.H) {
+		return nil, fmt.Errorf("entropy: %d atoms for k=%d", len(atoms), k)
+	}
+	for t := Set(1); t <= v.Full(); t++ {
+		h := 0.0
+		for s := Set(1); s <= v.Full(); s++ {
+			if s&t != 0 {
+				h += atoms[s]
+			}
+		}
+		v.H[t] = h
+	}
+	return v, nil
+}
+
+// Cond returns H(A | B) = H(A∪B) − H(B).
+func (v *Vector) Cond(a, b Set) float64 { return v.H[a|b] - v.H[b] }
+
+// MutualPair returns I(A;B) = H(A) + H(B) − H(A∪B) for disjoint A, B
+// treated as grouped variables.
+func (v *Vector) MutualPair(a, b Set) float64 { return v.H[a] + v.H[b] - v.H[a|b] }
+
+// Mutual returns the multi-way conditional mutual information
+// I(S | given) = Σ_{T: T⊇S, T∩given=∅} a_T restricted to the information
+// diagram; for given = [k]∖S this is exactly the atom a_S.
+func (v *Vector) Mutual(s, given Set) float64 {
+	atoms := v.Atoms()
+	total := 0.0
+	for t := Set(1); t <= v.Full(); t++ {
+		if t&s == s && t&given == 0 {
+			total += atoms[t]
+		}
+	}
+	return total
+}
+
+// KnittedComplexity computes Definition 8.1: the ratio of the sum of
+// absolute values of all mutual informations (atoms) to their signed sum
+// (which equals H of all variables). An error is returned when the signed
+// sum is (numerically) zero.
+func (v *Vector) KnittedComplexity() (float64, error) {
+	atoms := v.Atoms()
+	num, den := 0.0, 0.0
+	for s := Set(1); s <= v.Full(); s++ {
+		num += math.Abs(atoms[s])
+		den += atoms[s]
+	}
+	if math.Abs(den) < 1e-12 {
+		return 0, fmt.Errorf("entropy: zero total entropy")
+	}
+	return num / den, nil
+}

@@ -1,0 +1,189 @@
+package entropy
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"cqbound/internal/relation"
+)
+
+const eps = 1e-9
+
+func almostEq(a, b float64) bool { return math.Abs(a-b) < 1e-6 }
+
+func TestSetOps(t *testing.T) {
+	s := Set(0).With(0).With(3)
+	if !s.Has(0) || s.Has(1) || !s.Has(3) {
+		t.Fatal("Has wrong")
+	}
+	if s.Size() != 2 {
+		t.Fatalf("Size = %d", s.Size())
+	}
+	m := s.Members()
+	if len(m) != 2 || m[0] != 0 || m[1] != 3 {
+		t.Fatalf("Members = %v", m)
+	}
+}
+
+func TestEmpiricalIndependent(t *testing.T) {
+	// All 16 pairs over a 4-value domain: independent uniform variables.
+	r := relation.New("R", "x", "y")
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			r.MustInsert(relation.Value(fmt.Sprint(i)), relation.Value(fmt.Sprint(j)))
+		}
+	}
+	v, err := Empirical(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(v.H[1], 2) || !almostEq(v.H[2], 2) || !almostEq(v.H[3], 4) {
+		t.Fatalf("H = %v", v.H)
+	}
+	atoms := v.Atoms()
+	if !almostEq(atoms[3], 0) { // I(X;Y) = 0
+		t.Fatalf("I(X;Y) = %v, want 0", atoms[3])
+	}
+}
+
+func TestEmpiricalCorrelated(t *testing.T) {
+	// Diagonal pairs: X determines Y and vice versa.
+	r := relation.New("R", "x", "y")
+	for i := 0; i < 8; i++ {
+		r.MustInsert(relation.Value(fmt.Sprint(i)), relation.Value(fmt.Sprint(i)))
+	}
+	v, err := Empirical(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(v.H[1], 3) || !almostEq(v.H[3], 3) {
+		t.Fatalf("H = %v", v.H)
+	}
+	atoms := v.Atoms()
+	if !almostEq(atoms[3], 3) || !almostEq(atoms[1], 0) || !almostEq(atoms[2], 0) {
+		t.Fatalf("atoms = %v", atoms)
+	}
+}
+
+func TestEmpiricalErrors(t *testing.T) {
+	if _, err := Empirical(relation.New("E", "a")); err == nil {
+		t.Fatal("accepted empty relation")
+	}
+}
+
+func TestMoebiusRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 30; trial++ {
+		k := 1 + rng.Intn(5)
+		v, err := NewVector(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for s := Set(1); s <= v.Full(); s++ {
+			v.H[s] = rng.Float64() * 10
+		}
+		atoms := v.Atoms()
+		back, err := FromAtoms(k, atoms)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for s := Set(0); s <= v.Full(); s++ {
+			if !almostEq(v.H[s], back.H[s]) {
+				t.Fatalf("trial %d: H[%d] = %v, reconstructed %v", trial, s, v.H[s], back.H[s])
+			}
+		}
+	}
+}
+
+// TestFigure2Identities checks the information-diagram identities the paper
+// reads off Figure 2: I(X;Y) = I(X;Y;Z) + I(X;Y|Z) and
+// H(Z) = I(X;Y;Z) + I(X;Z|Y) + I(Y;Z|X) + H(Z|X,Y), on random empirical
+// distributions.
+func TestFigure2Identities(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		r := relation.New("R", "x", "y", "z")
+		for i := 0; i < 30; i++ {
+			r.MustInsert(
+				relation.Value(fmt.Sprint(rng.Intn(3))),
+				relation.Value(fmt.Sprint(rng.Intn(3))),
+				relation.Value(fmt.Sprint(rng.Intn(3))),
+			)
+		}
+		v, err := Empirical(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x, y, z := Set(1), Set(2), Set(4)
+		ixy := v.MutualPair(x, y)
+		if !almostEq(ixy, v.Mutual(x|y, 0)) {
+			t.Fatalf("trial %d: I(X;Y) mismatch: %v vs %v", trial, ixy, v.Mutual(x|y, 0))
+		}
+		if !almostEq(ixy, v.Mutual(x|y|z, 0)+v.Mutual(x|y, z)) {
+			t.Fatalf("trial %d: I(X;Y) != I(X;Y;Z) + I(X;Y|Z)", trial)
+		}
+		hz := v.H[z]
+		sum := v.Mutual(x|y|z, 0) + v.Mutual(x|z, y) + v.Mutual(y|z, x) + v.Cond(z, x|y)
+		if !almostEq(hz, sum) {
+			t.Fatalf("trial %d: H(Z) = %v but diagram sum = %v", trial, hz, sum)
+		}
+	}
+}
+
+func TestKnittedComplexity(t *testing.T) {
+	// Independent variables: all atoms non-negative, ratio 1.
+	r := relation.New("R", "x", "y")
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			r.MustInsert(relation.Value(fmt.Sprint(i)), relation.Value(fmt.Sprint(j)))
+		}
+	}
+	v, err := Empirical(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kc, err := v.KnittedComplexity()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(kc, 1) {
+		t.Fatalf("knitted complexity = %v, want 1", kc)
+	}
+}
+
+func TestKnittedComplexityZeroEntropy(t *testing.T) {
+	r := relation.New("R", "x")
+	r.MustInsert("only")
+	v, err := Empirical(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v.KnittedComplexity(); err == nil {
+		t.Fatal("accepted zero-entropy vector")
+	}
+}
+
+func TestCondAndMutualPair(t *testing.T) {
+	r := relation.New("R", "x", "y")
+	for i := 0; i < 4; i++ {
+		r.MustInsert(relation.Value(fmt.Sprint(i)), relation.Value(fmt.Sprint(i%2)))
+	}
+	v, err := Empirical(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// H(Y|X) = 0 (X determines Y), H(X|Y) = 1.
+	if !almostEq(v.Cond(2, 1), 0) {
+		t.Fatalf("H(Y|X) = %v", v.Cond(2, 1))
+	}
+	if !almostEq(v.Cond(1, 2), 1) {
+		t.Fatalf("H(X|Y) = %v", v.Cond(1, 2))
+	}
+	if !almostEq(v.MutualPair(1, 2), 1) {
+		t.Fatalf("I(X;Y) = %v", v.MutualPair(1, 2))
+	}
+}
+
+var _ = eps

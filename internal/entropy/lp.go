@@ -1,0 +1,252 @@
+package entropy
+
+import (
+	"fmt"
+	"math/big"
+
+	"cqbound/internal/chase"
+	"cqbound/internal/coloring"
+	"cqbound/internal/cq"
+	"cqbound/internal/lp"
+)
+
+// MaxExactLPVars caps the variable count of the exact Proposition 6.10
+// program (2^k − 1 atom variables, but only ~m + |FDs| rows).
+const MaxExactLPVars = 9
+
+// MaxFloatLPVars caps the float backend of the Proposition 6.10 program.
+const MaxFloatLPVars = 13
+
+// MaxExactShannonVars caps the exact Proposition 6.9 program, whose
+// elemental-inequality row count k + C(k,2)·2^(k−2) grows much faster than
+// the variable count (k = 7 already needs 679 rows of exact arithmetic).
+const MaxExactShannonVars = 6
+
+// MaxFloatShannonVars caps the float backend of the Proposition 6.9
+// program.
+const MaxFloatShannonVars = 8
+
+// lpSpec assembles the common part of the Section 6 programs in I-measure
+// (atom) coordinates: one LP variable a_S per non-empty S ⊆ [k]. In these
+// coordinates H(T) = Σ_{S∩T≠∅} a_S, so
+//
+//	h(u_i) ≤ 1        becomes  Σ_{S ∩ vars(u_i) ≠ ∅} a_S ≤ 1,
+//	h(Y|X₁..Xₗ) = 0   becomes  Σ_{S ∋ Y, S∩{X₁..Xₗ}=∅} a_S = 0,
+//	maximize h(u_0)   becomes  Σ_{S ∩ u0 ≠ ∅} a_S.
+//
+// Proposition 6.10 additionally demands every atom non-negative (a_S ≥ 0,
+// handled as variable bounds); Proposition 6.9 instead imposes only the
+// Shannon elemental inequalities.
+type lpSpec struct {
+	q      *cq.Query // chased
+	vars   []cq.Variable
+	index  map[cq.Variable]int
+	prob   *lp.Problem
+	atomID []int // LP variable per Set (index 0 unused)
+}
+
+func buildSpec(q *cq.Query, kind lp.VarKind, maxVars int) (*lpSpec, error) {
+	ch := chase.Chase(q).Query
+	vars := ch.Variables()
+	k := len(vars)
+	if k > maxVars {
+		return nil, fmt.Errorf("entropy: %d variables exceeds LP cap %d", k, maxVars)
+	}
+	s := &lpSpec{q: ch, vars: vars, index: make(map[cq.Variable]int, k)}
+	for i, v := range vars {
+		s.index[v] = i
+	}
+	s.prob = lp.NewProblem(lp.Maximize)
+	s.atomID = make([]int, 1<<uint(k))
+	for set := Set(1); set < Set(1<<uint(k)); set++ {
+		s.atomID[set] = s.prob.AddVariable(fmt.Sprintf("a%d", set), kind)
+	}
+
+	varSet := func(vs []cq.Variable) Set {
+		var out Set
+		for _, v := range vs {
+			out = out.With(s.index[v])
+		}
+		return out
+	}
+	full := Set(1<<uint(k)) - 1
+
+	// Objective: h(u0).
+	head := varSet(ch.Head.Vars)
+	for set := Set(1); set <= full; set++ {
+		if set&head != 0 {
+			s.prob.SetObjective(s.atomID[set], lp.RI(1))
+		}
+	}
+	// h(u_i) ≤ 1 per body atom.
+	for _, a := range ch.Body {
+		av := varSet(a.Vars)
+		coeffs := make(map[int]*big.Rat)
+		for set := Set(1); set <= full; set++ {
+			if set&av != 0 {
+				coeffs[s.atomID[set]] = lp.RI(1)
+			}
+		}
+		s.prob.AddConstraint(coeffs, lp.LE, lp.RI(1))
+	}
+	// Functional dependencies (lifted to variables): h(To | From) = 0.
+	for _, fd := range ch.VarFDs() {
+		from := varSet(fd.From)
+		to := s.index[fd.To]
+		coeffs := make(map[int]*big.Rat)
+		for set := Set(1); set <= full; set++ {
+			if set.Has(to) && set&from == 0 {
+				coeffs[s.atomID[set]] = lp.RI(1)
+			}
+		}
+		if len(coeffs) > 0 {
+			s.prob.AddConstraint(coeffs, lp.EQ, lp.RI(0))
+		}
+	}
+	return s, nil
+}
+
+// addShannonRows imposes the elemental Shannon inequalities of
+// Definition 6.8 in atom coordinates: H(x_i | rest) = a_{{i}} ≥ 0 and, for
+// every pair i < j and every K ⊆ [k]∖{i,j},
+// I(x_i; x_j | K) = Σ_{S ⊇ {i,j}, S∩K=∅} a_S ≥ 0.
+func (s *lpSpec) addShannonRows() {
+	k := len(s.vars)
+	full := Set(1<<uint(k)) - 1
+	for i := 0; i < k; i++ {
+		coeffs := map[int]*big.Rat{s.atomID[Set(0).With(i)]: lp.RI(1)}
+		s.prob.AddConstraint(coeffs, lp.GE, lp.RI(0))
+	}
+	for i := 0; i < k; i++ {
+		for j := i + 1; j < k; j++ {
+			pair := Set(0).With(i).With(j)
+			rest := full &^ pair
+			// Enumerate K ⊆ rest.
+			kset := rest
+			for {
+				coeffs := make(map[int]*big.Rat)
+				for set := pair; set <= full; set++ {
+					if set&pair == pair && set&kset == 0 {
+						coeffs[s.atomID[set]] = lp.RI(1)
+					}
+				}
+				s.prob.AddConstraint(coeffs, lp.GE, lp.RI(0))
+				if kset == 0 {
+					break
+				}
+				kset = (kset - 1) & rest
+			}
+		}
+	}
+}
+
+// SizeBoundExponent solves the Proposition 6.9 linear program exactly: the
+// maximum of h(u0) over entropy-like vectors satisfying the Shannon
+// inequalities, the functional dependencies, and h(u_i) ≤ 1 per body atom.
+// The value s(Q) upper-bounds the exponent of the worst-case size increase:
+// |Q(D)| ≤ rmax(D)^s(Q). The query is chased internally.
+func SizeBoundExponent(q *cq.Query) (*big.Rat, error) {
+	spec, err := buildSpec(q, lp.Free, MaxExactShannonVars)
+	if err != nil {
+		return nil, err
+	}
+	spec.addShannonRows()
+	sol := spec.prob.SolveExact()
+	if sol.Status != lp.Optimal {
+		return nil, fmt.Errorf("entropy: size-bound LP is %v", sol.Status)
+	}
+	return sol.Value, nil
+}
+
+// SizeBoundExponentFloat is SizeBoundExponent with the float64 backend,
+// usable for somewhat larger variable counts.
+func SizeBoundExponentFloat(q *cq.Query) (float64, error) {
+	spec, err := buildSpec(q, lp.Free, MaxFloatShannonVars)
+	if err != nil {
+		return 0, err
+	}
+	spec.addShannonRows()
+	sol := spec.prob.SolveFloat()
+	if sol.Status != lp.Optimal {
+		return 0, fmt.Errorf("entropy: size-bound LP is %v", sol.Status)
+	}
+	return sol.Value, nil
+}
+
+// ColorNumber solves the Proposition 6.10 program exactly: the same LP but
+// with every I-measure atom forced non-negative. Its value is exactly
+// C(chase(Q)) for arbitrary functional dependencies, and the rational
+// optimum converts to an explicit valid coloring of chase(Q), which is
+// returned alongside the chased query.
+func ColorNumber(q *cq.Query) (*big.Rat, coloring.Coloring, *cq.Query, error) {
+	spec, err := buildSpec(q, lp.NonNegative, MaxExactLPVars)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	sol := spec.prob.SolveExact()
+	if sol.Status != lp.Optimal {
+		return nil, nil, nil, fmt.Errorf("entropy: color-number LP is %v", sol.Status)
+	}
+	col := spec.extractColoring(sol.X)
+	if err := coloring.Validate(spec.q, col); err != nil {
+		return nil, nil, nil, fmt.Errorf("entropy: internal: extracted coloring invalid: %v", err)
+	}
+	n, err := coloring.Number(spec.q, col)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	if n.Cmp(sol.Value) != 0 {
+		return nil, nil, nil, fmt.Errorf("entropy: internal: coloring number %v != LP value %v", n, sol.Value)
+	}
+	return sol.Value, col, spec.q, nil
+}
+
+// ColorNumberFloat solves the Proposition 6.10 program with the float
+// backend (no coloring extraction).
+func ColorNumberFloat(q *cq.Query) (float64, error) {
+	spec, err := buildSpec(q, lp.NonNegative, MaxFloatLPVars)
+	if err != nil {
+		return 0, err
+	}
+	sol := spec.prob.SolveFloat()
+	if sol.Status != lp.Optimal {
+		return 0, fmt.Errorf("entropy: color-number LP is %v", sol.Status)
+	}
+	return sol.Value, nil
+}
+
+// extractColoring converts a rational feasible point of the Proposition 6.10
+// program into a coloring: with q the common denominator, q·a_S fresh colors
+// are added to the labels of every variable in S.
+func (s *lpSpec) extractColoring(x []*big.Rat) coloring.Coloring {
+	lcd := big.NewInt(1)
+	for set := Set(1); set < Set(len(s.atomID)); set++ {
+		d := x[s.atomID[set]].Denom()
+		g := new(big.Int).GCD(nil, nil, lcd, d)
+		lcd.Div(new(big.Int).Mul(lcd, d), g)
+	}
+	col := make(coloring.Coloring)
+	next := 1
+	for set := Set(1); set < Set(len(s.atomID)); set++ {
+		val := x[s.atomID[set]]
+		if val.Sign() <= 0 {
+			continue
+		}
+		count := new(big.Int).Mul(val.Num(), new(big.Int).Div(lcd, val.Denom()))
+		n := int(count.Int64())
+		colors := make([]int, n)
+		for i := range colors {
+			colors[i] = next
+			next++
+		}
+		for _, vi := range set.Members() {
+			v := s.vars[vi]
+			label := col.Label(v)
+			for _, c := range colors {
+				label[c] = true
+			}
+			col[v] = label
+		}
+	}
+	return col
+}

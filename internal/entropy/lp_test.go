@@ -1,0 +1,211 @@
+package entropy
+
+import (
+	"math"
+	"math/big"
+	"math/rand"
+	"testing"
+
+	"cqbound/internal/coloring"
+	"cqbound/internal/construct"
+	"cqbound/internal/cq"
+	"cqbound/internal/datagen"
+)
+
+func TestSizeBoundTriangle(t *testing.T) {
+	// FD-free triangle: s(Q) = ρ* = C = 3/2 (Shearer is exactly the AGM
+	// bound here).
+	q := cq.MustParse("S(X,Y,Z) <- R(X,Y), R(X,Z), R(Y,Z).")
+	s, err := SizeBoundExponent(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Cmp(big.NewRat(3, 2)) != 0 {
+		t.Fatalf("s(Q) = %v, want 3/2", s)
+	}
+}
+
+func TestSizeBoundChainProjection(t *testing.T) {
+	q := cq.MustParse("Q(X,Z) <- R(X,Y), S(Y,Z).")
+	s, err := SizeBoundExponent(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Cmp(big.NewRat(2, 1)) != 0 {
+		t.Fatalf("s(Q) = %v, want 2", s)
+	}
+}
+
+func TestSizeBoundWithKeyDropsToOne(t *testing.T) {
+	// Y -> Z key: the chain's output collapses: s = 1? The chase leaves the
+	// query intact but the FD h(Z|Y) = 0 forces h(XZ) ≤ h(XY) ≤ 1.
+	q := cq.MustParse("Q(X,Z) <- R(X,Y), S(Y,Z).\nkey S[1].")
+	s, err := SizeBoundExponent(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Cmp(big.NewRat(1, 1)) != 0 {
+		t.Fatalf("s(Q) = %v, want 1", s)
+	}
+}
+
+func TestEntropyColorNumberMatchesNoFDsLP(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 40; trial++ {
+		q := datagen.RandomQuery(rng, datagen.QueryParams{
+			MaxVars: 5, MaxAtoms: 4, MaxArity: 3, HeadFraction: 0.6,
+		})
+		want, _, err := coloring.NumberNoFDs(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, col, ch, err := ColorNumber(q)
+		if err != nil {
+			t.Fatalf("trial %d (%s): %v", trial, q, err)
+		}
+		if got.Cmp(want) != 0 {
+			t.Fatalf("trial %d: entropy LP C = %v, Prop 3.6 LP C = %v for %s", trial, got, want, q)
+		}
+		if err := coloring.Validate(ch, col); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+func TestEntropyColorNumberMatchesSimpleFDPipeline(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	trials := 0
+	for trials < 30 {
+		q := datagen.RandomQuery(rng, datagen.QueryParams{
+			MaxVars: 5, MaxAtoms: 3, MaxArity: 3, HeadFraction: 0.6,
+			SimpleFDProb: 0.3, RepeatRelationProb: 0.3,
+		})
+		want, _, _, err := coloring.NumberWithSimpleFDs(q)
+		if err != nil {
+			continue // compound lifted FDs: Theorem 4.4 pipeline not applicable
+		}
+		trials++
+		got, _, _, err := ColorNumber(q)
+		if err != nil {
+			t.Fatalf("trial %d (%s): %v", trials, q, err)
+		}
+		if got.Cmp(want) != 0 {
+			t.Fatalf("trial %d: entropy LP C = %v, Theorem 4.4 pipeline C = %v for %s",
+				trials, got, want, q)
+		}
+	}
+}
+
+func TestColorNumberAtMostSizeBound(t *testing.T) {
+	// Proposition 6.9 vs 6.10: the 6.10 feasible region is contained in
+	// 6.9's, so C(chase(Q)) ≤ s(Q).
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 20; trial++ {
+		q := datagen.RandomQuery(rng, datagen.QueryParams{
+			MaxVars: 4, MaxAtoms: 3, MaxArity: 3, HeadFraction: 0.6,
+			SimpleFDProb: 0.25, CompoundFDProb: 0.3,
+		})
+		c, _, _, err := ColorNumber(q)
+		if err != nil {
+			t.Fatalf("trial %d (%s): %v", trial, q, err)
+		}
+		s, err := SizeBoundExponent(q)
+		if err != nil {
+			t.Fatalf("trial %d (%s): %v", trial, q, err)
+		}
+		if c.Cmp(s) > 0 {
+			t.Fatalf("trial %d: C = %v > s = %v for %s", trial, c, s, q)
+		}
+	}
+}
+
+func TestShamirColorNumberBounded(t *testing.T) {
+	// Proposition 6.11's proof shows C(chase(Q)) ≤ 2 for the Shamir query
+	// (the paper states "= 2") while the true size-increase exponent is
+	// k/2. The exact value is even smaller: every color must occur in at
+	// least k/2 + 1 variables of its group (the variable itself plus the
+	// k/2 others the proof counts), which tightens the argument to
+	// C ≤ 2k/(k+2) — 4/3 for k = 4 — and the LP optimum attains it.
+	q, _, err := construct.Shamir(4, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, col, ch, err := ColorNumber(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Cmp(big.NewRat(2, 1)) > 0 {
+		t.Fatalf("C(chase(Q)) = %v, violates the paper's bound of 2", c)
+	}
+	if c.Cmp(big.NewRat(4, 3)) != 0 {
+		t.Fatalf("C(chase(Q)) = %v, want the tightened value 4/3", c)
+	}
+	if err := coloring.Validate(ch, col); err != nil {
+		t.Fatal(err)
+	}
+	// The gap to the true exponent k/2 = 2 is therefore already visible at
+	// k = 4 and grows without bound in k.
+}
+
+func TestFloatBackendsAgree(t *testing.T) {
+	q := cq.MustParse("S(X,Y,Z) <- R(X,Y), R(X,Z), R(Y,Z).")
+	s, err := SizeBoundExponentFloat(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s-1.5) > 1e-6 {
+		t.Fatalf("float s(Q) = %v, want 1.5", s)
+	}
+	c, err := ColorNumberFloat(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(c-1.5) > 1e-6 {
+		t.Fatalf("float C = %v, want 1.5", c)
+	}
+}
+
+func TestLPVarCapEnforced(t *testing.T) {
+	// Build a query with more variables than the exact cap.
+	src := "Q(A,B,C,D,E,F,G,H,I,J) <- R1(A,B), R2(B,C), R3(C,D), R4(D,E), R5(E,F), R6(F,G), R7(G,H), R8(H,I), R9(I,J)."
+	q := cq.MustParse(src)
+	if _, err := SizeBoundExponent(q); err == nil {
+		t.Fatal("exact LP accepted 10 variables above cap")
+	}
+}
+
+func TestRewriteLHS2(t *testing.T) {
+	q := cq.MustParse("Q(A,B,C,D) <- R(A,B,C,D).\nfd R[1],R[2],R[3] -> R[4].")
+	rw, err := RewriteLHS2(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range rw.FDs {
+		if len(f.From) > 2 {
+			t.Fatalf("rewrite left wide dependency %s", f)
+		}
+	}
+	// Fact 6.12: the color number is preserved.
+	before, _, _, err := ColorNumber(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, _, _, err := ColorNumber(rw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before.Cmp(after) != 0 {
+		t.Fatalf("C changed: %v -> %v", before, after)
+	}
+}
+
+func TestRewriteLHS2NoWideFDsIsStable(t *testing.T) {
+	q := cq.MustParse("Q(X,Y) <- R(X,Y).\nfd R[1] -> R[2].")
+	rw, err := RewriteLHS2(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rw.Body) != 1 || len(rw.FDs) != 1 {
+		t.Fatalf("rewrite changed narrow query: %s", rw)
+	}
+}

@@ -1,0 +1,120 @@
+package entropy
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"cqbound/internal/relation"
+)
+
+func randomEmpirical(rng *rand.Rand, k int) (*Vector, error) {
+	attrs := make([]string, k)
+	for i := range attrs {
+		attrs[i] = fmt.Sprintf("c%d", i)
+	}
+	r := relation.New("R", attrs...)
+	for i := 0; i < 5+rng.Intn(25); i++ {
+		row := make(relation.Tuple, k)
+		for j := range row {
+			row[j] = relation.Value(fmt.Sprint(rng.Intn(3)))
+		}
+		r.MustInsert(row...)
+	}
+	return Empirical(r)
+}
+
+// TestQuickEmpiricalShannon: empirical entropy vectors satisfy the
+// elemental Shannon inequalities — singleton conditional entropies and all
+// conditional pairwise mutual informations are non-negative.
+func TestQuickEmpiricalShannon(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := 2 + rng.Intn(3)
+		v, err := randomEmpirical(rng, k)
+		if err != nil {
+			return false
+		}
+		full := v.Full()
+		for i := 0; i < k; i++ {
+			if v.Cond(Set(0).With(i), full&^Set(0).With(i)) < -1e-9 {
+				return false
+			}
+		}
+		for i := 0; i < k; i++ {
+			for j := i + 1; j < k; j++ {
+				pair := Set(0).With(i).With(j)
+				rest := full &^ pair
+				kset := rest
+				for {
+					// I(x_i; x_j | K) in entropies.
+					a := Set(0).With(i) | kset
+					b := Set(0).With(j) | kset
+					val := v.H[a] + v.H[b] - v.H[kset] - v.H[a|b]
+					if val < -1e-9 {
+						return false
+					}
+					if kset == 0 {
+						break
+					}
+					kset = (kset - 1) & rest
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickEmpiricalMonotoneSubmodular: H is monotone and submodular on
+// empirical vectors.
+func TestQuickEmpiricalMonotoneSubmodular(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := 2 + rng.Intn(3)
+		v, err := randomEmpirical(rng, k)
+		if err != nil {
+			return false
+		}
+		full := v.Full()
+		for a := Set(0); a <= full; a++ {
+			for b := Set(0); b <= full; b++ {
+				if a&b == a && v.H[a] > v.H[b]+1e-9 { // a ⊆ b ⇒ H(a) ≤ H(b)
+					return false
+				}
+				if v.H[a]+v.H[b] < v.H[a|b]+v.H[a&b]-1e-9 {
+					return false // submodularity
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickAtomsSumToTotalEntropy: Σ_S a_S = H(all variables).
+func TestQuickAtomsSumToTotalEntropy(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := 1 + rng.Intn(4)
+		v, err := randomEmpirical(rng, k)
+		if err != nil {
+			return false
+		}
+		atoms := v.Atoms()
+		sum := 0.0
+		for s := Set(1); s <= v.Full(); s++ {
+			sum += atoms[s]
+		}
+		diff := sum - v.H[v.Full()]
+		return diff < 1e-6 && diff > -1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,103 @@
+package entropy
+
+import (
+	"fmt"
+
+	"cqbound/internal/cq"
+)
+
+// RewriteLHS2 applies the Fact 6.12 reduction: every functional dependency
+// with three or more positions on its left-hand side is replaced, using
+// fresh pairing relations and variables, by dependencies with at most two
+// left-hand-side positions. For a dependency X1...Xk -> Y on an atom, a
+// fresh atom G(X1, X2, Z) with dependencies X1X2 -> Z, Z -> X1, Z -> X2 and
+// a fresh atom G'(Z, X3, ..., Xk, Y) with dependency ZX3...Xk -> Y are
+// added; the step repeats until every left-hand side has at most two
+// positions. The transformation preserves the color number and the
+// worst-case size increase.
+//
+// The rewrite operates per atom occurrence, so it first gives every body
+// atom its own relation name (which leaves all lifted variable dependencies
+// and the color number unchanged).
+func RewriteLHS2(q *cq.Query) (*cq.Query, error) {
+	work := q.Clone()
+	// Distinct relation names per atom so positional dependencies map 1:1
+	// to variable dependencies.
+	type occ struct{ rel string }
+	renames := make(map[string][]string)
+	for i := range work.Body {
+		old := work.Body[i].Relation
+		name := fmt.Sprintf("%s__%d", old, i+1)
+		renames[old] = append(renames[old], name)
+		work.Body[i].Relation = name
+	}
+	var fds []cq.FD
+	for _, f := range work.FDs {
+		for _, name := range renames[f.Relation] {
+			nf := f.Clone()
+			nf.Relation = name
+			fds = append(fds, nf)
+		}
+	}
+	work.FDs = fds
+
+	fresh := 0
+	freshVar := func() cq.Variable {
+		fresh++
+		return cq.Variable(fmt.Sprintf("Zpair%d", fresh))
+	}
+	for {
+		// Find a dependency with LHS of size >= 3.
+		idx := -1
+		for i, f := range work.FDs {
+			if len(f.From) >= 3 {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			break
+		}
+		f := work.FDs[idx]
+		// The atom carrying this dependency (relations are unique now).
+		var atom *cq.Atom
+		for i := range work.Body {
+			if work.Body[i].Relation == f.Relation {
+				atom = &work.Body[i]
+				break
+			}
+		}
+		if atom == nil {
+			return nil, fmt.Errorf("entropy: dependency %s on relation not in body", f)
+		}
+		x1 := atom.Vars[f.From[0]-1]
+		x2 := atom.Vars[f.From[1]-1]
+		z := freshVar()
+		// G(X1, X2, Z) with X1X2 -> Z, Z -> X1, Z -> X2.
+		g := cq.Atom{Relation: fmt.Sprintf("Gpair%d", fresh), Vars: []cq.Variable{x1, x2, z}}
+		work.Body = append(work.Body, g)
+		work.FDs = append(work.FDs,
+			cq.FD{Relation: g.Relation, From: []int{1, 2}, To: 3},
+			cq.FD{Relation: g.Relation, From: []int{3}, To: 1},
+			cq.FD{Relation: g.Relation, From: []int{3}, To: 2},
+		)
+		// G'(Z, X3, ..., Xk, Y) with Z X3...Xk -> Y.
+		gp := cq.Atom{Relation: fmt.Sprintf("Gred%d", fresh), Vars: []cq.Variable{z}}
+		for _, p := range f.From[2:] {
+			gp.Vars = append(gp.Vars, atom.Vars[p-1])
+		}
+		gp.Vars = append(gp.Vars, atom.Vars[f.To-1])
+		work.Body = append(work.Body, gp)
+		from := make([]int, len(gp.Vars)-1)
+		for i := range from {
+			from[i] = i + 1
+		}
+		work.FDs = append(work.FDs, cq.FD{Relation: gp.Relation, From: from, To: len(gp.Vars)})
+		// Remove the original dependency.
+		work.FDs = append(work.FDs[:idx], work.FDs[idx+1:]...)
+	}
+	if err := work.Validate(); err != nil {
+		return nil, fmt.Errorf("entropy: internal: rewrite produced invalid query: %v", err)
+	}
+	return work, nil
+}

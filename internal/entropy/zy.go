@@ -1,0 +1,160 @@
+package entropy
+
+import (
+	"fmt"
+	"math/big"
+
+	"cqbound/internal/cq"
+	"cqbound/internal/lp"
+)
+
+// This file implements the direction Section 6.4 points at: the
+// Proposition 6.9 bound is not tight because entropy vectors satisfy
+// inequalities beyond Shannon's. The first of these is the Zhang–Yeung
+// inequality (1998): for any four random variables A, B, C, D,
+//
+//	2·I(C;D) ≤ I(A;B) + I(A;C,D) + 3·I(C;D|A) + I(C;D|B).
+//
+// Adding all instantiations of it to the linear program can only lower the
+// optimum, giving a (still generally non-tight — Matúš 2007 shows
+// infinitely many independent inequalities exist) sharper upper bound on
+// the worst-case size increase.
+
+// zyTerms expresses the Zhang–Yeung inequality's left-minus-right side as
+// entropy coefficients: Σ coeff·h(T) ≥ 0 where the terms are
+//
+//	I(A;B)      = h(A)+h(B)−h(AB)
+//	I(A;CD)     = h(A)+h(CD)−h(ACD)
+//	3I(C;D|A)   = 3h(AC)+3h(AD)−3h(A)−3h(ACD)
+//	I(C;D|B)    = h(BC)+h(BD)−h(B)−h(BCD)
+//	−2I(C;D)    = −2h(C)−2h(D)+2h(CD)
+func zyTerms(a, b, c, d Set) map[Set]int64 {
+	t := make(map[Set]int64)
+	add := func(set Set, coeff int64) {
+		t[set] += coeff
+		if t[set] == 0 {
+			delete(t, set)
+		}
+	}
+	// I(A;B)
+	add(a, 1)
+	add(b, 1)
+	add(a|b, -1)
+	// I(A;CD)
+	add(a, 1)
+	add(c|d, 1)
+	add(a|c|d, -1)
+	// 3 I(C;D|A)
+	add(a|c, 3)
+	add(a|d, 3)
+	add(a, -3)
+	add(a|c|d, -3)
+	// I(C;D|B)
+	add(b|c, 1)
+	add(b|d, 1)
+	add(b, -1)
+	add(b|c|d, -1)
+	// −2 I(C;D)
+	add(c, -2)
+	add(d, -2)
+	add(c|d, 2)
+	return t
+}
+
+// ZYHolds checks every instantiation of the Zhang–Yeung inequality on an
+// entropy vector (useful on empirical vectors, which must satisfy it).
+// It returns the first violated instantiation, if any.
+func ZYHolds(v *Vector, tol float64) (bool, string) {
+	k := v.K
+	if k < 4 {
+		return true, ""
+	}
+	for ai := 0; ai < k; ai++ {
+		for bi := 0; bi < k; bi++ {
+			if bi == ai {
+				continue
+			}
+			for ci := 0; ci < k; ci++ {
+				if ci == ai || ci == bi {
+					continue
+				}
+				for di := ci + 1; di < k; di++ {
+					if di == ai || di == bi {
+						continue
+					}
+					total := 0.0
+					for set, coeff := range zyTerms(Set(0).With(ai), Set(0).With(bi), Set(0).With(ci), Set(0).With(di)) {
+						total += float64(coeff) * v.H[set]
+					}
+					if total < -tol {
+						return false, fmt.Sprintf("A=%d B=%d C=%d D=%d: %g < 0", ai, bi, ci, di, total)
+					}
+				}
+			}
+		}
+	}
+	return true, ""
+}
+
+// addZYRows appends every instantiation of the Zhang–Yeung inequality over
+// the spec's variables (in atom coordinates) as ≥ 0 rows.
+func (s *lpSpec) addZYRows() {
+	k := len(s.vars)
+	if k < 4 {
+		return
+	}
+	full := Set(1<<uint(k)) - 1
+	for ai := 0; ai < k; ai++ {
+		for bi := 0; bi < k; bi++ {
+			if bi == ai {
+				continue
+			}
+			for ci := 0; ci < k; ci++ {
+				if ci == ai || ci == bi {
+					continue
+				}
+				for di := ci + 1; di < k; di++ {
+					if di == ai || di == bi {
+						continue
+					}
+					terms := zyTerms(Set(0).With(ai), Set(0).With(bi), Set(0).With(ci), Set(0).With(di))
+					coeffs := make(map[int]*big.Rat)
+					// h(T) = Σ_{S∩T≠∅} a_S.
+					for set := Set(1); set <= full; set++ {
+						var total int64
+						for t, coeff := range terms {
+							if set&t != 0 {
+								total += coeff
+							}
+						}
+						if total != 0 {
+							coeffs[s.atomID[set]] = lp.RI(total)
+						}
+					}
+					if len(coeffs) > 0 {
+						s.prob.AddConstraint(coeffs, lp.GE, lp.RI(0))
+					}
+				}
+			}
+		}
+	}
+}
+
+// SizeBoundExponentZY solves the Proposition 6.9 program augmented with all
+// Zhang–Yeung inequality instantiations. The result lies between the true
+// worst-case exponent and s(Q):
+//
+//	C(chase(Q)) ≤ worst-case exponent ≤ s_ZY(Q) ≤ s(Q).
+func SizeBoundExponentZY(q *cq.Query) (*big.Rat, error) {
+	spec, err := buildSpec(q, lp.Free, MaxExactShannonVars)
+	if err != nil {
+		return nil, err
+	}
+	spec.addShannonRows()
+	spec.addZYRows()
+	sol := spec.prob.SolveExact()
+	if sol.Status != lp.Optimal {
+		return nil, fmt.Errorf("entropy: ZY size-bound LP is %v", sol.Status)
+	}
+	return sol.Value, nil
+}

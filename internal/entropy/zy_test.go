@@ -1,0 +1,141 @@
+package entropy
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"cqbound/internal/coloring"
+	"cqbound/internal/datagen"
+	"cqbound/internal/relation"
+)
+
+// TestZYHoldsOnEmpiricalVectors: true entropy vectors must satisfy the
+// Zhang–Yeung inequality; random empirical distributions over 4 and 5
+// columns exercise every instantiation.
+func TestZYHoldsOnEmpiricalVectors(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 25; trial++ {
+		arity := 4 + rng.Intn(2)
+		attrs := make([]string, arity)
+		for i := range attrs {
+			attrs[i] = fmt.Sprintf("c%d", i)
+		}
+		r := relation.New("R", attrs...)
+		for i := 0; i < 12+rng.Intn(20); i++ {
+			row := make(relation.Tuple, arity)
+			for j := range row {
+				row[j] = relation.Value(fmt.Sprint(rng.Intn(3)))
+			}
+			r.MustInsert(row...)
+		}
+		v, err := Empirical(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok, why := ZYHolds(v, 1e-9); !ok {
+			t.Fatalf("trial %d: Zhang–Yeung violated on a real distribution: %s", trial, why)
+		}
+	}
+}
+
+// TestZYHoldsOnShamir: the Shamir group relation is exactly the kind of
+// high-interaction distribution non-Shannon inequalities constrain; it must
+// still satisfy Zhang–Yeung.
+func TestZYHoldsOnShamir(t *testing.T) {
+	// Reconstruct the group relation locally (avoid the construct import
+	// cycle: construct imports entropy's sibling packages only, but keep
+	// the test self-contained regardless).
+	r := relation.New("R1", "a1", "a2", "a3", "a4")
+	const n = 5
+	for c0 := 0; c0 < n; c0++ {
+		for c1 := 0; c1 < n; c1++ {
+			row := make(relation.Tuple, 4)
+			for x := 0; x < 4; x++ {
+				row[x] = relation.Value(fmt.Sprint((c0 + c1*x) % n))
+			}
+			r.MustInsert(row...)
+		}
+	}
+	v, err := Empirical(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, why := ZYHolds(v, 1e-9); !ok {
+		t.Fatalf("Zhang–Yeung violated on Shamir shares: %s", why)
+	}
+}
+
+// TestZYBoundSandwiched checks C ≤ s_ZY ≤ s on random queries with
+// dependencies, and s_ZY = s = C on FD-free ones (where Shannon is already
+// tight).
+func TestZYBoundSandwiched(t *testing.T) {
+	rng := rand.New(rand.NewSource(88))
+	for trial := 0; trial < 15; trial++ {
+		q := datagen.RandomQuery(rng, datagen.QueryParams{
+			MaxVars: 5, MaxAtoms: 3, MaxArity: 3, HeadFraction: 0.6,
+			SimpleFDProb: 0.2, CompoundFDProb: 0.25,
+		})
+		s, err := SizeBoundExponent(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		szy, err := SizeBoundExponentZY(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, _, _, err := ColorNumber(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if szy.Cmp(s) > 0 {
+			t.Fatalf("trial %d: s_ZY = %v > s = %v for %s", trial, szy, s, q)
+		}
+		if c.Cmp(szy) > 0 {
+			t.Fatalf("trial %d: C = %v > s_ZY = %v for %s", trial, c, szy, q)
+		}
+	}
+	// FD-free: everything collapses to the fractional cover value.
+	for trial := 0; trial < 10; trial++ {
+		q := datagen.RandomQuery(rng, datagen.QueryParams{
+			MaxVars: 5, MaxAtoms: 3, MaxArity: 3, HeadFraction: 0.6,
+		})
+		s, err := SizeBoundExponent(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		szy, err := SizeBoundExponentZY(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, _, err := coloring.NumberNoFDs(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if szy.Cmp(s) != 0 || s.Cmp(c) != 0 {
+			t.Fatalf("trial %d: FD-free mismatch: C=%v s_ZY=%v s=%v for %s", trial, c, szy, s, q)
+		}
+	}
+}
+
+func TestZYTermsSelfConsistent(t *testing.T) {
+	// The coefficient multiset must sum to zero over h(∅)-style constant
+	// shifts: substituting the all-equal vector h(T) = const·1{T≠∅}... more
+	// simply, the uniform independent vector h(T) = |T| must satisfy the
+	// inequality with slack: A,B,C,D independent ⇒ LHS−RHS =
+	// I(A;B)+I(A;CD)+3I(C;D|A)+I(C;D|B)−2I(C;D) = 0.
+	v, err := NewVector(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := Set(1); s <= v.Full(); s++ {
+		v.H[s] = float64(s.Size())
+	}
+	total := 0.0
+	for set, coeff := range zyTerms(1, 2, 4, 8) {
+		total += float64(coeff) * v.H[set]
+	}
+	if total != 0 {
+		t.Fatalf("independent vector gives %v, want 0", total)
+	}
+}

@@ -1,0 +1,329 @@
+// Package eval evaluates conjunctive queries over databases. Three
+// strategies are provided:
+//
+//   - Naive: left-deep natural joins over the body atoms followed by a final
+//     head projection — the textbook plan whose intermediates can explode.
+//   - JoinProject: the project-early plan in the spirit of Corollary 4.8 and
+//     Theorem 15 of Atserias–Grohe–Marx: after each join, variables that are
+//     neither head variables nor needed by later atoms are projected away.
+//   - GenericJoin: a variable-at-a-time worst-case optimal join (the modern
+//     algorithm family the AGM bound gave rise to), included as a baseline.
+//
+// All three return exactly Q(D) and are cross-checked in tests.
+package eval
+
+import (
+	"fmt"
+	"sort"
+
+	"cqbound/internal/cq"
+	"cqbound/internal/database"
+	"cqbound/internal/relation"
+)
+
+// Stats records what a strategy did.
+type Stats struct {
+	// MaxIntermediate is the largest intermediate binding relation built.
+	MaxIntermediate int
+	// Joins is the number of binary joins (or extension steps) performed.
+	Joins int
+}
+
+// Naive evaluates q by folding natural joins left to right and projecting at
+// the end.
+func Naive(q *cq.Query, db *database.Database) (*relation.Relation, Stats, error) {
+	var st Stats
+	cur, err := bindingRelation(q.Body[0], db)
+	if err != nil {
+		return nil, st, err
+	}
+	st.MaxIntermediate = cur.Size()
+	for _, a := range q.Body[1:] {
+		next, err := bindingRelation(a, db)
+		if err != nil {
+			return nil, st, err
+		}
+		cur, err = relation.NaturalJoin(cur, next)
+		if err != nil {
+			return nil, st, err
+		}
+		st.Joins++
+		if cur.Size() > st.MaxIntermediate {
+			st.MaxIntermediate = cur.Size()
+		}
+	}
+	out, err := headProjection(q, cur)
+	return out, st, err
+}
+
+// JoinProject evaluates q like Naive but projects each intermediate onto the
+// variables still needed: head variables plus variables of later atoms.
+func JoinProject(q *cq.Query, db *database.Database) (*relation.Relation, Stats, error) {
+	var st Stats
+	needLater := make([]map[cq.Variable]bool, len(q.Body)+1)
+	needLater[len(q.Body)] = map[cq.Variable]bool{}
+	for i := len(q.Body) - 1; i >= 0; i-- {
+		m := make(map[cq.Variable]bool)
+		for v := range needLater[i+1] {
+			m[v] = true
+		}
+		for _, v := range q.Body[i].Vars {
+			m[v] = true
+		}
+		needLater[i] = m
+	}
+	head := q.HeadVarSet()
+
+	project := func(r *relation.Relation, after int) (*relation.Relation, error) {
+		var keep []string
+		for _, attr := range r.Attrs {
+			v := cq.Variable(attr)
+			if head[v] || needLater[after+1][v] {
+				keep = append(keep, attr)
+			}
+		}
+		if len(keep) == len(r.Attrs) {
+			return r, nil
+		}
+		return r.Project(keep...)
+	}
+
+	cur, err := bindingRelation(q.Body[0], db)
+	if err != nil {
+		return nil, st, err
+	}
+	if cur, err = project(cur, 0); err != nil {
+		return nil, st, err
+	}
+	st.MaxIntermediate = cur.Size()
+	for i, a := range q.Body[1:] {
+		next, err := bindingRelation(a, db)
+		if err != nil {
+			return nil, st, err
+		}
+		cur, err = relation.NaturalJoin(cur, next)
+		if err != nil {
+			return nil, st, err
+		}
+		st.Joins++
+		if cur.Size() > st.MaxIntermediate {
+			st.MaxIntermediate = cur.Size()
+		}
+		if cur, err = project(cur, i+1); err != nil {
+			return nil, st, err
+		}
+	}
+	out, err := headProjection(q, cur)
+	return out, st, err
+}
+
+// bindingRelation converts atom a over its database relation into a relation
+// whose attributes are the atom's distinct variables (named by the
+// variables) and whose tuples are the substitutions θ with θ(a) ∈ R.
+// Repeated variables inside the atom act as a selection.
+func bindingRelation(a cq.Atom, db *database.Database) (*relation.Relation, error) {
+	r := db.Relation(a.Relation)
+	if r == nil {
+		return nil, fmt.Errorf("eval: missing relation %s", a.Relation)
+	}
+	if r.Arity() != a.Arity() {
+		return nil, fmt.Errorf("eval: relation %s arity %d, atom wants %d", a.Relation, r.Arity(), a.Arity())
+	}
+	vars := a.DistinctVars()
+	attrs := make([]string, len(vars))
+	pos := make(map[cq.Variable]int, len(vars))
+	for i, v := range vars {
+		attrs[i] = string(v)
+		pos[v] = i
+	}
+	out := relation.New("bind_"+a.Relation, attrs...)
+	for _, t := range r.Tuples() {
+		ok := true
+		bound := make(relation.Tuple, len(vars))
+		set := make([]bool, len(vars))
+		for i, v := range a.Vars {
+			j := pos[v]
+			if set[j] && bound[j] != t[i] {
+				ok = false
+				break
+			}
+			bound[j] = t[i]
+			set[j] = true
+		}
+		if ok {
+			if _, err := out.Insert(bound); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return out, nil
+}
+
+// headProjection builds Q(D) from a binding relation containing (at least)
+// every head variable as an attribute. Head positions may repeat variables;
+// output attributes are named p1..pk and the relation carries the head name.
+func headProjection(q *cq.Query, bind *relation.Relation) (*relation.Relation, error) {
+	idx := make([]int, len(q.Head.Vars))
+	for i, v := range q.Head.Vars {
+		j := bind.AttrIndex(string(v))
+		if j < 0 {
+			return nil, fmt.Errorf("eval: head variable %s missing from bindings", v)
+		}
+		idx[i] = j
+	}
+	proj, err := bind.ProjectIdx(idx...)
+	if err != nil {
+		return nil, err
+	}
+	attrs := make([]string, len(q.Head.Vars))
+	for i := range attrs {
+		attrs[i] = fmt.Sprintf("p%d", i+1)
+	}
+	return proj.Rename(q.Head.Relation, attrs...)
+}
+
+// GenericJoin evaluates q with a worst-case optimal variable-at-a-time
+// backtracking join: variables are ordered by descending atom frequency, a
+// per-atom trie indexes each binding relation along that order, and each
+// variable is extended by intersecting the candidate sets of all atoms
+// containing it, iterating over the smallest.
+func GenericJoin(q *cq.Query, db *database.Database) (*relation.Relation, Stats, error) {
+	var st Stats
+	vars := q.Variables()
+	freq := make(map[cq.Variable]int)
+	for _, a := range q.Body {
+		for _, v := range a.DistinctVars() {
+			freq[v]++
+		}
+	}
+	order := append([]cq.Variable(nil), vars...)
+	sort.SliceStable(order, func(i, j int) bool { return freq[order[i]] > freq[order[j]] })
+	rank := make(map[cq.Variable]int, len(order))
+	for i, v := range order {
+		rank[v] = i
+	}
+
+	// Build a trie per atom over the atom's variables sorted by global rank.
+	type atomIndex struct {
+		vars []cq.Variable // sorted by rank
+		root *trieNode
+	}
+	atoms := make([]*atomIndex, len(q.Body))
+	for i, a := range q.Body {
+		bind, err := bindingRelation(a, db)
+		if err != nil {
+			return nil, st, err
+		}
+		av := a.DistinctVars()
+		sort.Slice(av, func(x, y int) bool { return rank[av[x]] < rank[av[y]] })
+		cols := make([]int, len(av))
+		for j, v := range av {
+			cols[j] = bind.AttrIndex(string(v))
+		}
+		root := newTrieNode()
+		for _, t := range bind.Tuples() {
+			node := root
+			for _, c := range cols {
+				node = node.child(t[c])
+			}
+		}
+		atoms[i] = &atomIndex{vars: av, root: root}
+	}
+
+	// cursors[i] tracks atom i's current trie node; depth advances when the
+	// global order reaches one of the atom's variables.
+	assignment := make(map[cq.Variable]relation.Value, len(order))
+	headAttrs := make([]string, len(q.Head.Vars))
+	for i := range headAttrs {
+		headAttrs[i] = fmt.Sprintf("p%d", i+1)
+	}
+	out := relation.New(q.Head.Relation, headAttrs...)
+
+	cursors := make([]*trieNode, len(atoms))
+	for i := range atoms {
+		cursors[i] = atoms[i].root
+	}
+
+	var extend func(level int) error
+	extend = func(level int) error {
+		if level == len(order) {
+			t := make(relation.Tuple, len(q.Head.Vars))
+			for i, v := range q.Head.Vars {
+				t[i] = assignment[v]
+			}
+			_, err := out.Insert(t)
+			return err
+		}
+		v := order[level]
+		// Atoms whose next variable is v.
+		var active []int
+		smallest := -1
+		for i, ai := range atoms {
+			d := cursors[i].depth
+			if d < len(ai.vars) && ai.vars[d] == v {
+				active = append(active, i)
+				if smallest < 0 || len(cursors[i].children) < len(cursors[smallest].children) {
+					smallest = i
+				}
+			}
+		}
+		if len(active) == 0 {
+			// Cannot happen for connected use: every variable occurs in some
+			// atom, and trie depth tracks the global order.
+			return fmt.Errorf("eval: variable %s has no active atom", v)
+		}
+		st.Joins++
+		for val, next := range cursors[smallest].children {
+			ok := true
+			saved := make([]*trieNode, 0, len(active))
+			for _, i := range active {
+				saved = append(saved, cursors[i])
+			}
+			for _, i := range active {
+				if i == smallest {
+					cursors[i] = next
+					continue
+				}
+				child, exists := cursors[i].children[val]
+				if !exists {
+					ok = false
+					break
+				}
+				cursors[i] = child
+			}
+			if ok {
+				assignment[v] = val
+				if err := extend(level + 1); err != nil {
+					return err
+				}
+			}
+			for k, i := range active {
+				cursors[i] = saved[k]
+			}
+		}
+		return nil
+	}
+	if err := extend(0); err != nil {
+		return nil, st, err
+	}
+	st.MaxIntermediate = out.Size()
+	return out, st, nil
+}
+
+type trieNode struct {
+	depth    int
+	children map[relation.Value]*trieNode
+}
+
+func newTrieNode() *trieNode {
+	return &trieNode{children: make(map[relation.Value]*trieNode)}
+}
+
+func (n *trieNode) child(v relation.Value) *trieNode {
+	c, ok := n.children[v]
+	if !ok {
+		c = &trieNode{depth: n.depth + 1, children: make(map[relation.Value]*trieNode)}
+		n.children[v] = c
+	}
+	return c
+}

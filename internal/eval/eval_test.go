@@ -1,0 +1,315 @@
+package eval
+
+import (
+	"fmt"
+	"math/big"
+	"math/rand"
+	"testing"
+
+	"cqbound/internal/chase"
+	"cqbound/internal/coloring"
+	"cqbound/internal/cq"
+	"cqbound/internal/database"
+	"cqbound/internal/datagen"
+	"cqbound/internal/relation"
+)
+
+// starDB builds Example 2.1's database: R = {<1,1>,...,<1,n>}.
+func starDB(n int) *database.Database {
+	r := relation.New("R", "A", "B")
+	for i := 1; i <= n; i++ {
+		r.MustInsert("e1", relation.Value(fmt.Sprintf("e%d", i)))
+	}
+	db := database.New()
+	db.MustAdd(r)
+	return db
+}
+
+type strategy struct {
+	name string
+	run  func(*cq.Query, *database.Database) (*relation.Relation, Stats, error)
+}
+
+var strategies = []strategy{
+	{"naive", Naive},
+	{"joinproject", JoinProject},
+	{"genericjoin", GenericJoin},
+}
+
+func TestExample21AllStrategies(t *testing.T) {
+	// R'(X,Y,Z) <- R(X,Y), R(X,Z) on the star has n² tuples.
+	q := cq.MustParse("R2(X,Y,Z) <- R(X,Y), R(X,Z).")
+	const n = 7
+	db := starDB(n)
+	for _, s := range strategies {
+		out, _, err := s.run(q, db)
+		if err != nil {
+			t.Fatalf("%s: %v", s.name, err)
+		}
+		if out.Size() != n*n {
+			t.Errorf("%s: |Q(D)| = %d, want %d", s.name, out.Size(), n*n)
+		}
+	}
+}
+
+func TestTriangleQuery(t *testing.T) {
+	q := cq.MustParse("T(X,Y,Z) <- R(X,Y), R(Y,Z), R(X,Z).")
+	r := relation.New("R", "A", "B")
+	// Two triangles sharing an edge: (a,b,c) and (a,b,d).
+	for _, e := range [][2]string{{"a", "b"}, {"b", "c"}, {"a", "c"}, {"b", "d"}, {"a", "d"}} {
+		r.MustInsert(relation.Value(e[0]), relation.Value(e[1]))
+	}
+	db := database.New()
+	db.MustAdd(r)
+	for _, s := range strategies {
+		out, _, err := s.run(q, db)
+		if err != nil {
+			t.Fatalf("%s: %v", s.name, err)
+		}
+		if out.Size() != 2 {
+			t.Errorf("%s: triangles = %d, want 2", s.name, out.Size())
+		}
+		want := relation.Tuple{"a", "b", "c"}
+		if !out.Has(want) {
+			t.Errorf("%s: missing triangle (a,b,c)", s.name)
+		}
+	}
+}
+
+func TestRepeatedVariableInAtom(t *testing.T) {
+	// Q(X) <- R(X,X): selects the diagonal.
+	q := cq.MustParse("Q(X) <- R(X,X).")
+	r := relation.New("R", "A", "B")
+	r.MustInsert("a", "a")
+	r.MustInsert("a", "b")
+	r.MustInsert("c", "c")
+	db := database.New()
+	db.MustAdd(r)
+	for _, s := range strategies {
+		out, _, err := s.run(q, db)
+		if err != nil {
+			t.Fatalf("%s: %v", s.name, err)
+		}
+		if out.Size() != 2 {
+			t.Errorf("%s: size = %d, want 2", s.name, out.Size())
+		}
+	}
+}
+
+func TestRepeatedHeadVariable(t *testing.T) {
+	q := cq.MustParse("Q(X,X,Y) <- R(X,Y).")
+	r := relation.New("R", "A", "B")
+	r.MustInsert("1", "2")
+	db := database.New()
+	db.MustAdd(r)
+	for _, s := range strategies {
+		out, _, err := s.run(q, db)
+		if err != nil {
+			t.Fatalf("%s: %v", s.name, err)
+		}
+		if out.Size() != 1 || out.Arity() != 3 {
+			t.Fatalf("%s: out = %v", s.name, out)
+		}
+		if !out.Has(relation.Tuple{"1", "1", "2"}) {
+			t.Errorf("%s: wrong tuple", s.name)
+		}
+	}
+}
+
+func TestProjectionQuery(t *testing.T) {
+	// Q(X,Z) <- R(X,Y), S(Y,Z): classic composition.
+	q := cq.MustParse("Q(X,Z) <- R(X,Y), S(Y,Z).")
+	r := relation.New("R", "A", "B")
+	r.MustInsert("x1", "y1")
+	r.MustInsert("x2", "y1")
+	s := relation.New("S", "A", "B")
+	s.MustInsert("y1", "z1")
+	s.MustInsert("y2", "z2")
+	db := database.New()
+	db.MustAdd(r)
+	db.MustAdd(s)
+	for _, st := range strategies {
+		out, _, err := st.run(q, db)
+		if err != nil {
+			t.Fatalf("%s: %v", st.name, err)
+		}
+		if out.Size() != 2 {
+			t.Errorf("%s: size = %d, want 2", st.name, out.Size())
+		}
+	}
+}
+
+func TestEmptyRelationGivesEmptyResult(t *testing.T) {
+	q := cq.MustParse("Q(X) <- R(X,Y), S(Y).")
+	r := relation.New("R", "A", "B")
+	r.MustInsert("1", "2")
+	s := relation.New("S", "A")
+	db := database.New()
+	db.MustAdd(r)
+	db.MustAdd(s)
+	for _, st := range strategies {
+		out, _, err := st.run(q, db)
+		if err != nil {
+			t.Fatalf("%s: %v", st.name, err)
+		}
+		if out.Size() != 0 {
+			t.Errorf("%s: size = %d, want 0", st.name, out.Size())
+		}
+	}
+}
+
+func TestMissingRelationError(t *testing.T) {
+	q := cq.MustParse("Q(X) <- Nope(X).")
+	db := database.New()
+	for _, s := range strategies {
+		if _, _, err := s.run(q, db); err == nil {
+			t.Errorf("%s: accepted missing relation", s.name)
+		}
+	}
+}
+
+func TestStrategiesAgreeRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 80; trial++ {
+		q := datagen.RandomQuery(rng, datagen.QueryParams{
+			MaxVars: 5, MaxAtoms: 4, MaxArity: 3,
+			HeadFraction: 0.5, RepeatRelationProb: 0.3,
+		})
+		db := datagen.RandomDatabase(rng, q, datagen.DBParams{Tuples: 12, Universe: 4})
+		base, _, err := Naive(q, db)
+		if err != nil {
+			t.Fatalf("trial %d (%s): %v", trial, q, err)
+		}
+		for _, s := range strategies[1:] {
+			out, _, err := s.run(q, db)
+			if err != nil {
+				t.Fatalf("trial %d (%s) %s: %v", trial, q, s.name, err)
+			}
+			if !relation.Equal(base, out) {
+				t.Fatalf("trial %d: %s disagrees with naive on %s:\nnaive: %s\n%s: %s",
+					trial, s.name, q, base, s.name, out)
+			}
+		}
+	}
+}
+
+// TestChaseInvariance verifies Fact 2.4: Q(D) = chase(Q)(D) on databases
+// satisfying the declared dependencies.
+func TestChaseInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	for trial := 0; trial < 60; trial++ {
+		q := datagen.RandomQuery(rng, datagen.QueryParams{
+			MaxVars: 5, MaxAtoms: 4, MaxArity: 3,
+			HeadFraction: 0.5, RepeatRelationProb: 0.5, SimpleFDProb: 0.3,
+		})
+		db := datagen.RandomDatabase(rng, q, datagen.DBParams{Tuples: 10, Universe: 3})
+		ch := chase.Chase(q).Query
+		a, _, err := JoinProject(q, db)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		b, _, err := JoinProject(ch, db)
+		if err != nil {
+			t.Fatalf("trial %d (chased %s): %v", trial, ch, err)
+		}
+		if !relation.Equal(a, b) {
+			t.Fatalf("trial %d: chase changed result for %s\noriginal: %s\nchased (%s): %s",
+				trial, q, a, ch, b)
+		}
+	}
+}
+
+// TestSizeBoundNoFDsRandom verifies Proposition 4.1's upper bound
+// |Q(D)| ≤ rmax(D)^C(Q) on random FD-free instances.
+func TestSizeBoundNoFDsRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 60; trial++ {
+		q := datagen.RandomQuery(rng, datagen.QueryParams{
+			MaxVars: 5, MaxAtoms: 4, MaxArity: 3,
+			HeadFraction: 0.6, RepeatRelationProb: 0.3,
+		})
+		db := datagen.RandomDatabase(rng, q, datagen.DBParams{Tuples: 15, Universe: 4})
+		out, _, err := JoinProject(q, db)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		c, _, err := coloring.NumberNoFDs(q)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		rmax, err := db.RMax(q)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if !boundHolds(out.Size(), rmax, c) {
+			t.Fatalf("trial %d: |Q(D)| = %d > rmax^C = %d^%v for %s",
+				trial, out.Size(), rmax, c, q)
+		}
+	}
+}
+
+// TestSizeBoundSimpleFDsRandom verifies Theorem 4.4's upper bound
+// |Q(D)| ≤ rmax(D)^C(chase(Q)) on random keyed instances.
+func TestSizeBoundSimpleFDsRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	trials := 0
+	for trials < 50 {
+		q := datagen.RandomQuery(rng, datagen.QueryParams{
+			MaxVars: 5, MaxAtoms: 4, MaxArity: 3,
+			HeadFraction: 0.6, RepeatRelationProb: 0.4, SimpleFDProb: 0.35,
+		})
+		if !chase.Chase(q).Query.AllVarFDsSimple() {
+			continue
+		}
+		trials++
+		db := datagen.RandomDatabase(rng, q, datagen.DBParams{Tuples: 15, Universe: 4})
+		out, _, err := JoinProject(q, db)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trials, err)
+		}
+		c, _, _, err := coloring.NumberWithSimpleFDs(q)
+		if err != nil {
+			t.Fatalf("trial %d (%s): %v", trials, q, err)
+		}
+		rmax, err := db.RMax(q)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trials, err)
+		}
+		if !boundHolds(out.Size(), rmax, c) {
+			t.Fatalf("trial %d: |Q(D)| = %d > rmax^C = %d^%v for %s",
+				trials, out.Size(), rmax, c, q)
+		}
+	}
+}
+
+// boundHolds reports whether size ≤ rmax^c for rational c, checked exactly
+// as size^denom ≤ rmax^num.
+func boundHolds(size, rmax int, c *big.Rat) bool {
+	if size <= 1 {
+		return true
+	}
+	if rmax == 0 {
+		return false
+	}
+	lhs := new(big.Int).Exp(big.NewInt(int64(size)), c.Denom(), nil)
+	rhs := new(big.Int).Exp(big.NewInt(int64(rmax)), c.Num(), nil)
+	return lhs.Cmp(rhs) <= 0
+}
+
+func TestStatsRecorded(t *testing.T) {
+	q := cq.MustParse("Q(X,Z) <- R(X,Y), S(Y,Z).")
+	r := relation.New("R", "A", "B")
+	r.MustInsert("1", "2")
+	s := relation.New("S", "A", "B")
+	s.MustInsert("2", "3")
+	db := database.New()
+	db.MustAdd(r)
+	db.MustAdd(s)
+	_, st, err := Naive(q, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Joins != 1 || st.MaxIntermediate < 1 {
+		t.Fatalf("Stats = %+v", st)
+	}
+}

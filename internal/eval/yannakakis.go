@@ -1,0 +1,262 @@
+package eval
+
+import (
+	"fmt"
+
+	"cqbound/internal/cq"
+	"cqbound/internal/database"
+	"cqbound/internal/relation"
+)
+
+// This file adds the classical complement to the paper's worst-case bounds:
+// α-acyclicity detection via the GYO reduction and Yannakakis' algorithm,
+// which evaluates acyclic conjunctive queries with intermediate results
+// bounded by input + output. (Acyclic queries are exactly those of
+// hypertree-width 1; the treewidth material of Section 5 concerns the same
+// structural-sparsity theme on the data side.)
+
+// JoinTreeNode is a node of a join tree: one body atom plus its children.
+type JoinTreeNode struct {
+	AtomIndex int
+	Children  []*JoinTreeNode
+}
+
+// JoinTree builds a join tree of the query's body with the GYO (ear
+// removal) reduction. It reports ok = false when the query is not
+// α-acyclic (e.g. the triangle query).
+func JoinTree(q *cq.Query) (*JoinTreeNode, bool) {
+	m := len(q.Body)
+	alive := make([]bool, m)
+	for i := range alive {
+		alive[i] = true
+	}
+	varSets := make([]map[cq.Variable]bool, m)
+	for i, a := range q.Body {
+		varSets[i] = a.VarSet()
+	}
+	parent := make([]int, m)
+	for i := range parent {
+		parent[i] = -1
+	}
+	removed := make([]int, 0, m)
+	countAlive := m
+	for countAlive > 1 {
+		earFound := false
+		for i := 0; i < m && !earFound; i++ {
+			if !alive[i] {
+				continue
+			}
+			// i is an ear with witness w if every variable of i that occurs
+			// in another alive atom occurs in w.
+			for w := 0; w < m; w++ {
+				if w == i || !alive[w] {
+					continue
+				}
+				isEar := true
+				for v := range varSets[i] {
+					if varSets[w][v] {
+						continue
+					}
+					shared := false
+					for o := 0; o < m; o++ {
+						if o != i && alive[o] && varSets[o][v] {
+							shared = true
+							break
+						}
+					}
+					if shared {
+						isEar = false
+						break
+					}
+				}
+				if isEar {
+					parent[i] = w
+					alive[i] = false
+					removed = append(removed, i)
+					countAlive--
+					earFound = true
+					break
+				}
+			}
+		}
+		if !earFound {
+			return nil, false // GYO stuck: cyclic
+		}
+	}
+	root := -1
+	for i := 0; i < m; i++ {
+		if alive[i] {
+			root = i
+			break
+		}
+	}
+	nodes := make([]*JoinTreeNode, m)
+	for i := 0; i < m; i++ {
+		nodes[i] = &JoinTreeNode{AtomIndex: i}
+	}
+	for _, i := range removed {
+		nodes[parent[i]].Children = append(nodes[parent[i]].Children, nodes[i])
+	}
+	return nodes[root], true
+}
+
+// IsAcyclic reports whether the query's body hypergraph is α-acyclic.
+func IsAcyclic(q *cq.Query) bool {
+	if len(q.Body) == 0 {
+		return true
+	}
+	_, ok := JoinTree(q)
+	return ok
+}
+
+// Yannakakis evaluates an α-acyclic query with Yannakakis' algorithm:
+// a bottom-up semijoin pass removes dangling tuples, then a top-down pass
+// filters against parents, and a final bottom-up join (projecting to head
+// plus ancestors' needs) produces the output. Returns an error for cyclic
+// queries.
+func Yannakakis(q *cq.Query, db *database.Database) (*relation.Relation, Stats, error) {
+	var st Stats
+	tree, ok := JoinTree(q)
+	if !ok {
+		return nil, st, fmt.Errorf("eval: query is not acyclic; use JoinProject or GenericJoin")
+	}
+	bindings := make([]*relation.Relation, len(q.Body))
+	for i, a := range q.Body {
+		b, err := bindingRelation(a, db)
+		if err != nil {
+			return nil, st, err
+		}
+		bindings[i] = b
+	}
+	// Bottom-up semijoin: parent ⋉ child.
+	var up func(n *JoinTreeNode) error
+	up = func(n *JoinTreeNode) error {
+		for _, c := range n.Children {
+			if err := up(c); err != nil {
+				return err
+			}
+			reduced, err := semijoin(bindings[n.AtomIndex], bindings[c.AtomIndex])
+			if err != nil {
+				return err
+			}
+			bindings[n.AtomIndex] = reduced
+			st.Joins++
+		}
+		return nil
+	}
+	if err := up(tree); err != nil {
+		return nil, st, err
+	}
+	// Top-down semijoin: child ⋉ parent.
+	var down func(n *JoinTreeNode) error
+	down = func(n *JoinTreeNode) error {
+		for _, c := range n.Children {
+			reduced, err := semijoin(bindings[c.AtomIndex], bindings[n.AtomIndex])
+			if err != nil {
+				return err
+			}
+			bindings[c.AtomIndex] = reduced
+			st.Joins++
+			if err := down(c); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := down(tree); err != nil {
+		return nil, st, err
+	}
+	// Bottom-up join, keeping head variables plus connecting variables.
+	head := q.HeadVarSet()
+	var join func(n *JoinTreeNode) (*relation.Relation, error)
+	join = func(n *JoinTreeNode) (*relation.Relation, error) {
+		cur := bindings[n.AtomIndex]
+		for _, c := range n.Children {
+			sub, err := join(c)
+			if err != nil {
+				return nil, err
+			}
+			cur, err = relation.NaturalJoin(cur, sub)
+			if err != nil {
+				return nil, err
+			}
+			st.Joins++
+			if cur.Size() > st.MaxIntermediate {
+				st.MaxIntermediate = cur.Size()
+			}
+		}
+		// Project to head variables plus this subtree's connection to its
+		// parent (handled by the caller keeping the parent's attributes):
+		// keep head vars and any attribute also present in the parent atom.
+		var keep []string
+		for _, attr := range cur.Attrs {
+			if head[cq.Variable(attr)] {
+				keep = append(keep, attr)
+				continue
+			}
+			// Needed by an ancestor? Conservatively keep attributes of this
+			// node's own atom (the parent joins only on those).
+			if bindings[n.AtomIndex].AttrIndex(attr) >= 0 {
+				keep = append(keep, attr)
+			}
+		}
+		if len(keep) == 0 {
+			// Unreachable: cur always retains this node's own atom
+			// attributes, and atoms have at least one variable.
+			return nil, fmt.Errorf("eval: internal: empty projection in Yannakakis")
+		}
+		if len(keep) == len(cur.Attrs) {
+			return cur, nil
+		}
+		return cur.Project(keep...)
+	}
+	full, err := join(tree)
+	if err != nil {
+		return nil, st, err
+	}
+	out, err := headProjection(q, full)
+	if err != nil {
+		return nil, st, err
+	}
+	if out.Size() > st.MaxIntermediate {
+		st.MaxIntermediate = out.Size()
+	}
+	return out, st, nil
+}
+
+// semijoin returns the tuples of r that join with at least one tuple of s
+// on their shared attribute names.
+func semijoin(r, s *relation.Relation) (*relation.Relation, error) {
+	var pairs [][2]int
+	for j, a := range s.Attrs {
+		if i := r.AttrIndex(a); i >= 0 {
+			pairs = append(pairs, [2]int{i, j})
+		}
+	}
+	if len(pairs) == 0 {
+		if s.Size() == 0 {
+			return relation.New(r.Name+"_sj", r.Attrs...), nil
+		}
+		return r, nil
+	}
+	keys := make(map[string]bool, s.Size())
+	for _, t := range s.Tuples() {
+		keys[pairKey(t, pairs, 1)] = true
+	}
+	out := relation.New(r.Name+"_sj", r.Attrs...)
+	for _, t := range r.Tuples() {
+		if keys[pairKey(t, pairs, 0)] {
+			out.MustInsert(t...)
+		}
+	}
+	return out, nil
+}
+
+// pairKey builds an injective key from the tuple's join positions.
+func pairKey(t relation.Tuple, pairs [][2]int, side int) string {
+	key := make(relation.Tuple, len(pairs))
+	for i, p := range pairs {
+		key[i] = t[p[side]]
+	}
+	return key.Key()
+}

@@ -1,0 +1,168 @@
+package eval
+
+import (
+	"math/rand"
+	"testing"
+
+	"cqbound/internal/cq"
+	"cqbound/internal/database"
+	"cqbound/internal/datagen"
+	"cqbound/internal/relation"
+)
+
+func TestIsAcyclicKnownQueries(t *testing.T) {
+	cases := []struct {
+		src  string
+		want bool
+	}{
+		{"Q(X,Z) <- R(X,Y), S(Y,Z).", true},
+		{"Q(X,Y,Z) <- R(X,Y), S(Y,Z), T(Z,W).", true},
+		{"S(X,Y,Z) <- R(X,Y), R(Y,Z), R(X,Z).", false},           // triangle
+		{"Q(A,B,C,D) <- R(A,B), R(B,C), R(C,D), R(D,A).", false}, // 4-cycle
+		{"Q(X) <- R(X).", true},
+		{"Q(X,Y) <- R(X), S(Y).", true},                 // disconnected
+		{"Q(X,Y,Z) <- R(X,Y,Z), S(X,Y), T(Y,Z).", true}, // ears into big atom
+		{"Q(X,Y,Z,W) <- R(X,Y), S(Y,Z), T(Z,W), U(W,X).", false},
+	}
+	for _, c := range cases {
+		q := cq.MustParse(c.src)
+		if got := IsAcyclic(q); got != c.want {
+			t.Errorf("IsAcyclic(%q) = %v, want %v", c.src, got, c.want)
+		}
+	}
+}
+
+func TestJoinTreeCoversAllAtoms(t *testing.T) {
+	q := cq.MustParse("Q(X,Y,Z) <- R(X,Y), S(Y,Z), T(Z,W).")
+	tree, ok := JoinTree(q)
+	if !ok {
+		t.Fatal("chain should be acyclic")
+	}
+	seen := map[int]bool{}
+	var walk func(n *JoinTreeNode)
+	walk = func(n *JoinTreeNode) {
+		if seen[n.AtomIndex] {
+			t.Fatalf("atom %d appears twice", n.AtomIndex)
+		}
+		seen[n.AtomIndex] = true
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	walk(tree)
+	if len(seen) != len(q.Body) {
+		t.Fatalf("join tree covers %d of %d atoms", len(seen), len(q.Body))
+	}
+}
+
+func TestYannakakisRejectsCyclic(t *testing.T) {
+	q := cq.MustParse("S(X,Y,Z) <- R(X,Y), R(Y,Z), R(X,Z).")
+	r := relation.New("R", "a", "b")
+	db := dbWith(r)
+	if _, _, err := Yannakakis(q, db); err == nil {
+		t.Fatal("Yannakakis accepted a cyclic query")
+	}
+}
+
+func TestYannakakisMatchesJoinProjectRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	acyclic := 0
+	for trial := 0; acyclic < 60 && trial < 500; trial++ {
+		q := datagen.RandomQuery(rng, datagen.QueryParams{
+			MaxVars: 5, MaxAtoms: 4, MaxArity: 3,
+			HeadFraction: 0.5, RepeatRelationProb: 0.3,
+		})
+		if !IsAcyclic(q) {
+			continue
+		}
+		acyclic++
+		db := datagen.RandomDatabase(rng, q, datagen.DBParams{Tuples: 12, Universe: 4})
+		want, _, err := JoinProject(q, db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _, err := Yannakakis(q, db)
+		if err != nil {
+			t.Fatalf("trial %d (%s): %v", trial, q, err)
+		}
+		if !relation.Equal(want, got) {
+			t.Fatalf("trial %d: Yannakakis disagrees on %s:\nwant %s\ngot %s", trial, q, want, got)
+		}
+	}
+	if acyclic < 60 {
+		t.Fatalf("only %d acyclic queries generated", acyclic)
+	}
+}
+
+func TestYannakakisDanglingTuplesRemoved(t *testing.T) {
+	// Chain with dangling tuples on both ends: the semijoin passes must
+	// keep intermediates at O(input + output), not the cross product.
+	q := cq.MustParse("Q(X,W) <- R(X,Y), S(Y,Z), T(Z,W).")
+	r := relation.New("R", "a", "b")
+	s := relation.New("S", "a", "b")
+	tt := relation.New("T", "a", "b")
+	// Only one chain survives end-to-end; everything else dangles.
+	r.MustInsert("x0", "y0")
+	s.MustInsert("y0", "z0")
+	tt.MustInsert("z0", "w0")
+	for i := 0; i < 50; i++ {
+		r.MustInsert(relation.Value("x"+itoa(i)), "ydangle")
+		tt.MustInsert("zdangle", relation.Value("w"+itoa(i)))
+	}
+	db := dbWith(r, s, tt)
+	out, st, err := Yannakakis(q, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Size() != 1 {
+		t.Fatalf("|Q(D)| = %d, want 1", out.Size())
+	}
+	if st.MaxIntermediate > 2 {
+		t.Fatalf("max intermediate = %d; semijoin reduction failed", st.MaxIntermediate)
+	}
+	// The naive plan materializes the dangling joins.
+	_, stNaive, err := Naive(q, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stNaive.MaxIntermediate <= st.MaxIntermediate {
+		t.Fatalf("expected naive (%d) to exceed Yannakakis (%d)", stNaive.MaxIntermediate, st.MaxIntermediate)
+	}
+}
+
+func TestYannakakisDisconnectedQuery(t *testing.T) {
+	q := cq.MustParse("Q(X,Y) <- R(X), S(Y).")
+	r := relation.New("R", "a")
+	r.MustInsert("1")
+	r.MustInsert("2")
+	s := relation.New("S", "a")
+	s.MustInsert("u")
+	db := dbWith(r, s)
+	out, _, err := Yannakakis(q, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Size() != 2 {
+		t.Fatalf("|Q(D)| = %d, want 2", out.Size())
+	}
+}
+
+func dbWith(rels ...*relation.Relation) *database.Database {
+	db := database.New()
+	for _, r := range rels {
+		db.MustAdd(r)
+	}
+	return db
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	out := ""
+	for i > 0 {
+		out = string(rune('0'+i%10)) + out
+		i /= 10
+	}
+	return out
+}

@@ -1,0 +1,126 @@
+// Package experiments regenerates every figure, worked example, and
+// quantitative theorem of the paper as a measured experiment. Each
+// experiment produces a table of rows comparing the paper's claim with the
+// value measured by this library; cmd/cqbench prints them and the root
+// benchmarks time them. The experiment index lives in DESIGN.md; results
+// are recorded in EXPERIMENTS.md.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Row is one line of an experiment report.
+type Row struct {
+	// Name identifies the configuration (workload + parameters).
+	Name string
+	// Paper is the value or behaviour the paper predicts.
+	Paper string
+	// Measured is what this library computed.
+	Measured string
+	// OK reports whether the measurement matches the prediction.
+	OK bool
+}
+
+// Report is the outcome of one experiment.
+type Report struct {
+	ID       string
+	Artifact string // which figure/example/theorem this regenerates
+	Title    string
+	Rows     []Row
+}
+
+// Failed returns the rows that did not match the paper's prediction.
+func (r *Report) Failed() []Row {
+	var out []Row
+	for _, row := range r.Rows {
+		if !row.OK {
+			out = append(out, row)
+		}
+	}
+	return out
+}
+
+// String renders the report as an aligned text table.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s (%s)\n", r.ID, r.Title, r.Artifact)
+	nameW, paperW, measW := len("workload"), len("paper"), len("measured")
+	for _, row := range r.Rows {
+		nameW = max(nameW, len(row.Name))
+		paperW = max(paperW, len(row.Paper))
+		measW = max(measW, len(row.Measured))
+	}
+	fmt.Fprintf(&b, "  %-*s  %-*s  %-*s  ok\n", nameW, "workload", paperW, "paper", measW, "measured")
+	for _, row := range r.Rows {
+		okStr := "yes"
+		if !row.OK {
+			okStr = "NO"
+		}
+		fmt.Fprintf(&b, "  %-*s  %-*s  %-*s  %s\n", nameW, row.Name, paperW, row.Paper, measW, row.Measured, okStr)
+	}
+	return b.String()
+}
+
+// runner is an experiment implementation.
+type runner func() (*Report, error)
+
+var registry = map[string]runner{
+	"E1":  E1Example21,
+	"E2":  E2ChaseExample,
+	"E3":  E3Triangle,
+	"E4":  E4SizeBoundNoFDs,
+	"E5":  E5SizeBoundSimpleFDs,
+	"E6":  E6JoinProjectPlan,
+	"E7":  E7GridBlowup,
+	"E8":  E8KeyedJoinTreewidth,
+	"E9":  E9KeyedJoinChain,
+	"E10": E10TWPreservationNoFDs,
+	"E11": E11TWPreservationFDs,
+	"E12": E12SizePreservation,
+	"E13": E13InformationDiagram,
+	"E14": E14ShamirGap,
+	"E15": E15EntropyLP,
+	"E16": E16HornSATDecision,
+	"E17": E17NPHardnessReduction,
+	"E18": E18PolyTimeColorNumber,
+	"E19": E19KnittedComplexity,
+	"E20": E20ZhangYeung,
+}
+
+// IDs returns all experiment identifiers in order.
+func IDs() []string {
+	out := make([]string, 0, len(registry))
+	for id := range registry {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		var a, b int
+		fmt.Sscanf(out[i], "E%d", &a)
+		fmt.Sscanf(out[j], "E%d", &b)
+		return a < b
+	})
+	return out
+}
+
+// Run executes the experiment with the given id.
+func Run(id string) (*Report, error) {
+	r, ok := registry[id]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown experiment %q (known: %s)", id, strings.Join(IDs(), ", "))
+	}
+	return r()
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func boolRow(name, paper, measured string, ok bool) Row {
+	return Row{Name: name, Paper: paper, Measured: measured, OK: ok}
+}

@@ -1,0 +1,15 @@
+package experiments
+
+import "testing"
+
+func TestAllExperiments(t *testing.T) {
+	for _, id := range IDs() {
+		rep, err := Run(id)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if failed := rep.Failed(); len(failed) > 0 {
+			t.Errorf("%s has %d failed rows:\n%s", id, len(failed), rep)
+		}
+	}
+}

@@ -1,0 +1,321 @@
+package experiments
+
+import (
+	"fmt"
+	"math/big"
+
+	"cqbound/internal/chase"
+	"cqbound/internal/coloring"
+	"cqbound/internal/construct"
+	"cqbound/internal/cq"
+	"cqbound/internal/database"
+	"cqbound/internal/eval"
+	"cqbound/internal/relation"
+	"cqbound/internal/treewidth"
+)
+
+// starDatabase is Example 2.1's relation R(A,B) = {<1,1>,...,<1,n>}.
+func starDatabase(n int) *database.Database {
+	r := relation.New("R", "A", "B")
+	for i := 1; i <= n; i++ {
+		r.MustInsert("e1", relation.Value(fmt.Sprintf("e%d", i)))
+	}
+	db := database.New()
+	db.MustAdd(r)
+	return db
+}
+
+// E1Example21 measures Example 2.1: the self-join of the star relation has
+// n² tuples and its Gaifman graph is a clique, so treewidth jumps from 1 to
+// n (the clique includes the shared first column's value).
+func E1Example21() (*Report, error) {
+	rep := &Report{ID: "E1", Artifact: "Example 2.1", Title: "self-join size and treewidth blowup"}
+	q := cq.MustParse("R2(X,Y,Z) <- R(X,Y), R(X,Z).")
+	for _, n := range []int{4, 8, 12} {
+		db := starDatabase(n)
+		out, _, err := eval.JoinProject(q, db)
+		if err != nil {
+			return nil, err
+		}
+		rep.Rows = append(rep.Rows, boolRow(
+			fmt.Sprintf("n=%d |Q(D)|", n),
+			fmt.Sprintf("%d", n*n),
+			fmt.Sprintf("%d", out.Size()),
+			out.Size() == n*n,
+		))
+		gin := db.GaifmanGraph()
+		twIn, _, err := treewidth.Exact(gin)
+		if err != nil {
+			return nil, err
+		}
+		gout := database.GaifmanOf(out)
+		// The output's Gaifman graph is K_n (treewidth n−1), per the
+		// example's discussion.
+		var twOutStr string
+		var okOut bool
+		if gout.N() <= treewidth.MaxExactVertices {
+			twOut, _, err := treewidth.Exact(gout)
+			if err != nil {
+				return nil, err
+			}
+			twOutStr = fmt.Sprintf("tw=%d", twOut)
+			okOut = twOut == n-1
+		} else {
+			lb := treewidth.LowerBound(gout)
+			twOutStr = fmt.Sprintf("tw>=%d", lb)
+			okOut = lb >= n-1
+		}
+		rep.Rows = append(rep.Rows, boolRow(
+			fmt.Sprintf("n=%d tw(in)->tw(out)", n),
+			fmt.Sprintf("1 -> %d", n-1),
+			fmt.Sprintf("%d -> %s", twIn, twOutStr),
+			twIn == 1 && okOut,
+		))
+	}
+	return rep, nil
+}
+
+// E2ChaseExample reproduces Examples 2.2 and 3.4: the chase merges W, X, Y;
+// the color number drops from 2 to 1; and the output can never exceed |R2|.
+func E2ChaseExample() (*Report, error) {
+	rep := &Report{ID: "E2", Artifact: "Examples 2.2 and 3.4", Title: "chase eliminates implied dependencies"}
+	q := cq.MustParse("R0(W,X,Y,Z) <- R1(W,X,Y), R1(W,W,W), R2(Y,Z).\nkey R1[1].")
+	res := chase.Chase(q)
+	rep.Rows = append(rep.Rows, boolRow("chase(Q) body atoms", "2", fmt.Sprintf("%d", len(res.Query.Body)), len(res.Query.Body) == 2))
+
+	cBefore, _, err := coloring.NumberSimple(q)
+	if err != nil {
+		return nil, err
+	}
+	rep.Rows = append(rep.Rows, boolRow("C(Q)", "2", cBefore.RatString(), cBefore.Cmp(big.NewRat(2, 1)) == 0))
+	cAfter, _, _, err := coloring.NumberWithSimpleFDs(q)
+	if err != nil {
+		return nil, err
+	}
+	rep.Rows = append(rep.Rows, boolRow("C(chase(Q))", "1", cAfter.RatString(), cAfter.Cmp(big.NewRat(1, 1)) == 0))
+
+	// |Q(D)| ≤ |R2| on an instance: build R1 keyed on position 1 with the
+	// diagonal tuples the second atom demands, R2 arbitrary.
+	r1 := relation.New("R1", "a", "b", "c")
+	r2 := relation.New("R2", "a", "b")
+	for i := 0; i < 6; i++ {
+		r1.MustInsert(relation.Value(fmt.Sprintf("w%d", i)), relation.Value(fmt.Sprintf("w%d", i)), relation.Value(fmt.Sprintf("w%d", i)))
+		for j := 0; j < 3; j++ {
+			r2.MustInsert(relation.Value(fmt.Sprintf("w%d", i)), relation.Value(fmt.Sprintf("z%d_%d", i, j)))
+		}
+	}
+	db := database.New()
+	db.MustAdd(r1)
+	db.MustAdd(r2)
+	if err := db.CheckFDs(q); err != nil {
+		return nil, err
+	}
+	out, _, err := eval.JoinProject(q, db)
+	if err != nil {
+		return nil, err
+	}
+	rep.Rows = append(rep.Rows, boolRow("|Q(D)| <= |R2|",
+		fmt.Sprintf("<= %d", r2.Size()),
+		fmt.Sprintf("%d", out.Size()),
+		out.Size() <= r2.Size()))
+	return rep, nil
+}
+
+// E3Triangle reproduces Example 3.3 and the AGM bound: C = 3/2 and the
+// Proposition 4.5 witness attains |Q(D)| = rmax^(3/2) exactly when each
+// relation occurrence is distinct.
+func E3Triangle() (*Report, error) {
+	rep := &Report{ID: "E3", Artifact: "Example 3.3 + Prop 4.3", Title: "triangle query: C = 3/2, AGM tightness"}
+	q := cq.MustParse("S(X,Y,Z) <- R1(X,Y), R2(X,Z), R3(Y,Z).")
+	c, col, err := coloring.NumberNoFDs(q)
+	if err != nil {
+		return nil, err
+	}
+	rep.Rows = append(rep.Rows, boolRow("C(Q)", "3/2", c.RatString(), c.Cmp(big.NewRat(3, 2)) == 0))
+	for _, m := range []int{2, 4, 8} {
+		db, err := construct.ProductWitness(q, col, m)
+		if err != nil {
+			return nil, err
+		}
+		rmax, err := db.RMax(q)
+		if err != nil {
+			return nil, err
+		}
+		out, _, err := eval.GenericJoin(q, db)
+		if err != nil {
+			return nil, err
+		}
+		want := m * m * m
+		rep.Rows = append(rep.Rows, boolRow(
+			fmt.Sprintf("M=%d: |Q(D)| vs rmax^1.5", m),
+			fmt.Sprintf("%d^1.5 = %d", rmax, want),
+			fmt.Sprintf("%d", out.Size()),
+			out.Size() == want && rmax == m*m,
+		))
+	}
+	return rep, nil
+}
+
+// E4SizeBoundNoFDs sweeps query families without dependencies
+// (Proposition 4.1): cycles, stars, and a projection query; for each, the
+// witness database attains |Q(D)| = M^|colors(u0)| with rmax ≤ rep·M^a.
+func E4SizeBoundNoFDs() (*Report, error) {
+	rep := &Report{ID: "E4", Artifact: "Proposition 4.1", Title: "size bounds without FDs: upper bound + tightness"}
+	families := []struct {
+		name  string
+		src   string
+		wantC *big.Rat
+	}{
+		{"4-cycle join", "Q(A,B,C,D) <- R1(A,B), R2(B,C), R3(C,D), R4(D,A).", big.NewRat(2, 1)},
+		{"5-cycle join", "Q(A,B,C,D,E) <- R1(A,B), R2(B,C), R3(C,D), R4(D,E), R5(E,A).", big.NewRat(5, 2)},
+		{"star projection", "Q(Y,Z) <- R1(X,Y), R2(X,Z).", big.NewRat(2, 1)},
+		{"bowtie projection", "Q(A,C) <- R1(A,B), R2(B,C), R3(C,D), R4(D,A).", big.NewRat(2, 1)},
+	}
+	const M = 3
+	for _, f := range families {
+		q := cq.MustParse(f.src)
+		c, col, err := coloring.NumberNoFDs(q)
+		if err != nil {
+			return nil, err
+		}
+		rep.Rows = append(rep.Rows, boolRow(f.name+": C(Q)", f.wantC.RatString(), c.RatString(), c.Cmp(f.wantC) == 0))
+		db, err := construct.ProductWitness(q, col, M)
+		if err != nil {
+			return nil, err
+		}
+		out, _, err := eval.GenericJoin(q, db)
+		if err != nil {
+			return nil, err
+		}
+		want := construct.ProductWitnessOutputSize(q, col, M)
+		rmax, err := db.RMax(q)
+		if err != nil {
+			return nil, err
+		}
+		rep.Rows = append(rep.Rows, boolRow(
+			fmt.Sprintf("%s: witness M=%d", f.name, M),
+			fmt.Sprintf("|Q(D)|=%d", want),
+			fmt.Sprintf("|Q(D)|=%d rmax=%d", out.Size(), rmax),
+			out.Size() == want && boundHolds(out.Size(), rmax, c),
+		))
+	}
+	return rep, nil
+}
+
+// E5SizeBoundSimpleFDs reproduces Theorem 4.4: with simple keys the
+// exponent is C(chase(Q)); keys can strictly shrink it, and the bound stays
+// tight via the Proposition 4.5 witness built on chase(Q).
+func E5SizeBoundSimpleFDs() (*Report, error) {
+	rep := &Report{ID: "E5", Artifact: "Theorem 4.4 + Example 4.6", Title: "size bounds with simple keys"}
+	cases := []struct {
+		name   string
+		src    string
+		noKeyC *big.Rat
+		keyedC *big.Rat
+	}{
+		{"chain + key", "Q(X,Z) <- R(X,Y), S(Y,Z).\nkey S[1].", big.NewRat(2, 1), big.NewRat(1, 1)},
+		{"product + key", "Q(X,Y,Z) <- R(X,Y), S(X,Z).\nkey R[1].", big.NewRat(2, 1), big.NewRat(1, 1)},
+		{"example 4.6", "R0(X1) <- R1(X1,X2,X3), R2(X1,X4), R3(X5,X1).\nkey R1[1].\nkey R2[1].\nkey R3[1].", big.NewRat(1, 1), big.NewRat(1, 1)},
+	}
+	const M = 3
+	for _, cse := range cases {
+		q := cq.MustParse(cse.src)
+		noKey := q.Clone()
+		noKey.FDs = nil
+		cNo, _, err := coloring.NumberNoFDs(noKey)
+		if err != nil {
+			return nil, err
+		}
+		cKey, col, ch, err := coloring.NumberWithSimpleFDs(q)
+		if err != nil {
+			return nil, err
+		}
+		rep.Rows = append(rep.Rows, boolRow(
+			cse.name+": C ignoring keys vs with keys",
+			fmt.Sprintf("%s vs %s", cse.noKeyC.RatString(), cse.keyedC.RatString()),
+			fmt.Sprintf("%s vs %s", cNo.RatString(), cKey.RatString()),
+			cNo.Cmp(cse.noKeyC) == 0 && cKey.Cmp(cse.keyedC) == 0,
+		))
+		db, err := construct.ProductWitness(ch, col, M)
+		if err != nil {
+			return nil, err
+		}
+		if err := db.CheckFDs(q); err != nil {
+			return nil, err
+		}
+		out, _, err := eval.JoinProject(q, db)
+		if err != nil {
+			return nil, err
+		}
+		want := construct.ProductWitnessOutputSize(ch, col, M)
+		rmax, err := db.RMax(q)
+		if err != nil {
+			return nil, err
+		}
+		rep.Rows = append(rep.Rows, boolRow(
+			cse.name+": witness tightness",
+			fmt.Sprintf("|Q(D)|=%d", want),
+			fmt.Sprintf("|Q(D)|=%d rmax=%d", out.Size(), rmax),
+			out.Size() == want && boundHolds(out.Size(), rmax, cKey),
+		))
+	}
+	return rep, nil
+}
+
+// E6JoinProjectPlan demonstrates Corollary 4.8: on AGM-tight triangle
+// instances, all strategies agree, and the worst-case optimal generic join
+// keeps its intermediate results at the output size while the naive binary
+// plan overshoots.
+func E6JoinProjectPlan() (*Report, error) {
+	rep := &Report{ID: "E6", Artifact: "Corollary 4.8", Title: "join-project plans vs naive evaluation"}
+	q := cq.MustParse("S(X,Y,Z) <- R1(X,Y), R2(X,Z), R3(Y,Z).")
+	_, col, err := coloring.NumberNoFDs(q)
+	if err != nil {
+		return nil, err
+	}
+	for _, m := range []int{4, 6, 8} {
+		db, err := construct.ProductWitness(q, col, m)
+		if err != nil {
+			return nil, err
+		}
+		naive, stN, err := eval.Naive(q, db)
+		if err != nil {
+			return nil, err
+		}
+		jp, stJ, err := eval.JoinProject(q, db)
+		if err != nil {
+			return nil, err
+		}
+		gj, stG, err := eval.GenericJoin(q, db)
+		if err != nil {
+			return nil, err
+		}
+		agree := relation.Equal(naive, jp) && relation.Equal(naive, gj)
+		rep.Rows = append(rep.Rows, boolRow(
+			fmt.Sprintf("M=%d agreement", m),
+			"all strategies equal",
+			fmt.Sprintf("|Q(D)|=%d", naive.Size()),
+			agree,
+		))
+		rep.Rows = append(rep.Rows, boolRow(
+			fmt.Sprintf("M=%d max intermediate (naive/jp/generic)", m),
+			"generic <= output; naive overshoots",
+			fmt.Sprintf("%d / %d / %d (output %d)", stN.MaxIntermediate, stJ.MaxIntermediate, stG.MaxIntermediate, naive.Size()),
+			stG.MaxIntermediate <= naive.Size() && stN.MaxIntermediate >= naive.Size(),
+		))
+	}
+	return rep, nil
+}
+
+// boundHolds checks size ≤ rmax^c exactly for rational c.
+func boundHolds(size, rmax int, c *big.Rat) bool {
+	if size <= 1 {
+		return true
+	}
+	if rmax == 0 {
+		return false
+	}
+	lhs := new(big.Int).Exp(big.NewInt(int64(size)), c.Denom(), nil)
+	rhs := new(big.Int).Exp(big.NewInt(int64(rmax)), c.Num(), nil)
+	return lhs.Cmp(rhs) <= 0
+}

@@ -1,0 +1,350 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"cqbound/internal/coloring"
+	"cqbound/internal/construct"
+	"cqbound/internal/cq"
+	"cqbound/internal/database"
+	"cqbound/internal/eval"
+	"cqbound/internal/relation"
+	"cqbound/internal/sat"
+	"cqbound/internal/treewidth"
+)
+
+// E7GridBlowup reproduces Proposition 5.2 and Figure 1: the gadget's
+// Gaifman graph has treewidth exactly n (upper bound from the Lemma 5.3
+// elimination ordering, lower bound from the contained n × nm grid), while
+// the keyed self-join contains the nm × (nm+1) lattice, so its treewidth is
+// at least nm.
+func E7GridBlowup() (*Report, error) {
+	rep := &Report{ID: "E7", Artifact: "Proposition 5.2 + Figure 1", Title: "keyed self-join treewidth blowup"}
+	for _, c := range []struct{ n, m int }{{3, 1}, {4, 2}, {5, 2}, {5, 3}} {
+		r := construct.GridGadget(c.n, c.m)
+		g := database.GaifmanOf(r)
+		order, err := construct.GridGadgetEliminationOrder(c.n, c.m, g)
+		if err != nil {
+			return nil, err
+		}
+		d, err := treewidth.FromEliminationOrder(g, order)
+		if err != nil {
+			return nil, err
+		}
+		if err := treewidth.Validate(g, d); err != nil {
+			return nil, err
+		}
+		lower := g.ContainsGrid(c.n*c.m, c.n, construct.GridContainedLabel(c.m))
+		rep.Rows = append(rep.Rows, boolRow(
+			fmt.Sprintf("n=%d m=%d tw(R)", c.n, c.m),
+			fmt.Sprintf("%d", c.n),
+			fmt.Sprintf("<=%d (order), >=%d (grid)", d.Width(), boolToInt(lower)*c.n),
+			d.Width() == c.n && lower,
+		))
+		joined, err := relation.EquiJoin(r, r.Clone("Rcopy"), [][2]int{{0, 1}})
+		if err != nil {
+			return nil, err
+		}
+		gg := database.GaifmanOf(joined)
+		contains := gg.ContainsGrid(c.n*c.m, c.n*c.m+1, func(i, j int) string {
+			return construct.GridVertexLabel(i, j)
+		})
+		rep.Rows = append(rep.Rows, boolRow(
+			fmt.Sprintf("n=%d m=%d tw(R join R)", c.n, c.m),
+			fmt.Sprintf(">= nm = %d", c.n*c.m),
+			fmt.Sprintf("contains %dx%d grid: %v", c.n*c.m, c.n*c.m+1, contains),
+			contains,
+		))
+	}
+	return rep, nil
+}
+
+func boolToInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// E8KeyedJoinTreewidth measures Theorem 5.5 on random keyed joins: the
+// constructive decomposition transformer never exceeds j(ω+1) − 1 and stays
+// valid for the join result.
+func E8KeyedJoinTreewidth() (*Report, error) {
+	rep := &Report{ID: "E8", Artifact: "Theorem 5.5", Title: "keyed join treewidth bound j(ω+1)−1"}
+	rng := rand.New(rand.NewSource(101))
+	for _, sArity := range []int{2, 3, 4} {
+		worstRatio := 0.0
+		checked := 0
+		for trial := 0; trial < 12; trial++ {
+			r, s := randomKeyedPair(rng, 10+rng.Intn(12), sArity, 6)
+			g := database.GaifmanOf(r, s)
+			if g.N() == 0 {
+				continue
+			}
+			d, omega, err := treewidth.Heuristic(g)
+			if err != nil {
+				return nil, err
+			}
+			lifted, err := treewidth.KeyedJoinDecomposition(g, d, r, s, 1, 0)
+			if err != nil {
+				return nil, err
+			}
+			joined, err := relation.EquiJoin(r, s, [][2]int{{1, 0}})
+			if err != nil {
+				return nil, err
+			}
+			if joined.Size() == 0 {
+				continue
+			}
+			h := database.GaifmanOf(joined)
+			rel, err := lifted.RelabelTo(g, h)
+			if err != nil {
+				return nil, err
+			}
+			if err := treewidth.Validate(h, rel); err != nil {
+				return nil, fmt.Errorf("E8: invalid lifted decomposition: %v", err)
+			}
+			bound := sArity*(omega+1) - 1
+			if lifted.Width() > bound {
+				rep.Rows = append(rep.Rows, boolRow(
+					fmt.Sprintf("arity %d trial %d", sArity, trial),
+					fmt.Sprintf("width <= %d", bound),
+					fmt.Sprintf("width %d", lifted.Width()),
+					false,
+				))
+				continue
+			}
+			ratio := float64(lifted.Width()) / float64(bound)
+			if ratio > worstRatio {
+				worstRatio = ratio
+			}
+			checked++
+		}
+		rep.Rows = append(rep.Rows, boolRow(
+			fmt.Sprintf("S arity j=%d (%d joins)", sArity, checked),
+			"lifted width <= j(ω+1)−1, decomposition valid",
+			fmt.Sprintf("all within bound; worst fill %.0f%%", worstRatio*100),
+			checked > 0,
+		))
+	}
+	return rep, nil
+}
+
+func randomKeyedPair(rng *rand.Rand, rSize, sArity, universe int) (*relation.Relation, *relation.Relation) {
+	r := relation.New("R", "ra", "rb")
+	for i := 0; i < rSize; i++ {
+		r.MustInsert(
+			relation.Value(fmt.Sprintf("u%d", rng.Intn(universe))),
+			relation.Value(fmt.Sprintf("k%d", rng.Intn(universe))),
+		)
+	}
+	attrs := make([]string, sArity)
+	for i := range attrs {
+		attrs[i] = fmt.Sprintf("s%d", i)
+	}
+	s := relation.New("S", attrs...)
+	for k := 0; k < universe; k++ {
+		row := make(relation.Tuple, sArity)
+		row[0] = relation.Value(fmt.Sprintf("k%d", k))
+		for i := 1; i < sArity; i++ {
+			row[i] = relation.Value(fmt.Sprintf("w%d", rng.Intn(universe)))
+		}
+		s.MustInsert(row...)
+	}
+	return r, s
+}
+
+// E9KeyedJoinChain measures Proposition 5.7: a chain of keyed joins
+// repeatedly lifted through the Theorem 5.5 transformer stays within
+// ℓ^(n−1)·(1 + max(ω, 2)) − 1.
+func E9KeyedJoinChain() (*Report, error) {
+	rep := &Report{ID: "E9", Artifact: "Proposition 5.7", Title: "sequences of keyed joins"}
+	rng := rand.New(rand.NewSource(202))
+	for _, chainLen := range []int{2, 3} {
+		const arity = 3
+		// Build R1 and keyed S2..Sn: Si's first column is a key matching
+		// the previous result's last column.
+		rels := make([]*relation.Relation, chainLen)
+		r1 := relation.New("R1", "a0", "a1")
+		for i := 0; i < 12; i++ {
+			r1.MustInsert(
+				relation.Value(fmt.Sprintf("x%d", rng.Intn(6))),
+				relation.Value(fmt.Sprintf("k1_%d", rng.Intn(6))),
+			)
+		}
+		rels[0] = r1
+		for s := 1; s < chainLen; s++ {
+			attrs := make([]string, arity)
+			for i := range attrs {
+				attrs[i] = fmt.Sprintf("s%d_%d", s, i)
+			}
+			sr := relation.New(fmt.Sprintf("S%d", s+1), attrs...)
+			for k := 0; k < 6; k++ {
+				sr.MustInsert(
+					relation.Value(fmt.Sprintf("k%d_%d", s, k)),
+					relation.Value(fmt.Sprintf("w%d_%d", s, rng.Intn(6))),
+					relation.Value(fmt.Sprintf("k%d_%d", s+1, rng.Intn(6))),
+				)
+			}
+			rels[s] = sr
+		}
+		g := database.GaifmanOf(rels...)
+		d, omega, err := treewidth.Heuristic(g)
+		if err != nil {
+			return nil, err
+		}
+		cur := rels[0]
+		curDecomp := d
+		ok := true
+		for s := 1; s < chainLen; s++ {
+			lifted, err := treewidth.KeyedJoinDecomposition(g, curDecomp, cur, rels[s], cur.Arity()-1, 0)
+			if err != nil {
+				return nil, err
+			}
+			cur, err = relation.EquiJoin(cur, rels[s], [][2]int{{cur.Arity() - 1, 0}})
+			if err != nil {
+				return nil, err
+			}
+			curDecomp = lifted
+		}
+		bound := 1
+		for i := 0; i < chainLen-1; i++ {
+			bound *= arity
+		}
+		maxTW := omega
+		if maxTW < 2 {
+			maxTW = 2
+		}
+		bound = bound*(1+maxTW) - 1
+		if cur.Size() > 0 {
+			h := database.GaifmanOf(cur)
+			relabeled, err := curDecomp.RelabelTo(g, h)
+			if err != nil {
+				return nil, err
+			}
+			if err := treewidth.Validate(h, relabeled); err != nil {
+				return nil, fmt.Errorf("E9: invalid chained decomposition: %v", err)
+			}
+		}
+		ok = ok && curDecomp.Width() <= bound
+		rep.Rows = append(rep.Rows, boolRow(
+			fmt.Sprintf("chain length %d (ℓ=%d, ω=%d)", chainLen, arity, omega),
+			fmt.Sprintf("width <= %d", bound),
+			fmt.Sprintf("width %d", curDecomp.Width()),
+			ok,
+		))
+	}
+	return rep, nil
+}
+
+// E10TWPreservationNoFDs reproduces Proposition 5.9: the pair test decides
+// preservation, and for non-preserving queries the coloring witness turns
+// into a database with tree inputs and clique outputs.
+func E10TWPreservationNoFDs() (*Report, error) {
+	rep := &Report{ID: "E10", Artifact: "Proposition 5.9", Title: "treewidth preservation without FDs"}
+	cases := []struct {
+		name     string
+		src      string
+		preserve bool
+	}{
+		{"self-join pair", "R2(X,Y,Z) <- R(X,Y), R(X,Z).", false},
+		{"chain projection", "Q(X,Z) <- R(X,Y), S(Y,Z).", false},
+		{"triangle", "S(X,Y,Z) <- R(X,Y), R(X,Z), R(Y,Z).", true},
+		{"single atom head", "Q(X,Y) <- R(X,Y), S(Y,Z).", true},
+	}
+	for _, c := range cases {
+		q := cq.MustParse(c.src)
+		col, has := coloring.TwoColoringNoFDs(q)
+		rep.Rows = append(rep.Rows, boolRow(
+			c.name+": preserved?",
+			fmt.Sprintf("%v", c.preserve),
+			fmt.Sprintf("%v", !has),
+			has != c.preserve,
+		))
+		if !has {
+			continue
+		}
+		const M = 6
+		db, err := construct.ProductWitness(q, col, M)
+		if err != nil {
+			return nil, err
+		}
+		gin := db.GaifmanGraph()
+		twIn, _, err := treewidth.Exact(gin)
+		if err != nil {
+			return nil, err
+		}
+		out, _, err := eval.JoinProject(q, db)
+		if err != nil {
+			return nil, err
+		}
+		lb := treewidth.LowerBound(database.GaifmanOf(out))
+		rep.Rows = append(rep.Rows, boolRow(
+			c.name+": blowup witness (M=6)",
+			fmt.Sprintf("tw(in) <= 1, tw(out) >= %d", M-1),
+			fmt.Sprintf("tw(in) = %d, tw(out) >= %d", twIn, lb),
+			twIn <= 1 && lb >= M-1,
+		))
+	}
+	return rep, nil
+}
+
+// E11TWPreservationFDs reproduces Theorem 5.10: keys can rescue
+// preservation, and the SAT decision agrees with the Theorem 4.4 pipeline
+// on simple keys.
+func E11TWPreservationFDs() (*Report, error) {
+	rep := &Report{ID: "E11", Artifact: "Theorem 5.10", Title: "treewidth preservation with simple keys"}
+	cases := []struct {
+		name     string
+		src      string
+		preserve bool
+	}{
+		{"chain, no key", "Q(X,Z) <- R(X,Y), S(Y,Z).", false},
+		{"chain, key on S", "Q(X,Z) <- R(X,Y), S(Y,Z).\nkey S[1].", true},
+		{"disjoint pair, key", "Q(Y,Z) <- R(X,Y), S(W,Z).\nkey R[1].", false},
+		{"keyed self-join", "Q(X,Y,Z) <- R(X,Y), R(X,Z).\nkey R[1].", true},
+	}
+	for _, c := range cases {
+		q := cq.MustParse(c.src)
+		col, ch, has, err := coloring.TwoColoringSimpleFDs(q)
+		if err != nil {
+			return nil, err
+		}
+		dec := sat.DecideTwoColoring(q)
+		rep.Rows = append(rep.Rows, boolRow(
+			c.name+": preserved?",
+			fmt.Sprintf("%v", c.preserve),
+			fmt.Sprintf("%v (SAT agrees: %v)", !has, dec.Exists == has),
+			has != c.preserve && dec.Exists == has,
+		))
+		if !has {
+			continue
+		}
+		const M = 5
+		db, err := construct.ProductWitness(ch, col, M)
+		if err != nil {
+			return nil, err
+		}
+		if err := db.CheckFDs(q); err != nil {
+			return nil, err
+		}
+		gin := db.GaifmanGraph()
+		twIn, _, err := treewidth.Exact(gin)
+		if err != nil {
+			return nil, err
+		}
+		out, _, err := eval.JoinProject(q, db)
+		if err != nil {
+			return nil, err
+		}
+		lb := treewidth.LowerBound(database.GaifmanOf(out))
+		rep.Rows = append(rep.Rows, boolRow(
+			c.name+": blowup witness (M=5)",
+			fmt.Sprintf("tw(in) <= 1, tw(out) >= %d", M-1),
+			fmt.Sprintf("tw(in) = %d, tw(out) >= %d", twIn, lb),
+			twIn <= 1 && lb >= M-1,
+		))
+	}
+	return rep, nil
+}

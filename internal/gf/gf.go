@@ -1,0 +1,184 @@
+// Package gf implements arithmetic in prime fields GF(p), univariate
+// polynomials over them, and Shamir secret sharing. Proposition 6.11 builds
+// its super-constant-gap database from the full family of degree-(k/2−1)
+// polynomials over GF(N) — Shamir (k/2, k) secret shares — and this package
+// is that substrate.
+package gf
+
+import "fmt"
+
+// Field is the prime field GF(P). P must be prime; IsPrime can check.
+type Field struct {
+	P int64
+}
+
+// NewField returns GF(p), validating primality.
+func NewField(p int64) (Field, error) {
+	if !IsPrime(p) {
+		return Field{}, fmt.Errorf("gf: %d is not prime", p)
+	}
+	return Field{P: p}, nil
+}
+
+// IsPrime reports whether n is prime (trial division; fields here are tiny).
+func IsPrime(n int64) bool {
+	if n < 2 {
+		return false
+	}
+	for d := int64(2); d*d <= n; d++ {
+		if n%d == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Norm maps x into [0, P).
+func (f Field) Norm(x int64) int64 {
+	x %= f.P
+	if x < 0 {
+		x += f.P
+	}
+	return x
+}
+
+// Add returns x + y mod P.
+func (f Field) Add(x, y int64) int64 { return f.Norm(f.Norm(x) + f.Norm(y)) }
+
+// Sub returns x − y mod P.
+func (f Field) Sub(x, y int64) int64 { return f.Norm(f.Norm(x) - f.Norm(y)) }
+
+// Mul returns x·y mod P.
+func (f Field) Mul(x, y int64) int64 { return f.Norm(f.Norm(x) * f.Norm(y)) }
+
+// Pow returns x^e mod P for e ≥ 0.
+func (f Field) Pow(x, e int64) int64 {
+	if e < 0 {
+		panic("gf: negative exponent")
+	}
+	result := int64(1)
+	base := f.Norm(x)
+	for e > 0 {
+		if e&1 == 1 {
+			result = f.Mul(result, base)
+		}
+		base = f.Mul(base, base)
+		e >>= 1
+	}
+	return result
+}
+
+// Inv returns the multiplicative inverse of x (x ≠ 0 mod P).
+func (f Field) Inv(x int64) int64 {
+	x = f.Norm(x)
+	if x == 0 {
+		panic("gf: inverse of zero")
+	}
+	return f.Pow(x, f.P-2) // Fermat
+}
+
+// Poly is a polynomial over a field, coefficient i multiplying x^i.
+type Poly []int64
+
+// Eval evaluates the polynomial at x by Horner's rule.
+func (f Field) Eval(p Poly, x int64) int64 {
+	acc := int64(0)
+	for i := len(p) - 1; i >= 0; i-- {
+		acc = f.Add(f.Mul(acc, x), p[i])
+	}
+	return acc
+}
+
+// Interpolate returns the unique polynomial of degree < len(points) through
+// the given (x, y) points (Lagrange interpolation). The x values must be
+// distinct.
+func (f Field) Interpolate(xs, ys []int64) (Poly, error) {
+	n := len(xs)
+	if len(ys) != n {
+		return nil, fmt.Errorf("gf: %d xs but %d ys", n, len(ys))
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if f.Norm(xs[i]) == f.Norm(xs[j]) {
+				return nil, fmt.Errorf("gf: repeated x value %d", xs[i])
+			}
+		}
+	}
+	result := make(Poly, n)
+	for i := 0; i < n; i++ {
+		// Lagrange basis polynomial l_i scaled by ys[i].
+		basis := Poly{1}
+		denom := int64(1)
+		for j := 0; j < n; j++ {
+			if j == i {
+				continue
+			}
+			// basis *= (x - xs[j])
+			next := make(Poly, len(basis)+1)
+			for k, c := range basis {
+				next[k+1] = f.Add(next[k+1], c)
+				next[k] = f.Sub(next[k], f.Mul(c, xs[j]))
+			}
+			basis = next
+			denom = f.Mul(denom, f.Sub(xs[i], xs[j]))
+		}
+		scale := f.Mul(ys[i], f.Inv(denom))
+		for k, c := range basis {
+			result[k] = f.Add(result[k], f.Mul(c, scale))
+		}
+	}
+	// Trim leading zeros.
+	for len(result) > 1 && result[len(result)-1] == 0 {
+		result = result[:len(result)-1]
+	}
+	return result, nil
+}
+
+// AllPolynomials enumerates every polynomial of degree < deg (i.e. with deg
+// coefficients, including high zeros) over the field, in lexicographic
+// coefficient order — P^deg polynomials. Used by the Proposition 6.11
+// construction, which needs the complete family.
+func (f Field) AllPolynomials(deg int) []Poly {
+	if deg <= 0 {
+		return nil
+	}
+	total := int64(1)
+	for i := 0; i < deg; i++ {
+		total *= f.P
+	}
+	out := make([]Poly, 0, total)
+	coeffs := make(Poly, deg)
+	var rec func(i int)
+	rec = func(i int) {
+		if i == deg {
+			out = append(out, append(Poly(nil), coeffs...))
+			return
+		}
+		for c := int64(0); c < f.P; c++ {
+			coeffs[i] = c
+			rec(i + 1)
+		}
+	}
+	rec(0)
+	return out
+}
+
+// ShamirShares returns the k evaluation points (p(x0), ..., p(x_{k-1})) of a
+// secret polynomial — a (t, k) Shamir sharing when p has t coefficients.
+func (f Field) ShamirShares(p Poly, xs []int64) []int64 {
+	out := make([]int64, len(xs))
+	for i, x := range xs {
+		out[i] = f.Eval(p, x)
+	}
+	return out
+}
+
+// ShamirRecover reconstructs the secret p(at) from t shares (xs[i], ys[i])
+// of a polynomial with t coefficients.
+func (f Field) ShamirRecover(xs, ys []int64, at int64) (int64, error) {
+	p, err := f.Interpolate(xs, ys)
+	if err != nil {
+		return 0, err
+	}
+	return f.Eval(p, at), nil
+}

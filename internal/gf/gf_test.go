@@ -1,0 +1,185 @@
+package gf
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestIsPrime(t *testing.T) {
+	primes := []int64{2, 3, 5, 7, 11, 13, 101}
+	for _, p := range primes {
+		if !IsPrime(p) {
+			t.Errorf("IsPrime(%d) = false", p)
+		}
+	}
+	composites := []int64{-1, 0, 1, 4, 9, 15, 100}
+	for _, c := range composites {
+		if IsPrime(c) {
+			t.Errorf("IsPrime(%d) = true", c)
+		}
+	}
+}
+
+func TestNewFieldRejectsComposite(t *testing.T) {
+	if _, err := NewField(6); err == nil {
+		t.Fatal("NewField(6) accepted")
+	}
+}
+
+func TestFieldAxiomsQuick(t *testing.T) {
+	f, _ := NewField(101)
+	// Additive and multiplicative commutativity/associativity plus
+	// distributivity on random triples.
+	err := quick.Check(func(a, b, c int64) bool {
+		if f.Add(a, b) != f.Add(b, a) || f.Mul(a, b) != f.Mul(b, a) {
+			return false
+		}
+		if f.Add(f.Add(a, b), c) != f.Add(a, f.Add(b, c)) {
+			return false
+		}
+		if f.Mul(f.Mul(a, b), c) != f.Mul(a, f.Mul(b, c)) {
+			return false
+		}
+		return f.Mul(a, f.Add(b, c)) == f.Add(f.Mul(a, b), f.Mul(a, c))
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInverse(t *testing.T) {
+	f, _ := NewField(13)
+	for x := int64(1); x < 13; x++ {
+		if f.Mul(x, f.Inv(x)) != 1 {
+			t.Fatalf("x=%d: x * x^-1 != 1", x)
+		}
+	}
+}
+
+func TestInverseOfZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Inv(0) did not panic")
+		}
+	}()
+	f, _ := NewField(7)
+	f.Inv(0)
+}
+
+func TestPow(t *testing.T) {
+	f, _ := NewField(7)
+	if f.Pow(3, 0) != 1 || f.Pow(3, 1) != 3 || f.Pow(3, 6) != 1 {
+		t.Fatal("Pow wrong (Fermat check failed)")
+	}
+}
+
+func TestEvalHorner(t *testing.T) {
+	f, _ := NewField(11)
+	p := Poly{1, 2, 3} // 1 + 2x + 3x²
+	if got := f.Eval(p, 2); got != f.Norm(1+4+12) {
+		t.Fatalf("Eval = %d", got)
+	}
+}
+
+func TestInterpolateRoundTrip(t *testing.T) {
+	f, _ := NewField(13)
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		deg := 1 + rng.Intn(5)
+		p := make(Poly, deg)
+		for i := range p {
+			p[i] = rng.Int63n(13)
+		}
+		xs := make([]int64, deg)
+		ys := make([]int64, deg)
+		for i := range xs {
+			xs[i] = int64(i)
+			ys[i] = f.Eval(p, xs[i])
+		}
+		q, err := f.Interpolate(xs, ys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for x := int64(0); x < 13; x++ {
+			if f.Eval(p, x) != f.Eval(q, x) {
+				t.Fatalf("trial %d: interpolation differs at %d", trial, x)
+			}
+		}
+	}
+}
+
+func TestInterpolateRejectsRepeatedX(t *testing.T) {
+	f, _ := NewField(7)
+	if _, err := f.Interpolate([]int64{1, 1}, []int64{2, 3}); err == nil {
+		t.Fatal("accepted repeated x")
+	}
+}
+
+func TestAllPolynomials(t *testing.T) {
+	f, _ := NewField(3)
+	ps := f.AllPolynomials(2)
+	if len(ps) != 9 {
+		t.Fatalf("|polys| = %d, want 9", len(ps))
+	}
+	seen := make(map[[2]int64]bool)
+	for _, p := range ps {
+		k := [2]int64{p[0], p[1]}
+		if seen[k] {
+			t.Fatalf("duplicate polynomial %v", p)
+		}
+		seen[k] = true
+	}
+}
+
+func TestShamirRecover(t *testing.T) {
+	f, _ := NewField(11)
+	secret := Poly{5, 3} // secret 5, threshold 2
+	xs := []int64{1, 2, 3, 4}
+	shares := f.ShamirShares(secret, xs)
+	// Any 2 shares recover p(0) = 5.
+	got, err := f.ShamirRecover([]int64{xs[1], xs[3]}, []int64{shares[1], shares[3]}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 5 {
+		t.Fatalf("recovered %d, want 5", got)
+	}
+}
+
+// TestShamirProjectionSizes checks the property Proposition 6.11 needs: for
+// the full family of degree-(t-1) polynomials evaluated at k points, the
+// projection onto any set of s coordinates has size N^min(s,t).
+func TestShamirProjectionSizes(t *testing.T) {
+	f, _ := NewField(5)
+	const tThresh, k = 2, 4
+	polys := f.AllPolynomials(tThresh)
+	xs := []int64{0, 1, 2, 3}
+	rows := make([][]int64, len(polys))
+	for i, p := range polys {
+		rows[i] = f.ShamirShares(p, xs)
+	}
+	for mask := 1; mask < 1<<k; mask++ {
+		var cols []int
+		for j := 0; j < k; j++ {
+			if mask&(1<<j) != 0 {
+				cols = append(cols, j)
+			}
+		}
+		proj := make(map[string]bool)
+		for _, row := range rows {
+			key := ""
+			for _, c := range cols {
+				key += string(rune('a' + row[c]))
+			}
+			proj[key] = true
+		}
+		want := 1
+		for i := 0; i < len(cols) && i < tThresh; i++ {
+			want *= 5
+		}
+		if len(proj) != want {
+			t.Fatalf("projection onto %v has %d rows, want %d", cols, len(proj), want)
+		}
+	}
+}

@@ -1,0 +1,316 @@
+// Package graph provides undirected simple graphs with labeled vertices,
+// the generators used by the paper's constructions (grids, cliques, the
+// Figure 1 gadget's lattice), and the small algorithms the treewidth
+// machinery builds on.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Graph is an undirected simple graph. Vertices are dense integers with
+// optional string labels (labels are unique when used).
+type Graph struct {
+	labels  []string
+	byLabel map[string]int
+	adj     []map[int]bool
+}
+
+// New returns an empty graph.
+func New() *Graph {
+	return &Graph{byLabel: make(map[string]int)}
+}
+
+// AddVertex adds an unlabeled vertex and returns its index.
+func (g *Graph) AddVertex() int {
+	g.labels = append(g.labels, "")
+	g.adj = append(g.adj, make(map[int]bool))
+	return len(g.labels) - 1
+}
+
+// EnsureVertex returns the vertex with the given label, creating it if
+// needed.
+func (g *Graph) EnsureVertex(label string) int {
+	if v, ok := g.byLabel[label]; ok {
+		return v
+	}
+	v := g.AddVertex()
+	g.labels[v] = label
+	g.byLabel[label] = v
+	return v
+}
+
+// VertexByLabel returns the vertex with the given label.
+func (g *Graph) VertexByLabel(label string) (int, bool) {
+	v, ok := g.byLabel[label]
+	return v, ok
+}
+
+// Label returns the label of vertex v (may be empty).
+func (g *Graph) Label(v int) string { return g.labels[v] }
+
+// N returns the number of vertices.
+func (g *Graph) N() int { return len(g.adj) }
+
+// M returns the number of edges.
+func (g *Graph) M() int {
+	total := 0
+	for _, nb := range g.adj {
+		total += len(nb)
+	}
+	return total / 2
+}
+
+// AddEdge adds the undirected edge {u, v}; self-loops are ignored.
+func (g *Graph) AddEdge(u, v int) {
+	if u == v {
+		return
+	}
+	g.adj[u][v] = true
+	g.adj[v][u] = true
+}
+
+// AddEdgeLabels adds an edge between labeled vertices, creating them as
+// needed.
+func (g *Graph) AddEdgeLabels(a, b string) {
+	g.AddEdge(g.EnsureVertex(a), g.EnsureVertex(b))
+}
+
+// HasEdge reports whether {u, v} is an edge.
+func (g *Graph) HasEdge(u, v int) bool { return g.adj[u][v] }
+
+// HasEdgeLabels reports whether an edge joins the two labels.
+func (g *Graph) HasEdgeLabels(a, b string) bool {
+	u, ok := g.byLabel[a]
+	if !ok {
+		return false
+	}
+	v, ok := g.byLabel[b]
+	if !ok {
+		return false
+	}
+	return g.HasEdge(u, v)
+}
+
+// Neighbors returns the sorted neighbor list of v.
+func (g *Graph) Neighbors(v int) []int {
+	out := make([]int, 0, len(g.adj[v]))
+	for u := range g.adj[v] {
+		out = append(out, u)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Degree returns the degree of v.
+func (g *Graph) Degree(v int) int { return len(g.adj[v]) }
+
+// Clone returns a deep copy.
+func (g *Graph) Clone() *Graph {
+	out := New()
+	out.labels = append([]string(nil), g.labels...)
+	for l, v := range g.byLabel {
+		out.byLabel[l] = v
+	}
+	out.adj = make([]map[int]bool, len(g.adj))
+	for v, nb := range g.adj {
+		cp := make(map[int]bool, len(nb))
+		for u := range nb {
+			cp[u] = true
+		}
+		out.adj[v] = cp
+	}
+	return out
+}
+
+// Edges returns all edges as ordered pairs (u < v), sorted.
+func (g *Graph) Edges() [][2]int {
+	var out [][2]int
+	for u := range g.adj {
+		for v := range g.adj[u] {
+			if u < v {
+				out = append(out, [2]int{u, v})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	return out
+}
+
+// InducedSubgraph returns the subgraph induced by keep, with vertices
+// renumbered densely; labels are preserved.
+func (g *Graph) InducedSubgraph(keep []int) *Graph {
+	out := New()
+	idx := make(map[int]int, len(keep))
+	for _, v := range keep {
+		nv := out.AddVertex()
+		if g.labels[v] != "" {
+			out.labels[nv] = g.labels[v]
+			out.byLabel[g.labels[v]] = nv
+		}
+		idx[v] = nv
+	}
+	for _, v := range keep {
+		for u := range g.adj[v] {
+			if nu, ok := idx[u]; ok && u > v {
+				out.AddEdge(idx[v], nu)
+			}
+		}
+	}
+	return out
+}
+
+// Components returns the connected components as vertex lists.
+func (g *Graph) Components() [][]int {
+	seen := make([]bool, g.N())
+	var comps [][]int
+	for s := 0; s < g.N(); s++ {
+		if seen[s] {
+			continue
+		}
+		var comp []int
+		stack := []int{s}
+		seen[s] = true
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			comp = append(comp, v)
+			for u := range g.adj[v] {
+				if !seen[u] {
+					seen[u] = true
+					stack = append(stack, u)
+				}
+			}
+		}
+		sort.Ints(comp)
+		comps = append(comps, comp)
+	}
+	return comps
+}
+
+// Degeneracy returns the graph degeneracy (max over subgraphs of the minimum
+// degree), a classical treewidth lower... upper-bound companion: degeneracy
+// ≤ treewidth. Computed by repeatedly removing a minimum-degree vertex.
+func (g *Graph) Degeneracy() int {
+	h := g.Clone()
+	alive := make(map[int]bool)
+	for v := 0; v < h.N(); v++ {
+		alive[v] = true
+	}
+	best := 0
+	for len(alive) > 0 {
+		minV, minD := -1, 1<<30
+		for v := range alive {
+			d := 0
+			for u := range h.adj[v] {
+				if alive[u] {
+					d++
+				}
+			}
+			if d < minD {
+				minV, minD = v, d
+			}
+		}
+		if minD > best {
+			best = minD
+		}
+		delete(alive, minV)
+	}
+	return best
+}
+
+// IsClique reports whether the vertices are pairwise adjacent.
+func (g *Graph) IsClique(vs []int) bool {
+	for i := 0; i < len(vs); i++ {
+		for j := i + 1; j < len(vs); j++ {
+			if !g.HasEdge(vs[i], vs[j]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Path returns the path graph on n vertices labeled "p0".."p(n-1)".
+func Path(n int) *Graph {
+	g := New()
+	for i := 0; i < n; i++ {
+		g.EnsureVertex(fmt.Sprintf("p%d", i))
+	}
+	for i := 0; i+1 < n; i++ {
+		g.AddEdge(i, i+1)
+	}
+	return g
+}
+
+// Cycle returns the cycle on n vertices.
+func Cycle(n int) *Graph {
+	g := Path(n)
+	if n >= 3 {
+		g.AddEdge(n-1, 0)
+	}
+	return g
+}
+
+// Complete returns the clique K_n.
+func Complete(n int) *Graph {
+	g := New()
+	for i := 0; i < n; i++ {
+		g.EnsureVertex(fmt.Sprintf("k%d", i))
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			g.AddEdge(i, j)
+		}
+	}
+	return g
+}
+
+// GridLabel is the label of grid vertex (i, j), 1-based.
+func GridLabel(i, j int) string { return fmt.Sprintf("v%d_%d", i, j) }
+
+// Grid returns the rows × cols rectangular lattice with vertices labeled by
+// GridLabel (1-based coordinates). Its treewidth is min(rows, cols) for
+// rows+cols ≥ 3 (Fact 5.1).
+func Grid(rows, cols int) *Graph {
+	g := New()
+	for i := 1; i <= rows; i++ {
+		for j := 1; j <= cols; j++ {
+			g.EnsureVertex(GridLabel(i, j))
+		}
+	}
+	for i := 1; i <= rows; i++ {
+		for j := 1; j <= cols; j++ {
+			if j < cols {
+				g.AddEdgeLabels(GridLabel(i, j), GridLabel(i, j+1))
+			}
+			if i < rows {
+				g.AddEdgeLabels(GridLabel(i, j), GridLabel(i+1, j))
+			}
+		}
+	}
+	return g
+}
+
+// ContainsGrid reports whether the graph contains all edges of a rows × cols
+// grid whose (i, j) vertex carries label(i, j) — i.e. the labeled grid is a
+// subgraph. Missing vertices count as absent edges.
+func (g *Graph) ContainsGrid(rows, cols int, label func(i, j int) string) bool {
+	for i := 1; i <= rows; i++ {
+		for j := 1; j <= cols; j++ {
+			if j < cols && !g.HasEdgeLabels(label(i, j), label(i, j+1)) {
+				return false
+			}
+			if i < rows && !g.HasEdgeLabels(label(i, j), label(i+1, j)) {
+				return false
+			}
+		}
+	}
+	return true
+}

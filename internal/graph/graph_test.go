@@ -1,0 +1,124 @@
+package graph
+
+import "testing"
+
+func TestBasicOps(t *testing.T) {
+	g := New()
+	a := g.EnsureVertex("a")
+	b := g.EnsureVertex("b")
+	if a2 := g.EnsureVertex("a"); a2 != a {
+		t.Fatal("EnsureVertex created duplicate")
+	}
+	g.AddEdge(a, b)
+	g.AddEdge(a, a) // self-loop ignored
+	if g.N() != 2 || g.M() != 1 {
+		t.Fatalf("N=%d M=%d", g.N(), g.M())
+	}
+	if !g.HasEdge(a, b) || !g.HasEdge(b, a) {
+		t.Fatal("edge not symmetric")
+	}
+	if !g.HasEdgeLabels("a", "b") || g.HasEdgeLabels("a", "zz") {
+		t.Fatal("HasEdgeLabels wrong")
+	}
+	if g.Degree(a) != 1 {
+		t.Fatalf("Degree = %d", g.Degree(a))
+	}
+}
+
+func TestGenerators(t *testing.T) {
+	if p := Path(5); p.N() != 5 || p.M() != 4 {
+		t.Fatalf("Path(5): N=%d M=%d", p.N(), p.M())
+	}
+	if c := Cycle(5); c.N() != 5 || c.M() != 5 {
+		t.Fatalf("Cycle(5): N=%d M=%d", c.N(), c.M())
+	}
+	if k := Complete(5); k.M() != 10 {
+		t.Fatalf("K5: M=%d", k.M())
+	}
+	g := Grid(3, 4)
+	if g.N() != 12 || g.M() != 3*3+2*4 {
+		t.Fatalf("Grid(3,4): N=%d M=%d", g.N(), g.M())
+	}
+}
+
+func TestContainsGrid(t *testing.T) {
+	g := Grid(3, 4)
+	if !g.ContainsGrid(3, 4, GridLabel) {
+		t.Fatal("grid does not contain itself")
+	}
+	if !g.ContainsGrid(2, 3, GridLabel) {
+		t.Fatal("grid should contain its top-left subgrid")
+	}
+	if g.ContainsGrid(4, 4, GridLabel) {
+		t.Fatal("3x4 grid cannot contain a 4x4 grid at the same labels")
+	}
+}
+
+func TestComponents(t *testing.T) {
+	g := New()
+	g.AddEdgeLabels("a", "b")
+	g.EnsureVertex("c")
+	comps := g.Components()
+	if len(comps) != 2 {
+		t.Fatalf("Components = %v", comps)
+	}
+}
+
+func TestDegeneracy(t *testing.T) {
+	if d := Complete(5).Degeneracy(); d != 4 {
+		t.Fatalf("K5 degeneracy = %d, want 4", d)
+	}
+	if d := Cycle(6).Degeneracy(); d != 2 {
+		t.Fatalf("C6 degeneracy = %d, want 2", d)
+	}
+	if d := Path(6).Degeneracy(); d != 1 {
+		t.Fatalf("P6 degeneracy = %d, want 1", d)
+	}
+	if d := Grid(4, 4).Degeneracy(); d != 2 {
+		t.Fatalf("grid degeneracy = %d, want 2", d)
+	}
+}
+
+func TestInducedSubgraph(t *testing.T) {
+	g := Complete(4)
+	sub := g.InducedSubgraph([]int{0, 1, 2})
+	if sub.N() != 3 || sub.M() != 3 {
+		t.Fatalf("induced: N=%d M=%d", sub.N(), sub.M())
+	}
+	if !sub.IsClique([]int{0, 1, 2}) {
+		t.Fatal("induced K3 not a clique")
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	g := Path(3)
+	h := g.Clone()
+	h.AddEdge(0, 2)
+	if g.HasEdge(0, 2) {
+		t.Fatal("Clone shares adjacency")
+	}
+}
+
+func TestEdgesSorted(t *testing.T) {
+	g := Cycle(4)
+	es := g.Edges()
+	if len(es) != 4 {
+		t.Fatalf("Edges = %v", es)
+	}
+	for i := 1; i < len(es); i++ {
+		if es[i-1][0] > es[i][0] || (es[i-1][0] == es[i][0] && es[i-1][1] >= es[i][1]) {
+			t.Fatalf("Edges not sorted: %v", es)
+		}
+	}
+}
+
+func TestIsClique(t *testing.T) {
+	g := Complete(4)
+	if !g.IsClique([]int{0, 1, 2, 3}) {
+		t.Fatal("K4 should be a clique")
+	}
+	p := Path(3)
+	if p.IsClique([]int{0, 1, 2}) {
+		t.Fatal("path is not a clique")
+	}
+}

@@ -1,0 +1,136 @@
+// Package hornsat solves dual-Horn propositional formulas — conjunctions of
+// clauses with at most one negative literal each — in linear time by
+// counter-based false-propagation (the dual of Dowling–Gallier unit
+// propagation), and uses them to decide in polynomial time whether a
+// conjunctive query with arbitrary functional dependencies can produce more
+// tuples than its inputs, i.e. whether C(chase(Q)) > 1 (Theorem 7.2).
+package hornsat
+
+import (
+	"fmt"
+
+	"cqbound/internal/chase"
+	"cqbound/internal/cq"
+)
+
+// Clause is a dual-Horn clause: a disjunction of the positive literals Pos
+// and at most one negative literal Neg (-1 when absent). Variables are
+// 0-based.
+type Clause struct {
+	Pos []int
+	Neg int
+}
+
+// Solve decides satisfiability of the conjunction of dual-Horn clauses over
+// nvars variables. When satisfiable it returns the maximal model: the
+// assignment setting as many variables true as possible (unique for
+// dual-Horn formulas).
+func Solve(nvars int, clauses []Clause) (bool, []bool) {
+	assignment := make([]bool, nvars)
+	for i := range assignment {
+		assignment[i] = true
+	}
+	// remaining[c]: count of positive literals not yet falsified.
+	remaining := make([]int, len(clauses))
+	watch := make([][]int, nvars) // variable -> clauses where it occurs positively
+	var queue []int               // variables to make false
+	enqueued := make([]bool, nvars)
+	force := func(v int) {
+		if !enqueued[v] {
+			enqueued[v] = true
+			queue = append(queue, v)
+		}
+	}
+	for ci, c := range clauses {
+		if c.Neg < -1 || c.Neg >= nvars {
+			panic(fmt.Sprintf("hornsat: bad negative literal %d", c.Neg))
+		}
+		remaining[ci] = len(c.Pos)
+		for _, v := range c.Pos {
+			if v < 0 || v >= nvars {
+				panic(fmt.Sprintf("hornsat: bad variable %d", v))
+			}
+			watch[v] = append(watch[v], ci)
+		}
+		if len(c.Pos) == 0 {
+			if c.Neg == -1 {
+				return false, nil // empty clause
+			}
+			force(c.Neg)
+		}
+	}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		if !assignment[v] {
+			continue
+		}
+		assignment[v] = false
+		for _, ci := range watch[v] {
+			remaining[ci]--
+			if remaining[ci] == 0 {
+				if clauses[ci].Neg == -1 {
+					return false, nil // all-positive clause falsified
+				}
+				force(clauses[ci].Neg)
+			}
+		}
+	}
+	return true, assignment
+}
+
+// SizeIncreaseDecision is the result of DecideSizeIncrease.
+type SizeIncreaseDecision struct {
+	// Increase reports whether some database D compatible with the query
+	// and its dependencies has |Q(D)| > rmax(D); equivalently,
+	// C(chase(Q)) > 1 (Theorem 6.1).
+	Increase bool
+	// BlockingAtom, when Increase is false, is the index of a body atom of
+	// chase(Q) whose SAT instance is unsatisfiable: every color appearing
+	// in the head must appear in this atom.
+	BlockingAtom int
+	// Chased is chase(Q).
+	Chased *cq.Query
+}
+
+// DecideSizeIncrease implements Theorem 7.2: after chasing, one dual-Horn
+// instance per body atom u_i asks for a single-color valid coloring that
+// colors some head variable but no variable of u_i. All instances
+// satisfiable ⇔ C(chase(Q)) > 1 (and then C ≥ m/(m−1)); any unsatisfiable
+// instance ⇔ C(chase(Q)) = 1.
+//
+// Arbitrary (compound) dependencies are supported directly: a dependency
+// X1...Xl -> Y becomes the dual-Horn clause (x1 ∨ ... ∨ xl ∨ ¬y), so the
+// Fact 6.12 left-hand-side reduction is not needed for the decision.
+func DecideSizeIncrease(q *cq.Query) SizeIncreaseDecision {
+	ch := chase.Chase(q).Query
+	vars := ch.Variables()
+	index := make(map[cq.Variable]int, len(vars))
+	for i, v := range vars {
+		index[v] = i
+	}
+	var fdClauses []Clause
+	for _, fd := range ch.VarFDs() {
+		c := Clause{Neg: index[fd.To]}
+		for _, v := range fd.From {
+			c.Pos = append(c.Pos, index[v])
+		}
+		fdClauses = append(fdClauses, c)
+	}
+	headClause := Clause{Neg: -1}
+	for _, v := range ch.HeadVars() {
+		headClause.Pos = append(headClause.Pos, index[v])
+	}
+	for i, atom := range ch.Body {
+		clauses := make([]Clause, 0, len(fdClauses)+len(atom.Vars)+1)
+		clauses = append(clauses, fdClauses...)
+		clauses = append(clauses, headClause)
+		for _, v := range atom.DistinctVars() {
+			clauses = append(clauses, Clause{Neg: index[v]}) // ¬x_v
+		}
+		if ok, _ := Solve(len(vars), clauses); !ok {
+			return SizeIncreaseDecision{Increase: false, BlockingAtom: i, Chased: ch}
+		}
+	}
+	return SizeIncreaseDecision{Increase: true, BlockingAtom: -1, Chased: ch}
+}

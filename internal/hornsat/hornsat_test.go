@@ -1,0 +1,120 @@
+package hornsat
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+
+	"cqbound/internal/construct"
+	"cqbound/internal/cq"
+	"cqbound/internal/datagen"
+	"cqbound/internal/entropy"
+)
+
+func TestSolveBasics(t *testing.T) {
+	// (x0) ∧ (¬x0 ∨ x1): maximal model all-true.
+	ok, a := Solve(2, []Clause{{Pos: []int{0}, Neg: -1}, {Pos: []int{1}, Neg: 0}})
+	if !ok || !a[0] || !a[1] {
+		t.Fatalf("got %v %v", ok, a)
+	}
+	// ¬x0 ∧ (x0): unsatisfiable.
+	ok, _ = Solve(1, []Clause{{Neg: 0}, {Pos: []int{0}, Neg: -1}})
+	if ok {
+		t.Fatal("accepted unsatisfiable formula")
+	}
+	// ¬x0 ∧ (x0 ∨ ¬x1) forces x1 false; (x2) stays true.
+	ok, a = Solve(3, []Clause{{Neg: 0}, {Pos: []int{0}, Neg: 1}, {Pos: []int{2}, Neg: -1}})
+	if !ok || a[0] || a[1] || !a[2] {
+		t.Fatalf("propagation wrong: %v %v", ok, a)
+	}
+	// Empty clause: unsatisfiable.
+	ok, _ = Solve(1, []Clause{{Neg: -1}})
+	if ok {
+		t.Fatal("accepted empty clause")
+	}
+}
+
+func TestSolvePropagationChain(t *testing.T) {
+	// ¬x0, (x0 ∨ ¬x1), (x1 ∨ ¬x2), ..., chain of forced falses.
+	n := 50
+	clauses := []Clause{{Neg: 0}}
+	for i := 1; i < n; i++ {
+		clauses = append(clauses, Clause{Pos: []int{i - 1}, Neg: i})
+	}
+	ok, a := Solve(n, clauses)
+	if !ok {
+		t.Fatal("chain should be satisfiable")
+	}
+	for i := 0; i < n; i++ {
+		if a[i] {
+			t.Fatalf("x%d should be forced false", i)
+		}
+	}
+}
+
+func TestDecideSizeIncreaseKnownQueries(t *testing.T) {
+	cases := []struct {
+		src  string
+		want bool
+	}{
+		{"Q(X,Y) <- R(X,Y).", false},
+		{"S(X,Y,Z) <- R(X,Y), R(X,Z), R(Y,Z).", true},
+		{"Q(X,Z) <- R(X,Y), S(Y,Z).", true},
+		{"Q(X,Z) <- R(X,Y), S(Y,Z).\nkey S[1].", false},
+		{"R0(W,X,Y,Z) <- R1(W,X,Y), R1(W,W,W), R2(Y,Z).\nkey R1[1].", false},
+		{"R2(X,Y,Z) <- R(X,Y), R(X,Z).", true},
+		// Compound dependency: X,Y -> Z kills the blowup of the product
+		// query only if it constrains the head... here it does not.
+		{"Q(X,Y,Z) <- R(X,Z), S(Y,Z).", true},
+	}
+	for _, c := range cases {
+		got := DecideSizeIncrease(cq.MustParse(c.src))
+		if got.Increase != c.want {
+			t.Errorf("%q: increase = %v, want %v", c.src, got.Increase, c.want)
+		}
+		if !got.Increase && got.BlockingAtom < 0 {
+			t.Errorf("%q: missing blocking atom", c.src)
+		}
+	}
+}
+
+func TestDecideSizeIncreaseShamir(t *testing.T) {
+	q, _, err := construct.Shamir(4, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := DecideSizeIncrease(q); !got.Increase {
+		t.Fatal("Shamir query must allow a size increase (C = 4/3 > 1)")
+	}
+}
+
+// TestAgreementWithEntropyLP cross-checks Theorem 7.2 against
+// Proposition 6.10: C(chase(Q)) > 1 iff the dual-Horn decision says so.
+func TestAgreementWithEntropyLP(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	one := big.NewRat(1, 1)
+	for trial := 0; trial < 50; trial++ {
+		q := datagen.RandomQuery(rng, datagen.QueryParams{
+			MaxVars: 5, MaxAtoms: 4, MaxArity: 3, HeadFraction: 0.5,
+			SimpleFDProb: 0.25, CompoundFDProb: 0.3, RepeatRelationProb: 0.3,
+		})
+		c, _, _, err := entropy.ColorNumber(q)
+		if err != nil {
+			t.Fatalf("trial %d (%s): %v", trial, q, err)
+		}
+		dec := DecideSizeIncrease(q)
+		if dec.Increase != (c.Cmp(one) > 0) {
+			t.Fatalf("trial %d: hornsat says %v but C = %v for %s", trial, dec.Increase, c, q)
+		}
+		// Theorem 6.1: increase possible implies C >= m/(m-1).
+		if dec.Increase {
+			m := int64(len(dec.Chased.Body))
+			if m >= 2 {
+				bound := big.NewRat(m, m-1)
+				if c.Cmp(bound) < 0 {
+					t.Fatalf("trial %d: C = %v below m/(m-1) = %v for %s", trial, c, bound, q)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,163 @@
+// Package lp provides linear programming with two interchangeable backends:
+// an exact two-phase primal simplex over arbitrary-precision rationals
+// (math/big.Rat) with Bland's anti-cycling rule, and a float64 simplex for
+// large instances. The paper's bounds (Proposition 3.6, Definition 3.5,
+// Propositions 6.9 and 6.10) are all linear programs whose optima are
+// rational with bit-length polynomial in the query, so the exact backend
+// returns them without rounding; the float backend is used for the
+// exponentially large entropy programs.
+package lp
+
+import (
+	"fmt"
+	"math/big"
+)
+
+// Sense is the optimization direction.
+type Sense int
+
+// Optimization senses.
+const (
+	Maximize Sense = iota
+	Minimize
+)
+
+// Rel is a constraint relation.
+type Rel int
+
+// Constraint relations.
+const (
+	LE Rel = iota // ≤
+	GE            // ≥
+	EQ            // =
+)
+
+func (r Rel) String() string {
+	switch r {
+	case LE:
+		return "<="
+	case GE:
+		return ">="
+	default:
+		return "="
+	}
+}
+
+// VarKind describes the sign restriction of a variable.
+type VarKind int
+
+// Variable kinds.
+const (
+	NonNegative VarKind = iota
+	Free
+)
+
+// Status is the outcome of a solve.
+type Status int
+
+// Solve outcomes.
+const (
+	Optimal Status = iota
+	Infeasible
+	Unbounded
+)
+
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	default:
+		return "unbounded"
+	}
+}
+
+type varDef struct {
+	name string
+	kind VarKind
+}
+
+type constraint struct {
+	coeffs map[int]*big.Rat
+	rel    Rel
+	rhs    *big.Rat
+}
+
+// Problem is a linear program under construction. The zero Problem is not
+// usable; create one with NewProblem.
+type Problem struct {
+	sense Sense
+	vars  []varDef
+	obj   map[int]*big.Rat
+	cons  []constraint
+}
+
+// NewProblem returns an empty linear program with the given sense.
+func NewProblem(sense Sense) *Problem {
+	return &Problem{sense: sense, obj: make(map[int]*big.Rat)}
+}
+
+// AddVariable adds a variable and returns its index.
+func (p *Problem) AddVariable(name string, kind VarKind) int {
+	p.vars = append(p.vars, varDef{name: name, kind: kind})
+	return len(p.vars) - 1
+}
+
+// NumVariables returns the number of variables added so far.
+func (p *Problem) NumVariables() int { return len(p.vars) }
+
+// NumConstraints returns the number of constraints added so far.
+func (p *Problem) NumConstraints() int { return len(p.cons) }
+
+// VariableName returns the name given to variable v.
+func (p *Problem) VariableName(v int) string { return p.vars[v].name }
+
+// SetObjective sets the objective coefficient of variable v (default 0).
+func (p *Problem) SetObjective(v int, c *big.Rat) {
+	if v < 0 || v >= len(p.vars) {
+		panic(fmt.Sprintf("lp: objective on unknown variable %d", v))
+	}
+	p.obj[v] = new(big.Rat).Set(c)
+}
+
+// AddConstraint adds the constraint Σ coeffs[v]·x_v  rel  rhs. The coeffs map
+// is copied.
+func (p *Problem) AddConstraint(coeffs map[int]*big.Rat, rel Rel, rhs *big.Rat) {
+	cp := make(map[int]*big.Rat, len(coeffs))
+	for v, c := range coeffs {
+		if v < 0 || v >= len(p.vars) {
+			panic(fmt.Sprintf("lp: constraint on unknown variable %d", v))
+		}
+		if c.Sign() != 0 {
+			cp[v] = new(big.Rat).Set(c)
+		}
+	}
+	p.cons = append(p.cons, constraint{coeffs: cp, rel: rel, rhs: new(big.Rat).Set(rhs)})
+}
+
+// Solution is the result of an exact solve.
+type Solution struct {
+	Status Status
+	// Value is the objective value in the problem's original sense. It is
+	// nil unless Status == Optimal.
+	Value *big.Rat
+	// X holds the value of each original variable. It is nil unless
+	// Status == Optimal.
+	X []*big.Rat
+}
+
+// FloatSolution is the result of a float64 solve.
+type FloatSolution struct {
+	Status Status
+	Value  float64
+	X      []float64
+}
+
+// Convenience rational constructors.
+
+// R returns the rational n/d.
+func R(n, d int64) *big.Rat { return big.NewRat(n, d) }
+
+// RI returns the rational n/1.
+func RI(n int64) *big.Rat { return big.NewRat(n, 1) }

@@ -1,0 +1,330 @@
+package lp
+
+import (
+	"math"
+	"math/big"
+	"math/rand"
+	"testing"
+)
+
+func TestSimpleMax(t *testing.T) {
+	// max x+y s.t. x+2y <= 4, x <= 2  ->  x=2, y=1, value 3.
+	p := NewProblem(Maximize)
+	x := p.AddVariable("x", NonNegative)
+	y := p.AddVariable("y", NonNegative)
+	p.SetObjective(x, RI(1))
+	p.SetObjective(y, RI(1))
+	p.AddConstraint(map[int]*big.Rat{x: RI(1), y: RI(2)}, LE, RI(4))
+	p.AddConstraint(map[int]*big.Rat{x: RI(1)}, LE, RI(2))
+	s := p.SolveExact()
+	if s.Status != Optimal {
+		t.Fatalf("status = %v", s.Status)
+	}
+	if s.Value.Cmp(RI(3)) != 0 {
+		t.Fatalf("value = %v, want 3", s.Value)
+	}
+	if s.X[x].Cmp(RI(2)) != 0 || s.X[y].Cmp(RI(1)) != 0 {
+		t.Fatalf("x = %v", s.X)
+	}
+}
+
+func TestSimpleMin(t *testing.T) {
+	// min x+y s.t. x+y >= 2  ->  2.
+	p := NewProblem(Minimize)
+	x := p.AddVariable("x", NonNegative)
+	y := p.AddVariable("y", NonNegative)
+	p.SetObjective(x, RI(1))
+	p.SetObjective(y, RI(1))
+	p.AddConstraint(map[int]*big.Rat{x: RI(1), y: RI(1)}, GE, RI(2))
+	s := p.SolveExact()
+	if s.Status != Optimal || s.Value.Cmp(RI(2)) != 0 {
+		t.Fatalf("got %v %v, want optimal 2", s.Status, s.Value)
+	}
+}
+
+func TestInfeasible(t *testing.T) {
+	p := NewProblem(Maximize)
+	x := p.AddVariable("x", NonNegative)
+	p.SetObjective(x, RI(1))
+	p.AddConstraint(map[int]*big.Rat{x: RI(1)}, GE, RI(2))
+	p.AddConstraint(map[int]*big.Rat{x: RI(1)}, LE, RI(1))
+	if s := p.SolveExact(); s.Status != Infeasible {
+		t.Fatalf("status = %v, want infeasible", s.Status)
+	}
+}
+
+func TestUnbounded(t *testing.T) {
+	p := NewProblem(Maximize)
+	x := p.AddVariable("x", NonNegative)
+	p.SetObjective(x, RI(1))
+	p.AddConstraint(map[int]*big.Rat{x: RI(1)}, GE, RI(1))
+	if s := p.SolveExact(); s.Status != Unbounded {
+		t.Fatalf("status = %v, want unbounded", s.Status)
+	}
+}
+
+func TestFreeVariable(t *testing.T) {
+	// min x s.t. x >= -5, x free  ->  -5.
+	p := NewProblem(Minimize)
+	x := p.AddVariable("x", Free)
+	p.SetObjective(x, RI(1))
+	p.AddConstraint(map[int]*big.Rat{x: RI(1)}, GE, RI(-5))
+	s := p.SolveExact()
+	if s.Status != Optimal || s.Value.Cmp(RI(-5)) != 0 {
+		t.Fatalf("got %v %v, want optimal -5", s.Status, s.Value)
+	}
+	if s.X[x].Cmp(RI(-5)) != 0 {
+		t.Fatalf("x = %v, want -5", s.X[x])
+	}
+}
+
+func TestEquality(t *testing.T) {
+	// max x + y s.t. x + y = 3, x <= 2 -> 3.
+	p := NewProblem(Maximize)
+	x := p.AddVariable("x", NonNegative)
+	y := p.AddVariable("y", NonNegative)
+	p.SetObjective(x, RI(1))
+	p.SetObjective(y, RI(1))
+	p.AddConstraint(map[int]*big.Rat{x: RI(1), y: RI(1)}, EQ, RI(3))
+	p.AddConstraint(map[int]*big.Rat{x: RI(1)}, LE, RI(2))
+	s := p.SolveExact()
+	if s.Status != Optimal || s.Value.Cmp(RI(3)) != 0 {
+		t.Fatalf("got %v %v, want optimal 3", s.Status, s.Value)
+	}
+}
+
+func TestNegativeRHS(t *testing.T) {
+	// max -x s.t. -x <= -2 (i.e. x >= 2) -> -2.
+	p := NewProblem(Maximize)
+	x := p.AddVariable("x", NonNegative)
+	p.SetObjective(x, RI(-1))
+	p.AddConstraint(map[int]*big.Rat{x: RI(-1)}, LE, RI(-2))
+	s := p.SolveExact()
+	if s.Status != Optimal || s.Value.Cmp(RI(-2)) != 0 {
+		t.Fatalf("got %v %v, want optimal -2", s.Status, s.Value)
+	}
+}
+
+func TestBealeCyclingExample(t *testing.T) {
+	// Beale's classic cycling instance; Bland's rule must terminate.
+	// max 3/4 x1 - 150 x2 + 1/50 x3 - 6 x4
+	// s.t. 1/4 x1 - 60 x2 - 1/25 x3 + 9 x4 <= 0
+	//      1/2 x1 - 90 x2 - 1/50 x3 + 3 x4 <= 0
+	//      x3 <= 1
+	// optimum 1/20.
+	p := NewProblem(Maximize)
+	x1 := p.AddVariable("x1", NonNegative)
+	x2 := p.AddVariable("x2", NonNegative)
+	x3 := p.AddVariable("x3", NonNegative)
+	x4 := p.AddVariable("x4", NonNegative)
+	p.SetObjective(x1, R(3, 4))
+	p.SetObjective(x2, RI(-150))
+	p.SetObjective(x3, R(1, 50))
+	p.SetObjective(x4, RI(-6))
+	p.AddConstraint(map[int]*big.Rat{x1: R(1, 4), x2: RI(-60), x3: R(-1, 25), x4: RI(9)}, LE, RI(0))
+	p.AddConstraint(map[int]*big.Rat{x1: R(1, 2), x2: RI(-90), x3: R(-1, 50), x4: RI(3)}, LE, RI(0))
+	p.AddConstraint(map[int]*big.Rat{x3: RI(1)}, LE, RI(1))
+	s := p.SolveExact()
+	if s.Status != Optimal || s.Value.Cmp(R(1, 20)) != 0 {
+		t.Fatalf("got %v %v, want optimal 1/20", s.Status, s.Value)
+	}
+}
+
+func TestTriangleCoverExact(t *testing.T) {
+	// Fractional edge cover of the triangle: min y1+y2+y3,
+	// each vertex covered by its two incident edges  ->  3/2.
+	p := NewProblem(Minimize)
+	ys := []int{
+		p.AddVariable("y12", NonNegative),
+		p.AddVariable("y23", NonNegative),
+		p.AddVariable("y13", NonNegative),
+	}
+	for _, y := range ys {
+		p.SetObjective(y, RI(1))
+	}
+	p.AddConstraint(map[int]*big.Rat{ys[0]: RI(1), ys[2]: RI(1)}, GE, RI(1)) // vertex 1
+	p.AddConstraint(map[int]*big.Rat{ys[0]: RI(1), ys[1]: RI(1)}, GE, RI(1)) // vertex 2
+	p.AddConstraint(map[int]*big.Rat{ys[1]: RI(1), ys[2]: RI(1)}, GE, RI(1)) // vertex 3
+	s := p.SolveExact()
+	if s.Status != Optimal || s.Value.Cmp(R(3, 2)) != 0 {
+		t.Fatalf("got %v %v, want optimal 3/2", s.Status, s.Value)
+	}
+}
+
+func TestFloatMatchesExactSimple(t *testing.T) {
+	p := NewProblem(Maximize)
+	x := p.AddVariable("x", NonNegative)
+	y := p.AddVariable("y", NonNegative)
+	p.SetObjective(x, RI(1))
+	p.SetObjective(y, RI(1))
+	p.AddConstraint(map[int]*big.Rat{x: RI(1), y: RI(2)}, LE, RI(4))
+	p.AddConstraint(map[int]*big.Rat{x: RI(1)}, LE, RI(2))
+	fs := p.SolveFloat()
+	if fs.Status != Optimal || math.Abs(fs.Value-3) > 1e-9 {
+		t.Fatalf("float got %v %v, want optimal 3", fs.Status, fs.Value)
+	}
+}
+
+// randomBoundedLP builds a random LP with box constraints so that it is
+// always feasible (origin) and bounded.
+func randomBoundedLP(rng *rand.Rand) *Problem {
+	n := 1 + rng.Intn(4)
+	m := 1 + rng.Intn(5)
+	p := NewProblem(Maximize)
+	vars := make([]int, n)
+	for i := range vars {
+		vars[i] = p.AddVariable("x", NonNegative)
+		p.SetObjective(vars[i], RI(int64(rng.Intn(7)-3)))
+		p.AddConstraint(map[int]*big.Rat{vars[i]: RI(1)}, LE, RI(int64(1+rng.Intn(10))))
+	}
+	for j := 0; j < m; j++ {
+		coeffs := map[int]*big.Rat{}
+		for i := range vars {
+			if rng.Intn(2) == 0 {
+				coeffs[vars[i]] = RI(int64(rng.Intn(5) - 1))
+			}
+		}
+		if len(coeffs) == 0 {
+			continue
+		}
+		p.AddConstraint(coeffs, LE, RI(int64(rng.Intn(20))))
+	}
+	return p
+}
+
+func TestExactVsFloatRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		p := randomBoundedLP(rng)
+		es := p.SolveExact()
+		fs := p.SolveFloat()
+		if es.Status != Optimal {
+			t.Fatalf("trial %d: exact status %v on feasible bounded LP", trial, es.Status)
+		}
+		if fs.Status != Optimal {
+			t.Fatalf("trial %d: float status %v on feasible bounded LP", trial, fs.Status)
+		}
+		ev, _ := es.Value.Float64()
+		if math.Abs(ev-fs.Value) > 1e-6*(1+math.Abs(ev)) {
+			t.Fatalf("trial %d: exact %v vs float %v", trial, ev, fs.Value)
+		}
+	}
+}
+
+// TestCoverDualityRandom checks strong duality on random covering problems:
+// primal min 1·y s.t. Aᵀy >= 1 equals dual max 1·x s.t. Ax <= 1, both
+// solved independently by the exact solver.
+func TestCoverDualityRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 100; trial++ {
+		nVerts := 2 + rng.Intn(4)
+		nEdges := 1 + rng.Intn(5)
+		// Random incidence matrix; ensure every vertex is in some edge so the
+		// primal is feasible.
+		inc := make([][]bool, nEdges)
+		for e := range inc {
+			inc[e] = make([]bool, nVerts)
+			for v := range inc[e] {
+				inc[e][v] = rng.Intn(2) == 0
+			}
+		}
+		for v := 0; v < nVerts; v++ {
+			covered := false
+			for e := range inc {
+				if inc[e][v] {
+					covered = true
+				}
+			}
+			if !covered {
+				inc[rng.Intn(nEdges)][v] = true
+			}
+		}
+		// Primal: min Σ y_e  s.t.  Σ_{e∋v} y_e >= 1.
+		primal := NewProblem(Minimize)
+		ys := make([]int, nEdges)
+		for e := range ys {
+			ys[e] = primal.AddVariable("y", NonNegative)
+			primal.SetObjective(ys[e], RI(1))
+		}
+		for v := 0; v < nVerts; v++ {
+			coeffs := map[int]*big.Rat{}
+			for e := range inc {
+				if inc[e][v] {
+					coeffs[ys[e]] = RI(1)
+				}
+			}
+			primal.AddConstraint(coeffs, GE, RI(1))
+		}
+		// Dual: max Σ x_v  s.t.  Σ_{v∈e} x_v <= 1.
+		dual := NewProblem(Maximize)
+		xs := make([]int, nVerts)
+		for v := range xs {
+			xs[v] = dual.AddVariable("x", NonNegative)
+			dual.SetObjective(xs[v], RI(1))
+		}
+		for e := range inc {
+			coeffs := map[int]*big.Rat{}
+			for v := 0; v < nVerts; v++ {
+				if inc[e][v] {
+					coeffs[xs[v]] = RI(1)
+				}
+			}
+			if len(coeffs) == 0 {
+				continue
+			}
+			dual.AddConstraint(coeffs, LE, RI(1))
+		}
+		ps := primal.SolveExact()
+		ds := dual.SolveExact()
+		if ps.Status != Optimal || ds.Status != Optimal {
+			t.Fatalf("trial %d: statuses %v / %v", trial, ps.Status, ds.Status)
+		}
+		if ps.Value.Cmp(ds.Value) != 0 {
+			t.Fatalf("trial %d: duality gap: primal %v, dual %v", trial, ps.Value, ds.Value)
+		}
+	}
+}
+
+func TestSolutionSatisfiesConstraintsRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 100; trial++ {
+		p := randomBoundedLP(rng)
+		s := p.SolveExact()
+		if s.Status != Optimal {
+			t.Fatalf("trial %d: %v", trial, s.Status)
+		}
+		for ci, c := range p.cons {
+			lhs := new(big.Rat)
+			tmp := new(big.Rat)
+			for v, coef := range c.coeffs {
+				tmp.Mul(coef, s.X[v])
+				lhs.Add(lhs, tmp)
+			}
+			ok := false
+			switch c.rel {
+			case LE:
+				ok = lhs.Cmp(c.rhs) <= 0
+			case GE:
+				ok = lhs.Cmp(c.rhs) >= 0
+			case EQ:
+				ok = lhs.Cmp(c.rhs) == 0
+			}
+			if !ok {
+				t.Fatalf("trial %d: constraint %d violated: %v %v %v", trial, ci, lhs, c.rel, c.rhs)
+			}
+		}
+		for v, x := range s.X {
+			if p.vars[v].kind == NonNegative && x.Sign() < 0 {
+				t.Fatalf("trial %d: variable %d negative: %v", trial, v, x)
+			}
+		}
+	}
+}
+
+func TestVariableName(t *testing.T) {
+	p := NewProblem(Maximize)
+	v := p.AddVariable("alpha", NonNegative)
+	if p.VariableName(v) != "alpha" {
+		t.Fatalf("VariableName = %q", p.VariableName(v))
+	}
+}

@@ -1,0 +1,308 @@
+package lp
+
+import (
+	"math"
+)
+
+// floatEps is the feasibility/optimality tolerance of the float backend.
+const floatEps = 1e-9
+
+// SolveFloat solves the problem in float64 arithmetic. It mirrors SolveExact
+// (two phases, slack/artificial columns) but uses Dantzig pricing for speed,
+// falling back to Bland's rule after a stall to guarantee termination. It is
+// intended for the exponentially large entropy programs of Section 6 where
+// exact arithmetic is too slow; results carry the usual floating-point
+// caveats.
+func (p *Problem) SolveFloat() *FloatSolution {
+	st := newFloatTableau(p)
+	if len(st.artificials) > 0 {
+		phase1 := make([]float64, st.ncols())
+		for _, a := range st.artificials {
+			phase1[a] = -1
+		}
+		st.objective = phase1
+		st.run()
+		if st.objectiveValue() < -1e-7 {
+			return &FloatSolution{Status: Infeasible}
+		}
+		st.evictArtificials()
+	}
+	st.objective = st.structuralObjective
+	st.banArtificials()
+	if unbounded := st.run(); unbounded {
+		return &FloatSolution{Status: Unbounded}
+	}
+	return st.extract(p)
+}
+
+type floatTableau struct {
+	a     [][]float64
+	b     []float64
+	basis []int
+
+	objective           []float64
+	structuralObjective []float64
+
+	artificials []int
+	banned      []bool
+	plus, minus []int
+}
+
+func (t *floatTableau) ncols() int { return len(t.a[0]) }
+func (t *floatTableau) nrows() int { return len(t.a) }
+
+func newFloatTableau(p *Problem) *floatTableau {
+	m := len(p.cons)
+	t := &floatTableau{
+		plus:  make([]int, len(p.vars)),
+		minus: make([]int, len(p.vars)),
+	}
+	ncols := 0
+	for i, v := range p.vars {
+		t.plus[i] = ncols
+		ncols++
+		if v.kind == Free {
+			t.minus[i] = ncols
+			ncols++
+		} else {
+			t.minus[i] = -1
+		}
+	}
+	type rowPlan struct {
+		slack      int
+		slackSign  float64
+		artificial int
+	}
+	plans := make([]rowPlan, m)
+	for i := range plans {
+		plans[i] = rowPlan{slack: -1, artificial: -1}
+	}
+	for i, c := range p.cons {
+		rel := c.rel
+		if c.rhs.Sign() < 0 {
+			switch rel {
+			case LE:
+				rel = GE
+			case GE:
+				rel = LE
+			}
+		}
+		switch rel {
+		case LE:
+			plans[i].slack = ncols
+			plans[i].slackSign = 1
+			ncols++
+		case GE:
+			plans[i].slack = ncols
+			plans[i].slackSign = -1
+			ncols++
+			plans[i].artificial = ncols
+			ncols++
+		case EQ:
+			plans[i].artificial = ncols
+			ncols++
+		}
+	}
+	t.a = make([][]float64, m)
+	t.b = make([]float64, m)
+	t.basis = make([]int, m)
+	for i := range t.a {
+		t.a[i] = make([]float64, ncols)
+	}
+	for i, c := range p.cons {
+		sign := 1.0
+		if c.rhs.Sign() < 0 {
+			sign = -1
+		}
+		for v, coef := range c.coeffs {
+			cf, _ := coef.Float64()
+			t.a[i][t.plus[v]] += sign * cf
+			if t.minus[v] >= 0 {
+				t.a[i][t.minus[v]] -= sign * cf
+			}
+		}
+		rhs, _ := c.rhs.Float64()
+		t.b[i] = sign * rhs
+		if plans[i].slack >= 0 {
+			t.a[i][plans[i].slack] = plans[i].slackSign
+		}
+		if plans[i].artificial >= 0 {
+			t.a[i][plans[i].artificial] = 1
+			t.artificials = append(t.artificials, plans[i].artificial)
+			t.basis[i] = plans[i].artificial
+		} else {
+			t.basis[i] = plans[i].slack
+		}
+	}
+	t.structuralObjective = make([]float64, ncols)
+	flip := 1.0
+	if p.sense == Minimize {
+		flip = -1
+	}
+	for v, coef := range p.obj {
+		cf, _ := coef.Float64()
+		t.structuralObjective[t.plus[v]] += flip * cf
+		if t.minus[v] >= 0 {
+			t.structuralObjective[t.minus[v]] -= flip * cf
+		}
+	}
+	t.banned = make([]bool, ncols)
+	return t
+}
+
+func (t *floatTableau) run() bool {
+	// Dantzig pricing with a Bland fallback after a generous iteration
+	// budget, so degenerate cycling cannot hang the solver.
+	maxDantzig := 50 * (t.nrows() + t.ncols())
+	for iter := 0; ; iter++ {
+		bland := iter > maxDantzig
+		col := t.enteringColumn(bland)
+		if col < 0 {
+			return false
+		}
+		row := t.leavingRow(col, bland)
+		if row < 0 {
+			return true
+		}
+		t.pivot(row, col)
+	}
+}
+
+func (t *floatTableau) reducedCosts() []float64 {
+	cb := make([]float64, t.nrows())
+	for i, bi := range t.basis {
+		cb[i] = t.objective[bi]
+	}
+	r := make([]float64, t.ncols())
+	copy(r, t.objective)
+	for i := range t.a {
+		if cb[i] == 0 {
+			continue
+		}
+		row := t.a[i]
+		c := cb[i]
+		for j := range row {
+			if row[j] != 0 {
+				r[j] -= c * row[j]
+			}
+		}
+	}
+	return r
+}
+
+func (t *floatTableau) enteringColumn(bland bool) int {
+	r := t.reducedCosts()
+	if bland {
+		for j := range r {
+			if !t.banned[j] && r[j] > floatEps {
+				return j
+			}
+		}
+		return -1
+	}
+	best, bestVal := -1, floatEps
+	for j := range r {
+		if !t.banned[j] && r[j] > bestVal {
+			best, bestVal = j, r[j]
+		}
+	}
+	return best
+}
+
+func (t *floatTableau) leavingRow(col int, bland bool) int {
+	best := -1
+	bestRatio := math.Inf(1)
+	for i := range t.a {
+		if t.a[i][col] <= floatEps {
+			continue
+		}
+		ratio := t.b[i] / t.a[i][col]
+		if ratio < bestRatio-floatEps {
+			best, bestRatio = i, ratio
+		} else if bland && ratio < bestRatio+floatEps && best >= 0 && t.basis[i] < t.basis[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+func (t *floatTableau) pivot(row, col int) {
+	pv := t.a[row][col]
+	r := t.a[row]
+	for j := range r {
+		r[j] /= pv
+	}
+	t.b[row] /= pv
+	for i := range t.a {
+		if i == row {
+			continue
+		}
+		f := t.a[i][col]
+		if f == 0 {
+			continue
+		}
+		ri := t.a[i]
+		for j := range ri {
+			ri[j] -= f * r[j]
+		}
+		ri[col] = 0
+		t.b[i] -= f * t.b[row]
+	}
+	t.basis[row] = col
+}
+
+func (t *floatTableau) objectiveValue() float64 {
+	v := 0.0
+	for i, bi := range t.basis {
+		v += t.objective[bi] * t.b[i]
+	}
+	return v
+}
+
+func (t *floatTableau) evictArtificials() {
+	isArtificial := make(map[int]bool, len(t.artificials))
+	for _, a := range t.artificials {
+		isArtificial[a] = true
+	}
+	for i := range t.basis {
+		if !isArtificial[t.basis[i]] {
+			continue
+		}
+		for j := 0; j < t.ncols(); j++ {
+			if isArtificial[j] {
+				continue
+			}
+			if math.Abs(t.a[i][j]) > 1e-7 {
+				t.pivot(i, j)
+				break
+			}
+		}
+	}
+}
+
+func (t *floatTableau) banArtificials() {
+	for _, a := range t.artificials {
+		t.banned[a] = true
+	}
+}
+
+func (t *floatTableau) extract(p *Problem) *FloatSolution {
+	xcols := make([]float64, t.ncols())
+	for i, bi := range t.basis {
+		xcols[bi] = t.b[i]
+	}
+	x := make([]float64, len(p.vars))
+	for v := range p.vars {
+		val := xcols[t.plus[v]]
+		if t.minus[v] >= 0 {
+			val -= xcols[t.minus[v]]
+		}
+		x[v] = val
+	}
+	value := 0.0
+	for v, coef := range p.obj {
+		cf, _ := coef.Float64()
+		value += cf * x[v]
+	}
+	return &FloatSolution{Status: Optimal, Value: value, X: x}
+}

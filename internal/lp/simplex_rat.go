@@ -1,0 +1,340 @@
+package lp
+
+import (
+	"math/big"
+)
+
+// SolveExact solves the problem with the exact rational simplex. It never
+// returns a wrong answer: the arithmetic is exact and Bland's rule guarantees
+// termination.
+func (p *Problem) SolveExact() *Solution {
+	st := newRatTableau(p)
+	// Phase 1: maximize -Σ artificials.
+	if len(st.artificials) > 0 {
+		phase1 := make([]*big.Rat, st.ncols())
+		for j := range phase1 {
+			phase1[j] = new(big.Rat)
+		}
+		for _, a := range st.artificials {
+			phase1[a] = big.NewRat(-1, 1)
+		}
+		st.objective = phase1
+		st.run()
+		if st.objectiveValue().Sign() != 0 {
+			return &Solution{Status: Infeasible}
+		}
+		st.evictArtificials()
+	}
+	// Phase 2: the real objective over structural columns.
+	st.objective = st.structuralObjective
+	st.banArtificials()
+	if unbounded := st.run(); unbounded {
+		return &Solution{Status: Unbounded}
+	}
+	return st.extract(p)
+}
+
+// ratTableau is a dense simplex tableau over big.Rat.
+//
+// Standard form: maximize objective·x subject to A x = b, x ≥ 0, b ≥ 0.
+// Free original variables are split x = x⁺ − x⁻.
+type ratTableau struct {
+	a     [][]*big.Rat // m × n
+	b     []*big.Rat   // m
+	basis []int        // m, column basic in each row
+
+	objective           []*big.Rat // current phase objective, length n
+	structuralObjective []*big.Rat // phase-2 objective, length n
+
+	artificials []int // artificial column indices
+	banned      []bool
+	// plus/minus give, per original variable, the standard-form column(s).
+	plus, minus []int
+}
+
+func (t *ratTableau) ncols() int { return len(t.a[0]) }
+func (t *ratTableau) nrows() int { return len(t.a) }
+
+func newRatTableau(p *Problem) *ratTableau {
+	m := len(p.cons)
+	t := &ratTableau{
+		plus:  make([]int, len(p.vars)),
+		minus: make([]int, len(p.vars)),
+	}
+	ncols := 0
+	for i, v := range p.vars {
+		t.plus[i] = ncols
+		ncols++
+		if v.kind == Free {
+			t.minus[i] = ncols
+			ncols++
+		} else {
+			t.minus[i] = -1
+		}
+	}
+	nStructural := ncols
+	// One slack/surplus per inequality, one artificial per EQ/GE row (and
+	// per LE row whose rhs is negative, after normalization).
+	type rowPlan struct {
+		slack      int // -1 if none; +1 coefficient sign handled below
+		slackSign  int
+		artificial int
+	}
+	plans := make([]rowPlan, m)
+	for i := range p.cons {
+		plans[i] = rowPlan{slack: -1, artificial: -1}
+	}
+	for i, c := range p.cons {
+		rel := c.rel
+		neg := c.rhs.Sign() < 0
+		if neg {
+			// Row will be negated; relation flips.
+			switch rel {
+			case LE:
+				rel = GE
+			case GE:
+				rel = LE
+			}
+		}
+		switch rel {
+		case LE:
+			plans[i].slack = ncols
+			plans[i].slackSign = 1
+			ncols++
+		case GE:
+			plans[i].slack = ncols
+			plans[i].slackSign = -1
+			ncols++
+			plans[i].artificial = ncols
+			ncols++
+		case EQ:
+			plans[i].artificial = ncols
+			ncols++
+		}
+	}
+	t.a = make([][]*big.Rat, m)
+	t.b = make([]*big.Rat, m)
+	t.basis = make([]int, m)
+	for i := range t.a {
+		row := make([]*big.Rat, ncols)
+		for j := range row {
+			row[j] = new(big.Rat)
+		}
+		t.a[i] = row
+	}
+	for i, c := range p.cons {
+		sign := int64(1)
+		if c.rhs.Sign() < 0 {
+			sign = -1
+		}
+		s := big.NewRat(sign, 1)
+		for v, coef := range c.coeffs {
+			val := new(big.Rat).Mul(coef, s)
+			t.a[i][t.plus[v]].Add(t.a[i][t.plus[v]], val)
+			if t.minus[v] >= 0 {
+				t.a[i][t.minus[v]].Sub(t.a[i][t.minus[v]], val)
+			}
+		}
+		t.b[i] = new(big.Rat).Mul(c.rhs, s)
+		if plans[i].slack >= 0 {
+			t.a[i][plans[i].slack] = big.NewRat(int64(plans[i].slackSign), 1)
+		}
+		if plans[i].artificial >= 0 {
+			t.a[i][plans[i].artificial] = big.NewRat(1, 1)
+			t.artificials = append(t.artificials, plans[i].artificial)
+			t.basis[i] = plans[i].artificial
+		} else {
+			t.basis[i] = plans[i].slack // LE rows: slack starts basic
+		}
+	}
+	// Phase-2 objective on structural columns, internally maximizing.
+	t.structuralObjective = make([]*big.Rat, ncols)
+	for j := range t.structuralObjective {
+		t.structuralObjective[j] = new(big.Rat)
+	}
+	flip := p.sense == Minimize
+	for v, coef := range p.obj {
+		val := new(big.Rat).Set(coef)
+		if flip {
+			val.Neg(val)
+		}
+		t.structuralObjective[t.plus[v]].Add(t.structuralObjective[t.plus[v]], val)
+		if t.minus[v] >= 0 {
+			t.structuralObjective[t.minus[v]].Sub(t.structuralObjective[t.minus[v]], val)
+		}
+	}
+	_ = nStructural
+	t.banned = make([]bool, ncols)
+	return t
+}
+
+// run performs simplex iterations with Bland's rule until optimality or
+// unboundedness. It reports whether the problem is unbounded.
+func (t *ratTableau) run() bool {
+	for {
+		col := t.enteringColumn()
+		if col < 0 {
+			return false // optimal
+		}
+		row := t.leavingRow(col)
+		if row < 0 {
+			return true // unbounded
+		}
+		t.pivot(row, col)
+	}
+}
+
+// reducedCost returns c_j - z_j for column j.
+func (t *ratTableau) reducedCost(j int, cb []*big.Rat) *big.Rat {
+	r := new(big.Rat).Set(t.objective[j])
+	tmp := new(big.Rat)
+	for i := range t.a {
+		if cb[i].Sign() == 0 {
+			continue
+		}
+		tmp.Mul(cb[i], t.a[i][j])
+		r.Sub(r, tmp)
+	}
+	return r
+}
+
+func (t *ratTableau) basicCosts() []*big.Rat {
+	cb := make([]*big.Rat, t.nrows())
+	for i, bi := range t.basis {
+		cb[i] = t.objective[bi]
+	}
+	return cb
+}
+
+// enteringColumn returns the smallest-index non-banned column with positive
+// reduced cost, or -1 when optimal (Bland's rule).
+func (t *ratTableau) enteringColumn() int {
+	cb := t.basicCosts()
+	for j := 0; j < t.ncols(); j++ {
+		if t.banned[j] {
+			continue
+		}
+		if t.reducedCost(j, cb).Sign() > 0 {
+			return j
+		}
+	}
+	return -1
+}
+
+// leavingRow performs the ratio test for column col. Ties are broken by the
+// smallest basic variable index (Bland). Returns -1 when no entry is
+// positive (unbounded direction).
+func (t *ratTableau) leavingRow(col int) int {
+	best := -1
+	var bestRatio *big.Rat
+	for i := range t.a {
+		if t.a[i][col].Sign() <= 0 {
+			continue
+		}
+		ratio := new(big.Rat).Quo(t.b[i], t.a[i][col])
+		switch {
+		case best < 0, ratio.Cmp(bestRatio) < 0:
+			best, bestRatio = i, ratio
+		case ratio.Cmp(bestRatio) == 0 && t.basis[i] < t.basis[best]:
+			best = i
+		}
+	}
+	return best
+}
+
+func (t *ratTableau) pivot(row, col int) {
+	pv := new(big.Rat).Set(t.a[row][col])
+	inv := new(big.Rat).Inv(pv)
+	for j := range t.a[row] {
+		if t.a[row][j].Sign() != 0 {
+			t.a[row][j].Mul(t.a[row][j], inv)
+		}
+	}
+	t.b[row].Mul(t.b[row], inv)
+	tmp := new(big.Rat)
+	for i := range t.a {
+		if i == row || t.a[i][col].Sign() == 0 {
+			continue
+		}
+		factor := new(big.Rat).Set(t.a[i][col])
+		for j := range t.a[i] {
+			if t.a[row][j].Sign() == 0 {
+				continue
+			}
+			tmp.Mul(factor, t.a[row][j])
+			t.a[i][j].Sub(t.a[i][j], tmp)
+		}
+		tmp.Mul(factor, t.b[row])
+		t.b[i].Sub(t.b[i], tmp)
+	}
+	t.basis[row] = col
+}
+
+func (t *ratTableau) objectiveValue() *big.Rat {
+	v := new(big.Rat)
+	tmp := new(big.Rat)
+	for i, bi := range t.basis {
+		if t.objective[bi].Sign() == 0 {
+			continue
+		}
+		tmp.Mul(t.objective[bi], t.b[i])
+		v.Add(v, tmp)
+	}
+	return v
+}
+
+// evictArtificials pivots basic artificial variables out of the basis after
+// a feasible phase 1. Rows where no structural pivot exists are redundant and
+// are left in place with a zero artificial (harmless once banned).
+func (t *ratTableau) evictArtificials() {
+	isArtificial := make(map[int]bool, len(t.artificials))
+	for _, a := range t.artificials {
+		isArtificial[a] = true
+	}
+	for i := range t.basis {
+		if !isArtificial[t.basis[i]] {
+			continue
+		}
+		for j := 0; j < t.ncols(); j++ {
+			if isArtificial[j] {
+				continue
+			}
+			if t.a[i][j].Sign() != 0 {
+				t.pivot(i, j)
+				break
+			}
+		}
+	}
+}
+
+// banArtificials excludes artificial columns from future entering choices.
+func (t *ratTableau) banArtificials() {
+	for _, a := range t.artificials {
+		t.banned[a] = true
+	}
+}
+
+func (t *ratTableau) extract(p *Problem) *Solution {
+	xcols := make([]*big.Rat, t.ncols())
+	for j := range xcols {
+		xcols[j] = new(big.Rat)
+	}
+	for i, bi := range t.basis {
+		xcols[bi] = new(big.Rat).Set(t.b[i])
+	}
+	x := make([]*big.Rat, len(p.vars))
+	for v := range p.vars {
+		val := new(big.Rat).Set(xcols[t.plus[v]])
+		if t.minus[v] >= 0 {
+			val.Sub(val, xcols[t.minus[v]])
+		}
+		x[v] = val
+	}
+	value := new(big.Rat)
+	tmp := new(big.Rat)
+	for v, coef := range p.obj {
+		tmp.Mul(coef, x[v])
+		value.Add(value, tmp)
+	}
+	return &Solution{Status: Optimal, Value: value, X: x}
+}

@@ -1,0 +1,427 @@
+// Package relation is a small in-memory relational engine: named relations
+// with set semantics (duplicate tuples are eliminated), selection,
+// projection, renaming, unions, products, and hash-based natural and equi
+// joins. It is the substrate on which queries are evaluated and the paper's
+// worst-case instances are materialized and measured.
+package relation
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Value is a single field value. Values are opaque strings.
+type Value string
+
+// Tuple is an ordered list of values.
+type Tuple []Value
+
+// Clone returns a copy of the tuple.
+func (t Tuple) Clone() Tuple {
+	out := make(Tuple, len(t))
+	copy(out, t)
+	return out
+}
+
+// Key returns an injective encoding of the tuple, usable as a map key even
+// when values contain separator bytes (each value is length-prefixed).
+func (t Tuple) Key() string {
+	var b strings.Builder
+	for _, v := range t {
+		b.WriteString(strconv.Itoa(len(v)))
+		b.WriteByte(':')
+		b.WriteString(string(v))
+	}
+	return b.String()
+}
+
+// Relation is a named relation with set semantics.
+type Relation struct {
+	Name   string
+	Attrs  []string
+	tuples []Tuple
+	seen   map[string]bool
+}
+
+// New creates an empty relation. Attribute names must be unique.
+func New(name string, attrs ...string) *Relation {
+	set := make(map[string]bool, len(attrs))
+	for _, a := range attrs {
+		if set[a] {
+			panic(fmt.Sprintf("relation: duplicate attribute %q in %s", a, name))
+		}
+		set[a] = true
+	}
+	return &Relation{
+		Name:  name,
+		Attrs: append([]string(nil), attrs...),
+		seen:  make(map[string]bool),
+	}
+}
+
+// Arity returns the number of attributes.
+func (r *Relation) Arity() int { return len(r.Attrs) }
+
+// Size returns the number of (distinct) tuples.
+func (r *Relation) Size() int { return len(r.tuples) }
+
+// Tuples returns the relation's tuples. The slice and its tuples must not be
+// modified by the caller.
+func (r *Relation) Tuples() []Tuple { return r.tuples }
+
+// Insert adds a tuple (copied). It reports whether the tuple was new and
+// returns an error on arity mismatch.
+func (r *Relation) Insert(t Tuple) (bool, error) {
+	if len(t) != len(r.Attrs) {
+		return false, fmt.Errorf("relation %s: tuple arity %d != %d", r.Name, len(t), len(r.Attrs))
+	}
+	k := t.Key()
+	if r.seen[k] {
+		return false, nil
+	}
+	r.seen[k] = true
+	r.tuples = append(r.tuples, t.Clone())
+	return true, nil
+}
+
+// MustInsert adds the values as a tuple, panicking on arity mismatch.
+// Duplicate tuples are silently ignored.
+func (r *Relation) MustInsert(vals ...Value) {
+	if _, err := r.Insert(Tuple(vals)); err != nil {
+		panic(err)
+	}
+}
+
+// Has reports whether the relation contains the tuple.
+func (r *Relation) Has(t Tuple) bool { return r.seen[t.Key()] }
+
+// AttrIndex returns the position of the named attribute, or -1.
+func (r *Relation) AttrIndex(name string) int {
+	for i, a := range r.Attrs {
+		if a == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Clone returns a deep copy, optionally renamed.
+func (r *Relation) Clone(name string) *Relation {
+	if name == "" {
+		name = r.Name
+	}
+	out := New(name, r.Attrs...)
+	for _, t := range r.tuples {
+		out.MustInsert(t...)
+	}
+	return out
+}
+
+// Rename returns a copy with a new name and attribute names.
+func (r *Relation) Rename(name string, attrs ...string) (*Relation, error) {
+	if len(attrs) != len(r.Attrs) {
+		return nil, fmt.Errorf("relation %s: rename with %d attrs, arity %d", r.Name, len(attrs), len(r.Attrs))
+	}
+	out := New(name, attrs...)
+	for _, t := range r.tuples {
+		out.MustInsert(t...)
+	}
+	return out, nil
+}
+
+// Select returns the tuples satisfying pred, as a new relation.
+func (r *Relation) Select(pred func(Tuple) bool) *Relation {
+	out := New(r.Name+"_sel", r.Attrs...)
+	for _, t := range r.tuples {
+		if pred(t) {
+			out.MustInsert(t...)
+		}
+	}
+	return out
+}
+
+// ProjectIdx projects onto the given positions (0-based); duplicates in the
+// result are eliminated. Positions may repeat, in which case attribute names
+// are suffixed to stay unique.
+func (r *Relation) ProjectIdx(idx ...int) (*Relation, error) {
+	attrs := make([]string, len(idx))
+	used := make(map[string]int)
+	for i, j := range idx {
+		if j < 0 || j >= len(r.Attrs) {
+			return nil, fmt.Errorf("relation %s: project position %d out of range", r.Name, j)
+		}
+		name := r.Attrs[j]
+		if n := used[name]; n > 0 {
+			name = fmt.Sprintf("%s_%d", name, n)
+		}
+		used[r.Attrs[j]]++
+		attrs[i] = name
+	}
+	out := New(r.Name+"_proj", attrs...)
+	for _, t := range r.tuples {
+		nt := make(Tuple, len(idx))
+		for i, j := range idx {
+			nt[i] = t[j]
+		}
+		if _, err := out.Insert(nt); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Project projects onto the named attributes.
+func (r *Relation) Project(attrs ...string) (*Relation, error) {
+	idx := make([]int, len(attrs))
+	for i, a := range attrs {
+		j := r.AttrIndex(a)
+		if j < 0 {
+			return nil, fmt.Errorf("relation %s: unknown attribute %q", r.Name, a)
+		}
+		idx[i] = j
+	}
+	return r.ProjectIdx(idx...)
+}
+
+// Union returns r ∪ s; schemas must have equal arity (attribute names are
+// taken from r).
+func Union(r, s *Relation) (*Relation, error) {
+	if r.Arity() != s.Arity() {
+		return nil, fmt.Errorf("relation: union arity mismatch %d vs %d", r.Arity(), s.Arity())
+	}
+	out := New(r.Name+"_u_"+s.Name, r.Attrs...)
+	for _, t := range r.tuples {
+		out.MustInsert(t...)
+	}
+	for _, t := range s.tuples {
+		out.MustInsert(t...)
+	}
+	return out, nil
+}
+
+// Product returns the cartesian product r × s. Attribute names of s are
+// prefixed with its name when they clash.
+func Product(r, s *Relation) *Relation {
+	attrs := append([]string(nil), r.Attrs...)
+	taken := make(map[string]bool)
+	for _, a := range attrs {
+		taken[a] = true
+	}
+	for _, a := range s.Attrs {
+		name := a
+		for taken[name] {
+			name = s.Name + "." + name
+		}
+		taken[name] = true
+		attrs = append(attrs, name)
+	}
+	out := New(r.Name+"_x_"+s.Name, attrs...)
+	for _, t := range r.tuples {
+		for _, u := range s.tuples {
+			nt := make(Tuple, 0, len(t)+len(u))
+			nt = append(nt, t...)
+			nt = append(nt, u...)
+			out.MustInsert(nt...)
+		}
+	}
+	return out
+}
+
+// EquiJoin joins r and s on the given position pairs (r position, s
+// position), keeping all columns of both relations. It uses a hash join on
+// the smaller side.
+func EquiJoin(r, s *Relation, pairs [][2]int) (*Relation, error) {
+	for _, p := range pairs {
+		if p[0] < 0 || p[0] >= r.Arity() || p[1] < 0 || p[1] >= s.Arity() {
+			return nil, fmt.Errorf("relation: join positions %v out of range", p)
+		}
+	}
+	// Hash the smaller relation.
+	swapped := false
+	a, b := r, s
+	ai, bi := 0, 1
+	if s.Size() < r.Size() {
+		a, b = s, r
+		ai, bi = 1, 0
+		swapped = true
+	}
+	index := make(map[string][]Tuple, a.Size())
+	for _, t := range a.Tuples() {
+		k := joinKey(t, pairs, ai)
+		index[k] = append(index[k], t)
+	}
+	attrs := append([]string(nil), r.Attrs...)
+	taken := make(map[string]bool)
+	for _, x := range attrs {
+		taken[x] = true
+	}
+	for _, x := range s.Attrs {
+		name := x
+		for taken[name] {
+			name = s.Name + "." + name
+		}
+		taken[name] = true
+		attrs = append(attrs, name)
+	}
+	out := New(r.Name+"_j_"+s.Name, attrs...)
+	for _, u := range b.Tuples() {
+		k := joinKey(u, pairs, bi)
+		for _, t := range index[k] {
+			rt, st := t, u
+			if swapped {
+				rt, st = u, t
+			}
+			nt := make(Tuple, 0, len(rt)+len(st))
+			nt = append(nt, rt...)
+			nt = append(nt, st...)
+			out.MustInsert(nt...)
+		}
+	}
+	return out, nil
+}
+
+func joinKey(t Tuple, pairs [][2]int, side int) string {
+	var b strings.Builder
+	for _, p := range pairs {
+		v := t[p[side]]
+		b.WriteString(strconv.Itoa(len(v)))
+		b.WriteByte(':')
+		b.WriteString(string(v))
+	}
+	return b.String()
+}
+
+// NaturalJoin joins r and s on all attribute names they share, projecting
+// away the duplicated join columns of s.
+func NaturalJoin(r, s *Relation) (*Relation, error) {
+	var pairs [][2]int
+	var dropS []bool
+	dropS = make([]bool, s.Arity())
+	for j, a := range s.Attrs {
+		if i := r.AttrIndex(a); i >= 0 {
+			pairs = append(pairs, [2]int{i, j})
+			dropS[j] = true
+		}
+	}
+	if len(pairs) == 0 {
+		// Degenerates to a product.
+		return Product(r, s), nil
+	}
+	joined, err := EquiJoin(r, s, pairs)
+	if err != nil {
+		return nil, err
+	}
+	var keep []int
+	for i := 0; i < r.Arity(); i++ {
+		keep = append(keep, i)
+	}
+	for j := 0; j < s.Arity(); j++ {
+		if !dropS[j] {
+			keep = append(keep, r.Arity()+j)
+		}
+	}
+	out, err := joined.ProjectIdx(keep...)
+	if err != nil {
+		return nil, err
+	}
+	// Restore clean attribute names: r's attrs then s's non-join attrs.
+	attrs := append([]string(nil), r.Attrs...)
+	for j, a := range s.Attrs {
+		if !dropS[j] {
+			attrs = append(attrs, a)
+		}
+	}
+	return out.Rename(r.Name+"_nj_"+s.Name, attrs...)
+}
+
+// CheckFD reports whether the instance satisfies the functional dependency
+// from (0-based positions) -> to.
+func (r *Relation) CheckFD(from []int, to int) bool {
+	seen := make(map[string]Value)
+	for _, t := range r.tuples {
+		var b strings.Builder
+		for _, p := range from {
+			v := t[p]
+			b.WriteString(strconv.Itoa(len(v)))
+			b.WriteByte(':')
+			b.WriteString(string(v))
+		}
+		k := b.String()
+		if prev, ok := seen[k]; ok {
+			if prev != t[to] {
+				return false
+			}
+		} else {
+			seen[k] = t[to]
+		}
+	}
+	return true
+}
+
+// CheckKey reports whether the (0-based) positions form a key: they
+// functionally determine every other position.
+func (r *Relation) CheckKey(cols []int) bool {
+	for p := 0; p < r.Arity(); p++ {
+		inKey := false
+		for _, c := range cols {
+			if c == p {
+				inKey = true
+				break
+			}
+		}
+		if !inKey && !r.CheckFD(cols, p) {
+			return false
+		}
+	}
+	return true
+}
+
+// Values returns the sorted set of values appearing anywhere in the
+// relation.
+func (r *Relation) Values() []Value {
+	set := make(map[Value]bool)
+	for _, t := range r.tuples {
+		for _, v := range t {
+			set[v] = true
+		}
+	}
+	out := make([]Value, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Equal reports whether two relations hold the same set of tuples (attribute
+// names are ignored; arity must match).
+func Equal(r, s *Relation) bool {
+	if r.Arity() != s.Arity() || r.Size() != s.Size() {
+		return false
+	}
+	for _, t := range r.tuples {
+		if !s.Has(t) {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders a small relation for debugging; larger relations are
+// summarized.
+func (r *Relation) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s(%s) [%d tuples]", r.Name, strings.Join(r.Attrs, ","), r.Size())
+	if r.Size() <= 16 {
+		for _, t := range r.tuples {
+			parts := make([]string, len(t))
+			for i, v := range t {
+				parts[i] = string(v)
+			}
+			fmt.Fprintf(&b, "\n  (%s)", strings.Join(parts, ","))
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,86 @@
+package relation
+
+import (
+	"sort"
+)
+
+// EquiJoinSortMerge computes the same result as EquiJoin with a sort-merge
+// strategy: both inputs are sorted on their join key and merged block by
+// block. It is the classical alternative to hash joins; the ablation
+// benchmark at the repository root compares the two.
+func EquiJoinSortMerge(r, s *Relation, pairs [][2]int) (*Relation, error) {
+	for _, p := range pairs {
+		if p[0] < 0 || p[0] >= r.Arity() || p[1] < 0 || p[1] >= s.Arity() {
+			return nil, errJoinRange(p)
+		}
+	}
+	type keyed struct {
+		key string
+		t   Tuple
+	}
+	left := make([]keyed, 0, r.Size())
+	for _, t := range r.Tuples() {
+		left = append(left, keyed{joinKey(t, pairs, 0), t})
+	}
+	right := make([]keyed, 0, s.Size())
+	for _, t := range s.Tuples() {
+		right = append(right, keyed{joinKey(t, pairs, 1), t})
+	}
+	sort.Slice(left, func(i, j int) bool { return left[i].key < left[j].key })
+	sort.Slice(right, func(i, j int) bool { return right[i].key < right[j].key })
+
+	attrs := append([]string(nil), r.Attrs...)
+	taken := make(map[string]bool)
+	for _, a := range attrs {
+		taken[a] = true
+	}
+	for _, a := range s.Attrs {
+		name := a
+		for taken[name] {
+			name = s.Name + "." + name
+		}
+		taken[name] = true
+		attrs = append(attrs, name)
+	}
+	out := New(r.Name+"_smj_"+s.Name, attrs...)
+
+	i, j := 0, 0
+	for i < len(left) && j < len(right) {
+		switch {
+		case left[i].key < right[j].key:
+			i++
+		case left[i].key > right[j].key:
+			j++
+		default:
+			// Equal-key blocks.
+			iEnd := i
+			for iEnd < len(left) && left[iEnd].key == left[i].key {
+				iEnd++
+			}
+			jEnd := j
+			for jEnd < len(right) && right[jEnd].key == right[j].key {
+				jEnd++
+			}
+			for a := i; a < iEnd; a++ {
+				for b := j; b < jEnd; b++ {
+					nt := make(Tuple, 0, r.Arity()+s.Arity())
+					nt = append(nt, left[a].t...)
+					nt = append(nt, right[b].t...)
+					out.MustInsert(nt...)
+				}
+			}
+			i, j = iEnd, jEnd
+		}
+	}
+	return out, nil
+}
+
+func errJoinRange(p [2]int) error {
+	return &joinRangeError{p}
+}
+
+type joinRangeError struct{ p [2]int }
+
+func (e *joinRangeError) Error() string {
+	return "relation: join positions out of range"
+}

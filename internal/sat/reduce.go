@@ -1,0 +1,74 @@
+package sat
+
+import (
+	"fmt"
+
+	"cqbound/internal/cq"
+)
+
+// Reduce3SAT builds the Proposition 7.3 query for a 3-CNF formula E over
+// variables x_1..x_n: deciding whether the query (with its compound
+// functional dependencies) admits a valid 2-coloring with color number 2 is
+// equivalent to the satisfiability of E. Per formula variable x_i the query
+// carries the gadget
+//
+//	R_i1(X_i, X̄_i, A) ∧ R_i2(Y_i, Ȳ_i, B) ∧ R_i3(X_i, Y_i) ∧ R_i4(X̄_i, Ȳ_i)
+//
+// with dependencies X_i X̄_i → A and Y_i Ȳ_i → B, and per clause an atom
+// S_i(ℓ1, ℓ2, ℓ3, A) whose first three positions form a compound key for
+// the fourth. The head is Q(A, B).
+func Reduce3SAT(e CNF) (*cq.Query, error) {
+	if err := e.Validate(); err != nil {
+		return nil, err
+	}
+	for i, cl := range e.Clauses {
+		if len(cl) == 0 || len(cl) > 3 {
+			return nil, fmt.Errorf("sat: clause %d has %d literals, want 1..3", i, len(cl))
+		}
+	}
+	pos := func(i int) cq.Variable { return cq.Variable(fmt.Sprintf("X%d", i)) }
+	neg := func(i int) cq.Variable { return cq.Variable(fmt.Sprintf("Xbar%d", i)) }
+	posY := func(i int) cq.Variable { return cq.Variable(fmt.Sprintf("Y%d", i)) }
+	negY := func(i int) cq.Variable { return cq.Variable(fmt.Sprintf("Ybar%d", i)) }
+	litVar := func(l Literal) cq.Variable {
+		if l > 0 {
+			return pos(l.Var())
+		}
+		return neg(l.Var())
+	}
+
+	q := &cq.Query{Head: cq.Atom{Relation: "Q", Vars: []cq.Variable{"A", "B"}}}
+	for i := 1; i <= e.NumVars; i++ {
+		r1 := fmt.Sprintf("R%d_1", i)
+		r2 := fmt.Sprintf("R%d_2", i)
+		q.Body = append(q.Body,
+			cq.Atom{Relation: r1, Vars: []cq.Variable{pos(i), neg(i), "A"}},
+			cq.Atom{Relation: r2, Vars: []cq.Variable{posY(i), negY(i), "B"}},
+			cq.Atom{Relation: fmt.Sprintf("R%d_3", i), Vars: []cq.Variable{pos(i), posY(i)}},
+			cq.Atom{Relation: fmt.Sprintf("R%d_4", i), Vars: []cq.Variable{neg(i), negY(i)}},
+		)
+		q.FDs = append(q.FDs,
+			cq.FD{Relation: r1, From: []int{1, 2}, To: 3},
+			cq.FD{Relation: r2, From: []int{1, 2}, To: 3},
+		)
+	}
+	for ci, cl := range e.Clauses {
+		rel := fmt.Sprintf("S%d", ci+1)
+		atom := cq.Atom{Relation: rel}
+		for _, l := range cl {
+			atom.Vars = append(atom.Vars, litVar(l))
+		}
+		// Pad clauses with fewer than 3 literals by repeating the last
+		// literal (logically harmless: the disjunction is unchanged).
+		for len(atom.Vars) < 3 {
+			atom.Vars = append(atom.Vars, atom.Vars[len(atom.Vars)-1])
+		}
+		atom.Vars = append(atom.Vars, "A")
+		q.Body = append(q.Body, atom)
+		q.FDs = append(q.FDs, cq.FD{Relation: rel, From: []int{1, 2, 3}, To: 4})
+	}
+	if err := q.Validate(); err != nil {
+		return nil, fmt.Errorf("sat: internal: reduction produced invalid query: %v", err)
+	}
+	return q, nil
+}

@@ -1,0 +1,158 @@
+// Package sat provides a small DPLL solver for CNF formulas, the
+// NP-complete 2-coloring decision of Proposition 7.3 for queries with
+// compound functional dependencies, and the 3-SAT reduction from that
+// proposition's proof.
+package sat
+
+import (
+	"fmt"
+)
+
+// Literal is a propositional literal: +v for variable v, -v for its
+// negation. Variables are numbered from 1.
+type Literal int
+
+// Var returns the literal's variable.
+func (l Literal) Var() int {
+	if l < 0 {
+		return int(-l)
+	}
+	return int(l)
+}
+
+// Clause is a disjunction of literals.
+type Clause []Literal
+
+// CNF is a conjunction of clauses over NumVars variables.
+type CNF struct {
+	NumVars int
+	Clauses []Clause
+}
+
+// Validate checks literal ranges.
+func (c CNF) Validate() error {
+	for i, cl := range c.Clauses {
+		for _, l := range cl {
+			if l == 0 || l.Var() > c.NumVars {
+				return fmt.Errorf("sat: clause %d has bad literal %d", i, l)
+			}
+		}
+	}
+	return nil
+}
+
+// Solve decides satisfiability by DPLL with unit propagation and pure
+// literal elimination. When satisfiable, it returns an assignment indexed
+// 1..NumVars.
+func Solve(c CNF) (bool, []bool) {
+	if err := c.Validate(); err != nil {
+		panic(err)
+	}
+	assignment := make([]int8, c.NumVars+1) // 0 unset, 1 true, -1 false
+	if dpll(c.Clauses, assignment) {
+		out := make([]bool, c.NumVars+1)
+		for v := 1; v <= c.NumVars; v++ {
+			out[v] = assignment[v] == 1
+		}
+		return true, out
+	}
+	return false, nil
+}
+
+func value(assignment []int8, l Literal) int8 {
+	a := assignment[l.Var()]
+	if l < 0 {
+		return -a
+	}
+	return a
+}
+
+func dpll(clauses []Clause, assignment []int8) bool {
+	// Unit propagation.
+	var trail []int
+	for {
+		unit := Literal(0)
+		for _, cl := range clauses {
+			unassigned := Literal(0)
+			count := 0
+			sat := false
+			for _, l := range cl {
+				switch value(assignment, l) {
+				case 1:
+					sat = true
+				case 0:
+					unassigned = l
+					count++
+				}
+			}
+			if sat {
+				continue
+			}
+			if count == 0 {
+				// Conflict: undo and fail.
+				for _, v := range trail {
+					assignment[v] = 0
+				}
+				return false
+			}
+			if count == 1 {
+				unit = unassigned
+				break
+			}
+		}
+		if unit == 0 {
+			break
+		}
+		v := unit.Var()
+		if unit > 0 {
+			assignment[v] = 1
+		} else {
+			assignment[v] = -1
+		}
+		trail = append(trail, v)
+	}
+	// Find an unassigned variable appearing in an unsatisfied clause.
+	branch := 0
+	done := true
+	for _, cl := range clauses {
+		sat := false
+		var cand int
+		for _, l := range cl {
+			if value(assignment, l) == 1 {
+				sat = true
+				break
+			}
+			if value(assignment, l) == 0 {
+				cand = l.Var()
+			}
+		}
+		if !sat {
+			done = false
+			if cand != 0 {
+				branch = cand
+				break
+			}
+		}
+	}
+	if done {
+		// Every clause satisfied.
+		return true
+	}
+	if branch == 0 {
+		for _, v := range trail {
+			assignment[v] = 0
+		}
+		return false
+	}
+	for _, val := range []int8{1, -1} {
+		assignment[branch] = val
+		if dpll(clauses, assignment) {
+			return true
+		}
+		assignment[branch] = 0
+	}
+	for _, v := range trail {
+		assignment[v] = 0
+	}
+	return false
+}

@@ -1,0 +1,197 @@
+package sat
+
+import (
+	"math/rand"
+	"testing"
+
+	"cqbound/internal/coloring"
+	"cqbound/internal/datagen"
+)
+
+func TestSolveBasics(t *testing.T) {
+	// (x1 ∨ x2) ∧ (¬x1) forces x2.
+	ok, a := Solve(CNF{NumVars: 2, Clauses: []Clause{{1, 2}, {-1}}})
+	if !ok || a[1] || !a[2] {
+		t.Fatalf("got %v %v", ok, a)
+	}
+	// x1 ∧ ¬x1 unsat.
+	ok, _ = Solve(CNF{NumVars: 1, Clauses: []Clause{{1}, {-1}}})
+	if ok {
+		t.Fatal("accepted contradiction")
+	}
+	// Empty CNF: satisfiable.
+	ok, _ = Solve(CNF{NumVars: 0})
+	if !ok {
+		t.Fatal("rejected empty CNF")
+	}
+}
+
+func TestSolvePigeonhole(t *testing.T) {
+	// 3 pigeons, 2 holes: variables p_{i,h} = 2(i-1)+h. Unsatisfiable.
+	v := func(i, h int) Literal { return Literal(2*(i-1) + h) }
+	cnf := CNF{NumVars: 6}
+	for i := 1; i <= 3; i++ {
+		cnf.Clauses = append(cnf.Clauses, Clause{v(i, 1), v(i, 2)})
+	}
+	for h := 1; h <= 2; h++ {
+		for i := 1; i <= 3; i++ {
+			for j := i + 1; j <= 3; j++ {
+				cnf.Clauses = append(cnf.Clauses, Clause{-v(i, h), -v(j, h)})
+			}
+		}
+	}
+	if ok, _ := Solve(cnf); ok {
+		t.Fatal("pigeonhole 3-into-2 declared satisfiable")
+	}
+}
+
+func TestSolveRandomAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(6)
+		m := 1 + rng.Intn(10)
+		cnf := CNF{NumVars: n}
+		for i := 0; i < m; i++ {
+			width := 1 + rng.Intn(3)
+			var cl Clause
+			for j := 0; j < width; j++ {
+				v := 1 + rng.Intn(n)
+				if rng.Intn(2) == 0 {
+					cl = append(cl, Literal(v))
+				} else {
+					cl = append(cl, Literal(-v))
+				}
+			}
+			cnf.Clauses = append(cnf.Clauses, cl)
+		}
+		want := bruteForce(cnf)
+		got, a := Solve(cnf)
+		if got != want {
+			t.Fatalf("trial %d: Solve = %v, brute force = %v on %v", trial, got, want, cnf)
+		}
+		if got && !assignmentSatisfies(cnf, a) {
+			t.Fatalf("trial %d: returned assignment does not satisfy", trial)
+		}
+	}
+}
+
+func bruteForce(c CNF) bool {
+	for mask := 0; mask < 1<<c.NumVars; mask++ {
+		a := make([]bool, c.NumVars+1)
+		for v := 1; v <= c.NumVars; v++ {
+			a[v] = mask&(1<<(v-1)) != 0
+		}
+		if assignmentSatisfies(c, a) {
+			return true
+		}
+	}
+	return false
+}
+
+func assignmentSatisfies(c CNF, a []bool) bool {
+	for _, cl := range c.Clauses {
+		sat := false
+		for _, l := range cl {
+			if (l > 0 && a[l.Var()]) || (l < 0 && !a[l.Var()]) {
+				sat = true
+				break
+			}
+		}
+		if !sat {
+			return false
+		}
+	}
+	return true
+}
+
+func TestDecideTwoColoringMatchesNoFDs(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 60; trial++ {
+		q := datagen.RandomQuery(rng, datagen.QueryParams{
+			MaxVars: 5, MaxAtoms: 4, MaxArity: 3, HeadFraction: 0.6,
+		})
+		_, want := coloring.TwoColoringNoFDs(q)
+		got := DecideTwoColoring(q)
+		if got.Exists != want {
+			t.Fatalf("trial %d: SAT says %v, pair test says %v for %s", trial, got.Exists, want, q)
+		}
+	}
+}
+
+func TestDecideTwoColoringMatchesSimpleFDs(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	trials := 0
+	for trials < 40 {
+		q := datagen.RandomQuery(rng, datagen.QueryParams{
+			MaxVars: 5, MaxAtoms: 4, MaxArity: 3, HeadFraction: 0.6,
+			SimpleFDProb: 0.3, RepeatRelationProb: 0.3,
+		})
+		_, _, want, err := coloring.TwoColoringSimpleFDs(q)
+		if err != nil {
+			continue
+		}
+		trials++
+		got := DecideTwoColoring(q)
+		if got.Exists != want {
+			t.Fatalf("trial %d: SAT says %v, Theorem 5.10 pipeline says %v for %s",
+				trials, got.Exists, want, q)
+		}
+	}
+}
+
+func TestReduce3SATRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 40; trial++ {
+		n := 1 + rng.Intn(4)
+		m := 1 + rng.Intn(6)
+		cnf := CNF{NumVars: n}
+		for i := 0; i < m; i++ {
+			var cl Clause
+			width := 1 + rng.Intn(3)
+			for j := 0; j < width; j++ {
+				v := 1 + rng.Intn(n)
+				if rng.Intn(2) == 0 {
+					cl = append(cl, Literal(v))
+				} else {
+					cl = append(cl, Literal(-v))
+				}
+			}
+			cnf.Clauses = append(cnf.Clauses, cl)
+		}
+		q, err := Reduce3SAT(cnf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, _ := Solve(cnf)
+		got := DecideTwoColoring(q)
+		if got.Exists != want {
+			t.Fatalf("trial %d: formula satisfiable = %v but coloring exists = %v\nformula: %v\nquery: %s",
+				trial, want, got.Exists, cnf, q)
+		}
+	}
+}
+
+func TestReduce3SATRejectsWideClauses(t *testing.T) {
+	if _, err := Reduce3SAT(CNF{NumVars: 4, Clauses: []Clause{{1, 2, 3, 4}}}); err == nil {
+		t.Fatal("accepted 4-literal clause")
+	}
+}
+
+func TestReduce3SATKnownFormulas(t *testing.T) {
+	// (x1) ∧ (¬x1): unsatisfiable.
+	q, err := Reduce3SAT(CNF{NumVars: 1, Clauses: []Clause{{1}, {-1}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if DecideTwoColoring(q).Exists {
+		t.Fatal("unsatisfiable formula mapped to colorable query")
+	}
+	// (x1 ∨ x2): satisfiable.
+	q2, err := Reduce3SAT(CNF{NumVars: 2, Clauses: []Clause{{1, 2}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !DecideTwoColoring(q2).Exists {
+		t.Fatal("satisfiable formula mapped to uncolorable query")
+	}
+}

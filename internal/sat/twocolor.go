@@ -1,0 +1,93 @@
+package sat
+
+import (
+	"math/big"
+
+	"cqbound/internal/chase"
+	"cqbound/internal/coloring"
+	"cqbound/internal/cq"
+)
+
+// TwoColoringDecision is the result of DecideTwoColoring.
+type TwoColoringDecision struct {
+	// Exists reports whether chase(Q) admits a valid coloring with 2 colors
+	// and color number 2 — by Theorem 5.10 exactly the condition under
+	// which tw(Q(D)) cannot be bounded in tw(D).
+	Exists bool
+	// Witness, when Exists, is such a coloring of Chased.
+	Witness coloring.Coloring
+	// Chased is chase(Q).
+	Chased *cq.Query
+}
+
+// DecideTwoColoring decides, for arbitrary (possibly compound) functional
+// dependencies, whether chase(Q) has a valid coloring with 2 colors
+// achieving color number 2. The problem is NP-complete in general
+// (Proposition 7.3); this encoding hands it to the DPLL solver with two
+// booleans per variable (has color 1 / has color 2):
+//
+//   - each lifted dependency From → Y yields, per color c,
+//     (¬c(Y) ∨ c(From₁) ∨ ... ∨ c(Fromₗ));
+//   - both colors must appear among head variables;
+//   - no body atom may see both colors: (¬c₁(X) ∨ ¬c₂(Y)) for all pairs
+//     X, Y inside one atom.
+func DecideTwoColoring(q *cq.Query) TwoColoringDecision {
+	ch := chase.Chase(q).Query
+	vars := ch.Variables()
+	index := make(map[cq.Variable]int, len(vars))
+	for i, v := range vars {
+		index[v] = i
+	}
+	c1 := func(v cq.Variable) Literal { return Literal(2*index[v] + 1) }
+	c2 := func(v cq.Variable) Literal { return Literal(2*index[v] + 2) }
+	cnf := CNF{NumVars: 2 * len(vars)}
+
+	for _, fd := range ch.VarFDs() {
+		for _, color := range []func(cq.Variable) Literal{c1, c2} {
+			cl := Clause{-color(fd.To)}
+			for _, x := range fd.From {
+				cl = append(cl, color(x))
+			}
+			cnf.Clauses = append(cnf.Clauses, cl)
+		}
+	}
+	var head1, head2 Clause
+	for _, v := range ch.HeadVars() {
+		head1 = append(head1, c1(v))
+		head2 = append(head2, c2(v))
+	}
+	cnf.Clauses = append(cnf.Clauses, head1, head2)
+	for _, a := range ch.Body {
+		dv := a.DistinctVars()
+		for _, x := range dv {
+			for _, y := range dv {
+				cnf.Clauses = append(cnf.Clauses, Clause{-c1(x), -c2(y)})
+			}
+		}
+	}
+
+	ok, assignment := Solve(cnf)
+	if !ok {
+		return TwoColoringDecision{Exists: false, Chased: ch}
+	}
+	witness := make(coloring.Coloring)
+	for _, v := range vars {
+		s := coloring.ColorSet{}
+		if assignment[c1(v).Var()] {
+			s[1] = true
+		}
+		if assignment[c2(v).Var()] {
+			s[2] = true
+		}
+		if len(s) > 0 {
+			witness[v] = s
+		}
+	}
+	if err := coloring.Validate(ch, witness); err != nil {
+		panic("sat: internal: decoded coloring invalid: " + err.Error())
+	}
+	if n, err := coloring.Number(ch, witness); err != nil || n.Cmp(big.NewRat(2, 1)) != 0 {
+		panic("sat: internal: decoded coloring does not have color number 2")
+	}
+	return TwoColoringDecision{Exists: true, Witness: witness, Chased: ch}
+}

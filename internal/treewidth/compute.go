@@ -1,0 +1,280 @@
+package treewidth
+
+import (
+	"fmt"
+
+	"cqbound/internal/graph"
+)
+
+// MinDegreeOrder returns the elimination ordering produced by repeatedly
+// eliminating a minimum-degree vertex (ties: smallest index).
+func MinDegreeOrder(g *graph.Graph) []int {
+	h := g.Clone()
+	n := h.N()
+	eliminated := make([]bool, n)
+	order := make([]int, 0, n)
+	for len(order) < n {
+		best, bestDeg := -1, 1<<30
+		for v := 0; v < n; v++ {
+			if eliminated[v] {
+				continue
+			}
+			d := liveDegree(h, v, eliminated)
+			if d < bestDeg {
+				best, bestDeg = v, d
+			}
+		}
+		eliminateVertex(h, best, eliminated)
+		order = append(order, best)
+	}
+	return order
+}
+
+// MinFillOrder returns the elimination ordering produced by repeatedly
+// eliminating the vertex whose elimination adds the fewest fill edges.
+func MinFillOrder(g *graph.Graph) []int {
+	h := g.Clone()
+	n := h.N()
+	eliminated := make([]bool, n)
+	order := make([]int, 0, n)
+	for len(order) < n {
+		best, bestFill := -1, 1<<30
+		for v := 0; v < n; v++ {
+			if eliminated[v] {
+				continue
+			}
+			f := fillCount(h, v, eliminated)
+			if f < bestFill {
+				best, bestFill = v, f
+			}
+		}
+		eliminateVertex(h, best, eliminated)
+		order = append(order, best)
+	}
+	return order
+}
+
+func liveDegree(h *graph.Graph, v int, eliminated []bool) int {
+	d := 0
+	for _, u := range h.Neighbors(v) {
+		if !eliminated[u] {
+			d++
+		}
+	}
+	return d
+}
+
+func fillCount(h *graph.Graph, v int, eliminated []bool) int {
+	var nb []int
+	for _, u := range h.Neighbors(v) {
+		if !eliminated[u] {
+			nb = append(nb, u)
+		}
+	}
+	f := 0
+	for i := 0; i < len(nb); i++ {
+		for j := i + 1; j < len(nb); j++ {
+			if !h.HasEdge(nb[i], nb[j]) {
+				f++
+			}
+		}
+	}
+	return f
+}
+
+func eliminateVertex(h *graph.Graph, v int, eliminated []bool) {
+	var nb []int
+	for _, u := range h.Neighbors(v) {
+		if !eliminated[u] {
+			nb = append(nb, u)
+		}
+	}
+	for i := 0; i < len(nb); i++ {
+		for j := i + 1; j < len(nb); j++ {
+			h.AddEdge(nb[i], nb[j])
+		}
+	}
+	eliminated[v] = true
+}
+
+// Heuristic returns the better of the min-degree and min-fill decompositions
+// together with its (validated-by-construction) width, an upper bound on the
+// treewidth.
+func Heuristic(g *graph.Graph) (*Decomposition, int, error) {
+	if g.N() == 0 {
+		return &Decomposition{}, -1, nil
+	}
+	var best *Decomposition
+	bestW := 1 << 30
+	for _, order := range [][]int{MinDegreeOrder(g), MinFillOrder(g)} {
+		d, err := FromEliminationOrder(g, order)
+		if err != nil {
+			return nil, 0, err
+		}
+		if w := d.Width(); w < bestW {
+			best, bestW = d, w
+		}
+	}
+	return best, bestW, nil
+}
+
+// MaxExactVertices bounds the Exact computation; the dynamic program visits
+// all 2^n vertex subsets.
+const MaxExactVertices = 17
+
+// Exact computes the exact treewidth and an optimal elimination ordering by
+// the Bodlaender–Fomin–Koster–Kratsch–Thilikos dynamic program over vertex
+// subsets: OPT(S) = min_{v∈S} max(OPT(S∖{v}), Q(S∖{v}, v)), where Q(S', v)
+// counts vertices outside S'∪{v} reachable from v through S'. Limited to
+// MaxExactVertices vertices.
+func Exact(g *graph.Graph) (int, []int, error) {
+	n := g.N()
+	if n == 0 {
+		return -1, nil, nil
+	}
+	if n > MaxExactVertices {
+		return 0, nil, fmt.Errorf("treewidth: exact computation limited to %d vertices, got %d", MaxExactVertices, n)
+	}
+	size := 1 << n
+	opt := make([]int8, size)
+	choice := make([]int8, size)
+	opt[0] = -1 // max(-inf, q) = q
+	for s := 1; s < size; s++ {
+		best := int8(127)
+		bestV := int8(-1)
+		for v := 0; v < n; v++ {
+			if s&(1<<v) == 0 {
+				continue
+			}
+			prev := s &^ (1 << v)
+			q := int8(qValue(g, prev, v))
+			cand := opt[prev]
+			if q > cand {
+				cand = q
+			}
+			if cand < best {
+				best, bestV = cand, int8(v)
+			}
+		}
+		opt[s] = best
+		choice[s] = bestV
+	}
+	order := make([]int, n)
+	s := size - 1
+	for i := n - 1; i >= 0; i-- {
+		v := int(choice[s])
+		order[i] = v
+		s &^= 1 << v
+	}
+	return int(opt[size-1]), order, nil
+}
+
+// qValue counts vertices outside S∪{v} reachable from v via internal
+// vertices in S.
+func qValue(g *graph.Graph, s int, v int) int {
+	n := g.N()
+	visited := make([]bool, n)
+	visited[v] = true
+	stack := []int{v}
+	count := 0
+	for len(stack) > 0 {
+		x := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, u := range g.Neighbors(x) {
+			if visited[u] {
+				continue
+			}
+			visited[u] = true
+			if s&(1<<u) != 0 {
+				stack = append(stack, u) // internal vertex, keep walking
+			} else {
+				count++ // reachable vertex outside S∪{v}
+			}
+		}
+	}
+	return count
+}
+
+// MMDPlus computes the "maximum minimum degree plus" (contraction
+// degeneracy, least-c variant) treewidth lower bound: repeatedly record the
+// minimum live degree and contract a minimum-degree vertex into its
+// least-degree neighbor.
+func MMDPlus(g *graph.Graph) int {
+	h := g.Clone()
+	alive := make(map[int]bool)
+	for v := 0; v < h.N(); v++ {
+		alive[v] = true
+	}
+	adj := make([]map[int]bool, h.N())
+	for v := 0; v < h.N(); v++ {
+		adj[v] = make(map[int]bool)
+		for _, u := range h.Neighbors(v) {
+			adj[v][u] = true
+		}
+	}
+	deg := func(v int) int { return len(adj[v]) }
+	lb := 0
+	for len(alive) > 0 {
+		minV, minD := -1, 1<<30
+		for v := range alive {
+			if d := deg(v); d < minD {
+				minV, minD = v, d
+			}
+		}
+		if minD > lb {
+			lb = minD
+		}
+		if minD == 0 {
+			delete(alive, minV)
+			continue
+		}
+		// Contract minV into its least-degree neighbor.
+		target, targetD := -1, 1<<30
+		for u := range adj[minV] {
+			if d := deg(u); d < targetD {
+				target, targetD = u, d
+			}
+		}
+		for u := range adj[minV] {
+			delete(adj[u], minV)
+			if u != target {
+				adj[target][u] = true
+				adj[u][target] = true
+			}
+		}
+		adj[minV] = nil
+		delete(alive, minV)
+	}
+	return lb
+}
+
+// LowerBound returns the better of the degeneracy and MMD+ lower bounds.
+func LowerBound(g *graph.Graph) int {
+	lb := g.Degeneracy()
+	if m := MMDPlus(g); m > lb {
+		lb = m
+	}
+	return lb
+}
+
+// Treewidth returns the exact treewidth when the graph is small enough, and
+// otherwise the interval [LowerBound, heuristic width]. The boolean reports
+// whether the value is exact.
+func Treewidth(g *graph.Graph) (lower, upper int, exact bool, err error) {
+	if g.N() <= MaxExactVertices {
+		tw, _, err := Exact(g)
+		if err != nil {
+			return 0, 0, false, err
+		}
+		return tw, tw, true, nil
+	}
+	_, ub, err := Heuristic(g)
+	if err != nil {
+		return 0, 0, false, err
+	}
+	lb := LowerBound(g)
+	if lb > ub {
+		return 0, 0, false, fmt.Errorf("treewidth: internal: lower bound %d exceeds upper bound %d", lb, ub)
+	}
+	return lb, ub, lb == ub, nil
+}

@@ -1,0 +1,304 @@
+// Package treewidth implements tree decompositions (Robertson–Seymour, as
+// defined in Section 2 of the paper), their validation, width computation,
+// construction from elimination orderings, exact treewidth for small graphs,
+// the min-degree and min-fill heuristics, contraction-based lower bounds,
+// and the constructive keyed-join decomposition transformer from the proof
+// of Theorem 5.5.
+package treewidth
+
+import (
+	"fmt"
+	"sort"
+
+	"cqbound/internal/graph"
+)
+
+// Decomposition is a tree decomposition: bags of graph vertices connected by
+// tree edges. Bag contents are kept sorted.
+type Decomposition struct {
+	Bags  [][]int
+	Edges [][2]int
+}
+
+// AddBag appends a bag (copied, sorted, deduplicated) and returns its index.
+func (d *Decomposition) AddBag(vertices []int) int {
+	seen := make(map[int]bool, len(vertices))
+	var bag []int
+	for _, v := range vertices {
+		if !seen[v] {
+			seen[v] = true
+			bag = append(bag, v)
+		}
+	}
+	sort.Ints(bag)
+	d.Bags = append(d.Bags, bag)
+	return len(d.Bags) - 1
+}
+
+// AddEdge connects two bags in the tree.
+func (d *Decomposition) AddEdge(a, b int) {
+	d.Edges = append(d.Edges, [2]int{a, b})
+}
+
+// Width returns max |bag| - 1, or -1 for an empty decomposition.
+func (d *Decomposition) Width() int {
+	w := 0
+	if len(d.Bags) == 0 {
+		return -1
+	}
+	for _, b := range d.Bags {
+		if len(b) > w {
+			w = len(b)
+		}
+	}
+	return w - 1
+}
+
+// Clone returns a deep copy.
+func (d *Decomposition) Clone() *Decomposition {
+	out := &Decomposition{}
+	for _, b := range d.Bags {
+		out.Bags = append(out.Bags, append([]int(nil), b...))
+	}
+	out.Edges = append(out.Edges, d.Edges...)
+	return out
+}
+
+// adjacency returns the decomposition tree as adjacency lists.
+func (d *Decomposition) adjacency() [][]int {
+	adj := make([][]int, len(d.Bags))
+	for _, e := range d.Edges {
+		adj[e[0]] = append(adj[e[0]], e[1])
+		adj[e[1]] = append(adj[e[1]], e[0])
+	}
+	return adj
+}
+
+// Path returns the unique bag path between bags a and b (inclusive).
+func (d *Decomposition) Path(a, b int) ([]int, error) {
+	if a == b {
+		return []int{a}, nil
+	}
+	adj := d.adjacency()
+	parent := make([]int, len(d.Bags))
+	for i := range parent {
+		parent[i] = -2
+	}
+	parent[a] = -1
+	queue := []int{a}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		if v == b {
+			break
+		}
+		for _, u := range adj[v] {
+			if parent[u] == -2 {
+				parent[u] = v
+				queue = append(queue, u)
+			}
+		}
+	}
+	if parent[b] == -2 {
+		return nil, fmt.Errorf("treewidth: bags %d and %d not connected", a, b)
+	}
+	var rev []int
+	for v := b; v != -1; v = parent[v] {
+		rev = append(rev, v)
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev, nil
+}
+
+// Validate checks that d is a valid tree decomposition of g: the bag graph
+// is a tree; every vertex appears in a bag; every edge of g is inside a bag;
+// and each vertex's bags induce a connected subtree.
+func Validate(g *graph.Graph, d *Decomposition) error {
+	nb := len(d.Bags)
+	if nb == 0 {
+		if g.N() == 0 {
+			return nil
+		}
+		return fmt.Errorf("treewidth: no bags for non-empty graph")
+	}
+	// Tree: connected with nb-1 edges.
+	if len(d.Edges) != nb-1 {
+		return fmt.Errorf("treewidth: %d bags need %d tree edges, have %d", nb, nb-1, len(d.Edges))
+	}
+	adj := d.adjacency()
+	seen := make([]bool, nb)
+	stack := []int{0}
+	seen[0] = true
+	count := 1
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, u := range adj[v] {
+			if !seen[u] {
+				seen[u] = true
+				count++
+				stack = append(stack, u)
+			}
+		}
+	}
+	if count != nb {
+		return fmt.Errorf("treewidth: bag graph disconnected (%d of %d reached)", count, nb)
+	}
+	// Condition (i): vertex coverage.
+	inBag := make([][]int, g.N())
+	for bi, bag := range d.Bags {
+		for _, v := range bag {
+			if v < 0 || v >= g.N() {
+				return fmt.Errorf("treewidth: bag %d contains unknown vertex %d", bi, v)
+			}
+			inBag[v] = append(inBag[v], bi)
+		}
+	}
+	for v := 0; v < g.N(); v++ {
+		if len(inBag[v]) == 0 {
+			return fmt.Errorf("treewidth: vertex %d (%s) in no bag", v, g.Label(v))
+		}
+	}
+	// Condition (ii): edge coverage.
+	for _, e := range g.Edges() {
+		ok := false
+		for _, bi := range inBag[e[0]] {
+			if contains(d.Bags[bi], e[1]) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return fmt.Errorf("treewidth: edge {%d,%d} in no bag", e[0], e[1])
+		}
+	}
+	// Condition (iii): connected subtrees.
+	for v := 0; v < g.N(); v++ {
+		bags := inBag[v]
+		if len(bags) <= 1 {
+			continue
+		}
+		member := make(map[int]bool, len(bags))
+		for _, b := range bags {
+			member[b] = true
+		}
+		reached := map[int]bool{bags[0]: true}
+		stack := []int{bags[0]}
+		for len(stack) > 0 {
+			b := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, u := range adj[b] {
+				if member[u] && !reached[u] {
+					reached[u] = true
+					stack = append(stack, u)
+				}
+			}
+		}
+		if len(reached) != len(bags) {
+			return fmt.Errorf("treewidth: bags of vertex %d (%s) not connected", v, g.Label(v))
+		}
+	}
+	return nil
+}
+
+func contains(sorted []int, v int) bool {
+	i := sort.SearchInts(sorted, v)
+	return i < len(sorted) && sorted[i] == v
+}
+
+// FromEliminationOrder builds a tree decomposition from an elimination
+// ordering: eliminating v creates the bag {v} ∪ N(v) in the current fill
+// graph, connected to the bag of v's earliest-eliminated remaining neighbor.
+// The resulting width equals the ordering's elimination width minus one.
+func FromEliminationOrder(g *graph.Graph, order []int) (*Decomposition, error) {
+	n := g.N()
+	if len(order) != n {
+		return nil, fmt.Errorf("treewidth: order has %d vertices, graph has %d", len(order), n)
+	}
+	pos := make([]int, n)
+	for i := range pos {
+		pos[i] = -1
+	}
+	for i, v := range order {
+		if v < 0 || v >= n || pos[v] != -1 {
+			return nil, fmt.Errorf("treewidth: order is not a permutation")
+		}
+		pos[v] = i
+	}
+	if n == 0 {
+		return &Decomposition{}, nil
+	}
+	// Fill graph simulation.
+	h := g.Clone()
+	eliminated := make([]bool, n)
+	bagOf := make([]int, n)
+	d := &Decomposition{}
+	type pending struct{ from, toVertex int }
+	var edges []pending
+	for _, v := range order {
+		var nb []int
+		for _, u := range h.Neighbors(v) {
+			if !eliminated[u] {
+				nb = append(nb, u)
+			}
+		}
+		bag := append([]int{v}, nb...)
+		bi := d.AddBag(bag)
+		bagOf[v] = bi
+		if len(nb) > 0 {
+			// Connect to the neighbor eliminated soonest.
+			best := nb[0]
+			for _, u := range nb[1:] {
+				if pos[u] < pos[best] {
+					best = u
+				}
+			}
+			edges = append(edges, pending{bi, best})
+		}
+		for i := 0; i < len(nb); i++ {
+			for j := i + 1; j < len(nb); j++ {
+				h.AddEdge(nb[i], nb[j])
+			}
+		}
+		eliminated[v] = true
+	}
+	for _, e := range edges {
+		d.AddEdge(e.from, bagOf[e.toVertex])
+	}
+	// Isolated components: bags of vertices with no remaining neighbors are
+	// roots; chain extra roots together so the bag graph is a tree.
+	if len(d.Edges) < len(d.Bags)-1 {
+		adj := d.adjacency()
+		comp := make([]int, len(d.Bags))
+		for i := range comp {
+			comp[i] = -1
+		}
+		c := 0
+		var roots []int
+		for i := range d.Bags {
+			if comp[i] != -1 {
+				continue
+			}
+			roots = append(roots, i)
+			stack := []int{i}
+			comp[i] = c
+			for len(stack) > 0 {
+				v := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				for _, u := range adj[v] {
+					if comp[u] == -1 {
+						comp[u] = c
+						stack = append(stack, u)
+					}
+				}
+			}
+			c++
+		}
+		for i := 1; i < len(roots); i++ {
+			d.AddEdge(roots[0], roots[i])
+		}
+	}
+	return d, nil
+}

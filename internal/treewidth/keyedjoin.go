@@ -1,0 +1,160 @@
+package treewidth
+
+import (
+	"fmt"
+
+	"cqbound/internal/graph"
+	"cqbound/internal/relation"
+)
+
+// KeyedJoinDecomposition implements the constructive proof of Theorem 5.5:
+// given a tree decomposition d of the Gaifman graph g of ⟨R, S⟩ and a keyed
+// join R ⋈_{A=B} S (column sCol must be a key of S), it produces a tree
+// decomposition that covers every output tuple of the join. For each joined
+// pair (t, u) the values of u except the join value are added to every bag
+// on the path between a bag containing t's values and a bag containing u's
+// values (Observation 5.6 keeps the result a valid decomposition). If S has
+// arity j and d has width ω, the result has width at most j(ω+1) − 1.
+//
+// The returned decomposition is over g's vertex ids; use RelabelTo to
+// validate it against the Gaifman graph of the join result.
+func KeyedJoinDecomposition(g *graph.Graph, d *Decomposition, r, s *relation.Relation, rCol, sCol int) (*Decomposition, error) {
+	if rCol < 0 || rCol >= r.Arity() || sCol < 0 || sCol >= s.Arity() {
+		return nil, fmt.Errorf("treewidth: join columns out of range")
+	}
+	if !s.CheckKey([]int{sCol}) {
+		return nil, fmt.Errorf("treewidth: column %d is not a key of %s", sCol, s.Name)
+	}
+	// Mutable bag sets.
+	bags := make([]map[int]bool, len(d.Bags))
+	for i, b := range d.Bags {
+		bags[i] = make(map[int]bool, len(b))
+		for _, v := range b {
+			bags[i][v] = true
+		}
+	}
+	vertexOf := func(val relation.Value) (int, error) {
+		v, ok := g.VertexByLabel(string(val))
+		if !ok {
+			return 0, fmt.Errorf("treewidth: value %q not in Gaifman graph", val)
+		}
+		return v, nil
+	}
+	tupleVertices := func(t relation.Tuple) ([]int, error) {
+		seen := make(map[int]bool, len(t))
+		var out []int
+		for _, val := range t {
+			v, err := vertexOf(val)
+			if err != nil {
+				return nil, err
+			}
+			if !seen[v] {
+				seen[v] = true
+				out = append(out, v)
+			}
+		}
+		return out, nil
+	}
+	// homeBag finds a bag containing all listed vertices; tuple values form
+	// a clique in g, so one must exist in a valid decomposition.
+	homeBag := func(vs []int) (int, error) {
+		for i := range bags {
+			all := true
+			for _, v := range vs {
+				if !bags[i][v] {
+					all = false
+					break
+				}
+			}
+			if all {
+				return i, nil
+			}
+		}
+		return 0, fmt.Errorf("treewidth: no bag contains clique %v (decomposition invalid for graph?)", vs)
+	}
+
+	// Index S by its key column; B a key means at most one tuple per value.
+	sByKey := make(map[relation.Value]relation.Tuple, s.Size())
+	sHome := make(map[relation.Value]int, s.Size())
+	for _, u := range s.Tuples() {
+		sByKey[u[sCol]] = u
+		vs, err := tupleVertices(u)
+		if err != nil {
+			return nil, err
+		}
+		h, err := homeBag(vs)
+		if err != nil {
+			return nil, err
+		}
+		sHome[u[sCol]] = h
+	}
+
+	for _, t := range r.Tuples() {
+		u, ok := sByKey[t[rCol]]
+		if !ok {
+			continue
+		}
+		tvs, err := tupleVertices(t)
+		if err != nil {
+			return nil, err
+		}
+		tb, err := homeBag(tvs)
+		if err != nil {
+			return nil, err
+		}
+		ub := sHome[u[sCol]]
+		path, err := d.Path(tb, ub)
+		if err != nil {
+			return nil, err
+		}
+		// W: values of u except the join value.
+		var w []int
+		for i, val := range u {
+			if i == sCol {
+				continue
+			}
+			v, err := vertexOf(val)
+			if err != nil {
+				return nil, err
+			}
+			w = append(w, v)
+		}
+		for _, bi := range path {
+			for _, v := range w {
+				bags[bi][v] = true
+			}
+		}
+	}
+
+	out := &Decomposition{Edges: append([][2]int(nil), d.Edges...)}
+	for _, b := range bags {
+		var bag []int
+		for v := range b {
+			bag = append(bag, v)
+		}
+		out.AddBag(bag)
+	}
+	return out, nil
+}
+
+// RelabelTo maps a decomposition over graph from onto graph to, matching
+// vertices by label. Labels of from absent in to are dropped from bags;
+// every vertex of to must carry a label present in from.
+func (d *Decomposition) RelabelTo(from, to *graph.Graph) (*Decomposition, error) {
+	for v := 0; v < to.N(); v++ {
+		if _, ok := from.VertexByLabel(to.Label(v)); !ok {
+			return nil, fmt.Errorf("treewidth: target vertex %q unknown in source graph", to.Label(v))
+		}
+	}
+	out := &Decomposition{Edges: append([][2]int(nil), d.Edges...)}
+	for _, b := range d.Bags {
+		var bag []int
+		for _, v := range b {
+			if nv, ok := to.VertexByLabel(from.Label(v)); ok {
+				bag = append(bag, nv)
+			}
+		}
+		out.AddBag(bag)
+	}
+	return out, nil
+}

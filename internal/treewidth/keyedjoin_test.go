@@ -1,0 +1,101 @@
+package treewidth
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"cqbound/internal/database"
+	"cqbound/internal/relation"
+)
+
+// randomKeyedPair builds relations R(a,b,...) and S(k, d1..d_{j-1}) where
+// S's first column is a key, with values drawn so that joins happen.
+func randomKeyedPair(rng *rand.Rand, rSize, sArity, universe int) (*relation.Relation, *relation.Relation) {
+	r := relation.New("R", "ra", "rb")
+	for i := 0; i < rSize; i++ {
+		r.MustInsert(
+			relation.Value(fmt.Sprintf("u%d", rng.Intn(universe))),
+			relation.Value(fmt.Sprintf("k%d", rng.Intn(universe))),
+		)
+	}
+	attrs := make([]string, sArity)
+	for i := range attrs {
+		attrs[i] = fmt.Sprintf("s%d", i)
+	}
+	s := relation.New("S", attrs...)
+	for k := 0; k < universe; k++ {
+		row := make(relation.Tuple, sArity)
+		row[0] = relation.Value(fmt.Sprintf("k%d", k))
+		for i := 1; i < sArity; i++ {
+			row[i] = relation.Value(fmt.Sprintf("w%d", rng.Intn(universe)))
+		}
+		if rng.Intn(3) > 0 { // leave some keys dangling
+			s.MustInsert(row...)
+		}
+	}
+	return r, s
+}
+
+func TestKeyedJoinDecompositionBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 30; trial++ {
+		sArity := 2 + rng.Intn(3)
+		r, s := randomKeyedPair(rng, 8+rng.Intn(10), sArity, 5)
+		if !s.CheckKey([]int{0}) {
+			t.Fatal("generator broke the key")
+		}
+		g := database.GaifmanOf(r, s)
+		if g.N() == 0 {
+			continue
+		}
+		d, omega, err := Heuristic(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := Validate(g, d); err != nil {
+			t.Fatalf("trial %d: input decomposition invalid: %v", trial, err)
+		}
+		lifted, err := KeyedJoinDecomposition(g, d, r, s, 1, 0)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		// Theorem 5.5 width bound.
+		if w, bound := lifted.Width(), sArity*(omega+1)-1; w > bound {
+			t.Fatalf("trial %d: lifted width %d exceeds j(ω+1)-1 = %d", trial, w, bound)
+		}
+		// The lifted decomposition must be valid for the Gaifman graph of
+		// the join result (plus untouched input values).
+		joined, err := relation.EquiJoin(r, s, [][2]int{{1, 0}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if joined.Size() == 0 {
+			continue
+		}
+		h := database.GaifmanOf(joined)
+		relabeled, err := lifted.RelabelTo(g, h)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if err := Validate(h, relabeled); err != nil {
+			t.Fatalf("trial %d: lifted decomposition invalid for join result: %v", trial, err)
+		}
+	}
+}
+
+func TestKeyedJoinRejectsNonKey(t *testing.T) {
+	r := relation.New("R", "a")
+	r.MustInsert("x")
+	s := relation.New("S", "b", "c")
+	s.MustInsert("x", "1")
+	s.MustInsert("x", "2") // b not a key
+	g := database.GaifmanOf(r, s)
+	d, _, err := Heuristic(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := KeyedJoinDecomposition(g, d, r, s, 0, 0); err == nil {
+		t.Fatal("accepted non-key join column")
+	}
+}

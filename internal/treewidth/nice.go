@@ -1,0 +1,317 @@
+package treewidth
+
+import (
+	"fmt"
+	"sort"
+
+	"cqbound/internal/graph"
+)
+
+// Section 1 motivates treewidth preservation with Courcelle's theorem:
+// MSO-expressible problems are linear-time on bounded-treewidth structures.
+// The standard algorithmic vehicle is a *nice* tree decomposition, and this
+// file provides the transformation plus one classic dynamic program
+// (counting independent sets) as an executable example of what a
+// treewidth-preserving view buys downstream.
+
+// NiceKind labels the node types of a nice tree decomposition.
+type NiceKind int
+
+// Nice node kinds.
+const (
+	// Leaf nodes have an empty bag and no children.
+	Leaf NiceKind = iota
+	// Introduce nodes add one vertex to their child's bag.
+	Introduce
+	// Forget nodes remove one vertex from their child's bag.
+	Forget
+	// Join nodes merge two children with identical bags.
+	Join
+)
+
+func (k NiceKind) String() string {
+	switch k {
+	case Leaf:
+		return "leaf"
+	case Introduce:
+		return "introduce"
+	case Forget:
+		return "forget"
+	default:
+		return "join"
+	}
+}
+
+// NiceNode is one node of a nice tree decomposition.
+type NiceNode struct {
+	Kind     NiceKind
+	Vertex   int // the introduced/forgotten vertex, -1 otherwise
+	Bag      []int
+	Children []int
+}
+
+// NiceDecomposition is a rooted tree decomposition in nice form. The root
+// bag is empty.
+type NiceDecomposition struct {
+	Nodes []NiceNode
+	Root  int
+}
+
+// Width returns max bag size − 1.
+func (nd *NiceDecomposition) Width() int {
+	w := 0
+	for _, n := range nd.Nodes {
+		if len(n.Bag) > w {
+			w = len(n.Bag)
+		}
+	}
+	return w - 1
+}
+
+// MakeNice converts a valid tree decomposition of g into nice form with the
+// same width (or width 0 for an edgeless graph). The root bag is empty.
+func MakeNice(g *graph.Graph, d *Decomposition) (*NiceDecomposition, error) {
+	if err := Validate(g, d); err != nil {
+		return nil, fmt.Errorf("treewidth: MakeNice needs a valid decomposition: %v", err)
+	}
+	nd := &NiceDecomposition{}
+	add := func(n NiceNode) int {
+		sort.Ints(n.Bag)
+		nd.Nodes = append(nd.Nodes, n)
+		return len(nd.Nodes) - 1
+	}
+	// chainUp builds Introduce steps from the bag `fromNode` carries to
+	// target (a superset), returning the top node.
+	chainUp := func(fromNode int, target []int) int {
+		cur := fromNode
+		have := make(map[int]bool)
+		for _, v := range nd.Nodes[fromNode].Bag {
+			have[v] = true
+		}
+		for _, v := range target {
+			if !have[v] {
+				bag := append(append([]int(nil), nd.Nodes[cur].Bag...), v)
+				cur = add(NiceNode{Kind: Introduce, Vertex: v, Bag: bag, Children: []int{cur}})
+				have[v] = true
+			}
+		}
+		return cur
+	}
+	// chainDown builds Forget steps from fromNode's bag to target (a
+	// subset).
+	chainDown := func(fromNode int, target []int) int {
+		keep := make(map[int]bool, len(target))
+		for _, v := range target {
+			keep[v] = true
+		}
+		cur := fromNode
+		for _, v := range append([]int(nil), nd.Nodes[fromNode].Bag...) {
+			if !keep[v] {
+				var bag []int
+				for _, w := range nd.Nodes[cur].Bag {
+					if w != v {
+						bag = append(bag, w)
+					}
+				}
+				cur = add(NiceNode{Kind: Forget, Vertex: v, Bag: bag, Children: []int{cur}})
+			}
+		}
+		return cur
+	}
+
+	adj := d.adjacency()
+	var build func(u, parent int) int
+	build = func(u, parent int) int {
+		bag := d.Bags[u]
+		// Base copy of this bag: a leaf chain introducing every vertex.
+		leaf := add(NiceNode{Kind: Leaf, Vertex: -1})
+		pieces := []int{chainUp(leaf, bag)}
+		for _, c := range adj[u] {
+			if c == parent {
+				continue
+			}
+			sub := build(c, u)
+			bridged := chainUp(chainDown(sub, intersect(d.Bags[c], bag)), bag)
+			pieces = append(pieces, bridged)
+		}
+		// Fold the pieces with Join nodes (all carry exactly bag).
+		cur := pieces[0]
+		for _, p := range pieces[1:] {
+			cur = add(NiceNode{
+				Kind:     Join,
+				Vertex:   -1,
+				Bag:      append([]int(nil), nd.Nodes[cur].Bag...),
+				Children: []int{cur, p},
+			})
+		}
+		return cur
+	}
+	if len(d.Bags) == 0 {
+		nd.Root = add(NiceNode{Kind: Leaf, Vertex: -1})
+		return nd, nil
+	}
+	top := build(0, -1)
+	nd.Root = chainDown(top, nil)
+	return nd, nil
+}
+
+func intersect(a, b []int) []int {
+	inB := make(map[int]bool, len(b))
+	for _, v := range b {
+		inB[v] = true
+	}
+	var out []int
+	for _, v := range a {
+		if inB[v] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// ValidateNice checks the structural invariants of a nice decomposition and
+// that it is a valid tree decomposition of g.
+func ValidateNice(g *graph.Graph, nd *NiceDecomposition) error {
+	d := &Decomposition{}
+	for i, n := range nd.Nodes {
+		d.AddBag(n.Bag)
+		switch n.Kind {
+		case Leaf:
+			if len(n.Children) != 0 || len(n.Bag) != 0 {
+				return fmt.Errorf("treewidth: leaf node %d malformed", i)
+			}
+		case Introduce, Forget:
+			if len(n.Children) != 1 {
+				return fmt.Errorf("treewidth: %s node %d needs one child", n.Kind, i)
+			}
+			child := nd.Nodes[n.Children[0]]
+			want := len(child.Bag) + 1
+			if n.Kind == Forget {
+				want = len(child.Bag) - 1
+			}
+			if len(n.Bag) != want {
+				return fmt.Errorf("treewidth: %s node %d bag size %d, child %d", n.Kind, i, len(n.Bag), len(child.Bag))
+			}
+			inChild := contains(child.Bag, n.Vertex)
+			inSelf := contains(n.Bag, n.Vertex)
+			if n.Kind == Introduce && (inChild || !inSelf) {
+				return fmt.Errorf("treewidth: introduce node %d vertex %d misplaced", i, n.Vertex)
+			}
+			if n.Kind == Forget && (!inChild || inSelf) {
+				return fmt.Errorf("treewidth: forget node %d vertex %d misplaced", i, n.Vertex)
+			}
+		case Join:
+			if len(n.Children) != 2 {
+				return fmt.Errorf("treewidth: join node %d needs two children", i)
+			}
+			for _, c := range n.Children {
+				if !equalInts(n.Bag, nd.Nodes[c].Bag) {
+					return fmt.Errorf("treewidth: join node %d bag differs from child %d", i, c)
+				}
+			}
+		}
+		for _, c := range n.Children {
+			d.AddEdge(i, c)
+		}
+	}
+	if len(nd.Nodes[nd.Root].Bag) != 0 {
+		return fmt.Errorf("treewidth: root bag not empty")
+	}
+	return Validate(g, d)
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// IndependentSetCount counts the independent sets of g (including the empty
+// set) by dynamic programming over a nice tree decomposition — the
+// Courcelle-style computation that motivates treewidth preservation in
+// Section 1. Runs in O(2^w · |nodes|) for width w.
+func IndependentSetCount(g *graph.Graph, nd *NiceDecomposition) (uint64, error) {
+	if err := ValidateNice(g, nd); err != nil {
+		return 0, err
+	}
+	// states[n] maps a bitmask over node n's bag (positions in sorted bag
+	// order) to the number of independent sets below n whose intersection
+	// with the bag is exactly that subset.
+	var solve func(n int) map[uint32]uint64
+	solve = func(n int) map[uint32]uint64 {
+		node := nd.Nodes[n]
+		switch node.Kind {
+		case Leaf:
+			return map[uint32]uint64{0: 1}
+		case Introduce:
+			childStates := solve(node.Children[0])
+			childBag := nd.Nodes[node.Children[0]].Bag
+			vPos := indexOf(node.Bag, node.Vertex)
+			out := make(map[uint32]uint64, 2*len(childStates))
+			for cs, count := range childStates {
+				// Re-index the child mask into this bag's positions.
+				base := remask(cs, childBag, node.Bag)
+				out[base] += count
+				// Add v if independent of the selected bag vertices.
+				ok := true
+				for i, w := range node.Bag {
+					if base&(1<<uint(i)) != 0 && g.HasEdge(node.Vertex, w) {
+						ok = false
+						break
+					}
+				}
+				if ok {
+					out[base|1<<uint(vPos)] += count
+				}
+			}
+			return out
+		case Forget:
+			childStates := solve(node.Children[0])
+			childBag := nd.Nodes[node.Children[0]].Bag
+			out := make(map[uint32]uint64, len(childStates))
+			for cs, count := range childStates {
+				masked := cs &^ (1 << uint(indexOf(childBag, node.Vertex)))
+				out[remask(masked, childBag, node.Bag)] += count
+			}
+			return out
+		default: // Join
+			left := solve(node.Children[0])
+			right := solve(node.Children[1])
+			out := make(map[uint32]uint64, len(left))
+			for s, lc := range left {
+				if rc, ok := right[s]; ok {
+					out[s] += lc * rc
+				}
+			}
+			return out
+		}
+	}
+	states := solve(nd.Root)
+	return states[0], nil
+}
+
+func indexOf(sorted []int, v int) int {
+	i := sort.SearchInts(sorted, v)
+	if i < len(sorted) && sorted[i] == v {
+		return i
+	}
+	return -1
+}
+
+// remask translates a bitmask over fromBag positions into toBag positions
+// (vertices present in the mask must exist in toBag).
+func remask(mask uint32, fromBag, toBag []int) uint32 {
+	var out uint32
+	for i, v := range fromBag {
+		if mask&(1<<uint(i)) != 0 {
+			out |= 1 << uint(indexOf(toBag, v))
+		}
+	}
+	return out
+}

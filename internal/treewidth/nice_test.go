@@ -1,0 +1,133 @@
+package treewidth
+
+import (
+	"math/rand"
+	"testing"
+
+	"cqbound/internal/graph"
+)
+
+func niceFor(t *testing.T, g *graph.Graph) *NiceDecomposition {
+	t.Helper()
+	d, _, err := Heuristic(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nd, err := MakeNice(g, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateNice(g, nd); err != nil {
+		t.Fatalf("nice decomposition invalid: %v", err)
+	}
+	return nd
+}
+
+func TestMakeNicePreservesWidth(t *testing.T) {
+	for _, g := range []*graph.Graph{
+		graph.Path(6), graph.Cycle(7), graph.Complete(5), graph.Grid(3, 4),
+	} {
+		d, w, err := Heuristic(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nd, err := MakeNice(g, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ValidateNice(g, nd); err != nil {
+			t.Fatal(err)
+		}
+		if nd.Width() != w {
+			t.Fatalf("nice width %d != decomposition width %d", nd.Width(), w)
+		}
+	}
+}
+
+func TestMakeNiceRejectsInvalid(t *testing.T) {
+	g := graph.Path(3)
+	bad := &Decomposition{}
+	bad.AddBag([]int{0, 1}) // vertex 2 missing
+	if _, err := MakeNice(g, bad); err == nil {
+		t.Fatal("MakeNice accepted an invalid decomposition")
+	}
+}
+
+func bruteForceIndependentSets(g *graph.Graph) uint64 {
+	n := g.N()
+	var count uint64
+	for mask := 0; mask < 1<<n; mask++ {
+		ok := true
+		for u := 0; u < n && ok; u++ {
+			if mask&(1<<u) == 0 {
+				continue
+			}
+			for v := u + 1; v < n; v++ {
+				if mask&(1<<v) != 0 && g.HasEdge(u, v) {
+					ok = false
+					break
+				}
+			}
+		}
+		if ok {
+			count++
+		}
+	}
+	return count
+}
+
+func TestIndependentSetCountKnown(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *graph.Graph
+		want uint64
+	}{
+		{"single vertex", graph.Path(1), 2},
+		{"edge", graph.Path(2), 3},
+		{"path4 (Fibonacci)", graph.Path(4), 8},
+		{"path5", graph.Path(5), 13},
+		{"triangle", graph.Cycle(3), 4},
+		{"C5 (Lucas)", graph.Cycle(5), 11},
+		{"K4", graph.Complete(4), 5},
+	}
+	for _, c := range cases {
+		nd := niceFor(t, c.g)
+		got, err := IndependentSetCount(c.g, nd)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if got != c.want {
+			t.Errorf("%s: count = %d, want %d", c.name, got, c.want)
+		}
+	}
+}
+
+func TestIndependentSetCountRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	for trial := 0; trial < 30; trial++ {
+		g := randomGraph(rng, 2+rng.Intn(9), 0.3)
+		nd := niceFor(t, g)
+		got, err := IndependentSetCount(g, nd)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := bruteForceIndependentSets(g)
+		if got != want {
+			t.Fatalf("trial %d: DP count %d != brute force %d", trial, got, want)
+		}
+	}
+}
+
+func TestIndependentSetCountGrid(t *testing.T) {
+	// 2xN grid independent sets follow a known linear recurrence; check
+	// against brute force for a 2x5 grid (10 vertices).
+	g := graph.Grid(2, 5)
+	nd := niceFor(t, g)
+	got, err := IndependentSetCount(g, nd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := bruteForceIndependentSets(g); got != want {
+		t.Fatalf("grid count = %d, want %d", got, want)
+	}
+}

@@ -1,0 +1,250 @@
+package treewidth
+
+import (
+	"math/rand"
+	"testing"
+
+	"cqbound/internal/graph"
+)
+
+func TestExactKnownGraphs(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *graph.Graph
+		want int
+	}{
+		{"single", graph.Path(1), 0},
+		{"edge", graph.Path(2), 1},
+		{"path5", graph.Path(5), 1},
+		{"cycle5", graph.Cycle(5), 2},
+		{"K4", graph.Complete(4), 3},
+		{"K6", graph.Complete(6), 5},
+		{"grid3x3", graph.Grid(3, 3), 3},
+		{"grid2x5", graph.Grid(2, 5), 2},
+		{"grid3x4", graph.Grid(3, 4), 3},
+		{"grid4x4", graph.Grid(4, 4), 4},
+	}
+	for _, c := range cases {
+		tw, order, err := Exact(c.g)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if tw != c.want {
+			t.Errorf("%s: treewidth = %d, want %d", c.name, tw, c.want)
+		}
+		// The optimal order must reproduce the width as a decomposition.
+		d, err := FromEliminationOrder(c.g, order)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if err := Validate(c.g, d); err != nil {
+			t.Fatalf("%s: invalid decomposition: %v", c.name, err)
+		}
+		if d.Width() != c.want {
+			t.Errorf("%s: decomposition width = %d, want %d", c.name, d.Width(), c.want)
+		}
+	}
+}
+
+func TestExactEmptyAndDisconnected(t *testing.T) {
+	g := graph.New()
+	tw, _, err := Exact(g)
+	if err != nil || tw != -1 {
+		t.Fatalf("empty graph: tw=%d err=%v", tw, err)
+	}
+	// Two disjoint edges.
+	h := graph.New()
+	h.AddEdgeLabels("a", "b")
+	h.AddEdgeLabels("c", "d")
+	tw, order, err := Exact(h)
+	if err != nil || tw != 1 {
+		t.Fatalf("disjoint edges: tw=%d err=%v", tw, err)
+	}
+	d, err := FromEliminationOrder(h, order)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(h, d); err != nil {
+		t.Fatalf("disconnected decomposition invalid: %v", err)
+	}
+}
+
+func TestExactTooLarge(t *testing.T) {
+	if _, _, err := Exact(graph.Grid(5, 5)); err == nil {
+		t.Fatal("Exact accepted 25 vertices")
+	}
+}
+
+func TestHeuristicUpperBoundsExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 40; trial++ {
+		g := randomGraph(rng, 3+rng.Intn(8), 0.35)
+		tw, _, err := Exact(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, w, err := Heuristic(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := Validate(g, d); err != nil {
+			t.Fatalf("trial %d: heuristic decomposition invalid: %v", trial, err)
+		}
+		if w < tw {
+			t.Fatalf("trial %d: heuristic width %d below exact %d", trial, w, tw)
+		}
+	}
+}
+
+func TestLowerBoundsBelowExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 40; trial++ {
+		g := randomGraph(rng, 3+rng.Intn(8), 0.4)
+		tw, _, err := Exact(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lb := LowerBound(g); lb > tw {
+			t.Fatalf("trial %d: lower bound %d above exact %d", trial, lb, tw)
+		}
+		if m := MMDPlus(g); m > tw {
+			t.Fatalf("trial %d: MMD+ %d above exact %d", trial, m, tw)
+		}
+	}
+}
+
+func TestMMDPlusGrid(t *testing.T) {
+	// MMD+ on grids reaches at least 2 quickly; on K5 it reaches 4.
+	if m := MMDPlus(graph.Complete(5)); m != 4 {
+		t.Fatalf("MMD+(K5) = %d, want 4", m)
+	}
+	if m := MMDPlus(graph.Grid(4, 4)); m < 2 {
+		t.Fatalf("MMD+(grid) = %d, want >= 2", m)
+	}
+}
+
+func TestTreewidthIntervalLargeGraph(t *testing.T) {
+	g := graph.Grid(6, 8) // 48 vertices: exact is out of reach
+	lo, hi, _, err := Treewidth(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo > hi {
+		t.Fatalf("interval inverted: [%d,%d]", lo, hi)
+	}
+	if hi < 6 {
+		t.Fatalf("upper bound %d below true treewidth 6", hi)
+	}
+	if lo < 2 {
+		t.Fatalf("lower bound %d too weak", lo)
+	}
+}
+
+func TestValidateCatchesBadDecompositions(t *testing.T) {
+	g := graph.Path(3) // 0-1-2
+	// Missing vertex.
+	d := &Decomposition{}
+	d.AddBag([]int{0, 1})
+	if err := Validate(g, d); err == nil {
+		t.Fatal("accepted missing vertex")
+	}
+	// Missing edge.
+	d2 := &Decomposition{}
+	b0 := d2.AddBag([]int{0, 1})
+	b1 := d2.AddBag([]int{2})
+	d2.AddEdge(b0, b1)
+	if err := Validate(g, d2); err == nil {
+		t.Fatal("accepted missing edge {1,2}")
+	}
+	// Disconnected occurrences of vertex 0.
+	d3 := &Decomposition{}
+	c0 := d3.AddBag([]int{0, 1})
+	c1 := d3.AddBag([]int{1, 2})
+	c2 := d3.AddBag([]int{0})
+	d3.AddEdge(c0, c1)
+	d3.AddEdge(c1, c2)
+	if err := Validate(g, d3); err == nil {
+		t.Fatal("accepted disconnected vertex bags")
+	}
+	// Not a tree (cycle).
+	d4 := &Decomposition{}
+	e0 := d4.AddBag([]int{0, 1})
+	e1 := d4.AddBag([]int{1, 2})
+	e2 := d4.AddBag([]int{0, 2})
+	d4.AddEdge(e0, e1)
+	d4.AddEdge(e1, e2)
+	d4.AddEdge(e2, e0)
+	if err := Validate(g, d4); err == nil {
+		t.Fatal("accepted cyclic bag graph")
+	}
+}
+
+func TestFromEliminationOrderRejectsBadOrder(t *testing.T) {
+	g := graph.Path(3)
+	if _, err := FromEliminationOrder(g, []int{0, 1}); err == nil {
+		t.Fatal("accepted short order")
+	}
+	if _, err := FromEliminationOrder(g, []int{0, 0, 1}); err == nil {
+		t.Fatal("accepted repeated vertex")
+	}
+}
+
+func TestPathBetweenBags(t *testing.T) {
+	d := &Decomposition{}
+	a := d.AddBag([]int{0})
+	b := d.AddBag([]int{1})
+	c := d.AddBag([]int{2})
+	d.AddEdge(a, b)
+	d.AddEdge(b, c)
+	p, err := d.Path(a, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p) != 3 || p[0] != a || p[2] != c {
+		t.Fatalf("Path = %v", p)
+	}
+	if _, err := d.Path(a, a); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOrdersAreValidPermutations(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 20; trial++ {
+		g := randomGraph(rng, 2+rng.Intn(10), 0.3)
+		for _, order := range [][]int{MinDegreeOrder(g), MinFillOrder(g)} {
+			seen := make(map[int]bool)
+			for _, v := range order {
+				if seen[v] || v < 0 || v >= g.N() {
+					t.Fatalf("bad order %v", order)
+				}
+				seen[v] = true
+			}
+			if len(order) != g.N() {
+				t.Fatalf("order length %d != %d", len(order), g.N())
+			}
+			d, err := FromEliminationOrder(g, order)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := Validate(g, d); err != nil {
+				t.Fatalf("trial %d: %v", trial, err)
+			}
+		}
+	}
+}
+
+func randomGraph(rng *rand.Rand, n int, p float64) *graph.Graph {
+	g := graph.New()
+	for i := 0; i < n; i++ {
+		g.AddVertex()
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Float64() < p {
+				g.AddEdge(i, j)
+			}
+		}
+	}
+	return g
+}
