@@ -2,11 +2,16 @@
 // figure, worked example, and quantitative theorem of the paper (see the
 // index in DESIGN.md §3).
 //
+// With -planbench it instead benchmarks the bound-driven query planner
+// against each fixed evaluation strategy on canonical workloads, printing a
+// table or (with -json) a machine-readable baseline for future perf work.
+//
 // Usage:
 //
 //	cqbench -list
 //	cqbench -experiment E7
 //	cqbench -all [-markdown]
+//	cqbench -planbench [-json]
 package main
 
 import (
@@ -23,9 +28,13 @@ func main() {
 	exp := flag.String("experiment", "", "run a single experiment (E1..E19)")
 	all := flag.Bool("all", false, "run every experiment")
 	markdown := flag.Bool("markdown", false, "emit results as Markdown tables")
+	planbench := flag.Bool("planbench", false, "benchmark planned vs fixed evaluation strategies")
+	jsonOut := flag.Bool("json", false, "emit -planbench results as JSON")
 	flag.Parse()
 
 	switch {
+	case *planbench:
+		runPlanBench(*jsonOut)
 	case *list:
 		for _, id := range experiments.IDs() {
 			fmt.Println(id)

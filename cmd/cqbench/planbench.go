@@ -1,0 +1,206 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	"cqbound/internal/cq"
+	"cqbound/internal/database"
+	"cqbound/internal/datagen"
+	"cqbound/internal/eval"
+	"cqbound/internal/plan"
+	"cqbound/internal/relation"
+)
+
+// The plan benchmark compares the bound-driven planner against each fixed
+// strategy on canonical workloads, emitting one JSON document so future
+// changes have a machine-readable perf baseline to diff against.
+
+// StrategyRun is one (workload, strategy) measurement.
+type StrategyRun struct {
+	Strategy        string  `json:"strategy"`
+	NsPerOp         int64   `json:"ns_per_op"`
+	OutputTuples    int     `json:"output_tuples"`
+	MaxIntermediate int     `json:"max_intermediate"`
+	Joins           int     `json:"joins"`
+	SpeedupVsNaive  float64 `json:"speedup_vs_naive"`
+}
+
+// WorkloadResult groups the runs of one query/database pair.
+type WorkloadResult struct {
+	Name      string        `json:"name"`
+	Query     string        `json:"query"`
+	Planned   string        `json:"planned_strategy"`
+	Rationale string        `json:"rationale"`
+	Runs      []StrategyRun `json:"runs"`
+}
+
+// PlanBenchReport is the top-level JSON document.
+type PlanBenchReport struct {
+	Workloads []WorkloadResult `json:"workloads"`
+}
+
+type workload struct {
+	name string
+	text string
+	db   func() *database.Database
+}
+
+func planBenchWorkloads() []workload {
+	randomGraph := func(edges, universe int, seed int64) *database.Database {
+		rng := rand.New(rand.NewSource(seed))
+		db := database.New()
+		e := datagen.RandomDatabase(rng, cq.MustParse("Q(X,Y) <- E(X,Y)."),
+			datagen.DBParams{Tuples: edges, Universe: universe}).Relation("E")
+		db.MustAdd(e)
+		return db
+	}
+	multiGraph := func(names []string, edges, universe int, seed int64) *database.Database {
+		rng := rand.New(rand.NewSource(seed))
+		db := database.New()
+		for _, n := range names {
+			r := datagen.RandomDatabase(rng, cq.MustParse(fmt.Sprintf("Q(X,Y) <- %s(X,Y).", n)),
+				datagen.DBParams{Tuples: edges, Universe: universe}).Relation(n)
+			db.MustAdd(r)
+		}
+		return db
+	}
+	return []workload{
+		{
+			name: "triangle",
+			text: "Q(X,Y,Z) <- E(X,Y), E(Y,Z), E(X,Z).",
+			db:   func() *database.Database { return randomGraph(400, 60, 1) },
+		},
+		{
+			name: "star-3",
+			text: "Q(X,Y,Z,W) <- E(X,Y), E(X,Z), E(X,W).",
+			db:   func() *database.Database { return randomGraph(200, 40, 2) },
+		},
+		{
+			name: "path-4",
+			text: "Q(A,E) <- R(A,B), S(B,C), T(C,D), U(D,E).",
+			db:   func() *database.Database { return multiGraph([]string{"R", "S", "T", "U"}, 300, 50, 3) },
+		},
+		{
+			name: "4-cycle",
+			text: "Q(A,B,C,D) <- E(A,B), E(B,C), E(C,D), E(D,A).",
+			db:   func() *database.Database { return randomGraph(250, 40, 4) },
+		},
+	}
+}
+
+func runPlanBench(asJSON bool) {
+	ctx := context.Background()
+	report := PlanBenchReport{}
+	for _, w := range planBenchWorkloads() {
+		q := cq.MustParse(w.text)
+		db := w.db()
+		p, err := plan.ChooseForDB(q, db)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cqbench:", err)
+			os.Exit(1)
+		}
+		res := WorkloadResult{Name: w.name, Query: w.text, Planned: p.Strategy.String(), Rationale: p.Rationale}
+
+		type strat struct {
+			name string
+			run  func() (int, eval.Stats, error)
+		}
+		strategies := []strat{
+			{"naive", func() (int, eval.Stats, error) {
+				return sized(eval.NaiveCtx(ctx, q, db))
+			}},
+			{"project-early", func() (int, eval.Stats, error) {
+				return sized(eval.JoinProjectOrdered(ctx, q, db, plan.OrderAtoms(q, db)))
+			}},
+			{"generic-join", func() (int, eval.Stats, error) {
+				return sized(eval.GenericJoinCtx(ctx, q, db))
+			}},
+		}
+		if p.Acyclic {
+			strategies = append(strategies, strat{"yannakakis", func() (int, eval.Stats, error) {
+				return sized(eval.YannakakisCtx(ctx, q, db))
+			}})
+		}
+		strategies = append(strategies, strat{"planned", func() (int, eval.Stats, error) {
+			return sized(plan.Execute(ctx, p, q, db))
+		}})
+
+		var naiveNs int64
+		for _, s := range strategies {
+			ns, outSize, st, err := timeStrategy(s.run)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "cqbench: %s/%s: %v\n", w.name, s.name, err)
+				os.Exit(1)
+			}
+			run := StrategyRun{
+				Strategy:        s.name,
+				NsPerOp:         ns,
+				OutputTuples:    outSize,
+				MaxIntermediate: st.MaxIntermediate,
+				Joins:           st.Joins,
+			}
+			if s.name == "naive" {
+				naiveNs = ns
+			}
+			if naiveNs > 0 && ns > 0 {
+				run.SpeedupVsNaive = float64(naiveNs) / float64(ns)
+			}
+			res.Runs = append(res.Runs, run)
+		}
+		report.Workloads = append(report.Workloads, res)
+	}
+
+	if asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report); err != nil {
+			fmt.Fprintln(os.Stderr, "cqbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	for _, w := range report.Workloads {
+		fmt.Printf("%s  (planned: %s)\n", w.Name, w.Planned)
+		for _, r := range w.Runs {
+			fmt.Printf("  %-14s %10d ns/op  out=%-6d maxint=%-6d joins=%-4d speedup=%.2fx\n",
+				r.Strategy, r.NsPerOp, r.OutputTuples, r.MaxIntermediate, r.Joins, r.SpeedupVsNaive)
+		}
+	}
+}
+
+// sized adapts an evaluator result to (output size, stats, error).
+func sized(out *relation.Relation, st eval.Stats, err error) (int, eval.Stats, error) {
+	if err != nil {
+		return 0, st, err
+	}
+	return out.Size(), st, nil
+}
+
+// timeStrategy runs fn repeatedly until it has accumulated enough wall time
+// for a stable per-op figure (at least 3 runs or 50ms, whichever is later).
+func timeStrategy(fn func() (int, eval.Stats, error)) (nsPerOp int64, outSize int, st eval.Stats, err error) {
+	const (
+		minRuns = 3
+		minWall = 50 * time.Millisecond
+	)
+	var total time.Duration
+	runs := 0
+	for runs < minRuns || total < minWall {
+		start := time.Now()
+		outSize, st, err = fn()
+		total += time.Since(start)
+		if err != nil {
+			return 0, 0, st, err
+		}
+		runs++
+		if runs >= 1000 {
+			break
+		}
+	}
+	return total.Nanoseconds() / int64(runs), outSize, st, nil
+}

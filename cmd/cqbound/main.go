@@ -3,9 +3,12 @@
 // upper bound s(Q), the size-increase decision, fractional edge covers, and
 // the treewidth-preservation verdict.
 //
+// With -explain it additionally prints the evaluation plan the bound-driven
+// planner would pick for the query, with its rationale.
+//
 // Usage:
 //
-//	cqbound [-chase] [-coloring] [-rmax N] [file]
+//	cqbound [-chase] [-coloring] [-explain] [-rmax N] [file]
 //
 // The query is read from the file argument or standard input, in the form
 //
@@ -23,11 +26,13 @@ import (
 
 	"cqbound/internal/core"
 	"cqbound/internal/cq"
+	"cqbound/internal/plan"
 )
 
 func main() {
 	chaseFlag := flag.Bool("chase", false, "print chase(Q)")
 	coloringFlag := flag.Bool("coloring", false, "print the optimal coloring")
+	explainFlag := flag.Bool("explain", false, "print the planner's evaluation strategy and rationale")
 	rmaxFlag := flag.Int("rmax", 0, "print the size bound for this input relation size")
 	flag.Parse()
 
@@ -39,7 +44,7 @@ func main() {
 	case 1:
 		src, err = os.ReadFile(flag.Arg(0))
 	default:
-		fmt.Fprintln(os.Stderr, "usage: cqbound [-chase] [-coloring] [-rmax N] [file]")
+		fmt.Fprintln(os.Stderr, "usage: cqbound [-chase] [-coloring] [-explain] [-rmax N] [file]")
 		os.Exit(2)
 	}
 	if err != nil {
@@ -74,6 +79,13 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("size bound for rmax=%d: |Q(D)| <= %.1f\n", *rmaxFlag, bound)
+	}
+	if *explainFlag {
+		p, err := plan.Choose(q)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("evaluation plan:\n%s\n", p)
 	}
 }
 

@@ -23,6 +23,18 @@
 //	q, _ := cqbound.Parse("Q(X,Y,Z) <- R(X,Y), R(X,Z), R(Y,Z).")
 //	a, _ := cqbound.Analyze(q)
 //	fmt.Println(a.Summary()) // C = 3/2, size bound rmax^{3/2}, ...
+//
+// For evaluation, use an Engine: it selects a strategy from the query's
+// structure (Yannakakis when α-acyclic, project-early when C(chase(Q)) is
+// small, worst-case optimal generic join otherwise), orders joins by
+// cardinality, caches per-query analysis, and honors context cancellation:
+//
+//	eng := cqbound.NewEngine()
+//	p, _ := eng.Explain(q)                    // strategy + paper-derived rationale
+//	out, stats, _ := eng.Evaluate(ctx, q, db) // planned execution
+//
+// The fixed-strategy helpers (Evaluate, EvaluateGenericJoin,
+// EvaluateYannakakis) remain for callers that want a specific algorithm.
 package cqbound
 
 import (

@@ -1,0 +1,183 @@
+package cqbound
+
+import (
+	"context"
+	"sync"
+
+	"cqbound/internal/core"
+	"cqbound/internal/plan"
+)
+
+// Planner types (internal/plan).
+type (
+	// Plan records the strategy chosen for a query, the structural facts
+	// that justified it, and the join order when one was computed.
+	Plan = plan.Plan
+	// Strategy identifies an evaluation algorithm.
+	Strategy = plan.Strategy
+)
+
+// Re-exported strategies.
+const (
+	// StrategyYannakakis evaluates α-acyclic queries by semijoin reduction
+	// in O(input + output).
+	StrategyYannakakis = plan.StrategyYannakakis
+	// StrategyProjectEarly is the Corollary 4.8 join-project plan along a
+	// planner-chosen atom order.
+	StrategyProjectEarly = plan.StrategyProjectEarly
+	// StrategyGenericJoin is the worst-case optimal variable-at-a-time join
+	// backed by the AGM bound.
+	StrategyGenericJoin = plan.StrategyGenericJoin
+)
+
+// Engine plans and evaluates conjunctive queries, caching per-query
+// analysis so repeated evaluation of the same query — the hot path of any
+// serving system — pays for the chase, colorings, and LPs only once.
+//
+// The zero-cost way to use the library for evaluation:
+//
+//	eng := cqbound.NewEngine()
+//	p, _ := eng.Explain(q)                    // why this strategy, per the paper
+//	out, stats, _ := eng.Evaluate(ctx, q, db) // planned execution
+//
+// An Engine is safe for concurrent use by multiple goroutines.
+type Engine struct {
+	mu       sync.RWMutex
+	analyses map[string]*analysisEntry
+	plans    map[string]*planEntry
+}
+
+// maxCacheEntries bounds each engine cache so long-lived servers seeing
+// unbounded ad-hoc query text (user constants, generated variable names)
+// cannot grow memory monotonically. At the cap an arbitrary entry is
+// evicted per insert; queries are small and re-analysis is always correct,
+// so a smarter (LRU) policy is a perf refinement left for a later PR.
+const maxCacheEntries = 4096
+
+// storeBounded inserts into a cache map, evicting one arbitrary entry when
+// the cap is reached. Caller holds e.mu.
+func storeBounded[V any](m map[string]V, key string, v V) {
+	if _, ok := m[key]; !ok && len(m) >= maxCacheEntries {
+		for k := range m {
+			delete(m, k)
+			break
+		}
+	}
+	m[key] = v
+}
+
+type analysisEntry struct {
+	a   *Analysis
+	err error
+}
+
+type planEntry struct {
+	p   *plan.Plan
+	err error
+}
+
+// NewEngine returns an empty engine.
+func NewEngine() *Engine {
+	return &Engine{
+		analyses: make(map[string]*analysisEntry),
+		plans:    make(map[string]*planEntry),
+	}
+}
+
+// CacheSize reports how many distinct queries the engine has analyzed or
+// planned.
+func (e *Engine) CacheSize() int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	n := len(e.plans)
+	for k := range e.analyses {
+		if _, dup := e.plans[k]; !dup {
+			n++
+		}
+	}
+	return n
+}
+
+// Analyze returns the full paper analysis of q, cached by the query's
+// canonical text (so structurally identical Query values share one entry).
+// The returned analysis is shared across callers; it must not be modified.
+func (e *Engine) Analyze(q *Query) (*Analysis, error) {
+	key := q.String()
+	e.mu.RLock()
+	ent, ok := e.analyses[key]
+	e.mu.RUnlock()
+	if ok {
+		return ent.a, ent.err
+	}
+	// Computed outside the lock: analyses can be LP-heavy and must not
+	// serialize unrelated queries. Two goroutines racing on the same fresh
+	// query both compute; the second store wins harmlessly.
+	a, err := core.Analyze(q)
+	e.mu.Lock()
+	storeBounded(e.analyses, key, &analysisEntry{a: a, err: err})
+	e.mu.Unlock()
+	return a, err
+}
+
+// Explain returns the evaluation plan for q: the strategy the bound-driven
+// planner selects plus the paper-derived rationale (acyclicity, color
+// number, ρ*). The plan is structural — independent of any database — and
+// cached like Analyze. The returned plan is shared; callers must not
+// modify it.
+func (e *Engine) Explain(q *Query) (*Plan, error) {
+	key := q.String()
+	e.mu.RLock()
+	ent, ok := e.plans[key]
+	e.mu.RUnlock()
+	if ok {
+		return ent.p, ent.err
+	}
+	p, err := plan.Choose(q)
+	e.mu.Lock()
+	storeBounded(e.plans, key, &planEntry{p: p, err: err})
+	e.mu.Unlock()
+	return p, err
+}
+
+// Evaluate computes Q(D) under the planned strategy. For the project-early
+// strategy the atom order is re-derived from db's cardinality statistics on
+// every call (the structural plan stays cached; the order is data-dependent
+// and cheap). Cancellation of ctx aborts evaluation mid-join.
+func (e *Engine) Evaluate(ctx context.Context, q *Query, db *Database) (*Relation, EvalStats, error) {
+	p, err := e.Explain(q)
+	if err != nil {
+		return nil, EvalStats{}, err
+	}
+	if p.Strategy == StrategyProjectEarly {
+		ordered := *p
+		ordered.AtomOrder = plan.OrderAtoms(q, db)
+		p = &ordered
+	}
+	return plan.Execute(ctx, p, q, db)
+}
+
+// EvaluateStrategy forces a specific strategy, bypassing plan selection —
+// the benchmarking and cross-checking hook. StrategyYannakakis fails on
+// cyclic queries.
+func (e *Engine) EvaluateStrategy(ctx context.Context, s Strategy, q *Query, db *Database) (*Relation, EvalStats, error) {
+	forced := &plan.Plan{Strategy: s}
+	if s == StrategyProjectEarly {
+		forced.AtomOrder = plan.OrderAtoms(q, db)
+	}
+	return plan.Execute(ctx, forced, q, db)
+}
+
+// ChoosePlan exposes the planner directly for callers that manage their own
+// execution: the structural plan plus, when db is non-nil, a
+// cardinality-aware atom order.
+func ChoosePlan(q *Query, db *Database) (*Plan, error) {
+	if db == nil {
+		return plan.Choose(q)
+	}
+	return plan.ChooseForDB(q, db)
+}
+
+// ExecutePlan runs a previously chosen plan.
+func ExecutePlan(ctx context.Context, p *Plan, q *Query, db *Database) (*Relation, EvalStats, error) {
+	return plan.Execute(ctx, p, q, db)
+}

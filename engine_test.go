@@ -1,0 +1,162 @@
+package cqbound
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"cqbound/internal/datagen"
+	"cqbound/internal/relation"
+)
+
+// TestEngineExplainMatchesStructuralClass is the acceptance check: the
+// planned strategy must match the query's structural class on the canonical
+// triangle, star, path, and cyclic-FD queries.
+func TestEngineExplainMatchesStructuralClass(t *testing.T) {
+	eng := NewEngine()
+	cases := []struct {
+		name string
+		text string
+		want Strategy
+	}{
+		{"star", "Q(X,Y,Z,W) <- F(X,Y), F(X,Z), F(X,W).", StrategyYannakakis},
+		{"path", "Q(A,D) <- R(A,B), S(B,C), T(C,D).", StrategyYannakakis},
+		{"triangle", "Q(X,Y,Z) <- E(X,Y), E(Y,Z), E(X,Z).", StrategyProjectEarly},
+		{"cyclic with FDs", "Q(X,Y,Z) <- R(X,Y,U), S(Y,Z,U), T(Z,X,U).\nfd R[1],R[2] -> R[3].", StrategyGenericJoin},
+	}
+	for _, c := range cases {
+		p, err := eng.Explain(MustParse(c.text))
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if p.Strategy != c.want {
+			t.Errorf("%s: strategy = %v, want %v", c.name, p.Strategy, c.want)
+		}
+		if p.Rationale == "" {
+			t.Errorf("%s: plan has no rationale", c.name)
+		}
+	}
+	if eng.CacheSize() != len(cases) {
+		t.Errorf("cache size = %d, want %d", eng.CacheSize(), len(cases))
+	}
+}
+
+func TestEngineEvaluateAgreesAcrossStrategies(t *testing.T) {
+	eng := NewEngine()
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(11))
+	qp := datagen.QueryParams{
+		MaxVars:            5,
+		MaxAtoms:           4,
+		MaxArity:           3,
+		HeadFraction:       0.7,
+		RepeatRelationProb: 0.3,
+		SimpleFDProb:       0.15,
+	}
+	for i := 0; i < 40; i++ {
+		q := datagen.RandomQuery(rng, qp)
+		db := datagen.RandomDatabase(rng, q, datagen.DBParams{Tuples: 10, Universe: 5})
+		planned, _, err := eng.Evaluate(ctx, q, db)
+		if err != nil {
+			t.Fatalf("query %d (%s): %v", i, q, err)
+		}
+		jp, _, err := eng.EvaluateStrategy(ctx, StrategyProjectEarly, q, db)
+		if err != nil {
+			t.Fatalf("query %d: project-early: %v", i, err)
+		}
+		gj, _, err := eng.EvaluateStrategy(ctx, StrategyGenericJoin, q, db)
+		if err != nil {
+			t.Fatalf("query %d: generic join: %v", i, err)
+		}
+		if !relation.Equal(planned, jp) || !relation.Equal(planned, gj) {
+			t.Errorf("query %d (%s): strategies disagree: planned %d, jp %d, gj %d",
+				i, q, planned.Size(), jp.Size(), gj.Size())
+		}
+		if IsAcyclic(q) {
+			ya, _, err := eng.EvaluateStrategy(ctx, StrategyYannakakis, q, db)
+			if err != nil {
+				t.Fatalf("query %d: yannakakis: %v", i, err)
+			}
+			if !relation.Equal(planned, ya) {
+				t.Errorf("query %d (%s): yannakakis disagrees", i, q)
+			}
+		}
+	}
+}
+
+func TestEngineAnalyzeCaches(t *testing.T) {
+	eng := NewEngine()
+	q1 := MustParse("S(X,Y,Z) <- R(X,Y), R(X,Z), R(Y,Z).")
+	q2 := MustParse("S(X,Y,Z) <- R(X,Y), R(X,Z), R(Y,Z).") // same canonical text
+	a1, err := eng.Analyze(q1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := eng.Analyze(q2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1 != a2 {
+		t.Error("identical queries did not share one cached analysis")
+	}
+	if a1.ColorNumber.RatString() != "3/2" {
+		t.Errorf("C = %s, want 3/2", a1.ColorNumber.RatString())
+	}
+}
+
+func TestEngineConcurrentUse(t *testing.T) {
+	eng := NewEngine()
+	queries := []string{
+		"Q(X,Z) <- R(X,Y), S(Y,Z).",
+		"Q(X,Y,Z) <- E(X,Y), E(Y,Z), E(X,Z).",
+		"Q(A,D) <- R(A,B), S(B,C), T(C,D).",
+	}
+	db := NewDatabase()
+	for _, name := range []string{"R", "S", "T", "E"} {
+		r := NewRelation(name, "a", "b")
+		r.MustInsert("1", "2")
+		r.MustInsert("2", "3")
+		r.MustInsert("1", "3")
+		db.MustAdd(r)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				q := MustParse(queries[(g+i)%len(queries)])
+				if _, err := eng.Explain(q); err != nil {
+					t.Errorf("explain: %v", err)
+					return
+				}
+				if _, _, err := eng.Evaluate(context.Background(), q, db); err != nil {
+					t.Errorf("evaluate: %v", err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if eng.CacheSize() != len(queries) {
+		t.Errorf("cache size = %d, want %d", eng.CacheSize(), len(queries))
+	}
+}
+
+func TestEngineEvaluateHonorsCancellation(t *testing.T) {
+	eng := NewEngine()
+	q := MustParse("Q(X,Z) <- R(X,Y), S(Y,Z).")
+	db := NewDatabase()
+	for _, name := range []string{"R", "S"} {
+		r := NewRelation(name, "a", "b")
+		r.MustInsert("1", "2")
+		r.MustInsert("2", "3")
+		db.MustAdd(r)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := eng.EvaluateStrategy(ctx, StrategyGenericJoin, q, db); err == nil {
+		t.Error("cancelled evaluation returned no error")
+	}
+}

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -37,6 +38,7 @@ func main() {
 		},
 	}
 
+	eng := cqbound.NewEngine()
 	const sourceSize = 10_000 // tuples per source relation
 	fmt.Printf("materialization estimates for source relations of %d tuples:\n\n", sourceSize)
 	for _, m := range mappings {
@@ -44,7 +46,7 @@ func main() {
 		if err != nil {
 			log.Fatalf("%s: %v", m.name, err)
 		}
-		a, err := cqbound.Analyze(q)
+		a, err := eng.Analyze(q)
 		if err != nil {
 			log.Fatalf("%s: %v", m.name, err)
 		}
@@ -74,7 +76,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	out, err := cqbound.Evaluate(q, db)
+	out, _, err := eng.Evaluate(context.Background(), q, db)
 	if err != nil {
 		log.Fatal(err)
 	}

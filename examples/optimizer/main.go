@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
@@ -15,6 +16,8 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
+	eng := cqbound.NewEngine()
 	const (
 		relationSize = 1_000_000
 		budget       = 1e12 // tuples the system tolerates
@@ -32,7 +35,7 @@ func main() {
 		float64(relationSize), budget)
 	for _, e := range queries {
 		q := cqbound.MustParse(e.text)
-		a, err := cqbound.Analyze(q)
+		a, err := eng.Analyze(q)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -50,10 +53,14 @@ func main() {
 			e.name, a.ColorNumber.RatString(), trivial, tight, decision)
 	}
 
-	// For an admitted query, pick a plan: the generic worst-case optimal
-	// join never materializes more than the output.
-	fmt.Println("\nplan comparison on an adversarial triangle instance:")
+	// For an admitted query, let the engine pick the plan and explain it.
+	fmt.Println("\nplanned evaluation on an adversarial triangle instance:")
 	q := cqbound.MustParse("Q(X,Y,Z) <- F1(X,Y), F2(Y,Z), F3(X,Z).")
+	p, err := eng.Explain(q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(p)
 	_, col, err := cqbound.ColorNumber(q)
 	if err != nil {
 		log.Fatal(err)
@@ -62,10 +69,18 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	out, stats, err := cqbound.EvaluateGenericJoin(q, db)
+	out, stats, err := eng.Evaluate(ctx, q, db)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("planned (%s): output %d tuples, max intermediate %d, %d join steps\n",
+		p.Strategy, out.Size(), stats.MaxIntermediate, stats.Joins)
+
+	// Compare against the worst-case optimal baseline explicitly.
+	gout, gstats, err := eng.EvaluateStrategy(ctx, cqbound.StrategyGenericJoin, q, db)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("generic join: output %d tuples, max intermediate %d, %d extension steps\n",
-		out.Size(), stats.MaxIntermediate, stats.Joins)
+		gout.Size(), gstats.MaxIntermediate, gstats.Joins)
 }

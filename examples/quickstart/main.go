@@ -1,9 +1,10 @@
 // Quickstart: parse a conjunctive query, compute every bound the paper
-// provides, evaluate it on a small database, and check the size bound
-// against the measured output.
+// provides, let the engine plan and evaluate it on a small database, and
+// check the size bound against the measured output.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
@@ -12,6 +13,9 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
+	eng := cqbound.NewEngine()
+
 	// The triangle query of Example 3.3.
 	q, err := cqbound.Parse(`
 		# all triangles
@@ -21,12 +25,19 @@ func main() {
 		log.Fatal(err)
 	}
 
-	a, err := cqbound.Analyze(q)
+	a, err := eng.Analyze(q)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("=== analysis ===")
 	fmt.Print(a.Summary())
+
+	p, err := eng.Explain(q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("=== plan ===")
+	fmt.Println(p)
 
 	// Evaluate on a small edge relation (K4 oriented by name order).
 	db := cqbound.NewDatabase()
@@ -39,7 +50,7 @@ func main() {
 	}
 	db.MustAdd(e)
 
-	out, err := cqbound.Evaluate(q, db)
+	out, _, err := eng.Evaluate(ctx, q, db)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -67,7 +78,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	wOut, err := cqbound.Evaluate(q, witness)
+	wOut, _, err := eng.Evaluate(ctx, q, witness)
 	if err != nil {
 		log.Fatal(err)
 	}

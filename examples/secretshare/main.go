@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
@@ -35,7 +36,8 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	out, err := cqbound.Evaluate(q, db)
+	eng := cqbound.NewEngine()
+	out, _, err := eng.Evaluate(context.Background(), q, db)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -14,6 +15,7 @@ import (
 )
 
 func main() {
+	eng := cqbound.NewEngine()
 	views := []struct {
 		name string
 		text string
@@ -25,7 +27,7 @@ func main() {
 	}
 	for _, v := range views {
 		q := cqbound.MustParse(v.text)
-		a, err := cqbound.Analyze(q)
+		a, err := eng.Analyze(q)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -52,7 +54,7 @@ func main() {
 	}
 	fmt.Printf("input:  %d vertices, treewidth in [%d, %d]\n", gin.N(), lo, hi)
 
-	out, err := cqbound.Evaluate(q, db)
+	out, _, err := eng.Evaluate(context.Background(), q, db)
 	if err != nil {
 		log.Fatal(err)
 	}

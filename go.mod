@@ -1,0 +1,3 @@
+module cqbound
+
+go 1.24

@@ -12,7 +12,6 @@ import (
 	"math"
 	"math/big"
 
-	"cqbound/internal/chase"
 	"cqbound/internal/coloring"
 	"cqbound/internal/cover"
 	"cqbound/internal/cq"
@@ -118,48 +117,28 @@ type Analysis struct {
 	TwoColoring coloring.Coloring
 }
 
-// Analyze runs the complete pipeline on q. The query must validate.
+// Analyze runs the complete pipeline on q: the structural stage, the
+// color-number stage (entropy LP allowed), and the full-report extras. The
+// query must validate.
 func Analyze(q *cq.Query) (*Analysis, error) {
-	if err := q.Validate(); err != nil {
+	st, err := StructureOf(q)
+	if err != nil {
 		return nil, err
 	}
-	a := &Analysis{Query: q.Clone(), Rep: q.Rep()}
-	res := chase.Chase(q)
-	a.Chased = res.Query
-	a.ChaseSteps = res.Steps
-
-	fds := a.Chased.VarFDs()
-	switch {
-	case len(fds) == 0:
-		a.Class = NoFDs
-	case a.Chased.AllVarFDsSimple():
-		a.Class = SimpleFDs
-	default:
-		a.Class = CompoundFDs
+	ci, err := ColorNumberStage(st, true)
+	if err != nil {
+		return nil, err
 	}
-
-	// Color number by the cheapest applicable method.
-	switch a.Class {
-	case NoFDs:
-		val, col, err := coloring.NumberNoFDs(a.Chased)
-		if err != nil {
-			return nil, err
-		}
-		a.ColorNumber, a.Coloring, a.ColorNumberMethod = val, col, "lp-no-fds"
-		a.SizeBoundTight = true
-	case SimpleFDs:
-		val, col, _, err := coloring.NumberWithSimpleFDs(a.Chased)
-		if err != nil {
-			return nil, err
-		}
-		a.ColorNumber, a.Coloring, a.ColorNumberMethod = val, col, "fd-elimination"
-		a.SizeBoundTight = true
-	case CompoundFDs:
-		val, col, _, err := entropy.ColorNumber(a.Chased)
-		if err == nil {
-			a.ColorNumber, a.Coloring, a.ColorNumberMethod = val, col, "entropy-lp"
-		}
-		// Queries beyond the LP cap keep a nil ColorNumber.
+	a := &Analysis{
+		Query:             st.Query,
+		Chased:            st.Chased,
+		ChaseSteps:        st.ChaseSteps,
+		Rep:               st.Rep,
+		Class:             st.Class,
+		ColorNumber:       ci.Number,
+		Coloring:          ci.Coloring,
+		ColorNumberMethod: ci.Method,
+		SizeBoundTight:    ci.Tight,
 	}
 
 	// Entropy upper bound (any class), subject to the LP cap.

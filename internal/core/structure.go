@@ -1,0 +1,102 @@
+package core
+
+import (
+	"math/big"
+
+	"cqbound/internal/chase"
+	"cqbound/internal/coloring"
+	"cqbound/internal/cq"
+	"cqbound/internal/entropy"
+)
+
+// This file splits Analyze into composable stages so callers — the query
+// planner above all — can pay only for the facts they need. StructureOf is
+// the cheap stage (chase + dependency classification, polynomial and small);
+// ColorNumberStage adds the color number, optionally refusing the entropy LP
+// whose cost is exponential in the variable count. Analyze composes both
+// with the remaining full-report stages.
+
+// Structure holds the cheap structural facts about a query: the chase and
+// the classification of its lifted dependencies.
+type Structure struct {
+	// Query is a private copy of the analyzed query.
+	Query *cq.Query
+	// Chased is chase(Q) (Definition 2.3).
+	Chased *cq.Query
+	// ChaseSteps is the number of unifications the chase performed.
+	ChaseSteps int
+	// Rep is rep(Q), the maximal multiplicity of a relation in the body.
+	Rep int
+	// Class is the dependency class of chase(Q).
+	Class FDClass
+}
+
+// StructureOf runs only the structural stage: validation, the chase, and
+// dependency classification. It never solves a linear program.
+func StructureOf(q *cq.Query) (*Structure, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	st := &Structure{Query: q.Clone(), Rep: q.Rep()}
+	res := chase.Chase(q)
+	st.Chased = res.Query
+	st.ChaseSteps = res.Steps
+
+	switch {
+	case len(st.Chased.VarFDs()) == 0:
+		st.Class = NoFDs
+	case st.Chased.AllVarFDsSimple():
+		st.Class = SimpleFDs
+	default:
+		st.Class = CompoundFDs
+	}
+	return st, nil
+}
+
+// ColorInfo is the result of the color-number stage.
+type ColorInfo struct {
+	// Number is C(chase(Q)); nil when the stage was skipped (compound
+	// dependencies with the entropy LP disallowed or over its size cap).
+	Number *big.Rat
+	// Coloring is a valid coloring of the chase attaining Number.
+	Coloring coloring.Coloring
+	// Method names the algorithm used ("lp-no-fds", "fd-elimination", or
+	// "entropy-lp"); empty when skipped.
+	Method string
+	// Tight reports whether rmax^Number is known to be essentially tight
+	// (Proposition 4.1, Theorem 4.4: no or simple dependencies).
+	Tight bool
+}
+
+// ColorNumberStage computes C(chase(Q)) by the cheapest method matching the
+// dependency class. With compound dependencies the only known algorithm is
+// the Proposition 6.10 entropy LP, exponential in |var(Q)|; callers that
+// cannot afford it pass allowEntropyLP = false and receive a ColorInfo with
+// a nil Number instead.
+func ColorNumberStage(st *Structure, allowEntropyLP bool) (*ColorInfo, error) {
+	ci := &ColorInfo{}
+	switch st.Class {
+	case NoFDs:
+		val, col, err := coloring.NumberNoFDs(st.Chased)
+		if err != nil {
+			return nil, err
+		}
+		ci.Number, ci.Coloring, ci.Method, ci.Tight = val, col, "lp-no-fds", true
+	case SimpleFDs:
+		val, col, _, err := coloring.NumberWithSimpleFDs(st.Chased)
+		if err != nil {
+			return nil, err
+		}
+		ci.Number, ci.Coloring, ci.Method, ci.Tight = val, col, "fd-elimination", true
+	case CompoundFDs:
+		if !allowEntropyLP {
+			break
+		}
+		val, col, _, err := entropy.ColorNumber(st.Chased)
+		if err == nil {
+			ci.Number, ci.Coloring, ci.Method = val, col, "entropy-lp"
+		}
+		// Queries beyond the LP cap keep a nil Number.
+	}
+	return ci, nil
+}

@@ -1,0 +1,73 @@
+package core
+
+import (
+	"math/big"
+	"testing"
+
+	"cqbound/internal/cq"
+)
+
+func TestStructureOfClassifies(t *testing.T) {
+	cases := []struct {
+		text string
+		want FDClass
+	}{
+		{"Q(X,Y,Z) <- R(X,Y), R(X,Z), R(Y,Z).", NoFDs},
+		{"Q(X,Z) <- R(X,Y), S(Y,Z).\nkey S[1].", SimpleFDs},
+		{"Q(X,Y,Z) <- R(X,Y,Z).\nfd R[1],R[2] -> R[3].", CompoundFDs},
+	}
+	for _, c := range cases {
+		st, err := StructureOf(cq.MustParse(c.text))
+		if err != nil {
+			t.Fatalf("%s: %v", c.text, err)
+		}
+		if st.Class != c.want {
+			t.Errorf("%s: class = %v, want %v", c.text, st.Class, c.want)
+		}
+	}
+}
+
+func TestColorNumberStageSkipsEntropyLP(t *testing.T) {
+	// Compound dependencies: the stage must refuse the entropy LP when told.
+	st, err := StructureOf(cq.MustParse("Q(X,Y,Z) <- R(X,Y,Z).\nfd R[1],R[2] -> R[3]."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ci, err := ColorNumberStage(st, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ci.Number != nil || ci.Method != "" || ci.Tight {
+		t.Errorf("skipped stage reported %v via %q (tight=%v)", ci.Number, ci.Method, ci.Tight)
+	}
+	// Allowed, it computes one.
+	ci, err = ColorNumberStage(st, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ci.Number == nil || ci.Method != "entropy-lp" {
+		t.Errorf("entropy stage: number=%v method=%q", ci.Number, ci.Method)
+	}
+}
+
+func TestStagesMatchAnalyze(t *testing.T) {
+	q := cq.MustParse("S(X,Y,Z) <- R(X,Y), R(X,Z), R(Y,Z).")
+	st, err := StructureOf(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ci, err := ColorNumberStage(st, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Analyze(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ci.Number.Cmp(a.ColorNumber) != 0 || ci.Number.Cmp(big.NewRat(3, 2)) != 0 {
+		t.Errorf("stage C = %v, Analyze C = %v, want 3/2", ci.Number, a.ColorNumber)
+	}
+	if st.Class != a.Class || st.Rep != a.Rep || st.ChaseSteps != a.ChaseSteps {
+		t.Errorf("stage facts diverge from Analyze: %+v vs %+v", st, a)
+	}
+}

@@ -86,8 +86,12 @@ func RandomQuery(rng *rand.Rand, p QueryParams) *cq.Query {
 	q.Head = cq.Atom{Relation: "Q"}
 	q.Head.Vars = headVars
 
+	// Iterate relations in a deterministic order: ranging over the arity
+	// map would make rng consumption — and so the generated dependencies —
+	// depend on map iteration order, breaking same-seed reproducibility.
 	arities := q.RelationArities()
-	for rel, ar := range arities {
+	for _, rel := range q.BodyRelations() {
+		ar := arities[rel]
 		if p.SimpleFDProb > 0 && ar >= 2 {
 			for i := 1; i <= ar; i++ {
 				for j := 1; j <= ar; j++ {

@@ -1,4 +1,4 @@
-// Package eval evaluates conjunctive queries over databases. Three
+// Package eval evaluates conjunctive queries over databases. Four
 // strategies are provided:
 //
 //   - Naive: left-deep natural joins over the body atoms followed by a final
@@ -6,13 +6,21 @@
 //   - JoinProject: the project-early plan in the spirit of Corollary 4.8 and
 //     Theorem 15 of Atserias–Grohe–Marx: after each join, variables that are
 //     neither head variables nor needed by later atoms are projected away.
+//     JoinProjectOrdered additionally accepts a planner-chosen atom order.
 //   - GenericJoin: a variable-at-a-time worst-case optimal join (the modern
-//     algorithm family the AGM bound gave rise to), included as a baseline.
+//     algorithm family the AGM bound gave rise to).
+//   - Yannakakis (yannakakis.go): the linear-time algorithm for α-acyclic
+//     queries.
 //
-// All three return exactly Q(D) and are cross-checked in tests.
+// All strategies return exactly Q(D) and are cross-checked in tests. Each
+// has a context-aware form (NaiveCtx, JoinProjectOrdered, GenericJoinCtx,
+// YannakakisCtx) that honors cancellation and stops early when an
+// intermediate result is empty; the plain forms are conveniences with a
+// background context and the body's own atom order.
 package eval
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -27,18 +35,36 @@ type Stats struct {
 	MaxIntermediate int
 	// Joins is the number of binary joins (or extension steps) performed.
 	Joins int
+	// EarlyExit reports that evaluation stopped because an intermediate
+	// result was empty, skipping the remaining atoms.
+	EarlyExit bool
 }
 
 // Naive evaluates q by folding natural joins left to right and projecting at
 // the end.
 func Naive(q *cq.Query, db *database.Database) (*relation.Relation, Stats, error) {
+	return NaiveCtx(context.Background(), q, db)
+}
+
+// NaiveCtx is Naive with cancellation and empty-intermediate early exit.
+func NaiveCtx(ctx context.Context, q *cq.Query, db *database.Database) (*relation.Relation, Stats, error) {
 	var st Stats
+	if err := validateAtoms(q, db); err != nil {
+		return nil, st, err
+	}
 	cur, err := bindingRelation(q.Body[0], db)
 	if err != nil {
 		return nil, st, err
 	}
 	st.MaxIntermediate = cur.Size()
 	for _, a := range q.Body[1:] {
+		if err := ctx.Err(); err != nil {
+			return nil, st, err
+		}
+		if cur.Size() == 0 {
+			st.EarlyExit = true
+			return emptyOutput(q), st, nil
+		}
 		next, err := bindingRelation(a, db)
 		if err != nil {
 			return nil, st, err
@@ -59,15 +85,30 @@ func Naive(q *cq.Query, db *database.Database) (*relation.Relation, Stats, error
 // JoinProject evaluates q like Naive but projects each intermediate onto the
 // variables still needed: head variables plus variables of later atoms.
 func JoinProject(q *cq.Query, db *database.Database) (*relation.Relation, Stats, error) {
+	return JoinProjectOrdered(context.Background(), q, db, nil)
+}
+
+// JoinProjectOrdered is the project-early plan evaluated along a chosen atom
+// order: order is a permutation of body-atom indices (nil keeps the body's
+// own order). Joining the most selective atoms first keeps intermediates
+// small; an empty intermediate ends evaluation immediately.
+func JoinProjectOrdered(ctx context.Context, q *cq.Query, db *database.Database, order []int) (*relation.Relation, Stats, error) {
 	var st Stats
-	needLater := make([]map[cq.Variable]bool, len(q.Body)+1)
-	needLater[len(q.Body)] = map[cq.Variable]bool{}
-	for i := len(q.Body) - 1; i >= 0; i-- {
+	if err := validateAtoms(q, db); err != nil {
+		return nil, st, err
+	}
+	body, err := orderedBody(q, order)
+	if err != nil {
+		return nil, st, err
+	}
+	needLater := make([]map[cq.Variable]bool, len(body)+1)
+	needLater[len(body)] = map[cq.Variable]bool{}
+	for i := len(body) - 1; i >= 0; i-- {
 		m := make(map[cq.Variable]bool)
 		for v := range needLater[i+1] {
 			m[v] = true
 		}
-		for _, v := range q.Body[i].Vars {
+		for _, v := range body[i].Vars {
 			m[v] = true
 		}
 		needLater[i] = m
@@ -88,7 +129,7 @@ func JoinProject(q *cq.Query, db *database.Database) (*relation.Relation, Stats,
 		return r.Project(keep...)
 	}
 
-	cur, err := bindingRelation(q.Body[0], db)
+	cur, err := bindingRelation(body[0], db)
 	if err != nil {
 		return nil, st, err
 	}
@@ -96,7 +137,14 @@ func JoinProject(q *cq.Query, db *database.Database) (*relation.Relation, Stats,
 		return nil, st, err
 	}
 	st.MaxIntermediate = cur.Size()
-	for i, a := range q.Body[1:] {
+	for i, a := range body[1:] {
+		if err := ctx.Err(); err != nil {
+			return nil, st, err
+		}
+		if cur.Size() == 0 {
+			st.EarlyExit = true
+			return emptyOutput(q), st, nil
+		}
 		next, err := bindingRelation(a, db)
 		if err != nil {
 			return nil, st, err
@@ -115,6 +163,58 @@ func JoinProject(q *cq.Query, db *database.Database) (*relation.Relation, Stats,
 	}
 	out, err := headProjection(q, cur)
 	return out, st, err
+}
+
+// orderedBody returns the body atoms along the given permutation of indices
+// (nil means identity).
+func orderedBody(q *cq.Query, order []int) ([]cq.Atom, error) {
+	if order == nil {
+		return q.Body, nil
+	}
+	if len(order) != len(q.Body) {
+		return nil, fmt.Errorf("eval: atom order has %d entries for %d atoms", len(order), len(q.Body))
+	}
+	body := make([]cq.Atom, len(order))
+	seen := make([]bool, len(q.Body))
+	for i, j := range order {
+		if j < 0 || j >= len(q.Body) || seen[j] {
+			return nil, fmt.Errorf("eval: atom order %v is not a permutation of the body", order)
+		}
+		seen[j] = true
+		body[i] = q.Body[j]
+	}
+	return body, nil
+}
+
+// validateAtoms checks that every body atom has a database relation of the
+// right arity. The strategies call it before evaluating so that the
+// empty-intermediate early exit cannot mask a missing relation or an arity
+// mismatch behind a later atom.
+func validateAtoms(q *cq.Query, db *database.Database) error {
+	for _, a := range q.Body {
+		r := db.Relation(a.Relation)
+		if r == nil {
+			return fmt.Errorf("eval: missing relation %s", a.Relation)
+		}
+		if r.Arity() != a.Arity() {
+			return fmt.Errorf("eval: relation %s arity %d, atom wants %d", a.Relation, r.Arity(), a.Arity())
+		}
+	}
+	return nil
+}
+
+// headAttrs names the output attributes p1..pk for the head's positions.
+func headAttrs(q *cq.Query) []string {
+	attrs := make([]string, len(q.Head.Vars))
+	for i := range attrs {
+		attrs[i] = fmt.Sprintf("p%d", i+1)
+	}
+	return attrs
+}
+
+// emptyOutput builds an empty Q(D) with the head's schema.
+func emptyOutput(q *cq.Query) *relation.Relation {
+	return relation.New(q.Head.Relation, headAttrs(q)...)
 }
 
 // bindingRelation converts atom a over its database relation into a relation
@@ -175,20 +275,26 @@ func headProjection(q *cq.Query, bind *relation.Relation) (*relation.Relation, e
 	if err != nil {
 		return nil, err
 	}
-	attrs := make([]string, len(q.Head.Vars))
-	for i := range attrs {
-		attrs[i] = fmt.Sprintf("p%d", i+1)
-	}
-	return proj.Rename(q.Head.Relation, attrs...)
+	return proj.Rename(q.Head.Relation, headAttrs(q)...)
 }
 
 // GenericJoin evaluates q with a worst-case optimal variable-at-a-time
+// backtracking join.
+func GenericJoin(q *cq.Query, db *database.Database) (*relation.Relation, Stats, error) {
+	return GenericJoinCtx(context.Background(), q, db)
+}
+
+// GenericJoinCtx evaluates q with a worst-case optimal variable-at-a-time
 // backtracking join: variables are ordered by descending atom frequency, a
 // per-atom trie indexes each binding relation along that order, and each
 // variable is extended by intersecting the candidate sets of all atoms
-// containing it, iterating over the smallest.
-func GenericJoin(q *cq.Query, db *database.Database) (*relation.Relation, Stats, error) {
+// containing it, iterating over the smallest. Cancellation is checked at
+// every extension step.
+func GenericJoinCtx(ctx context.Context, q *cq.Query, db *database.Database) (*relation.Relation, Stats, error) {
 	var st Stats
+	if err := validateAtoms(q, db); err != nil {
+		return nil, st, err
+	}
 	vars := q.Variables()
 	freq := make(map[cq.Variable]int)
 	for _, a := range q.Body {
@@ -214,6 +320,10 @@ func GenericJoin(q *cq.Query, db *database.Database) (*relation.Relation, Stats,
 		if err != nil {
 			return nil, st, err
 		}
+		if bind.Size() == 0 {
+			st.EarlyExit = true
+			return emptyOutput(q), st, nil
+		}
 		av := a.DistinctVars()
 		sort.Slice(av, func(x, y int) bool { return rank[av[x]] < rank[av[y]] })
 		cols := make([]int, len(av))
@@ -233,11 +343,7 @@ func GenericJoin(q *cq.Query, db *database.Database) (*relation.Relation, Stats,
 	// cursors[i] tracks atom i's current trie node; depth advances when the
 	// global order reaches one of the atom's variables.
 	assignment := make(map[cq.Variable]relation.Value, len(order))
-	headAttrs := make([]string, len(q.Head.Vars))
-	for i := range headAttrs {
-		headAttrs[i] = fmt.Sprintf("p%d", i+1)
-	}
-	out := relation.New(q.Head.Relation, headAttrs...)
+	out := emptyOutput(q)
 
 	cursors := make([]*trieNode, len(atoms))
 	for i := range atoms {
@@ -246,6 +352,9 @@ func GenericJoin(q *cq.Query, db *database.Database) (*relation.Relation, Stats,
 
 	var extend func(level int) error
 	extend = func(level int) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		if level == len(order) {
 			t := make(relation.Tuple, len(q.Head.Vars))
 			for i, v := range q.Head.Vars {

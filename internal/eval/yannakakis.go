@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 
 	"cqbound/internal/cq"
@@ -115,7 +116,17 @@ func IsAcyclic(q *cq.Query) bool {
 // plus ancestors' needs) produces the output. Returns an error for cyclic
 // queries.
 func Yannakakis(q *cq.Query, db *database.Database) (*relation.Relation, Stats, error) {
+	return YannakakisCtx(context.Background(), q, db)
+}
+
+// YannakakisCtx is Yannakakis with cancellation (checked between semijoin
+// and join steps) and an early exit as soon as any binding relation is
+// empty: every atom participates in the final join, so the output is empty.
+func YannakakisCtx(ctx context.Context, q *cq.Query, db *database.Database) (*relation.Relation, Stats, error) {
 	var st Stats
+	if err := validateAtoms(q, db); err != nil {
+		return nil, st, err
+	}
 	tree, ok := JoinTree(q)
 	if !ok {
 		return nil, st, fmt.Errorf("eval: query is not acyclic; use JoinProject or GenericJoin")
@@ -126,11 +137,18 @@ func Yannakakis(q *cq.Query, db *database.Database) (*relation.Relation, Stats, 
 		if err != nil {
 			return nil, st, err
 		}
+		if b.Size() == 0 {
+			st.EarlyExit = true
+			return emptyOutput(q), st, nil
+		}
 		bindings[i] = b
 	}
 	// Bottom-up semijoin: parent ⋉ child.
 	var up func(n *JoinTreeNode) error
 	up = func(n *JoinTreeNode) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		for _, c := range n.Children {
 			if err := up(c); err != nil {
 				return err
@@ -150,6 +168,9 @@ func Yannakakis(q *cq.Query, db *database.Database) (*relation.Relation, Stats, 
 	// Top-down semijoin: child ⋉ parent.
 	var down func(n *JoinTreeNode) error
 	down = func(n *JoinTreeNode) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		for _, c := range n.Children {
 			reduced, err := semijoin(bindings[c.AtomIndex], bindings[n.AtomIndex])
 			if err != nil {
@@ -170,6 +191,9 @@ func Yannakakis(q *cq.Query, db *database.Database) (*relation.Relation, Stats, 
 	head := q.HeadVarSet()
 	var join func(n *JoinTreeNode) (*relation.Relation, error)
 	join = func(n *JoinTreeNode) (*relation.Relation, error) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		cur := bindings[n.AtomIndex]
 		for _, c := range n.Children {
 			sub, err := join(c)

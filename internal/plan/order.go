@@ -1,0 +1,77 @@
+package plan
+
+import (
+	"math"
+
+	"cqbound/internal/cq"
+	"cqbound/internal/database"
+)
+
+// OrderAtoms returns a greedy most-selective-first join order for the
+// project-early plan: indices into q.Body. The first atom is the one with
+// the smallest relation; each following pick minimizes the System-R style
+// cardinality estimate |atom| / Π_v V(R, v) over variables v already bound,
+// always preferring atoms connected to the bound set so cartesian products
+// are deferred as long as possible. Ties break on body position, so the
+// order is deterministic. When db lacks a relation the order falls back to
+// body order (nil).
+func OrderAtoms(q *cq.Query, db *database.Database) []int {
+	n := len(q.Body)
+	if n <= 1 || db == nil {
+		return nil
+	}
+	sizes := make([]float64, n)
+	// distinct[i][v] is the sharpest (smallest) distinct-value count among
+	// the positions of atom i holding variable v.
+	distinct := make([]map[cq.Variable]float64, n)
+	for i, a := range q.Body {
+		r := db.Relation(a.Relation)
+		if r == nil || r.Arity() != a.Arity() {
+			return nil
+		}
+		sizes[i] = float64(r.Size())
+		distinct[i] = make(map[cq.Variable]float64, a.Arity())
+		for pos, v := range a.Vars {
+			d := float64(r.DistinctCount(pos))
+			if prev, ok := distinct[i][v]; !ok || d < prev {
+				distinct[i][v] = d
+			}
+		}
+	}
+
+	order := make([]int, 0, n)
+	used := make([]bool, n)
+	bound := make(map[cq.Variable]bool)
+	for len(order) < n {
+		best, bestConnected := -1, false
+		bestScore := math.Inf(1)
+		for i := range q.Body {
+			if used[i] {
+				continue
+			}
+			score := sizes[i]
+			connected := len(order) == 0 // the first pick needs no link
+			for v, d := range distinct[i] {
+				if !bound[v] {
+					continue
+				}
+				connected = true
+				if d > 1 {
+					score /= d
+				}
+			}
+			switch {
+			case best < 0,
+				connected && !bestConnected,
+				connected == bestConnected && score < bestScore:
+				best, bestConnected, bestScore = i, connected, score
+			}
+		}
+		order = append(order, best)
+		used[best] = true
+		for _, v := range q.Body[best].Vars {
+			bound[v] = true
+		}
+	}
+	return order
+}

@@ -1,0 +1,183 @@
+// Package plan is the bound-driven query planner: it turns the paper's
+// structural analysis into an executable decision about how to evaluate a
+// conjunctive query. The selection rule follows the cost bounds proved for
+// each strategy:
+//
+//   - α-acyclic queries (GYO reduction succeeds) run under Yannakakis'
+//     algorithm, whose intermediates stay within O(input + output);
+//   - cyclic queries whose color number C(chase(Q)) is small and tight run
+//     the project-early plan of Corollary 4.8, whose cost is polynomial with
+//     exponent C + 1;
+//   - everything else — large color numbers, or compound dependencies where
+//     only the exponential entropy LP could price the query — runs the
+//     worst-case optimal generic join, safe under the AGM bound rmax^ρ*(Q).
+//
+// Selection needs only the cheap structural stage of internal/core (the
+// chase and the polynomial coloring LPs); it never pays for the entropy LP.
+// Atom ordering for the project-early plan is a separate, data-aware step
+// (order.go) so a structural plan can be cached per query and re-ordered
+// per database.
+package plan
+
+import (
+	"context"
+	"fmt"
+	"math/big"
+	"strings"
+
+	"cqbound/internal/core"
+	"cqbound/internal/cover"
+	"cqbound/internal/cq"
+	"cqbound/internal/database"
+	"cqbound/internal/eval"
+	"cqbound/internal/relation"
+)
+
+// Strategy identifies an evaluation algorithm.
+type Strategy int
+
+// Available strategies.
+const (
+	// StrategyYannakakis: semijoin reduction over a join tree; only valid
+	// for α-acyclic queries.
+	StrategyYannakakis Strategy = iota
+	// StrategyProjectEarly: left-deep joins with eager projection along a
+	// planner-chosen atom order (Corollary 4.8).
+	StrategyProjectEarly
+	// StrategyGenericJoin: worst-case optimal variable-at-a-time join.
+	StrategyGenericJoin
+)
+
+func (s Strategy) String() string {
+	switch s {
+	case StrategyYannakakis:
+		return "yannakakis"
+	case StrategyProjectEarly:
+		return "project-early"
+	case StrategyGenericJoin:
+		return "generic-join"
+	default:
+		return fmt.Sprintf("strategy(%d)", int(s))
+	}
+}
+
+// projectEarlyMaxColor is the exclusive upper bound on C(chase(Q)) under
+// which a cyclic query still gets the project-early plan: below exponent 2
+// the Corollary 4.8 cost O(rmax^{C+1}) stays under the cubic cost a generic
+// join may pay on adversarial inputs.
+var projectEarlyMaxColor = big.NewRat(2, 1)
+
+// Plan records the chosen strategy together with the structural facts that
+// justified it.
+type Plan struct {
+	// Strategy is the selected evaluation algorithm.
+	Strategy Strategy
+	// AtomOrder is the join order for StrategyProjectEarly as indices into
+	// the query body; nil means body order (the other strategies order
+	// their own work). Filled by OrderAtoms when a database is available.
+	AtomOrder []int
+	// Acyclic reports whether the body hypergraph is α-acyclic.
+	Acyclic bool
+	// Class is the dependency class of chase(Q).
+	Class core.FDClass
+	// ColorNumber is C(chase(Q)) when selection computed it; nil when the
+	// class is compound (pricing it would need the entropy LP).
+	ColorNumber *big.Rat
+	// RhoStar is the fractional edge cover number ρ*(Q), the AGM exponent
+	// backing the generic-join cost bound; nil when its LP failed.
+	RhoStar *big.Rat
+	// Rationale explains the selection in terms of the paper's results.
+	Rationale string
+}
+
+// String renders the plan for humans: strategy, order, and rationale.
+func (p *Plan) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "strategy: %s", p.Strategy)
+	if p.AtomOrder != nil {
+		fmt.Fprintf(&b, "\natom order: %v", p.AtomOrder)
+	}
+	fmt.Fprintf(&b, "\nrationale: %s", p.Rationale)
+	return b.String()
+}
+
+// Choose selects the evaluation strategy for q from structural facts alone:
+// the GYO acyclicity test and, for cyclic queries, the chase and the
+// polynomial color-number stage. It never touches data and never solves the
+// entropy LP.
+func Choose(q *cq.Query) (*Plan, error) {
+	st, err := core.StructureOf(q)
+	if err != nil {
+		return nil, err
+	}
+	p := &Plan{Acyclic: eval.IsAcyclic(q), Class: st.Class}
+	if r, err := cover.FractionalEdgeCover(q); err == nil {
+		p.RhoStar = r.Rho
+	}
+	if p.Acyclic {
+		p.Strategy = StrategyYannakakis
+		p.Rationale = "α-acyclic (GYO reduction succeeds): Yannakakis' semijoin " +
+			"algorithm runs in O(|D| + |Q(D)|) with intermediates bounded by input + output"
+		return p, nil
+	}
+	ci, err := core.ColorNumberStage(st, false)
+	if err != nil {
+		return nil, err
+	}
+	p.ColorNumber = ci.Number
+	if ci.Number != nil && ci.Tight && ci.Number.Cmp(projectEarlyMaxColor) < 0 {
+		p.Strategy = StrategyProjectEarly
+		p.Rationale = fmt.Sprintf("cyclic with small tight color number C(chase(Q)) = %s < 2 "+
+			"(Thm 4.4): the Corollary 4.8 project-early plan costs O(|var(Q)|²·|Q|²·rmax^{%s+1}) "+
+			"and its intermediates never exceed rmax^C",
+			ci.Number.RatString(), ci.Number.RatString())
+		return p, nil
+	}
+	p.Strategy = StrategyGenericJoin
+	switch {
+	case ci.Number == nil:
+		p.Rationale = "cyclic with compound dependencies: pricing C(chase(Q)) needs the " +
+			"exponential entropy LP (Prop 6.10), so fall back to the worst-case optimal " +
+			"generic join, safe under the AGM bound " + rhoText(p.RhoStar)
+	default:
+		p.Rationale = fmt.Sprintf("cyclic with color number C(chase(Q)) = %s ≥ 2: intermediate "+
+			"relations of the join-project plan can reach rmax^C, so run the worst-case optimal "+
+			"generic join bounded by %s", ci.Number.RatString(), rhoText(p.RhoStar))
+	}
+	return p, nil
+}
+
+func rhoText(rho *big.Rat) string {
+	if rho == nil {
+		return "rmax^ρ*(Q)"
+	}
+	return fmt.Sprintf("rmax^ρ* = rmax^%s", rho.RatString())
+}
+
+// ChooseForDB is Choose followed by cardinality-aware atom ordering against
+// db (a no-op for strategies that order their own work).
+func ChooseForDB(q *cq.Query, db *database.Database) (*Plan, error) {
+	p, err := Choose(q)
+	if err != nil {
+		return nil, err
+	}
+	if p.Strategy == StrategyProjectEarly {
+		p.AtomOrder = OrderAtoms(q, db)
+	}
+	return p, nil
+}
+
+// Execute runs the plan on db. The query must be the one the plan was
+// chosen for.
+func Execute(ctx context.Context, p *Plan, q *cq.Query, db *database.Database) (*relation.Relation, eval.Stats, error) {
+	switch p.Strategy {
+	case StrategyYannakakis:
+		return eval.YannakakisCtx(ctx, q, db)
+	case StrategyProjectEarly:
+		return eval.JoinProjectOrdered(ctx, q, db, p.AtomOrder)
+	case StrategyGenericJoin:
+		return eval.GenericJoinCtx(ctx, q, db)
+	default:
+		return nil, eval.Stats{}, fmt.Errorf("plan: unknown strategy %v", p.Strategy)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 )
 
 // Value is a single field value. Values are opaque strings.
@@ -43,6 +44,11 @@ type Relation struct {
 	Attrs  []string
 	tuples []Tuple
 	seen   map[string]bool
+
+	// Memoized column statistics (see stats.go). The mutex makes the
+	// statistics accessors safe under concurrent readers.
+	statsMu sync.Mutex
+	stats   *stats
 }
 
 // New creates an empty relation. Attribute names must be unique.

@@ -1,0 +1,82 @@
+package relation
+
+// Cardinality and selectivity estimation for the query planner. V(R,c) —
+// the number of distinct values in column c — is the primitive the greedy
+// join-ordering heuristic (internal/plan.OrderAtoms) consumes: it scores a
+// candidate atom by |R| / Π_v V(R, v) over its already-bound variables.
+// Selectivity and EstimateJoinSize expose the same statistics as the
+// textbook System-R style estimators for other planning callers. Distinct
+// counts are memoized per relation and recomputed when the size changes, so
+// repeated planning over the same database is cheap.
+
+// stats caches per-column distinct value counts.
+type stats struct {
+	distinct []int // distinct values per column
+	size     int   // relation size the cache was computed at
+}
+
+// ensureStats computes per-column distinct counts if missing or stale
+// (staleness is detected by size: any successful Insert grows the
+// relation). The memo is mutex-guarded so that read-only statistics calls
+// stay safe for concurrent use (the planner consults several relations of a
+// shared database in parallel); Insert remains single-writer as before.
+func (r *Relation) ensureStats() *stats {
+	r.statsMu.Lock()
+	defer r.statsMu.Unlock()
+	if r.stats != nil && r.stats.size == len(r.tuples) {
+		return r.stats
+	}
+	s := &stats{distinct: make([]int, len(r.Attrs)), size: len(r.tuples)}
+	for c := range r.Attrs {
+		seen := make(map[Value]bool)
+		for _, t := range r.tuples {
+			seen[t[c]] = true
+		}
+		s.distinct[c] = len(seen)
+	}
+	r.stats = s
+	return s
+}
+
+// DistinctCount returns V(R,c): the number of distinct values in column c
+// (0-based). Out-of-range columns report 0.
+func (r *Relation) DistinctCount(c int) int {
+	if c < 0 || c >= len(r.Attrs) {
+		return 0
+	}
+	return r.ensureStats().distinct[c]
+}
+
+// DistinctCountAttr is DistinctCount addressed by attribute name; unknown
+// attributes report 0.
+func (r *Relation) DistinctCountAttr(name string) int {
+	return r.DistinctCount(r.AttrIndex(name))
+}
+
+// Selectivity returns V(R,c)/|R| for column c: 1 means the column is a key,
+// values near 0 mean heavy duplication. Empty relations report 0.
+func (r *Relation) Selectivity(c int) float64 {
+	if r.Size() == 0 {
+		return 0
+	}
+	return float64(r.DistinctCount(c)) / float64(r.Size())
+}
+
+// EstimateJoinSize estimates |r ⋈ s| (natural join on shared attribute
+// names) as |r|·|s| / Π_a max(V(r,a), V(s,a)). With no shared attributes the
+// estimate is the product size. The estimate is never negative and is exact
+// for cross products.
+func EstimateJoinSize(r, s *Relation) float64 {
+	est := float64(r.Size()) * float64(s.Size())
+	for j, a := range s.Attrs {
+		i := r.AttrIndex(a)
+		if i < 0 {
+			continue
+		}
+		vr, vs := r.DistinctCount(i), s.DistinctCount(j)
+		if v := max(vr, vs); v > 0 {
+			est /= float64(v)
+		}
+	}
+	return est
+}
