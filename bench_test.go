@@ -1,6 +1,7 @@
 package cqbound
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -131,11 +132,11 @@ func BenchmarkAblationAcyclicStrategy(b *testing.B) {
 	s := relation.New("S", "a", "b")
 	tt := relation.New("T", "a", "b")
 	for i := 0; i < 400; i++ {
-		r.MustInsert(relation.Value(fmt.Sprintf("x%d", i)), relation.Value(fmt.Sprintf("y%d", i%20)))
-		s.MustInsert(relation.Value(fmt.Sprintf("y%d", i%40)), relation.Value(fmt.Sprintf("z%d", i%40)))
-		tt.MustInsert(relation.Value(fmt.Sprintf("zdangle%d", i)), relation.Value(fmt.Sprintf("w%d", i)))
+		r.Add(fmt.Sprintf("x%d", i), fmt.Sprintf("y%d", i%20))
+		s.Add(fmt.Sprintf("y%d", i%40), fmt.Sprintf("z%d", i%40))
+		tt.Add(fmt.Sprintf("zdangle%d", i), fmt.Sprintf("w%d", i))
 	}
-	tt.MustInsert("z0", "w0")
+	tt.Add("z0", "w0")
 	db := database.New()
 	db.MustAdd(r)
 	db.MustAdd(s)
@@ -169,8 +170,8 @@ func BenchmarkAblationJoinAlgorithm(b *testing.B) {
 	r := relation.New("R", "a", "b")
 	s := relation.New("S", "c", "d")
 	for i := 0; i < 3000; i++ {
-		r.MustInsert(relation.Value(fmt.Sprintf("r%d", i)), relation.Value(fmt.Sprintf("k%d", i%100)))
-		s.MustInsert(relation.Value(fmt.Sprintf("k%d", i%500)), relation.Value(fmt.Sprintf("s%d", i)))
+		r.Add(fmt.Sprintf("r%d", i), fmt.Sprintf("k%d", i%100))
+		s.Add(fmt.Sprintf("k%d", i%500), fmt.Sprintf("s%d", i))
 	}
 	pairs := [][2]int{{1, 0}}
 	b.Run("hash", func(b *testing.B) {
@@ -259,5 +260,121 @@ func BenchmarkAnalyze(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// Benchmarks of the interned columnar substrate (PR 2): canonical join
+// shapes end to end through the Engine, plus the parallel batch API. The
+// recorded before/after planbench figures live in BENCH_pre_interning.json
+// and BENCH_baseline.json.
+
+func benchDB(relNames []string, edges, universe int) *Database {
+	db := NewDatabase()
+	for _, name := range relNames {
+		r := NewRelation(name, "a", "b")
+		for i := 0; i < edges; i++ {
+			r.Add(fmt.Sprintf("u%d", (i*7)%universe), fmt.Sprintf("u%d", (i*13+1)%universe))
+		}
+		db.MustAdd(r)
+	}
+	return db
+}
+
+func benchEngineQuery(b *testing.B, text string, db *Database) {
+	b.Helper()
+	eng := NewEngine()
+	q := MustParse(text)
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := eng.Evaluate(ctx, q, db); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEngineTriangle(b *testing.B) {
+	benchEngineQuery(b, "Q(X,Y,Z) <- E(X,Y), E(Y,Z), E(X,Z).", benchDB([]string{"E"}, 400, 60))
+}
+
+func BenchmarkEngineStar(b *testing.B) {
+	benchEngineQuery(b, "Q(X,Y,Z,W) <- E(X,Y), E(X,Z), E(X,W).", benchDB([]string{"E"}, 200, 40))
+}
+
+func BenchmarkEngineChain(b *testing.B) {
+	benchEngineQuery(b, "Q(A,E) <- R(A,B), S(B,C), T(C,D), U(D,E).",
+		benchDB([]string{"R", "S", "T", "U"}, 300, 50))
+}
+
+// BenchmarkEngineWorstCase evaluates the triangle query on its
+// Proposition 4.5 AGM-tight witness database.
+func BenchmarkEngineWorstCase(b *testing.B) {
+	q := cq.MustParse("Q(X,Y,Z) <- R1(X,Y), R2(X,Z), R3(Y,Z).")
+	_, col, err := coloring.NumberNoFDs(q)
+	if err != nil {
+		b.Fatal(err)
+	}
+	db, err := construct.ProductWitness(q, col, 14)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchEngineQuery(b, "Q(X,Y,Z) <- R1(X,Y), R2(X,Z), R3(Y,Z).", db)
+}
+
+// BenchmarkEngineEvaluateBatch measures the bounded-pool batch API against
+// a mixed workload over one database.
+func BenchmarkEngineEvaluateBatch(b *testing.B) {
+	db := benchDB([]string{"R", "S", "T", "E"}, 300, 50)
+	texts := []string{
+		"Q(X,Z) <- R(X,Y), S(Y,Z).",
+		"Q(X,Y,Z) <- E(X,Y), E(Y,Z), E(X,Z).",
+		"Q(A,D) <- R(A,B), S(B,C), T(C,D).",
+		"Q(X) <- R(X,X).",
+	}
+	var queries []*Query
+	for i := 0; i < 32; i++ {
+		queries = append(queries, MustParse(texts[i%len(texts)]))
+	}
+	eng := NewEngine()
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, res := range eng.EvaluateBatch(ctx, queries, db) {
+			if res.Err != nil {
+				b.Fatal(res.Err)
+			}
+		}
+	}
+}
+
+// BenchmarkRelationInsert measures the interned columnar insert path.
+func BenchmarkRelationInsert(b *testing.B) {
+	vals := make([]relation.Value, 2048)
+	for i := range vals {
+		vals[i] = relation.V(fmt.Sprintf("v%d", i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := relation.New("R", "a", "b", "c")
+		for j := 0; j < 1024; j++ {
+			r.MustInsert(vals[j%2048], vals[(j*31)%2048], vals[(j*17)%2048])
+		}
+	}
+}
+
+// BenchmarkSemijoinIndexed measures the index-backed semijoin on the
+// dangling-tuple workload Yannakakis cares about.
+func BenchmarkSemijoinIndexed(b *testing.B) {
+	r := relation.New("R", "a", "b")
+	s := relation.New("S", "b", "c")
+	for i := 0; i < 5000; i++ {
+		r.Add(fmt.Sprintf("x%d", i), fmt.Sprintf("y%d", i%50))
+		s.Add(fmt.Sprintf("y%d", i%200), fmt.Sprintf("z%d", i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := relation.Semijoin(r, s); err != nil {
+			b.Fatal(err)
+		}
 	}
 }

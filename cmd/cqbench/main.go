@@ -6,12 +6,18 @@
 // against each fixed evaluation strategy on canonical workloads, printing a
 // table or (with -json) a machine-readable baseline for future perf work.
 //
+// With -baseline FILE the -planbench run additionally compares itself
+// against a checked-in JSON baseline and exits non-zero when any workload
+// regresses by more than the threshold (default 3x) — the CI guard against
+// pathological performance regressions, generous enough not to flake on
+// shared runners.
+//
 // Usage:
 //
 //	cqbench -list
 //	cqbench -experiment E7
 //	cqbench -all [-markdown]
-//	cqbench -planbench [-json]
+//	cqbench -planbench [-json] [-baseline BENCH_baseline.json [-threshold 3]]
 package main
 
 import (
@@ -30,11 +36,20 @@ func main() {
 	markdown := flag.Bool("markdown", false, "emit results as Markdown tables")
 	planbench := flag.Bool("planbench", false, "benchmark planned vs fixed evaluation strategies")
 	jsonOut := flag.Bool("json", false, "emit -planbench results as JSON")
+	baseline := flag.String("baseline", "", "compare -planbench against this JSON baseline and fail on regression")
+	threshold := flag.Float64("threshold", 3.0, "regression factor tolerated against -baseline")
 	flag.Parse()
 
 	switch {
 	case *planbench:
-		runPlanBench(*jsonOut)
+		report := runPlanBench(*jsonOut)
+		if *baseline != "" {
+			if err := checkBaseline(report, *baseline, *threshold); err != nil {
+				fmt.Fprintln(os.Stderr, "cqbench:", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "cqbench: within %.1fx of baseline %s\n", *threshold, *baseline)
+		}
 	case *list:
 		for _, id := range experiments.IDs() {
 			fmt.Println(id)

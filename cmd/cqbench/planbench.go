@@ -6,8 +6,11 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"strings"
 	"time"
 
+	"cqbound/internal/coloring"
+	"cqbound/internal/construct"
 	"cqbound/internal/cq"
 	"cqbound/internal/database"
 	"cqbound/internal/datagen"
@@ -90,10 +93,28 @@ func planBenchWorkloads() []workload {
 			text: "Q(A,B,C,D) <- E(A,B), E(B,C), E(C,D), E(D,A).",
 			db:   func() *database.Database { return randomGraph(250, 40, 4) },
 		},
+		{
+			// The Proposition 4.5 worst-case instance of the triangle query:
+			// the AGM-tight database where |Q(D)| meets rmax^ρ*.
+			name: "agm-worstcase-triangle",
+			text: "Q(X,Y,Z) <- R1(X,Y), R2(X,Z), R3(Y,Z).",
+			db: func() *database.Database {
+				q := cq.MustParse("Q(X,Y,Z) <- R1(X,Y), R2(X,Z), R3(Y,Z).")
+				_, col, err := coloring.NumberNoFDs(q)
+				if err != nil {
+					panic(err)
+				}
+				db, err := construct.ProductWitness(q, col, 14)
+				if err != nil {
+					panic(err)
+				}
+				return db
+			},
+		},
 	}
 }
 
-func runPlanBench(asJSON bool) {
+func runPlanBench(asJSON bool) *PlanBenchReport {
 	ctx := context.Background()
 	report := PlanBenchReport{}
 	for _, w := range planBenchWorkloads() {
@@ -162,7 +183,7 @@ func runPlanBench(asJSON bool) {
 			fmt.Fprintln(os.Stderr, "cqbench:", err)
 			os.Exit(1)
 		}
-		return
+		return &report
 	}
 	for _, w := range report.Workloads {
 		fmt.Printf("%s  (planned: %s)\n", w.Name, w.Planned)
@@ -171,6 +192,52 @@ func runPlanBench(asJSON bool) {
 				r.Strategy, r.NsPerOp, r.OutputTuples, r.MaxIntermediate, r.Joins, r.SpeedupVsNaive)
 		}
 	}
+	return &report
+}
+
+// checkBaseline compares a fresh planbench report against a recorded one:
+// every (workload, strategy) pair present in both must not be slower than
+// threshold × its baseline ns/op. Output sizes must match exactly — a
+// changed result is a correctness regression, not a perf one.
+func checkBaseline(cur *PlanBenchReport, path string, threshold float64) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var base PlanBenchReport
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("baseline %s: %v", path, err)
+	}
+	baseRuns := make(map[string]StrategyRun)
+	for _, w := range base.Workloads {
+		for _, r := range w.Runs {
+			baseRuns[w.Name+"/"+r.Strategy] = r
+		}
+	}
+	var regressions []string
+	for _, w := range cur.Workloads {
+		for _, r := range w.Runs {
+			b, ok := baseRuns[w.Name+"/"+r.Strategy]
+			if !ok {
+				continue // new workload or strategy: nothing to compare
+			}
+			if b.OutputTuples != r.OutputTuples {
+				regressions = append(regressions, fmt.Sprintf(
+					"%s/%s: output %d tuples, baseline %d (correctness)", w.Name, r.Strategy, r.OutputTuples, b.OutputTuples))
+				continue
+			}
+			if b.NsPerOp > 0 && float64(r.NsPerOp) > threshold*float64(b.NsPerOp) {
+				regressions = append(regressions, fmt.Sprintf(
+					"%s/%s: %d ns/op vs baseline %d ns/op (%.1fx > %.1fx)",
+					w.Name, r.Strategy, r.NsPerOp, b.NsPerOp,
+					float64(r.NsPerOp)/float64(b.NsPerOp), threshold))
+			}
+		}
+	}
+	if len(regressions) > 0 {
+		return fmt.Errorf("benchmark regression against %s:\n  %s", path, strings.Join(regressions, "\n  "))
+	}
+	return nil
 }
 
 // sized adapts an evaluator result to (output size, stats, error).

@@ -155,13 +155,23 @@ type (
 	Relation = relation.Relation
 	// Tuple is a database tuple.
 	Tuple = relation.Tuple
-	// Value is a field value.
+	// Value is a field value: an ID interned in the value dictionary. Build
+	// one with V; recover the text with Value.String.
 	Value = relation.Value
+	// Dict is the bidirectional string ↔ Value dictionary.
+	Dict = relation.Dict
 	// Database is a named collection of relations.
 	Database = database.Database
 	// EvalStats reports evaluation statistics.
 	EvalStats = eval.Stats
 )
+
+// V interns a string as a Value. Relations also intern directly from
+// strings via Relation.Add.
+func V(s string) Value { return relation.V(s) }
+
+// ValueDict returns the process-wide dictionary every Value is interned in.
+func ValueDict() *Dict { return relation.DefaultDict() }
 
 // NewRelation creates an empty relation with the given attribute names.
 func NewRelation(name string, attrs ...string) *Relation { return relation.New(name, attrs...) }

@@ -48,9 +48,9 @@ func TestPublicAPIEvaluation(t *testing.T) {
 	q := MustParse("Q(X,Z) <- R(X,Y), S(Y,Z).")
 	db := NewDatabase()
 	r := NewRelation("R", "a", "b")
-	r.MustInsert("x", "y")
+	r.Add("x", "y")
 	s := NewRelation("S", "a", "b")
-	s.MustInsert("y", "z")
+	s.Add("y", "z")
 	db.MustAdd(r)
 	db.MustAdd(s)
 	out, err := Evaluate(q, db)
@@ -108,8 +108,8 @@ func TestPublicAPITreewidth(t *testing.T) {
 	}
 	db := NewDatabase()
 	r := NewRelation("R", "a", "b")
-	r.MustInsert("1", "2")
-	r.MustInsert("2", "3")
+	r.Add("1", "2")
+	r.Add("2", "3")
 	db.MustAdd(r)
 	g := GaifmanGraph(db)
 	lo, hi, exact, err := Treewidth(g)

@@ -6,6 +6,7 @@ import (
 
 	"cqbound/internal/core"
 	"cqbound/internal/plan"
+	"cqbound/internal/pool"
 )
 
 // Planner types (internal/plan).
@@ -154,6 +155,43 @@ func (e *Engine) Evaluate(ctx context.Context, q *Query, db *Database) (*Relatio
 		p = &ordered
 	}
 	return plan.Execute(ctx, p, q, db)
+}
+
+// BatchResult is one query's outcome from EvaluateBatch.
+type BatchResult struct {
+	// Output is Q(D); nil when Err is set.
+	Output *Relation
+	// Stats reports what the chosen strategy did.
+	Stats EvalStats
+	// Err is the query's own failure (planning or evaluation); one query
+	// failing does not fail its siblings.
+	Err error
+}
+
+// EvaluateBatch plans and evaluates the queries against db concurrently on
+// a bounded worker pool (one worker per CPU), the serving loop of a system
+// answering many queries over one database. Per-query failures land in the
+// corresponding BatchResult; canceling ctx stops unstarted queries, whose
+// results report the context error. Cached analyses and plans — and the
+// statistics, hash indexes and tries memoized on db's relations — are
+// shared across the batch.
+func (e *Engine) EvaluateBatch(ctx context.Context, queries []*Query, db *Database) []BatchResult {
+	out := make([]BatchResult, len(queries))
+	started := make([]bool, len(queries))
+	_ = pool.Run(ctx, 0, len(queries), func(i int) error {
+		started[i] = true
+		r, st, err := e.Evaluate(ctx, queries[i], db)
+		out[i] = BatchResult{Output: r, Stats: st, Err: err}
+		return nil
+	})
+	if err := ctx.Err(); err != nil {
+		for i := range out {
+			if !started[i] {
+				out[i].Err = err
+			}
+		}
+	}
+	return out
 }
 
 // EvaluateStrategy forces a specific strategy, bypassing plan selection —

@@ -2,6 +2,7 @@ package cqbound
 
 import (
 	"context"
+	"fmt"
 	"math/rand"
 	"sync"
 	"testing"
@@ -115,9 +116,9 @@ func TestEngineConcurrentUse(t *testing.T) {
 	db := NewDatabase()
 	for _, name := range []string{"R", "S", "T", "E"} {
 		r := NewRelation(name, "a", "b")
-		r.MustInsert("1", "2")
-		r.MustInsert("2", "3")
-		r.MustInsert("1", "3")
+		r.Add("1", "2")
+		r.Add("2", "3")
+		r.Add("1", "3")
 		db.MustAdd(r)
 	}
 	var wg sync.WaitGroup
@@ -150,8 +151,8 @@ func TestEngineEvaluateHonorsCancellation(t *testing.T) {
 	db := NewDatabase()
 	for _, name := range []string{"R", "S"} {
 		r := NewRelation(name, "a", "b")
-		r.MustInsert("1", "2")
-		r.MustInsert("2", "3")
+		r.Add("1", "2")
+		r.Add("2", "3")
 		db.MustAdd(r)
 	}
 	ctx, cancel := context.WithCancel(context.Background())
@@ -160,3 +161,86 @@ func TestEngineEvaluateHonorsCancellation(t *testing.T) {
 		t.Error("cancelled evaluation returned no error")
 	}
 }
+
+func TestEngineEvaluateBatch(t *testing.T) {
+	eng := NewEngine()
+	db := NewDatabase()
+	for _, name := range []string{"R", "S", "T", "E"} {
+		r := NewRelation(name, "a", "b")
+		for i := 0; i < 30; i++ {
+			r.Add(itoa(i%10), itoa((i+1)%10))
+		}
+		db.MustAdd(r)
+	}
+	texts := []string{
+		"Q(X,Z) <- R(X,Y), S(Y,Z).",
+		"Q(X,Y,Z) <- E(X,Y), E(Y,Z), E(X,Z).",
+		"Q(A,D) <- R(A,B), S(B,C), T(C,D).",
+		"Q(X) <- R(X,X).",
+	}
+	var queries []*Query
+	for i := 0; i < 40; i++ {
+		queries = append(queries, MustParse(texts[i%len(texts)]))
+	}
+	results := eng.EvaluateBatch(context.Background(), queries, db)
+	if len(results) != len(queries) {
+		t.Fatalf("got %d results for %d queries", len(results), len(queries))
+	}
+	for i, res := range results {
+		if res.Err != nil {
+			t.Fatalf("query %d (%s): %v", i, queries[i], res.Err)
+		}
+		// Batch results must agree with sequential evaluation.
+		seq, _, err := eng.Evaluate(context.Background(), queries[i], db)
+		if err != nil {
+			t.Fatalf("query %d sequential: %v", i, err)
+		}
+		if !relation.Equal(res.Output, seq) {
+			t.Errorf("query %d (%s): batch %d tuples, sequential %d",
+				i, queries[i], res.Output.Size(), seq.Size())
+		}
+	}
+}
+
+func TestEngineEvaluateBatchPerQueryErrors(t *testing.T) {
+	eng := NewEngine()
+	db := NewDatabase()
+	r := NewRelation("R", "a", "b")
+	r.Add("1", "2")
+	db.MustAdd(r)
+	queries := []*Query{
+		MustParse("Q(X,Y) <- R(X,Y)."),
+		MustParse("Q(X,Y) <- Missing(X,Y)."), // reads an absent relation
+	}
+	results := eng.EvaluateBatch(context.Background(), queries, db)
+	if results[0].Err != nil {
+		t.Fatalf("healthy query failed: %v", results[0].Err)
+	}
+	if results[0].Output.Size() != 1 {
+		t.Fatalf("healthy query output = %d tuples", results[0].Output.Size())
+	}
+	if results[1].Err == nil {
+		t.Fatal("query over a missing relation reported no error")
+	}
+}
+
+func TestEngineEvaluateBatchCancellation(t *testing.T) {
+	eng := NewEngine()
+	db := NewDatabase()
+	r := NewRelation("R", "a", "b")
+	r.Add("1", "2")
+	db.MustAdd(r)
+	var queries []*Query
+	for i := 0; i < 64; i++ {
+		queries = append(queries, MustParse("Q(X,Y) <- R(X,Y)."))
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for i, res := range eng.EvaluateBatch(ctx, queries, db) {
+		if res.Err == nil && res.Output == nil {
+			t.Fatalf("query %d: canceled batch left a result with neither output nor error", i)
+		}
+	}
+}
+
+func itoa(i int) string { return fmt.Sprintf("%d", i) }

@@ -37,10 +37,10 @@ func ExampleEvaluate() {
 	q := cqbound.MustParse("Q(X,Z) <- R(X,Y), S(Y,Z).")
 	db := cqbound.NewDatabase()
 	r := cqbound.NewRelation("R", "a", "b")
-	r.MustInsert("ann", "bob")
-	r.MustInsert("cid", "bob")
+	r.Add("ann", "bob")
+	r.Add("cid", "bob")
 	s := cqbound.NewRelation("S", "a", "b")
-	s.MustInsert("bob", "dan")
+	s.Add("bob", "dan")
 	db.MustAdd(r)
 	db.MustAdd(s)
 	out, err := cqbound.Evaluate(q, db)

@@ -46,7 +46,7 @@ func main() {
 		{"a", "b"}, {"b", "c"}, {"a", "c"},
 		{"b", "d"}, {"a", "d"}, {"c", "d"},
 	} {
-		e.MustInsert(cqbound.Value(ed[0]), cqbound.Value(ed[1]))
+		e.Add(ed[0], ed[1])
 	}
 	db.MustAdd(e)
 

@@ -86,14 +86,14 @@ func ProductWitness(q *cq.Query, l coloring.Coloring, M int) (*database.Database
 // given color assignment: v(c1:h1,c2:h2,...), or vnull for the empty label.
 func colorValue(label coloring.ColorSet, assignment map[int]int) relation.Value {
 	if len(label) == 0 {
-		return "vnull"
+		return relation.V("vnull")
 	}
 	cs := label.Sorted()
 	parts := make([]string, len(cs))
 	for i, c := range cs {
 		parts[i] = fmt.Sprintf("%d:%d", c, assignment[c])
 	}
-	return relation.Value("v(" + strings.Join(parts, ",") + ")")
+	return relation.V("v(" + strings.Join(parts, ",") + ")")
 }
 
 // ProductWitnessOutputSize returns the output size the Proposition 4.5
@@ -126,17 +126,17 @@ func GridGadget(n, m int) *relation.Relation {
 	for j := 1; j <= n; j++ {
 		// i = 1: (α_j, v_{1,m(j−1)+1}, ..., v_{1,mj+1}).
 		t := make(relation.Tuple, 0, m+2)
-		t = append(t, relation.Value(GridAlphaLabel(j)))
+		t = append(t, relation.V(GridAlphaLabel(j)))
 		for k := m*(j-1) + 1; k <= m*j+1; k++ {
-			t = append(t, relation.Value(GridVertexLabel(1, k)))
+			t = append(t, relation.V(GridVertexLabel(1, k)))
 		}
 		r.MustInsert(t...)
 		// i ≥ 2: (v_{i−1,m(j−1)+1}, v_{i,m(j−1)+1}, ..., v_{i,m(j−1)+m+1}).
 		for i := 2; i <= n*m; i++ {
 			t := make(relation.Tuple, 0, m+2)
-			t = append(t, relation.Value(GridVertexLabel(i-1, m*(j-1)+1)))
+			t = append(t, relation.V(GridVertexLabel(i-1, m*(j-1)+1)))
 			for k := m*(j-1) + 1; k <= m*(j-1)+m+1; k++ {
-				t = append(t, relation.Value(GridVertexLabel(i, k)))
+				t = append(t, relation.V(GridVertexLabel(i, k)))
 			}
 			r.MustInsert(t...)
 		}
@@ -270,7 +270,7 @@ func Shamir(k int, N int64) (*cq.Query, *database.Database, error) {
 
 	db := database.New()
 	val := func(j int, x int64) relation.Value {
-		return relation.Value(fmt.Sprintf("g%d_%d", j, x))
+		return relation.V(fmt.Sprintf("g%d_%d", j, x))
 	}
 	xs := make([]int64, k)
 	for i := range xs {

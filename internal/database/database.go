@@ -6,7 +6,6 @@ package database
 
 import (
 	"fmt"
-	"sort"
 
 	"cqbound/internal/cq"
 	"cqbound/internal/graph"
@@ -84,12 +83,14 @@ func (d *Database) RMaxAll() int {
 	return max
 }
 
-// Universe returns the sorted set of values appearing in any relation.
+// Universe returns the set of values appearing in any relation, sorted by
+// their interned strings.
 func (d *Database) Universe() []relation.Value {
 	set := make(map[relation.Value]bool)
 	for _, name := range d.order {
-		for _, t := range d.rels[name].Tuples() {
-			for _, v := range t {
+		r := d.rels[name]
+		for c := 0; c < r.Arity(); c++ {
+			for _, v := range r.Column(c) {
 				set[v] = true
 			}
 		}
@@ -98,9 +99,15 @@ func (d *Database) Universe() []relation.Value {
 	for v := range set {
 		out = append(out, v)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	relation.SortByString(out)
 	return out
 }
+
+// Dict returns the dictionary that interns every value stored in the
+// database's relations. Relations must share one dictionary for joins
+// across them to compare IDs meaningfully, so this is the process-wide
+// dictionary of the relation package.
+func (d *Database) Dict() *relation.Dict { return relation.DefaultDict() }
 
 // CheckFDs verifies that the instance satisfies every functional dependency
 // declared on q, returning the first violation found.
@@ -139,18 +146,19 @@ func GaifmanOf(rels ...*relation.Relation) *graph.Graph {
 		if r == nil {
 			continue
 		}
-		for _, t := range r.Tuples() {
+		r.Each(func(t relation.Tuple) bool {
 			for i := range t {
-				g.EnsureVertex(string(t[i]))
+				g.EnsureVertex(t[i].String())
 			}
 			for i := 0; i < len(t); i++ {
 				for j := i + 1; j < len(t); j++ {
 					if t[i] != t[j] {
-						g.AddEdgeLabels(string(t[i]), string(t[j]))
+						g.AddEdgeLabels(t[i].String(), t[j].String())
 					}
 				}
 			}
-		}
+			return true
+		})
 	}
 	return g
 }

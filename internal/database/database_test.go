@@ -11,7 +11,7 @@ func starRelation(n int) *relation.Relation {
 	// Example 2.1: R(A,B) = {<1,1>, <1,2>, ..., <1,n>}.
 	r := relation.New("R", "A", "B")
 	for i := 1; i <= n; i++ {
-		r.MustInsert("c1", relation.Value(label(i)))
+		r.Add("c1", label(i))
 	}
 	return r
 }
@@ -23,13 +23,13 @@ func label(i int) string {
 func TestRMax(t *testing.T) {
 	d := New()
 	r := relation.New("R", "a")
-	r.MustInsert("1")
-	r.MustInsert("2")
+	r.Add("1")
+	r.Add("2")
 	s := relation.New("S", "a")
-	s.MustInsert("1")
+	s.Add("1")
 	big := relation.New("T", "a")
 	for i := 0; i < 10; i++ {
-		big.MustInsert(relation.Value(label(i + 1)))
+		big.Add(label(i + 1))
 	}
 	d.MustAdd(r)
 	d.MustAdd(s)
@@ -88,7 +88,7 @@ func TestGaifmanStar(t *testing.T) {
 func TestGaifmanIgnoresEqualValuesInTuple(t *testing.T) {
 	d := New()
 	r := relation.New("R", "a", "b")
-	r.MustInsert("x", "x")
+	r.Add("x", "x")
 	d.MustAdd(r)
 	g := d.GaifmanGraph()
 	if g.N() != 1 || g.M() != 0 {
@@ -99,7 +99,7 @@ func TestGaifmanIgnoresEqualValuesInTuple(t *testing.T) {
 func TestGaifmanCliquePerTuple(t *testing.T) {
 	d := New()
 	r := relation.New("R", "a", "b", "c")
-	r.MustInsert("1", "2", "3")
+	r.Add("1", "2", "3")
 	d.MustAdd(r)
 	g := d.GaifmanGraph()
 	if g.M() != 3 {
@@ -110,10 +110,10 @@ func TestGaifmanCliquePerTuple(t *testing.T) {
 func TestUniverse(t *testing.T) {
 	d := New()
 	r := relation.New("R", "a", "b")
-	r.MustInsert("b", "a")
+	r.Add("b", "a")
 	d.MustAdd(r)
 	u := d.Universe()
-	if len(u) != 2 || u[0] != "a" || u[1] != "b" {
+	if len(u) != 2 || u[0] != relation.V("a") || u[1] != relation.V("b") {
 		t.Fatalf("Universe = %v", u)
 	}
 }
@@ -121,8 +121,8 @@ func TestUniverse(t *testing.T) {
 func TestCheckFDs(t *testing.T) {
 	d := New()
 	r := relation.New("S", "a", "b")
-	r.MustInsert("1", "x")
-	r.MustInsert("1", "y") // violates S[1] -> S[2]
+	r.Add("1", "x")
+	r.Add("1", "y") // violates S[1] -> S[2]
 	d.MustAdd(r)
 	q := cq.MustParse("Q(X,Y) <- S(X,Y).\nkey S[1].")
 	if err := d.CheckFDs(q); err == nil {
@@ -130,8 +130,8 @@ func TestCheckFDs(t *testing.T) {
 	}
 	d2 := New()
 	r2 := relation.New("S", "a", "b")
-	r2.MustInsert("1", "x")
-	r2.MustInsert("2", "y")
+	r2.Add("1", "x")
+	r2.Add("2", "y")
 	d2.MustAdd(r2)
 	if err := d2.CheckFDs(q); err != nil {
 		t.Fatalf("CheckFDs false positive: %v", err)
@@ -140,9 +140,9 @@ func TestCheckFDs(t *testing.T) {
 
 func TestGaifmanOfMultipleRelations(t *testing.T) {
 	r := relation.New("R", "a", "b")
-	r.MustInsert("1", "2")
+	r.Add("1", "2")
 	s := relation.New("S", "a", "b")
-	s.MustInsert("2", "3")
+	s.Add("2", "3")
 	g := GaifmanOf(r, s)
 	if g.N() != 3 || g.M() != 2 {
 		t.Fatalf("N=%d M=%d", g.N(), g.M())

@@ -32,7 +32,7 @@ func RandomDatabase(rng *rand.Rand, q *cq.Query, p DBParams) *database.Database 
 		p.Universe = 1
 	}
 	val := func(i int) relation.Value {
-		return relation.Value(fmt.Sprintf("u%d", i))
+		return relation.V(fmt.Sprintf("u%d", i))
 	}
 	fdsByRel := make(map[string][]cq.FD)
 	for _, f := range q.FDs {
@@ -121,10 +121,9 @@ func attrNames(arity int) []string {
 }
 
 func fdKey(row []relation.Value, from []int) string {
-	k := ""
-	for _, p := range from {
-		v := row[p-1]
-		k += fmt.Sprintf("%d:%s", len(v), v)
+	key := make(relation.Tuple, len(from))
+	for i, p := range from {
+		key[i] = row[p-1]
 	}
-	return k
+	return key.Key()
 }

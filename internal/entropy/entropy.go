@@ -82,12 +82,12 @@ func Empirical(r *relation.Relation) (*Vector, error) {
 	for s := Set(1); s <= v.Full(); s++ {
 		counts := make(map[string]int)
 		cols := s.Members()
+		sub := make(relation.Tuple, len(cols))
 		for _, t := range tuples {
-			key := ""
-			for _, c := range cols {
-				key += fmt.Sprintf("%d:%s", len(t[c]), t[c])
+			for i, c := range cols {
+				sub[i] = t[c]
 			}
-			counts[key]++
+			counts[sub.Key()]++
 		}
 		h := 0.0
 		for _, c := range counts {

@@ -32,7 +32,7 @@ func TestEmpiricalIndependent(t *testing.T) {
 	r := relation.New("R", "x", "y")
 	for i := 0; i < 4; i++ {
 		for j := 0; j < 4; j++ {
-			r.MustInsert(relation.Value(fmt.Sprint(i)), relation.Value(fmt.Sprint(j)))
+			r.Add(fmt.Sprint(i), fmt.Sprint(j))
 		}
 	}
 	v, err := Empirical(r)
@@ -52,7 +52,7 @@ func TestEmpiricalCorrelated(t *testing.T) {
 	// Diagonal pairs: X determines Y and vice versa.
 	r := relation.New("R", "x", "y")
 	for i := 0; i < 8; i++ {
-		r.MustInsert(relation.Value(fmt.Sprint(i)), relation.Value(fmt.Sprint(i)))
+		r.Add(fmt.Sprint(i), fmt.Sprint(i))
 	}
 	v, err := Empirical(r)
 	if err != nil {
@@ -107,9 +107,9 @@ func TestFigure2Identities(t *testing.T) {
 		r := relation.New("R", "x", "y", "z")
 		for i := 0; i < 30; i++ {
 			r.MustInsert(
-				relation.Value(fmt.Sprint(rng.Intn(3))),
-				relation.Value(fmt.Sprint(rng.Intn(3))),
-				relation.Value(fmt.Sprint(rng.Intn(3))),
+				relation.V(fmt.Sprint(rng.Intn(3))),
+				relation.V(fmt.Sprint(rng.Intn(3))),
+				relation.V(fmt.Sprint(rng.Intn(3))),
 			)
 		}
 		v, err := Empirical(r)
@@ -137,7 +137,7 @@ func TestKnittedComplexity(t *testing.T) {
 	r := relation.New("R", "x", "y")
 	for i := 0; i < 4; i++ {
 		for j := 0; j < 4; j++ {
-			r.MustInsert(relation.Value(fmt.Sprint(i)), relation.Value(fmt.Sprint(j)))
+			r.Add(fmt.Sprint(i), fmt.Sprint(j))
 		}
 	}
 	v, err := Empirical(r)
@@ -155,7 +155,7 @@ func TestKnittedComplexity(t *testing.T) {
 
 func TestKnittedComplexityZeroEntropy(t *testing.T) {
 	r := relation.New("R", "x")
-	r.MustInsert("only")
+	r.Add("only")
 	v, err := Empirical(r)
 	if err != nil {
 		t.Fatal(err)
@@ -168,7 +168,7 @@ func TestKnittedComplexityZeroEntropy(t *testing.T) {
 func TestCondAndMutualPair(t *testing.T) {
 	r := relation.New("R", "x", "y")
 	for i := 0; i < 4; i++ {
-		r.MustInsert(relation.Value(fmt.Sprint(i)), relation.Value(fmt.Sprint(i%2)))
+		r.Add(fmt.Sprint(i), fmt.Sprint(i%2))
 	}
 	v, err := Empirical(r)
 	if err != nil {

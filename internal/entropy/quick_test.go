@@ -18,7 +18,7 @@ func randomEmpirical(rng *rand.Rand, k int) (*Vector, error) {
 	for i := 0; i < 5+rng.Intn(25); i++ {
 		row := make(relation.Tuple, k)
 		for j := range row {
-			row[j] = relation.Value(fmt.Sprint(rng.Intn(3)))
+			row[j] = relation.V(fmt.Sprint(rng.Intn(3)))
 		}
 		r.MustInsert(row...)
 	}

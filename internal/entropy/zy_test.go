@@ -25,7 +25,7 @@ func TestZYHoldsOnEmpiricalVectors(t *testing.T) {
 		for i := 0; i < 12+rng.Intn(20); i++ {
 			row := make(relation.Tuple, arity)
 			for j := range row {
-				row[j] = relation.Value(fmt.Sprint(rng.Intn(3)))
+				row[j] = relation.V(fmt.Sprint(rng.Intn(3)))
 			}
 			r.MustInsert(row...)
 		}
@@ -52,7 +52,7 @@ func TestZYHoldsOnShamir(t *testing.T) {
 		for c1 := 0; c1 < n; c1++ {
 			row := make(relation.Tuple, 4)
 			for x := 0; x < 4; x++ {
-				row[x] = relation.Value(fmt.Sprint((c0 + c1*x) % n))
+				row[x] = relation.V(fmt.Sprint((c0 + c1*x) % n))
 			}
 			r.MustInsert(row...)
 		}

@@ -221,6 +221,12 @@ func emptyOutput(q *cq.Query) *relation.Relation {
 // whose attributes are the atom's distinct variables (named by the
 // variables) and whose tuples are the substitutions θ with θ(a) ∈ R.
 // Repeated variables inside the atom act as a selection.
+//
+// When the atom has no repeated variables — the common case — the binding
+// relation is the base relation with renamed columns, which the interned
+// columnar store provides as an O(arity) copy-on-write view: no tuples are
+// copied, and statistics, hash indexes and tries memoized on the base
+// relation keep serving the view.
 func bindingRelation(a cq.Atom, db *database.Database) (*relation.Relation, error) {
 	r := db.Relation(a.Relation)
 	if r == nil {
@@ -230,6 +236,15 @@ func bindingRelation(a cq.Atom, db *database.Database) (*relation.Relation, erro
 		return nil, fmt.Errorf("eval: relation %s arity %d, atom wants %d", a.Relation, r.Arity(), a.Arity())
 	}
 	vars := a.DistinctVars()
+	if len(vars) == len(a.Vars) {
+		attrs := make([]string, len(vars))
+		for i, v := range vars {
+			attrs[i] = string(v)
+		}
+		return r.Rename("bind_"+a.Relation, attrs...)
+	}
+	// Repeated variables: filter rows whose repeated positions disagree,
+	// projecting onto the first occurrence of each variable.
 	attrs := make([]string, len(vars))
 	pos := make(map[cq.Variable]int, len(vars))
 	for i, v := range vars {
@@ -237,24 +252,26 @@ func bindingRelation(a cq.Atom, db *database.Database) (*relation.Relation, erro
 		pos[v] = i
 	}
 	out := relation.New("bind_"+a.Relation, attrs...)
-	for _, t := range r.Tuples() {
-		ok := true
-		bound := make(relation.Tuple, len(vars))
-		set := make([]bool, len(vars))
+	bound := make(relation.Tuple, len(vars))
+	set := make([]bool, len(vars))
+	var insertErr error
+	r.Each(func(t relation.Tuple) bool {
+		for j := range set {
+			set[j] = false
+		}
 		for i, v := range a.Vars {
 			j := pos[v]
 			if set[j] && bound[j] != t[i] {
-				ok = false
-				break
+				return true
 			}
 			bound[j] = t[i]
 			set[j] = true
 		}
-		if ok {
-			if _, err := out.Insert(bound); err != nil {
-				return nil, err
-			}
-		}
+		_, insertErr = out.Insert(bound)
+		return insertErr == nil
+	})
+	if insertErr != nil {
+		return nil, insertErr
 	}
 	return out, nil
 }
@@ -310,6 +327,10 @@ func GenericJoinCtx(ctx context.Context, q *cq.Query, db *database.Database) (*r
 	}
 
 	// Build a trie per atom over the atom's variables sorted by global rank.
+	// Tries are memoized on the binding relation — which for atoms without
+	// repeated variables is a view of the base relation, so repeated
+	// evaluations (and concurrent batch evaluations) share one trie per
+	// (relation, column order) until the relation grows.
 	type atomIndex struct {
 		vars []cq.Variable // sorted by rank
 		root *trieNode
@@ -330,14 +351,7 @@ func GenericJoinCtx(ctx context.Context, q *cq.Query, db *database.Database) (*r
 		for j, v := range av {
 			cols[j] = bind.AttrIndex(string(v))
 		}
-		root := newTrieNode()
-		for _, t := range bind.Tuples() {
-			node := root
-			for _, c := range cols {
-				node = node.child(t[c])
-			}
-		}
-		atoms[i] = &atomIndex{vars: av, root: root}
+		atoms[i] = &atomIndex{vars: av, root: trieFor(bind, cols)}
 	}
 
 	// cursors[i] tracks atom i's current trie node; depth advances when the
@@ -435,4 +449,26 @@ func (n *trieNode) child(v relation.Value) *trieNode {
 		n.children[v] = c
 	}
 	return c
+}
+
+// trieFor builds (or fetches) the trie over r's rows along the given column
+// order. The trie is cached in r's size-keyed memo table next to its
+// statistics and hash indexes, and is read-only once built, so concurrent
+// evaluations can share it.
+func trieFor(r *relation.Relation, cols []int) *trieNode {
+	key := make([]byte, 0, 5+4*len(cols))
+	key = append(key, "trie:"...)
+	for _, c := range cols {
+		key = append(key, byte(c), byte(c>>8), byte(c>>16), byte(c>>24))
+	}
+	return r.Memo(string(key), func() any {
+		root := newTrieNode()
+		for i := 0; i < r.Size(); i++ {
+			node := root
+			for _, c := range cols {
+				node = node.child(r.At(i, c))
+			}
+		}
+		return root
+	}).(*trieNode)
 }

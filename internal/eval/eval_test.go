@@ -18,7 +18,7 @@ import (
 func starDB(n int) *database.Database {
 	r := relation.New("R", "A", "B")
 	for i := 1; i <= n; i++ {
-		r.MustInsert("e1", relation.Value(fmt.Sprintf("e%d", i)))
+		r.Add("e1", fmt.Sprintf("e%d", i))
 	}
 	db := database.New()
 	db.MustAdd(r)
@@ -57,7 +57,7 @@ func TestTriangleQuery(t *testing.T) {
 	r := relation.New("R", "A", "B")
 	// Two triangles sharing an edge: (a,b,c) and (a,b,d).
 	for _, e := range [][2]string{{"a", "b"}, {"b", "c"}, {"a", "c"}, {"b", "d"}, {"a", "d"}} {
-		r.MustInsert(relation.Value(e[0]), relation.Value(e[1]))
+		r.Add(e[0], e[1])
 	}
 	db := database.New()
 	db.MustAdd(r)
@@ -69,7 +69,7 @@ func TestTriangleQuery(t *testing.T) {
 		if out.Size() != 2 {
 			t.Errorf("%s: triangles = %d, want 2", s.name, out.Size())
 		}
-		want := relation.Tuple{"a", "b", "c"}
+		want := relation.Tuple{relation.V("a"), relation.V("b"), relation.V("c")}
 		if !out.Has(want) {
 			t.Errorf("%s: missing triangle (a,b,c)", s.name)
 		}
@@ -80,9 +80,9 @@ func TestRepeatedVariableInAtom(t *testing.T) {
 	// Q(X) <- R(X,X): selects the diagonal.
 	q := cq.MustParse("Q(X) <- R(X,X).")
 	r := relation.New("R", "A", "B")
-	r.MustInsert("a", "a")
-	r.MustInsert("a", "b")
-	r.MustInsert("c", "c")
+	r.Add("a", "a")
+	r.Add("a", "b")
+	r.Add("c", "c")
 	db := database.New()
 	db.MustAdd(r)
 	for _, s := range strategies {
@@ -99,7 +99,7 @@ func TestRepeatedVariableInAtom(t *testing.T) {
 func TestRepeatedHeadVariable(t *testing.T) {
 	q := cq.MustParse("Q(X,X,Y) <- R(X,Y).")
 	r := relation.New("R", "A", "B")
-	r.MustInsert("1", "2")
+	r.Add("1", "2")
 	db := database.New()
 	db.MustAdd(r)
 	for _, s := range strategies {
@@ -110,7 +110,7 @@ func TestRepeatedHeadVariable(t *testing.T) {
 		if out.Size() != 1 || out.Arity() != 3 {
 			t.Fatalf("%s: out = %v", s.name, out)
 		}
-		if !out.Has(relation.Tuple{"1", "1", "2"}) {
+		if !out.Has(relation.Tuple{relation.V("1"), relation.V("1"), relation.V("2")}) {
 			t.Errorf("%s: wrong tuple", s.name)
 		}
 	}
@@ -120,11 +120,11 @@ func TestProjectionQuery(t *testing.T) {
 	// Q(X,Z) <- R(X,Y), S(Y,Z): classic composition.
 	q := cq.MustParse("Q(X,Z) <- R(X,Y), S(Y,Z).")
 	r := relation.New("R", "A", "B")
-	r.MustInsert("x1", "y1")
-	r.MustInsert("x2", "y1")
+	r.Add("x1", "y1")
+	r.Add("x2", "y1")
 	s := relation.New("S", "A", "B")
-	s.MustInsert("y1", "z1")
-	s.MustInsert("y2", "z2")
+	s.Add("y1", "z1")
+	s.Add("y2", "z2")
 	db := database.New()
 	db.MustAdd(r)
 	db.MustAdd(s)
@@ -142,7 +142,7 @@ func TestProjectionQuery(t *testing.T) {
 func TestEmptyRelationGivesEmptyResult(t *testing.T) {
 	q := cq.MustParse("Q(X) <- R(X,Y), S(Y).")
 	r := relation.New("R", "A", "B")
-	r.MustInsert("1", "2")
+	r.Add("1", "2")
 	s := relation.New("S", "A")
 	db := database.New()
 	db.MustAdd(r)
@@ -299,9 +299,9 @@ func boundHolds(size, rmax int, c *big.Rat) bool {
 func TestStatsRecorded(t *testing.T) {
 	q := cq.MustParse("Q(X,Z) <- R(X,Y), S(Y,Z).")
 	r := relation.New("R", "A", "B")
-	r.MustInsert("1", "2")
+	r.Add("1", "2")
 	s := relation.New("S", "A", "B")
-	s.MustInsert("2", "3")
+	s.Add("2", "3")
 	db := database.New()
 	db.MustAdd(r)
 	db.MustAdd(s)

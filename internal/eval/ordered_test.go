@@ -15,8 +15,8 @@ func chainDB(t *testing.T) *database.Database {
 	r := relation.New("R", "a", "b")
 	s := relation.New("S", "a", "b")
 	for _, p := range [][2]string{{"1", "2"}, {"2", "3"}, {"3", "4"}} {
-		r.MustInsert(relation.Value(p[0]), relation.Value(p[1]))
-		s.MustInsert(relation.Value(p[1]), relation.Value(p[0]))
+		r.Add(p[0], p[1])
+		s.Add(p[1], p[0])
 	}
 	db.MustAdd(r)
 	db.MustAdd(s)
@@ -51,7 +51,7 @@ func TestEmptyIntermediateEarlyExit(t *testing.T) {
 	db := database.New()
 	db.MustAdd(relation.New("R", "a", "b")) // empty
 	s := relation.New("S", "a", "b")
-	s.MustInsert("y", "z")
+	s.Add("y", "z")
 	db.MustAdd(s)
 
 	out, st, err := JoinProjectOrdered(context.Background(), q, db, nil)

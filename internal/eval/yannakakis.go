@@ -3,9 +3,11 @@ package eval
 import (
 	"context"
 	"fmt"
+	"sync"
 
 	"cqbound/internal/cq"
 	"cqbound/internal/database"
+	"cqbound/internal/pool"
 	"cqbound/internal/relation"
 )
 
@@ -122,6 +124,12 @@ func Yannakakis(q *cq.Query, db *database.Database) (*relation.Relation, Stats, 
 // YannakakisCtx is Yannakakis with cancellation (checked between semijoin
 // and join steps) and an early exit as soon as any binding relation is
 // empty: every atom participates in the final join, so the output is empty.
+//
+// Sibling subtrees of the join tree are independent in every pass, so the
+// bottom-up and top-down semijoin sweeps and the final join recurse over a
+// node's children in parallel on a bounded worker pool; only the fold into
+// the parent is sequential. Semijoins probe the child's memoized hash index
+// (relation.Semijoin) instead of rescanning it per pass.
 func YannakakisCtx(ctx context.Context, q *cq.Query, db *database.Database) (*relation.Relation, Stats, error) {
 	var st Stats
 	if err := validateAtoms(q, db); err != nil {
@@ -143,22 +151,34 @@ func YannakakisCtx(ctx context.Context, q *cq.Query, db *database.Database) (*re
 		}
 		bindings[i] = b
 	}
+	// Stats are updated from worker goroutines; guard them.
+	var stMu sync.Mutex
+	countJoin := func(size int) {
+		stMu.Lock()
+		st.Joins++
+		if size > st.MaxIntermediate {
+			st.MaxIntermediate = size
+		}
+		stMu.Unlock()
+	}
 	// Bottom-up semijoin: parent ⋉ child.
 	var up func(n *JoinTreeNode) error
 	up = func(n *JoinTreeNode) error {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
+		if err := pool.Run(ctx, 0, len(n.Children), func(i int) error {
+			return up(n.Children[i])
+		}); err != nil {
+			return err
+		}
 		for _, c := range n.Children {
-			if err := up(c); err != nil {
-				return err
-			}
-			reduced, err := semijoin(bindings[n.AtomIndex], bindings[c.AtomIndex])
+			reduced, err := relation.Semijoin(bindings[n.AtomIndex], bindings[c.AtomIndex])
 			if err != nil {
 				return err
 			}
 			bindings[n.AtomIndex] = reduced
-			st.Joins++
+			countJoin(0)
 		}
 		return nil
 	}
@@ -171,43 +191,47 @@ func YannakakisCtx(ctx context.Context, q *cq.Query, db *database.Database) (*re
 		if err := ctx.Err(); err != nil {
 			return err
 		}
-		for _, c := range n.Children {
-			reduced, err := semijoin(bindings[c.AtomIndex], bindings[n.AtomIndex])
+		return pool.Run(ctx, 0, len(n.Children), func(i int) error {
+			c := n.Children[i]
+			reduced, err := relation.Semijoin(bindings[c.AtomIndex], bindings[n.AtomIndex])
 			if err != nil {
 				return err
 			}
 			bindings[c.AtomIndex] = reduced
-			st.Joins++
-			if err := down(c); err != nil {
-				return err
-			}
-		}
-		return nil
+			countJoin(0)
+			return down(c)
+		})
 	}
 	if err := down(tree); err != nil {
 		return nil, st, err
 	}
 	// Bottom-up join, keeping head variables plus connecting variables.
+	// Sibling subtrees join in parallel; the fold into the parent is
+	// sequential in child order, keeping results deterministic.
 	head := q.HeadVarSet()
 	var join func(n *JoinTreeNode) (*relation.Relation, error)
 	join = func(n *JoinTreeNode) (*relation.Relation, error) {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		cur := bindings[n.AtomIndex]
-		for _, c := range n.Children {
-			sub, err := join(c)
-			if err != nil {
-				return nil, err
+		subs := make([]*relation.Relation, len(n.Children))
+		if err := pool.Run(ctx, 0, len(n.Children), func(i int) error {
+			sub, err := join(n.Children[i])
+			if err == nil {
+				subs[i] = sub
 			}
+			return err
+		}); err != nil {
+			return nil, err
+		}
+		cur := bindings[n.AtomIndex]
+		for _, sub := range subs {
+			var err error
 			cur, err = relation.NaturalJoin(cur, sub)
 			if err != nil {
 				return nil, err
 			}
-			st.Joins++
-			if cur.Size() > st.MaxIntermediate {
-				st.MaxIntermediate = cur.Size()
-			}
+			countJoin(cur.Size())
 		}
 		// Project to head variables plus this subtree's connection to its
 		// parent (handled by the caller keeping the parent's attributes):
@@ -246,41 +270,4 @@ func YannakakisCtx(ctx context.Context, q *cq.Query, db *database.Database) (*re
 		st.MaxIntermediate = out.Size()
 	}
 	return out, st, nil
-}
-
-// semijoin returns the tuples of r that join with at least one tuple of s
-// on their shared attribute names.
-func semijoin(r, s *relation.Relation) (*relation.Relation, error) {
-	var pairs [][2]int
-	for j, a := range s.Attrs {
-		if i := r.AttrIndex(a); i >= 0 {
-			pairs = append(pairs, [2]int{i, j})
-		}
-	}
-	if len(pairs) == 0 {
-		if s.Size() == 0 {
-			return relation.New(r.Name+"_sj", r.Attrs...), nil
-		}
-		return r, nil
-	}
-	keys := make(map[string]bool, s.Size())
-	for _, t := range s.Tuples() {
-		keys[pairKey(t, pairs, 1)] = true
-	}
-	out := relation.New(r.Name+"_sj", r.Attrs...)
-	for _, t := range r.Tuples() {
-		if keys[pairKey(t, pairs, 0)] {
-			out.MustInsert(t...)
-		}
-	}
-	return out, nil
-}
-
-// pairKey builds an injective key from the tuple's join positions.
-func pairKey(t relation.Tuple, pairs [][2]int, side int) string {
-	key := make(relation.Tuple, len(pairs))
-	for i, p := range pairs {
-		key[i] = t[p[side]]
-	}
-	return key.Key()
 }

@@ -102,12 +102,12 @@ func TestYannakakisDanglingTuplesRemoved(t *testing.T) {
 	s := relation.New("S", "a", "b")
 	tt := relation.New("T", "a", "b")
 	// Only one chain survives end-to-end; everything else dangles.
-	r.MustInsert("x0", "y0")
-	s.MustInsert("y0", "z0")
-	tt.MustInsert("z0", "w0")
+	r.Add("x0", "y0")
+	s.Add("y0", "z0")
+	tt.Add("z0", "w0")
 	for i := 0; i < 50; i++ {
-		r.MustInsert(relation.Value("x"+itoa(i)), "ydangle")
-		tt.MustInsert("zdangle", relation.Value("w"+itoa(i)))
+		r.Add("x"+itoa(i), "ydangle")
+		tt.Add("zdangle", "w"+itoa(i))
 	}
 	db := dbWith(r, s, tt)
 	out, st, err := Yannakakis(q, db)
@@ -133,10 +133,10 @@ func TestYannakakisDanglingTuplesRemoved(t *testing.T) {
 func TestYannakakisDisconnectedQuery(t *testing.T) {
 	q := cq.MustParse("Q(X,Y) <- R(X), S(Y).")
 	r := relation.New("R", "a")
-	r.MustInsert("1")
-	r.MustInsert("2")
+	r.Add("1")
+	r.Add("2")
 	s := relation.New("S", "a")
-	s.MustInsert("u")
+	s.Add("u")
 	db := dbWith(r, s)
 	out, _, err := Yannakakis(q, db)
 	if err != nil {

@@ -95,9 +95,9 @@ func E13InformationDiagram() (*Report, error) {
 	for x := 0; x < 2; x++ {
 		for y := 0; y < 2; y++ {
 			r.MustInsert(
-				relation.Value(fmt.Sprint(x)),
-				relation.Value(fmt.Sprint(y)),
-				relation.Value(fmt.Sprint(x^y)),
+				relation.V(fmt.Sprint(x)),
+				relation.V(fmt.Sprint(y)),
+				relation.V(fmt.Sprint(x^y)),
 			)
 		}
 	}
@@ -280,7 +280,7 @@ func E19KnittedComplexity() (*Report, error) {
 	product := relation.New("P", "x", "y")
 	for i := 0; i < 4; i++ {
 		for j := 0; j < 4; j++ {
-			product.MustInsert(relation.Value(fmt.Sprint(i)), relation.Value(fmt.Sprint(j)))
+			product.MustInsert(relation.V(fmt.Sprint(i)), relation.V(fmt.Sprint(j)))
 		}
 	}
 	vp, err := entropy.Empirical(product)
@@ -297,7 +297,7 @@ func E19KnittedComplexity() (*Report, error) {
 	xor := relation.New("XOR", "x", "y", "z")
 	for x := 0; x < 2; x++ {
 		for y := 0; y < 2; y++ {
-			xor.MustInsert(relation.Value(fmt.Sprint(x)), relation.Value(fmt.Sprint(y)), relation.Value(fmt.Sprint(x^y)))
+			xor.MustInsert(relation.V(fmt.Sprint(x)), relation.V(fmt.Sprint(y)), relation.V(fmt.Sprint(x^y)))
 		}
 	}
 	vx, err := entropy.Empirical(xor)

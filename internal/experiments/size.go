@@ -18,7 +18,7 @@ import (
 func starDatabase(n int) *database.Database {
 	r := relation.New("R", "A", "B")
 	for i := 1; i <= n; i++ {
-		r.MustInsert("e1", relation.Value(fmt.Sprintf("e%d", i)))
+		r.Add("e1", fmt.Sprintf("e%d", i))
 	}
 	db := database.New()
 	db.MustAdd(r)
@@ -99,9 +99,9 @@ func E2ChaseExample() (*Report, error) {
 	r1 := relation.New("R1", "a", "b", "c")
 	r2 := relation.New("R2", "a", "b")
 	for i := 0; i < 6; i++ {
-		r1.MustInsert(relation.Value(fmt.Sprintf("w%d", i)), relation.Value(fmt.Sprintf("w%d", i)), relation.Value(fmt.Sprintf("w%d", i)))
+		r1.Add(fmt.Sprintf("w%d", i), fmt.Sprintf("w%d", i), fmt.Sprintf("w%d", i))
 		for j := 0; j < 3; j++ {
-			r2.MustInsert(relation.Value(fmt.Sprintf("w%d", i)), relation.Value(fmt.Sprintf("z%d_%d", i, j)))
+			r2.Add(fmt.Sprintf("w%d", i), fmt.Sprintf("z%d_%d", i, j))
 		}
 	}
 	db := database.New()

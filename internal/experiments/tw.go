@@ -135,8 +135,8 @@ func randomKeyedPair(rng *rand.Rand, rSize, sArity, universe int) (*relation.Rel
 	r := relation.New("R", "ra", "rb")
 	for i := 0; i < rSize; i++ {
 		r.MustInsert(
-			relation.Value(fmt.Sprintf("u%d", rng.Intn(universe))),
-			relation.Value(fmt.Sprintf("k%d", rng.Intn(universe))),
+			relation.V(fmt.Sprintf("u%d", rng.Intn(universe))),
+			relation.V(fmt.Sprintf("k%d", rng.Intn(universe))),
 		)
 	}
 	attrs := make([]string, sArity)
@@ -146,9 +146,9 @@ func randomKeyedPair(rng *rand.Rand, rSize, sArity, universe int) (*relation.Rel
 	s := relation.New("S", attrs...)
 	for k := 0; k < universe; k++ {
 		row := make(relation.Tuple, sArity)
-		row[0] = relation.Value(fmt.Sprintf("k%d", k))
+		row[0] = relation.V(fmt.Sprintf("k%d", k))
 		for i := 1; i < sArity; i++ {
-			row[i] = relation.Value(fmt.Sprintf("w%d", rng.Intn(universe)))
+			row[i] = relation.V(fmt.Sprintf("w%d", rng.Intn(universe)))
 		}
 		s.MustInsert(row...)
 	}
@@ -169,8 +169,8 @@ func E9KeyedJoinChain() (*Report, error) {
 		r1 := relation.New("R1", "a0", "a1")
 		for i := 0; i < 12; i++ {
 			r1.MustInsert(
-				relation.Value(fmt.Sprintf("x%d", rng.Intn(6))),
-				relation.Value(fmt.Sprintf("k1_%d", rng.Intn(6))),
+				relation.V(fmt.Sprintf("x%d", rng.Intn(6))),
+				relation.V(fmt.Sprintf("k1_%d", rng.Intn(6))),
 			)
 		}
 		rels[0] = r1
@@ -182,9 +182,9 @@ func E9KeyedJoinChain() (*Report, error) {
 			sr := relation.New(fmt.Sprintf("S%d", s+1), attrs...)
 			for k := 0; k < 6; k++ {
 				sr.MustInsert(
-					relation.Value(fmt.Sprintf("k%d_%d", s, k)),
-					relation.Value(fmt.Sprintf("w%d_%d", s, rng.Intn(6))),
-					relation.Value(fmt.Sprintf("k%d_%d", s+1, rng.Intn(6))),
+					relation.V(fmt.Sprintf("k%d_%d", s, k)),
+					relation.V(fmt.Sprintf("w%d_%d", s, rng.Intn(6))),
+					relation.V(fmt.Sprintf("k%d_%d", s+1, rng.Intn(6))),
 				)
 			}
 			rels[s] = sr

@@ -77,13 +77,13 @@ func TestOrderAtomsMostSelectiveFirst(t *testing.T) {
 	db := database.New()
 	r := relation.New("R", "a", "b")
 	for i := 0; i < 50; i++ {
-		r.MustInsert(relation.Value(rune('a'+i%26)), relation.Value(rune('A'+i%26)))
+		r.Add(string(rune('a'+i%26)), string(rune('A'+i%26)))
 	}
 	s := relation.New("S", "a", "b")
-	s.MustInsert("A", "z")
+	s.Add("A", "z")
 	tt := relation.New("T", "a", "b")
-	tt.MustInsert("z", "w")
-	tt.MustInsert("z", "v")
+	tt.Add("z", "w")
+	tt.Add("z", "v")
 	db.MustAdd(r)
 	db.MustAdd(s)
 	db.MustAdd(tt)

@@ -1,0 +1,86 @@
+// Package pool is a bounded parallel for-loop honoring context
+// cancellation: the worker pool behind the parallel Yannakakis semijoin
+// passes and the Engine's batch evaluation API. It exists so every parallel
+// site in the module shares one tested implementation instead of growing
+// ad-hoc WaitGroup choreography.
+package pool
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultWorkers is the pool width used when callers pass workers <= 0:
+// one worker per available CPU.
+func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// Run calls f(i) for every i in [0, n) on at most workers goroutines
+// (workers <= 0 means DefaultWorkers). The first error stops remaining
+// tasks from starting — tasks already running finish — and is returned;
+// context cancellation does the same and returns ctx.Err(). f must be safe
+// for concurrent invocation; Run itself may be called from inside a task
+// (nested fan-out oversubscribes CPUs modestly rather than deadlocking).
+func Run(ctx context.Context, workers, n int, f func(i int) error) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 || n == 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := f(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		next  atomic.Int64
+		wg    sync.WaitGroup
+		mu    sync.Mutex
+		first error
+	)
+	fail := func(err error) {
+		mu.Lock()
+		if first == nil {
+			first = err
+		}
+		mu.Unlock()
+		cancel()
+	}
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				if cctx.Err() != nil {
+					return
+				}
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := f(i); err != nil {
+					fail(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if first != nil {
+		return first
+	}
+	return ctx.Err()
+}

@@ -1,0 +1,194 @@
+package relation
+
+// Hash indexes and the memo table that caches them (together with column
+// statistics and caller-provided structures such as the generic join's
+// tries) per relation. Everything here is keyed by the relation's size, so
+// an insert implicitly invalidates and the next reader rebuilds.
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+type memoEntry struct {
+	v    any
+	size int // relation size the entry was built at
+}
+
+// delegate returns the relation whose storage r still shares — Clone and
+// Rename borrow their parent's columns until first write — so memoized
+// statistics, indexes and tries are built once per stored row set, not once
+// per name. It returns nil when r owns its storage or has diverged.
+func (r *Relation) delegate() *Relation {
+	if p := r.parent; p != nil && r.shared && p.Size() == r.n {
+		return p
+	}
+	return nil
+}
+
+// Memo returns the value cached under key, calling build when the key is
+// missing or the relation has grown since it was cached. Concurrent callers
+// may race to build the same entry; the last store wins, which is harmless
+// for the derived structures cached here. build runs outside the lock and
+// may itself use the relation's read API.
+func (r *Relation) Memo(key string, build func() any) any {
+	if p := r.delegate(); p != nil {
+		return p.Memo(key, build)
+	}
+	r.mu.Lock()
+	if e, ok := r.memos[key]; ok && e.size == r.n {
+		r.mu.Unlock()
+		return e.v
+	}
+	r.mu.Unlock()
+	v := build()
+	r.mu.Lock()
+	if r.memos == nil {
+		r.memos = make(map[string]memoEntry)
+	}
+	r.memos[key] = memoEntry{v: v, size: r.n}
+	r.mu.Unlock()
+	return v
+}
+
+// Index is a hash index over a column list: the fixed-width packing of a
+// row's values in those columns maps to every matching row.
+type Index struct {
+	cols []int
+	rows map[string][]int32
+}
+
+// Cols returns the indexed column positions.
+func (ix *Index) Cols() []int { return ix.cols }
+
+// Len returns the number of distinct keys.
+func (ix *Index) Len() int { return len(ix.rows) }
+
+// Rows returns the rows whose indexed columns pack to key (as built by
+// Relation.KeyFor or Tuple.Key over the same columns). The slice is the
+// index's storage; treat it as read-only.
+func (ix *Index) Rows(key []byte) []int32 { return ix.rows[string(key)] }
+
+// Has reports whether any row matches the key.
+func (ix *Index) Has(key []byte) bool {
+	_, ok := ix.rows[string(key)]
+	return ok
+}
+
+// Index returns the hash index over the given columns, built lazily and
+// memoized alongside the relation's statistics (rebuilt after inserts,
+// shared with renames and clones).
+func (r *Relation) Index(cols ...int) *Index {
+	for _, c := range cols {
+		if c < 0 || c >= r.Arity() {
+			panic(fmt.Sprintf("relation %s: index column %d out of range", r.Name, c))
+		}
+	}
+	key := "index:" + string(appendColsKey(nil, cols))
+	cs := append([]int(nil), cols...)
+	return r.Memo(key, func() any {
+		ix := &Index{cols: cs, rows: make(map[string][]int32, r.n)}
+		var buf []byte
+		for i := 0; i < r.n; i++ {
+			buf = r.keyAt(buf[:0], i, cs)
+			ix.rows[string(buf)] = append(ix.rows[string(buf)], int32(i))
+		}
+		return ix
+	}).(*Index)
+}
+
+// appendColsKey appends a packing of column positions to buf (memo keys).
+func appendColsKey(buf []byte, cols []int) []byte {
+	for _, c := range cols {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(c))
+	}
+	return buf
+}
+
+// KeyFor appends the packing of t's values in the given columns to buf —
+// the probe-side counterpart of Index.
+func KeyFor(buf []byte, t Tuple, cols []int) []byte {
+	for _, c := range cols {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(t[c]))
+	}
+	return buf
+}
+
+// HashJoin joins r and s on the given position pairs (r position, s
+// position), keeping all columns of both relations. The smaller side's
+// memoized hash index is probed with fixed-width keys; the output needs no
+// dedup pass because distinct row pairs concatenate to distinct rows.
+func HashJoin(r, s *Relation, pairs [][2]int) (*Relation, error) {
+	for _, p := range pairs {
+		if p[0] < 0 || p[0] >= r.Arity() || p[1] < 0 || p[1] >= s.Arity() {
+			return nil, fmt.Errorf("relation: join positions %v out of range", p)
+		}
+	}
+	// Index the smaller relation.
+	build, probe := r, s
+	buildSide := 0
+	if s.Size() < r.Size() {
+		build, probe = s, r
+		buildSide = 1
+	}
+	buildCols := make([]int, len(pairs))
+	probeCols := make([]int, len(pairs))
+	for i, p := range pairs {
+		buildCols[i] = p[buildSide]
+		probeCols[i] = p[1-buildSide]
+	}
+	ix := build.Index(buildCols...)
+
+	out := New(r.Name+"_j_"+s.Name, concatAttrs(r, s)...)
+	nt := make(Tuple, 0, r.Arity()+s.Arity())
+	var buf []byte
+	for j := 0; j < probe.n; j++ {
+		buf = probe.keyAt(buf[:0], j, probeCols)
+		for _, i := range ix.Rows(buf) {
+			ri, sj := int(i), j
+			if buildSide == 1 {
+				ri, sj = j, int(i)
+			}
+			nt = r.AppendRow(nt[:0], ri)
+			nt = s.AppendRow(nt, sj)
+			out.appendRowUnchecked(nt)
+		}
+	}
+	return out, nil
+}
+
+// EquiJoin is HashJoin — the name the seed used; kept as the generic
+// equi-join entry point (the sort-merge variant lives in sortmerge.go).
+func EquiJoin(r, s *Relation, pairs [][2]int) (*Relation, error) {
+	return HashJoin(r, s, pairs)
+}
+
+// Semijoin returns r ⋉ s: the tuples of r that join with at least one tuple
+// of s on their shared attribute names. With no shared attributes every
+// tuple of r joins (unless s is empty), so r itself is returned.
+func Semijoin(r, s *Relation) (*Relation, error) {
+	var rCols, sCols []int
+	for j, a := range s.Attrs {
+		if i := r.AttrIndex(a); i >= 0 {
+			rCols = append(rCols, i)
+			sCols = append(sCols, j)
+		}
+	}
+	if len(rCols) == 0 {
+		if s.Size() == 0 {
+			return New(r.Name+"_sj", r.Attrs...), nil
+		}
+		return r, nil
+	}
+	ix := s.Index(sCols...)
+	out := New(r.Name+"_sj", r.Attrs...)
+	nt := make(Tuple, 0, r.Arity())
+	var buf []byte
+	for i := 0; i < r.n; i++ {
+		buf = r.keyAt(buf[:0], i, rCols)
+		if ix.Has(buf) {
+			out.appendRowUnchecked(r.AppendRow(nt[:0], i))
+		}
+	}
+	return out, nil
+}

@@ -12,7 +12,7 @@ func randomRelation(rng *rand.Rand, name string, attrs []string, rows, domain in
 	for i := 0; i < rows; i++ {
 		t := make(Tuple, len(attrs))
 		for j := range t {
-			t[j] = Value(fmt.Sprint(rng.Intn(domain)))
+			t[j] = V(fmt.Sprint(rng.Intn(domain)))
 		}
 		r.MustInsert(t...)
 	}
@@ -97,8 +97,8 @@ func TestQuickUnionBounds(t *testing.T) {
 // TestQuickTupleKeyInjective: distinct tuples have distinct keys.
 func TestQuickTupleKeyInjective(t *testing.T) {
 	f := func(a1, a2, b1, b2 string) bool {
-		t1 := Tuple{Value(a1), Value(a2)}
-		t2 := Tuple{Value(b1), Value(b2)}
+		t1 := Tuple{V(a1), V(a2)}
+		t2 := Tuple{V(b1), V(b2)}
 		if a1 == b1 && a2 == b2 {
 			return t1.Key() == t2.Key()
 		}

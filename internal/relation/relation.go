@@ -1,20 +1,34 @@
 // Package relation is a small in-memory relational engine: named relations
 // with set semantics (duplicate tuples are eliminated), selection,
-// projection, renaming, unions, products, and hash-based natural and equi
-// joins. It is the substrate on which queries are evaluated and the paper's
-// worst-case instances are materialized and measured.
+// projection, renaming, unions, products, and index-backed natural, equi and
+// semi joins. It is the substrate on which queries are evaluated and the
+// paper's worst-case instances are materialized and measured.
+//
+// Storage is interned and columnar: every field value is a fixed-width
+// Value (an ID into a Dict, see dict.go) and each attribute is stored as a
+// contiguous []Value column. Tuple keys — the currency of dedup, joins and
+// semijoins — are fixed-width byte packings of IDs instead of the seed's
+// length-prefixed string rebuilds. Renaming and cloning share column storage
+// copy-on-write, so deriving a differently-named view of a base relation
+// (the hot path of query evaluation) is O(arity), not O(n·arity).
+//
+// Concurrency: a Relation is safe for concurrent readers (statistics,
+// indexes and memos are mutex-guarded), and a single writer may insert while
+// no reader is using the relation. Mutating a relation concurrently with
+// readers of it — or of views sharing its storage — is a data race.
 package relation
 
 import (
+	"encoding/binary"
 	"fmt"
 	"sort"
-	"strconv"
 	"strings"
 	"sync"
 )
 
-// Value is a single field value. Values are opaque strings.
-type Value string
+// Value is a single field value: an ID interned in the package dictionary.
+// Build one with V("text"); recover the text with Value.String.
+type Value uint32
 
 // Tuple is an ordered list of values.
 type Tuple []Value
@@ -26,29 +40,53 @@ func (t Tuple) Clone() Tuple {
 	return out
 }
 
-// Key returns an injective encoding of the tuple, usable as a map key even
-// when values contain separator bytes (each value is length-prefixed).
-func (t Tuple) Key() string {
-	var b strings.Builder
-	for _, v := range t {
-		b.WriteString(strconv.Itoa(len(v)))
-		b.WriteByte(':')
-		b.WriteString(string(v))
+// Strings resolves every value of the tuple through the dictionary.
+func (t Tuple) Strings() []string {
+	out := make([]string, len(t))
+	for i, v := range t {
+		out[i] = v.String()
 	}
-	return b.String()
+	return out
 }
 
-// Relation is a named relation with set semantics.
-type Relation struct {
-	Name   string
-	Attrs  []string
-	tuples []Tuple
-	seen   map[string]bool
+// Key returns an injective encoding of the tuple, usable as a map key: the
+// fixed-width little-endian packing of its IDs.
+func (t Tuple) Key() string {
+	return string(appendKey(make([]byte, 0, 4*len(t)), t...))
+}
 
-	// Memoized column statistics (see stats.go). The mutex makes the
-	// statistics accessors safe under concurrent readers.
-	statsMu sync.Mutex
-	stats   *stats
+// appendKey appends the 4-byte packing of each value to buf.
+func appendKey(buf []byte, vals ...Value) []byte {
+	for _, v := range vals {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(v))
+	}
+	return buf
+}
+
+// Relation is a named relation with set semantics and columnar storage.
+type Relation struct {
+	Name  string
+	Attrs []string
+
+	n    int       // number of tuples
+	cols [][]Value // one column per attribute, each of length n
+
+	// seen maps tuple keys to row indices. It is built lazily (operators
+	// whose outputs are distinct by construction skip it entirely) and may
+	// reference rows past n when storage is shared — readers must bound row
+	// indices by n.
+	seen map[string]int32
+
+	// shared marks storage borrowed from parent (Clone/Rename): the column
+	// backing arrays and seen map belong to another relation and must be
+	// copied before the first insert. parent also serves memoized statistics
+	// and indexes while both relations still hold the same rows.
+	shared bool
+	parent *Relation
+
+	// mu guards the memo table (statistics, hash indexes, caller memos).
+	mu    sync.Mutex
+	memos map[string]memoEntry
 }
 
 // New creates an empty relation. Attribute names must be unique.
@@ -63,7 +101,7 @@ func New(name string, attrs ...string) *Relation {
 	return &Relation{
 		Name:  name,
 		Attrs: append([]string(nil), attrs...),
-		seen:  make(map[string]bool),
+		cols:  make([][]Value, len(attrs)),
 	}
 }
 
@@ -71,11 +109,124 @@ func New(name string, attrs ...string) *Relation {
 func (r *Relation) Arity() int { return len(r.Attrs) }
 
 // Size returns the number of (distinct) tuples.
-func (r *Relation) Size() int { return len(r.tuples) }
+func (r *Relation) Size() int { return r.n }
 
-// Tuples returns the relation's tuples. The slice and its tuples must not be
-// modified by the caller.
-func (r *Relation) Tuples() []Tuple { return r.tuples }
+// Column returns attribute c's column. The slice is the relation's storage:
+// callers must treat it as read-only.
+func (r *Relation) Column(c int) []Value { return r.cols[c][:r.n] }
+
+// At returns the value at the given row and column.
+func (r *Relation) At(row, col int) Value { return r.cols[col][row] }
+
+// Row materializes row i as a fresh tuple.
+func (r *Relation) Row(i int) Tuple {
+	t := make(Tuple, len(r.cols))
+	for c := range r.cols {
+		t[c] = r.cols[c][i]
+	}
+	return t
+}
+
+// AppendRow appends row i's values to dst and returns the extended slice.
+func (r *Relation) AppendRow(dst Tuple, i int) Tuple {
+	for c := range r.cols {
+		dst = append(dst, r.cols[c][i])
+	}
+	return dst
+}
+
+// Tuples returns a copy of the relation's tuples. The copy is the caller's
+// to keep or mutate; the relation is unaffected (copy-on-read — see the
+// aliasing regression test). Hot paths should prefer Each, Column, or Row.
+func (r *Relation) Tuples() []Tuple {
+	out := make([]Tuple, r.n)
+	if r.n == 0 {
+		return out
+	}
+	flat := make([]Value, r.n*len(r.cols))
+	for i := range out {
+		t := flat[i*len(r.cols) : (i+1)*len(r.cols) : (i+1)*len(r.cols)]
+		for c := range r.cols {
+			t[c] = r.cols[c][i]
+		}
+		out[i] = t
+	}
+	return out
+}
+
+// Each calls f for every tuple until f returns false. The tuple passed to f
+// is a reused buffer: it is valid only during the call and must not be
+// retained or modified (clone it to keep it).
+func (r *Relation) Each(f func(Tuple) bool) {
+	buf := make(Tuple, len(r.cols))
+	for i := 0; i < r.n; i++ {
+		for c := range r.cols {
+			buf[c] = r.cols[c][i]
+		}
+		if !f(buf) {
+			return
+		}
+	}
+}
+
+// keyAt appends the packing of row i's values in the given columns to buf.
+func (r *Relation) keyAt(buf []byte, i int, cols []int) []byte {
+	for _, c := range cols {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(r.cols[c][i]))
+	}
+	return buf
+}
+
+// rowKey appends the packing of the full row i to buf.
+func (r *Relation) rowKey(buf []byte, i int) []byte {
+	for c := range r.cols {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(r.cols[c][i]))
+	}
+	return buf
+}
+
+// ensureOwned copies shared storage before the first mutation: column
+// backing arrays are duplicated and the dedup map is cloned, scrubbing
+// entries that point past this relation's rows.
+func (r *Relation) ensureOwned() {
+	if !r.shared {
+		return
+	}
+	for c := range r.cols {
+		r.cols[c] = append([]Value(nil), r.cols[c][:r.n]...)
+	}
+	if r.seen != nil {
+		m := make(map[string]int32, r.n)
+		for k, row := range r.seen {
+			if int(row) < r.n {
+				m[k] = row
+			}
+		}
+		r.seen = m
+	}
+	r.shared = false
+	r.parent = nil
+}
+
+// ensureSeen builds the dedup map when an operator skipped it (outputs that
+// are distinct by construction defer the cost until Has or Insert needs it)
+// and returns it. The mutex makes the lazy build safe for concurrent
+// readers; the returned map itself is read-only to them by the package's
+// single-writer discipline.
+func (r *Relation) ensureSeen() map[string]int32 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.seen == nil {
+		m := make(map[string]int32, r.n)
+		var buf []byte
+		for i := 0; i < r.n; i++ {
+			buf = r.rowKey(buf[:0], i)
+			m[string(buf)] = int32(i)
+		}
+		r.seen = m
+	}
+	return r.seen
+}
 
 // Insert adds a tuple (copied). It reports whether the tuple was new and
 // returns an error on arity mismatch.
@@ -83,13 +234,29 @@ func (r *Relation) Insert(t Tuple) (bool, error) {
 	if len(t) != len(r.Attrs) {
 		return false, fmt.Errorf("relation %s: tuple arity %d != %d", r.Name, len(t), len(r.Attrs))
 	}
+	seen := r.ensureSeen()
 	k := t.Key()
-	if r.seen[k] {
+	if row, ok := seen[k]; ok && int(row) < r.n {
 		return false, nil
 	}
-	r.seen[k] = true
-	r.tuples = append(r.tuples, t.Clone())
+	r.ensureOwned() // may replace r.seen with a scrubbed private clone
+	r.seen[k] = int32(r.n)
+	for c := range r.cols {
+		r.cols[c] = append(r.cols[c], t[c])
+	}
+	r.n++
 	return true, nil
+}
+
+// appendRowUnchecked appends a tuple without consulting the dedup map — for
+// operators whose outputs are distinct by construction (joins and filters of
+// set-semantics inputs). The relation must not be shared and must not have a
+// dedup map yet.
+func (r *Relation) appendRowUnchecked(t Tuple) {
+	for c := range r.cols {
+		r.cols[c] = append(r.cols[c], t[c])
+	}
+	r.n++
 }
 
 // MustInsert adds the values as a tuple, panicking on arity mismatch.
@@ -100,8 +267,26 @@ func (r *Relation) MustInsert(vals ...Value) {
 	}
 }
 
+// Add interns the strings and inserts them as a tuple, panicking on arity
+// mismatch — the convenience constructor tests and generators use.
+func (r *Relation) Add(vals ...string) {
+	t := make(Tuple, len(vals))
+	for i, s := range vals {
+		t[i] = V(s)
+	}
+	if _, err := r.Insert(t); err != nil {
+		panic(err)
+	}
+}
+
 // Has reports whether the relation contains the tuple.
-func (r *Relation) Has(t Tuple) bool { return r.seen[t.Key()] }
+func (r *Relation) Has(t Tuple) bool {
+	if len(t) != len(r.Attrs) {
+		return false
+	}
+	row, ok := r.ensureSeen()[t.Key()]
+	return ok && int(row) < r.n
+}
 
 // AttrIndex returns the position of the named attribute, or -1.
 func (r *Relation) AttrIndex(name string) int {
@@ -113,38 +298,52 @@ func (r *Relation) AttrIndex(name string) int {
 	return -1
 }
 
-// Clone returns a deep copy, optionally renamed.
+// share returns a relation with the given name and attributes borrowing r's
+// storage copy-on-write.
+func (r *Relation) share(name string, attrs []string) *Relation {
+	out := New(name, attrs...)
+	out.n = r.n
+	copy(out.cols, r.cols) // column headers; backing arrays stay r's
+	// Borrow the dedup map only if it exists: building it here would defeat
+	// the lazy-dedup design for views of operator outputs. The mutex makes
+	// the field read safe against a concurrent reader lazily building it.
+	r.mu.Lock()
+	out.seen = r.seen
+	r.mu.Unlock()
+	out.shared = true
+	out.parent = r
+	return out
+}
+
+// Clone returns a copy, optionally renamed. Storage is shared copy-on-write:
+// the clone is independent for all observable purposes but costs O(arity)
+// until the first insert into it.
 func (r *Relation) Clone(name string) *Relation {
 	if name == "" {
 		name = r.Name
 	}
-	out := New(name, r.Attrs...)
-	for _, t := range r.tuples {
-		out.MustInsert(t...)
-	}
-	return out
+	return r.share(name, r.Attrs)
 }
 
-// Rename returns a copy with a new name and attribute names.
+// Rename returns a copy with a new name and attribute names, sharing storage
+// copy-on-write.
 func (r *Relation) Rename(name string, attrs ...string) (*Relation, error) {
 	if len(attrs) != len(r.Attrs) {
 		return nil, fmt.Errorf("relation %s: rename with %d attrs, arity %d", r.Name, len(attrs), len(r.Attrs))
 	}
-	out := New(name, attrs...)
-	for _, t := range r.tuples {
-		out.MustInsert(t...)
-	}
-	return out, nil
+	return r.share(name, attrs), nil
 }
 
-// Select returns the tuples satisfying pred, as a new relation.
+// Select returns the tuples satisfying pred, as a new relation. The tuple
+// passed to pred is a reused buffer (see Each).
 func (r *Relation) Select(pred func(Tuple) bool) *Relation {
 	out := New(r.Name+"_sel", r.Attrs...)
-	for _, t := range r.tuples {
+	r.Each(func(t Tuple) bool {
 		if pred(t) {
-			out.MustInsert(t...)
+			out.appendRowUnchecked(t)
 		}
-	}
+		return true
+	})
 	return out
 }
 
@@ -166,14 +365,19 @@ func (r *Relation) ProjectIdx(idx ...int) (*Relation, error) {
 		attrs[i] = name
 	}
 	out := New(r.Name+"_proj", attrs...)
-	for _, t := range r.tuples {
-		nt := make(Tuple, len(idx))
+	out.seen = make(map[string]int32, r.n)
+	nt := make(Tuple, len(idx))
+	var buf []byte
+	for row := 0; row < r.n; row++ {
 		for i, j := range idx {
-			nt[i] = t[j]
+			nt[i] = r.cols[j][row]
 		}
-		if _, err := out.Insert(nt); err != nil {
-			return nil, err
+		buf = appendKey(buf[:0], nt...)
+		if _, dup := out.seen[string(buf)]; dup {
+			continue
 		}
+		out.seen[string(buf)] = int32(out.n)
+		out.appendRowUnchecked(nt)
 	}
 	return out, nil
 }
@@ -198,11 +402,15 @@ func Union(r, s *Relation) (*Relation, error) {
 		return nil, fmt.Errorf("relation: union arity mismatch %d vs %d", r.Arity(), s.Arity())
 	}
 	out := New(r.Name+"_u_"+s.Name, r.Attrs...)
-	for _, t := range r.tuples {
-		out.MustInsert(t...)
+	var err error
+	add := func(t Tuple) bool {
+		_, err = out.Insert(t)
+		return err == nil
 	}
-	for _, t := range s.tuples {
-		out.MustInsert(t...)
+	r.Each(add)
+	s.Each(add)
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -210,6 +418,21 @@ func Union(r, s *Relation) (*Relation, error) {
 // Product returns the cartesian product r × s. Attribute names of s are
 // prefixed with its name when they clash.
 func Product(r, s *Relation) *Relation {
+	out := New(r.Name+"_x_"+s.Name, concatAttrs(r, s)...)
+	nt := make(Tuple, 0, r.Arity()+s.Arity())
+	for i := 0; i < r.n; i++ {
+		for j := 0; j < s.n; j++ {
+			nt = r.AppendRow(nt[:0], i)
+			nt = s.AppendRow(nt, j)
+			out.appendRowUnchecked(nt)
+		}
+	}
+	return out
+}
+
+// concatAttrs is the joined schema: r's attributes, then s's with clashes
+// prefixed by s's name.
+func concatAttrs(r, s *Relation) []string {
 	attrs := append([]string(nil), r.Attrs...)
 	taken := make(map[string]bool)
 	for _, a := range attrs {
@@ -223,88 +446,14 @@ func Product(r, s *Relation) *Relation {
 		taken[name] = true
 		attrs = append(attrs, name)
 	}
-	out := New(r.Name+"_x_"+s.Name, attrs...)
-	for _, t := range r.tuples {
-		for _, u := range s.tuples {
-			nt := make(Tuple, 0, len(t)+len(u))
-			nt = append(nt, t...)
-			nt = append(nt, u...)
-			out.MustInsert(nt...)
-		}
-	}
-	return out
-}
-
-// EquiJoin joins r and s on the given position pairs (r position, s
-// position), keeping all columns of both relations. It uses a hash join on
-// the smaller side.
-func EquiJoin(r, s *Relation, pairs [][2]int) (*Relation, error) {
-	for _, p := range pairs {
-		if p[0] < 0 || p[0] >= r.Arity() || p[1] < 0 || p[1] >= s.Arity() {
-			return nil, fmt.Errorf("relation: join positions %v out of range", p)
-		}
-	}
-	// Hash the smaller relation.
-	swapped := false
-	a, b := r, s
-	ai, bi := 0, 1
-	if s.Size() < r.Size() {
-		a, b = s, r
-		ai, bi = 1, 0
-		swapped = true
-	}
-	index := make(map[string][]Tuple, a.Size())
-	for _, t := range a.Tuples() {
-		k := joinKey(t, pairs, ai)
-		index[k] = append(index[k], t)
-	}
-	attrs := append([]string(nil), r.Attrs...)
-	taken := make(map[string]bool)
-	for _, x := range attrs {
-		taken[x] = true
-	}
-	for _, x := range s.Attrs {
-		name := x
-		for taken[name] {
-			name = s.Name + "." + name
-		}
-		taken[name] = true
-		attrs = append(attrs, name)
-	}
-	out := New(r.Name+"_j_"+s.Name, attrs...)
-	for _, u := range b.Tuples() {
-		k := joinKey(u, pairs, bi)
-		for _, t := range index[k] {
-			rt, st := t, u
-			if swapped {
-				rt, st = u, t
-			}
-			nt := make(Tuple, 0, len(rt)+len(st))
-			nt = append(nt, rt...)
-			nt = append(nt, st...)
-			out.MustInsert(nt...)
-		}
-	}
-	return out, nil
-}
-
-func joinKey(t Tuple, pairs [][2]int, side int) string {
-	var b strings.Builder
-	for _, p := range pairs {
-		v := t[p[side]]
-		b.WriteString(strconv.Itoa(len(v)))
-		b.WriteByte(':')
-		b.WriteString(string(v))
-	}
-	return b.String()
+	return attrs
 }
 
 // NaturalJoin joins r and s on all attribute names they share, projecting
 // away the duplicated join columns of s.
 func NaturalJoin(r, s *Relation) (*Relation, error) {
 	var pairs [][2]int
-	var dropS []bool
-	dropS = make([]bool, s.Arity())
+	dropS := make([]bool, s.Arity())
 	for j, a := range s.Attrs {
 		if i := r.AttrIndex(a); i >= 0 {
 			pairs = append(pairs, [2]int{i, j})
@@ -345,22 +494,17 @@ func NaturalJoin(r, s *Relation) (*Relation, error) {
 // CheckFD reports whether the instance satisfies the functional dependency
 // from (0-based positions) -> to.
 func (r *Relation) CheckFD(from []int, to int) bool {
-	seen := make(map[string]Value)
-	for _, t := range r.tuples {
-		var b strings.Builder
-		for _, p := range from {
-			v := t[p]
-			b.WriteString(strconv.Itoa(len(v)))
-			b.WriteByte(':')
-			b.WriteString(string(v))
-		}
-		k := b.String()
-		if prev, ok := seen[k]; ok {
-			if prev != t[to] {
+	seen := make(map[string]Value, r.n)
+	var buf []byte
+	for i := 0; i < r.n; i++ {
+		buf = r.keyAt(buf[:0], i, from)
+		v := r.cols[to][i]
+		if prev, ok := seen[string(buf)]; ok {
+			if prev != v {
 				return false
 			}
 		} else {
-			seen[k] = t[to]
+			seen[string(buf)] = v
 		}
 	}
 	return true
@@ -384,12 +528,12 @@ func (r *Relation) CheckKey(cols []int) bool {
 	return true
 }
 
-// Values returns the sorted set of values appearing anywhere in the
-// relation.
+// Values returns the set of values appearing anywhere in the relation,
+// sorted by their interned strings.
 func (r *Relation) Values() []Value {
 	set := make(map[Value]bool)
-	for _, t := range r.tuples {
-		for _, v := range t {
+	for c := range r.cols {
+		for _, v := range r.Column(c) {
 			set[v] = true
 		}
 	}
@@ -397,8 +541,30 @@ func (r *Relation) Values() []Value {
 	for v := range set {
 		out = append(out, v)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	SortByString(out)
 	return out
+}
+
+// SortByString sorts values by their interned strings, resolving each
+// string once instead of per comparison.
+func SortByString(vals []Value) {
+	strs := make([]string, len(vals))
+	for i, v := range vals {
+		strs[i] = v.String()
+	}
+	sort.Sort(&byResolvedString{vals, strs})
+}
+
+type byResolvedString struct {
+	vals []Value
+	strs []string
+}
+
+func (s *byResolvedString) Len() int           { return len(s.vals) }
+func (s *byResolvedString) Less(i, j int) bool { return s.strs[i] < s.strs[j] }
+func (s *byResolvedString) Swap(i, j int) {
+	s.vals[i], s.vals[j] = s.vals[j], s.vals[i]
+	s.strs[i], s.strs[j] = s.strs[j], s.strs[i]
 }
 
 // Equal reports whether two relations hold the same set of tuples (attribute
@@ -407,12 +573,16 @@ func Equal(r, s *Relation) bool {
 	if r.Arity() != s.Arity() || r.Size() != s.Size() {
 		return false
 	}
-	for _, t := range r.tuples {
-		if !s.Has(t) {
+	seen := s.ensureSeen()
+	eq := true
+	r.Each(func(t Tuple) bool {
+		if row, ok := seen[t.Key()]; !ok || int(row) >= s.n {
+			eq = false
 			return false
 		}
-	}
-	return true
+		return true
+	})
+	return eq
 }
 
 // String renders a small relation for debugging; larger relations are
@@ -421,13 +591,10 @@ func (r *Relation) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "%s(%s) [%d tuples]", r.Name, strings.Join(r.Attrs, ","), r.Size())
 	if r.Size() <= 16 {
-		for _, t := range r.tuples {
-			parts := make([]string, len(t))
-			for i, v := range t {
-				parts[i] = string(v)
-			}
-			fmt.Fprintf(&b, "\n  (%s)", strings.Join(parts, ","))
-		}
+		r.Each(func(t Tuple) bool {
+			fmt.Fprintf(&b, "\n  (%s)", strings.Join(t.Strings(), ","))
+			return true
+		})
 	}
 	return b.String()
 }

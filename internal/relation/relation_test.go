@@ -9,7 +9,7 @@ import (
 func tup(vals ...string) Tuple {
 	t := make(Tuple, len(vals))
 	for i, v := range vals {
-		t[i] = Value(v)
+		t[i] = V(v)
 	}
 	return t
 }
@@ -47,8 +47,8 @@ func TestTupleKeyInjective(t *testing.T) {
 
 func TestProject(t *testing.T) {
 	r := New("R", "a", "b")
-	r.MustInsert("1", "x")
-	r.MustInsert("2", "x")
+	r.Add("1", "x")
+	r.Add("2", "x")
 	p, err := r.Project("b")
 	if err != nil {
 		t.Fatal(err)
@@ -63,7 +63,7 @@ func TestProject(t *testing.T) {
 
 func TestProjectRepeatedColumn(t *testing.T) {
 	r := New("R", "a", "b")
-	r.MustInsert("1", "x")
+	r.Add("1", "x")
 	p, err := r.ProjectIdx(0, 0)
 	if err != nil {
 		t.Fatal(err)
@@ -75,22 +75,22 @@ func TestProjectRepeatedColumn(t *testing.T) {
 
 func TestSelect(t *testing.T) {
 	r := New("R", "a", "b")
-	r.MustInsert("1", "x")
-	r.MustInsert("2", "y")
-	s := r.Select(func(t Tuple) bool { return t[1] == "x" })
-	if s.Size() != 1 || s.Tuples()[0][0] != "1" {
+	r.Add("1", "x")
+	r.Add("2", "y")
+	s := r.Select(func(t Tuple) bool { return t[1] == V("x") })
+	if s.Size() != 1 || s.Tuples()[0][0] != V("1") {
 		t.Fatalf("Select = %v", s)
 	}
 }
 
 func TestEquiJoin(t *testing.T) {
 	r := New("R", "a", "b")
-	r.MustInsert("1", "x")
-	r.MustInsert("2", "y")
+	r.Add("1", "x")
+	r.Add("2", "y")
 	s := New("S", "c", "d")
-	s.MustInsert("x", "10")
-	s.MustInsert("x", "11")
-	s.MustInsert("z", "12")
+	s.Add("x", "10")
+	s.Add("x", "11")
+	s.Add("z", "12")
 	j, err := EquiJoin(r, s, [][2]int{{1, 0}})
 	if err != nil {
 		t.Fatal(err)
@@ -108,17 +108,17 @@ func TestEquiJoinSwapSides(t *testing.T) {
 	r := New("R", "a", "b")
 	s := New("S", "c", "d")
 	for i := 0; i < 10; i++ {
-		r.MustInsert(Value(fmt.Sprint(i)), Value(fmt.Sprint(i%3)))
+		r.Add(fmt.Sprint(i), fmt.Sprint(i%3))
 	}
-	s.MustInsert("0", "u")
-	s.MustInsert("1", "v")
+	s.Add("0", "u")
+	s.Add("1", "v")
 	j1, err := EquiJoin(r, s, [][2]int{{1, 0}})
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Force the other hashing order by growing s beyond r.
 	for i := 0; i < 20; i++ {
-		s.MustInsert(Value(fmt.Sprintf("zz%d", i)), "w")
+		s.Add(fmt.Sprintf("zz%d", i), "w")
 	}
 	j2, err := EquiJoin(r, s, [][2]int{{1, 0}})
 	if err != nil {
@@ -136,12 +136,12 @@ func TestEquiJoinSwapSides(t *testing.T) {
 
 func TestNaturalJoin(t *testing.T) {
 	r := New("R", "a", "b")
-	r.MustInsert("1", "x")
-	r.MustInsert("2", "y")
+	r.Add("1", "x")
+	r.Add("2", "y")
 	s := New("S", "b", "c")
-	s.MustInsert("x", "10")
-	s.MustInsert("y", "11")
-	s.MustInsert("y", "12")
+	s.Add("x", "10")
+	s.Add("y", "11")
+	s.Add("y", "12")
 	j, err := NaturalJoin(r, s)
 	if err != nil {
 		t.Fatal(err)
@@ -156,10 +156,10 @@ func TestNaturalJoin(t *testing.T) {
 
 func TestNaturalJoinNoSharedAttrsIsProduct(t *testing.T) {
 	r := New("R", "a")
-	r.MustInsert("1")
-	r.MustInsert("2")
+	r.Add("1")
+	r.Add("2")
 	s := New("S", "b")
-	s.MustInsert("x")
+	s.Add("x")
 	j, err := NaturalJoin(r, s)
 	if err != nil {
 		t.Fatal(err)
@@ -171,10 +171,10 @@ func TestNaturalJoinNoSharedAttrsIsProduct(t *testing.T) {
 
 func TestUnionAndProduct(t *testing.T) {
 	r := New("R", "a")
-	r.MustInsert("1")
+	r.Add("1")
 	s := New("S", "a")
-	s.MustInsert("1")
-	s.MustInsert("2")
+	s.Add("1")
+	s.Add("2")
 	u, err := Union(r, s)
 	if err != nil {
 		t.Fatal(err)
@@ -193,9 +193,9 @@ func TestUnionAndProduct(t *testing.T) {
 
 func TestCheckFDAndKey(t *testing.T) {
 	r := New("R", "a", "b", "c")
-	r.MustInsert("1", "x", "p")
-	r.MustInsert("2", "x", "q")
-	r.MustInsert("1", "x", "p")
+	r.Add("1", "x", "p")
+	r.Add("2", "x", "q")
+	r.Add("1", "x", "p")
 	if !r.CheckFD([]int{0}, 1) {
 		t.Fatal("FD a->b should hold")
 	}
@@ -215,23 +215,23 @@ func TestCheckFDAndKey(t *testing.T) {
 
 func TestValuesSorted(t *testing.T) {
 	r := New("R", "a", "b")
-	r.MustInsert("b", "a")
-	r.MustInsert("c", "a")
+	r.Add("b", "a")
+	r.Add("c", "a")
 	vals := r.Values()
-	if len(vals) != 3 || vals[0] != "a" || vals[1] != "b" || vals[2] != "c" {
+	if len(vals) != 3 || vals[0] != V("a") || vals[1] != V("b") || vals[2] != V("c") {
 		t.Fatalf("Values = %v", vals)
 	}
 }
 
 func TestEqual(t *testing.T) {
 	r := New("R", "a")
-	r.MustInsert("1")
+	r.Add("1")
 	s := New("S", "zz")
-	s.MustInsert("1")
+	s.Add("1")
 	if !Equal(r, s) {
 		t.Fatal("Equal ignores names and should match")
 	}
-	s.MustInsert("2")
+	s.Add("2")
 	if Equal(r, s) {
 		t.Fatal("Equal should detect size difference")
 	}
@@ -239,7 +239,7 @@ func TestEqual(t *testing.T) {
 
 func TestRename(t *testing.T) {
 	r := New("R", "a", "b")
-	r.MustInsert("1", "2")
+	r.Add("1", "2")
 	s, err := r.Rename("S", "x", "y")
 	if err != nil {
 		t.Fatal(err)
@@ -259,10 +259,10 @@ func TestJoinCommutes(t *testing.T) {
 		r := New("R", "a", "b")
 		s := New("S", "b", "c")
 		for i := 0; i < rng.Intn(30); i++ {
-			r.MustInsert(Value(fmt.Sprint(rng.Intn(5))), Value(fmt.Sprint(rng.Intn(5))))
+			r.Add(fmt.Sprint(rng.Intn(5)), fmt.Sprint(rng.Intn(5)))
 		}
 		for i := 0; i < rng.Intn(30); i++ {
-			s.MustInsert(Value(fmt.Sprint(rng.Intn(5))), Value(fmt.Sprint(rng.Intn(5))))
+			s.Add(fmt.Sprint(rng.Intn(5)), fmt.Sprint(rng.Intn(5)))
 		}
 		j1, err := NaturalJoin(r, s)
 		if err != nil {
@@ -284,10 +284,10 @@ func TestProductSizeProperty(t *testing.T) {
 		r := New("R", "a")
 		s := New("S", "b")
 		for i := 0; i < rng.Intn(10); i++ {
-			r.MustInsert(Value(fmt.Sprint(i)))
+			r.Add(fmt.Sprint(i))
 		}
 		for i := 0; i < rng.Intn(10); i++ {
-			s.MustInsert(Value(fmt.Sprint(i)))
+			s.Add(fmt.Sprint(i))
 		}
 		if got := Product(r, s).Size(); got != r.Size()*s.Size() {
 			t.Fatalf("|R×S| = %d, want %d", got, r.Size()*s.Size())

@@ -4,46 +4,42 @@ import (
 	"sort"
 )
 
-// EquiJoinSortMerge computes the same result as EquiJoin with a sort-merge
-// strategy: both inputs are sorted on their join key and merged block by
-// block. It is the classical alternative to hash joins; the ablation
-// benchmark at the repository root compares the two.
+// EquiJoinSortMerge computes the same result as HashJoin with a sort-merge
+// strategy: both inputs are sorted on their (fixed-width packed) join key
+// and merged block by block. It is the classical alternative to hash joins;
+// the ablation benchmark at the repository root compares the two.
 func EquiJoinSortMerge(r, s *Relation, pairs [][2]int) (*Relation, error) {
 	for _, p := range pairs {
 		if p[0] < 0 || p[0] >= r.Arity() || p[1] < 0 || p[1] >= s.Arity() {
 			return nil, errJoinRange(p)
 		}
 	}
+	rCols := make([]int, len(pairs))
+	sCols := make([]int, len(pairs))
+	for i, p := range pairs {
+		rCols[i] = p[0]
+		sCols[i] = p[1]
+	}
 	type keyed struct {
 		key string
-		t   Tuple
+		row int32
 	}
-	left := make([]keyed, 0, r.Size())
-	for _, t := range r.Tuples() {
-		left = append(left, keyed{joinKey(t, pairs, 0), t})
+	var buf []byte
+	left := make([]keyed, r.Size())
+	for i := range left {
+		buf = r.keyAt(buf[:0], i, rCols)
+		left[i] = keyed{string(buf), int32(i)}
 	}
-	right := make([]keyed, 0, s.Size())
-	for _, t := range s.Tuples() {
-		right = append(right, keyed{joinKey(t, pairs, 1), t})
+	right := make([]keyed, s.Size())
+	for j := range right {
+		buf = s.keyAt(buf[:0], j, sCols)
+		right[j] = keyed{string(buf), int32(j)}
 	}
 	sort.Slice(left, func(i, j int) bool { return left[i].key < left[j].key })
 	sort.Slice(right, func(i, j int) bool { return right[i].key < right[j].key })
 
-	attrs := append([]string(nil), r.Attrs...)
-	taken := make(map[string]bool)
-	for _, a := range attrs {
-		taken[a] = true
-	}
-	for _, a := range s.Attrs {
-		name := a
-		for taken[name] {
-			name = s.Name + "." + name
-		}
-		taken[name] = true
-		attrs = append(attrs, name)
-	}
-	out := New(r.Name+"_smj_"+s.Name, attrs...)
-
+	out := New(r.Name+"_smj_"+s.Name, concatAttrs(r, s)...)
+	nt := make(Tuple, 0, r.Arity()+s.Arity())
 	i, j := 0, 0
 	for i < len(left) && j < len(right) {
 		switch {
@@ -63,10 +59,9 @@ func EquiJoinSortMerge(r, s *Relation, pairs [][2]int) (*Relation, error) {
 			}
 			for a := i; a < iEnd; a++ {
 				for b := j; b < jEnd; b++ {
-					nt := make(Tuple, 0, r.Arity()+s.Arity())
-					nt = append(nt, left[a].t...)
-					nt = append(nt, right[b].t...)
-					out.MustInsert(nt...)
+					nt = r.AppendRow(nt[:0], int(left[a].row))
+					nt = s.AppendRow(nt, int(right[b].row))
+					out.appendRowUnchecked(nt)
 				}
 			}
 			i, j = iEnd, jEnd

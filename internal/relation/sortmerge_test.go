@@ -29,11 +29,11 @@ func TestSortMergeMatchesHashJoin(t *testing.T) {
 
 func TestSortMergeMultiColumn(t *testing.T) {
 	r := New("R", "a", "b")
-	r.MustInsert("1", "2")
-	r.MustInsert("1", "3")
+	r.Add("1", "2")
+	r.Add("1", "3")
 	s := New("S", "c", "d")
-	s.MustInsert("1", "2")
-	s.MustInsert("1", "9")
+	s.Add("1", "2")
+	s.Add("1", "9")
 	j, err := EquiJoinSortMerge(r, s, [][2]int{{0, 0}, {1, 1}})
 	if err != nil {
 		t.Fatal(err)
@@ -54,7 +54,7 @@ func TestSortMergeRangeError(t *testing.T) {
 func TestSortMergeEmptyInputs(t *testing.T) {
 	r := New("R", "a")
 	s := New("S", "b")
-	s.MustInsert("x")
+	s.Add("x")
 	j, err := EquiJoinSortMerge(r, s, [][2]int{{0, 0}})
 	if err != nil {
 		t.Fatal(err)

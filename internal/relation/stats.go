@@ -6,36 +6,31 @@ package relation
 // candidate atom by |R| / Π_v V(R, v) over its already-bound variables.
 // Selectivity and EstimateJoinSize expose the same statistics as the
 // textbook System-R style estimators for other planning callers. Distinct
-// counts are memoized per relation and recomputed when the size changes, so
-// repeated planning over the same database is cheap.
+// counts are memoized per relation in the same size-keyed memo table as the
+// hash indexes — recomputed when the relation grows, shared with renames and
+// clones, safe under concurrent readers.
 
 // stats caches per-column distinct value counts.
 type stats struct {
 	distinct []int // distinct values per column
-	size     int   // relation size the cache was computed at
 }
 
-// ensureStats computes per-column distinct counts if missing or stale
-// (staleness is detected by size: any successful Insert grows the
-// relation). The memo is mutex-guarded so that read-only statistics calls
-// stay safe for concurrent use (the planner consults several relations of a
-// shared database in parallel); Insert remains single-writer as before.
+// ensureStats computes (or fetches) per-column distinct counts. Columns are
+// contiguous []Value arrays, so each count is a single scan with a uint32
+// set.
 func (r *Relation) ensureStats() *stats {
-	r.statsMu.Lock()
-	defer r.statsMu.Unlock()
-	if r.stats != nil && r.stats.size == len(r.tuples) {
-		return r.stats
-	}
-	s := &stats{distinct: make([]int, len(r.Attrs)), size: len(r.tuples)}
-	for c := range r.Attrs {
-		seen := make(map[Value]bool)
-		for _, t := range r.tuples {
-			seen[t[c]] = true
+	return r.Memo("stats", func() any {
+		s := &stats{distinct: make([]int, len(r.Attrs))}
+		seen := make(map[Value]struct{}, r.n)
+		for c := range r.Attrs {
+			clear(seen)
+			for _, v := range r.Column(c) {
+				seen[v] = struct{}{}
+			}
+			s.distinct[c] = len(seen)
 		}
-		s.distinct[c] = len(seen)
-	}
-	r.stats = s
-	return s
+		return s
+	}).(*stats)
 }
 
 // DistinctCount returns V(R,c): the number of distinct values in column c

@@ -7,9 +7,9 @@ import (
 
 func TestDistinctCountAndSelectivity(t *testing.T) {
 	r := New("R", "a", "b")
-	r.MustInsert("1", "x")
-	r.MustInsert("2", "x")
-	r.MustInsert("3", "y")
+	r.Add("1", "x")
+	r.Add("2", "x")
+	r.Add("3", "y")
 	if got := r.DistinctCount(0); got != 3 {
 		t.Errorf("DistinctCount(0) = %d, want 3", got)
 	}
@@ -29,7 +29,7 @@ func TestDistinctCountAndSelectivity(t *testing.T) {
 		t.Errorf("Selectivity(1) = %v, want 2/3", got)
 	}
 	// Stats must refresh after inserts.
-	r.MustInsert("4", "z")
+	r.Add("4", "z")
 	if got := r.DistinctCount(1); got != 3 {
 		t.Errorf("after insert: DistinctCount(1) = %d, want 3", got)
 	}
@@ -39,8 +39,8 @@ func TestEstimateJoinSize(t *testing.T) {
 	r := New("R", "a", "b")
 	s := New("S", "b", "c")
 	for _, v := range []string{"1", "2", "3", "4"} {
-		r.MustInsert(Value(v), Value("k"+v))
-		s.MustInsert(Value("k"+v), Value(v))
+		r.Add(v, "k"+v)
+		s.Add("k"+v, v)
 	}
 	// b is a key on both sides: estimate |R|·|S|/max(V) = 4·4/4 = 4, which
 	// is also the true join size.
@@ -49,8 +49,8 @@ func TestEstimateJoinSize(t *testing.T) {
 	}
 	// No shared attributes: cross product estimate.
 	u := New("U", "d")
-	u.MustInsert("q")
-	u.MustInsert("w")
+	u.Add("q")
+	u.Add("w")
 	if got := EstimateJoinSize(r, u); math.Abs(got-8) > 1e-12 {
 		t.Errorf("cross product estimate = %v, want 8", got)
 	}

@@ -34,7 +34,7 @@ func KeyedJoinDecomposition(g *graph.Graph, d *Decomposition, r, s *relation.Rel
 		}
 	}
 	vertexOf := func(val relation.Value) (int, error) {
-		v, ok := g.VertexByLabel(string(val))
+		v, ok := g.VertexByLabel(val.String())
 		if !ok {
 			return 0, fmt.Errorf("treewidth: value %q not in Gaifman graph", val)
 		}

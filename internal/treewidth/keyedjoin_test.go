@@ -15,8 +15,8 @@ func randomKeyedPair(rng *rand.Rand, rSize, sArity, universe int) (*relation.Rel
 	r := relation.New("R", "ra", "rb")
 	for i := 0; i < rSize; i++ {
 		r.MustInsert(
-			relation.Value(fmt.Sprintf("u%d", rng.Intn(universe))),
-			relation.Value(fmt.Sprintf("k%d", rng.Intn(universe))),
+			relation.V(fmt.Sprintf("u%d", rng.Intn(universe))),
+			relation.V(fmt.Sprintf("k%d", rng.Intn(universe))),
 		)
 	}
 	attrs := make([]string, sArity)
@@ -26,9 +26,9 @@ func randomKeyedPair(rng *rand.Rand, rSize, sArity, universe int) (*relation.Rel
 	s := relation.New("S", attrs...)
 	for k := 0; k < universe; k++ {
 		row := make(relation.Tuple, sArity)
-		row[0] = relation.Value(fmt.Sprintf("k%d", k))
+		row[0] = relation.V(fmt.Sprintf("k%d", k))
 		for i := 1; i < sArity; i++ {
-			row[i] = relation.Value(fmt.Sprintf("w%d", rng.Intn(universe)))
+			row[i] = relation.V(fmt.Sprintf("w%d", rng.Intn(universe)))
 		}
 		if rng.Intn(3) > 0 { // leave some keys dangling
 			s.MustInsert(row...)
@@ -86,10 +86,10 @@ func TestKeyedJoinDecompositionBound(t *testing.T) {
 
 func TestKeyedJoinRejectsNonKey(t *testing.T) {
 	r := relation.New("R", "a")
-	r.MustInsert("x")
+	r.Add("x")
 	s := relation.New("S", "b", "c")
-	s.MustInsert("x", "1")
-	s.MustInsert("x", "2") // b not a key
+	s.Add("x", "1")
+	s.Add("x", "2") // b not a key
 	g := database.GaifmanOf(r, s)
 	d, _, err := Heuristic(g)
 	if err != nil {
