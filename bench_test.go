@@ -3,12 +3,14 @@ package cqbound
 import (
 	"context"
 	"fmt"
+	"math/rand"
 	"testing"
 
 	"cqbound/internal/coloring"
 	"cqbound/internal/construct"
 	"cqbound/internal/cq"
 	"cqbound/internal/database"
+	"cqbound/internal/datagen"
 	"cqbound/internal/entropy"
 	"cqbound/internal/eval"
 	"cqbound/internal/experiments"
@@ -377,4 +379,49 @@ func BenchmarkSemijoinIndexed(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// Benchmarks of the sharded execution layer (PR 3): the same scaled
+// workloads through a plain Engine and a WithSharding Engine. On a
+// single-core runner the sharded gain is cache locality (P small hash and
+// dedup maps instead of one large one); with more cores the per-shard work
+// additionally fans out over the pool. BENCH_sharded.json records the
+// cqbench -shardbench sweep of the same comparison.
+
+func benchScaledStarDB() *Database {
+	return datagen.EdgeDB(rand.New(rand.NewSource(12)), []string{"E"}, 2000, 130)
+}
+
+func benchScaledChainDB() *Database {
+	return datagen.EdgeDB(rand.New(rand.NewSource(13)), []string{"R", "S", "T", "U"}, 6000, 1200)
+}
+
+func benchEngineWith(b *testing.B, eng *Engine, text string, db *Database) {
+	b.Helper()
+	q := MustParse(text)
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := eng.Evaluate(ctx, q, db); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEngineStarScaled(b *testing.B) {
+	benchEngineWith(b, NewEngine(), "Q(X,Y,Z,W) <- E(X,Y), E(X,Z), E(X,W).", benchScaledStarDB())
+}
+
+func BenchmarkEngineStarScaledSharded(b *testing.B) {
+	benchEngineWith(b, NewEngine(WithSharding(1024, 16)),
+		"Q(X,Y,Z,W) <- E(X,Y), E(X,Z), E(X,W).", benchScaledStarDB())
+}
+
+func BenchmarkEngineChainScaled(b *testing.B) {
+	benchEngineWith(b, NewEngine(), "Q(A,E) <- R(A,B), S(B,C), T(C,D), U(D,E).", benchScaledChainDB())
+}
+
+func BenchmarkEngineChainScaledSharded(b *testing.B) {
+	benchEngineWith(b, NewEngine(WithSharding(1024, 16)),
+		"Q(A,E) <- R(A,B), S(B,C), T(C,D), U(D,E).", benchScaledChainDB())
 }

@@ -12,12 +12,18 @@
 // pathological performance regressions, generous enough not to flake on
 // shared runners.
 //
+// With -shardbench it compares partition-parallel (internal/shard) against
+// single-shard execution of the same strategy on the scaled workloads —
+// the sweep behind BENCH_sharded.json; -shards N sets the partition count
+// for both -shardbench and the planned-sharded rows of -planbench.
+//
 // Usage:
 //
 //	cqbench -list
 //	cqbench -experiment E7
 //	cqbench -all [-markdown]
-//	cqbench -planbench [-json] [-baseline BENCH_baseline.json [-threshold 3]]
+//	cqbench -planbench [-json] [-shards N] [-baseline BENCH_baseline.json [-threshold 3]]
+//	cqbench -shardbench [-json] [-shards N]
 package main
 
 import (
@@ -35,14 +41,25 @@ func main() {
 	all := flag.Bool("all", false, "run every experiment")
 	markdown := flag.Bool("markdown", false, "emit results as Markdown tables")
 	planbench := flag.Bool("planbench", false, "benchmark planned vs fixed evaluation strategies")
-	jsonOut := flag.Bool("json", false, "emit -planbench results as JSON")
+	shardbench := flag.Bool("shardbench", false, "benchmark sharded vs single-shard execution on scaled workloads")
+	shards := flag.Int("shards", 0, "partition count for sharded runs (0 = default 16)")
+	jsonOut := flag.Bool("json", false, "emit -planbench/-shardbench results as JSON")
 	baseline := flag.String("baseline", "", "compare -planbench against this JSON baseline and fail on regression")
 	threshold := flag.Float64("threshold", 3.0, "regression factor tolerated against -baseline")
 	flag.Parse()
 
+	// The default partition count is fixed (not GOMAXPROCS) so recorded
+	// baselines compare like with like across machines; -shards overrides
+	// for manual sweeps.
+	if *shards <= 0 {
+		*shards = 16
+	}
+
 	switch {
+	case *shardbench:
+		printShardBench(runShardBench(*shards), *jsonOut)
 	case *planbench:
-		report := runPlanBench(*jsonOut)
+		report := runPlanBench(*jsonOut, *shards)
 		if *baseline != "" {
 			if err := checkBaseline(report, *baseline, *threshold); err != nil {
 				fmt.Fprintln(os.Stderr, "cqbench:", err)

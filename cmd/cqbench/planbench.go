@@ -17,6 +17,7 @@ import (
 	"cqbound/internal/eval"
 	"cqbound/internal/plan"
 	"cqbound/internal/relation"
+	"cqbound/internal/shard"
 )
 
 // The plan benchmark compares the bound-driven planner against each fixed
@@ -51,47 +52,39 @@ type workload struct {
 	name string
 	text string
 	db   func() *database.Database
+	// skipNaive omits the quadratic-blowup naive strategy: the scaled
+	// workloads exist to exercise the sharded operators, and naive's
+	// intermediates on them are orders of magnitude larger than every
+	// other strategy's total work.
+	skipNaive bool
+}
+
+// graphDB builds a seeded random edge database via datagen.EdgeDB.
+func graphDB(names []string, edges, universe int, seed int64) *database.Database {
+	return datagen.EdgeDB(rand.New(rand.NewSource(seed)), names, edges, universe)
 }
 
 func planBenchWorkloads() []workload {
-	randomGraph := func(edges, universe int, seed int64) *database.Database {
-		rng := rand.New(rand.NewSource(seed))
-		db := database.New()
-		e := datagen.RandomDatabase(rng, cq.MustParse("Q(X,Y) <- E(X,Y)."),
-			datagen.DBParams{Tuples: edges, Universe: universe}).Relation("E")
-		db.MustAdd(e)
-		return db
-	}
-	multiGraph := func(names []string, edges, universe int, seed int64) *database.Database {
-		rng := rand.New(rand.NewSource(seed))
-		db := database.New()
-		for _, n := range names {
-			r := datagen.RandomDatabase(rng, cq.MustParse(fmt.Sprintf("Q(X,Y) <- %s(X,Y).", n)),
-				datagen.DBParams{Tuples: edges, Universe: universe}).Relation(n)
-			db.MustAdd(r)
-		}
-		return db
-	}
 	return []workload{
 		{
 			name: "triangle",
 			text: "Q(X,Y,Z) <- E(X,Y), E(Y,Z), E(X,Z).",
-			db:   func() *database.Database { return randomGraph(400, 60, 1) },
+			db:   func() *database.Database { return graphDB([]string{"E"}, 400, 60, 1) },
 		},
 		{
 			name: "star-3",
 			text: "Q(X,Y,Z,W) <- E(X,Y), E(X,Z), E(X,W).",
-			db:   func() *database.Database { return randomGraph(200, 40, 2) },
+			db:   func() *database.Database { return graphDB([]string{"E"}, 200, 40, 2) },
 		},
 		{
 			name: "path-4",
 			text: "Q(A,E) <- R(A,B), S(B,C), T(C,D), U(D,E).",
-			db:   func() *database.Database { return multiGraph([]string{"R", "S", "T", "U"}, 300, 50, 3) },
+			db:   func() *database.Database { return graphDB([]string{"R", "S", "T", "U"}, 300, 50, 3) },
 		},
 		{
 			name: "4-cycle",
 			text: "Q(A,B,C,D) <- E(A,B), E(B,C), E(C,D), E(D,A).",
-			db:   func() *database.Database { return randomGraph(250, 40, 4) },
+			db:   func() *database.Database { return graphDB([]string{"E"}, 250, 40, 4) },
 		},
 		{
 			// The Proposition 4.5 worst-case instance of the triangle query:
@@ -114,10 +107,43 @@ func planBenchWorkloads() []workload {
 	}
 }
 
-func runPlanBench(asJSON bool) *PlanBenchReport {
+// scaledWorkloads are the 10–50x row-count variants that exercise the
+// sharded operators: relations large enough that hash maps and dedup
+// tables stop fitting in cache, which is exactly where partitioning pays
+// even before parallel fan-out.
+func scaledWorkloads() []workload {
+	return []workload{
+		{
+			name:      "triangle-50x",
+			text:      "Q(X,Y,Z) <- E(X,Y), E(Y,Z), E(X,Z).",
+			db:        func() *database.Database { return graphDB([]string{"E"}, 20000, 1000, 11) },
+			skipNaive: true,
+		},
+		{
+			name:      "star-3-10x",
+			text:      "Q(X,Y,Z,W) <- E(X,Y), E(X,Z), E(X,W).",
+			db:        func() *database.Database { return graphDB([]string{"E"}, 2000, 130, 12) },
+			skipNaive: true,
+		},
+		{
+			name:      "path-4-20x",
+			text:      "Q(A,E) <- R(A,B), S(B,C), T(C,D), U(D,E).",
+			db:        func() *database.Database { return graphDB([]string{"R", "S", "T", "U"}, 6000, 1200, 13) },
+			skipNaive: true,
+		},
+	}
+}
+
+// benchShardThreshold is the MinRows threshold the planned-sharded runs
+// use: the original small workloads stay below it (demonstrating the
+// zero-overhead fallback), the scaled workloads clear it.
+const benchShardThreshold = 1024
+
+func runPlanBench(asJSON bool, shards int) *PlanBenchReport {
 	ctx := context.Background()
 	report := PlanBenchReport{}
-	for _, w := range planBenchWorkloads() {
+	shardOpts := &shard.Options{MinRows: benchShardThreshold, Shards: shards}
+	for _, w := range append(planBenchWorkloads(), scaledWorkloads()...) {
 		q := cq.MustParse(w.text)
 		db := w.db()
 		p, err := plan.ChooseForDB(q, db)
@@ -131,25 +157,33 @@ func runPlanBench(asJSON bool) *PlanBenchReport {
 			name string
 			run  func() (int, eval.Stats, error)
 		}
-		strategies := []strat{
-			{"naive", func() (int, eval.Stats, error) {
+		var strategies []strat
+		if !w.skipNaive {
+			strategies = append(strategies, strat{"naive", func() (int, eval.Stats, error) {
 				return sized(eval.NaiveCtx(ctx, q, db))
-			}},
-			{"project-early", func() (int, eval.Stats, error) {
+			}})
+		}
+		strategies = append(strategies,
+			strat{"project-early", func() (int, eval.Stats, error) {
 				return sized(eval.JoinProjectOrdered(ctx, q, db, plan.OrderAtoms(q, db)))
 			}},
-			{"generic-join", func() (int, eval.Stats, error) {
+			strat{"generic-join", func() (int, eval.Stats, error) {
 				return sized(eval.GenericJoinCtx(ctx, q, db))
 			}},
-		}
+		)
 		if p.Acyclic {
 			strategies = append(strategies, strat{"yannakakis", func() (int, eval.Stats, error) {
 				return sized(eval.YannakakisCtx(ctx, q, db))
 			}})
 		}
-		strategies = append(strategies, strat{"planned", func() (int, eval.Stats, error) {
-			return sized(plan.Execute(ctx, p, q, db))
-		}})
+		strategies = append(strategies,
+			strat{"planned", func() (int, eval.Stats, error) {
+				return sized(plan.Execute(ctx, p, q, db))
+			}},
+			strat{"planned-sharded", func() (int, eval.Stats, error) {
+				return sized(plan.ExecuteOpts(ctx, p, q, db, shardOpts))
+			}},
+		)
 
 		var naiveNs int64
 		for _, s := range strategies {

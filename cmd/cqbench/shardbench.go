@@ -1,0 +1,114 @@
+package main
+
+// The shard benchmark isolates what partitioning buys: each scaled
+// workload runs the SAME strategy twice — once single-shard (the plain
+// relation operators) and once partition-parallel at the requested shard
+// count — and reports the ratio. Cyclic workloads force the project-early
+// plan (the planner's generic join extends one variable at a time and has
+// no binary join to partition); acyclic ones run Yannakakis, whose
+// semijoin passes and final joins co-partition on the tree's join columns.
+// The recorded document lives in BENCH_sharded.json.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+
+	"cqbound/internal/cq"
+	"cqbound/internal/eval"
+	"cqbound/internal/plan"
+	"cqbound/internal/shard"
+)
+
+// ShardRun is one workload's single-shard vs sharded measurement.
+type ShardRun struct {
+	Name          string  `json:"name"`
+	Query         string  `json:"query"`
+	Strategy      string  `json:"strategy"`
+	OutputTuples  int     `json:"output_tuples"`
+	SingleShardNs int64   `json:"single_shard_ns_per_op"`
+	ShardedNs     int64   `json:"sharded_ns_per_op"`
+	Speedup       float64 `json:"speedup"`
+}
+
+// ShardBenchReport is the top-level JSON document of -shardbench.
+type ShardBenchReport struct {
+	// Shards is the partition count of the sharded runs.
+	Shards int `json:"shards"`
+	// GOMAXPROCS records how many workers the pool could actually use:
+	// speedups above it come from cache locality (P small hash maps
+	// instead of one big one), speedups up to GOMAXPROCS× on top of that
+	// from parallel fan-out.
+	GOMAXPROCS int        `json:"gomaxprocs"`
+	Runs       []ShardRun `json:"runs"`
+}
+
+func runShardBench(shards int) *ShardBenchReport {
+	ctx := context.Background()
+	report := &ShardBenchReport{Shards: shards, GOMAXPROCS: runtime.GOMAXPROCS(0)}
+	for _, w := range scaledWorkloads() {
+		q := cq.MustParse(w.text)
+		db := w.db()
+		// The strategy that exposes binary joins to the sharded operators:
+		// Yannakakis when acyclic, the ordered project-early plan otherwise.
+		strategy := plan.StrategyProjectEarly
+		if eval.IsAcyclic(q) {
+			strategy = plan.StrategyYannakakis
+		}
+		run := func(opts *shard.Options) (int, eval.Stats, error) {
+			p := &plan.Plan{Strategy: strategy}
+			if strategy == plan.StrategyProjectEarly {
+				p.AtomOrder = plan.OrderAtoms(q, db)
+			}
+			return sized(plan.ExecuteOpts(ctx, p, q, db, opts))
+		}
+		singleNs, singleOut, _, err := timeStrategy(func() (int, eval.Stats, error) { return run(nil) })
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cqbench: %s single-shard: %v\n", w.name, err)
+			os.Exit(1)
+		}
+		opts := &shard.Options{MinRows: benchShardThreshold, Shards: shards}
+		shardedNs, shardedOut, _, err := timeStrategy(func() (int, eval.Stats, error) { return run(opts) })
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cqbench: %s sharded: %v\n", w.name, err)
+			os.Exit(1)
+		}
+		if singleOut != shardedOut {
+			fmt.Fprintf(os.Stderr, "cqbench: %s: sharded output %d tuples, single-shard %d — correctness bug\n",
+				w.name, shardedOut, singleOut)
+			os.Exit(1)
+		}
+		sr := ShardRun{
+			Name:          w.name,
+			Query:         w.text,
+			Strategy:      strategy.String(),
+			OutputTuples:  singleOut,
+			SingleShardNs: singleNs,
+			ShardedNs:     shardedNs,
+		}
+		if shardedNs > 0 {
+			sr.Speedup = float64(singleNs) / float64(shardedNs)
+		}
+		report.Runs = append(report.Runs, sr)
+	}
+	return report
+}
+
+func printShardBench(rep *ShardBenchReport, asJSON bool) {
+	if asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fmt.Fprintln(os.Stderr, "cqbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	fmt.Printf("shards=%d gomaxprocs=%d\n", rep.Shards, rep.GOMAXPROCS)
+	for _, r := range rep.Runs {
+		fmt.Printf("  %-14s %-14s out=%-7d single=%10dns sharded=%10dns speedup=%.2fx\n",
+			r.Name, r.Strategy, r.OutputTuples, r.SingleShardNs, r.ShardedNs, r.Speedup)
+	}
+}

@@ -5,8 +5,10 @@ import (
 	"sync"
 
 	"cqbound/internal/core"
+	"cqbound/internal/lru"
 	"cqbound/internal/plan"
 	"cqbound/internal/pool"
+	"cqbound/internal/shard"
 )
 
 // Planner types (internal/plan).
@@ -43,29 +45,35 @@ const (
 //
 // An Engine is safe for concurrent use by multiple goroutines.
 type Engine struct {
-	mu       sync.RWMutex
-	analyses map[string]*analysisEntry
-	plans    map[string]*planEntry
+	mu       sync.Mutex
+	analyses *lru.Cache[*analysisEntry]
+	plans    *lru.Cache[*planEntry]
+	sharding *shard.Options
+}
+
+// Option configures an Engine at construction.
+type Option func(*Engine)
+
+// WithSharding routes evaluation through the partition-parallel operators
+// of internal/shard: any join, semijoin, or duplicate-eliminating
+// projection whose larger input has at least threshold rows is
+// hash-partitioned into the given number of shards (shards <= 0 means
+// GOMAXPROCS) and executed shard by shard on the worker pool. Steps below
+// the threshold — and joins with no shared column to partition on — run
+// single-shard exactly as without the option. Outputs are identical either
+// way; only wall-clock and memory locality change.
+func WithSharding(threshold, shards int) Option {
+	return func(e *Engine) {
+		e.sharding = &shard.Options{MinRows: threshold, Shards: shards}
+	}
 }
 
 // maxCacheEntries bounds each engine cache so long-lived servers seeing
 // unbounded ad-hoc query text (user constants, generated variable names)
-// cannot grow memory monotonically. At the cap an arbitrary entry is
-// evicted per insert; queries are small and re-analysis is always correct,
-// so a smarter (LRU) policy is a perf refinement left for a later PR.
+// cannot grow memory monotonically. At the cap the least recently used
+// entry is evicted; re-analysis after eviction is always correct, just
+// slower once.
 const maxCacheEntries = 4096
-
-// storeBounded inserts into a cache map, evicting one arbitrary entry when
-// the cap is reached. Caller holds e.mu.
-func storeBounded[V any](m map[string]V, key string, v V) {
-	if _, ok := m[key]; !ok && len(m) >= maxCacheEntries {
-		for k := range m {
-			delete(m, k)
-			break
-		}
-	}
-	m[key] = v
-}
 
 type analysisEntry struct {
 	a   *Analysis
@@ -77,26 +85,41 @@ type planEntry struct {
 	err error
 }
 
-// NewEngine returns an empty engine.
-func NewEngine() *Engine {
-	return &Engine{
-		analyses: make(map[string]*analysisEntry),
-		plans:    make(map[string]*planEntry),
+// NewEngine returns an engine with empty caches, configured by opts.
+func NewEngine(opts ...Option) *Engine {
+	e := &Engine{
+		analyses: lru.New[*analysisEntry](maxCacheEntries),
+		plans:    lru.New[*planEntry](maxCacheEntries),
 	}
+	for _, opt := range opts {
+		opt(e)
+	}
+	return e
 }
 
-// CacheSize reports how many distinct queries the engine has analyzed or
-// planned.
+// CacheSize reports how many distinct queries the engine currently holds an
+// analysis or plan for.
 func (e *Engine) CacheSize() int {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	n := len(e.plans)
-	for k := range e.analyses {
-		if _, dup := e.plans[k]; !dup {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	n := e.plans.Len()
+	for _, k := range e.analyses.Keys() {
+		if _, dup := e.plans.Peek(k); !dup {
 			n++
 		}
 	}
 	return n
+}
+
+// CacheStats reports how many cache lookups hit and missed across the
+// analysis and plan caches since the engine was built — the serving-trace
+// counters that justify (or refute) the LRU policy.
+func (e *Engine) CacheStats() (hits, misses uint64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	ah, am := e.analyses.Stats()
+	ph, pm := e.plans.Stats()
+	return ah + ph, am + pm
 }
 
 // Analyze returns the full paper analysis of q, cached by the query's
@@ -104,9 +127,9 @@ func (e *Engine) CacheSize() int {
 // The returned analysis is shared across callers; it must not be modified.
 func (e *Engine) Analyze(q *Query) (*Analysis, error) {
 	key := q.String()
-	e.mu.RLock()
-	ent, ok := e.analyses[key]
-	e.mu.RUnlock()
+	e.mu.Lock()
+	ent, ok := e.analyses.Get(key)
+	e.mu.Unlock()
 	if ok {
 		return ent.a, ent.err
 	}
@@ -115,7 +138,7 @@ func (e *Engine) Analyze(q *Query) (*Analysis, error) {
 	// query both compute; the second store wins harmlessly.
 	a, err := core.Analyze(q)
 	e.mu.Lock()
-	storeBounded(e.analyses, key, &analysisEntry{a: a, err: err})
+	e.analyses.Put(key, &analysisEntry{a: a, err: err})
 	e.mu.Unlock()
 	return a, err
 }
@@ -127,15 +150,15 @@ func (e *Engine) Analyze(q *Query) (*Analysis, error) {
 // modify it.
 func (e *Engine) Explain(q *Query) (*Plan, error) {
 	key := q.String()
-	e.mu.RLock()
-	ent, ok := e.plans[key]
-	e.mu.RUnlock()
+	e.mu.Lock()
+	ent, ok := e.plans.Get(key)
+	e.mu.Unlock()
 	if ok {
 		return ent.p, ent.err
 	}
 	p, err := plan.Choose(q)
 	e.mu.Lock()
-	storeBounded(e.plans, key, &planEntry{p: p, err: err})
+	e.plans.Put(key, &planEntry{p: p, err: err})
 	e.mu.Unlock()
 	return p, err
 }
@@ -143,7 +166,9 @@ func (e *Engine) Explain(q *Query) (*Plan, error) {
 // Evaluate computes Q(D) under the planned strategy. For the project-early
 // strategy the atom order is re-derived from db's cardinality statistics on
 // every call (the structural plan stays cached; the order is data-dependent
-// and cheap). Cancellation of ctx aborts evaluation mid-join.
+// and cheap). When the engine was built WithSharding, joins and projections
+// over relations above the row threshold run partition-parallel.
+// Cancellation of ctx aborts evaluation mid-join.
 func (e *Engine) Evaluate(ctx context.Context, q *Query, db *Database) (*Relation, EvalStats, error) {
 	p, err := e.Explain(q)
 	if err != nil {
@@ -154,7 +179,7 @@ func (e *Engine) Evaluate(ctx context.Context, q *Query, db *Database) (*Relatio
 		ordered.AtomOrder = plan.OrderAtoms(q, db)
 		p = &ordered
 	}
-	return plan.Execute(ctx, p, q, db)
+	return plan.ExecuteOpts(ctx, p, q, db, e.sharding)
 }
 
 // BatchResult is one query's outcome from EvaluateBatch.
@@ -173,8 +198,8 @@ type BatchResult struct {
 // answering many queries over one database. Per-query failures land in the
 // corresponding BatchResult; canceling ctx stops unstarted queries, whose
 // results report the context error. Cached analyses and plans — and the
-// statistics, hash indexes and tries memoized on db's relations — are
-// shared across the batch.
+// statistics, hash indexes, tries and shard partitions memoized on db's
+// relations — are shared across the batch.
 func (e *Engine) EvaluateBatch(ctx context.Context, queries []*Query, db *Database) []BatchResult {
 	out := make([]BatchResult, len(queries))
 	started := make([]bool, len(queries))
@@ -196,13 +221,14 @@ func (e *Engine) EvaluateBatch(ctx context.Context, queries []*Query, db *Databa
 
 // EvaluateStrategy forces a specific strategy, bypassing plan selection —
 // the benchmarking and cross-checking hook. StrategyYannakakis fails on
-// cyclic queries.
+// cyclic queries. The engine's sharding configuration applies as in
+// Evaluate.
 func (e *Engine) EvaluateStrategy(ctx context.Context, s Strategy, q *Query, db *Database) (*Relation, EvalStats, error) {
 	forced := &plan.Plan{Strategy: s}
 	if s == StrategyProjectEarly {
 		forced.AtomOrder = plan.OrderAtoms(q, db)
 	}
-	return plan.Execute(ctx, forced, q, db)
+	return plan.ExecuteOpts(ctx, forced, q, db, e.sharding)
 }
 
 // ChoosePlan exposes the planner directly for callers that manage their own

@@ -244,3 +244,90 @@ func TestEngineEvaluateBatchCancellation(t *testing.T) {
 }
 
 func itoa(i int) string { return fmt.Sprintf("%d", i) }
+
+// TestEngineWithSharding: a sharded engine must produce exactly the
+// unsharded engine's output on workloads large enough to clear the row
+// threshold, for both acyclic (Yannakakis) and cyclic (project-early via
+// EvaluateStrategy) shapes.
+func TestEngineWithSharding(t *testing.T) {
+	ctx := context.Background()
+	db := NewDatabase()
+	for _, name := range []string{"R", "S", "T", "E"} {
+		r := NewRelation(name, "a", "b")
+		for i := 0; i < 600; i++ {
+			r.Add(fmt.Sprintf("u%d", (i*7+len(name))%80), fmt.Sprintf("u%d", (i*13+1)%80))
+		}
+		db.MustAdd(r)
+	}
+	plain := NewEngine()
+	sharded := NewEngine(WithSharding(100, 4))
+	queries := []string{
+		"Q(A,D) <- R(A,B), S(B,C), T(C,D).",   // acyclic: Yannakakis
+		"Q(X,Y,Z) <- E(X,Y), E(Y,Z), E(X,Z).", // cyclic triangle
+		"Q(X,Z) <- R(X,Y), S(Y,Z).",           // two-atom join
+		"Q(X) <- R(X,X).",                     // repeated variable
+	}
+	for _, text := range queries {
+		q := MustParse(text)
+		want, _, err := plain.Evaluate(ctx, q, db)
+		if err != nil {
+			t.Fatalf("%s: unsharded: %v", text, err)
+		}
+		got, _, err := sharded.Evaluate(ctx, q, db)
+		if err != nil {
+			t.Fatalf("%s: sharded: %v", text, err)
+		}
+		if !relation.Equal(want, got) {
+			t.Fatalf("%s: sharded engine returned %d tuples, unsharded %d", text, got.Size(), want.Size())
+		}
+	}
+	// Forced project-early under sharding must agree too.
+	q := MustParse("Q(X,Y,Z) <- E(X,Y), E(Y,Z), E(X,Z).")
+	want, _, err := plain.EvaluateStrategy(ctx, StrategyProjectEarly, q, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := sharded.EvaluateStrategy(ctx, StrategyProjectEarly, q, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !relation.Equal(want, got) {
+		t.Fatalf("forced project-early: sharded %d tuples, unsharded %d", got.Size(), want.Size())
+	}
+}
+
+// TestEngineCacheStats pins the LRU hit/miss accounting: the first
+// Explain/Analyze of a query misses, repeats hit.
+func TestEngineCacheStats(t *testing.T) {
+	eng := NewEngine()
+	q := MustParse("Q(X,Z) <- R(X,Y), S(Y,Z).")
+	if h, m := eng.CacheStats(); h != 0 || m != 0 {
+		t.Fatalf("fresh engine stats = %d/%d, want 0/0", h, m)
+	}
+	if _, err := eng.Explain(q); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Explain(q); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Explain(q); err != nil {
+		t.Fatal(err)
+	}
+	h, m := eng.CacheStats()
+	if m != 1 {
+		t.Fatalf("misses = %d, want 1 (only the first Explain)", m)
+	}
+	if h != 2 {
+		t.Fatalf("hits = %d, want 2", h)
+	}
+	if _, err := eng.Analyze(q); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Analyze(q); err != nil {
+		t.Fatal(err)
+	}
+	h, m = eng.CacheStats()
+	if h != 3 || m != 2 {
+		t.Fatalf("stats after Analyze pair = %d/%d, want 3/2", h, m)
+	}
+}

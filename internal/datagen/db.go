@@ -127,3 +127,21 @@ func fdKey(row []relation.Value, from []int) string {
 	}
 	return key.Key()
 }
+
+// EdgeDB builds a database of random binary edge relations (each `name`
+// gets `edges` draws over a universe of the given size; set semantics
+// dedups collisions). It is the workload generator the benchmark CLIs
+// share: graph-pattern queries (triangles, stars, paths, cycles) over it
+// scale linearly in `edges` while `universe` controls the join fanout
+// edges/universe.
+func EdgeDB(rng *rand.Rand, names []string, edges, universe int) *database.Database {
+	db := database.New()
+	for _, name := range names {
+		r := relation.New(name, "a", "b")
+		for i := 0; i < edges; i++ {
+			r.Add(fmt.Sprintf("u%d", rng.Intn(universe)), fmt.Sprintf("u%d", rng.Intn(universe)))
+		}
+		db.MustAdd(r)
+	}
+	return db
+}

@@ -27,6 +27,7 @@ import (
 	"cqbound/internal/cq"
 	"cqbound/internal/database"
 	"cqbound/internal/relation"
+	"cqbound/internal/shard"
 )
 
 // Stats records what a strategy did.
@@ -93,6 +94,17 @@ func JoinProject(q *cq.Query, db *database.Database) (*relation.Relation, Stats,
 // own order). Joining the most selective atoms first keeps intermediates
 // small; an empty intermediate ends evaluation immediately.
 func JoinProjectOrdered(ctx context.Context, q *cq.Query, db *database.Database, order []int) (*relation.Relation, Stats, error) {
+	return JoinProjectExec(ctx, q, db, order, nil)
+}
+
+// JoinProjectExec is JoinProjectOrdered with sharded execution: when opts
+// enables sharding, every join, interleaved projection, and the head
+// projection run partition-parallel over internal/shard, co-partitioned on
+// a shared column of the join the planner's atom order set up. Joins whose
+// inputs are below opts.MinRows — and joins with no shared column to
+// partition on — fall back to single-shard operators per step. nil opts is
+// exactly JoinProjectOrdered.
+func JoinProjectExec(ctx context.Context, q *cq.Query, db *database.Database, order []int, opts *shard.Options) (*relation.Relation, Stats, error) {
 	var st Stats
 	if err := validateAtoms(q, db); err != nil {
 		return nil, st, err
@@ -126,7 +138,7 @@ func JoinProjectOrdered(ctx context.Context, q *cq.Query, db *database.Database,
 		if len(keep) == len(r.Attrs) {
 			return r, nil
 		}
-		return r.Project(keep...)
+		return projectNames(ctx, opts, r, keep)
 	}
 
 	cur, err := bindingRelation(body[0], db)
@@ -149,7 +161,7 @@ func JoinProjectOrdered(ctx context.Context, q *cq.Query, db *database.Database,
 		if err != nil {
 			return nil, st, err
 		}
-		cur, err = relation.NaturalJoin(cur, next)
+		cur, err = shard.NaturalJoin(ctx, opts, cur, next)
 		if err != nil {
 			return nil, st, err
 		}
@@ -161,8 +173,24 @@ func JoinProjectOrdered(ctx context.Context, q *cq.Query, db *database.Database,
 			return nil, st, err
 		}
 	}
-	out, err := headProjection(q, cur)
+	out, err := headProjectionExec(ctx, opts, q, cur)
 	return out, st, err
+}
+
+// projectNames is Relation.Project routed through the sharded projection:
+// name resolution happens here once, then shard.ProjectIdx decides whether
+// to partition (repartitioning on the highest-cardinality kept column) or
+// fall back.
+func projectNames(ctx context.Context, opts *shard.Options, r *relation.Relation, attrs []string) (*relation.Relation, error) {
+	idx := make([]int, len(attrs))
+	for i, a := range attrs {
+		j := r.AttrIndex(a)
+		if j < 0 {
+			return nil, fmt.Errorf("eval: unknown attribute %q in projection of %s", a, r.Name)
+		}
+		idx[i] = j
+	}
+	return shard.ProjectIdx(ctx, opts, r, idx)
 }
 
 // orderedBody returns the body atoms along the given permutation of indices
@@ -280,6 +308,13 @@ func bindingRelation(a cq.Atom, db *database.Database) (*relation.Relation, erro
 // every head variable as an attribute. Head positions may repeat variables;
 // output attributes are named p1..pk and the relation carries the head name.
 func headProjection(q *cq.Query, bind *relation.Relation) (*relation.Relation, error) {
+	return headProjectionExec(context.Background(), nil, q, bind)
+}
+
+// headProjectionExec is headProjection through the sharded projection: the
+// final dedup over Q(D) — often the largest map an evaluation builds — is
+// split across partitions of a head column when opts enables sharding.
+func headProjectionExec(ctx context.Context, opts *shard.Options, q *cq.Query, bind *relation.Relation) (*relation.Relation, error) {
 	idx := make([]int, len(q.Head.Vars))
 	for i, v := range q.Head.Vars {
 		j := bind.AttrIndex(string(v))
@@ -288,7 +323,7 @@ func headProjection(q *cq.Query, bind *relation.Relation) (*relation.Relation, e
 		}
 		idx[i] = j
 	}
-	proj, err := bind.ProjectIdx(idx...)
+	proj, err := shard.ProjectIdx(ctx, opts, bind, idx)
 	if err != nil {
 		return nil, err
 	}

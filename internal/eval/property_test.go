@@ -24,6 +24,7 @@ import (
 	"cqbound/internal/datagen"
 	"cqbound/internal/eval"
 	"cqbound/internal/relation"
+	"cqbound/internal/shard"
 )
 
 // propertyIterations is the number of random query/database pairs checked
@@ -56,12 +57,96 @@ func TestPropertyStrategiesAgree(t *testing.T) {
 		q := datagen.RandomQuery(rng, profiles[i%len(profiles)])
 		db := datagen.RandomDatabase(rng, q, dbProfiles[i%len(dbProfiles)])
 		if msg := disagreement(eng, q, db); msg != "" {
-			q, db, msg = shrink(eng, q, db, msg)
+			check := func(q *cq.Query, db *database.Database) string { return disagreement(eng, q, db) }
+			q, db, msg = shrink(check, q, db, msg)
 			t.Fatalf("iteration %d (seed %d): strategies disagree after shrinking: %s\n"+
 				"minimal query:\n%s\nminimal database:\n%s",
 				i, propertyBaseSeed+int64(i), msg, q, dumpDB(db))
 		}
 	}
+}
+
+// shardCounts are the partition counts the sharded property harness cycles
+// through: P=1 (the degenerate single-shard view), tiny P, P larger than
+// many of the random databases' distinct values (forcing empty shards).
+var shardCounts = []int{1, 2, 3, 5, 16}
+
+// TestPropertyShardedAgrees re-runs the harness's random query/database
+// pairs comparing sharded execution — project-early and (when acyclic)
+// Yannakakis through internal/shard, plus a WithSharding Engine — against
+// unsharded Naive. The threshold is zero so every join, semijoin and
+// projection takes the partitioned path regardless of size, covering empty
+// shards, single-value skew and P=1 as the random data produces them.
+func TestPropertyShardedAgrees(t *testing.T) {
+	iters := propertyIterations
+	if testing.Short() {
+		iters = 60
+	}
+	profiles := []datagen.QueryParams{
+		{MaxVars: 5, MaxAtoms: 4, MaxArity: 3, HeadFraction: 0.7, RepeatRelationProb: 0.3, SimpleFDProb: 0.15},
+		{MaxVars: 3, MaxAtoms: 5, MaxArity: 2, HeadFraction: 0.5, RepeatRelationProb: 0.6},
+		{MaxVars: 6, MaxAtoms: 3, MaxArity: 4, HeadFraction: 0.9, RepeatRelationProb: 0.2, CompoundFDProb: 0.3},
+		{MaxVars: 2, MaxAtoms: 3, MaxArity: 3, HeadFraction: 0.6, RepeatRelationProb: 0.5, SimpleFDProb: 0.3},
+	}
+	dbProfiles := []datagen.DBParams{
+		{Tuples: 12, Universe: 6},
+		{Tuples: 25, Universe: 4},
+		{Tuples: 6, Universe: 12},
+	}
+	engines := make([]*cqbound.Engine, len(shardCounts))
+	for i, p := range shardCounts {
+		engines[i] = cqbound.NewEngine(cqbound.WithSharding(0, p))
+	}
+	for i := 0; i < iters; i++ {
+		rng := rand.New(rand.NewSource(propertyBaseSeed + int64(i)))
+		q := datagen.RandomQuery(rng, profiles[i%len(profiles)])
+		db := datagen.RandomDatabase(rng, q, dbProfiles[i%len(dbProfiles)])
+		p := shardCounts[i%len(shardCounts)]
+		eng := engines[i%len(shardCounts)]
+		if msg := shardedDisagreement(eng, p, q, db); msg != "" {
+			check := func(q *cq.Query, db *database.Database) string { return shardedDisagreement(eng, p, q, db) }
+			q, db, msg = shrink(check, q, db, msg)
+			t.Fatalf("iteration %d (seed %d, shards %d): sharded execution disagrees after shrinking: %s\n"+
+				"minimal query:\n%s\nminimal database:\n%s",
+				i, propertyBaseSeed+int64(i), p, msg, q, dumpDB(db))
+		}
+	}
+}
+
+// shardedDisagreement compares sharded execution at partition count p
+// against unsharded Naive, returning a description of the first
+// inconsistency ("" when all agree).
+func shardedDisagreement(eng *cqbound.Engine, p int, q *cq.Query, db *database.Database) string {
+	ctx := context.Background()
+	opts := &shard.Options{MinRows: 0, Shards: p}
+	ref, _, err := eval.NaiveCtx(ctx, q, db)
+	if err != nil {
+		return fmt.Sprintf("naive: %v", err)
+	}
+	check := func(name string, out *relation.Relation, err error) string {
+		if err != nil {
+			return fmt.Sprintf("%s: %v", name, err)
+		}
+		if !relation.Equal(ref, out) {
+			return fmt.Sprintf("%s: %d tuples, naive has %d", name, out.Size(), ref.Size())
+		}
+		return ""
+	}
+	out, _, err := eval.JoinProjectExec(ctx, q, db, nil, opts)
+	if msg := check("sharded join-project", out, err); msg != "" {
+		return msg
+	}
+	if eval.IsAcyclic(q) {
+		out, _, err = eval.YannakakisExec(ctx, q, db, opts)
+		if msg := check("sharded yannakakis", out, err); msg != "" {
+			return msg
+		}
+	}
+	out, _, err = eng.Evaluate(ctx, q, db)
+	if msg := check("sharded engine", out, err); msg != "" {
+		return msg
+	}
+	return ""
 }
 
 // disagreement evaluates q under every strategy and returns a description
@@ -105,12 +190,12 @@ func disagreement(eng *cqbound.Engine, q *cq.Query, db *database.Database) strin
 	return ""
 }
 
-// shrink greedily minimizes a failing (query, database) pair: it repeatedly
-// tries dropping one body atom, one functional dependency, or one tuple,
-// keeping any variant that still disagrees, until no single removal does
-// (or the attempt budget runs out). It returns the smallest failing pair
-// and its disagreement.
-func shrink(eng *cqbound.Engine, q *cq.Query, db *database.Database, msg string) (*cq.Query, *database.Database, string) {
+// shrink greedily minimizes a failing (query, database) pair under the
+// given check: it repeatedly tries dropping one body atom, one functional
+// dependency, or one tuple, keeping any variant that still disagrees, until
+// no single removal does (or the attempt budget runs out). It returns the
+// smallest failing pair and its disagreement.
+func shrink(check func(*cq.Query, *database.Database) string, q *cq.Query, db *database.Database, msg string) (*cq.Query, *database.Database, string) {
 	budget := 3000
 	for budget > 0 {
 		improved := false
@@ -121,7 +206,7 @@ func shrink(eng *cqbound.Engine, q *cq.Query, db *database.Database, msg string)
 				continue
 			}
 			budget--
-			if m := disagreement(eng, cand, db); m != "" {
+			if m := check(cand, db); m != "" {
 				q, msg, improved = cand, m, true
 				break
 			}
@@ -134,7 +219,7 @@ func shrink(eng *cqbound.Engine, q *cq.Query, db *database.Database, msg string)
 			cand := q.Clone()
 			cand.FDs = append(cand.FDs[:i], cand.FDs[i+1:]...)
 			budget--
-			if m := disagreement(eng, cand, db); m != "" {
+			if m := check(cand, db); m != "" {
 				q, msg, improved = cand, m, true
 				break
 			}
@@ -148,7 +233,7 @@ func shrink(eng *cqbound.Engine, q *cq.Query, db *database.Database, msg string)
 			for row := 0; row < r.Size() && budget > 0; row++ {
 				cand := dropTuple(db, name, row)
 				budget--
-				if m := disagreement(eng, q, cand); m != "" {
+				if m := check(q, cand); m != "" {
 					db, msg, improved = cand, m, true
 					break
 				}

@@ -9,6 +9,7 @@ import (
 	"cqbound/internal/database"
 	"cqbound/internal/pool"
 	"cqbound/internal/relation"
+	"cqbound/internal/shard"
 )
 
 // This file adds the classical complement to the paper's worst-case bounds:
@@ -131,6 +132,17 @@ func Yannakakis(q *cq.Query, db *database.Database) (*relation.Relation, Stats, 
 // the parent is sequential. Semijoins probe the child's memoized hash index
 // (relation.Semijoin) instead of rescanning it per pass.
 func YannakakisCtx(ctx context.Context, q *cq.Query, db *database.Database) (*relation.Relation, Stats, error) {
+	return YannakakisExec(ctx, q, db, nil)
+}
+
+// YannakakisExec is YannakakisCtx with sharded execution: when opts enables
+// sharding, every semijoin of the bottom-up and top-down passes — and every
+// join and projection of the final pass — runs co-partitioned on the shared
+// join column between parent and child, each pass fanning its shards out
+// over internal/pool. Inputs below opts.MinRows, and parent/child pairs
+// sharing no column, fall back to single-shard operators per step. nil opts
+// is exactly YannakakisCtx.
+func YannakakisExec(ctx context.Context, q *cq.Query, db *database.Database, opts *shard.Options) (*relation.Relation, Stats, error) {
 	var st Stats
 	if err := validateAtoms(q, db); err != nil {
 		return nil, st, err
@@ -173,7 +185,7 @@ func YannakakisCtx(ctx context.Context, q *cq.Query, db *database.Database) (*re
 			return err
 		}
 		for _, c := range n.Children {
-			reduced, err := relation.Semijoin(bindings[n.AtomIndex], bindings[c.AtomIndex])
+			reduced, err := shard.Semijoin(ctx, opts, bindings[n.AtomIndex], bindings[c.AtomIndex])
 			if err != nil {
 				return err
 			}
@@ -193,7 +205,7 @@ func YannakakisCtx(ctx context.Context, q *cq.Query, db *database.Database) (*re
 		}
 		return pool.Run(ctx, 0, len(n.Children), func(i int) error {
 			c := n.Children[i]
-			reduced, err := relation.Semijoin(bindings[c.AtomIndex], bindings[n.AtomIndex])
+			reduced, err := shard.Semijoin(ctx, opts, bindings[c.AtomIndex], bindings[n.AtomIndex])
 			if err != nil {
 				return err
 			}
@@ -227,7 +239,7 @@ func YannakakisCtx(ctx context.Context, q *cq.Query, db *database.Database) (*re
 		cur := bindings[n.AtomIndex]
 		for _, sub := range subs {
 			var err error
-			cur, err = relation.NaturalJoin(cur, sub)
+			cur, err = shard.NaturalJoin(ctx, opts, cur, sub)
 			if err != nil {
 				return nil, err
 			}
@@ -256,13 +268,13 @@ func YannakakisCtx(ctx context.Context, q *cq.Query, db *database.Database) (*re
 		if len(keep) == len(cur.Attrs) {
 			return cur, nil
 		}
-		return cur.Project(keep...)
+		return projectNames(ctx, opts, cur, keep)
 	}
 	full, err := join(tree)
 	if err != nil {
 		return nil, st, err
 	}
-	out, err := headProjection(q, full)
+	out, err := headProjectionExec(ctx, opts, q, full)
 	if err != nil {
 		return nil, st, err
 	}

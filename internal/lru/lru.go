@@ -1,0 +1,91 @@
+// Package lru is a fixed-capacity string-keyed least-recently-used cache
+// with hit/miss accounting — the eviction policy behind the Engine's
+// per-query analysis and plan caches. It is intentionally minimal: no
+// TTLs, no weights, no locking (callers hold their own mutex; the Engine
+// already serializes cache access), just the recency list that replaces the
+// seed's evict-an-arbitrary-entry behavior.
+package lru
+
+import "container/list"
+
+// Cache maps string keys to values, evicting the least recently used entry
+// once capacity is exceeded. Get and Put both count as uses. Not safe for
+// concurrent use.
+type Cache[V any] struct {
+	capacity     int
+	ll           *list.List // front = most recently used
+	items        map[string]*list.Element
+	hits, misses uint64
+}
+
+type entry[V any] struct {
+	key string
+	v   V
+}
+
+// New returns an empty cache holding at most capacity entries. capacity
+// must be positive.
+func New[V any](capacity int) *Cache[V] {
+	if capacity <= 0 {
+		panic("lru: capacity must be positive")
+	}
+	return &Cache[V]{
+		capacity: capacity,
+		ll:       list.New(),
+		items:    make(map[string]*list.Element),
+	}
+}
+
+// Get returns the value under key, marking it most recently used and
+// counting a hit or miss.
+func (c *Cache[V]) Get(key string) (V, bool) {
+	if el, ok := c.items[key]; ok {
+		c.hits++
+		c.ll.MoveToFront(el)
+		return el.Value.(*entry[V]).v, true
+	}
+	c.misses++
+	var zero V
+	return zero, false
+}
+
+// Peek returns the value under key without touching recency or the
+// hit/miss counters.
+func (c *Cache[V]) Peek(key string) (V, bool) {
+	if el, ok := c.items[key]; ok {
+		return el.Value.(*entry[V]).v, true
+	}
+	var zero V
+	return zero, false
+}
+
+// Put stores the value under key, marking it most recently used. At
+// capacity, the least recently used entry is evicted.
+func (c *Cache[V]) Put(key string, v V) {
+	if el, ok := c.items[key]; ok {
+		el.Value.(*entry[V]).v = v
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&entry[V]{key: key, v: v})
+	if c.ll.Len() > c.capacity {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*entry[V]).key)
+	}
+}
+
+// Len returns the number of cached entries.
+func (c *Cache[V]) Len() int { return c.ll.Len() }
+
+// Keys returns the cached keys, most recently used first.
+func (c *Cache[V]) Keys() []string {
+	out := make([]string, 0, c.ll.Len())
+	for el := c.ll.Front(); el != nil; el = el.Next() {
+		out = append(out, el.Value.(*entry[V]).key)
+	}
+	return out
+}
+
+// Stats returns how many Gets hit and missed since creation.
+func (c *Cache[V]) Stats() (hits, misses uint64) { return c.hits, c.misses }

@@ -1,0 +1,109 @@
+package lru
+
+import "testing"
+
+func TestPutGet(t *testing.T) {
+	c := New[int](4)
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("empty cache reported a hit")
+	}
+	c.Put("a", 1)
+	c.Put("b", 2)
+	if v, ok := c.Get("a"); !ok || v != 1 {
+		t.Fatalf("Get(a) = %d, %v; want 1, true", v, ok)
+	}
+	c.Put("a", 10)
+	if v, _ := c.Get("a"); v != 10 {
+		t.Fatalf("Get(a) after update = %d, want 10", v)
+	}
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", c.Len())
+	}
+}
+
+func TestEvictsLeastRecentlyUsed(t *testing.T) {
+	c := New[int](3)
+	c.Put("a", 1)
+	c.Put("b", 2)
+	c.Put("c", 3)
+	// Touch a, making b the least recently used.
+	c.Get("a")
+	c.Put("d", 4)
+	if _, ok := c.Peek("b"); ok {
+		t.Fatal("b should have been evicted (least recently used)")
+	}
+	for _, k := range []string{"a", "c", "d"} {
+		if _, ok := c.Peek(k); !ok {
+			t.Fatalf("%s missing after eviction", k)
+		}
+	}
+	if c.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", c.Len())
+	}
+}
+
+func TestPutRefreshesRecency(t *testing.T) {
+	c := New[int](2)
+	c.Put("a", 1)
+	c.Put("b", 2)
+	c.Put("a", 3) // re-Put promotes a; b becomes LRU
+	c.Put("c", 4)
+	if _, ok := c.Peek("b"); ok {
+		t.Fatal("b should have been evicted")
+	}
+	if _, ok := c.Peek("a"); !ok {
+		t.Fatal("a should have survived (refreshed by Put)")
+	}
+}
+
+func TestPeekDoesNotPromoteOrCount(t *testing.T) {
+	c := New[int](2)
+	c.Put("a", 1)
+	c.Put("b", 2)
+	c.Peek("a") // no promotion: a stays LRU
+	c.Put("c", 3)
+	if _, ok := c.Peek("a"); ok {
+		t.Fatal("a should have been evicted despite the Peek")
+	}
+	if h, m := c.Stats(); h != 0 || m != 0 {
+		t.Fatalf("Stats after Peeks = %d hits, %d misses; want 0, 0", h, m)
+	}
+}
+
+func TestStats(t *testing.T) {
+	c := New[string](2)
+	c.Put("a", "x")
+	c.Get("a")
+	c.Get("a")
+	c.Get("nope")
+	if h, m := c.Stats(); h != 2 || m != 1 {
+		t.Fatalf("Stats = %d hits, %d misses; want 2, 1", h, m)
+	}
+}
+
+func TestKeysMostRecentFirst(t *testing.T) {
+	c := New[int](3)
+	c.Put("a", 1)
+	c.Put("b", 2)
+	c.Put("c", 3)
+	c.Get("a")
+	keys := c.Keys()
+	want := []string{"a", "c", "b"}
+	if len(keys) != len(want) {
+		t.Fatalf("Keys = %v, want %v", keys, want)
+	}
+	for i := range want {
+		if keys[i] != want[i] {
+			t.Fatalf("Keys = %v, want %v", keys, want)
+		}
+	}
+}
+
+func TestZeroCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(0) did not panic")
+		}
+	}()
+	New[int](0)
+}

@@ -31,6 +31,7 @@ import (
 	"cqbound/internal/database"
 	"cqbound/internal/eval"
 	"cqbound/internal/relation"
+	"cqbound/internal/shard"
 )
 
 // Strategy identifies an evaluation algorithm.
@@ -170,11 +171,23 @@ func ChooseForDB(q *cq.Query, db *database.Database) (*Plan, error) {
 // Execute runs the plan on db. The query must be the one the plan was
 // chosen for.
 func Execute(ctx context.Context, p *Plan, q *cq.Query, db *database.Database) (*relation.Relation, eval.Stats, error) {
+	return ExecuteOpts(ctx, p, q, db, nil)
+}
+
+// ExecuteOpts is Execute with sharded execution. When opts enables
+// sharding, the Yannakakis and project-early strategies route their joins,
+// semijoins and projections through internal/shard: the planner's atom
+// order determines which relations meet at each join, and the partition key
+// is chosen per join among the columns that order makes shared (falling
+// back to single-shard execution when a step's inputs are below the row
+// threshold or share no column). The generic join extends one variable at a
+// time and has no binary join to partition, so it ignores opts.
+func ExecuteOpts(ctx context.Context, p *Plan, q *cq.Query, db *database.Database, opts *shard.Options) (*relation.Relation, eval.Stats, error) {
 	switch p.Strategy {
 	case StrategyYannakakis:
-		return eval.YannakakisCtx(ctx, q, db)
+		return eval.YannakakisExec(ctx, q, db, opts)
 	case StrategyProjectEarly:
-		return eval.JoinProjectOrdered(ctx, q, db, p.AtomOrder)
+		return eval.JoinProjectExec(ctx, q, db, p.AtomOrder, opts)
 	case StrategyGenericJoin:
 		return eval.GenericJoinCtx(ctx, q, db)
 	default:

@@ -105,6 +105,42 @@ func appendColsKey(buf []byte, cols []int) []byte {
 	return buf
 }
 
+// probeBlock is the number of probe-side rows whose keys MatchingRows packs
+// into one contiguous buffer before probing: the key-build loop and the map
+// probe loop each stay tight, amortizing the per-row buffer bookkeeping of
+// the row-at-a-time probe it replaces.
+const probeBlock = 512
+
+// MatchingRows probes the index with rows of r keyed on cols (one probe key
+// per row, same packing as the index side) and appends to dst the row
+// indices with at least one match. Probing is batched: keys for a block of
+// rows are packed into one buffer, then the block is probed in a second
+// tight loop. cols must have the index's column count.
+func (ix *Index) MatchingRows(r *Relation, cols []int, dst []int32) []int32 {
+	if len(cols) != len(ix.cols) {
+		panic(fmt.Sprintf("relation %s: probing %d columns against a %d-column index", r.Name, len(cols), len(ix.cols)))
+	}
+	w := 4 * len(cols) // bytes per packed key
+	buf := make([]byte, 0, probeBlock*w)
+	for lo := 0; lo < r.n; lo += probeBlock {
+		hi := lo + probeBlock
+		if hi > r.n {
+			hi = r.n
+		}
+		buf = buf[:0]
+		for i := lo; i < hi; i++ {
+			buf = r.keyAt(buf, i, cols)
+		}
+		for i := lo; i < hi; i++ {
+			off := (i - lo) * w
+			if _, ok := ix.rows[string(buf[off:off+w])]; ok {
+				dst = append(dst, int32(i))
+			}
+		}
+	}
+	return dst
+}
+
 // KeyFor appends the packing of t's values in the given columns to buf —
 // the probe-side counterpart of Index.
 func KeyFor(buf []byte, t Tuple, cols []int) []byte {
@@ -167,11 +203,22 @@ func EquiJoin(r, s *Relation, pairs [][2]int) (*Relation, error) {
 // of s on their shared attribute names. With no shared attributes every
 // tuple of r joins (unless s is empty), so r itself is returned.
 func Semijoin(r, s *Relation) (*Relation, error) {
-	var rCols, sCols []int
-	for j, a := range s.Attrs {
-		if i := r.AttrIndex(a); i >= 0 {
-			rCols = append(rCols, i)
-			sCols = append(sCols, j)
+	rCols, sCols := SharedCols(r, s)
+	return SemijoinOn(r, s, rCols, sCols)
+}
+
+// SemijoinOn is Semijoin on explicit column pairs: rCols[k] of r joins
+// sCols[k] of s. It is the position-pure form the sharded operators use —
+// partition shards may carry memoized attribute names from a sibling view,
+// so name matching happens once at the routing layer. Empty column lists
+// degrade like Semijoin's no-shared-attribute case.
+func SemijoinOn(r, s *Relation, rCols, sCols []int) (*Relation, error) {
+	if len(rCols) != len(sCols) {
+		return nil, fmt.Errorf("relation: semijoin on %d vs %d columns", len(rCols), len(sCols))
+	}
+	for k := range rCols {
+		if rCols[k] < 0 || rCols[k] >= r.Arity() || sCols[k] < 0 || sCols[k] >= s.Arity() {
+			return nil, fmt.Errorf("relation: semijoin positions (%d,%d) out of range", rCols[k], sCols[k])
 		}
 	}
 	if len(rCols) == 0 {
@@ -181,14 +228,6 @@ func Semijoin(r, s *Relation) (*Relation, error) {
 		return r, nil
 	}
 	ix := s.Index(sCols...)
-	out := New(r.Name+"_sj", r.Attrs...)
-	nt := make(Tuple, 0, r.Arity())
-	var buf []byte
-	for i := 0; i < r.n; i++ {
-		buf = r.keyAt(buf[:0], i, rCols)
-		if ix.Has(buf) {
-			out.appendRowUnchecked(r.AppendRow(nt[:0], i))
-		}
-	}
-	return out, nil
+	rows := ix.MatchingRows(r, rCols, nil)
+	return r.Gather(r.Name+"_sj", rows), nil
 }

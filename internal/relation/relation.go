@@ -395,6 +395,81 @@ func (r *Relation) Project(attrs ...string) (*Relation, error) {
 	return r.ProjectIdx(idx...)
 }
 
+// Gather materializes the listed rows of r as a new relation with the given
+// name (columnar copy, no dedup pass). The rows must be valid indices and,
+// because r has set semantics, distinct indices yield distinct tuples — so
+// the result is duplicate-free by construction. Gather is the assembly
+// primitive of partition shards and semijoin outputs.
+func (r *Relation) Gather(name string, rows []int32) *Relation {
+	out := New(name, r.Attrs...)
+	out.n = len(rows)
+	for c := range r.cols {
+		col := make([]Value, len(rows))
+		src := r.cols[c]
+		for k, i := range rows {
+			col[k] = src[i]
+		}
+		out.cols[c] = col
+	}
+	return out
+}
+
+// Concat concatenates parts of equal arity into one owned relation without a
+// dedup pass: callers guarantee the parts' tuple sets are pairwise disjoint
+// (partition shards are — tuples in different shards differ on the partition
+// column's hash). Attribute names are the caller's: parts may carry stale
+// names when they were memoized under a differently-named view.
+func Concat(name string, attrs []string, parts ...*Relation) (*Relation, error) {
+	out := New(name, attrs...)
+	total := 0
+	for _, p := range parts {
+		if p.Arity() != len(attrs) {
+			return nil, fmt.Errorf("relation: concat arity mismatch: part %s has %d attrs, want %d", p.Name, p.Arity(), len(attrs))
+		}
+		total += p.n
+	}
+	for c := range out.cols {
+		col := make([]Value, 0, total)
+		for _, p := range parts {
+			col = append(col, p.cols[c][:p.n]...)
+		}
+		out.cols[c] = col
+	}
+	out.n = total
+	return out, nil
+}
+
+// ProjectView projects r onto the given distinct positions WITHOUT a dedup
+// pass, as an O(arity) copy-on-write view renamed to attrs. It is only
+// correct when the kept columns functionally determine the dropped ones —
+// e.g. a join output whose dropped columns equal kept ones — so callers
+// assert duplicate-freeness; use ProjectIdx when in doubt.
+func (r *Relation) ProjectView(name string, attrs []string, idx ...int) (*Relation, error) {
+	if len(attrs) != len(idx) {
+		return nil, fmt.Errorf("relation %s: project view with %d attrs for %d positions", r.Name, len(attrs), len(idx))
+	}
+	seen := make(map[int]bool, len(idx))
+	for _, j := range idx {
+		if j < 0 || j >= len(r.Attrs) {
+			return nil, fmt.Errorf("relation %s: project position %d out of range", r.Name, j)
+		}
+		if seen[j] {
+			return nil, fmt.Errorf("relation %s: project view repeats position %d", r.Name, j)
+		}
+		seen[j] = true
+	}
+	out := New(name, attrs...)
+	out.n = r.n
+	for i, j := range idx {
+		out.cols[i] = r.cols[j]
+	}
+	// Shared storage without a parent: first insert copies the columns, but
+	// memos are r's own (r has a different schema, so delegation would serve
+	// wrong column positions).
+	out.shared = true
+	return out, nil
+}
+
 // Union returns r ∪ s; schemas must have equal arity (attribute names are
 // taken from r).
 func Union(r, s *Relation) (*Relation, error) {
@@ -449,46 +524,65 @@ func concatAttrs(r, s *Relation) []string {
 	return attrs
 }
 
+// SharedCols lists the column pairs of r and s holding the same attribute
+// name — the natural-join (and semijoin) columns. Every name-matching
+// operator (NaturalJoin, Semijoin, the sharded routing layer) pairs
+// columns through this one helper so they cannot desynchronize.
+func SharedCols(r, s *Relation) (rCols, sCols []int) {
+	for j, a := range s.Attrs {
+		if i := r.AttrIndex(a); i >= 0 {
+			rCols = append(rCols, i)
+			sCols = append(sCols, j)
+		}
+	}
+	return rCols, sCols
+}
+
 // NaturalJoin joins r and s on all attribute names they share, projecting
 // away the duplicated join columns of s.
 func NaturalJoin(r, s *Relation) (*Relation, error) {
-	var pairs [][2]int
-	dropS := make([]bool, s.Arity())
-	for j, a := range s.Attrs {
-		if i := r.AttrIndex(a); i >= 0 {
-			pairs = append(pairs, [2]int{i, j})
-			dropS[j] = true
-		}
-	}
-	if len(pairs) == 0 {
+	rCols, sCols := SharedCols(r, s)
+	if len(rCols) == 0 {
 		// Degenerates to a product.
 		return Product(r, s), nil
+	}
+	pairs := make([][2]int, len(rCols))
+	for i := range rCols {
+		pairs[i] = [2]int{rCols[i], sCols[i]}
 	}
 	joined, err := EquiJoin(r, s, pairs)
 	if err != nil {
 		return nil, err
 	}
-	var keep []int
+	return NaturalJoinView(joined, r, s, sCols)
+}
+
+// NaturalJoinView projects a raw equi-join of r and s (all columns of r
+// then all columns of s, as HashJoin produces) onto the natural-join
+// schema: r's columns plus s's non-join columns (sCols are s's join
+// positions), with clean attribute names. Dropping s's copy of the join
+// columns cannot create duplicates — those columns equal kept columns of r
+// in every output row — so the result is an O(arity) ProjectView instead
+// of a dedup pass over the whole output. Exported for internal/shard,
+// whose co-partitioned HashJoin concatenates per-shard raw joins of the
+// same shape.
+func NaturalJoinView(joined, r, s *Relation, sCols []int) (*Relation, error) {
+	dropS := make([]bool, s.Arity())
+	for _, j := range sCols {
+		dropS[j] = true
+	}
+	keep := make([]int, 0, r.Arity()+s.Arity()-len(sCols))
+	attrs := append([]string(nil), r.Attrs...)
 	for i := 0; i < r.Arity(); i++ {
 		keep = append(keep, i)
 	}
 	for j := 0; j < s.Arity(); j++ {
 		if !dropS[j] {
 			keep = append(keep, r.Arity()+j)
+			attrs = append(attrs, s.Attrs[j])
 		}
 	}
-	out, err := joined.ProjectIdx(keep...)
-	if err != nil {
-		return nil, err
-	}
-	// Restore clean attribute names: r's attrs then s's non-join attrs.
-	attrs := append([]string(nil), r.Attrs...)
-	for j, a := range s.Attrs {
-		if !dropS[j] {
-			attrs = append(attrs, a)
-		}
-	}
-	return out.Rename(r.Name+"_nj_"+s.Name, attrs...)
+	return joined.ProjectView(r.Name+"_nj_"+s.Name, attrs, keep...)
 }
 
 // CheckFD reports whether the instance satisfies the functional dependency

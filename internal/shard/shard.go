@@ -1,0 +1,146 @@
+// Package shard is the horizontal-scaling layer over the interned columnar
+// store: a Sharded relation view hash-partitions a relation's rows by one
+// key column into P shards, each a normal *relation.Relation, so the
+// memoized statistics, hash indexes and tries of the relation package keep
+// working unchanged per shard. Partition-parallel operators (sharded scan,
+// co-partitioned HashJoin, Semijoin and projection) fan the per-shard work
+// out over internal/pool with context cancellation.
+//
+// The paper's bounds govern how large outputs and intermediates can get
+// (AGM/ρ*, Corollary 4.8, Yannakakis for acyclic queries); partitioning is
+// the orthogonal lever that decides how fast each bounded-size pass runs.
+// Because a value's shard depends only on the value and P, two relations
+// partitioned on a shared join column with the same P are co-partitioned:
+// shard k of one side joins only shard k of the other, making every binary
+// join and semijoin embarrassingly parallel across shards — and, even on a
+// single core, splitting one large hash map into P cache-sized ones.
+//
+// Partitioning is statistics-light by design (janus-datalog's "greedy beats
+// optimal" production lesson): the partition key is the planner-visible
+// join column with the most distinct values, P defaults to GOMAXPROCS, and
+// there is no cost model — operators whose join key cannot align with a
+// partition key simply fall back to single-shard execution.
+package shard
+
+import (
+	"fmt"
+	"runtime"
+	"slices"
+
+	"cqbound/internal/relation"
+)
+
+// Options controls when and how the sharded operators engage. A nil
+// *Options disables sharding entirely: every operator falls back to its
+// single-shard relation-package form. A non-nil zero value means "shard
+// everything": threshold 0 with GOMAXPROCS shards.
+type Options struct {
+	// MinRows is the row threshold: an operator runs partition-parallel
+	// only when its larger input has at least MinRows rows. Small inputs
+	// aren't worth the partitioning pass.
+	MinRows int
+	// Shards is the partition count P; <= 0 means GOMAXPROCS.
+	Shards int
+}
+
+// Count returns the partition count P the options select (nil-safe).
+func (o *Options) Count() int {
+	if o == nil || o.Shards <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return o.Shards
+}
+
+// active reports whether an operator whose larger input has n rows should
+// run partition-parallel under these options.
+func (o *Options) active(n int) bool {
+	return o != nil && o.Count() > 1 && n >= o.MinRows
+}
+
+// ShardOf returns the shard in [0, p) holding value v. The assignment
+// depends only on (v, p), so any two relations partitioned with the same P
+// on columns holding the same value are co-partitioned. Interned IDs are
+// small sequential integers; the multiplicative mix keeps consecutive IDs
+// from landing in consecutive shards.
+func ShardOf(v relation.Value, p int) int {
+	h := uint64(uint32(v)) * 0x9E3779B1 // Fibonacci hashing; spread bits
+	return int((h >> 16) % uint64(p))
+}
+
+// Sharded is a hash-partitioned view of a relation: shard k holds exactly
+// the rows whose key-column value hashes to k. Shards are plain relations
+// carrying the base relation's schema; the partition is memoized on the
+// base relation per (key, P), so repeated evaluations of the same query —
+// the serving hot path — re-partition nothing.
+type Sharded struct {
+	base   *relation.Relation
+	key    int
+	shards []*relation.Relation
+}
+
+// Base returns the relation the view partitions.
+func (s *Sharded) Base() *relation.Relation { return s.base }
+
+// Key returns the partition column (a position into Base().Attrs).
+func (s *Sharded) Key() int { return s.key }
+
+// P returns the partition count.
+func (s *Sharded) P() int { return len(s.shards) }
+
+// Shard returns shard k. The relation is the view's storage: treat it as
+// read-only (it may be memoized and shared with concurrent evaluations).
+func (s *Sharded) Shard(k int) *relation.Relation { return s.shards[k] }
+
+// Size returns the total row count across shards (== Base().Size()).
+func (s *Sharded) Size() int { return s.base.Size() }
+
+// Partition hash-partitions r by column key into p shards. p < 2 (or an
+// empty relation under p == 1) returns a single-shard view of r itself with
+// no copying. The partition is built once per (key, p) and memoized in r's
+// size-keyed memo table — shared with renamed and cloned views, rebuilt
+// after inserts — so only the first evaluation over a base relation pays
+// the two O(n) passes (bucket, then columnar gather).
+func Partition(r *relation.Relation, key, p int) *Sharded {
+	if key < 0 || key >= r.Arity() {
+		panic(fmt.Sprintf("shard: partition column %d out of range for %s", key, r.Name))
+	}
+	if p < 2 {
+		return &Sharded{base: r, key: key, shards: []*relation.Relation{r}}
+	}
+	memoKey := fmt.Sprintf("shard:%d:%d", key, p)
+	shards := r.Memo(memoKey, func() any {
+		col := r.Column(key)
+		buckets := make([][]int32, p)
+		counts := make([]int, p)
+		for _, v := range col {
+			counts[ShardOf(v, p)]++
+		}
+		for k := range buckets {
+			buckets[k] = make([]int32, 0, counts[k])
+		}
+		for i, v := range col {
+			k := ShardOf(v, p)
+			buckets[k] = append(buckets[k], int32(i))
+		}
+		out := make([]*relation.Relation, p)
+		for k := range out {
+			out[k] = r.Gather(r.Name, buckets[k])
+		}
+		return out
+	}).([]*relation.Relation)
+	// The memo may have been built under a differently-named view of the
+	// same storage (Memo delegates to the parent relation); serve this
+	// caller its own attribute names through O(arity) copy-on-write renames.
+	if len(shards) > 0 && !slices.Equal(shards[0].Attrs, r.Attrs) {
+		renamed := make([]*relation.Relation, len(shards))
+		for k, sh := range shards {
+			rs, err := sh.Rename(r.Name, r.Attrs...)
+			if err != nil {
+				panic(fmt.Sprintf("shard: renaming shard of %s: %v", r.Name, err))
+			}
+			renamed[k] = rs
+		}
+		shards = renamed
+	}
+	return &Sharded{base: r, key: key, shards: shards}
+}

@@ -1,0 +1,324 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"cqbound/internal/relation"
+)
+
+// randomRel builds a relation with n rows over a value universe of the
+// given size (set semantics dedups collisions).
+func randomRel(rng *rand.Rand, name string, attrs []string, n, universe int) *relation.Relation {
+	r := relation.New(name, attrs...)
+	for i := 0; i < n; i++ {
+		vals := make([]string, len(attrs))
+		for j := range vals {
+			vals[j] = fmt.Sprintf("u%d", rng.Intn(universe))
+		}
+		r.Add(vals...)
+	}
+	return r
+}
+
+// forceShard makes every operator partition regardless of input size.
+func forceShard(p int) *Options { return &Options{MinRows: 0, Shards: p} }
+
+func TestPartitionInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	r := randomRel(rng, "R", []string{"a", "b"}, 500, 40)
+	for _, p := range []int{1, 2, 3, 7, 16} {
+		sh := Partition(r, 0, p)
+		if sh.P() != p && !(p == 1 && sh.P() == 1) {
+			t.Fatalf("P() = %d, want %d", sh.P(), p)
+		}
+		total := 0
+		union := relation.New("U", "a", "b")
+		for k := 0; k < sh.P(); k++ {
+			s := sh.Shard(k)
+			total += s.Size()
+			for i := 0; i < s.Size(); i++ {
+				if got := ShardOf(s.At(i, 0), sh.P()); got != k {
+					t.Fatalf("p=%d: row with key %v in shard %d, ShardOf says %d", p, s.At(i, 0), k, got)
+				}
+				if _, err := union.Insert(s.Row(i)); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		if total != r.Size() {
+			t.Fatalf("p=%d: shards hold %d rows, base has %d (overlap or loss)", p, total, r.Size())
+		}
+		if !relation.Equal(union, r) {
+			t.Fatalf("p=%d: union of shards differs from base", p)
+		}
+	}
+}
+
+func TestPartitionSingleShardIsBase(t *testing.T) {
+	r := randomRel(rand.New(rand.NewSource(2)), "R", []string{"a", "b"}, 50, 10)
+	sh := Partition(r, 1, 1)
+	if sh.P() != 1 || sh.Shard(0) != r {
+		t.Fatal("p=1 partition should be the base relation itself, uncopied")
+	}
+}
+
+func TestPartitionMemoized(t *testing.T) {
+	r := randomRel(rand.New(rand.NewSource(3)), "R", []string{"a", "b"}, 200, 20)
+	s1 := Partition(r, 0, 4)
+	s2 := Partition(r, 0, 4)
+	for k := 0; k < 4; k++ {
+		if s1.Shard(k) != s2.Shard(k) {
+			t.Fatal("second partition rebuilt shards instead of reusing the memo")
+		}
+	}
+	// A different key or P is a different partition.
+	if s3 := Partition(r, 1, 4); s3.Shard(0) == s1.Shard(0) {
+		t.Fatal("partitions on different keys shared a shard")
+	}
+}
+
+func TestPartitionRenamedViewGetsOwnAttrs(t *testing.T) {
+	r := randomRel(rand.New(rand.NewSource(4)), "R", []string{"a", "b"}, 100, 10)
+	Partition(r, 0, 3) // memoize under r's names
+	view, err := r.Rename("V", "x", "y")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh := Partition(view, 0, 3)
+	for k := 0; k < sh.P(); k++ {
+		s := sh.Shard(k)
+		if s.Attrs[0] != "x" || s.Attrs[1] != "y" {
+			t.Fatalf("shard %d attrs = %v, want the view's [x y]", k, s.Attrs)
+		}
+	}
+	// Rows must still be the memoized ones (shared storage, not a rebuild).
+	base := Partition(r, 0, 3)
+	for k := 0; k < sh.P(); k++ {
+		if !relation.Equal(sh.Shard(k), base.Shard(k)) {
+			t.Fatalf("renamed view's shard %d differs from base shard", k)
+		}
+	}
+}
+
+func TestPartitionEdgeCases(t *testing.T) {
+	ctx := context.Background()
+	// Empty relation: every shard empty.
+	empty := relation.New("E", "a", "b")
+	sh := Partition(empty, 0, 4)
+	for k := 0; k < sh.P(); k++ {
+		if sh.Shard(k).Size() != 0 {
+			t.Fatal("shard of empty relation not empty")
+		}
+	}
+	out, err := sh.Select(ctx, func(relation.Tuple) bool { return true })
+	if err != nil || out.Size() != 0 {
+		t.Fatalf("select over empty shards: %v, %d rows", err, out.Size())
+	}
+
+	// All rows share one key value: one shard holds everything, the rest
+	// are empty.
+	skew := relation.New("S", "k", "v")
+	for i := 0; i < 64; i++ {
+		skew.Add("hot", fmt.Sprintf("v%d", i))
+	}
+	sh = Partition(skew, 0, 4)
+	nonEmpty := 0
+	for k := 0; k < sh.P(); k++ {
+		if sh.Shard(k).Size() > 0 {
+			nonEmpty++
+			if sh.Shard(k).Size() != 64 {
+				t.Fatalf("skewed shard has %d rows, want 64", sh.Shard(k).Size())
+			}
+		}
+	}
+	if nonEmpty != 1 {
+		t.Fatalf("single-valued key spread over %d shards", nonEmpty)
+	}
+
+	// More shards than distinct values: some shards must be empty, nothing
+	// is lost.
+	small := randomRel(rand.New(rand.NewSource(5)), "T", []string{"a", "b"}, 30, 3)
+	sh = Partition(small, 0, 16)
+	total := 0
+	for k := 0; k < sh.P(); k++ {
+		total += sh.Shard(k).Size()
+	}
+	if total != small.Size() {
+		t.Fatalf("p>distinct: shards hold %d rows, want %d", total, small.Size())
+	}
+}
+
+func TestShardedSelect(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	r := randomRel(rng, "R", []string{"a", "b"}, 400, 30)
+	pred := func(t relation.Tuple) bool { return ShardOf(t[1], 2) == 0 }
+	want := r.Select(pred)
+	got, err := Partition(r, 0, 5).Select(context.Background(), pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !relation.Equal(want, got) {
+		t.Fatalf("sharded select = %d rows, unsharded = %d", got.Size(), want.Size())
+	}
+}
+
+func TestCoPartitionedHashJoin(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	r := randomRel(rng, "R", []string{"a", "b"}, 300, 25)
+	s := randomRel(rng, "S", []string{"c", "d"}, 350, 25)
+	pairs := [][2]int{{1, 0}} // R.b = S.c
+	want, err := relation.HashJoin(r, s, pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []int{1, 2, 4, 9} {
+		got, err := HashJoin(context.Background(), Partition(r, 1, p), Partition(s, 0, p), pairs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !relation.Equal(want, got) {
+			t.Fatalf("p=%d: sharded join = %d rows, unsharded = %d", p, got.Size(), want.Size())
+		}
+	}
+}
+
+func TestHashJoinRejectsMisalignedPartitions(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	r := randomRel(rng, "R", []string{"a", "b"}, 50, 10)
+	s := randomRel(rng, "S", []string{"c", "d"}, 50, 10)
+	ctx := context.Background()
+	// Different P.
+	if _, err := HashJoin(ctx, Partition(r, 1, 2), Partition(s, 0, 3), [][2]int{{1, 0}}); err == nil {
+		t.Fatal("join across different shard counts did not error")
+	}
+	// Partition keys not a join pair.
+	if _, err := HashJoin(ctx, Partition(r, 0, 2), Partition(s, 1, 2), [][2]int{{1, 0}}); err == nil {
+		t.Fatal("join with misaligned partition keys did not error")
+	}
+}
+
+func TestShardedSemijoin(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	r := randomRel(rng, "R", []string{"a", "b"}, 400, 30)
+	s := randomRel(rng, "S", []string{"b", "c"}, 100, 30) // shares "b"
+	want, err := relation.Semijoin(r, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []int{2, 3, 8} {
+		got, err := Semijoin(context.Background(), forceShard(p), r, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !relation.Equal(want, got) {
+			t.Fatalf("p=%d: sharded semijoin = %d rows, unsharded = %d", p, got.Size(), want.Size())
+		}
+	}
+}
+
+func TestShardedNaturalJoin(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	r := randomRel(rng, "R", []string{"a", "b"}, 300, 20)
+	s := randomRel(rng, "S", []string{"b", "c"}, 250, 20)
+	want, err := relation.NaturalJoin(r, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []int{2, 5} {
+		got, err := NaturalJoin(context.Background(), forceShard(p), r, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Arity() != want.Arity() {
+			t.Fatalf("p=%d: arity %d, want %d", p, got.Arity(), want.Arity())
+		}
+		for i, a := range want.Attrs {
+			if got.Attrs[i] != a {
+				t.Fatalf("p=%d: attrs %v, want %v", p, got.Attrs, want.Attrs)
+			}
+		}
+		if !relation.Equal(want, got) {
+			t.Fatalf("p=%d: sharded natural join = %d rows, unsharded = %d", p, got.Size(), want.Size())
+		}
+	}
+}
+
+func TestNaturalJoinFallsBackWithoutSharedColumn(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	r := randomRel(rng, "R", []string{"a", "b"}, 20, 5)
+	s := randomRel(rng, "S", []string{"c", "d"}, 20, 5)
+	want, err := relation.NaturalJoin(r, s) // degenerates to a product
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := NaturalJoin(context.Background(), forceShard(4), r, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !relation.Equal(want, got) {
+		t.Fatal("fallback product differs from relation.NaturalJoin")
+	}
+}
+
+func TestShardedProjectIdx(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	r := randomRel(rng, "R", []string{"a", "b", "c"}, 500, 8)
+	cases := [][]int{{0}, {1, 2}, {2, 0}, {0, 0, 1}} // incl. repeated positions
+	for _, idx := range cases {
+		want, err := r.ProjectIdx(idx...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := ProjectIdx(context.Background(), forceShard(4), r, idx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !relation.Equal(want, got) {
+			t.Fatalf("idx=%v: sharded projection = %d rows, unsharded = %d", idx, got.Size(), want.Size())
+		}
+	}
+}
+
+func TestOptionsRouting(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	r := randomRel(rng, "R", []string{"a", "b"}, 100, 10)
+	s := randomRel(rng, "S", []string{"b", "c"}, 100, 10)
+	ctx := context.Background()
+
+	// nil options: identical to the relation-package operator.
+	want, _ := relation.Semijoin(r, s)
+	got, err := Semijoin(ctx, nil, r, s)
+	if err != nil || !relation.Equal(want, got) {
+		t.Fatalf("nil-options semijoin diverged: %v", err)
+	}
+
+	// Below the row threshold: also falls back (still must be correct).
+	got, err = Semijoin(ctx, &Options{MinRows: 10_000, Shards: 4}, r, s)
+	if err != nil || !relation.Equal(want, got) {
+		t.Fatalf("below-threshold semijoin diverged: %v", err)
+	}
+
+	if (&Options{MinRows: 0, Shards: 4}).Count() != 4 {
+		t.Fatal("Count ignored explicit shard count")
+	}
+	if o := (*Options)(nil); o.active(1_000_000) {
+		t.Fatal("nil options reported active")
+	}
+}
+
+func TestContextCancellation(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	r := randomRel(rng, "R", []string{"a", "b"}, 200, 10)
+	s := randomRel(rng, "S", []string{"b", "c"}, 200, 10)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := NaturalJoin(ctx, forceShard(4), r, s); err == nil {
+		t.Fatal("canceled context did not abort the sharded join")
+	}
+	if _, err := Semijoin(ctx, forceShard(4), r, s); err == nil {
+		t.Fatal("canceled context did not abort the sharded semijoin")
+	}
+}
