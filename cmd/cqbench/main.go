@@ -14,8 +14,11 @@
 //
 // With -shardbench it compares partition-parallel (internal/shard) against
 // single-shard execution of the same strategy on the scaled workloads —
-// the sweep behind BENCH_sharded.json; -shards N sets the partition count
-// for both -shardbench and the planned-sharded rows of -planbench.
+// the sweep behind BENCH_sharded.json — and reports, per query, how the
+// exchange router behaved: operators sharded vs fallen back, rows reused
+// in place vs repartitioned, broadcasts and skew splits. -shards N sets
+// the partition count for both -shardbench and the planned-sharded rows of
+// -planbench; -skew F sets the hot-shard split fraction.
 //
 // Usage:
 //
@@ -23,7 +26,7 @@
 //	cqbench -experiment E7
 //	cqbench -all [-markdown]
 //	cqbench -planbench [-json] [-shards N] [-baseline BENCH_baseline.json [-threshold 3]]
-//	cqbench -shardbench [-json] [-shards N]
+//	cqbench -shardbench [-json] [-shards N] [-skew F]
 package main
 
 import (
@@ -43,6 +46,7 @@ func main() {
 	planbench := flag.Bool("planbench", false, "benchmark planned vs fixed evaluation strategies")
 	shardbench := flag.Bool("shardbench", false, "benchmark sharded vs single-shard execution on scaled workloads")
 	shards := flag.Int("shards", 0, "partition count for sharded runs (0 = default 16)")
+	skew := flag.Float64("skew", 0, "hot-shard split fraction for sharded runs (0 = default 0.25, negative disables)")
 	jsonOut := flag.Bool("json", false, "emit -planbench/-shardbench results as JSON")
 	baseline := flag.String("baseline", "", "compare -planbench against this JSON baseline and fail on regression")
 	threshold := flag.Float64("threshold", 3.0, "regression factor tolerated against -baseline")
@@ -57,7 +61,7 @@ func main() {
 
 	switch {
 	case *shardbench:
-		printShardBench(runShardBench(*shards), *jsonOut)
+		printShardBench(runShardBench(*shards, *skew), *jsonOut)
 	case *planbench:
 		report := runPlanBench(*jsonOut, *shards)
 		if *baseline != "" {

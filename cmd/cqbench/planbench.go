@@ -131,6 +131,17 @@ func scaledWorkloads() []workload {
 			db:        func() *database.Database { return graphDB([]string{"R", "S", "T", "U"}, 6000, 1200, 13) },
 			skipNaive: true,
 		},
+		{
+			// Zipf-skewed path: hub nodes absorb a large share of each join
+			// column, hashing most matching rows into one shard — the
+			// workload the exchange's hot-shard splitting exists for.
+			name: "path-4-zipf",
+			text: "Q(A,E) <- R(A,B), S(B,C), T(C,D), U(D,E).",
+			db: func() *database.Database {
+				return datagen.ZipfEdgeDB(rand.New(rand.NewSource(14)), []string{"R", "S", "T", "U"}, 3000, 600, 1.4)
+			},
+			skipNaive: true,
+		},
 	}
 }
 

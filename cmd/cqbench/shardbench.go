@@ -7,7 +7,13 @@ package main
 // plan (the planner's generic join extends one variable at a time and has
 // no binary join to partition); acyclic ones run Yannakakis, whose
 // semijoin passes and final joins co-partition on the tree's join columns.
-// The recorded document lives in BENCH_sharded.json.
+//
+// Alongside the timings, each run records what the exchange router
+// actually did — sharded vs fallback operators, rows reused in place vs
+// physically repartitioned, broadcasts, skew splits — so a workload that
+// quietly collapses to single-shard execution (the pre-exchange triangle
+// regression) is visible in the report instead of only in the ratio. The
+// recorded document lives in BENCH_sharded.json.
 
 import (
 	"context"
@@ -22,7 +28,8 @@ import (
 	"cqbound/internal/shard"
 )
 
-// ShardRun is one workload's single-shard vs sharded measurement.
+// ShardRun is one workload's single-shard vs sharded measurement, plus the
+// exchange-routing counters of one instrumented sharded evaluation.
 type ShardRun struct {
 	Name          string  `json:"name"`
 	Query         string  `json:"query"`
@@ -31,12 +38,27 @@ type ShardRun struct {
 	SingleShardNs int64   `json:"single_shard_ns_per_op"`
 	ShardedNs     int64   `json:"sharded_ns_per_op"`
 	Speedup       float64 `json:"speedup"`
+
+	// ShardedOps / FallbackOps: operators that ran partition-parallel vs
+	// fell back to single-shard for one evaluation. A high fallback count
+	// explains a ratio near 1.0 — the sharded run barely sharded.
+	ShardedOps  int64 `json:"sharded_ops"`
+	FallbackOps int64 `json:"fallback_ops"`
+	// PreExchangeRows is the total rows arriving at exchanges (reused +
+	// repartitioned); PostExchangeRows is the subset that physically moved
+	// to a new key. The difference is what end-to-end sharding saved.
+	PreExchangeRows  int64 `json:"pre_exchange_rows"`
+	PostExchangeRows int64 `json:"post_exchange_rows"`
+	BroadcastOps     int64 `json:"broadcast_ops"`
+	SkewSplits       int64 `json:"skew_splits"`
 }
 
 // ShardBenchReport is the top-level JSON document of -shardbench.
 type ShardBenchReport struct {
 	// Shards is the partition count of the sharded runs.
 	Shards int `json:"shards"`
+	// SkewFraction is the hot-shard split trigger of the sharded runs.
+	SkewFraction float64 `json:"skew_fraction"`
 	// GOMAXPROCS records how many workers the pool could actually use:
 	// speedups above it come from cache locality (P small hash maps
 	// instead of one big one), speedups up to GOMAXPROCS× on top of that
@@ -45,9 +67,9 @@ type ShardBenchReport struct {
 	Runs       []ShardRun `json:"runs"`
 }
 
-func runShardBench(shards int) *ShardBenchReport {
+func runShardBench(shards int, skew float64) *ShardBenchReport {
 	ctx := context.Background()
-	report := &ShardBenchReport{Shards: shards, GOMAXPROCS: runtime.GOMAXPROCS(0)}
+	report := &ShardBenchReport{Shards: shards, SkewFraction: skew, GOMAXPROCS: runtime.GOMAXPROCS(0)}
 	for _, w := range scaledWorkloads() {
 		q := cq.MustParse(w.text)
 		db := w.db()
@@ -69,7 +91,7 @@ func runShardBench(shards int) *ShardBenchReport {
 			fmt.Fprintf(os.Stderr, "cqbench: %s single-shard: %v\n", w.name, err)
 			os.Exit(1)
 		}
-		opts := &shard.Options{MinRows: benchShardThreshold, Shards: shards}
+		opts := &shard.Options{MinRows: benchShardThreshold, Shards: shards, SkewFraction: skew}
 		shardedNs, shardedOut, _, err := timeStrategy(func() (int, eval.Stats, error) { return run(opts) })
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "cqbench: %s sharded: %v\n", w.name, err)
@@ -80,13 +102,28 @@ func runShardBench(shards int) *ShardBenchReport {
 				w.name, shardedOut, singleOut)
 			os.Exit(1)
 		}
+		// One instrumented evaluation with fresh counters: per-evaluation
+		// routing numbers, not sums over however many timing iterations ran.
+		m := &shard.Metrics{}
+		instr := &shard.Options{MinRows: benchShardThreshold, Shards: shards, SkewFraction: skew, Metrics: m}
+		if _, _, err := run(instr); err != nil {
+			fmt.Fprintf(os.Stderr, "cqbench: %s instrumented: %v\n", w.name, err)
+			os.Exit(1)
+		}
+		snap := m.Snapshot()
 		sr := ShardRun{
-			Name:          w.name,
-			Query:         w.text,
-			Strategy:      strategy.String(),
-			OutputTuples:  singleOut,
-			SingleShardNs: singleNs,
-			ShardedNs:     shardedNs,
+			Name:             w.name,
+			Query:            w.text,
+			Strategy:         strategy.String(),
+			OutputTuples:     singleOut,
+			SingleShardNs:    singleNs,
+			ShardedNs:        shardedNs,
+			ShardedOps:       snap.ShardedOps,
+			FallbackOps:      snap.FallbackOps,
+			PreExchangeRows:  snap.ReusedRows + snap.ExchangedRows,
+			PostExchangeRows: snap.ExchangedRows,
+			BroadcastOps:     snap.BroadcastOps,
+			SkewSplits:       snap.SkewSplits,
 		}
 		if shardedNs > 0 {
 			sr.Speedup = float64(singleNs) / float64(shardedNs)
@@ -106,9 +143,11 @@ func printShardBench(rep *ShardBenchReport, asJSON bool) {
 		}
 		return
 	}
-	fmt.Printf("shards=%d gomaxprocs=%d\n", rep.Shards, rep.GOMAXPROCS)
+	fmt.Printf("shards=%d skew=%.2f gomaxprocs=%d\n", rep.Shards, rep.SkewFraction, rep.GOMAXPROCS)
 	for _, r := range rep.Runs {
 		fmt.Printf("  %-14s %-14s out=%-7d single=%10dns sharded=%10dns speedup=%.2fx\n",
 			r.Name, r.Strategy, r.OutputTuples, r.SingleShardNs, r.ShardedNs, r.Speedup)
+		fmt.Printf("    routing: sharded=%d fallback=%d exchange_rows=%d/%d (reused+moved/moved) broadcast=%d skew_splits=%d\n",
+			r.ShardedOps, r.FallbackOps, r.PreExchangeRows, r.PostExchangeRows, r.BroadcastOps, r.SkewSplits)
 	}
 }

@@ -176,6 +176,10 @@ func ValueDict() *Dict { return relation.DefaultDict() }
 // NewRelation creates an empty relation with the given attribute names.
 func NewRelation(name string, attrs ...string) *Relation { return relation.New(name, attrs...) }
 
+// RelationsEqual reports whether two relations hold the same set of tuples
+// (attribute names are ignored; arity must match).
+func RelationsEqual(r, s *Relation) bool { return relation.Equal(r, s) }
+
 // NewDatabase creates an empty database.
 func NewDatabase() *Database { return database.New() }
 

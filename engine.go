@@ -49,23 +49,66 @@ type Engine struct {
 	analyses *lru.Cache[*analysisEntry]
 	plans    *lru.Cache[*planEntry]
 	sharding *shard.Options
+
+	// Staged by options, merged into sharding by NewEngine.
+	shardingOn   bool
+	shardMinRows int
+	shardCount   int
+	skewFraction float64
 }
 
 // Option configures an Engine at construction.
 type Option func(*Engine)
 
-// WithSharding routes evaluation through the partition-parallel operators
-// of internal/shard: any join, semijoin, or duplicate-eliminating
-// projection whose larger input has at least threshold rows is
-// hash-partitioned into the given number of shards (shards <= 0 means
-// GOMAXPROCS) and executed shard by shard on the worker pool. Steps below
-// the threshold — and joins with no shared column to partition on — run
-// single-shard exactly as without the option. Outputs are identical either
-// way; only wall-clock and memory locality change.
+// WithSharding routes evaluation through the exchange-routed
+// partition-parallel operators of internal/shard: any join, semijoin, or
+// duplicate-eliminating projection whose larger input has at least
+// threshold rows is hash-partitioned into the given number of shards
+// (shards <= 0 means GOMAXPROCS) and executed shard by shard on the worker
+// pool. Intermediate results stay partitioned between steps: a join whose
+// key matches the partitioning the previous step left reuses it outright,
+// and a mismatched key is handled by the exchange (repartition the stream
+// shard-to-shard, or broadcast a small side against the partitioned big
+// side). Steps below the threshold — and joins with no shared column to
+// partition on — run single-shard exactly as without the option. Outputs
+// are identical either way; only wall-clock and memory locality change.
+// ShardStats reports what the routing actually did.
 func WithSharding(threshold, shards int) Option {
 	return func(e *Engine) {
-		e.sharding = &shard.Options{MinRows: threshold, Shards: shards}
+		e.shardingOn = true
+		e.shardMinRows = threshold
+		e.shardCount = shards
 	}
+}
+
+// WithSkewSplitting tunes the hot-shard trigger of the sharded operators:
+// when one shard of an operator's probe side holds more than the given
+// fraction of that side's rows — one dominant key value hashes all its
+// rows into a single shard — the shard is split into row blocks that each
+// join against the (read-only, pointer-replicated) co-shard, keeping
+// per-worker cost balanced even under Zipf-distributed keys. The default
+// without this option is 0.25; a negative fraction disables splitting.
+// The option only takes effect alongside WithSharding.
+func WithSkewSplitting(fraction float64) Option {
+	return func(e *Engine) {
+		e.skewFraction = fraction
+	}
+}
+
+// ShardStats is a point-in-time copy of the engine's sharded-execution
+// counters: how many operators ran partition-parallel vs fell back, how
+// many rows arrived at exchanges already partitioned on the needed key vs
+// had to be repartitioned, and how often broadcasts and skew splits fired.
+// All zeros when the engine was built without WithSharding.
+type ShardStats = shard.Stats
+
+// ShardStats reports the engine's sharded-execution routing counters,
+// accumulated across all evaluations since the engine was built.
+func (e *Engine) ShardStats() ShardStats {
+	if e.sharding == nil {
+		return ShardStats{}
+	}
+	return e.sharding.Metrics.Snapshot()
 }
 
 // maxCacheEntries bounds each engine cache so long-lived servers seeing
@@ -93,6 +136,14 @@ func NewEngine(opts ...Option) *Engine {
 	}
 	for _, opt := range opts {
 		opt(e)
+	}
+	if e.shardingOn {
+		e.sharding = &shard.Options{
+			MinRows:      e.shardMinRows,
+			Shards:       e.shardCount,
+			SkewFraction: e.skewFraction,
+			Metrics:      &shard.Metrics{},
+		}
 	}
 	return e
 }

@@ -1,6 +1,7 @@
 package cqbound_test
 
 import (
+	"context"
 	"fmt"
 
 	"cqbound"
@@ -75,4 +76,115 @@ func ExampleSizeIncreasePossible() {
 	fmt.Println(cqbound.SizeIncreasePossible(grow), cqbound.SizeIncreasePossible(flat))
 	// Output:
 	// true false
+}
+
+// ExampleWithSharding builds a sharding engine: joins, semijoins and
+// projections over relations with at least `threshold` rows run
+// partition-parallel at the given shard count, with intermediate results
+// staying partitioned between steps (the exchange repartitions or
+// broadcasts when a join needs a different key). Outputs are identical to
+// an unsharded engine's.
+func ExampleWithSharding() {
+	q := cqbound.MustParse("Q(X,Z) <- R(X,Y), S(Y,Z).")
+	db := cqbound.NewDatabase()
+	r := cqbound.NewRelation("R", "a", "b")
+	s := cqbound.NewRelation("S", "a", "b")
+	for i := 0; i < 100; i++ {
+		r.Add(fmt.Sprintf("x%d", i%10), fmt.Sprintf("y%d", i%7))
+		s.Add(fmt.Sprintf("y%d", i%7), fmt.Sprintf("z%d", i%5))
+	}
+	db.MustAdd(r)
+	db.MustAdd(s)
+
+	sharded := cqbound.NewEngine(cqbound.WithSharding(0, 4)) // threshold 0: shard everything, P=4
+	plain := cqbound.NewEngine()
+	ctx := context.Background()
+	a, _, err := sharded.Evaluate(ctx, q, db)
+	if err != nil {
+		panic(err)
+	}
+	b, _, err := plain.Evaluate(ctx, q, db)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("sharded:", a.Size(), "tuples; identical:", cqbound.RelationsEqual(a, b))
+	// Output:
+	// sharded: 50 tuples; identical: true
+}
+
+// ExampleWithSkewSplitting tunes the hot-shard trigger: here every row of
+// R carries the same join value, so hash partitioning would serialize the
+// whole join into one shard — the skew handler splits that shard into row
+// blocks instead, and ShardStats records it.
+func ExampleWithSkewSplitting() {
+	q := cqbound.MustParse("Q(X,Z) <- R(X,Y), S(Y,Z).")
+	db := cqbound.NewDatabase()
+	r := cqbound.NewRelation("R", "a", "b")
+	s := cqbound.NewRelation("S", "a", "b")
+	for i := 0; i < 200; i++ {
+		r.Add(fmt.Sprintf("x%d", i), "hub") // one dominant join value
+	}
+	s.Add("hub", "z")
+	db.MustAdd(r)
+	db.MustAdd(s)
+
+	eng := cqbound.NewEngine(cqbound.WithSharding(0, 4), cqbound.WithSkewSplitting(0.2))
+	out, _, err := eng.Evaluate(context.Background(), q, db)
+	if err != nil {
+		panic(err)
+	}
+	st := eng.ShardStats()
+	fmt.Println(out.Size(), "tuples; hot shards split:", st.SkewSplits > 0)
+	// Output:
+	// 200 tuples; hot shards split: true
+}
+
+// ExampleEngine_CacheStats shows the serving-trace counters of the
+// analysis and plan LRU caches: the first evaluation of a query text
+// misses, repeats hit.
+func ExampleEngine_CacheStats() {
+	eng := cqbound.NewEngine()
+	q := cqbound.MustParse("Q(X,Z) <- R(X,Y), S(Y,Z).")
+	db := cqbound.NewDatabase()
+	r := cqbound.NewRelation("R", "a", "b")
+	r.Add("x", "y")
+	s := cqbound.NewRelation("S", "a", "b")
+	s.Add("y", "z")
+	db.MustAdd(r)
+	db.MustAdd(s)
+	ctx := context.Background()
+	for i := 0; i < 3; i++ {
+		if _, _, err := eng.Evaluate(ctx, q, db); err != nil {
+			panic(err)
+		}
+	}
+	hits, misses := eng.CacheStats()
+	fmt.Println("hits:", hits, "misses:", misses)
+	// Output:
+	// hits: 2 misses: 1
+}
+
+// ExampleEngine_ShardStats reads the exchange-routing counters: how many
+// operators ran partition-parallel vs fell back, and how many rows were
+// reused in place vs physically repartitioned.
+func ExampleEngine_ShardStats() {
+	q := cqbound.MustParse("Q(A,D) <- R(A,B), S(B,C), T(C,D).")
+	db := cqbound.NewDatabase()
+	for _, name := range []string{"R", "S", "T"} {
+		rel := cqbound.NewRelation(name, "a", "b")
+		for i := 0; i < 60; i++ {
+			rel.Add(fmt.Sprintf("u%d", i%12), fmt.Sprintf("u%d", (i+1)%12))
+		}
+		db.MustAdd(rel)
+	}
+	eng := cqbound.NewEngine(cqbound.WithSharding(0, 4))
+	if _, _, err := eng.Evaluate(context.Background(), q, db); err != nil {
+		panic(err)
+	}
+	st := eng.ShardStats()
+	fmt.Println("ran sharded:", st.ShardedOps > 0 && st.FallbackOps == 0)
+	fmt.Println("rows reused without repartitioning:", st.ReusedRows > 0)
+	// Output:
+	// ran sharded: true
+	// rows reused without repartitioning: true
 }

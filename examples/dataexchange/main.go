@@ -1,4 +1,5 @@
-// Data exchange (Section 1 motivation): schema mappings are specified as
+// Command dataexchange demonstrates data exchange (the Section 1
+// motivation): schema mappings are specified as
 // conjunctive queries from a source schema to a target schema, and the size
 // bounds of Theorem 4.4 estimate how much data must be materialized at the
 // target before any data is copied. Mappings whose color number exceeds 1

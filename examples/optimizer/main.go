@@ -1,4 +1,5 @@
-// Query admission control (Section 1 motivation): a multi-user DBMS wants
+// Command optimizer demonstrates query admission control (the Section 1
+// motivation): a multi-user DBMS wants
 // to reject queries whose worst-case output could be disruptive before
 // running them. Selectivity estimates set to 1 give the trivial r^k bound;
 // the color number gives the exact worst-case exponent, letting far more

@@ -1,6 +1,6 @@
-// Quickstart: parse a conjunctive query, compute every bound the paper
-// provides, let the engine plan and evaluate it on a small database, and
-// check the size bound against the measured output.
+// Command quickstart parses a conjunctive query, computes every bound the
+// paper provides, lets the engine plan and evaluate it on a small database,
+// and checks the size bound against the measured output.
 package main
 
 import (

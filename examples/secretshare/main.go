@@ -1,4 +1,5 @@
-// The Proposition 6.11 construction end to end: a query whose color number
+// Command secretshare runs the Proposition 6.11 construction end to end:
+// a query whose color number
 // stays below 2 while its true worst-case size increase is rmax^(k/2) —
 // the super-constant gap between the coloring lower bound and reality,
 // built from Shamir secret sharing over GF(N). The example also prints the

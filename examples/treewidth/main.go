@@ -1,4 +1,5 @@
-// Treewidth-preserving views (Section 5): many NP-hard analyses run in
+// Command treewidth demonstrates treewidth-preserving views (Section 5):
+// many NP-hard analyses run in
 // linear time on bounded-treewidth data (Courcelle's theorem), but the
 // analysis is often issued against a *view* defined by a conjunctive query.
 // This example decides which views keep a tree-shaped database

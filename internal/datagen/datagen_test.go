@@ -3,6 +3,9 @@ package datagen
 import (
 	"math/rand"
 	"testing"
+
+	"cqbound/internal/cq"
+	"cqbound/internal/relation"
 )
 
 func TestRandomQueryAlwaysValid(t *testing.T) {
@@ -55,5 +58,54 @@ func TestRandomDatabaseNonEmpty(t *testing.T) {
 		if db.Relation(rel).Size() == 0 {
 			t.Fatalf("relation %s empty", rel)
 		}
+	}
+}
+
+func TestZipfDatabaseIsSkewedAndFDClean(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	q := cq.MustParse("Q(X,Y) <- R1(X,Y), R2(Y,X).")
+	db := RandomDatabase(rng, q, DBParams{Tuples: 200, Universe: 20, ZipfS: 1.8})
+	if err := db.CheckFDs(q); err != nil {
+		t.Fatal(err)
+	}
+	// The hottest value of R1's first column should hold well more than the
+	// uniform share (200/20 = 10 rows before dedup).
+	r := db.Relation("R1")
+	counts := make(map[relation.Value]int)
+	for _, v := range r.Column(0) {
+		counts[v]++
+	}
+	hot := 0
+	for _, c := range counts {
+		if c > hot {
+			hot = c
+		}
+	}
+	if hot*4 < r.Size() {
+		t.Fatalf("zipf s=1.8: hottest value has %d of %d rows — not skewed", hot, r.Size())
+	}
+	// Determinism: the same seed reproduces the same instance.
+	db2 := RandomDatabase(rand.New(rand.NewSource(77)), cq.MustParse("Q(X,Y) <- R1(X,Y), R2(Y,X)."), DBParams{Tuples: 200, Universe: 20, ZipfS: 1.8})
+	if !relation.Equal(db.Relation("R1"), db2.Relation("R1")) {
+		t.Fatal("zipf generation not deterministic under a fixed seed")
+	}
+}
+
+func TestZipfEdgeDBSkew(t *testing.T) {
+	rng := rand.New(rand.NewSource(78))
+	db := ZipfEdgeDB(rng, []string{"E"}, 2000, 100, 1.5)
+	r := db.Relation("E")
+	counts := make(map[relation.Value]int)
+	for _, v := range r.Column(0) {
+		counts[v]++
+	}
+	hot := 0
+	for _, c := range counts {
+		if c > hot {
+			hot = c
+		}
+	}
+	if hot*10 < r.Size() {
+		t.Fatalf("zipf edges: hottest node has %d of %d rows — not skewed", hot, r.Size())
 	}
 }

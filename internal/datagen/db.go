@@ -16,6 +16,24 @@ type DBParams struct {
 	Tuples int
 	// Universe is the number of distinct values drawn from.
 	Universe int
+	// ZipfS, when > 1, skews every drawn value Zipf-style with exponent s:
+	// value u0 dominates, each later value is polynomially rarer. This is
+	// the hot-key generator behind the skew-handling tests — one value
+	// absorbing a large fraction of a column hashes all its rows into a
+	// single shard, forcing the exchange's hot-shard splitting. 0 (or
+	// anything <= 1) keeps the uniform draw.
+	ZipfS float64
+}
+
+// drawer returns the value-index generator the params select: uniform over
+// the universe, or Zipf-distributed when ZipfS > 1. Deterministic given
+// rng, like everything in this package.
+func (p DBParams) drawer(rng *rand.Rand) func() int {
+	if p.ZipfS > 1 && p.Universe > 1 {
+		z := rand.NewZipf(rng, p.ZipfS, 1, uint64(p.Universe-1))
+		return func() int { return int(z.Uint64()) }
+	}
+	return func() int { return rng.Intn(p.Universe) }
 }
 
 // RandomDatabase builds a database for q's body relations whose instance
@@ -38,13 +56,14 @@ func RandomDatabase(rng *rand.Rand, q *cq.Query, p DBParams) *database.Database 
 	for _, f := range q.FDs {
 		fdsByRel[f.Relation] = append(fdsByRel[f.Relation], f)
 	}
+	draw := p.drawer(rng)
 	db := database.New()
 	for rel, arity := range relArities(q) {
 		rows := make([][]relation.Value, p.Tuples)
 		for i := range rows {
 			row := make([]relation.Value, arity)
 			for j := range row {
-				row[j] = val(rng.Intn(p.Universe))
+				row[j] = val(draw())
 			}
 			rows[i] = row
 		}
@@ -140,6 +159,24 @@ func EdgeDB(rng *rand.Rand, names []string, edges, universe int) *database.Datab
 		r := relation.New(name, "a", "b")
 		for i := 0; i < edges; i++ {
 			r.Add(fmt.Sprintf("u%d", rng.Intn(universe)), fmt.Sprintf("u%d", rng.Intn(universe)))
+		}
+		db.MustAdd(r)
+	}
+	return db
+}
+
+// ZipfEdgeDB is EdgeDB with Zipf-distributed endpoints: both columns draw
+// node ids with exponent s (> 1), so a handful of hub nodes carry most of
+// the edges. Joining on a hub column hashes a large fraction of each
+// relation into one shard — the workload that exercises (and justifies)
+// the exchange's skew splitting.
+func ZipfEdgeDB(rng *rand.Rand, names []string, edges, universe int, s float64) *database.Database {
+	draw := DBParams{Universe: universe, ZipfS: s}.drawer(rng)
+	db := database.New()
+	for _, name := range names {
+		r := relation.New(name, "a", "b")
+		for i := 0; i < edges; i++ {
+			r.Add(fmt.Sprintf("u%d", draw()), fmt.Sprintf("u%d", draw()))
 		}
 		db.MustAdd(r)
 	}

@@ -1,0 +1,47 @@
+// Package eval evaluates conjunctive queries over databases. Four
+// strategies are provided:
+//
+//   - Naive: left-deep natural joins over the body atoms followed by a final
+//     head projection — the textbook plan whose intermediates can explode.
+//   - JoinProject: the project-early plan in the spirit of Corollary 4.8 and
+//     Theorem 15 of Atserias–Grohe–Marx: after each join, variables that are
+//     neither head variables nor needed by later atoms are projected away.
+//     JoinProjectOrdered additionally accepts a planner-chosen atom order.
+//   - GenericJoin: a variable-at-a-time worst-case optimal join (the modern
+//     algorithm family the AGM bound gave rise to).
+//   - Yannakakis (yannakakis.go): the linear-time algorithm for α-acyclic
+//     queries.
+//
+// All strategies return exactly Q(D) and are cross-checked in tests. Each
+// has a context-aware form (NaiveCtx, JoinProjectOrdered, GenericJoinCtx,
+// YannakakisCtx) that honors cancellation and stops early when an
+// intermediate result is empty; the plain forms are conveniences with a
+// background context and the body's own atom order.
+//
+// # Sharded execution
+//
+// JoinProjectExec and YannakakisExec take a *shard.Options and, when it
+// enables sharding, route every binary join, semijoin and
+// duplicate-eliminating projection through the exchange-routed operators
+// of internal/shard. The intermediate result flows between steps as a
+// shard.Stream that stays hash-partitioned: a step whose join key matches
+// the partitioning the previous step left reuses it outright, and a
+// mismatched key is repartitioned (or a small side broadcast) by the
+// exchange, so a multi-join plan — a triangle, a cycle, a Yannakakis
+// semijoin chain — keeps every step partition-parallel instead of
+// collapsing to one shard after the first join. Per-step fallback rules
+// (inputs below Options.MinRows, no shared column) are internal/shard's;
+// outputs are identical with or without sharding, which the 220-pair
+// property harness proves against Naive at several shard counts including
+// Zipf-skewed data.
+//
+// GenericJoin extends one variable at a time and has no binary join to
+// partition, so it ignores the options (see the ROADMAP's sharded generic
+// join item).
+//
+// Binding relations (bindingRelation) are the bridge from atoms to
+// relations: for atoms without repeated variables they are O(arity)
+// copy-on-write renames of the stored relation, so memoized statistics,
+// indexes, tries and shard partitions of the base relation serve every
+// query that touches it.
+package eval

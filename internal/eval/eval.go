@@ -1,27 +1,11 @@
-// Package eval evaluates conjunctive queries over databases. Four
-// strategies are provided:
-//
-//   - Naive: left-deep natural joins over the body atoms followed by a final
-//     head projection — the textbook plan whose intermediates can explode.
-//   - JoinProject: the project-early plan in the spirit of Corollary 4.8 and
-//     Theorem 15 of Atserias–Grohe–Marx: after each join, variables that are
-//     neither head variables nor needed by later atoms are projected away.
-//     JoinProjectOrdered additionally accepts a planner-chosen atom order.
-//   - GenericJoin: a variable-at-a-time worst-case optimal join (the modern
-//     algorithm family the AGM bound gave rise to).
-//   - Yannakakis (yannakakis.go): the linear-time algorithm for α-acyclic
-//     queries.
-//
-// All strategies return exactly Q(D) and are cross-checked in tests. Each
-// has a context-aware form (NaiveCtx, JoinProjectOrdered, GenericJoinCtx,
-// YannakakisCtx) that honors cancellation and stops early when an
-// intermediate result is empty; the plain forms are conveniences with a
-// background context and the body's own atom order.
 package eval
+
+// Strategy implementations; package documentation lives in doc.go.
 
 import (
 	"context"
 	"fmt"
+	"slices"
 	"sort"
 
 	"cqbound/internal/cq"
@@ -97,13 +81,17 @@ func JoinProjectOrdered(ctx context.Context, q *cq.Query, db *database.Database,
 	return JoinProjectExec(ctx, q, db, order, nil)
 }
 
-// JoinProjectExec is JoinProjectOrdered with sharded execution: when opts
-// enables sharding, every join, interleaved projection, and the head
-// projection run partition-parallel over internal/shard, co-partitioned on
-// a shared column of the join the planner's atom order set up. Joins whose
-// inputs are below opts.MinRows — and joins with no shared column to
-// partition on — fall back to single-shard operators per step. nil opts is
-// exactly JoinProjectOrdered.
+// JoinProjectExec is JoinProjectOrdered with exchange-routed sharded
+// execution: when opts enables sharding, every join, interleaved
+// projection, and the head projection run partition-parallel over
+// internal/shard, and the intermediate result flows between steps as a
+// shard.Stream that stays partitioned — each join reuses the partitioning
+// the previous operator left when it aligns with a join column, and the
+// exchange repartitions (or broadcasts against) it otherwise, so a
+// multi-join plan never collapses to one shard after its first join.
+// Steps whose inputs are below opts.MinRows — and joins with no shared
+// column to partition on — fall back to single-shard operators per step.
+// nil opts is exactly JoinProjectOrdered.
 func JoinProjectExec(ctx context.Context, q *cq.Query, db *database.Database, order []int, opts *shard.Options) (*relation.Relation, Stats, error) {
 	var st Stats
 	if err := validateAtoms(q, db); err != nil {
@@ -127,24 +115,26 @@ func JoinProjectExec(ctx context.Context, q *cq.Query, db *database.Database, or
 	}
 	head := q.HeadVarSet()
 
-	project := func(r *relation.Relation, after int) (*relation.Relation, error) {
+	project := func(cur shard.Stream, after int) (shard.Stream, error) {
+		attrs := cur.Attrs()
 		var keep []string
-		for _, attr := range r.Attrs {
+		for _, attr := range attrs {
 			v := cq.Variable(attr)
 			if head[v] || needLater[after+1][v] {
 				keep = append(keep, attr)
 			}
 		}
-		if len(keep) == len(r.Attrs) {
-			return r, nil
+		if len(keep) == len(attrs) {
+			return cur, nil
 		}
-		return projectNames(ctx, opts, r, keep)
+		return projectNames(ctx, opts, cur, keep)
 	}
 
-	cur, err := bindingRelation(body[0], db)
+	first, err := bindingRelation(body[0], db)
 	if err != nil {
 		return nil, st, err
 	}
+	cur := shard.StreamOf(first)
 	if cur, err = project(cur, 0); err != nil {
 		return nil, st, err
 	}
@@ -161,7 +151,7 @@ func JoinProjectExec(ctx context.Context, q *cq.Query, db *database.Database, or
 		if err != nil {
 			return nil, st, err
 		}
-		cur, err = shard.NaturalJoin(ctx, opts, cur, next)
+		cur, err = shard.NaturalJoinStream(ctx, opts, cur, shard.StreamOf(next))
 		if err != nil {
 			return nil, st, err
 		}
@@ -177,20 +167,20 @@ func JoinProjectExec(ctx context.Context, q *cq.Query, db *database.Database, or
 	return out, st, err
 }
 
-// projectNames is Relation.Project routed through the sharded projection:
-// name resolution happens here once, then shard.ProjectIdx decides whether
-// to partition (repartitioning on the highest-cardinality kept column) or
-// fall back.
-func projectNames(ctx context.Context, opts *shard.Options, r *relation.Relation, attrs []string) (*relation.Relation, error) {
+// projectNames is Relation.Project routed through the exchange-routed
+// projection: name resolution happens here once, then shard.ProjectStream
+// decides whether to project shard-by-shard (the stream's partition key is
+// kept), exchange onto a kept column first, or fall back single-shard.
+func projectNames(ctx context.Context, opts *shard.Options, cur shard.Stream, attrs []string) (shard.Stream, error) {
 	idx := make([]int, len(attrs))
 	for i, a := range attrs {
-		j := r.AttrIndex(a)
+		j := slices.Index(cur.Attrs(), a)
 		if j < 0 {
-			return nil, fmt.Errorf("eval: unknown attribute %q in projection of %s", a, r.Name)
+			return shard.Stream{}, fmt.Errorf("eval: unknown attribute %q in projection", a)
 		}
 		idx[i] = j
 	}
-	return shard.ProjectIdx(ctx, opts, r, idx)
+	return shard.ProjectStream(ctx, opts, cur, idx)
 }
 
 // orderedBody returns the body atoms along the given permutation of indices
@@ -308,26 +298,28 @@ func bindingRelation(a cq.Atom, db *database.Database) (*relation.Relation, erro
 // every head variable as an attribute. Head positions may repeat variables;
 // output attributes are named p1..pk and the relation carries the head name.
 func headProjection(q *cq.Query, bind *relation.Relation) (*relation.Relation, error) {
-	return headProjectionExec(context.Background(), nil, q, bind)
+	return headProjectionExec(context.Background(), nil, q, shard.StreamOf(bind))
 }
 
-// headProjectionExec is headProjection through the sharded projection: the
-// final dedup over Q(D) — often the largest map an evaluation builds — is
-// split across partitions of a head column when opts enables sharding.
-func headProjectionExec(ctx context.Context, opts *shard.Options, q *cq.Query, bind *relation.Relation) (*relation.Relation, error) {
+// headProjectionExec is headProjection through the exchange-routed
+// projection: the final dedup over Q(D) — often the largest map an
+// evaluation builds — is split across partitions of a head column when
+// opts enables sharding, reusing the partitioning the last join left
+// behind whenever its key is a head variable.
+func headProjectionExec(ctx context.Context, opts *shard.Options, q *cq.Query, bind shard.Stream) (*relation.Relation, error) {
 	idx := make([]int, len(q.Head.Vars))
 	for i, v := range q.Head.Vars {
-		j := bind.AttrIndex(string(v))
+		j := slices.Index(bind.Attrs(), string(v))
 		if j < 0 {
 			return nil, fmt.Errorf("eval: head variable %s missing from bindings", v)
 		}
 		idx[i] = j
 	}
-	proj, err := shard.ProjectIdx(ctx, opts, bind, idx)
+	proj, err := shard.ProjectStream(ctx, opts, bind, idx)
 	if err != nil {
 		return nil, err
 	}
-	return proj.Rename(q.Head.Relation, headAttrs(q)...)
+	return proj.Rel().Rename(q.Head.Relation, headAttrs(q)...)
 }
 
 // GenericJoin evaluates q with a worst-case optimal variable-at-a-time

@@ -72,11 +72,14 @@ func TestPropertyStrategiesAgree(t *testing.T) {
 var shardCounts = []int{1, 2, 3, 5, 16}
 
 // TestPropertyShardedAgrees re-runs the harness's random query/database
-// pairs comparing sharded execution — project-early and (when acyclic)
-// Yannakakis through internal/shard, plus a WithSharding Engine — against
-// unsharded Naive. The threshold is zero so every join, semijoin and
-// projection takes the partitioned path regardless of size, covering empty
-// shards, single-value skew and P=1 as the random data produces them.
+// pairs comparing exchange-routed sharded execution — project-early and
+// (when acyclic) Yannakakis through internal/shard, plus a WithSharding
+// Engine — against unsharded Naive. The threshold is zero so every join,
+// semijoin and projection takes the partitioned path regardless of size,
+// covering empty shards, P=1, and partition reuse/repartition/broadcast
+// routing as the random data produces them; the skew fraction is forced
+// low (0.2) so hot-shard splitting fires on the Zipf-skewed database
+// profiles instead of only on pathological inputs.
 func TestPropertyShardedAgrees(t *testing.T) {
 	iters := propertyIterations
 	if testing.Short() {
@@ -92,10 +95,14 @@ func TestPropertyShardedAgrees(t *testing.T) {
 		{Tuples: 12, Universe: 6},
 		{Tuples: 25, Universe: 4},
 		{Tuples: 6, Universe: 12},
+		// Zipf-skewed: one value dominates every column, hashing most rows
+		// into one shard — the skew splitter's beat.
+		{Tuples: 30, Universe: 8, ZipfS: 1.7},
+		{Tuples: 20, Universe: 15, ZipfS: 2.5},
 	}
 	engines := make([]*cqbound.Engine, len(shardCounts))
 	for i, p := range shardCounts {
-		engines[i] = cqbound.NewEngine(cqbound.WithSharding(0, p))
+		engines[i] = cqbound.NewEngine(cqbound.WithSharding(0, p), cqbound.WithSkewSplitting(propertySkewFraction))
 	}
 	for i := 0; i < iters; i++ {
 		rng := rand.New(rand.NewSource(propertyBaseSeed + int64(i)))
@@ -113,12 +120,16 @@ func TestPropertyShardedAgrees(t *testing.T) {
 	}
 }
 
+// propertySkewFraction forces hot-shard splitting on the harness's tiny
+// relations: any shard holding over a fifth of its side's rows splits.
+const propertySkewFraction = 0.2
+
 // shardedDisagreement compares sharded execution at partition count p
 // against unsharded Naive, returning a description of the first
 // inconsistency ("" when all agree).
 func shardedDisagreement(eng *cqbound.Engine, p int, q *cq.Query, db *database.Database) string {
 	ctx := context.Background()
-	opts := &shard.Options{MinRows: 0, Shards: p}
+	opts := &shard.Options{MinRows: 0, Shards: p, SkewFraction: propertySkewFraction}
 	ref, _, err := eval.NaiveCtx(ctx, q, db)
 	if err != nil {
 		return fmt.Sprintf("naive: %v", err)

@@ -3,6 +3,7 @@ package eval
 import (
 	"context"
 	"fmt"
+	"slices"
 	"sync"
 
 	"cqbound/internal/cq"
@@ -135,13 +136,18 @@ func YannakakisCtx(ctx context.Context, q *cq.Query, db *database.Database) (*re
 	return YannakakisExec(ctx, q, db, nil)
 }
 
-// YannakakisExec is YannakakisCtx with sharded execution: when opts enables
-// sharding, every semijoin of the bottom-up and top-down passes — and every
-// join and projection of the final pass — runs co-partitioned on the shared
-// join column between parent and child, each pass fanning its shards out
-// over internal/pool. Inputs below opts.MinRows, and parent/child pairs
-// sharing no column, fall back to single-shard operators per step. nil opts
-// is exactly YannakakisCtx.
+// YannakakisExec is YannakakisCtx with exchange-routed sharded execution:
+// when opts enables sharding, every semijoin of the bottom-up and top-down
+// passes — and every join and projection of the final pass — runs
+// partition-parallel, and each atom's binding flows between passes as a
+// shard.Stream that keeps whatever partitioning the previous pass built.
+// Semijoin outputs are subsets of their left input, so a binding
+// partitioned once stays partitioned through every later semijoin against
+// it (misaligned passes broadcast the other side instead of
+// repartitioning); the final joins then reuse those partitions when they
+// align. Inputs below opts.MinRows, and parent/child pairs sharing no
+// column, fall back to single-shard operators per step. nil opts is
+// exactly YannakakisCtx.
 func YannakakisExec(ctx context.Context, q *cq.Query, db *database.Database, opts *shard.Options) (*relation.Relation, Stats, error) {
 	var st Stats
 	if err := validateAtoms(q, db); err != nil {
@@ -151,7 +157,7 @@ func YannakakisExec(ctx context.Context, q *cq.Query, db *database.Database, opt
 	if !ok {
 		return nil, st, fmt.Errorf("eval: query is not acyclic; use JoinProject or GenericJoin")
 	}
-	bindings := make([]*relation.Relation, len(q.Body))
+	bindings := make([]shard.Stream, len(q.Body))
 	for i, a := range q.Body {
 		b, err := bindingRelation(a, db)
 		if err != nil {
@@ -161,7 +167,7 @@ func YannakakisExec(ctx context.Context, q *cq.Query, db *database.Database, opt
 			st.EarlyExit = true
 			return emptyOutput(q), st, nil
 		}
-		bindings[i] = b
+		bindings[i] = shard.StreamOf(b)
 	}
 	// Stats are updated from worker goroutines; guard them.
 	var stMu sync.Mutex
@@ -185,7 +191,7 @@ func YannakakisExec(ctx context.Context, q *cq.Query, db *database.Database, opt
 			return err
 		}
 		for _, c := range n.Children {
-			reduced, err := shard.Semijoin(ctx, opts, bindings[n.AtomIndex], bindings[c.AtomIndex])
+			reduced, err := shard.SemijoinStream(ctx, opts, bindings[n.AtomIndex], bindings[c.AtomIndex])
 			if err != nil {
 				return err
 			}
@@ -205,7 +211,7 @@ func YannakakisExec(ctx context.Context, q *cq.Query, db *database.Database, opt
 		}
 		return pool.Run(ctx, 0, len(n.Children), func(i int) error {
 			c := n.Children[i]
-			reduced, err := shard.Semijoin(ctx, opts, bindings[c.AtomIndex], bindings[n.AtomIndex])
+			reduced, err := shard.SemijoinStream(ctx, opts, bindings[c.AtomIndex], bindings[n.AtomIndex])
 			if err != nil {
 				return err
 			}
@@ -221,12 +227,12 @@ func YannakakisExec(ctx context.Context, q *cq.Query, db *database.Database, opt
 	// Sibling subtrees join in parallel; the fold into the parent is
 	// sequential in child order, keeping results deterministic.
 	head := q.HeadVarSet()
-	var join func(n *JoinTreeNode) (*relation.Relation, error)
-	join = func(n *JoinTreeNode) (*relation.Relation, error) {
+	var join func(n *JoinTreeNode) (shard.Stream, error)
+	join = func(n *JoinTreeNode) (shard.Stream, error) {
 		if err := ctx.Err(); err != nil {
-			return nil, err
+			return shard.Stream{}, err
 		}
-		subs := make([]*relation.Relation, len(n.Children))
+		subs := make([]shard.Stream, len(n.Children))
 		if err := pool.Run(ctx, 0, len(n.Children), func(i int) error {
 			sub, err := join(n.Children[i])
 			if err == nil {
@@ -234,38 +240,40 @@ func YannakakisExec(ctx context.Context, q *cq.Query, db *database.Database, opt
 			}
 			return err
 		}); err != nil {
-			return nil, err
+			return shard.Stream{}, err
 		}
 		cur := bindings[n.AtomIndex]
 		for _, sub := range subs {
 			var err error
-			cur, err = shard.NaturalJoin(ctx, opts, cur, sub)
+			cur, err = shard.NaturalJoinStream(ctx, opts, cur, sub)
 			if err != nil {
-				return nil, err
+				return shard.Stream{}, err
 			}
 			countJoin(cur.Size())
 		}
 		// Project to head variables plus this subtree's connection to its
 		// parent (handled by the caller keeping the parent's attributes):
 		// keep head vars and any attribute also present in the parent atom.
+		attrs := cur.Attrs()
+		ownAttrs := bindings[n.AtomIndex].Attrs()
 		var keep []string
-		for _, attr := range cur.Attrs {
+		for _, attr := range attrs {
 			if head[cq.Variable(attr)] {
 				keep = append(keep, attr)
 				continue
 			}
 			// Needed by an ancestor? Conservatively keep attributes of this
 			// node's own atom (the parent joins only on those).
-			if bindings[n.AtomIndex].AttrIndex(attr) >= 0 {
+			if slices.Contains(ownAttrs, attr) {
 				keep = append(keep, attr)
 			}
 		}
 		if len(keep) == 0 {
 			// Unreachable: cur always retains this node's own atom
 			// attributes, and atoms have at least one variable.
-			return nil, fmt.Errorf("eval: internal: empty projection in Yannakakis")
+			return shard.Stream{}, fmt.Errorf("eval: internal: empty projection in Yannakakis")
 		}
-		if len(keep) == len(cur.Attrs) {
+		if len(keep) == len(attrs) {
 			return cur, nil
 		}
 		return projectNames(ctx, opts, cur, keep)

@@ -1,23 +1,6 @@
-// Package plan is the bound-driven query planner: it turns the paper's
-// structural analysis into an executable decision about how to evaluate a
-// conjunctive query. The selection rule follows the cost bounds proved for
-// each strategy:
-//
-//   - α-acyclic queries (GYO reduction succeeds) run under Yannakakis'
-//     algorithm, whose intermediates stay within O(input + output);
-//   - cyclic queries whose color number C(chase(Q)) is small and tight run
-//     the project-early plan of Corollary 4.8, whose cost is polynomial with
-//     exponent C + 1;
-//   - everything else — large color numbers, or compound dependencies where
-//     only the exponential entropy LP could price the query — runs the
-//     worst-case optimal generic join, safe under the AGM bound rmax^ρ*(Q).
-//
-// Selection needs only the cheap structural stage of internal/core (the
-// chase and the polynomial coloring LPs); it never pays for the entropy LP.
-// Atom ordering for the project-early plan is a separate, data-aware step
-// (order.go) so a structural plan can be cached per query and re-ordered
-// per database.
 package plan
+
+// Strategy selection; package documentation lives in doc.go.
 
 import (
 	"context"

@@ -1,0 +1,51 @@
+// Package relation is a small in-memory relational engine: named relations
+// with set semantics (duplicate tuples are eliminated), selection,
+// projection, renaming, unions, products, and index-backed natural, equi
+// and semi joins. It is the substrate on which queries are evaluated and
+// the paper's worst-case instances are materialized and measured.
+//
+// # Storage
+//
+// Storage is interned and columnar: every field value is a fixed-width
+// Value (an ID into a Dict, see dict.go) and each attribute is stored as a
+// contiguous []Value column. Tuple keys — the currency of dedup, joins and
+// semijoins — are fixed-width byte packings of IDs. Renaming and cloning
+// share column storage copy-on-write, so deriving a differently-named view
+// of a base relation (the hot path of query evaluation) is O(arity), not
+// O(n·arity). Slice extends the same idea to row ranges: a contiguous
+// block of rows is an O(arity) view, which is how the sharding layer cuts
+// a hot shard into blocks without copying.
+//
+// # The memo table
+//
+// Every derived structure a relation serves — per-column distinct counts
+// (stats.go), hash indexes (index.go), the generic join's tries, and
+// internal/shard's partitions — lives in one mutex-guarded, size-keyed
+// memo table (Relation.Memo):
+//
+//   - Entries record the relation size they were built at, so an insert
+//     invalidates implicitly: the next reader rebuilds.
+//   - Clone/Rename views delegate memo calls to the relation whose storage
+//     they share (until they diverge by insertion), so one stored row set
+//     has one set of memos no matter how many named views serve it. This
+//     is why internal/shard memoizes partitions per (key, P) "on the
+//     relation memo table" and every binding view of a base relation sees
+//     them.
+//   - Builders run outside the lock; concurrent builders may race and the
+//     last store wins, which is harmless for the idempotent structures
+//     cached here.
+//
+// Views produced by ProjectView and Slice share storage without a memo
+// parent — their column positions or row indices differ from the base, so
+// delegation would serve wrong answers; they build their own memos.
+//
+// # Concurrency
+//
+// A Relation is safe for concurrent readers (statistics, indexes and memos
+// are mutex-guarded), and a single writer may insert while no reader is
+// using the relation. Mutating a relation concurrently with readers of it
+// — or of views sharing its storage — is a data race. Operators whose
+// outputs are distinct by construction (joins of set-semantics inputs,
+// Gather/GatherMulti/Concat of disjoint parts) skip the dedup map
+// entirely and build it lazily only if Insert or Has later needs it.
+package relation

@@ -1,22 +1,6 @@
-// Package relation is a small in-memory relational engine: named relations
-// with set semantics (duplicate tuples are eliminated), selection,
-// projection, renaming, unions, products, and index-backed natural, equi and
-// semi joins. It is the substrate on which queries are evaluated and the
-// paper's worst-case instances are materialized and measured.
-//
-// Storage is interned and columnar: every field value is a fixed-width
-// Value (an ID into a Dict, see dict.go) and each attribute is stored as a
-// contiguous []Value column. Tuple keys — the currency of dedup, joins and
-// semijoins — are fixed-width byte packings of IDs instead of the seed's
-// length-prefixed string rebuilds. Renaming and cloning share column storage
-// copy-on-write, so deriving a differently-named view of a base relation
-// (the hot path of query evaluation) is O(arity), not O(n·arity).
-//
-// Concurrency: a Relation is safe for concurrent readers (statistics,
-// indexes and memos are mutex-guarded), and a single writer may insert while
-// no reader is using the relation. Mutating a relation concurrently with
-// readers of it — or of views sharing its storage — is a data race.
 package relation
+
+// Core storage and operators; package documentation lives in doc.go.
 
 import (
 	"encoding/binary"
@@ -414,6 +398,40 @@ func (r *Relation) Gather(name string, rows []int32) *Relation {
 	return out
 }
 
+// GatherMulti materializes selected rows drawn from several equal-arity
+// source relations as one owned relation: rows[i] lists the row indices
+// taken from srcs[i], in order. It is Gather generalized across sources —
+// the exchange repartitioning primitive: rebucketing a partitioned view
+// onto a new key copies each surviving row exactly once, without first
+// concatenating the old shards into a flat relation. Like Gather, the
+// result carries no dedup map: callers guarantee the selected rows are
+// pairwise distinct (rows of disjoint partition shards are).
+func GatherMulti(name string, attrs []string, srcs []*Relation, rows [][]int32) (*Relation, error) {
+	if len(srcs) != len(rows) {
+		return nil, fmt.Errorf("relation: gather from %d sources with %d row lists", len(srcs), len(rows))
+	}
+	out := New(name, attrs...)
+	total := 0
+	for i, src := range srcs {
+		if src.Arity() != len(attrs) {
+			return nil, fmt.Errorf("relation: gather source %s has arity %d, want %d", src.Name, src.Arity(), len(attrs))
+		}
+		total += len(rows[i])
+	}
+	for c := range out.cols {
+		col := make([]Value, 0, total)
+		for i, src := range srcs {
+			sc := src.cols[c]
+			for _, row := range rows[i] {
+				col = append(col, sc[row])
+			}
+		}
+		out.cols[c] = col
+	}
+	out.n = total
+	return out, nil
+}
+
 // Concat concatenates parts of equal arity into one owned relation without a
 // dedup pass: callers guarantee the parts' tuple sets are pairwise disjoint
 // (partition shards are — tuples in different shards differ on the partition
@@ -466,6 +484,28 @@ func (r *Relation) ProjectView(name string, attrs []string, idx ...int) (*Relati
 	// Shared storage without a parent: first insert copies the columns, but
 	// memos are r's own (r has a different schema, so delegation would serve
 	// wrong column positions).
+	out.shared = true
+	return out, nil
+}
+
+// Slice returns rows [lo, hi) of r as an O(arity) copy-on-write view with
+// the given name: column headers are re-sliced, no values are copied, and
+// the first insert into the view copies its rows out. Distinct source rows
+// stay distinct, so the view keeps set semantics without a dedup map. Slice
+// is the skew-splitting primitive of internal/shard: a hot partition shard
+// is cut into row blocks that join independently against a replicated
+// (pointer-shared, read-only) co-shard.
+func (r *Relation) Slice(name string, lo, hi int) (*Relation, error) {
+	if lo < 0 || hi < lo || hi > r.n {
+		return nil, fmt.Errorf("relation %s: slice [%d,%d) out of range for %d rows", r.Name, lo, hi, r.n)
+	}
+	out := New(name, r.Attrs...)
+	out.n = hi - lo
+	for c := range r.cols {
+		out.cols[c] = r.cols[c][lo:hi]
+	}
+	// Shared storage without a memo parent: row indices shifted by lo, so
+	// delegating memoized indexes or statistics would serve wrong rows.
 	out.shared = true
 	return out, nil
 }
@@ -529,10 +569,20 @@ func concatAttrs(r, s *Relation) []string {
 // operator (NaturalJoin, Semijoin, the sharded routing layer) pairs
 // columns through this one helper so they cannot desynchronize.
 func SharedCols(r, s *Relation) (rCols, sCols []int) {
-	for j, a := range s.Attrs {
-		if i := r.AttrIndex(a); i >= 0 {
-			rCols = append(rCols, i)
-			sCols = append(sCols, j)
+	return SharedColsNames(r.Attrs, s.Attrs)
+}
+
+// SharedColsNames is SharedCols over bare attribute slices — the form the
+// sharded exchange router uses, since a partitioned stream knows its schema
+// without materializing a flat relation.
+func SharedColsNames(rAttrs, sAttrs []string) (rCols, sCols []int) {
+	for j, a := range sAttrs {
+		for i, b := range rAttrs {
+			if a == b {
+				rCols = append(rCols, i)
+				sCols = append(sCols, j)
+				break
+			}
 		}
 	}
 	return rCols, sCols
@@ -567,22 +617,35 @@ func NaturalJoin(r, s *Relation) (*Relation, error) {
 // whose co-partitioned HashJoin concatenates per-shard raw joins of the
 // same shape.
 func NaturalJoinView(joined, r, s *Relation, sCols []int) (*Relation, error) {
-	dropS := make([]bool, s.Arity())
+	attrs, keep := NaturalJoinSchema(r.Attrs, s.Attrs, sCols)
+	return joined.ProjectView(r.Name+"_nj_"+s.Name, attrs, keep...)
+}
+
+// NaturalJoinSchema computes the natural-join output schema from the raw
+// equi-join layout (all of r's columns, then all of s's): the attribute
+// names of the result — r's attributes plus s's non-join attributes — and
+// the raw-join positions to keep. sCols are s's join positions. It is the
+// schema-only core of NaturalJoinView, exported so internal/shard can
+// project per-shard raw joins without materializing either input: partition
+// shards and exchange parts know their attributes without holding a flat
+// relation.
+func NaturalJoinSchema(rAttrs, sAttrs []string, sCols []int) (attrs []string, keep []int) {
+	dropS := make([]bool, len(sAttrs))
 	for _, j := range sCols {
 		dropS[j] = true
 	}
-	keep := make([]int, 0, r.Arity()+s.Arity()-len(sCols))
-	attrs := append([]string(nil), r.Attrs...)
-	for i := 0; i < r.Arity(); i++ {
+	keep = make([]int, 0, len(rAttrs)+len(sAttrs)-len(sCols))
+	attrs = append([]string(nil), rAttrs...)
+	for i := 0; i < len(rAttrs); i++ {
 		keep = append(keep, i)
 	}
-	for j := 0; j < s.Arity(); j++ {
+	for j := 0; j < len(sAttrs); j++ {
 		if !dropS[j] {
-			keep = append(keep, r.Arity()+j)
-			attrs = append(attrs, s.Attrs[j])
+			keep = append(keep, len(rAttrs)+j)
+			attrs = append(attrs, sAttrs[j])
 		}
 	}
-	return joined.ProjectView(r.Name+"_nj_"+s.Name, attrs, keep...)
+	return attrs, keep
 }
 
 // CheckFD reports whether the instance satisfies the functional dependency

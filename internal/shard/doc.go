@@ -1,0 +1,88 @@
+// Package shard is the horizontal-scaling layer over the interned columnar
+// store: relations are hash-partitioned by a key column into P shards —
+// each a normal *relation.Relation, so the memoized statistics, hash
+// indexes and tries of the relation package keep working unchanged per
+// shard — and the package's operators run joins, semijoins, scans and
+// duplicate-eliminating projections shard by shard over internal/pool with
+// context cancellation.
+//
+// The paper's bounds govern how large outputs and intermediates can get
+// (AGM/ρ*, Corollary 4.8, Yannakakis for acyclic queries); partitioning is
+// the orthogonal lever that decides how fast each bounded-size pass runs.
+// Because a value's shard depends only on (value, P) — see ShardOf — two
+// relations partitioned on a shared join column with the same P are
+// co-partitioned: shard k of one side joins only shard k of the other,
+// making every binary join and semijoin embarrassingly parallel across
+// shards and, even on a single core, splitting one large hash map into P
+// cache-sized ones.
+//
+// # When does a join run sharded?
+//
+// Every routing operator (NaturalJoinStream, SemijoinStream,
+// ProjectStream, and their flat NaturalJoin/Semijoin/ProjectIdx wrappers)
+// decides per call, in this order:
+//
+//  1. Fallback. If opts is nil, P < 2, the larger input is below
+//     Options.MinRows, or the sides share no attribute to partition on,
+//     the single-shard relation-package operator runs and the fallback is
+//     counted in Options.Metrics. Callers thread one code path regardless
+//     of configuration, and outputs are identical either way.
+//  2. Reuse. If either input arrives as a Stream partitioned on one of
+//     the join columns at the right P, that partitioning is reused as is
+//     and only the other side is exchanged to match. This is the
+//     zero-cost case end-to-end sharding exists for: a co-partitioned
+//     join's shard-k output carries its key value, so it IS shard k of
+//     the output, and the result stream stays partitioned without ever
+//     being concatenated (Sharded.Rel materializes lazily).
+//  3. Broadcast. If one side is partitioned on a non-join column
+//     (misaligned) and the other side is no larger than about one shard
+//     of it, the big side keeps its partitioning and every shard probes
+//     the small side whole. Semijoins broadcast whenever their left side
+//     is misaligned — a semijoin output is a subset of its left input, so
+//     any existing partitioning survives and repartitioning is never
+//     needed on that side.
+//  4. Exchange. Otherwise both sides are aligned to the shared column
+//     pair with the most distinct values (balanced hash partitions):
+//     flat relations partition through the per-(key, P) memo; partitioned
+//     streams repartition shard-to-shard with one bucket pass and a
+//     single-copy multi-gather, never materializing a flat intermediate.
+//
+// # Partition-memoization contract
+//
+// Partition(r, key, p) stores the shard list in r's size-keyed memo table
+// under "shard:key:p". The contract:
+//
+//   - One build per (key, P) per stored row set. Renamed and cloned views
+//     delegate memo lookups to the relation whose storage they share, so
+//     all views of one base relation share one partition; Partition
+//     re-serves a memoized partition under the caller's attribute names
+//     through O(arity) copy-on-write renames.
+//   - Inserts invalidate implicitly: memo entries record the relation size
+//     they were built at, so the next Partition after growth rebuilds.
+//   - Shards are read-only. They may be served concurrently to many
+//     evaluations; nothing may insert into a shard.
+//
+// Exchange-built views (FromParts, exchangeParts) are NOT memoized: they
+// partition operator outputs that live only inside one evaluation.
+//
+// Large builds run block-parallel (bucket counts per block, a prefix over
+// the block×shard count matrix, then a race-free scatter into disjoint
+// ranges), preserving the sequential build's row order exactly.
+//
+// # Skew
+//
+// Hash partitioning balances shards only as well as the key's value
+// distribution: one dominant value (a Zipf hub) hashes every matching row
+// into a single shard and serializes the join again. When a shard of an
+// operator's probe side exceeds Options.SkewFraction of that side's rows,
+// it is split into contiguous row blocks (relation.Slice views, no
+// copying) that each join against the pointer-replicated, read-only
+// co-shard; per-shard outputs concatenate the block results. Semijoins
+// split only their left side — a surviving row may match anywhere in the
+// right side, so the right side stays whole.
+//
+// Partitioning is statistics-light by design (janus-datalog's "greedy
+// beats optimal" production lesson): the partition key is the shared join
+// column with the most distinct values, P defaults to GOMAXPROCS, and
+// there is no cost model beyond the reuse/broadcast/exchange ladder above.
+package shard

@@ -1,0 +1,712 @@
+package shard
+
+// The shard-local exchange: routing that keeps multi-join plans partitioned
+// end to end. A Stream couples a relation flowing through the executor with
+// its current partitioning; Exchange aligns a stream to the key a join
+// needs — reusing the partitioning it already has, repartitioning it
+// shard-by-shard otherwise — and the stream operators (NaturalJoinStream,
+// SemijoinStream, ProjectStream) decide per call between co-partitioned
+// execution, broadcasting a small side against an already-partitioned big
+// side, and single-shard fallback. Hot shards (one dominant key value) are
+// split into row blocks joined against a pointer-replicated co-shard.
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+
+	"cqbound/internal/pool"
+	"cqbound/internal/relation"
+)
+
+// Metrics counts the routing decisions of exchange-routed execution. All
+// counters are atomic: one Metrics may be shared across concurrent
+// evaluations (the Engine does). The zero value is ready to use; methods on
+// a nil *Metrics are no-ops, so operators count unconditionally.
+type Metrics struct {
+	// ShardedOps counts joins, semijoins and projections that ran
+	// partition-parallel (including broadcasts).
+	ShardedOps atomic.Int64
+	// FallbackOps counts operator calls that fell back to single-shard
+	// execution: inputs below Options.MinRows, no shared column to
+	// partition on, or P < 2.
+	FallbackOps atomic.Int64
+	// ReusedRows totals the rows that arrived at an exchange already
+	// partitioned on the needed key — the rows end-to-end sharding saved
+	// from repartitioning.
+	ReusedRows atomic.Int64
+	// ExchangedRows totals the rows the exchange had to (re)partition onto
+	// a new key. Flat base relations are memoized per (key, P), so
+	// repeated evaluations may serve these rows from the memo; the counter
+	// records the logical flow.
+	ExchangedRows atomic.Int64
+	// BroadcastOps counts joins and semijoins that kept the big side's
+	// existing (misaligned) partitioning and probed the small side whole
+	// in every shard instead of repartitioning.
+	BroadcastOps atomic.Int64
+	// SkewSplits counts hot shards split into row blocks by the skew
+	// handler.
+	SkewSplits atomic.Int64
+}
+
+// Stats is a point-in-time copy of Metrics, in declaration order.
+type Stats struct {
+	ShardedOps    int64
+	FallbackOps   int64
+	ReusedRows    int64
+	ExchangedRows int64
+	BroadcastOps  int64
+	SkewSplits    int64
+}
+
+// Snapshot copies the counters (nil-safe: a nil receiver reads all zeros).
+func (m *Metrics) Snapshot() Stats {
+	if m == nil {
+		return Stats{}
+	}
+	return Stats{
+		ShardedOps:    m.ShardedOps.Load(),
+		FallbackOps:   m.FallbackOps.Load(),
+		ReusedRows:    m.ReusedRows.Load(),
+		ExchangedRows: m.ExchangedRows.Load(),
+		BroadcastOps:  m.BroadcastOps.Load(),
+		SkewSplits:    m.SkewSplits.Load(),
+	}
+}
+
+func (m *Metrics) addSharded() {
+	if m != nil {
+		m.ShardedOps.Add(1)
+	}
+}
+
+func (m *Metrics) addFallback() {
+	if m != nil {
+		m.FallbackOps.Add(1)
+	}
+}
+
+func (m *Metrics) addReused(rows int) {
+	if m != nil {
+		m.ReusedRows.Add(int64(rows))
+	}
+}
+
+func (m *Metrics) addExchanged(rows int) {
+	if m != nil {
+		m.ExchangedRows.Add(int64(rows))
+	}
+}
+
+func (m *Metrics) addBroadcast() {
+	if m != nil {
+		m.BroadcastOps.Add(1)
+	}
+}
+
+func (m *Metrics) addSkewSplit() {
+	if m != nil {
+		m.SkewSplits.Add(1)
+	}
+}
+
+// Stream is the currency of exchange-routed evaluation: a relation flowing
+// through the executor together with its current hash partitioning, when it
+// has one. Operators that run partition-parallel return streams whose
+// partitioning is known by construction (a co-partitioned join's shard-k
+// output is shard k of the result), so the next operator can reuse it; the
+// flat relation is materialized only when something actually needs it. A
+// zero Stream is empty; build one with StreamOf or ShardedStream.
+type Stream struct {
+	rel *relation.Relation
+	sh  *Sharded
+}
+
+// StreamOf wraps a flat relation with no current partitioning.
+func StreamOf(r *relation.Relation) Stream { return Stream{rel: r} }
+
+// ShardedStream wraps a partitioned view.
+func ShardedStream(sh *Sharded) Stream { return Stream{sh: sh} }
+
+// Rel returns the stream's flat relation, materializing it from the shards
+// on first call when the stream only holds a partitioned view.
+func (st Stream) Rel() *relation.Relation {
+	if st.rel != nil {
+		return st.rel
+	}
+	if st.sh != nil {
+		return st.sh.Rel()
+	}
+	return nil
+}
+
+// Sharded returns the stream's current partitioned view, or nil.
+func (st Stream) Sharded() *Sharded { return st.sh }
+
+// Size returns the row count without materializing a flat relation.
+func (st Stream) Size() int {
+	if st.rel != nil {
+		return st.rel.Size()
+	}
+	if st.sh != nil {
+		return st.sh.Size()
+	}
+	return 0
+}
+
+// Attrs returns the stream's attribute names without materializing.
+func (st Stream) Attrs() []string {
+	if st.rel != nil {
+		return st.rel.Attrs
+	}
+	if st.sh != nil {
+		return st.sh.Attrs()
+	}
+	return nil
+}
+
+// distinct estimates the number of distinct values in column col. Flat
+// relations answer from memoized statistics; partitioned views sum their
+// shards' counts, which is exact on the partition key and an overestimate
+// elsewhere — fine for the greedy key choice it feeds.
+func (st Stream) distinct(col int) int {
+	if st.rel != nil {
+		return st.rel.DistinctCount(col)
+	}
+	n := 0
+	for _, sh := range st.sh.sh {
+		n += sh.DistinctCount(col)
+	}
+	return n
+}
+
+// Exchange aligns st to partition key `key` at count p. A stream already
+// partitioned on (key, p) is reused as is — the zero-cost case end-to-end
+// sharding exists for. A stream partitioned on a different key is
+// repartitioned directly shard-to-shard (one bucket pass and a single-copy
+// multi-gather, never materializing the flat relation). A flat stream is
+// partitioned through the per-(key, P) memo on its relation.
+func Exchange(ctx context.Context, st Stream, key, p int, m *Metrics) (*Sharded, error) {
+	if sh := st.sh; sh != nil && sh.key == key && sh.P() == p {
+		m.addReused(sh.Size())
+		return sh, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if st.rel == nil && st.sh != nil {
+		m.addExchanged(st.sh.Size())
+		return exchangeParts(st.sh, key, p)
+	}
+	r := st.Rel()
+	m.addExchanged(r.Size())
+	return Partition(r, key, p), nil
+}
+
+// exchangeParts repartitions an assembled view onto a new key without
+// flattening it: each old shard is bucketed by the new key in parallel,
+// then each new shard gathers its rows from every old shard in one copy
+// (relation.GatherMulti).
+func exchangeParts(sh *Sharded, key, p int) (*Sharded, error) {
+	if key < 0 || key >= len(sh.attrs) {
+		return nil, fmt.Errorf("shard: exchange key %d out of range for %s", key, sh.name)
+	}
+	parts := sh.sh
+	buckets := make([][][]int32, len(parts)) // buckets[i][k]: rows of part i for new shard k
+	_ = pool.Run(context.Background(), 0, len(parts), func(i int) error {
+		buckets[i] = partitionRows(parts[i].Column(key), p)
+		return nil
+	})
+	out := make([]*relation.Relation, p)
+	if err := pool.Run(context.Background(), 0, p, func(k int) error {
+		rows := make([][]int32, len(parts))
+		for i := range parts {
+			rows[i] = buckets[i][k]
+		}
+		g, err := relation.GatherMulti(sh.name, sh.attrs, parts, rows)
+		if err != nil {
+			return err
+		}
+		out[k] = g
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	return FromParts(sh.name, sh.attrs, key, out), nil
+}
+
+// alignedPair returns the index into cols of the stream's current partition
+// key at count p, or -1 when the stream is flat, differently sized, or
+// partitioned on a non-join column.
+func alignedPair(st Stream, cols []int, p int) int {
+	if st.sh == nil || st.sh.P() != p {
+		return -1
+	}
+	for i, c := range cols {
+		if c == st.sh.key {
+			return i
+		}
+	}
+	return -1
+}
+
+// bestPair picks which shared column pair to partition on when no existing
+// partitioning can be reused: the pair whose sides have the most distinct
+// values (maximizing the smaller side's count), so hash partitions stay
+// balanced. Greedy and statistics-light — V(R,c) is already memoized for
+// the planner.
+func bestPair(l, r Stream, lCols, rCols []int) int {
+	best, bestScore := 0, -1
+	for i := range lCols {
+		score := l.distinct(lCols[i])
+		if d := r.distinct(rCols[i]); d < score {
+			score = d
+		}
+		if score > bestScore {
+			best, bestScore = i, score
+		}
+	}
+	return best
+}
+
+// task is one partition-parallel unit of work: shard k's slice of the left
+// and right inputs. Skew splitting turns one hot shard into several tasks
+// whose blocks cover the hot side and whose other side is the same
+// (read-only, pointer-replicated) relation.
+type task struct {
+	shard int
+	left  *relation.Relation
+	right *relation.Relation
+}
+
+// splitHot appends tasks for shard k, splitting whichever side is hot —
+// holding more than frac of its side's total rows — into row blocks of
+// roughly one average shard each. splitRight controls whether the right
+// side may be split (hash joins may split either side; semijoins must keep
+// the right side whole, since a row surviving r ⋉ s may match anywhere in
+// s).
+func splitHot(tasks []task, k int, l, r *relation.Relation, lTotal, rTotal int, frac float64, splitRight bool, m *Metrics) []task {
+	if frac > 0 {
+		if blocks := hotBlocks(l.Size(), lTotal, frac); blocks > 1 {
+			m.addSkewSplit()
+			for _, b := range sliceBlocks(l, blocks) {
+				tasks = append(tasks, task{shard: k, left: b, right: r})
+			}
+			return tasks
+		}
+		if splitRight {
+			if blocks := hotBlocks(r.Size(), rTotal, frac); blocks > 1 {
+				m.addSkewSplit()
+				for _, b := range sliceBlocks(r, blocks) {
+					tasks = append(tasks, task{shard: k, left: l, right: b})
+				}
+				return tasks
+			}
+		}
+	}
+	return append(tasks, task{shard: k, left: l, right: r})
+}
+
+// hotBlocks returns how many blocks a shard of the given size should split
+// into: 1 (no split) unless the shard holds more than frac of its side's
+// total, in which case it splits into blocks of about total*frac rows.
+func hotBlocks(size, total int, frac float64) int {
+	if total <= 0 || float64(size) <= frac*float64(total) {
+		return 1
+	}
+	target := int(frac * float64(total))
+	if target < 1 {
+		target = 1
+	}
+	blocks := (size + target - 1) / target
+	if blocks < 2 {
+		return 1
+	}
+	return blocks
+}
+
+// sliceBlocks cuts r into `blocks` contiguous row-range views (O(arity)
+// each, no copying).
+func sliceBlocks(r *relation.Relation, blocks int) []*relation.Relation {
+	n := r.Size()
+	bs := (n + blocks - 1) / blocks
+	out := make([]*relation.Relation, 0, blocks)
+	for lo := 0; lo < n; lo += bs {
+		hi := min(lo+bs, n)
+		blk, err := r.Slice(r.Name, lo, hi)
+		if err != nil {
+			panic(fmt.Sprintf("shard: slicing %s [%d,%d): %v", r.Name, lo, hi, err))
+		}
+		out = append(out, blk)
+	}
+	return out
+}
+
+// runJoinTasks executes raw hash joins for every task on the pool and
+// assembles one raw (all left columns, then all right columns) relation per
+// shard; shards with several tasks concatenate their disjoint block
+// outputs.
+func runJoinTasks(ctx context.Context, tasks []task, pairs [][2]int, p int) ([]*relation.Relation, error) {
+	outs := make([]*relation.Relation, len(tasks))
+	if err := pool.Run(ctx, 0, len(tasks), func(i int) error {
+		out, err := relation.HashJoin(tasks[i].left, tasks[i].right, pairs)
+		if err == nil {
+			outs[i] = out
+		}
+		return err
+	}); err != nil {
+		return nil, err
+	}
+	perShard := make([][]*relation.Relation, p)
+	for i, t := range tasks {
+		perShard[t.shard] = append(perShard[t.shard], outs[i])
+	}
+	raw := make([]*relation.Relation, p)
+	for k, parts := range perShard {
+		if len(parts) == 1 {
+			raw[k] = parts[0]
+			continue
+		}
+		flat, err := relation.Concat(parts[0].Name, parts[0].Attrs, parts...)
+		if err != nil {
+			return nil, err
+		}
+		raw[k] = flat
+	}
+	return raw, nil
+}
+
+// broadcastRows is the size bound for broadcasting: a misaligned
+// partitioned stream is NOT repartitioned when the other side is no larger
+// than about one shard of it — probing the whole small side per shard costs
+// what a co-partitioned probe would, and the exchange's repartition passes
+// over the big side are saved entirely.
+func broadcastable(big Stream, small Stream, p int) bool {
+	return big.Sharded() != nil && small.Size() <= big.Size()/p+1
+}
+
+// NaturalJoinStream is the exchange-routed natural join: l and r join on
+// all attribute names they share, partition-parallel when the options and
+// schemas allow, and the result stream stays partitioned on the join key
+// (or, for broadcasts, on the big side's existing key). Falls back to
+// relation.NaturalJoin — counting the fallback — when sharding is disabled,
+// the inputs are below Options.MinRows, or the sides share no attribute.
+func NaturalJoinStream(ctx context.Context, opts *Options, l, r Stream) (Stream, error) {
+	lCols, rCols := relation.SharedColsNames(l.Attrs(), r.Attrs())
+	m := opts.metrics()
+	if len(lCols) == 0 || !opts.active(max(l.Size(), r.Size())) {
+		m.addFallback()
+		out, err := relation.NaturalJoin(l.Rel(), r.Rel())
+		return StreamOf(out), err
+	}
+	if err := ctx.Err(); err != nil {
+		return Stream{}, err
+	}
+	p := opts.Count()
+	pairs := make([][2]int, len(lCols))
+	for i := range lCols {
+		pairs[i] = [2]int{lCols[i], rCols[i]}
+	}
+	attrs, keep := relation.NaturalJoinSchema(l.Attrs(), r.Attrs(), rCols)
+	name := joinName(l, r)
+
+	// Reuse an aligned partitioning outright when either side has one.
+	pick := alignedPair(l, lCols, p)
+	if pick < 0 {
+		pick = alignedPair(r, rCols, p)
+	}
+	if pick < 0 {
+		// No alignment. Broadcast instead of repartitioning when one side
+		// is partitioned and the other is small enough to probe whole.
+		if broadcastable(l, r, p) {
+			return broadcastJoin(ctx, opts, l, r, true, pairs, attrs, keep, name)
+		}
+		if broadcastable(r, l, p) {
+			return broadcastJoin(ctx, opts, l, r, false, pairs, attrs, keep, name)
+		}
+		pick = bestPair(l, r, lCols, rCols)
+	}
+	lSh, err := Exchange(ctx, l, lCols[pick], p, m)
+	if err != nil {
+		return Stream{}, err
+	}
+	rSh, err := Exchange(ctx, r, rCols[pick], p, m)
+	if err != nil {
+		return Stream{}, err
+	}
+	m.addSharded()
+	frac := opts.skewFraction()
+	lTotal, rTotal := lSh.Size(), rSh.Size()
+	var tasks []task
+	for k := 0; k < p; k++ {
+		tasks = splitHot(tasks, k, lSh.Shard(k), rSh.Shard(k), lTotal, rTotal, frac, true, m)
+	}
+	raw, err := runJoinTasks(ctx, tasks, pairs, p)
+	if err != nil {
+		return Stream{}, err
+	}
+	parts, err := projectRawShards(raw, name, attrs, keep)
+	if err != nil {
+		return Stream{}, err
+	}
+	// The join key survives as l's copy at its l-side position.
+	return ShardedStream(FromParts(name, attrs, lCols[pick], parts)), nil
+}
+
+// broadcastJoin joins a partitioned big side against a small side probed
+// whole in every shard: the big side keeps its (misaligned, non-join-key)
+// partitioning, which survives into the output because broadcast only
+// fires when the key is not a join column — join columns are the only
+// columns the natural join drops from the right operand, and left columns
+// all survive. bigIsLeft says which natural-join operand (l or r) is the
+// partitioned big side; the raw all-l-then-all-r column layout is kept
+// either way.
+func broadcastJoin(ctx context.Context, opts *Options, l, r Stream, bigIsLeft bool, pairs [][2]int, attrs []string, keep []int, name string) (Stream, error) {
+	m := opts.metrics()
+	m.addSharded()
+	m.addBroadcast()
+	big, small := l, r
+	if !bigIsLeft {
+		big, small = r, l
+	}
+	sh := big.Sharded()
+	m.addReused(sh.Size())
+	p := sh.P()
+	flatSmall := small.Rel()
+	frac := opts.skewFraction()
+	bigTotal := sh.Size()
+	var tasks []task
+	for k := 0; k < p; k++ {
+		if bigIsLeft {
+			tasks = splitHot(tasks, k, sh.Shard(k), flatSmall, bigTotal, 0, frac, false, m)
+		} else {
+			tasks = splitHot(tasks, k, flatSmall, sh.Shard(k), 0, bigTotal, frac, true, m)
+		}
+	}
+	raw, err := runJoinTasks(ctx, tasks, pairs, p)
+	if err != nil {
+		return Stream{}, err
+	}
+	parts, err := projectRawShards(raw, name, attrs, keep)
+	if err != nil {
+		return Stream{}, err
+	}
+	// The big side's partition key in the output schema: left columns keep
+	// their positions; right columns sit at lArity+c in the raw layout.
+	rawKey := sh.key
+	if !bigIsLeft {
+		rawKey += len(l.Attrs())
+	}
+	outKey := indexOfKept(keep, rawKey)
+	if outKey < 0 {
+		return Stream{}, fmt.Errorf("shard: broadcast key column of %s dropped by the join projection", name)
+	}
+	return ShardedStream(FromParts(name, attrs, outKey, parts)), nil
+}
+
+// indexOfKept returns the output position of raw-join column c, or -1 when
+// the natural-join projection dropped it.
+func indexOfKept(keep []int, c int) int {
+	for i, k := range keep {
+		if k == c {
+			return i
+		}
+	}
+	return -1
+}
+
+// projectRawShards applies the natural-join projection (an O(arity)
+// copy-on-write view per shard) to raw per-shard join outputs.
+func projectRawShards(raw []*relation.Relation, name string, attrs []string, keep []int) ([]*relation.Relation, error) {
+	parts := make([]*relation.Relation, len(raw))
+	for k, rel := range raw {
+		v, err := rel.ProjectView(name, attrs, keep...)
+		if err != nil {
+			return nil, err
+		}
+		parts[k] = v
+	}
+	return parts, nil
+}
+
+// joinName names a join output stream.
+func joinName(l, r Stream) string {
+	return streamName(l) + "_nj_" + streamName(r)
+}
+
+func streamName(st Stream) string {
+	if st.rel != nil {
+		return st.rel.Name
+	}
+	if st.sh != nil {
+		return st.sh.name
+	}
+	return "nil"
+}
+
+// SemijoinStream is the exchange-routed l ⋉ r on shared attribute names.
+// Because a semijoin's output is a subset of l, ANY existing partitioning
+// of l survives: an aligned l co-partitions with an exchanged r, a
+// misaligned l probes r whole per shard (a broadcast — no repartition is
+// ever needed on the l side), and a flat l is partitioned on the best
+// shared pair. Falls back to relation.Semijoin under the usual rules.
+func SemijoinStream(ctx context.Context, opts *Options, l, r Stream) (Stream, error) {
+	lCols, rCols := relation.SharedColsNames(l.Attrs(), r.Attrs())
+	m := opts.metrics()
+	if len(lCols) == 0 || !opts.active(max(l.Size(), r.Size())) {
+		m.addFallback()
+		out, err := relation.Semijoin(l.Rel(), r.Rel())
+		return StreamOf(out), err
+	}
+	if err := ctx.Err(); err != nil {
+		return Stream{}, err
+	}
+	p := opts.Count()
+	frac := opts.skewFraction()
+
+	if pick := alignedPair(l, lCols, p); pick >= 0 {
+		// Co-partitioned: l's shards semijoin r's matching shards.
+		lSh := l.Sharded()
+		m.addReused(lSh.Size())
+		rSh, err := Exchange(ctx, r, rCols[pick], p, m)
+		if err != nil {
+			return Stream{}, err
+		}
+		m.addSharded()
+		return semijoinTasks(ctx, lSh, func(k int) *relation.Relation { return rSh.Shard(k) }, lCols, rCols, frac, m)
+	}
+	if l.Sharded() != nil {
+		// Misaligned l: probe the whole of r from every shard. l's
+		// partitioning survives (the output is a subset of l), so the
+		// exchange the next operator would need is still saved.
+		m.addSharded()
+		m.addBroadcast()
+		m.addReused(l.Size())
+		flatR := r.Rel()
+		return semijoinTasks(ctx, l.Sharded(), func(int) *relation.Relation { return flatR }, lCols, rCols, frac, m)
+	}
+	// Flat l: partition both sides on the highest-cardinality shared pair.
+	pick := bestPair(l, r, lCols, rCols)
+	lSh, err := Exchange(ctx, l, lCols[pick], p, m)
+	if err != nil {
+		return Stream{}, err
+	}
+	rSh, err := Exchange(ctx, r, rCols[pick], p, m)
+	if err != nil {
+		return Stream{}, err
+	}
+	m.addSharded()
+	return semijoinTasks(ctx, lSh, func(k int) *relation.Relation { return rSh.Shard(k) }, lCols, rCols, frac, m)
+}
+
+// semijoinTasks runs the per-shard semijoins of lSh against rAt(k),
+// splitting hot l shards into blocks (the r side is never split — a
+// surviving row may match anywhere in r). The output keeps lSh's key.
+func semijoinTasks(ctx context.Context, lSh *Sharded, rAt func(int) *relation.Relation, lCols, rCols []int, frac float64, m *Metrics) (Stream, error) {
+	p := lSh.P()
+	lTotal := lSh.Size()
+	var tasks []task
+	for k := 0; k < p; k++ {
+		tasks = splitHot(tasks, k, lSh.Shard(k), rAt(k), lTotal, 0, frac, false, m)
+	}
+	outs := make([]*relation.Relation, len(tasks))
+	if err := pool.Run(ctx, 0, len(tasks), func(i int) error {
+		out, err := relation.SemijoinOn(tasks[i].left, tasks[i].right, lCols, rCols)
+		if err == nil {
+			outs[i] = out
+		}
+		return err
+	}); err != nil {
+		return Stream{}, err
+	}
+	perShard := make([][]*relation.Relation, p)
+	for i, t := range tasks {
+		perShard[t.shard] = append(perShard[t.shard], outs[i])
+	}
+	parts := make([]*relation.Relation, p)
+	for k, ps := range perShard {
+		if len(ps) == 1 {
+			parts[k] = ps[0]
+			continue
+		}
+		flat, err := relation.Concat(ps[0].Name, lSh.attrs, ps...)
+		if err != nil {
+			return Stream{}, err
+		}
+		parts[k] = flat
+	}
+	return ShardedStream(FromParts(lSh.name+"_sj", lSh.attrs, lSh.key, parts)), nil
+}
+
+// ProjectStream is the exchange-routed duplicate-eliminating projection of
+// st onto the given positions (repeats allowed, as in relation.ProjectIdx).
+// A stream whose partition key is among the kept columns projects each
+// shard independently — all duplicates of a projected tuple agree on every
+// kept column, including the key, so they share a shard — and stays
+// partitioned. Otherwise the stream is exchanged onto the kept column with
+// the most distinct values first. Falls back to relation.ProjectIdx below
+// Options.MinRows.
+func ProjectStream(ctx context.Context, opts *Options, st Stream, idx []int) (Stream, error) {
+	m := opts.metrics()
+	if len(idx) == 0 || !opts.active(st.Size()) {
+		m.addFallback()
+		out, err := st.Rel().ProjectIdx(idx...)
+		return StreamOf(out), err
+	}
+	if err := ctx.Err(); err != nil {
+		return Stream{}, err
+	}
+	arity := len(st.Attrs())
+	for _, c := range idx {
+		if c < 0 || c >= arity {
+			m.addFallback()
+			out, err := st.Rel().ProjectIdx(idx...) // surface the range error unsharded
+			return StreamOf(out), err
+		}
+	}
+	p := opts.Count()
+	key := -1
+	if sh := st.Sharded(); sh != nil && sh.P() == p {
+		for _, c := range idx {
+			if c == sh.key {
+				key = c
+				break
+			}
+		}
+	}
+	if key < 0 {
+		// Exchange onto the kept column with the most distinct values, so
+		// hash partitions of the projected output stay balanced.
+		bestScore := -1
+		for _, c := range idx {
+			if d := st.distinct(c); d > bestScore {
+				key, bestScore = c, d
+			}
+		}
+	}
+	sh, err := Exchange(ctx, st, key, p, m)
+	if err != nil {
+		return Stream{}, err
+	}
+	m.addSharded()
+	parts := make([]*relation.Relation, p)
+	if err := pool.Run(ctx, 0, p, func(k int) error {
+		out, err := sh.Shard(k).ProjectIdx(idx...)
+		if err == nil {
+			parts[k] = out
+		}
+		return err
+	}); err != nil {
+		return Stream{}, err
+	}
+	// The key's position in the projected schema: its first occurrence in
+	// idx.
+	outKey := 0
+	for i, c := range idx {
+		if c == key {
+			outKey = i
+			break
+		}
+	}
+	return ShardedStream(FromParts(sh.name+"_proj", parts[0].Attrs, outKey, parts)), nil
+}

@@ -1,0 +1,357 @@
+package shard
+
+// Tests for the exchange router: partition reuse, shard-to-shard
+// repartitioning, broadcast routing, hot-shard splitting, and the parallel
+// partition build. Each compares against the single-shard relation
+// operators, which are the semantics of record.
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"cqbound/internal/relation"
+)
+
+// zipfRel builds a relation whose first column is Zipf-skewed: value "hot"
+// appears in about `hotFrac` of the rows, the rest are uniform.
+func zipfRel(rng *rand.Rand, name string, attrs []string, n int, hotFrac float64, universe int) *relation.Relation {
+	r := relation.New(name, attrs...)
+	for i := 0; i < n; i++ {
+		vals := make([]string, len(attrs))
+		if rng.Float64() < hotFrac {
+			vals[0] = "hot"
+		} else {
+			vals[0] = fmt.Sprintf("u%d", rng.Intn(universe))
+		}
+		for j := 1; j < len(vals); j++ {
+			vals[j] = fmt.Sprintf("v%d", i*len(attrs)+j) // unique: no dedup
+		}
+		r.Add(vals...)
+	}
+	return r
+}
+
+func TestExchangeReusesAlignedPartition(t *testing.T) {
+	r := randomRel(rand.New(rand.NewSource(20)), "R", []string{"a", "b"}, 300, 30)
+	sh := Partition(r, 0, 4)
+	m := &Metrics{}
+	got, err := Exchange(context.Background(), ShardedStream(sh), 0, 4, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != sh {
+		t.Fatal("aligned exchange rebuilt the partition instead of reusing it")
+	}
+	s := m.Snapshot()
+	if s.ReusedRows != int64(r.Size()) || s.ExchangedRows != 0 {
+		t.Fatalf("reused=%d exchanged=%d, want %d/0", s.ReusedRows, s.ExchangedRows, r.Size())
+	}
+}
+
+func TestExchangeRepartitionsFromParts(t *testing.T) {
+	r := randomRel(rand.New(rand.NewSource(21)), "R", []string{"a", "b"}, 500, 25)
+	onA := Partition(r, 0, 4)
+	// Re-wrap as an assembled view (no flat base) and exchange onto column b.
+	parts := make([]*relation.Relation, onA.P())
+	for k := range parts {
+		parts[k] = onA.Shard(k)
+	}
+	view := FromParts("V", r.Attrs, 0, parts)
+	m := &Metrics{}
+	got, err := Exchange(context.Background(), ShardedStream(view), 1, 4, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Key() != 1 || got.P() != 4 {
+		t.Fatalf("exchanged view key=%d P=%d, want 1/4", got.Key(), got.P())
+	}
+	union := relation.New("U", "a", "b")
+	total := 0
+	for k := 0; k < got.P(); k++ {
+		s := got.Shard(k)
+		total += s.Size()
+		for i := 0; i < s.Size(); i++ {
+			if ShardOf(s.At(i, 1), got.P()) != k {
+				t.Fatalf("row in shard %d violates the new key's hash", k)
+			}
+			if _, err := union.Insert(s.Row(i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if total != r.Size() || !relation.Equal(union, r) {
+		t.Fatalf("repartition lost or duplicated rows: %d of %d", total, r.Size())
+	}
+	if m.Snapshot().ExchangedRows != int64(r.Size()) {
+		t.Fatalf("exchanged rows = %d, want %d", m.Snapshot().ExchangedRows, r.Size())
+	}
+	// The materialized flat form agrees too.
+	if !relation.Equal(got.Rel(), r) {
+		t.Fatal("materialized exchanged view differs from the base rows")
+	}
+}
+
+func TestNaturalJoinStreamStaysSharded(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	r := randomRel(rng, "R", []string{"a", "b"}, 400, 20)
+	s := randomRel(rng, "S", []string{"b", "c"}, 350, 20)
+	u := randomRel(rng, "U", []string{"c", "d"}, 300, 20)
+	want1, err := relation.NaturalJoin(r, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := relation.NaturalJoin(want1, u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := &Metrics{}
+	opts := &Options{MinRows: 0, Shards: 4, Metrics: m}
+	ctx := context.Background()
+	st1, err := NaturalJoinStream(ctx, opts, StreamOf(r), StreamOf(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st1.Sharded() == nil {
+		t.Fatal("first join did not come back sharded")
+	}
+	st2, err := NaturalJoinStream(ctx, opts, st1, StreamOf(u))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.Sharded() == nil {
+		t.Fatal("second join collapsed to a flat relation")
+	}
+	if !relation.Equal(want, st2.Rel()) {
+		t.Fatalf("chained sharded joins = %d rows, single-shard = %d", st2.Rel().Size(), want.Size())
+	}
+	if got := m.Snapshot().FallbackOps; got != 0 {
+		t.Fatalf("chained joins fell back %d times with threshold 0", got)
+	}
+	// The second join's key (c) is not the first join's partition key (b),
+	// so rows must have moved through the exchange (repartition or
+	// broadcast); either way no join ran single-shard.
+	if snap := m.Snapshot(); snap.ExchangedRows == 0 && snap.BroadcastOps == 0 {
+		t.Fatalf("misaligned second join neither exchanged nor broadcast: %+v", snap)
+	}
+}
+
+func TestNaturalJoinStreamReusesAlignedKey(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	r := randomRel(rng, "R", []string{"a", "b"}, 400, 20)
+	s := randomRel(rng, "S", []string{"b", "c"}, 350, 20)
+	u := randomRel(rng, "U", []string{"b", "d"}, 300, 20)
+	m := &Metrics{}
+	opts := &Options{MinRows: 0, Shards: 4, Metrics: m}
+	ctx := context.Background()
+	st1, err := NaturalJoinStream(ctx, opts, StreamOf(r), StreamOf(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := m.Snapshot().ReusedRows
+	st2, err := NaturalJoinStream(ctx, opts, st1, StreamOf(u))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both joins are on b; the intermediate arrives partitioned on b and
+	// must be reused, not repartitioned.
+	if got := m.Snapshot().ReusedRows - before; got < int64(st1.Size()) {
+		t.Fatalf("aligned second join reused %d rows, want at least %d", got, st1.Size())
+	}
+	want1, _ := relation.NaturalJoin(r, s)
+	want, _ := relation.NaturalJoin(want1, u)
+	if !relation.Equal(want, st2.Rel()) {
+		t.Fatal("aligned reuse changed the join result")
+	}
+}
+
+func TestBroadcastJoinRouting(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	// Big side partitioned on a (not a join column of the next join); small
+	// side joins on b and is well under one shard's size.
+	big := randomRel(rng, "R", []string{"a", "b"}, 2000, 40)
+	small := randomRel(rng, "S", []string{"b", "c"}, 30, 40)
+	m := &Metrics{}
+	opts := &Options{MinRows: 0, Shards: 4, Metrics: m}
+	ctx := context.Background()
+	bigSt := ShardedStream(Partition(big, 0, 4))
+	got, err := NaturalJoinStream(ctx, opts, bigSt, StreamOf(small))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Snapshot().BroadcastOps == 0 {
+		t.Fatal("small misaligned side was repartitioned instead of broadcast")
+	}
+	want, _ := relation.NaturalJoin(big, small)
+	if !relation.Equal(want, got.Rel()) {
+		t.Fatalf("broadcast join = %d rows, single-shard = %d", got.Rel().Size(), want.Size())
+	}
+	// The output must stay partitioned on the big side's key (column a).
+	sh := got.Sharded()
+	if sh == nil {
+		t.Fatal("broadcast join lost the big side's partitioning")
+	}
+	for k := 0; k < sh.P(); k++ {
+		s := sh.Shard(k)
+		for i := 0; i < s.Size(); i++ {
+			if ShardOf(s.At(i, sh.Key()), sh.P()) != k {
+				t.Fatalf("broadcast output shard %d violates its declared key", k)
+			}
+		}
+	}
+}
+
+func TestSkewSplitJoinMatchesUnsharded(t *testing.T) {
+	rng := rand.New(rand.NewSource(25))
+	l := zipfRel(rng, "L", []string{"k", "x"}, 600, 0.5, 10)
+	r := zipfRel(rng, "R", []string{"k", "y"}, 200, 0.3, 10)
+	want, err := relation.NaturalJoin(l, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := &Metrics{}
+	opts := &Options{MinRows: 0, Shards: 4, SkewFraction: 0.2, Metrics: m}
+	got, err := NaturalJoinStream(context.Background(), opts, StreamOf(l), StreamOf(r))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !relation.Equal(want, got.Rel()) {
+		t.Fatalf("skew-split join = %d rows, single-shard = %d", got.Rel().Size(), want.Size())
+	}
+	if m.Snapshot().SkewSplits == 0 {
+		t.Fatal("half the rows share one key but no shard was split")
+	}
+}
+
+func TestSkewSplitSemijoinMatchesUnsharded(t *testing.T) {
+	rng := rand.New(rand.NewSource(26))
+	l := zipfRel(rng, "L", []string{"k", "x"}, 600, 0.5, 10)
+	r := zipfRel(rng, "R", []string{"k", "y"}, 150, 0.2, 10)
+	want, err := relation.Semijoin(l, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := &Metrics{}
+	opts := &Options{MinRows: 0, Shards: 4, SkewFraction: 0.2, Metrics: m}
+	got, err := SemijoinStream(context.Background(), opts, StreamOf(l), StreamOf(r))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !relation.Equal(want, got.Rel()) {
+		t.Fatalf("skew-split semijoin = %d rows, single-shard = %d", got.Rel().Size(), want.Size())
+	}
+	if m.Snapshot().SkewSplits == 0 {
+		t.Fatal("hot semijoin shard was not split")
+	}
+	// Splitting must preserve the left side's partitioning contract.
+	sh := got.Sharded()
+	for k := 0; k < sh.P(); k++ {
+		s := sh.Shard(k)
+		for i := 0; i < s.Size(); i++ {
+			if ShardOf(s.At(i, sh.Key()), sh.P()) != k {
+				t.Fatalf("semijoin output shard %d violates its key after splitting", k)
+			}
+		}
+	}
+}
+
+func TestSkewDisabledByNegativeFraction(t *testing.T) {
+	rng := rand.New(rand.NewSource(27))
+	l := zipfRel(rng, "L", []string{"k", "x"}, 400, 0.6, 5)
+	r := zipfRel(rng, "R", []string{"k", "y"}, 100, 0.4, 5)
+	m := &Metrics{}
+	opts := &Options{MinRows: 0, Shards: 4, SkewFraction: -1, Metrics: m}
+	got, err := NaturalJoinStream(context.Background(), opts, StreamOf(l), StreamOf(r))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := relation.NaturalJoin(l, r)
+	if !relation.Equal(want, got.Rel()) {
+		t.Fatal("skew-disabled join diverged")
+	}
+	if m.Snapshot().SkewSplits != 0 {
+		t.Fatal("negative SkewFraction still split shards")
+	}
+}
+
+func TestSemijoinStreamBroadcastKeepsPartition(t *testing.T) {
+	rng := rand.New(rand.NewSource(28))
+	l := randomRel(rng, "L", []string{"a", "b"}, 500, 25)
+	r := randomRel(rng, "R", []string{"b", "c"}, 200, 25)
+	// l partitioned on a — NOT the semijoin column b.
+	lSt := ShardedStream(Partition(l, 0, 4))
+	m := &Metrics{}
+	opts := &Options{MinRows: 0, Shards: 4, Metrics: m}
+	got, err := SemijoinStream(context.Background(), opts, lSt, StreamOf(r))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := relation.Semijoin(l, r)
+	if !relation.Equal(want, got.Rel()) {
+		t.Fatal("broadcast semijoin diverged from relation.Semijoin")
+	}
+	sh := got.Sharded()
+	if sh == nil || sh.Key() != 0 {
+		t.Fatal("semijoin did not keep the left side's misaligned partitioning")
+	}
+	if m.Snapshot().BroadcastOps == 0 {
+		t.Fatal("misaligned semijoin repartitioned instead of broadcasting")
+	}
+}
+
+func TestProjectStreamKeepsAlignedPartition(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	r := randomRel(rng, "R", []string{"a", "b", "c"}, 500, 8)
+	m := &Metrics{}
+	opts := &Options{MinRows: 0, Shards: 4, Metrics: m}
+	st := ShardedStream(Partition(r, 1, 4))
+	got, err := ProjectStream(context.Background(), opts, st, []int{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := r.ProjectIdx(1, 2)
+	if !relation.Equal(want, got.Rel()) {
+		t.Fatal("aligned sharded projection diverged")
+	}
+	sh := got.Sharded()
+	if sh == nil || sh.Key() != 0 {
+		t.Fatalf("projection lost or misplaced the partition key (key=%v)", sh)
+	}
+	if m.Snapshot().ExchangedRows != 0 {
+		t.Fatal("projection repartitioned although its key was kept")
+	}
+}
+
+func TestParallelPartitionMatchesSequential(t *testing.T) {
+	// Force a multi-worker pool so the block-parallel build path runs even
+	// on single-core machines.
+	old := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(old)
+	n := parallelPartitionMinRows + 1234
+	col := make([]relation.Value, n)
+	rng := rand.New(rand.NewSource(30))
+	for i := range col {
+		col[i] = relation.Value(rng.Intn(5000))
+	}
+	for _, p := range []int{2, 7, 16} {
+		got := partitionRows(col, p)
+		// Sequential reference.
+		want := make([][]int32, p)
+		for i, v := range col {
+			k := ShardOf(v, p)
+			want[k] = append(want[k], int32(i))
+		}
+		for k := 0; k < p; k++ {
+			if len(got[k]) != len(want[k]) {
+				t.Fatalf("p=%d shard %d: %d rows, want %d", p, k, len(got[k]), len(want[k]))
+			}
+			for i := range got[k] {
+				if got[k][i] != want[k][i] {
+					t.Fatalf("p=%d shard %d row %d: parallel build reordered rows", p, k, i)
+				}
+			}
+		}
+	}
+}

@@ -1,13 +1,10 @@
 package shard
 
-// Partition-parallel operators. Each routing operator (NaturalJoin,
-// Semijoin, ProjectIdx) decides per call whether sharding applies — the
-// inputs clear Options.MinRows, P > 1, and a partition key aligned with the
-// join (or projection) columns exists — and otherwise falls back to the
-// single-shard relation-package operator, so callers thread one code path
-// regardless of configuration. The co-partitioned core (HashJoin,
-// SemijoinShards, Select) fans out over internal/pool and honors context
-// cancellation between and during shards.
+// Partition-parallel operators over already-aligned views, plus the flat
+// relation-in/relation-out wrappers around the exchange-routed stream
+// operators of exchange.go. Callers that thread partitioning through a
+// plan use the Stream forms; callers with two flat relations use these and
+// pay at most one materialization at the end.
 
 import (
 	"context"
@@ -24,12 +21,12 @@ import (
 func (s *Sharded) Select(ctx context.Context, pred func(relation.Tuple) bool) (*relation.Relation, error) {
 	parts := make([]*relation.Relation, s.P())
 	if err := pool.Run(ctx, 0, s.P(), func(k int) error {
-		parts[k] = s.shards[k].Select(pred)
+		parts[k] = s.sh[k].Select(pred)
 		return nil
 	}); err != nil {
 		return nil, err
 	}
-	return relation.Concat(s.base.Name+"_sel", s.base.Attrs, parts...)
+	return relation.Concat(s.name+"_sel", s.attrs, parts...)
 }
 
 // HashJoin joins two co-partitioned views on the given position pairs
@@ -55,7 +52,7 @@ func HashJoin(ctx context.Context, r, s *Sharded, pairs [][2]int) (*relation.Rel
 	}
 	parts := make([]*relation.Relation, r.P())
 	if err := pool.Run(ctx, 0, r.P(), func(k int) error {
-		out, err := relation.HashJoin(r.shards[k], s.shards[k], pairs)
+		out, err := relation.HashJoin(r.sh[k], s.sh[k], pairs)
 		if err == nil {
 			parts[k] = out
 		}
@@ -63,7 +60,7 @@ func HashJoin(ctx context.Context, r, s *Sharded, pairs [][2]int) (*relation.Rel
 	}); err != nil {
 		return nil, err
 	}
-	return relation.Concat(r.base.Name+"_j_"+s.base.Name, parts[0].Attrs, parts...)
+	return relation.Concat(r.name+"_j_"+s.name, parts[0].Attrs, parts...)
 }
 
 // SemijoinShards computes r ⋉ s over co-partitioned views on explicit
@@ -87,7 +84,7 @@ func SemijoinShards(ctx context.Context, r, s *Sharded, rCols, sCols []int) (*re
 	}
 	parts := make([]*relation.Relation, r.P())
 	if err := pool.Run(ctx, 0, r.P(), func(k int) error {
-		out, err := relation.SemijoinOn(r.shards[k], s.shards[k], rCols, sCols)
+		out, err := relation.SemijoinOn(r.sh[k], s.sh[k], rCols, sCols)
 		if err == nil {
 			parts[k] = out
 		}
@@ -95,103 +92,39 @@ func SemijoinShards(ctx context.Context, r, s *Sharded, rCols, sCols []int) (*re
 	}); err != nil {
 		return nil, err
 	}
-	return relation.Concat(r.base.Name+"_sj", r.base.Attrs, parts...)
+	return relation.Concat(r.name+"_sj", r.attrs, parts...)
 }
 
-// bestKey picks which shared column pair to partition on: the one whose
-// sides have the most distinct values (maximizing the smaller side's
-// count), so hash partitions stay balanced. This is the greedy,
-// statistics-light choice — V(R,c) is already memoized for the planner.
-func bestKey(r, s *relation.Relation, rCols, sCols []int) int {
-	best, bestScore := 0, -1
-	for i := range rCols {
-		score := r.DistinctCount(rCols[i])
-		if d := s.DistinctCount(sCols[i]); d < score {
-			score = d
-		}
-		if score > bestScore {
-			best, bestScore = i, score
-		}
-	}
-	return best
-}
-
-// NaturalJoin is the sharded natural join: r and s are co-partitioned on
-// the shared attribute with the most distinct values and joined shard by
-// shard, with s's copies of the join columns dropped as a dedup-free view.
-// It falls back to relation.NaturalJoin when sharding is disabled, the
-// inputs are below Options.MinRows, or there is no shared attribute to
-// partition on (the join key isn't a partition key).
+// NaturalJoin is the flat form of NaturalJoinStream: r and s join on their
+// shared attributes through the exchange router (co-partitioning,
+// broadcast, skew splitting, fallback all apply) and the result is
+// materialized. Callers composing several operators should prefer the
+// Stream form, which keeps intermediates partitioned.
 func NaturalJoin(ctx context.Context, opts *Options, r, s *relation.Relation) (*relation.Relation, error) {
-	rCols, sCols := relation.SharedCols(r, s)
-	if len(rCols) == 0 || !opts.active(max(r.Size(), s.Size())) {
-		return relation.NaturalJoin(r, s)
-	}
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	k := bestKey(r, s, rCols, sCols)
-	p := opts.Count()
-	pairs := make([][2]int, len(rCols))
-	for i := range rCols {
-		pairs[i] = [2]int{rCols[i], sCols[i]}
-	}
-	joined, err := HashJoin(ctx, Partition(r, rCols[k], p), Partition(s, sCols[k], p), pairs)
+	st, err := NaturalJoinStream(ctx, opts, StreamOf(r), StreamOf(s))
 	if err != nil {
 		return nil, err
 	}
-	return relation.NaturalJoinView(joined, r, s, sCols)
+	return st.Rel(), nil
 }
 
-// Semijoin is the sharded r ⋉ s on shared attribute names, co-partitioned
-// on the highest-cardinality shared column. It falls back to
-// relation.Semijoin when sharding is disabled, the inputs are below
-// Options.MinRows, or the sides share no attribute.
+// Semijoin is the flat form of SemijoinStream: r ⋉ s on shared attribute
+// names through the exchange router, materialized.
 func Semijoin(ctx context.Context, opts *Options, r, s *relation.Relation) (*relation.Relation, error) {
-	rCols, sCols := relation.SharedCols(r, s)
-	if len(rCols) == 0 || !opts.active(max(r.Size(), s.Size())) {
-		return relation.Semijoin(r, s)
-	}
-	if err := ctx.Err(); err != nil {
+	st, err := SemijoinStream(ctx, opts, StreamOf(r), StreamOf(s))
+	if err != nil {
 		return nil, err
 	}
-	k := bestKey(r, s, rCols, sCols)
-	p := opts.Count()
-	return SemijoinShards(ctx, Partition(r, rCols[k], p), Partition(s, sCols[k], p), rCols, sCols)
+	return st.Rel(), nil
 }
 
-// ProjectIdx is the sharded duplicate-eliminating projection of r onto the
-// given positions (repeats allowed, as in relation.ProjectIdx): rows are
-// partitioned on the kept column with the most distinct values, so all
-// duplicates of a projected tuple land in one shard and the per-shard dedup
-// maps — P cache-sized maps instead of one output-sized map — are globally
-// correct. Falls back to relation.ProjectIdx below Options.MinRows.
+// ProjectIdx is the flat form of ProjectStream: the duplicate-eliminating
+// projection of r onto the given positions through the exchange router,
+// materialized.
 func ProjectIdx(ctx context.Context, opts *Options, r *relation.Relation, idx []int) (*relation.Relation, error) {
-	if len(idx) == 0 || !opts.active(r.Size()) {
-		return r.ProjectIdx(idx...)
-	}
-	if err := ctx.Err(); err != nil {
+	st, err := ProjectStream(ctx, opts, StreamOf(r), idx)
+	if err != nil {
 		return nil, err
 	}
-	key, bestScore := idx[0], -1
-	for _, c := range idx {
-		if c < 0 || c >= r.Arity() {
-			return r.ProjectIdx(idx...) // surface the range error unsharded
-		}
-		if d := r.DistinctCount(c); d > bestScore {
-			key, bestScore = c, d
-		}
-	}
-	sh := Partition(r, key, opts.Count())
-	parts := make([]*relation.Relation, sh.P())
-	if err := pool.Run(ctx, 0, sh.P(), func(k int) error {
-		out, err := sh.shards[k].ProjectIdx(idx...)
-		if err == nil {
-			parts[k] = out
-		}
-		return err
-	}); err != nil {
-		return nil, err
-	}
-	return relation.Concat(r.Name+"_proj", parts[0].Attrs, parts...)
+	return st.Rel(), nil
 }

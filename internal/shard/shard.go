@@ -1,39 +1,25 @@
-// Package shard is the horizontal-scaling layer over the interned columnar
-// store: a Sharded relation view hash-partitions a relation's rows by one
-// key column into P shards, each a normal *relation.Relation, so the
-// memoized statistics, hash indexes and tries of the relation package keep
-// working unchanged per shard. Partition-parallel operators (sharded scan,
-// co-partitioned HashJoin, Semijoin and projection) fan the per-shard work
-// out over internal/pool with context cancellation.
-//
-// The paper's bounds govern how large outputs and intermediates can get
-// (AGM/ρ*, Corollary 4.8, Yannakakis for acyclic queries); partitioning is
-// the orthogonal lever that decides how fast each bounded-size pass runs.
-// Because a value's shard depends only on the value and P, two relations
-// partitioned on a shared join column with the same P are co-partitioned:
-// shard k of one side joins only shard k of the other, making every binary
-// join and semijoin embarrassingly parallel across shards — and, even on a
-// single core, splitting one large hash map into P cache-sized ones.
-//
-// Partitioning is statistics-light by design (janus-datalog's "greedy beats
-// optimal" production lesson): the partition key is the planner-visible
-// join column with the most distinct values, P defaults to GOMAXPROCS, and
-// there is no cost model — operators whose join key cannot align with a
-// partition key simply fall back to single-shard execution.
 package shard
 
+// Partitioned views and their construction. Package documentation lives in
+// doc.go; the exchange router that moves views between partition keys is in
+// exchange.go, the partition-parallel operators in ops.go.
+
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"slices"
+	"sync"
 
+	"cqbound/internal/pool"
 	"cqbound/internal/relation"
 )
 
 // Options controls when and how the sharded operators engage. A nil
 // *Options disables sharding entirely: every operator falls back to its
 // single-shard relation-package form. A non-nil zero value means "shard
-// everything": threshold 0 with GOMAXPROCS shards.
+// everything": threshold 0 with GOMAXPROCS shards and default skew
+// handling.
 type Options struct {
 	// MinRows is the row threshold: an operator runs partition-parallel
 	// only when its larger input has at least MinRows rows. Small inputs
@@ -41,7 +27,25 @@ type Options struct {
 	MinRows int
 	// Shards is the partition count P; <= 0 means GOMAXPROCS.
 	Shards int
+	// SkewFraction is the hot-shard trigger: when one shard of an
+	// operator's probe side holds more than this fraction of the side's
+	// rows — one dominant key value hashes every matching row into a
+	// single shard — the shard is split into row blocks that each join
+	// against the (pointer-replicated, read-only) co-shard, restoring
+	// per-worker balance. 0 means the default (0.25); negative disables
+	// splitting.
+	SkewFraction float64
+	// Metrics, when non-nil, counts the routing decisions (sharded vs
+	// fallback, reused vs repartitioned rows, broadcasts, skew splits) of
+	// every operator run under these options.
+	Metrics *Metrics
 }
+
+// defaultSkewFraction is the hot-shard trigger used when Options leaves
+// SkewFraction zero: a shard holding over a quarter of its side's rows
+// serializes at least a quarter of the work on one worker, which is where
+// splitting starts to pay.
+const defaultSkewFraction = 0.25
 
 // Count returns the partition count P the options select (nil-safe).
 func (o *Options) Count() int {
@@ -57,6 +61,26 @@ func (o *Options) active(n int) bool {
 	return o != nil && o.Count() > 1 && n >= o.MinRows
 }
 
+// skewFraction returns the effective hot-shard trigger: the configured
+// fraction, the default when unset, or 0 (disabled) when negative.
+func (o *Options) skewFraction() float64 {
+	if o == nil || o.SkewFraction < 0 {
+		return 0
+	}
+	if o.SkewFraction == 0 {
+		return defaultSkewFraction
+	}
+	return o.SkewFraction
+}
+
+// metrics returns the options' counters (nil-safe; nil disables counting).
+func (o *Options) metrics() *Metrics {
+	if o == nil {
+		return nil
+	}
+	return o.Metrics
+}
+
 // ShardOf returns the shard in [0, p) holding value v. The assignment
 // depends only on (v, p), so any two relations partitioned with the same P
 // on columns holding the same value are co-partitioned. Interned IDs are
@@ -69,63 +93,115 @@ func ShardOf(v relation.Value, p int) int {
 
 // Sharded is a hash-partitioned view of a relation: shard k holds exactly
 // the rows whose key-column value hashes to k. Shards are plain relations
-// carrying the base relation's schema; the partition is memoized on the
-// base relation per (key, P), so repeated evaluations of the same query —
-// the serving hot path — re-partition nothing.
+// carrying the view's schema. Views come from two constructors: Partition
+// splits an existing flat relation (memoized on the relation per (key, P)),
+// and FromParts assembles a view from per-shard operator outputs that are
+// partitioned by construction — the latter never materializes a flat
+// relation unless Rel is called.
 type Sharded struct {
-	base   *relation.Relation
-	key    int
-	shards []*relation.Relation
+	name  string
+	attrs []string
+	key   int
+	sh    []*relation.Relation
+
+	// eager is the flat form when the view was built by Partition: the
+	// relation that was split. Immutable after construction, so it may be
+	// read without synchronization.
+	eager *relation.Relation
+	// lazy is the flat form of an assembled (FromParts) view, built on
+	// first Rel call; it is only written inside baseOnce.Do and only read
+	// after the Do returns, which is the sync.Once happens-before edge.
+	baseOnce sync.Once
+	lazy     *relation.Relation
 }
 
-// Base returns the relation the view partitions.
-func (s *Sharded) Base() *relation.Relation { return s.base }
-
-// Key returns the partition column (a position into Base().Attrs).
+// Key returns the partition column (a position into Attrs()).
 func (s *Sharded) Key() int { return s.key }
 
 // P returns the partition count.
-func (s *Sharded) P() int { return len(s.shards) }
+func (s *Sharded) P() int { return len(s.sh) }
+
+// Attrs returns the view's attribute names. The slice is the view's
+// storage: treat it as read-only.
+func (s *Sharded) Attrs() []string { return s.attrs }
 
 // Shard returns shard k. The relation is the view's storage: treat it as
 // read-only (it may be memoized and shared with concurrent evaluations).
-func (s *Sharded) Shard(k int) *relation.Relation { return s.shards[k] }
+func (s *Sharded) Shard(k int) *relation.Relation { return s.sh[k] }
 
-// Size returns the total row count across shards (== Base().Size()).
-func (s *Sharded) Size() int { return s.base.Size() }
+// Size returns the total row count across shards without materializing the
+// flat relation. It never touches the lazily-built flat form, so it is
+// safe to call concurrently with Rel (parallel passes share Streams).
+func (s *Sharded) Size() int {
+	if s.eager != nil {
+		return s.eager.Size()
+	}
+	n := 0
+	for _, sh := range s.sh {
+		n += sh.Size()
+	}
+	return n
+}
+
+// Rel returns the flat relation the view partitions. For a view built by
+// Partition it is the original relation; for a view assembled from operator
+// outputs it is materialized on first call by concatenating the shards
+// (shards are disjoint, so no dedup pass). Safe for concurrent callers.
+func (s *Sharded) Rel() *relation.Relation {
+	if s.eager != nil {
+		return s.eager
+	}
+	s.baseOnce.Do(func() {
+		flat, err := relation.Concat(s.name, s.attrs, s.sh...)
+		if err != nil {
+			panic(fmt.Sprintf("shard: materializing %s: %v", s.name, err))
+		}
+		s.lazy = flat
+	})
+	return s.lazy
+}
+
+// FromParts assembles a Sharded view from per-shard relations that are
+// already partitioned on column key: part k must hold only rows whose key
+// value hashes to shard k of len(parts). This is how operator outputs stay
+// sharded end to end — a co-partitioned join's shard-k output carries its
+// key value, so it IS shard k of the output — without paying a
+// concatenation the next operator may never need.
+func FromParts(name string, attrs []string, key int, parts []*relation.Relation) *Sharded {
+	if key < 0 || key >= len(attrs) {
+		panic(fmt.Sprintf("shard: FromParts key %d out of range for %v", key, attrs))
+	}
+	return &Sharded{name: name, attrs: attrs, key: key, sh: parts}
+}
+
+// parallelPartitionMinRows is the size at which the partition build fans
+// its bucket and scatter passes out over the worker pool; below it the
+// sequential two-pass build wins on setup cost.
+const parallelPartitionMinRows = 1 << 14
 
 // Partition hash-partitions r by column key into p shards. p < 2 (or an
 // empty relation under p == 1) returns a single-shard view of r itself with
 // no copying. The partition is built once per (key, p) and memoized in r's
 // size-keyed memo table — shared with renamed and cloned views, rebuilt
 // after inserts — so only the first evaluation over a base relation pays
-// the two O(n) passes (bucket, then columnar gather).
+// the build. Large relations bucket, scatter and gather block-parallel over
+// internal/pool; the build itself is not cancelable (it is bounded by two
+// O(n) passes), callers cancel between operator steps.
 func Partition(r *relation.Relation, key, p int) *Sharded {
 	if key < 0 || key >= r.Arity() {
 		panic(fmt.Sprintf("shard: partition column %d out of range for %s", key, r.Name))
 	}
 	if p < 2 {
-		return &Sharded{base: r, key: key, shards: []*relation.Relation{r}}
+		return &Sharded{name: r.Name, attrs: r.Attrs, key: key, eager: r, sh: []*relation.Relation{r}}
 	}
 	memoKey := fmt.Sprintf("shard:%d:%d", key, p)
 	shards := r.Memo(memoKey, func() any {
-		col := r.Column(key)
-		buckets := make([][]int32, p)
-		counts := make([]int, p)
-		for _, v := range col {
-			counts[ShardOf(v, p)]++
-		}
-		for k := range buckets {
-			buckets[k] = make([]int32, 0, counts[k])
-		}
-		for i, v := range col {
-			k := ShardOf(v, p)
-			buckets[k] = append(buckets[k], int32(i))
-		}
+		buckets := partitionRows(r.Column(key), p)
 		out := make([]*relation.Relation, p)
-		for k := range out {
+		_ = pool.Run(context.Background(), 0, p, func(k int) error {
 			out[k] = r.Gather(r.Name, buckets[k])
-		}
+			return nil
+		})
 		return out
 	}).([]*relation.Relation)
 	// The memo may have been built under a differently-named view of the
@@ -142,5 +218,74 @@ func Partition(r *relation.Relation, key, p int) *Sharded {
 		}
 		shards = renamed
 	}
-	return &Sharded{base: r, key: key, shards: shards}
+	return &Sharded{name: r.Name, attrs: r.Attrs, key: key, eager: r, sh: shards}
+}
+
+// partitionRows buckets row indices of a key column into p shards. Small
+// columns take the sequential two-pass build (count, then append); large
+// ones run three block-parallel passes — per-block counts, a sequential
+// prefix over the tiny blocks×p count matrix, then a scatter where each
+// block writes its rows into disjoint ranges of the shared bucket arrays.
+// Row order within a shard matches the sequential build exactly, so the
+// parallel path is a pure speedup, not a behavior change.
+func partitionRows(col []relation.Value, p int) [][]int32 {
+	n := len(col)
+	workers := pool.DefaultWorkers()
+	if n < parallelPartitionMinRows || workers < 2 {
+		counts := make([]int, p)
+		for _, v := range col {
+			counts[ShardOf(v, p)]++
+		}
+		buckets := make([][]int32, p)
+		for k := range buckets {
+			buckets[k] = make([]int32, 0, counts[k])
+		}
+		for i, v := range col {
+			k := ShardOf(v, p)
+			buckets[k] = append(buckets[k], int32(i))
+		}
+		return buckets
+	}
+	blocks := workers
+	bs := (n + blocks - 1) / blocks
+	counts := make([][]int32, blocks) // counts[b][k]: block b's rows for shard k
+	_ = pool.Run(context.Background(), 0, blocks, func(b int) error {
+		cnt := make([]int32, p)
+		lo, hi := b*bs, min((b+1)*bs, n)
+		for _, v := range col[lo:hi] {
+			cnt[ShardOf(v, p)]++
+		}
+		counts[b] = cnt
+		return nil
+	})
+	// offs[b][k] is where block b starts writing inside bucket k; blocks
+	// write disjoint ranges, so the scatter pass is race-free.
+	offs := make([][]int32, blocks)
+	for b := range offs {
+		offs[b] = make([]int32, p)
+	}
+	totals := make([]int32, p)
+	for k := 0; k < p; k++ {
+		var run int32
+		for b := 0; b < blocks; b++ {
+			offs[b][k] = run
+			run += counts[b][k]
+		}
+		totals[k] = run
+	}
+	buckets := make([][]int32, p)
+	for k := range buckets {
+		buckets[k] = make([]int32, totals[k])
+	}
+	_ = pool.Run(context.Background(), 0, blocks, func(b int) error {
+		pos := append([]int32(nil), offs[b]...)
+		lo, hi := b*bs, min((b+1)*bs, n)
+		for i := lo; i < hi; i++ {
+			k := ShardOf(col[i], p)
+			buckets[k][pos[k]] = int32(i)
+			pos[k]++
+		}
+		return nil
+	})
+	return buckets
 }

@@ -1,0 +1,21 @@
+#!/bin/sh
+# checkdocs.sh — fail when any package lacks a doc comment.
+#
+# The equivalent of revive's package-comments rule without a dependency:
+# every package directory must contain at least one .go file opening with a
+# "// Package <name> ..." comment (or "// Command <name> ..." for mains).
+# This keeps the doc.go files of the execution stack — shard, eval, plan,
+# relation — enforced rather than aspirational.
+set -e
+fail=0
+for dir in $(go list -f '{{.Dir}}' ./...); do
+    if ! grep -q -E '^// (Package|Command) ' "$dir"/*.go 2>/dev/null; then
+        echo "checkdocs: missing package comment in $dir" >&2
+        fail=1
+    fi
+done
+if [ "$fail" -ne 0 ]; then
+    echo "checkdocs: add a '// Package <name> ...' doc comment (see doc.go files for examples)" >&2
+    exit 1
+fi
+echo "checkdocs: every package has a doc comment"
