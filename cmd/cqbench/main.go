@@ -18,7 +18,15 @@
 // exchange router behaved: operators sharded vs fallen back, rows reused
 // in place vs repartitioned, broadcasts and skew splits. -shards N sets
 // the partition count for both -shardbench and the planned-sharded rows of
-// -planbench; -skew F sets the hot-shard split fraction.
+// -planbench; -skew F sets the hot-shard split fraction; -membudget N
+// runs the sharded side under an N-byte resident-set budget (forced
+// spilling) and reports the governor's eviction/reload counters.
+//
+// With -spillbench it sweeps memory budgets over the scaled workloads —
+// unlimited, then 1/2 and 1/4 of the unlimited run's peak resident shard
+// bytes (or a single -membudget override) — and reports the wall-clock
+// price and eviction/reload traffic of each cap. The recorded document
+// lives in BENCH_spill.json.
 //
 // Usage:
 //
@@ -26,7 +34,8 @@
 //	cqbench -experiment E7
 //	cqbench -all [-markdown]
 //	cqbench -planbench [-json] [-shards N] [-baseline BENCH_baseline.json [-threshold 3]]
-//	cqbench -shardbench [-json] [-shards N] [-skew F]
+//	cqbench -shardbench [-json] [-shards N] [-skew F] [-membudget N]
+//	cqbench -spillbench [-json] [-shards N] [-membudget N]
 package main
 
 import (
@@ -45,8 +54,10 @@ func main() {
 	markdown := flag.Bool("markdown", false, "emit results as Markdown tables")
 	planbench := flag.Bool("planbench", false, "benchmark planned vs fixed evaluation strategies")
 	shardbench := flag.Bool("shardbench", false, "benchmark sharded vs single-shard execution on scaled workloads")
+	spillbench := flag.Bool("spillbench", false, "sweep memory budgets (unlimited vs 1/2 vs 1/4 of peak resident bytes) over the scaled workloads")
 	shards := flag.Int("shards", 0, "partition count for sharded runs (0 = default 16)")
 	skew := flag.Float64("skew", 0, "hot-shard split fraction for sharded runs (0 = default 0.25, negative disables)")
+	membudget := flag.Int64("membudget", 0, "resident-set budget in bytes for sharded/spill runs (0 = unlimited; with -spillbench, overrides the derived sweep)")
 	jsonOut := flag.Bool("json", false, "emit -planbench/-shardbench results as JSON")
 	baseline := flag.String("baseline", "", "compare -planbench against this JSON baseline and fail on regression")
 	threshold := flag.Float64("threshold", 3.0, "regression factor tolerated against -baseline")
@@ -60,8 +71,10 @@ func main() {
 	}
 
 	switch {
+	case *spillbench:
+		printSpillBench(runSpillBench(*shards, *membudget), *jsonOut)
 	case *shardbench:
-		printShardBench(runShardBench(*shards, *skew), *jsonOut)
+		printShardBench(runShardBench(*shards, *skew, *membudget), *jsonOut)
 	case *planbench:
 		report := runPlanBench(*jsonOut, *shards)
 		if *baseline != "" {

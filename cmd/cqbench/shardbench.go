@@ -26,6 +26,7 @@ import (
 	"cqbound/internal/eval"
 	"cqbound/internal/plan"
 	"cqbound/internal/shard"
+	"cqbound/internal/spill"
 )
 
 // ShardRun is one workload's single-shard vs sharded measurement, plus the
@@ -51,6 +52,10 @@ type ShardRun struct {
 	PostExchangeRows int64 `json:"post_exchange_rows"`
 	BroadcastOps     int64 `json:"broadcast_ops"`
 	SkewSplits       int64 `json:"skew_splits"`
+
+	// Spill counters of the instrumented run; all zero without -membudget.
+	SpillEvictions int64 `json:"spill_evictions,omitempty"`
+	SpillReloads   int64 `json:"spill_reloads,omitempty"`
 }
 
 // ShardBenchReport is the top-level JSON document of -shardbench.
@@ -59,6 +64,9 @@ type ShardBenchReport struct {
 	Shards int `json:"shards"`
 	// SkewFraction is the hot-shard split trigger of the sharded runs.
 	SkewFraction float64 `json:"skew_fraction"`
+	// MemBudget is the -membudget resident-set cap applied to the sharded
+	// runs (0 = unlimited, no governor).
+	MemBudget int64 `json:"mem_budget_bytes,omitempty"`
 	// GOMAXPROCS records how many workers the pool could actually use:
 	// speedups above it come from cache locality (P small hash maps
 	// instead of one big one), speedups up to GOMAXPROCS× on top of that
@@ -67,19 +75,38 @@ type ShardBenchReport struct {
 	Runs       []ShardRun `json:"runs"`
 }
 
-func runShardBench(shards int, skew float64) *ShardBenchReport {
+func runShardBench(shards int, skew float64, membudget int64) *ShardBenchReport {
 	ctx := context.Background()
-	report := &ShardBenchReport{Shards: shards, SkewFraction: skew, GOMAXPROCS: runtime.GOMAXPROCS(0)}
+	report := &ShardBenchReport{Shards: shards, SkewFraction: skew, MemBudget: membudget, GOMAXPROCS: runtime.GOMAXPROCS(0)}
 	for _, w := range scaledWorkloads() {
 		q := cq.MustParse(w.text)
 		db := w.db()
+		// One governor per workload when a budget is forced: its fresh
+		// database's partition shards register here, and the counters
+		// reported below are this workload's own.
+		var gov *spill.Governor
+		if membudget > 0 {
+			gov = spill.NewGovernor(membudget, "")
+		}
 		// The strategy that exposes binary joins to the sharded operators:
 		// Yannakakis when acyclic, the ordered project-early plan otherwise.
 		strategy := plan.StrategyProjectEarly
 		if eval.IsAcyclic(q) {
 			strategy = plan.StrategyYannakakis
 		}
-		run := func(opts *shard.Options) (int, eval.Stats, error) {
+		run := func(base *shard.Options) (int, eval.Stats, error) {
+			opts := base
+			if base != nil && base.Spill != nil {
+				// One spill scope per evaluation, as Engine.Evaluate does:
+				// without it every timing iteration's intermediate shards
+				// would stay registered (and their segments on disk) until
+				// the governor closes.
+				o := *base
+				scope := spill.NewScope()
+				defer scope.Close()
+				o.Scope = scope
+				opts = &o
+			}
 			p := &plan.Plan{Strategy: strategy}
 			if strategy == plan.StrategyProjectEarly {
 				p.AtomOrder = plan.OrderAtoms(q, db)
@@ -91,7 +118,7 @@ func runShardBench(shards int, skew float64) *ShardBenchReport {
 			fmt.Fprintf(os.Stderr, "cqbench: %s single-shard: %v\n", w.name, err)
 			os.Exit(1)
 		}
-		opts := &shard.Options{MinRows: benchShardThreshold, Shards: shards, SkewFraction: skew}
+		opts := &shard.Options{MinRows: benchShardThreshold, Shards: shards, SkewFraction: skew, Spill: gov}
 		shardedNs, shardedOut, _, err := timeStrategy(func() (int, eval.Stats, error) { return run(opts) })
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "cqbench: %s sharded: %v\n", w.name, err)
@@ -105,12 +132,14 @@ func runShardBench(shards int, skew float64) *ShardBenchReport {
 		// One instrumented evaluation with fresh counters: per-evaluation
 		// routing numbers, not sums over however many timing iterations ran.
 		m := &shard.Metrics{}
-		instr := &shard.Options{MinRows: benchShardThreshold, Shards: shards, SkewFraction: skew, Metrics: m}
+		gov.ResetCounters()
+		instr := &shard.Options{MinRows: benchShardThreshold, Shards: shards, SkewFraction: skew, Metrics: m, Spill: gov}
 		if _, _, err := run(instr); err != nil {
 			fmt.Fprintf(os.Stderr, "cqbench: %s instrumented: %v\n", w.name, err)
 			os.Exit(1)
 		}
 		snap := m.Snapshot()
+		spillSnap := gov.Snapshot()
 		sr := ShardRun{
 			Name:             w.name,
 			Query:            w.text,
@@ -124,11 +153,16 @@ func runShardBench(shards int, skew float64) *ShardBenchReport {
 			PostExchangeRows: snap.ExchangedRows,
 			BroadcastOps:     snap.BroadcastOps,
 			SkewSplits:       snap.SkewSplits,
+			SpillEvictions:   spillSnap.Evictions,
+			SpillReloads:     spillSnap.ReloadedShards,
 		}
 		if shardedNs > 0 {
 			sr.Speedup = float64(singleNs) / float64(shardedNs)
 		}
 		report.Runs = append(report.Runs, sr)
+		if err := gov.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "cqbench: closing governor: %v\n", err)
+		}
 	}
 	return report
 }
@@ -143,11 +177,14 @@ func printShardBench(rep *ShardBenchReport, asJSON bool) {
 		}
 		return
 	}
-	fmt.Printf("shards=%d skew=%.2f gomaxprocs=%d\n", rep.Shards, rep.SkewFraction, rep.GOMAXPROCS)
+	fmt.Printf("shards=%d skew=%.2f membudget=%d gomaxprocs=%d\n", rep.Shards, rep.SkewFraction, rep.MemBudget, rep.GOMAXPROCS)
 	for _, r := range rep.Runs {
 		fmt.Printf("  %-14s %-14s out=%-7d single=%10dns sharded=%10dns speedup=%.2fx\n",
 			r.Name, r.Strategy, r.OutputTuples, r.SingleShardNs, r.ShardedNs, r.Speedup)
 		fmt.Printf("    routing: sharded=%d fallback=%d exchange_rows=%d/%d (reused+moved/moved) broadcast=%d skew_splits=%d\n",
 			r.ShardedOps, r.FallbackOps, r.PreExchangeRows, r.PostExchangeRows, r.BroadcastOps, r.SkewSplits)
+		if rep.MemBudget > 0 {
+			fmt.Printf("    spill:   evictions=%d reloads=%d\n", r.SpillEvictions, r.SpillReloads)
+		}
 	}
 }

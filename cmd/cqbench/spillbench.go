@@ -1,0 +1,175 @@
+package main
+
+// The spill benchmark measures what a resident-set budget costs: each
+// scaled workload runs the planner's strategy through a sharding engine
+// three times — unlimited budget, then budgets of 1/2 and 1/4 of the
+// unlimited run's peak resident shard bytes — on a fresh database per run
+// (memoized partitions must re-register with each run's governor). The
+// recorded document lives in BENCH_spill.json: the unlimited row is the
+// no-regression anchor (same engine configuration as planned-sharded in
+// BENCH_baseline.json), the budgeted rows show the eviction/reload traffic
+// and the wall-clock price of staying under the cap. Engine.ResetStats
+// scopes every counter to its own run.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+
+	cqbound "cqbound"
+	"cqbound/internal/cq"
+	"cqbound/internal/eval"
+)
+
+// unlimitedBudget is the "no eviction, full accounting" budget of the
+// sweep's anchor run: large enough that nothing ever spills, nonzero so
+// the governor still tracks peak residency.
+const unlimitedBudget = int64(1) << 62
+
+// SpillRun is one (workload, budget) measurement.
+type SpillRun struct {
+	// Budget is the resident-set cap in bytes; 0 denotes the unlimited
+	// anchor run.
+	Budget int64 `json:"budget_bytes"`
+	// BudgetLabel says where the budget came from: "unlimited", "1/2
+	// peak", "1/4 peak", or "flag" for a -membudget override.
+	BudgetLabel  string `json:"budget_label"`
+	NsPerOp      int64  `json:"ns_per_op"`
+	OutputTuples int    `json:"output_tuples"`
+	// Slowdown is NsPerOp relative to the workload's unlimited run.
+	Slowdown float64 `json:"slowdown_vs_unlimited"`
+
+	// Governor counters for one instrumented evaluation (ResetStats-scoped).
+	Evictions         int64 `json:"evictions"`
+	ReloadedShards    int64 `json:"reloaded_shards"`
+	PinWaits          int64 `json:"pin_waits"`
+	BytesOnDisk       int64 `json:"bytes_on_disk"`
+	PeakResidentBytes int64 `json:"peak_resident_bytes"`
+}
+
+// SpillWorkloadResult groups one workload's budget sweep.
+type SpillWorkloadResult struct {
+	Name  string     `json:"name"`
+	Query string     `json:"query"`
+	Runs  []SpillRun `json:"runs"`
+}
+
+// SpillBenchReport is the top-level JSON document of -spillbench.
+type SpillBenchReport struct {
+	Shards     int                   `json:"shards"`
+	GOMAXPROCS int                   `json:"gomaxprocs"`
+	Workloads  []SpillWorkloadResult `json:"workloads"`
+}
+
+// runSpillBench sweeps budgets over the scaled workloads. A nonzero
+// membudget (the -membudget flag) replaces the derived 1/2- and 1/4-peak
+// budgets with that single forced value.
+func runSpillBench(shards int, membudget int64) *SpillBenchReport {
+	report := &SpillBenchReport{Shards: shards, GOMAXPROCS: runtime.GOMAXPROCS(0)}
+	for _, w := range scaledWorkloads() {
+		q := cq.MustParse(w.text)
+		res := SpillWorkloadResult{Name: w.name, Query: w.text}
+		anchor := spillRun(q, w, shards, unlimitedBudget, "unlimited")
+		anchor.Budget = 0
+		res.Runs = append(res.Runs, anchor)
+		budgets := []struct {
+			bytes int64
+			label string
+		}{
+			{anchor.PeakResidentBytes / 2, "1/2 peak"},
+			{anchor.PeakResidentBytes / 4, "1/4 peak"},
+		}
+		if membudget > 0 {
+			budgets = budgets[:0]
+			budgets = append(budgets, struct {
+				bytes int64
+				label string
+			}{membudget, "flag"})
+		}
+		for _, b := range budgets {
+			if b.bytes <= 0 {
+				continue // workload too small to derive a forcing budget
+			}
+			run := spillRun(q, w, shards, b.bytes, b.label)
+			if anchor.NsPerOp > 0 {
+				run.Slowdown = float64(run.NsPerOp) / float64(anchor.NsPerOp)
+			}
+			if run.OutputTuples != anchor.OutputTuples {
+				fmt.Fprintf(os.Stderr, "cqbench: %s budget %d: output %d tuples, unlimited %d — correctness bug\n",
+					w.name, b.bytes, run.OutputTuples, anchor.OutputTuples)
+				os.Exit(1)
+			}
+			res.Runs = append(res.Runs, run)
+		}
+		report.Workloads = append(report.Workloads, res)
+	}
+	return report
+}
+
+// spillRun measures one workload under one budget on a fresh database and
+// a fresh engine (fresh relations, so partition shards register with this
+// run's governor; fresh engine, so counters belong to this run).
+func spillRun(q *cqbound.Query, w workload, shards int, budget int64, label string) SpillRun {
+	ctx := context.Background()
+	db := w.db()
+	eng := cqbound.NewEngine(cqbound.WithSharding(benchShardThreshold, shards), cqbound.WithMemoryBudget(budget))
+	defer func() {
+		if err := eng.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "cqbench: closing spill engine: %v\n", err)
+		}
+	}()
+	run := func() (int, eval.Stats, error) {
+		out, _, err := eng.Evaluate(ctx, q, db)
+		if err != nil {
+			return 0, eval.Stats{}, err
+		}
+		return out.Size(), eval.Stats{}, nil
+	}
+	ns, outSize, _, err := timeStrategy(func() (int, eval.Stats, error) { return run() })
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cqbench: %s (budget %d): %v\n", w.name, budget, err)
+		os.Exit(1)
+	}
+	// One instrumented evaluation with counters scoped to it alone.
+	eng.ResetStats()
+	if _, _, err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "cqbench: %s (budget %d) instrumented: %v\n", w.name, budget, err)
+		os.Exit(1)
+	}
+	st := eng.SpillStats()
+	return SpillRun{
+		Budget:            budget,
+		BudgetLabel:       label,
+		NsPerOp:           ns,
+		OutputTuples:      outSize,
+		Slowdown:          1,
+		Evictions:         st.Evictions,
+		ReloadedShards:    st.ReloadedShards,
+		PinWaits:          st.PinWaits,
+		BytesOnDisk:       st.BytesOnDisk,
+		PeakResidentBytes: st.PeakResidentBytes,
+	}
+}
+
+func printSpillBench(rep *SpillBenchReport, asJSON bool) {
+	if asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fmt.Fprintln(os.Stderr, "cqbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	fmt.Printf("shards=%d gomaxprocs=%d\n", rep.Shards, rep.GOMAXPROCS)
+	for _, w := range rep.Workloads {
+		fmt.Printf("  %s\n", w.Name)
+		for _, r := range w.Runs {
+			fmt.Printf("    %-10s budget=%-12d %10dns/op out=%-7d slowdown=%.2fx evict=%d reload=%d disk=%dB peak=%dB\n",
+				r.BudgetLabel, r.Budget, r.NsPerOp, r.OutputTuples, r.Slowdown,
+				r.Evictions, r.ReloadedShards, r.BytesOnDisk, r.PeakResidentBytes)
+		}
+	}
+}

@@ -8,7 +8,9 @@ import (
 	"cqbound/internal/lru"
 	"cqbound/internal/plan"
 	"cqbound/internal/pool"
+	"cqbound/internal/relation"
 	"cqbound/internal/shard"
+	"cqbound/internal/spill"
 )
 
 // Planner types (internal/plan).
@@ -49,12 +51,16 @@ type Engine struct {
 	analyses *lru.Cache[*analysisEntry]
 	plans    *lru.Cache[*planEntry]
 	sharding *shard.Options
+	spill    *spill.Governor
 
 	// Staged by options, merged into sharding by NewEngine.
 	shardingOn   bool
 	shardMinRows int
 	shardCount   int
 	skewFraction float64
+	memBudget    int64
+	spillDir     string
+	dictSpill    bool
 }
 
 // Option configures an Engine at construction.
@@ -93,6 +99,74 @@ func WithSkewSplitting(fraction float64) Option {
 	return func(e *Engine) {
 		e.skewFraction = fraction
 	}
+}
+
+// WithMemoryBudget caps the resident bytes of shard storage built during
+// evaluation: every partition shard and partitioned intermediate registers
+// with a memory governor (internal/spill), and when the total exceeds
+// `bytes` the coldest unpinned shards are parked in file-backed segments
+// under the spill directory (WithSpillDir, or the OS temp dir) and loaded
+// back transparently on next use. Hot shards, hash indexes, and shards an
+// operator is scanning stay resident — the budget is a target the governor
+// evicts toward, never a hard cap that could wedge a query against its own
+// working set — and outputs are identical with or without a budget.
+// bytes <= 0 means unlimited. The budget takes effect on sharded execution
+// (spilling's unit is the shard), so pair it with WithSharding; SpillStats
+// reports what the governor did, and Close releases the spill files.
+func WithMemoryBudget(bytes int64) Option {
+	return func(e *Engine) {
+		e.memBudget = bytes
+	}
+}
+
+// WithSpillDir sets the directory under which a WithMemoryBudget engine
+// creates its private spill directory (default: the OS temp dir). Each
+// engine's directory is fresh and uniquely named, so stale files left
+// behind by a crashed process are never read — and never deleted: clean a
+// shared spill dir out-of-band if crashes accumulate.
+func WithSpillDir(dir string) Option {
+	return func(e *Engine) {
+		e.spillDir = dir
+	}
+}
+
+// WithDictSpill additionally lets the governor park the process-wide
+// dictionary's string table (needed only at the parse/print boundary; it
+// reloads lazily on the next parse or print) as the last-resort victim
+// when evicting every unpinned shard still leaves the engine over budget.
+// Off by default because the dictionary is process-wide state shared by
+// every engine. Only meaningful together with WithMemoryBudget.
+func WithDictSpill() Option {
+	return func(e *Engine) {
+		e.dictSpill = true
+	}
+}
+
+// SpillStats is a point-in-time copy of the engine's memory-governor
+// counters: shards currently parked on disk and cumulative reloads,
+// eviction counts, bytes in spill files, pins that had to wait for a
+// segment load, and the resident-bytes gauge with its high-water mark.
+// All zeros when the engine was built without WithMemoryBudget.
+type SpillStats = spill.Stats
+
+// SpillStats reports what the engine's memory governor has done across all
+// evaluations since the engine was built (counters) and the current
+// resident/on-disk state (gauges).
+func (e *Engine) SpillStats() SpillStats {
+	return e.spill.Snapshot()
+}
+
+// Close releases the engine's spill state: parked shards — and, under
+// WithDictSpill, a parked dictionary — are loaded back into memory
+// (relations stay fully usable afterwards) and the engine's spill
+// directory is removed. A nil spill configuration makes Close a no-op.
+// The engine itself remains usable, but a long-lived budgeted engine
+// should be Closed when retired so no segment files leak.
+func (e *Engine) Close() error {
+	// The governor quiesces and restores its aux victim (the parked
+	// dictionary, under WithDictSpill) itself before removing the
+	// directory.
+	return e.spill.Close()
 }
 
 // ShardStats is a point-in-time copy of the engine's sharded-execution
@@ -137,15 +211,52 @@ func NewEngine(opts ...Option) *Engine {
 	for _, opt := range opts {
 		opt(e)
 	}
+	if e.memBudget > 0 {
+		e.spill = spill.NewGovernor(e.memBudget, e.spillDir)
+		if e.dictSpill {
+			gov := e.spill
+			gov.SetAux(func() int64 {
+				path, err := gov.SpillPath("dict.park")
+				if err != nil {
+					return 0
+				}
+				freed, err := relation.DefaultDict().Park(path)
+				if err != nil {
+					return 0
+				}
+				return freed
+			}, relation.DefaultDict().Unpark)
+		}
+	}
 	if e.shardingOn {
 		e.sharding = &shard.Options{
 			MinRows:      e.shardMinRows,
 			Shards:       e.shardCount,
 			SkewFraction: e.skewFraction,
 			Metrics:      &shard.Metrics{},
+			Spill:        e.spill,
 		}
 	}
 	return e
+}
+
+// ResetStats zeroes the engine's cumulative counters — the analysis/plan
+// cache hit/miss counts (CacheStats), the exchange-routing counters
+// (ShardStats), and the spill governor's eviction/reload/pin-wait counters
+// (SpillStats) — so callers can attribute counts to a window, e.g. one
+// query in a benchmark sweep, instead of the engine's lifetime. Gauges
+// that describe present state (cached entries, resident and on-disk
+// bytes, currently parked shards) are left alone; the peak-resident
+// high-water mark restarts from current residency.
+func (e *Engine) ResetStats() {
+	e.mu.Lock()
+	e.analyses.ResetStats()
+	e.plans.ResetStats()
+	e.mu.Unlock()
+	if e.sharding != nil {
+		e.sharding.Metrics.Reset()
+	}
+	e.spill.ResetCounters()
 }
 
 // CacheSize reports how many distinct queries the engine currently holds an
@@ -230,7 +341,26 @@ func (e *Engine) Evaluate(ctx context.Context, q *Query, db *Database) (*Relatio
 		ordered.AtomOrder = plan.OrderAtoms(q, db)
 		p = &ordered
 	}
-	return plan.ExecuteOpts(ctx, p, q, db, e.sharding)
+	opts, scope := e.evalOptions()
+	defer scope.Close()
+	return plan.ExecuteOpts(ctx, p, q, db, opts)
+}
+
+// evalOptions returns the sharding options for one evaluation. Under a
+// memory budget each evaluation gets its own spill scope: the governor
+// buffers of intermediate shards — garbage once the evaluation's output
+// is materialized — are discarded when the scope closes, so a long-lived
+// engine's resident bytes, registry and segment files plateau at the
+// memoized base partitions instead of growing per query. Both returns are
+// nil-safe for their consumers.
+func (e *Engine) evalOptions() (*shard.Options, *spill.Scope) {
+	if e.sharding == nil || e.spill == nil {
+		return e.sharding, nil
+	}
+	scope := spill.NewScope()
+	o := *e.sharding
+	o.Scope = scope
+	return &o, scope
 }
 
 // BatchResult is one query's outcome from EvaluateBatch.
@@ -279,7 +409,9 @@ func (e *Engine) EvaluateStrategy(ctx context.Context, s Strategy, q *Query, db 
 	if s == StrategyProjectEarly {
 		forced.AtomOrder = plan.OrderAtoms(q, db)
 	}
-	return plan.ExecuteOpts(ctx, forced, q, db, e.sharding)
+	opts, scope := e.evalOptions()
+	defer scope.Close()
+	return plan.ExecuteOpts(ctx, forced, q, db, opts)
 }
 
 // ChoosePlan exposes the planner directly for callers that manage their own

@@ -3,6 +3,7 @@ package cqbound_test
 import (
 	"context"
 	"fmt"
+	"os"
 
 	"cqbound"
 )
@@ -187,4 +188,77 @@ func ExampleEngine_ShardStats() {
 	// Output:
 	// ran sharded: true
 	// rows reused without repartitioning: true
+}
+
+// ExampleWithMemoryBudget builds an engine whose resident shard bytes are
+// capped: when partition shards and partitioned intermediates exceed the
+// budget, the coldest unpinned shards are parked in file-backed segments
+// under the spill directory and reloaded transparently on next use.
+// Outputs are identical to an unbudgeted engine's; SpillStats shows the
+// governor at work, and Close releases the segment files.
+func ExampleWithMemoryBudget() {
+	q := cqbound.MustParse("Q(A,D) <- R(A,B), S(B,C), T(C,D).")
+	db := cqbound.NewDatabase()
+	for _, name := range []string{"R", "S", "T"} {
+		rel := cqbound.NewRelation(name, "a", "b")
+		for i := 0; i < 300; i++ {
+			rel.Add(fmt.Sprintf("u%d", (i*7)%50), fmt.Sprintf("u%d", (i*13)%50))
+		}
+		db.MustAdd(rel)
+	}
+
+	budgeted := cqbound.NewEngine(
+		cqbound.WithSharding(0, 8),         // spilling's unit is the shard
+		cqbound.WithMemoryBudget(1<<10),    // 1 KiB: far below the working set
+		cqbound.WithSpillDir(os.TempDir()), // default; private subdir per engine
+	)
+	defer budgeted.Close()
+	plain := cqbound.NewEngine()
+	ctx := context.Background()
+	a, _, err := budgeted.Evaluate(ctx, q, db)
+	if err != nil {
+		panic(err)
+	}
+	b, _, err := plain.Evaluate(ctx, q, db)
+	if err != nil {
+		panic(err)
+	}
+	st := budgeted.SpillStats()
+	fmt.Println("identical:", cqbound.RelationsEqual(a, b))
+	fmt.Println("spilled:", st.Evictions > 0, "reloaded:", st.ReloadedShards > 0)
+	// Output:
+	// identical: true
+	// spilled: true reloaded: true
+}
+
+// ExampleEngine_ResetStats scopes the engine's counters to a window: reset
+// before a query, snapshot after it — the pattern cqbench uses to report
+// per-query routing and spill numbers instead of run-long sums.
+func ExampleEngine_ResetStats() {
+	q := cqbound.MustParse("Q(X,Z) <- R(X,Y), S(Y,Z).")
+	db := cqbound.NewDatabase()
+	r := cqbound.NewRelation("R", "a", "b")
+	s := cqbound.NewRelation("S", "a", "b")
+	for i := 0; i < 80; i++ {
+		r.Add(fmt.Sprintf("x%d", i%20), fmt.Sprintf("y%d", i%9))
+		s.Add(fmt.Sprintf("y%d", i%9), fmt.Sprintf("z%d", i%6))
+	}
+	db.MustAdd(r)
+	db.MustAdd(s)
+	eng := cqbound.NewEngine(cqbound.WithSharding(0, 4))
+	ctx := context.Background()
+	if _, _, err := eng.Evaluate(ctx, q, db); err != nil {
+		panic(err)
+	}
+	eng.ResetStats() // drop warm-up traffic
+	if _, _, err := eng.Evaluate(ctx, q, db); err != nil {
+		panic(err)
+	}
+	hits, misses := eng.CacheStats()
+	st := eng.ShardStats()
+	fmt.Println("window cache hits:", hits, "misses:", misses)
+	fmt.Println("window sharded ops:", st.ShardedOps > 0)
+	// Output:
+	// window cache hits: 1 misses: 0
+	// window sharded ops: true
 }

@@ -58,7 +58,12 @@ func RandomDatabase(rng *rand.Rand, q *cq.Query, p DBParams) *database.Database 
 	}
 	draw := p.drawer(rng)
 	db := database.New()
-	for rel, arity := range relArities(q) {
+	arities := relArities(q)
+	// First-occurrence body order, not map order: the drawer consumes rng
+	// per relation, so the pairing of draws to relations must be
+	// deterministic for a seed to reproduce the same instance.
+	for _, rel := range q.BodyRelations() {
+		arity := arities[rel]
 		rows := make([][]relation.Value, p.Tuples)
 		for i := range rows {
 			row := make([]relation.Value, arity)

@@ -39,6 +39,16 @@
 // partition, so it ignores the options (see the ROADMAP's sharded generic
 // join item).
 //
+// When Options.Spill carries a memory governor, pinning happens below
+// each operator's exchange — the stream operators pin the aligned views
+// they fan out over, and the relation operators pin the shards they scan
+// — so the governor never parks a shard mid-scan, while a parked
+// intermediate entering a join is still repartitioned one shard at a
+// time rather than reloaded whole. Between steps, anything cold may
+// spill and reloads transparently on its next use. The spilled property
+// harness proves outputs identical to Naive under a budget that forces
+// eviction mid-plan.
+//
 // Binding relations (bindingRelation) are the bridge from atoms to
 // relations: for atoms without repeated variables they are O(arity)
 // copy-on-write renames of the stored relation, so memoized statistics,

@@ -151,6 +151,11 @@ func JoinProjectExec(ctx context.Context, q *cq.Query, db *database.Database, or
 		if err != nil {
 			return nil, st, err
 		}
+		// No pin on cur here: pinning happens below the exchange (the
+		// join pins the aligned views it fans out over, the relation
+		// operators pin the shards they scan), so a parked intermediate
+		// can still be repartitioned one shard at a time instead of being
+		// forced whole into memory up front.
 		cur, err = shard.NaturalJoinStream(ctx, opts, cur, shard.StreamOf(next))
 		if err != nil {
 			return nil, st, err

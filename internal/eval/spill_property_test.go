@@ -1,0 +1,166 @@
+// Property-based spill harness: the same random query/database pairs as
+// the sharded harness, evaluated under a memory budget small enough that
+// the governor must park shards mid-plan, with outputs required identical
+// to unsharded Naive. The budget-forced path exercises eviction of
+// memoized base partitions between iterations, reloads inside joins and
+// semijoins, the streaming repartition of governed views, and the final
+// materialization reading parked output shards back.
+package eval_test
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	cqbound "cqbound"
+	"cqbound/internal/cq"
+	"cqbound/internal/database"
+	"cqbound/internal/datagen"
+	"cqbound/internal/eval"
+	"cqbound/internal/relation"
+	"cqbound/internal/shard"
+	"cqbound/internal/spill"
+)
+
+// spillBudgetBytes is deliberately tiny against the harness databases
+// (tens of tuples × up to 4 columns × 4 bytes each): most iterations hold
+// at most one or two shards resident, so eviction fires inside plans, not
+// just between them.
+const spillBudgetBytes = 256
+
+// TestPropertySpilledAgrees re-runs the harness's random pairs under
+// exchange-routed sharded execution WITH a forced-spill memory budget —
+// both through bare eval strategies carrying a shard.Options{Spill: ...}
+// and through a WithMemoryBudget Engine — and requires outputs identical
+// to unsharded Naive. After the sweep the governor must actually have
+// spilled: nonzero evictions AND nonzero reloads, or the budget was not
+// exercising the code path this test exists for.
+func TestPropertySpilledAgrees(t *testing.T) {
+	iters := propertyIterations
+	if testing.Short() {
+		iters = 60
+	}
+	profiles := []datagen.QueryParams{
+		{MaxVars: 5, MaxAtoms: 4, MaxArity: 3, HeadFraction: 0.7, RepeatRelationProb: 0.3, SimpleFDProb: 0.15},
+		{MaxVars: 3, MaxAtoms: 5, MaxArity: 2, HeadFraction: 0.5, RepeatRelationProb: 0.6},
+		{MaxVars: 6, MaxAtoms: 3, MaxArity: 4, HeadFraction: 0.9, RepeatRelationProb: 0.2, CompoundFDProb: 0.3},
+		{MaxVars: 2, MaxAtoms: 3, MaxArity: 3, HeadFraction: 0.6, RepeatRelationProb: 0.5, SimpleFDProb: 0.3},
+	}
+	dbProfiles := []datagen.DBParams{
+		{Tuples: 12, Universe: 6},
+		{Tuples: 25, Universe: 4},
+		{Tuples: 6, Universe: 12},
+		{Tuples: 30, Universe: 8, ZipfS: 1.7},
+		{Tuples: 20, Universe: 15, ZipfS: 2.5},
+	}
+	gov := spill.NewGovernor(spillBudgetBytes, t.TempDir())
+	defer gov.Close()
+	engines := make([]*cqbound.Engine, len(shardCounts))
+	for i, p := range shardCounts {
+		engines[i] = cqbound.NewEngine(
+			cqbound.WithSharding(0, p),
+			cqbound.WithSkewSplitting(propertySkewFraction),
+			cqbound.WithMemoryBudget(spillBudgetBytes),
+			cqbound.WithSpillDir(t.TempDir()),
+		)
+		defer engines[i].Close()
+	}
+	for i := 0; i < iters; i++ {
+		rng := rand.New(rand.NewSource(propertyBaseSeed + int64(i)))
+		q := datagen.RandomQuery(rng, profiles[i%len(profiles)])
+		db := datagen.RandomDatabase(rng, q, dbProfiles[i%len(dbProfiles)])
+		p := shardCounts[i%len(shardCounts)]
+		eng := engines[i%len(shardCounts)]
+		if msg := spilledDisagreement(eng, gov, p, q, db); msg != "" {
+			check := func(q *cq.Query, db *database.Database) string { return spilledDisagreement(eng, gov, p, q, db) }
+			q, db, msg = shrink(check, q, db, msg)
+			t.Fatalf("iteration %d (seed %d, shards %d, budget %d): spilled execution disagrees after shrinking: %s\n"+
+				"minimal query:\n%s\nminimal database:\n%s",
+				i, propertyBaseSeed+int64(i), p, spillBudgetBytes, msg, q, dumpDB(db))
+		}
+	}
+	st := gov.Snapshot()
+	if st.Evictions == 0 || st.ReloadedShards == 0 {
+		t.Fatalf("the forced-spill budget never spilled (evictions=%d reloads=%d): the harness is not testing eviction",
+			st.Evictions, st.ReloadedShards)
+	}
+	for _, eng := range engines {
+		est := eng.SpillStats()
+		if est.Evictions > 0 && est.ReloadedShards > 0 {
+			return
+		}
+	}
+	t.Fatal("no WithMemoryBudget engine reported nonzero spilled/reloaded shards")
+}
+
+// spilledDisagreement compares budgeted sharded execution at partition
+// count p against unsharded Naive: the bare strategies share one tiny
+// governor (gov), the Engine carries its own via WithMemoryBudget.
+func spilledDisagreement(eng *cqbound.Engine, gov *spill.Governor, p int, q *cq.Query, db *database.Database) string {
+	ctx := context.Background()
+	// One scope per pair, like Engine.Evaluate: the 220 pairs' intermediate
+	// shards must not accumulate in the shared governor across iterations.
+	scope := spill.NewScope()
+	defer scope.Close()
+	opts := &shard.Options{MinRows: 0, Shards: p, SkewFraction: propertySkewFraction, Spill: gov, Scope: scope}
+	ref, _, err := eval.NaiveCtx(ctx, q, db)
+	if err != nil {
+		return fmt.Sprintf("naive: %v", err)
+	}
+	check := func(name string, out *relation.Relation, err error) string {
+		if err != nil {
+			return fmt.Sprintf("%s: %v", name, err)
+		}
+		if !relation.Equal(ref, out) {
+			return fmt.Sprintf("%s: %d tuples, naive has %d", name, out.Size(), ref.Size())
+		}
+		return ""
+	}
+	out, _, err := eval.JoinProjectExec(ctx, q, db, nil, opts)
+	if msg := check("spilled join-project", out, err); msg != "" {
+		return msg
+	}
+	if eval.IsAcyclic(q) {
+		out, _, err = eval.YannakakisExec(ctx, q, db, opts)
+		if msg := check("spilled yannakakis", out, err); msg != "" {
+			return msg
+		}
+	}
+	out, _, err = eng.Evaluate(ctx, q, db)
+	if msg := check("spilled engine", out, err); msg != "" {
+		return msg
+	}
+	return ""
+}
+
+// TestSpillMidPlanEviction pins the mechanism on one deterministic case: a
+// three-join path over relations big enough for several shards, a budget
+// far below one relation, and a check that the governor evicted while the
+// plan was still running (reloads can only happen mid-plan — after the
+// plan, nothing reads).
+func TestSpillMidPlanEviction(t *testing.T) {
+	gov := spill.NewGovernor(512, t.TempDir())
+	defer gov.Close()
+	q := cq.MustParse("Q(A,D) <- R(A,B), S(B,C), T(C,D).")
+	db := datagen.EdgeDB(rand.New(rand.NewSource(5)), []string{"R", "S", "T"}, 400, 60)
+	ref, _, err := eval.NaiveCtx(context.Background(), q, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := &shard.Options{MinRows: 0, Shards: 8, Spill: gov}
+	out, _, err := eval.JoinProjectExec(context.Background(), q, db, nil, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !relation.Equal(ref, out) {
+		t.Fatalf("spilled output has %d tuples, naive %d", out.Size(), ref.Size())
+	}
+	st := gov.Snapshot()
+	if st.Evictions == 0 {
+		t.Fatalf("512-byte budget over ~400-row relations never evicted: %+v", st)
+	}
+	if st.ReloadedShards == 0 {
+		t.Fatalf("no shard was reloaded mid-plan: %+v", st)
+	}
+}

@@ -191,6 +191,9 @@ func YannakakisExec(ctx context.Context, q *cq.Query, db *database.Database, opt
 			return err
 		}
 		for _, c := range n.Children {
+			// Pinning happens inside the semijoin, below its exchange, so
+			// a parked binding reloads shard by shard as the pass touches
+			// it instead of being forced whole into memory here.
 			reduced, err := shard.SemijoinStream(ctx, opts, bindings[n.AtomIndex], bindings[c.AtomIndex])
 			if err != nil {
 				return err

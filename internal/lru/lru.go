@@ -75,6 +75,20 @@ func (c *Cache[V]) Put(key string, v V) {
 	}
 }
 
+// Remove deletes the entry under key, reporting whether it was present.
+// Removal touches neither recency of other entries nor the hit/miss
+// counters — it is the explicit-invalidation hook (the spill governor
+// unregisters discarded buffers through it).
+func (c *Cache[V]) Remove(key string) bool {
+	el, ok := c.items[key]
+	if !ok {
+		return false
+	}
+	c.ll.Remove(el)
+	delete(c.items, key)
+	return true
+}
+
 // Len returns the number of cached entries.
 func (c *Cache[V]) Len() int { return c.ll.Len() }
 
@@ -87,5 +101,25 @@ func (c *Cache[V]) Keys() []string {
 	return out
 }
 
-// Stats returns how many Gets hit and missed since creation.
+// Backward walks entries least recently used first, stopping when f
+// returns false. It touches neither recency nor the hit/miss counters —
+// the eviction-scan hook: the spill governor collects cold candidates
+// from the back without materializing every key. f must not mutate the
+// cache.
+func (c *Cache[V]) Backward(f func(key string, v V) bool) {
+	for el := c.ll.Back(); el != nil; el = el.Prev() {
+		e := el.Value.(*entry[V])
+		if !f(e.key, e.v) {
+			return
+		}
+	}
+}
+
+// Stats returns how many Gets hit and missed since creation (or the last
+// ResetStats).
 func (c *Cache[V]) Stats() (hits, misses uint64) { return c.hits, c.misses }
+
+// ResetStats zeroes the hit/miss counters without touching the cached
+// entries or their recency, so callers can attribute counts to a window
+// (e.g. one benchmark query) instead of the cache's whole lifetime.
+func (c *Cache[V]) ResetStats() { c.hits, c.misses = 0, 0 }

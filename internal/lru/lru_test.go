@@ -107,3 +107,49 @@ func TestZeroCapacityPanics(t *testing.T) {
 	}()
 	New[int](0)
 }
+
+func TestRemove(t *testing.T) {
+	c := New[int](3)
+	c.Put("a", 1)
+	c.Put("b", 2)
+	if !c.Remove("a") {
+		t.Fatal("Remove(a) reported absent")
+	}
+	if c.Remove("a") {
+		t.Fatal("second Remove(a) reported present")
+	}
+	if _, ok := c.Peek("a"); ok {
+		t.Fatal("a survives Remove")
+	}
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", c.Len())
+	}
+	// Removal must not count as a hit or miss.
+	if h, m := c.Stats(); h != 0 || m != 0 {
+		t.Fatalf("Stats after Remove = %d/%d, want 0/0", h, m)
+	}
+	// The freed slot is usable again without evicting b.
+	c.Put("c", 3)
+	c.Put("d", 4)
+	if _, ok := c.Peek("b"); !ok {
+		t.Fatal("b evicted although Remove freed a slot")
+	}
+}
+
+func TestResetStats(t *testing.T) {
+	c := New[int](2)
+	c.Put("a", 1)
+	c.Get("a")
+	c.Get("missing")
+	c.ResetStats()
+	if h, m := c.Stats(); h != 0 || m != 0 {
+		t.Fatalf("Stats after reset = %d/%d", h, m)
+	}
+	if _, ok := c.Peek("a"); !ok {
+		t.Fatal("ResetStats dropped entries")
+	}
+	c.Get("a")
+	if h, _ := c.Stats(); h != 1 {
+		t.Fatalf("hits after reset = %d, want 1", h)
+	}
+}

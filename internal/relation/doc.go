@@ -31,13 +31,28 @@
 //     is why internal/shard memoizes partitions per (key, P) "on the
 //     relation memo table" and every binding view of a base relation sees
 //     them.
-//   - Builders run outside the lock; concurrent builders may race and the
-//     last store wins, which is harmless for the idempotent structures
-//     cached here.
+//   - Builders run outside the lock but are single-flight per key:
+//     concurrent readers of a missing entry share one build. (Partition
+//     builds register spill-governed shards, so a duplicate build would
+//     leak governor registrations — duplicates are prevented, not
+//     tolerated.)
 //
 // Views produced by ProjectView and Slice share storage without a memo
 // parent — their column positions or row indices differ from the base, so
 // delegation would serve wrong answers; they build their own memos.
+//
+// # The column-buffer seam
+//
+// Column storage sits behind ColumnBuffer: plain relations hold resident
+// []Value slices, while a relation handed to a spill governor (Govern)
+// holds a spill.Buffer whose columns may be parked in a file-backed
+// segment between uses. All reads flow through one internal accessor that
+// reloads parked columns on demand; Pin/Unpin hold them resident across
+// an operator (Gather, GatherMulti, Concat, index builds, HashJoin and
+// semijoin probes pin their inputs). Clone/Rename views borrow the buffer
+// itself rather than its arrays, so views never force a parked parent
+// resident; the first mutation copies the columns out and releases the
+// buffer — governed relations are read-only by contract until then.
 //
 // # Concurrency
 //

@@ -27,28 +27,60 @@ func (r *Relation) delegate() *Relation {
 }
 
 // Memo returns the value cached under key, calling build when the key is
-// missing or the relation has grown since it was cached. Concurrent callers
-// may race to build the same entry; the last store wins, which is harmless
-// for the derived structures cached here. build runs outside the lock and
-// may itself use the relation's read API.
+// missing or the relation has grown since it was cached. Builds are
+// single-flight per key: concurrent callers of a missing entry run build
+// exactly once and share its result (waiters block until the builder
+// stores). Duplicate builds used to be tolerated as harmless races, but a
+// build may now carry side effects — partition builds register governed
+// shards with a spill governor, and a losing duplicate would stay
+// registered (accounted and on disk) with no owner. build runs outside
+// the lock and may use the relation's read API, but must not Memo the
+// same key recursively.
 func (r *Relation) Memo(key string, build func() any) any {
 	if p := r.delegate(); p != nil {
 		return p.Memo(key, build)
 	}
-	r.mu.Lock()
-	if e, ok := r.memos[key]; ok && e.size == r.n {
+	for {
+		r.mu.Lock()
+		if e, ok := r.memos[key]; ok && e.size == r.n {
+			r.mu.Unlock()
+			return e.v
+		}
+		if ch, busy := r.building[key]; busy {
+			r.mu.Unlock()
+			<-ch // wait for the in-flight builder, then re-check
+			continue
+		}
+		ch := make(chan struct{})
+		if r.building == nil {
+			r.building = make(map[string]chan struct{})
+		}
+		r.building[key] = ch
 		r.mu.Unlock()
-		return e.v
+
+		stored := false
+		defer func() {
+			// On a build panic, release waiters without storing so they
+			// retry (or propagate their own panic) instead of hanging.
+			if !stored {
+				r.mu.Lock()
+				delete(r.building, key)
+				r.mu.Unlock()
+				close(ch)
+			}
+		}()
+		v := build()
+		r.mu.Lock()
+		if r.memos == nil {
+			r.memos = make(map[string]memoEntry)
+		}
+		r.memos[key] = memoEntry{v: v, size: r.n}
+		delete(r.building, key)
+		r.mu.Unlock()
+		stored = true
+		close(ch)
+		return v
 	}
-	r.mu.Unlock()
-	v := build()
-	r.mu.Lock()
-	if r.memos == nil {
-		r.memos = make(map[string]memoEntry)
-	}
-	r.memos[key] = memoEntry{v: v, size: r.n}
-	r.mu.Unlock()
-	return v
 }
 
 // Index is a hash index over a column list: the fixed-width packing of a
@@ -87,6 +119,10 @@ func (r *Relation) Index(cols ...int) *Index {
 	key := "index:" + string(appendColsKey(nil, cols))
 	cs := append([]int(nil), cols...)
 	return r.Memo(key, func() any {
+		// Pin for the build: one reload at most, and the index scan must
+		// not race the spill governor parking the columns row by row.
+		r.Pin()
+		defer r.Unpin()
 		ix := &Index{cols: cs, rows: make(map[string][]int32, r.n)}
 		var buf []byte
 		for i := 0; i < r.n; i++ {
@@ -120,6 +156,8 @@ func (ix *Index) MatchingRows(r *Relation, cols []int, dst []int32) []int32 {
 	if len(cols) != len(ix.cols) {
 		panic(fmt.Sprintf("relation %s: probing %d columns against a %d-column index", r.Name, len(cols), len(ix.cols)))
 	}
+	r.Pin()
+	defer r.Unpin()
 	w := 4 * len(cols) // bytes per packed key
 	buf := make([]byte, 0, probeBlock*w)
 	for lo := 0; lo < r.n; lo += probeBlock {
@@ -175,6 +213,12 @@ func HashJoin(r, s *Relation, pairs [][2]int) (*Relation, error) {
 	}
 	ix := build.Index(buildCols...)
 
+	// Pin both sides for the probe loop: rows of each are appended to the
+	// output tuple by tuple, and the loop must not pay a reload per block.
+	r.Pin()
+	defer r.Unpin()
+	s.Pin()
+	defer s.Unpin()
 	out := New(r.Name+"_j_"+s.Name, concatAttrs(r, s)...)
 	nt := make(Tuple, 0, r.Arity()+s.Arity())
 	var buf []byte

@@ -8,6 +8,8 @@ import (
 	"sort"
 	"strings"
 	"sync"
+
+	"cqbound/internal/spill"
 )
 
 // Value is a single field value: an ID interned in the package dictionary.
@@ -47,6 +49,27 @@ func appendKey(buf []byte, vals ...Value) []byte {
 	return buf
 }
 
+// ColumnBuffer is the storage seam between a relation and its column data:
+// the per-attribute columns are either plain resident []Value slices (the
+// default — every relation built by New) or, for a relation governed by a
+// spill.Governor, file-backed segments that the governor may park on disk
+// between uses. Cols returns resident columns, reloading them if parked;
+// Pin additionally holds them resident until Unpin (operators pin their
+// inputs for their duration); Release detaches from any governor, reverting
+// the relation to plain resident storage before a mutation.
+// Discard drops the spill state without restoring residency — only for
+// relations that are garbage (internal/spill.Scope batches one
+// evaluation's intermediates through it). *spill.Buffer[Value] is the
+// governed implementation.
+type ColumnBuffer interface {
+	Cols() [][]Value
+	Pin() [][]Value
+	Unpin()
+	Bytes() int64
+	Release()
+	Discard()
+}
+
 // Relation is a named relation with set semantics and columnar storage.
 type Relation struct {
 	Name  string
@@ -54,6 +77,19 @@ type Relation struct {
 
 	n    int       // number of tuples
 	cols [][]Value // one column per attribute, each of length n
+
+	// buf, when non-nil, holds the column storage instead of cols: the
+	// relation was handed to a spill governor (Govern) and its columns may
+	// be parked on disk between uses. Reads go through data(); the first
+	// mutation copies the columns back out and, when this relation owns
+	// the buffer (bufOwned — Clone/Rename views borrow their parent's
+	// buffer instead, so a view never forces governed columns resident for
+	// its lifetime), releases it. The fields are written only before the
+	// relation is published to other goroutines (Govern at construction)
+	// or under the package's single-writer rule (ensureOwned), so readers
+	// need no lock.
+	buf      ColumnBuffer
+	bufOwned bool
 
 	// seen maps tuple keys to row indices. It is built lazily (operators
 	// whose outputs are distinct by construction skip it entirely) and may
@@ -68,9 +104,11 @@ type Relation struct {
 	shared bool
 	parent *Relation
 
-	// mu guards the memo table (statistics, hash indexes, caller memos).
-	mu    sync.Mutex
-	memos map[string]memoEntry
+	// mu guards the memo table (statistics, hash indexes, caller memos)
+	// and the in-flight build markers that make memo builds single-flight.
+	mu       sync.Mutex
+	memos    map[string]memoEntry
+	building map[string]chan struct{}
 }
 
 // New creates an empty relation. Attribute names must be unique.
@@ -89,32 +127,119 @@ func New(name string, attrs ...string) *Relation {
 	}
 }
 
+// NewFromColumns wraps already-built columns as a relation without copying
+// or a dedup pass: cols[c] is attribute c's column and every column must
+// have equal length (nil columns mean an empty relation). The caller hands
+// over ownership of the arrays and guarantees the rows are pairwise
+// distinct — it is the columnar counterpart of Gather for builders that
+// assemble output columns directly (the spill-aware streaming repartition
+// does).
+func NewFromColumns(name string, attrs []string, cols [][]Value) *Relation {
+	if len(cols) != len(attrs) {
+		panic(fmt.Sprintf("relation: %d columns for %d attributes in %s", len(cols), len(attrs), name))
+	}
+	out := New(name, attrs...)
+	n := 0
+	if len(cols) > 0 {
+		n = len(cols[0])
+	}
+	for c := range cols {
+		if len(cols[c]) != n {
+			panic(fmt.Sprintf("relation %s: column %d has %d rows, want %d", name, c, len(cols[c]), n))
+		}
+		out.cols[c] = cols[c]
+	}
+	out.n = n
+	return out
+}
+
 // Arity returns the number of attributes.
 func (r *Relation) Arity() int { return len(r.Attrs) }
 
 // Size returns the number of (distinct) tuples.
 func (r *Relation) Size() int { return r.n }
 
+// data returns the resident columns: plain storage directly, governed
+// storage through the buffer (reloading a parked segment on demand). The
+// returned arrays are an immutable snapshot for governed relations — valid
+// even if the governor evicts the buffer afterwards — so callers may hold
+// them across an operator without pinning; pinning additionally keeps the
+// bytes accounted resident and stops eviction churn.
+func (r *Relation) data() [][]Value {
+	if r.buf != nil {
+		return r.buf.Cols()
+	}
+	return r.cols
+}
+
+// Govern hands r's column storage to the spill governor: the columns become
+// a registered ColumnBuffer the governor may park on disk when its memory
+// budget is exceeded. The relation must not be shared with concurrent
+// readers yet (call at construction time, before publishing) and must be
+// treated as read-only afterwards — the first Insert copies the columns
+// back out and releases the buffer. Empty relations and nil governors are
+// no-ops, as is governing twice.
+func (r *Relation) Govern(g *spill.Governor) {
+	if g == nil || r.buf != nil || r.n == 0 {
+		return
+	}
+	r.buf = spill.Manage(g, r.cols, r.n)
+	r.bufOwned = true
+	r.cols = nil
+}
+
+// Governed reports whether r's columns live in a spill-governed buffer.
+func (r *Relation) Governed() bool { return r.buf != nil }
+
+// Buffer returns the column buffer r OWNS (nil for plain relations and
+// for views borrowing a parent's buffer) — the handle a spill scope
+// tracks for end-of-evaluation discard.
+func (r *Relation) Buffer() ColumnBuffer {
+	if !r.bufOwned {
+		return nil
+	}
+	return r.buf
+}
+
+// Pin makes r's columns resident and holds them so until the matching
+// Unpin: the spill governor will not evict them mid-operator. Pins nest;
+// both are no-ops for ungoverned relations. Operators that scan a relation
+// (Gather, GatherMulti, Concat, Index builds, HashJoin, SemijoinOn) pin
+// their inputs for their duration.
+func (r *Relation) Pin() {
+	if r.buf != nil {
+		r.buf.Pin()
+	}
+}
+
+// Unpin releases a Pin.
+func (r *Relation) Unpin() {
+	if r.buf != nil {
+		r.buf.Unpin()
+	}
+}
+
 // Column returns attribute c's column. The slice is the relation's storage:
 // callers must treat it as read-only.
-func (r *Relation) Column(c int) []Value { return r.cols[c][:r.n] }
+func (r *Relation) Column(c int) []Value { return r.data()[c][:r.n] }
 
 // At returns the value at the given row and column.
-func (r *Relation) At(row, col int) Value { return r.cols[col][row] }
+func (r *Relation) At(row, col int) Value { return r.data()[col][row] }
 
 // Row materializes row i as a fresh tuple.
 func (r *Relation) Row(i int) Tuple {
-	t := make(Tuple, len(r.cols))
-	for c := range r.cols {
-		t[c] = r.cols[c][i]
+	d := r.data()
+	t := make(Tuple, len(d))
+	for c := range d {
+		t[c] = d[c][i]
 	}
 	return t
 }
 
 // AppendRow appends row i's values to dst and returns the extended slice.
 func (r *Relation) AppendRow(dst Tuple, i int) Tuple {
-	for c := range r.cols {
-		dst = append(dst, r.cols[c][i])
+	for _, col := range r.data() {
+		dst = append(dst, col[i])
 	}
 	return dst
 }
@@ -127,11 +252,12 @@ func (r *Relation) Tuples() []Tuple {
 	if r.n == 0 {
 		return out
 	}
-	flat := make([]Value, r.n*len(r.cols))
+	d := r.data()
+	flat := make([]Value, r.n*len(d))
 	for i := range out {
-		t := flat[i*len(r.cols) : (i+1)*len(r.cols) : (i+1)*len(r.cols)]
-		for c := range r.cols {
-			t[c] = r.cols[c][i]
+		t := flat[i*len(d) : (i+1)*len(d) : (i+1)*len(d)]
+		for c := range d {
+			t[c] = d[c][i]
 		}
 		out[i] = t
 	}
@@ -142,10 +268,11 @@ func (r *Relation) Tuples() []Tuple {
 // is a reused buffer: it is valid only during the call and must not be
 // retained or modified (clone it to keep it).
 func (r *Relation) Each(f func(Tuple) bool) {
-	buf := make(Tuple, len(r.cols))
+	d := r.data()
+	buf := make(Tuple, len(d))
 	for i := 0; i < r.n; i++ {
-		for c := range r.cols {
-			buf[c] = r.cols[c][i]
+		for c := range d {
+			buf[c] = d[c][i]
 		}
 		if !f(buf) {
 			return
@@ -155,31 +282,52 @@ func (r *Relation) Each(f func(Tuple) bool) {
 
 // keyAt appends the packing of row i's values in the given columns to buf.
 func (r *Relation) keyAt(buf []byte, i int, cols []int) []byte {
+	d := r.data()
 	for _, c := range cols {
-		buf = binary.LittleEndian.AppendUint32(buf, uint32(r.cols[c][i]))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(d[c][i]))
 	}
 	return buf
 }
 
 // rowKey appends the packing of the full row i to buf.
 func (r *Relation) rowKey(buf []byte, i int) []byte {
-	for c := range r.cols {
-		buf = binary.LittleEndian.AppendUint32(buf, uint32(r.cols[c][i]))
+	for _, col := range r.data() {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(col[i]))
 	}
 	return buf
 }
 
 // ensureOwned copies shared storage before the first mutation: column
 // backing arrays are duplicated and the dedup map is cloned, scrubbing
-// entries that point past this relation's rows.
+// entries that point past this relation's rows. A governed relation
+// likewise copies its columns back out of the spill buffer and releases
+// it — mutation reverts the storage contract to plain resident slices.
 func (r *Relation) ensureOwned() {
-	if !r.shared {
+	if r.buf == nil && !r.shared {
 		return
 	}
-	for c := range r.cols {
-		r.cols[c] = append([]Value(nil), r.cols[c][:r.n]...)
+	wasShared := r.shared
+	if r.buf != nil {
+		d := r.buf.Pin()
+		r.cols = make([][]Value, len(d))
+		for c := range d {
+			r.cols[c] = append([]Value(nil), d[c][:r.n]...)
+		}
+		r.buf.Unpin()
+		if r.bufOwned {
+			r.buf.Release()
+		}
+		r.buf = nil
+		r.bufOwned = false
+	} else {
+		for c := range r.cols {
+			r.cols[c] = append([]Value(nil), r.cols[c][:r.n]...)
+		}
 	}
-	if r.seen != nil {
+	// A borrowed dedup map — shared storage, or a view borrowing a
+	// governed parent's buffer — may reference rows past this relation's
+	// bound; an owned governed relation's map is exact and kept as is.
+	if wasShared && r.seen != nil {
 		m := make(map[string]int32, r.n)
 		for k, row := range r.seen {
 			if int(row) < r.n {
@@ -287,7 +435,15 @@ func (r *Relation) AttrIndex(name string) int {
 func (r *Relation) share(name string, attrs []string) *Relation {
 	out := New(name, attrs...)
 	out.n = r.n
-	copy(out.cols, r.cols) // column headers; backing arrays stay r's
+	if r.buf != nil {
+		// Borrow the governed buffer itself rather than its current arrays:
+		// the view reads through the buffer, so a parked parent stays
+		// parked until something actually reads, and the governor keeps
+		// one accounting entry per stored row set.
+		out.buf = r.buf
+	} else {
+		copy(out.cols, r.cols) // column headers; backing arrays stay r's
+	}
 	// Borrow the dedup map only if it exists: building it here would defeat
 	// the lazy-dedup design for views of operator outputs. The mutex makes
 	// the field read safe against a concurrent reader lazily building it.
@@ -350,11 +506,14 @@ func (r *Relation) ProjectIdx(idx ...int) (*Relation, error) {
 	}
 	out := New(r.Name+"_proj", attrs...)
 	out.seen = make(map[string]int32, r.n)
+	r.Pin()
+	defer r.Unpin()
+	d := r.data()
 	nt := make(Tuple, len(idx))
 	var buf []byte
 	for row := 0; row < r.n; row++ {
 		for i, j := range idx {
-			nt[i] = r.cols[j][row]
+			nt[i] = d[j][row]
 		}
 		buf = appendKey(buf[:0], nt...)
 		if _, dup := out.seen[string(buf)]; dup {
@@ -387,9 +546,12 @@ func (r *Relation) Project(attrs ...string) (*Relation, error) {
 func (r *Relation) Gather(name string, rows []int32) *Relation {
 	out := New(name, r.Attrs...)
 	out.n = len(rows)
-	for c := range r.cols {
+	r.Pin()
+	defer r.Unpin()
+	d := r.data()
+	for c := range d {
 		col := make([]Value, len(rows))
-		src := r.cols[c]
+		src := d[c]
 		for k, i := range rows {
 			col[k] = src[i]
 		}
@@ -418,10 +580,19 @@ func GatherMulti(name string, attrs []string, srcs []*Relation, rows [][]int32) 
 		}
 		total += len(rows[i])
 	}
+	// Pin every source across the whole column sweep: each source is read
+	// once per output column, and an eviction between columns would force
+	// arity-many reloads.
+	data := make([][][]Value, len(srcs))
+	for i, src := range srcs {
+		src.Pin()
+		defer src.Unpin()
+		data[i] = src.data()
+	}
 	for c := range out.cols {
 		col := make([]Value, 0, total)
-		for i, src := range srcs {
-			sc := src.cols[c]
+		for i := range srcs {
+			sc := data[i][c]
 			for _, row := range rows[i] {
 				col = append(col, sc[row])
 			}
@@ -446,10 +617,16 @@ func Concat(name string, attrs []string, parts ...*Relation) (*Relation, error) 
 		}
 		total += p.n
 	}
+	data := make([][][]Value, len(parts))
+	for i, p := range parts {
+		p.Pin()
+		defer p.Unpin()
+		data[i] = p.data()
+	}
 	for c := range out.cols {
 		col := make([]Value, 0, total)
-		for _, p := range parts {
-			col = append(col, p.cols[c][:p.n]...)
+		for i, p := range parts {
+			col = append(col, data[i][c][:p.n]...)
 		}
 		out.cols[c] = col
 	}
@@ -478,8 +655,9 @@ func (r *Relation) ProjectView(name string, attrs []string, idx ...int) (*Relati
 	}
 	out := New(name, attrs...)
 	out.n = r.n
+	d := r.data()
 	for i, j := range idx {
-		out.cols[i] = r.cols[j]
+		out.cols[i] = d[j]
 	}
 	// Shared storage without a parent: first insert copies the columns, but
 	// memos are r's own (r has a different schema, so delegation would serve
@@ -501,8 +679,9 @@ func (r *Relation) Slice(name string, lo, hi int) (*Relation, error) {
 	}
 	out := New(name, r.Attrs...)
 	out.n = hi - lo
-	for c := range r.cols {
-		out.cols[c] = r.cols[c][lo:hi]
+	d := r.data()
+	for c := range d {
+		out.cols[c] = d[c][lo:hi]
 	}
 	// Shared storage without a memo parent: row indices shifted by lo, so
 	// delegating memoized indexes or statistics would serve wrong rows.
@@ -651,11 +830,14 @@ func NaturalJoinSchema(rAttrs, sAttrs []string, sCols []int) (attrs []string, ke
 // CheckFD reports whether the instance satisfies the functional dependency
 // from (0-based positions) -> to.
 func (r *Relation) CheckFD(from []int, to int) bool {
+	r.Pin()
+	defer r.Unpin()
+	toCol := r.data()[to]
 	seen := make(map[string]Value, r.n)
 	var buf []byte
 	for i := 0; i < r.n; i++ {
 		buf = r.keyAt(buf[:0], i, from)
-		v := r.cols[to][i]
+		v := toCol[i]
 		if prev, ok := seen[string(buf)]; ok {
 			if prev != v {
 				return false
@@ -689,7 +871,7 @@ func (r *Relation) CheckKey(cols []int) bool {
 // sorted by their interned strings.
 func (r *Relation) Values() []Value {
 	set := make(map[Value]bool)
-	for c := range r.cols {
+	for c := range r.Attrs {
 		for _, v := range r.Column(c) {
 			set[v] = true
 		}

@@ -1,0 +1,214 @@
+package relation
+
+import (
+	"fmt"
+	"path/filepath"
+	"testing"
+
+	"cqbound/internal/spill"
+)
+
+// governedPair builds two governed relations under a budget that only fits
+// one, so the first is parked as soon as the second registers.
+func governedPair(t *testing.T, rows int) (cold, hot *Relation, g *spill.Governor) {
+	t.Helper()
+	g = spill.NewGovernor(int64(rows)*2*4+8, t.TempDir())
+	t.Cleanup(func() { g.Close() })
+	cold = New("cold", "a", "b")
+	hot = New("hot", "a", "b")
+	for i := 0; i < rows; i++ {
+		cold.Add(fmt.Sprintf("c%d", i), fmt.Sprintf("d%d", i))
+		hot.Add(fmt.Sprintf("x%d", i), fmt.Sprintf("y%d", i))
+	}
+	cold.Govern(g)
+	hot.Govern(g)
+	return cold, hot, g
+}
+
+func TestGovernEvictReadBack(t *testing.T) {
+	cold, hot, g := governedPair(t, 50)
+	if cold.Governed() != true || hot.Governed() != true {
+		t.Fatal("Govern did not take")
+	}
+	st := g.Snapshot()
+	if st.Evictions == 0 {
+		t.Fatalf("no eviction under a one-relation budget: %+v", st)
+	}
+	// Every read API must still serve the parked relation's exact rows.
+	if cold.Size() != 50 || cold.At(7, 0) != V("c7") {
+		t.Fatal("At through a parked buffer is wrong")
+	}
+	if got := cold.Row(3); got[0] != V("c3") || got[1] != V("d3") {
+		t.Fatalf("Row(3) = %v", got.Strings())
+	}
+	if !cold.Has(Tuple{V("c49"), V("d49")}) {
+		t.Fatal("Has lost a tuple")
+	}
+	n := 0
+	cold.Each(func(tp Tuple) bool { n++; return true })
+	if n != 50 {
+		t.Fatalf("Each saw %d rows, want 50", n)
+	}
+	if g.Snapshot().ReloadedShards == 0 {
+		t.Fatal("reads of a parked relation never reloaded")
+	}
+}
+
+func TestGovernedOperatorsMatchPlain(t *testing.T) {
+	cold, hot, _ := governedPair(t, 40)
+	plainCold := New("pc", "a", "b")
+	plainHot := New("ph", "b", "c")
+	for i := 0; i < 40; i++ {
+		plainCold.Add(fmt.Sprintf("c%d", i), fmt.Sprintf("d%d", i))
+		plainHot.Add(fmt.Sprintf("x%d", i), fmt.Sprintf("y%d", i))
+	}
+	// Rename the governed relations to join on a shared attribute.
+	rc, err := cold.Rename("cold", "a", "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rh, err := hot.Rename("hot", "b", "c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// d* values of cold never match x* of hot; force matches via a bridge.
+	bridge := New("bridge", "b", "c")
+	for i := 0; i < 40; i++ {
+		bridge.Add(fmt.Sprintf("d%d", i), fmt.Sprintf("z%d", i%5))
+	}
+	gJoin, err := NaturalJoin(rc, bridge)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pJoin, err := NaturalJoin(plainCold, bridge)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(gJoin, pJoin) {
+		t.Fatal("join through governed storage differs from plain")
+	}
+	sj, err := Semijoin(rc, bridge)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sj.Size() != 40 {
+		t.Fatalf("semijoin kept %d rows, want 40", sj.Size())
+	}
+	proj, err := rh.Project("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if proj.Size() != 40 {
+		t.Fatalf("projection of governed relation: %d rows, want 40", proj.Size())
+	}
+	gath := cold.Gather("g", []int32{0, 5, 9})
+	if gath.Size() != 3 || gath.At(1, 0) != V("c5") {
+		t.Fatal("Gather through governed storage is wrong")
+	}
+}
+
+func TestInsertReleasesGovernedBuffer(t *testing.T) {
+	cold, _, g := governedPair(t, 30)
+	before := g.Snapshot()
+	cold.Add("new", "row")
+	if cold.Governed() {
+		t.Fatal("mutated relation still governed")
+	}
+	if cold.Size() != 31 || !cold.Has(Tuple{V("new"), V("row")}) {
+		t.Fatal("insert after release lost data")
+	}
+	if !cold.Has(Tuple{V("c0"), V("d0")}) {
+		t.Fatal("release lost pre-spill rows")
+	}
+	after := g.Snapshot()
+	if after.ResidentBytes >= before.ResidentBytes+240 {
+		t.Fatalf("released bytes still accounted: %d -> %d", before.ResidentBytes, after.ResidentBytes)
+	}
+}
+
+func TestGovernedSliceAndViews(t *testing.T) {
+	cold, _, _ := governedPair(t, 20)
+	blk, err := cold.Slice("blk", 5, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if blk.Size() != 5 || blk.At(0, 0) != V("c5") {
+		t.Fatal("Slice of governed relation is wrong")
+	}
+	cl := cold.Clone("copy")
+	if cl.Size() != 20 || !cl.Has(Tuple{V("c19"), V("d19")}) {
+		t.Fatal("Clone of governed relation is wrong")
+	}
+	pv, err := cold.ProjectView("pv", []string{"b"}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pv.Size() != 20 || pv.At(4, 0) != V("d4") {
+		t.Fatal("ProjectView of governed relation is wrong")
+	}
+}
+
+func TestGovernedPinBlocksEviction(t *testing.T) {
+	g := spill.NewGovernor(100, t.TempDir())
+	defer g.Close()
+	r := New("r", "a")
+	for i := 0; i < 100; i++ {
+		r.Add(fmt.Sprintf("v%d", i))
+	}
+	r.Govern(g)
+	r.Pin()
+	defer r.Unpin()
+	s := New("s", "a")
+	for i := 0; i < 100; i++ {
+		s.Add(fmt.Sprintf("w%d", i))
+	}
+	s.Govern(g) // would evict r if unpinned
+	if g.Snapshot().SpilledShards != 1 {
+		t.Fatalf("expected exactly the unpinned relation parked: %+v", g.Snapshot())
+	}
+	if r.At(0, 0) != V("v0") {
+		t.Fatal("pinned relation unreadable")
+	}
+}
+
+func TestDictParkRoundtrip(t *testing.T) {
+	d := NewDict()
+	ids := make([]Value, 100)
+	for i := range ids {
+		ids[i] = d.Intern(fmt.Sprintf("word-%d", i))
+	}
+	path := filepath.Join(t.TempDir(), "dict.park")
+	freed, err := d.Park(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if freed == 0 {
+		t.Fatal("Park freed nothing")
+	}
+	if d.Len() != 100 {
+		t.Fatalf("parked Len = %d, want 100", d.Len())
+	}
+	// String on a parked dict reloads transparently.
+	if got := d.String(ids[42]); got != "word-42" {
+		t.Fatalf("String after park = %q", got)
+	}
+	// IDs must be stable across the roundtrip.
+	for i, id := range ids {
+		if got, ok := d.Lookup(fmt.Sprintf("word-%d", i)); !ok || got != id {
+			t.Fatalf("id of word-%d changed: %d -> %d", i, id, got)
+		}
+	}
+	if d.Intern("word-7") != ids[7] {
+		t.Fatal("Intern after unpark re-assigned an ID")
+	}
+	if d.Intern("fresh") != Value(100) {
+		t.Fatal("next free ID wrong after roundtrip")
+	}
+	// Parking again after unpark works.
+	if _, err := d.Park(path); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := d.Lookup("fresh"); !ok || got != Value(100) {
+		t.Fatalf("Lookup on re-parked dict = %d, %v", got, ok)
+	}
+}

@@ -85,4 +85,26 @@
 // beats optimal" production lesson): the partition key is the shared join
 // column with the most distinct values, P defaults to GOMAXPROCS, and
 // there is no cost model beyond the reuse/broadcast/exchange ladder above.
+//
+// # Empty shards
+//
+// Sparse partitionings (P far above a key's distinct values) leave many
+// shards empty, and empty shards pay nothing: Partition points empty
+// buckets at one canonical empty relation instead of allocating columns,
+// an Exchange of an empty stream returns a canonical empty view without a
+// bucket pass, repartitioning skips zero-length source shards before
+// bucketing, and the join/semijoin task loops skip shards where a side is
+// empty (their outputs share one empty part).
+//
+// # Spill
+//
+// Options.Spill threads a memory governor (internal/spill) through every
+// path that builds shards: memoized base partitions, repartitioned and
+// assembled operator outputs all register their column bytes, and the
+// governor parks the coldest unpinned shards in file-backed segments when
+// its budget is exceeded. Operators Pin the views they fan out over for
+// their duration, and exchanging a governed view streams one source shard
+// at a time (pin, bucket, scatter, unpin) so repartitioning never needs
+// the whole view resident. Reads of parked shards reload transparently;
+// outputs are identical with or without a budget.
 package shard

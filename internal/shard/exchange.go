@@ -59,6 +59,20 @@ type Stats struct {
 	SkewSplits    int64
 }
 
+// Reset zeroes every counter (nil-safe) — the per-query snapshot hook
+// behind Engine.ResetStats.
+func (m *Metrics) Reset() {
+	if m == nil {
+		return
+	}
+	m.ShardedOps.Store(0)
+	m.FallbackOps.Store(0)
+	m.ReusedRows.Store(0)
+	m.ExchangedRows.Store(0)
+	m.BroadcastOps.Store(0)
+	m.SkewSplits.Store(0)
+}
+
 // Snapshot copies the counters (nil-safe: a nil receiver reads all zeros).
 func (m *Metrics) Snapshot() Stats {
 	if m == nil {
@@ -143,6 +157,35 @@ func (st Stream) Rel() *relation.Relation {
 // Sharded returns the stream's current partitioned view, or nil.
 func (st Stream) Sharded() *Sharded { return st.sh }
 
+// Pin holds the stream's storage — every shard of a partitioned view, or
+// the flat relation — resident until Unpin: the spill governor will not
+// park it mid-operator. The stream operators pin below their exchange
+// (the aligned views they fan out over), so a parked stream can still be
+// repartitioned one shard at a time; callers composing their own scans
+// over a stream's shards pin here. Pinning a parked stream reloads it
+// whole — exactly what the budget exists to avoid — so hold pins only
+// across immediate reads.
+func (st Stream) Pin() {
+	if st.sh != nil {
+		st.sh.Pin()
+		return
+	}
+	if st.rel != nil {
+		st.rel.Pin()
+	}
+}
+
+// Unpin releases a Pin.
+func (st Stream) Unpin() {
+	if st.sh != nil {
+		st.sh.Unpin()
+		return
+	}
+	if st.rel != nil {
+		st.rel.Unpin()
+	}
+}
+
 // Size returns the row count without materializing a flat relation.
 func (st Stream) Size() int {
 	if st.rel != nil {
@@ -182,11 +225,18 @@ func (st Stream) distinct(col int) int {
 
 // Exchange aligns st to partition key `key` at count p. A stream already
 // partitioned on (key, p) is reused as is — the zero-cost case end-to-end
-// sharding exists for. A stream partitioned on a different key is
-// repartitioned directly shard-to-shard (one bucket pass and a single-copy
-// multi-gather, never materializing the flat relation). A flat stream is
-// partitioned through the per-(key, P) memo on its relation.
-func Exchange(ctx context.Context, st Stream, key, p int, m *Metrics) (*Sharded, error) {
+// sharding exists for. An empty stream short-circuits to a view whose
+// shards all share one canonical empty relation: no bucket pass, no
+// per-shard column allocation, and no rows counted as exchanged. A stream
+// partitioned on a different key is repartitioned directly shard-to-shard
+// (one bucket pass and a single-copy multi-gather, never materializing the
+// flat relation); when the options carry a spill governor the repartition
+// instead streams one source shard at a time — pin, bucket, scatter,
+// unpin — so a view of parked shards never needs them all resident at
+// once. A flat stream is partitioned through the per-(key, P) memo on its
+// relation.
+func Exchange(ctx context.Context, st Stream, key, p int, opts *Options) (*Sharded, error) {
+	m := opts.metrics()
 	if sh := st.sh; sh != nil && sh.key == key && sh.P() == p {
 		m.addReused(sh.Size())
 		return sh, nil
@@ -194,24 +244,66 @@ func Exchange(ctx context.Context, st Stream, key, p int, m *Metrics) (*Sharded,
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	if st.Size() == 0 {
+		return emptyView(streamName(st), st.Attrs(), key, p)
+	}
 	if st.rel == nil && st.sh != nil {
 		m.addExchanged(st.sh.Size())
+		if opts.spill() != nil {
+			return streamRepartition(st.sh, key, p, opts)
+		}
 		return exchangeParts(st.sh, key, p)
 	}
 	r := st.Rel()
 	m.addExchanged(r.Size())
-	return Partition(r, key, p), nil
+	return partition(r, key, p, opts.spill()), nil
+}
+
+// emptyPart returns — allocating on first call through cur — the single
+// canonical empty relation shared by every empty shard slot of one
+// operator output, so sparse partitionings pay one allocation per
+// operator instead of one per empty shard.
+func emptyPart(cur **relation.Relation, name string, attrs []string) *relation.Relation {
+	if *cur == nil {
+		*cur = relation.New(name, attrs...)
+	}
+	return *cur
+}
+
+// emptyView builds a p-shard view of zero rows: every shard is the same
+// canonical empty relation, so sparse plans pay one allocation instead of
+// p per empty exchange.
+func emptyView(name string, attrs []string, key, p int) (*Sharded, error) {
+	if key < 0 || key >= len(attrs) {
+		return nil, fmt.Errorf("shard: exchange key %d out of range for %s", key, name)
+	}
+	if p < 1 {
+		p = 1
+	}
+	empty := relation.New(name, attrs...)
+	parts := make([]*relation.Relation, p)
+	for k := range parts {
+		parts[k] = empty
+	}
+	return FromParts(name, attrs, key, parts), nil
 }
 
 // exchangeParts repartitions an assembled view onto a new key without
 // flattening it: each old shard is bucketed by the new key in parallel,
 // then each new shard gathers its rows from every old shard in one copy
-// (relation.GatherMulti).
+// (relation.GatherMulti). Zero-length source shards are skipped before
+// either pass — a sparse partitioning routes only the shards that hold
+// rows.
 func exchangeParts(sh *Sharded, key, p int) (*Sharded, error) {
 	if key < 0 || key >= len(sh.attrs) {
 		return nil, fmt.Errorf("shard: exchange key %d out of range for %s", key, sh.name)
 	}
-	parts := sh.sh
+	parts := make([]*relation.Relation, 0, len(sh.sh))
+	for _, part := range sh.sh {
+		if part.Size() > 0 {
+			parts = append(parts, part)
+		}
+	}
 	buckets := make([][][]int32, len(parts)) // buckets[i][k]: rows of part i for new shard k
 	_ = pool.Run(context.Background(), 0, len(parts), func(i int) error {
 		buckets[i] = partitionRows(parts[i].Column(key), p)
@@ -233,6 +325,60 @@ func exchangeParts(sh *Sharded, key, p int) (*Sharded, error) {
 		return nil, err
 	}
 	return FromParts(sh.name, sh.attrs, key, out), nil
+}
+
+// streamRepartition is the spill-aware exchangeParts: instead of bucketing
+// every source shard in parallel and gathering from all of them at once —
+// which needs the whole view resident — it walks the source shards one at
+// a time, pinning each only while its rows are bucketed and scattered into
+// the output columns. Peak residency is one source shard plus the output;
+// row order per new shard (source-major, row order within a source) matches
+// exchangeParts exactly. The new shards register with the governor as
+// transients of the current evaluation.
+func streamRepartition(sh *Sharded, key, p int, opts *Options) (*Sharded, error) {
+	if key < 0 || key >= len(sh.attrs) {
+		return nil, fmt.Errorf("shard: exchange key %d out of range for %s", key, sh.name)
+	}
+	arity := len(sh.attrs)
+	outCols := make([][][]relation.Value, p) // outCols[k][c]
+	for k := range outCols {
+		outCols[k] = make([][]relation.Value, arity)
+	}
+	for _, part := range sh.sh {
+		if part.Size() == 0 {
+			continue
+		}
+		part.Pin()
+		buckets := partitionRows(part.Column(key), p)
+		for c := 0; c < arity; c++ {
+			col := part.Column(c)
+			for k, rows := range buckets {
+				if len(rows) == 0 {
+					continue
+				}
+				dst := outCols[k][c]
+				if dst == nil {
+					dst = make([]relation.Value, 0, len(rows))
+				}
+				for _, i := range rows {
+					dst = append(dst, col[i])
+				}
+				outCols[k][c] = dst
+			}
+		}
+		part.Unpin()
+	}
+	parts := make([]*relation.Relation, p)
+	var empty *relation.Relation
+	for k := range parts {
+		if arity > 0 && outCols[k][0] == nil {
+			parts[k] = emptyPart(&empty, sh.name, sh.attrs)
+			continue
+		}
+		parts[k] = relation.NewFromColumns(sh.name, sh.attrs, outCols[k])
+		opts.governTransient(parts[k])
+	}
+	return FromParts(sh.name, sh.attrs, key, parts), nil
 }
 
 // alignedPair returns the index into cols of the stream's current partition
@@ -345,7 +491,9 @@ func sliceBlocks(r *relation.Relation, blocks int) []*relation.Relation {
 // runJoinTasks executes raw hash joins for every task on the pool and
 // assembles one raw (all left columns, then all right columns) relation per
 // shard; shards with several tasks concatenate their disjoint block
-// outputs.
+// outputs. Shards without tasks — both sides empty under a sparse
+// partitioning, skipped before task generation — stay nil; the caller's
+// projection substitutes one shared empty part.
 func runJoinTasks(ctx context.Context, tasks []task, pairs [][2]int, p int) ([]*relation.Relation, error) {
 	outs := make([]*relation.Relation, len(tasks))
 	if err := pool.Run(ctx, 0, len(tasks), func(i int) error {
@@ -363,6 +511,9 @@ func runJoinTasks(ctx context.Context, tasks []task, pairs [][2]int, p int) ([]*
 	}
 	raw := make([]*relation.Relation, p)
 	for k, parts := range perShard {
+		if len(parts) == 0 {
+			continue
+		}
 		if len(parts) == 1 {
 			raw[k] = parts[0]
 			continue
@@ -426,26 +577,36 @@ func NaturalJoinStream(ctx context.Context, opts *Options, l, r Stream) (Stream,
 		}
 		pick = bestPair(l, r, lCols, rCols)
 	}
-	lSh, err := Exchange(ctx, l, lCols[pick], p, m)
+	lSh, err := Exchange(ctx, l, lCols[pick], p, opts)
 	if err != nil {
 		return Stream{}, err
 	}
-	rSh, err := Exchange(ctx, r, rCols[pick], p, m)
+	rSh, err := Exchange(ctx, r, rCols[pick], p, opts)
 	if err != nil {
 		return Stream{}, err
 	}
 	m.addSharded()
+	// Pin both views across task generation and execution: the spill
+	// governor must not park a shard between the skew scan and its join.
+	lSh.Pin()
+	defer lSh.Unpin()
+	rSh.Pin()
+	defer rSh.Unpin()
 	frac := opts.skewFraction()
 	lTotal, rTotal := lSh.Size(), rSh.Size()
 	var tasks []task
 	for k := 0; k < p; k++ {
-		tasks = splitHot(tasks, k, lSh.Shard(k), rSh.Shard(k), lTotal, rTotal, frac, true, m)
+		lsh, rsh := lSh.Shard(k), rSh.Shard(k)
+		if lsh.Size() == 0 || rsh.Size() == 0 {
+			continue // empty-shard fast path: the join output is empty
+		}
+		tasks = splitHot(tasks, k, lsh, rsh, lTotal, rTotal, frac, true, m)
 	}
 	raw, err := runJoinTasks(ctx, tasks, pairs, p)
 	if err != nil {
 		return Stream{}, err
 	}
-	parts, err := projectRawShards(raw, name, attrs, keep)
+	parts, err := projectRawShards(raw, name, attrs, keep, opts)
 	if err != nil {
 		return Stream{}, err
 	}
@@ -473,10 +634,17 @@ func broadcastJoin(ctx context.Context, opts *Options, l, r Stream, bigIsLeft bo
 	m.addReused(sh.Size())
 	p := sh.P()
 	flatSmall := small.Rel()
+	sh.Pin()
+	defer sh.Unpin()
+	flatSmall.Pin()
+	defer flatSmall.Unpin()
 	frac := opts.skewFraction()
 	bigTotal := sh.Size()
 	var tasks []task
 	for k := 0; k < p; k++ {
+		if sh.Shard(k).Size() == 0 || flatSmall.Size() == 0 {
+			continue // empty-shard fast path
+		}
 		if bigIsLeft {
 			tasks = splitHot(tasks, k, sh.Shard(k), flatSmall, bigTotal, 0, frac, false, m)
 		} else {
@@ -487,7 +655,7 @@ func broadcastJoin(ctx context.Context, opts *Options, l, r Stream, bigIsLeft bo
 	if err != nil {
 		return Stream{}, err
 	}
-	parts, err := projectRawShards(raw, name, attrs, keep)
+	parts, err := projectRawShards(raw, name, attrs, keep, opts)
 	if err != nil {
 		return Stream{}, err
 	}
@@ -516,14 +684,23 @@ func indexOfKept(keep []int, c int) int {
 }
 
 // projectRawShards applies the natural-join projection (an O(arity)
-// copy-on-write view per shard) to raw per-shard join outputs.
-func projectRawShards(raw []*relation.Relation, name string, attrs []string, keep []int) ([]*relation.Relation, error) {
+// copy-on-write view per shard) to raw per-shard join outputs, registering
+// each nonempty part with the spill governor as a transient of the
+// current evaluation. Shards the join skipped (nil: both sides empty)
+// share one canonical empty part.
+func projectRawShards(raw []*relation.Relation, name string, attrs []string, keep []int, opts *Options) ([]*relation.Relation, error) {
 	parts := make([]*relation.Relation, len(raw))
+	var empty *relation.Relation
 	for k, rel := range raw {
+		if rel == nil {
+			parts[k] = emptyPart(&empty, name, attrs)
+			continue
+		}
 		v, err := rel.ProjectView(name, attrs, keep...)
 		if err != nil {
 			return nil, err
 		}
+		opts.governTransient(v)
 		parts[k] = v
 	}
 	return parts, nil
@@ -568,12 +745,12 @@ func SemijoinStream(ctx context.Context, opts *Options, l, r Stream) (Stream, er
 		// Co-partitioned: l's shards semijoin r's matching shards.
 		lSh := l.Sharded()
 		m.addReused(lSh.Size())
-		rSh, err := Exchange(ctx, r, rCols[pick], p, m)
+		rSh, err := Exchange(ctx, r, rCols[pick], p, opts)
 		if err != nil {
 			return Stream{}, err
 		}
 		m.addSharded()
-		return semijoinTasks(ctx, lSh, func(k int) *relation.Relation { return rSh.Shard(k) }, lCols, rCols, frac, m)
+		return semijoinTasks(ctx, opts, lSh, func(k int) *relation.Relation { return rSh.Shard(k) }, lCols, rCols, frac, m)
 	}
 	if l.Sharded() != nil {
 		// Misaligned l: probe the whole of r from every shard. l's
@@ -583,31 +760,44 @@ func SemijoinStream(ctx context.Context, opts *Options, l, r Stream) (Stream, er
 		m.addBroadcast()
 		m.addReused(l.Size())
 		flatR := r.Rel()
-		return semijoinTasks(ctx, l.Sharded(), func(int) *relation.Relation { return flatR }, lCols, rCols, frac, m)
+		return semijoinTasks(ctx, opts, l.Sharded(), func(int) *relation.Relation { return flatR }, lCols, rCols, frac, m)
 	}
 	// Flat l: partition both sides on the highest-cardinality shared pair.
 	pick := bestPair(l, r, lCols, rCols)
-	lSh, err := Exchange(ctx, l, lCols[pick], p, m)
+	lSh, err := Exchange(ctx, l, lCols[pick], p, opts)
 	if err != nil {
 		return Stream{}, err
 	}
-	rSh, err := Exchange(ctx, r, rCols[pick], p, m)
+	rSh, err := Exchange(ctx, r, rCols[pick], p, opts)
 	if err != nil {
 		return Stream{}, err
 	}
 	m.addSharded()
-	return semijoinTasks(ctx, lSh, func(k int) *relation.Relation { return rSh.Shard(k) }, lCols, rCols, frac, m)
+	return semijoinTasks(ctx, opts, lSh, func(k int) *relation.Relation { return rSh.Shard(k) }, lCols, rCols, frac, m)
 }
 
 // semijoinTasks runs the per-shard semijoins of lSh against rAt(k),
 // splitting hot l shards into blocks (the r side is never split — a
 // surviving row may match anywhere in r). The output keeps lSh's key.
-func semijoinTasks(ctx context.Context, lSh *Sharded, rAt func(int) *relation.Relation, lCols, rCols []int, frac float64, m *Metrics) (Stream, error) {
+// Shards whose l side or r side is empty skip task generation — the
+// result is empty either way (the routing layer only reaches here with at
+// least one shared column) — and share one canonical empty part. Both
+// sides stay pinned for the duration; nonempty outputs register with the
+// options' spill governor.
+func semijoinTasks(ctx context.Context, opts *Options, lSh *Sharded, rAt func(int) *relation.Relation, lCols, rCols []int, frac float64, m *Metrics) (Stream, error) {
 	p := lSh.P()
 	lTotal := lSh.Size()
+	lSh.Pin()
+	defer lSh.Unpin()
 	var tasks []task
 	for k := 0; k < p; k++ {
-		tasks = splitHot(tasks, k, lSh.Shard(k), rAt(k), lTotal, 0, frac, false, m)
+		l, r := lSh.Shard(k), rAt(k)
+		if l.Size() == 0 || r.Size() == 0 {
+			continue // empty-shard fast path: l ⋉ r is empty
+		}
+		r.Pin()
+		defer r.Unpin()
+		tasks = splitHot(tasks, k, l, r, lTotal, 0, frac, false, m)
 	}
 	outs := make([]*relation.Relation, len(tasks))
 	if err := pool.Run(ctx, 0, len(tasks), func(i int) error {
@@ -624,16 +814,22 @@ func semijoinTasks(ctx context.Context, lSh *Sharded, rAt func(int) *relation.Re
 		perShard[t.shard] = append(perShard[t.shard], outs[i])
 	}
 	parts := make([]*relation.Relation, p)
+	var empty *relation.Relation
 	for k, ps := range perShard {
-		if len(ps) == 1 {
-			parts[k] = ps[0]
+		switch len(ps) {
+		case 0:
+			parts[k] = emptyPart(&empty, lSh.name+"_sj", lSh.attrs)
 			continue
+		case 1:
+			parts[k] = ps[0]
+		default:
+			flat, err := relation.Concat(ps[0].Name, lSh.attrs, ps...)
+			if err != nil {
+				return Stream{}, err
+			}
+			parts[k] = flat
 		}
-		flat, err := relation.Concat(ps[0].Name, lSh.attrs, ps...)
-		if err != nil {
-			return Stream{}, err
-		}
-		parts[k] = flat
+		opts.governTransient(parts[k])
 	}
 	return ShardedStream(FromParts(lSh.name+"_sj", lSh.attrs, lSh.key, parts)), nil
 }
@@ -684,15 +880,36 @@ func ProjectStream(ctx context.Context, opts *Options, st Stream, idx []int) (St
 			}
 		}
 	}
-	sh, err := Exchange(ctx, st, key, p, m)
+	sh, err := Exchange(ctx, st, key, p, opts)
 	if err != nil {
 		return Stream{}, err
 	}
 	m.addSharded()
+	sh.Pin()
+	defer sh.Unpin()
+	// Empty shards share one projected empty part instead of each paying a
+	// ProjectIdx allocation (computed eagerly so the parallel pass below
+	// can assign it without synchronization).
+	var emptyProj *relation.Relation
+	for k := 0; k < p; k++ {
+		if sh.Shard(k).Size() == 0 {
+			ep, err := relation.New(sh.name, sh.attrs...).ProjectIdx(idx...)
+			if err != nil {
+				return Stream{}, err
+			}
+			emptyProj = ep
+			break
+		}
+	}
 	parts := make([]*relation.Relation, p)
 	if err := pool.Run(ctx, 0, p, func(k int) error {
+		if sh.Shard(k).Size() == 0 {
+			parts[k] = emptyProj
+			return nil
+		}
 		out, err := sh.Shard(k).ProjectIdx(idx...)
 		if err == nil {
+			opts.governTransient(out)
 			parts[k] = out
 		}
 		return err

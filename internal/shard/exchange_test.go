@@ -13,6 +13,7 @@ import (
 	"testing"
 
 	"cqbound/internal/relation"
+	"cqbound/internal/spill"
 )
 
 // zipfRel builds a relation whose first column is Zipf-skewed: value "hot"
@@ -38,7 +39,7 @@ func TestExchangeReusesAlignedPartition(t *testing.T) {
 	r := randomRel(rand.New(rand.NewSource(20)), "R", []string{"a", "b"}, 300, 30)
 	sh := Partition(r, 0, 4)
 	m := &Metrics{}
-	got, err := Exchange(context.Background(), ShardedStream(sh), 0, 4, m)
+	got, err := Exchange(context.Background(), ShardedStream(sh), 0, 4, &Options{Metrics: m})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -61,7 +62,7 @@ func TestExchangeRepartitionsFromParts(t *testing.T) {
 	}
 	view := FromParts("V", r.Attrs, 0, parts)
 	m := &Metrics{}
-	got, err := Exchange(context.Background(), ShardedStream(view), 1, 4, m)
+	got, err := Exchange(context.Background(), ShardedStream(view), 1, 4, &Options{Metrics: m})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -353,5 +354,125 @@ func TestParallelPartitionMatchesSequential(t *testing.T) {
 				}
 			}
 		}
+	}
+}
+
+// TestExchangeEmptyStreamFastPath pins the empty-shard satellite: an empty
+// stream exchanges without a bucket pass or per-shard column allocation —
+// every shard of the result is the same canonical empty relation — and no
+// rows count as exchanged.
+func TestExchangeEmptyStreamFastPath(t *testing.T) {
+	m := &Metrics{}
+	empty := relation.New("E", "a", "b")
+	got, err := Exchange(context.Background(), StreamOf(empty), 1, 8, &Options{Metrics: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.P() != 8 || got.Key() != 1 || got.Size() != 0 {
+		t.Fatalf("empty exchange: P=%d key=%d size=%d", got.P(), got.Key(), got.Size())
+	}
+	for k := 1; k < got.P(); k++ {
+		if got.Shard(k) != got.Shard(0) {
+			t.Fatal("empty shards should share one canonical relation")
+		}
+	}
+	if s := m.Snapshot(); s.ExchangedRows != 0 || s.ReusedRows != 0 {
+		t.Fatalf("empty exchange counted rows: %+v", s)
+	}
+	// Same for an assembled empty view exchanged onto a new key.
+	view := FromParts("V", []string{"a", "b"}, 0, []*relation.Relation{empty, empty})
+	got, err = Exchange(context.Background(), ShardedStream(view), 1, 4, &Options{Metrics: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.P() != 4 || got.Size() != 0 {
+		t.Fatalf("assembled empty exchange: P=%d size=%d", got.P(), got.Size())
+	}
+	if s := m.Snapshot(); s.ExchangedRows != 0 {
+		t.Fatalf("assembled empty exchange moved rows: %+v", s)
+	}
+}
+
+// TestSparsePartitioningSkipsEmptyShards drives a join whose key has one
+// distinct value at P=16 — fifteen shards empty on both sides — and checks
+// correctness plus the canonical-empty sharing of the output parts.
+func TestSparsePartitioningSkipsEmptyShards(t *testing.T) {
+	r := relation.New("R", "a", "b")
+	s := relation.New("S", "b", "c")
+	for i := 0; i < 40; i++ {
+		r.Add(fmt.Sprintf("x%d", i), "hub")
+		s.Add("hub", fmt.Sprintf("z%d", i%4))
+	}
+	opts := &Options{MinRows: 0, Shards: 16, Metrics: &Metrics{}}
+	out, err := NaturalJoinStream(context.Background(), opts, StreamOf(r), StreamOf(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := relation.NaturalJoin(r, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !relation.Equal(out.Rel(), want) {
+		t.Fatalf("sparse join: %d tuples, want %d", out.Size(), want.Size())
+	}
+	sh := out.Sharded()
+	if sh == nil {
+		t.Fatal("sparse join lost its partitioning")
+	}
+	var emptyShard *relation.Relation
+	emptyCount := 0
+	for k := 0; k < sh.P(); k++ {
+		if sh.Shard(k).Size() == 0 {
+			emptyCount++
+			if emptyShard == nil {
+				emptyShard = sh.Shard(k)
+			} else if sh.Shard(k) != emptyShard {
+				t.Fatal("empty output shards should share one canonical relation")
+			}
+		}
+	}
+	if emptyCount < 15 {
+		t.Fatalf("expected >= 15 empty shards under a 1-value key, got %d", emptyCount)
+	}
+}
+
+// TestStreamRepartitionMatchesExchangeParts pins the spill-aware streaming
+// repartition against the in-memory path: same shards, same row order.
+func TestStreamRepartitionMatchesExchangeParts(t *testing.T) {
+	r := randomRel(rand.New(rand.NewSource(33)), "R", []string{"a", "b"}, 600, 40)
+	onA := Partition(r, 0, 4)
+	parts := make([]*relation.Relation, onA.P())
+	for k := range parts {
+		parts[k] = onA.Shard(k)
+	}
+	view := FromParts("V", r.Attrs, 0, parts)
+	want, err := exchangeParts(view, 1, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := spill.NewGovernor(1, t.TempDir()) // everything cold parks
+	defer g.Close()
+	got, err := streamRepartition(view, 1, 8, &Options{Spill: g})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.P() != want.P() || got.Key() != want.Key() {
+		t.Fatalf("shape mismatch: P %d/%d key %d/%d", got.P(), want.P(), got.Key(), want.Key())
+	}
+	for k := 0; k < want.P(); k++ {
+		ws, gs := want.Shard(k), got.Shard(k)
+		if ws.Size() != gs.Size() {
+			t.Fatalf("shard %d: %d rows, want %d", k, gs.Size(), ws.Size())
+		}
+		for i := 0; i < ws.Size(); i++ {
+			for c := 0; c < ws.Arity(); c++ {
+				if ws.At(i, c) != gs.At(i, c) {
+					t.Fatalf("shard %d row %d col %d differs: streaming repartition reordered rows", k, i, c)
+				}
+			}
+		}
+	}
+	if g.Snapshot().Evictions == 0 {
+		t.Fatal("1-byte governor never evicted the streamed output")
 	}
 }

@@ -13,6 +13,7 @@ import (
 
 	"cqbound/internal/pool"
 	"cqbound/internal/relation"
+	"cqbound/internal/spill"
 )
 
 // Options controls when and how the sharded operators engage. A nil
@@ -39,6 +40,22 @@ type Options struct {
 	// fallback, reused vs repartitioned rows, broadcasts, skew splits) of
 	// every operator run under these options.
 	Metrics *Metrics
+	// Spill, when non-nil, registers every shard built under these options
+	// — memoized base partitions and assembled operator outputs alike —
+	// with the memory governor, which parks cold shards in file-backed
+	// segments when its byte budget is exceeded. Operators pin the shards
+	// they touch for their duration; repartitioning governed views streams
+	// one source shard at a time instead of holding them all resident. nil
+	// keeps everything in memory.
+	Spill *spill.Governor
+	// Scope, when non-nil alongside Spill, collects the buffers of
+	// TRANSIENT shards — assembled operator outputs, repartitioned views —
+	// so the caller can discard them in bulk once the evaluation's result
+	// has been materialized (Engine.Evaluate closes one scope per call).
+	// Memoized base partitions are never scoped: they outlive evaluations
+	// by design. nil retains intermediates in the governor until its
+	// Close.
+	Scope *spill.Scope
 }
 
 // defaultSkewFraction is the hot-shard trigger used when Options leaves
@@ -79,6 +96,31 @@ func (o *Options) metrics() *Metrics {
 		return nil
 	}
 	return o.Metrics
+}
+
+// spill returns the options' memory governor (nil-safe; nil keeps every
+// shard resident).
+func (o *Options) spill() *spill.Governor {
+	if o == nil {
+		return nil
+	}
+	return o.Spill
+}
+
+// governTransient registers a freshly built, unpublished intermediate
+// shard with the governor and tracks its buffer in the evaluation's
+// scope for end-of-evaluation discard. No-op without a governor.
+func (o *Options) governTransient(r *relation.Relation) {
+	g := o.spill()
+	if g == nil {
+		return
+	}
+	r.Govern(g)
+	if o.Scope != nil {
+		if b := r.Buffer(); b != nil {
+			o.Scope.Track(b)
+		}
+	}
 }
 
 // ShardOf returns the shard in [0, p) holding value v. The assignment
@@ -128,6 +170,22 @@ func (s *Sharded) Attrs() []string { return s.attrs }
 // Shard returns shard k. The relation is the view's storage: treat it as
 // read-only (it may be memoized and shared with concurrent evaluations).
 func (s *Sharded) Shard(k int) *relation.Relation { return s.sh[k] }
+
+// Pin holds every shard of the view resident until Unpin: the spill
+// governor will not park any of them mid-operator. No-op for ungoverned
+// shards. Operators pin the views they fan out over for their duration.
+func (s *Sharded) Pin() {
+	for _, sh := range s.sh {
+		sh.Pin()
+	}
+}
+
+// Unpin releases a Pin.
+func (s *Sharded) Unpin() {
+	for _, sh := range s.sh {
+		sh.Unpin()
+	}
+}
 
 // Size returns the total row count across shards without materializing the
 // flat relation. It never touches the lazily-built flat form, so it is
@@ -188,6 +246,19 @@ const parallelPartitionMinRows = 1 << 14
 // internal/pool; the build itself is not cancelable (it is bounded by two
 // O(n) passes), callers cancel between operator steps.
 func Partition(r *relation.Relation, key, p int) *Sharded {
+	return partition(r, key, p, nil)
+}
+
+// partition is Partition threading the spill governor: when g is non-nil,
+// every freshly built nonempty shard registers with it at construction
+// (before the memoized slice is published, so no reader races the storage
+// handoff). The memo is shared across governors: the first builder's
+// governor manages the shards, later callers reuse them either way —
+// governed storage reads identically everywhere. Empty buckets share one
+// canonical empty relation instead of allocating per-shard columns, so
+// sparse partitionings (P far above the key's distinct values) don't pay
+// per-shard overhead.
+func partition(r *relation.Relation, key, p int, g *spill.Governor) *Sharded {
 	if key < 0 || key >= r.Arity() {
 		panic(fmt.Sprintf("shard: partition column %d out of range for %s", key, r.Name))
 	}
@@ -196,10 +267,18 @@ func Partition(r *relation.Relation, key, p int) *Sharded {
 	}
 	memoKey := fmt.Sprintf("shard:%d:%d", key, p)
 	shards := r.Memo(memoKey, func() any {
+		r.Pin()
+		defer r.Unpin()
 		buckets := partitionRows(r.Column(key), p)
+		empty := relation.New(r.Name, r.Attrs...)
 		out := make([]*relation.Relation, p)
 		_ = pool.Run(context.Background(), 0, p, func(k int) error {
+			if len(buckets[k]) == 0 {
+				out[k] = empty
+				return nil
+			}
 			out[k] = r.Gather(r.Name, buckets[k])
+			out[k].Govern(g)
 			return nil
 		})
 		return out

@@ -1,0 +1,69 @@
+// Package spill is the memory governor behind Engine.WithMemoryBudget: a
+// byte budget over registered column buffers plus a disk-backed segment
+// store that parks cold buffers in files and loads them back on demand.
+//
+// # The unit of spilling
+//
+// The spillable unit is one Buffer — in practice the columns of one
+// partition shard (internal/shard registers every shard it builds when the
+// engine has a budget). Columns are flat uint32 arrays, so a segment file
+// is simply each column's values in order, fixed-width little-endian: the
+// storage format is the file format, and a reload is one read plus a
+// widening loop, no decoding.
+//
+// # The pin/unpin contract
+//
+// Buffer.Cols returns the resident columns, reloading the segment first if
+// the buffer is parked. The returned arrays are an immutable snapshot:
+// managed columns are never mutated, eviction only drops the buffer's
+// reference, so arrays fetched before an eviction stay valid and correct
+// for as long as the caller holds them.
+//
+// Buffer.Pin is Cols plus a residency hold: until the matching Unpin the
+// governor will not evict the buffer. Operators pin their inputs for their
+// duration (relation.Gather/GatherMulti/Index/HashJoin/SemijoinOn pin the
+// relations they scan; internal/shard pins every shard of a view it fans
+// out over) so a shard is never written out and read back mid-operator.
+// Pins nest and are cheap (one atomic add); they are a thrash guard and an
+// LRU recency signal, not a correctness requirement.
+//
+// # Eviction policy
+//
+// Registration and reloads account resident bytes; when the total exceeds
+// the budget the governor walks registered buffers least-recently-used
+// first (recency list reusing internal/lru) and parks every unpinned one
+// until residency is back under budget. A segment file, once written,
+// outlives reloads — re-evicting an unchanged buffer is a free pointer
+// drop — and is deleted only when the buffer is released (its relation is
+// mutated, or the governor closed). If parking every unpinned buffer is
+// not enough, a last-resort auxiliary victim runs once per pass: the
+// Engine registers the Dict's string table, which is only needed at the
+// parse/print boundary and reloads itself lazily.
+//
+// The budget is a target, never a hard cap: pinned buffers stay resident
+// even over budget, so enforcement cannot deadlock an operator against its
+// own working set. Eviction is also best-effort — a failed segment write
+// keeps the data resident rather than failing the query.
+//
+// # Buffer lifecycle
+//
+// Memoized base partitions register once and live until their relation is
+// mutated (Release restores plain storage) or the governor is Closed. A
+// query's intermediate shards would otherwise accumulate forever, so they
+// are tracked in a per-evaluation Scope and bulk-Discarded — segment file
+// deleted, accounting dropped, no reload — once the evaluation's output
+// has been materialized; a long-lived engine's registry, resident bytes
+// and spill directory therefore plateau at the base partitions
+// (Stats.RegisteredBuffers makes this observable).
+//
+// # What is never spilled
+//
+// Only registered column buffers spill. Hash indexes, dedup maps, column
+// statistics and generic-join tries (the relation memo table), in-flight
+// exchange streams mid-operator, and the flat relations callers hold
+// directly are never parked; a shard's derived structures are rebuilt from
+// the reloaded columns if needed. Spill directories are private per
+// governor (a fresh MkdirTemp under the configured dir), so stale files
+// left by a crashed process are never read and a fresh Engine ignores
+// them.
+package spill

@@ -1,0 +1,740 @@
+package spill
+
+// The memory governor and the disk-backed column-buffer store; package
+// documentation (the pin/unpin contract, the eviction policy, what is never
+// spilled) lives in doc.go.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+
+	"cqbound/internal/lru"
+)
+
+// Stats is a point-in-time copy of a governor's counters.
+type Stats struct {
+	// SpilledShards is the number of registered buffers currently parked on
+	// disk and not resident (a gauge).
+	SpilledShards int64
+	// ReloadedShards counts reloads of parked buffers back into memory
+	// since the governor was built (or ResetCounters).
+	ReloadedShards int64
+	// BytesOnDisk is the total size of live spill files (a gauge; a file
+	// persists after reload so re-evicting its buffer is a free pointer
+	// drop, and is deleted only when the buffer is discarded).
+	BytesOnDisk int64
+	// Evictions counts buffers moved out of memory since the governor was
+	// built (or ResetCounters), including re-evictions of already-written
+	// segments.
+	Evictions int64
+	// PinWaits counts Pin and Cols calls that found their buffer parked and
+	// had to wait for the segment to load (their own read, or a concurrent
+	// caller's).
+	PinWaits int64
+	// ResidentBytes is the column bytes of registered buffers currently in
+	// memory (a gauge). Pinned buffers count even when the governor is over
+	// budget: the budget is a target the governor evicts toward, never a
+	// hard cap that could deadlock pinned operators.
+	ResidentBytes int64
+	// PeakResidentBytes is the high-water mark of ResidentBytes — the
+	// figure the cqbench budget sweep derives its 1/2 and 1/4 budgets from.
+	PeakResidentBytes int64
+	// AuxReleases counts calls to the auxiliary victim (the Dict's string
+	// table) made because evicting every unpinned buffer still left the
+	// governor over budget.
+	AuxReleases int64
+	// RegisteredBuffers is the number of buffers the governor currently
+	// tracks, resident or parked (a gauge). On a long-lived engine it
+	// should plateau at the memoized base partitions: per-evaluation
+	// intermediates are scope-discarded when their evaluation returns.
+	RegisteredBuffers int64
+}
+
+// Governor tracks the resident bytes of every registered buffer and, when a
+// byte budget is exceeded, evicts the least recently used unpinned buffers
+// to file-backed segments in a private spill directory. A nil *Governor is
+// inert: Manage returns an always-resident buffer, so callers thread one
+// pointer instead of branching. A Governor is safe for concurrent use.
+type Governor struct {
+	budget int64 // <= 0 means unlimited (never evict)
+	base   string
+
+	// mu guards the recency cache, the id sequence, the lazily created
+	// spill directory, and the aux fields. It is never held across file
+	// IO or while taking a buffer's lock: the lock order is buffer.mu
+	// before Governor.mu.
+	mu  sync.Mutex
+	dir string // "" until first spill; reset by Close
+
+	// res is the recency list of RESIDENT buffers only — eviction removes
+	// an entry, reload re-inserts it — so an enforcement pass scans live
+	// eviction candidates, not everything ever registered. all is the full
+	// registry (resident and parked) that Close and Release maintain.
+	res *lru.Cache[evictable]
+	all map[string]evictable
+	seq int
+
+	// auxMu serializes invocations of the aux victim and fences them
+	// against Close: Close acquires it, so an in-flight aux call (which
+	// may park the dictionary) completes before Close restores and
+	// removes the spill directory. Lock order: auxMu before mu.
+	auxMu      sync.Mutex
+	aux        func() int64
+	auxRestore func()
+	// auxSpentGen is the activity generation at which the last aux call
+	// freed nothing; while the generation is unchanged further calls are
+	// skipped (the victim is exhausted and re-parking cannot help until
+	// buffer traffic changes the picture). activity ticks on every
+	// successful eviction and reload.
+	auxSpentGen int64
+	activity    atomic.Int64
+
+	resident atomic.Int64
+	peak     atomic.Int64
+	spilled  atomic.Int64
+	reloaded atomic.Int64
+	onDisk   atomic.Int64
+	evicted  atomic.Int64
+	pinWaits atomic.Int64
+	auxRuns  atomic.Int64
+}
+
+// evictable is the governor's view of a buffer: enough to push it out of
+// memory without knowing its element type.
+type evictable interface {
+	// tryEvict parks the buffer if it is resident and unpinned, returning
+	// the bytes freed (0 when it was pinned, already parked, or the write
+	// failed — eviction is best-effort, failures keep data resident).
+	tryEvict() int64
+}
+
+// governorCapacity bounds the recency cache. Eviction is by bytes, not
+// entry count, so the capacity only needs to exceed any plausible number
+// of simultaneously registered shards.
+const governorCapacity = 1 << 30
+
+// NewGovernor returns a governor enforcing the given byte budget (<= 0
+// means unlimited: buffers are tracked but never evicted). Spill files go
+// into a fresh private directory under dir (os.TempDir() when dir is "");
+// the directory name is unique per governor, so stale files left by a
+// crashed process are never read — a fresh Engine simply ignores them.
+func NewGovernor(budget int64, dir string) *Governor {
+	if dir == "" {
+		dir = os.TempDir()
+	}
+	return &Governor{
+		budget: budget,
+		base:   dir,
+		res:    lru.New[evictable](governorCapacity),
+		all:    make(map[string]evictable),
+		// -1: no generation has had a fruitless aux attempt yet.
+		auxSpentGen: -1,
+	}
+}
+
+// Budget returns the configured byte budget (<= 0 means unlimited).
+func (g *Governor) Budget() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.budget
+}
+
+// SetAux installs the last-resort victim: a release hook (returning bytes
+// freed) called at most once per enforcement pass when evicting every
+// unpinned buffer still leaves the governor over budget, plus a restore
+// hook Close runs — after quiescing in-flight releases and before
+// removing the spill directory — to undo whatever release parked there.
+// The Engine parks the Dict's string table through the pair. Either
+// function may be nil.
+func (g *Governor) SetAux(release func() int64, restore func()) {
+	if g == nil {
+		return
+	}
+	g.mu.Lock()
+	g.aux = release
+	g.auxRestore = restore
+	g.auxSpentGen = -1 // fresh victim: nothing exhausted yet
+	g.mu.Unlock()
+}
+
+// Snapshot copies the governor's counters (nil-safe: all zeros).
+func (g *Governor) Snapshot() Stats {
+	if g == nil {
+		return Stats{}
+	}
+	g.mu.Lock()
+	registered := int64(len(g.all))
+	g.mu.Unlock()
+	return Stats{
+		SpilledShards:     g.spilled.Load(),
+		ReloadedShards:    g.reloaded.Load(),
+		BytesOnDisk:       g.onDisk.Load(),
+		Evictions:         g.evicted.Load(),
+		PinWaits:          g.pinWaits.Load(),
+		ResidentBytes:     g.resident.Load(),
+		PeakResidentBytes: g.peak.Load(),
+		AuxReleases:       g.auxRuns.Load(),
+		RegisteredBuffers: registered,
+	}
+}
+
+// ResetCounters zeroes the cumulative counters (reloads, evictions, pin
+// waits, aux releases) while leaving the gauges — resident bytes, bytes on
+// disk, spilled shards — alone: those describe present state, not history.
+// The peak-resident high-water mark restarts from the current residency.
+func (g *Governor) ResetCounters() {
+	if g == nil {
+		return
+	}
+	g.reloaded.Store(0)
+	g.evicted.Store(0)
+	g.pinWaits.Store(0)
+	g.auxRuns.Store(0)
+	g.peak.Store(g.resident.Load())
+}
+
+// spillDir lazily creates the governor's private spill directory. Close
+// resets it, so a governor that outlives a Close lazily creates a fresh
+// directory on its next spill instead of writing into a removed path. A
+// failed MkdirTemp is not cached: the next caller retries.
+func (g *Governor) spillDir() (string, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.dir != "" {
+		return g.dir, nil
+	}
+	dir, err := os.MkdirTemp(g.base, "cqspill-")
+	if err != nil {
+		return "", err
+	}
+	g.dir = dir
+	return dir, nil
+}
+
+// SpillPath returns a path for an auxiliary spill file inside the
+// governor's private directory — where the Engine parks the Dict's string
+// table. The directory is created on first use.
+func (g *Governor) SpillPath(name string) (string, error) {
+	dir, err := g.spillDir()
+	if err != nil {
+		return "", err
+	}
+	return filepath.Join(dir, name), nil
+}
+
+// Close discards every registered buffer — reloading parked ones so their
+// relations stay readable as plain resident storage — and removes the spill
+// directory. The governor remains usable (a later Manage re-creates a
+// directory), but Close is meant as the end-of-life hook: Engine.Close
+// calls it.
+func (g *Governor) Close() error {
+	if g == nil {
+		return nil
+	}
+	// Quiesce the aux victim: wait out any in-flight release, disable
+	// further ones, and undo its parking before the directory goes away.
+	g.auxMu.Lock()
+	g.mu.Lock()
+	restore := g.auxRestore
+	g.aux = nil
+	g.auxRestore = nil
+	// Snapshot the full registry (resident and parked buffers) and retire
+	// the directory in the same critical section: an eviction racing
+	// Close either targets a snapshotted buffer (detached below, its
+	// old-directory segment read back before removal) or spills into a
+	// fresh directory.
+	bufs := make([]evictable, 0, len(g.all))
+	for _, b := range g.all {
+		bufs = append(bufs, b)
+	}
+	dir := g.dir
+	g.dir = "" // a later spill re-creates a fresh directory
+	g.mu.Unlock()
+	if restore != nil {
+		restore()
+	}
+	g.auxMu.Unlock()
+	var firstErr error
+	for _, b := range bufs {
+		if d, ok := b.(interface{ detach() error }); ok {
+			if err := d.detach(); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
+	if dir != "" {
+		if err := os.RemoveAll(dir); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// register tracks a new buffer and enforces the budget.
+func (g *Governor) register(id string, b evictable, bytes int64) {
+	g.mu.Lock()
+	g.res.Put(id, b)
+	g.all[id] = b
+	g.mu.Unlock()
+	g.addResident(bytes)
+	g.enforce()
+}
+
+// addResident accounts bytes coming into memory, maintaining the peak.
+func (g *Governor) addResident(bytes int64) {
+	now := g.resident.Add(bytes)
+	for {
+		p := g.peak.Load()
+		if now <= p || g.peak.CompareAndSwap(p, now) {
+			return
+		}
+	}
+}
+
+// touch marks a resident buffer recently used, re-inserting it into the
+// recency list when a reload brought it back from disk.
+func (g *Governor) touch(id string, b evictable) {
+	g.mu.Lock()
+	if _, ok := g.res.Get(id); !ok {
+		g.res.Put(id, b)
+	}
+	g.mu.Unlock()
+}
+
+// parked drops an evicted buffer from the recency list: parked buffers are
+// not eviction candidates until a reload re-inserts them.
+func (g *Governor) parked(id string) {
+	g.mu.Lock()
+	g.res.Remove(id)
+	g.mu.Unlock()
+}
+
+// forget drops a discarded buffer entirely.
+func (g *Governor) forget(id string) {
+	g.mu.Lock()
+	g.res.Remove(id)
+	delete(g.all, id)
+	g.mu.Unlock()
+}
+
+// nextID allocates a buffer id (also the spill file's base name).
+func (g *Governor) nextID() string {
+	g.mu.Lock()
+	g.seq++
+	id := fmt.Sprintf("seg-%d", g.seq)
+	g.mu.Unlock()
+	return id
+}
+
+// enforce evicts cold unpinned buffers, oldest first, until residency is
+// within budget or nothing more can move. It never blocks on pinned
+// buffers — the budget is a target, not a hard cap — and calls the
+// auxiliary victim at most once when buffer eviction alone is not enough.
+//
+// Candidates are collected in small chunks from the cold end of the
+// recency list (lru.Backward), not as one full-registry scan: a governor
+// sitting at its budget — the normal regime of a forced-spill run — pays
+// O(evictions) per pass, not O(registered shards). Eviction itself runs
+// outside Governor.mu (tryEvict takes the buffer's lock and does file
+// IO), so chunks may overlap with concurrent touches; tryEvict re-checks
+// pins and residency per buffer.
+func (g *Governor) enforce() {
+	if g == nil || g.budget <= 0 || g.resident.Load() <= g.budget {
+		return
+	}
+	const chunk = 8
+	tried := make(map[evictable]bool)
+	for g.resident.Load() > g.budget {
+		var cands []evictable
+		g.mu.Lock()
+		g.res.Backward(func(_ string, b evictable) bool {
+			if !tried[b] {
+				cands = append(cands, b)
+			}
+			return len(cands) < chunk
+		})
+		g.mu.Unlock()
+		if len(cands) == 0 {
+			break // every resident buffer already tried (all pinned)
+		}
+		for _, b := range cands {
+			tried[b] = true
+			if g.resident.Load() <= g.budget {
+				return
+			}
+			b.tryEvict()
+		}
+	}
+	if g.resident.Load() <= g.budget {
+		return
+	}
+	// Last resort, serialized and fenced against Close: park the aux
+	// victim (the Dict's string table) once per pass — but not when the
+	// last attempt freed nothing and no buffer has moved since (the
+	// victim is exhausted; hammering its global lock on every pass of a
+	// pinned-over-budget run buys nothing).
+	gen := g.activity.Load()
+	g.auxMu.Lock()
+	g.mu.Lock()
+	aux := g.aux
+	spent := g.auxSpentGen == gen
+	g.mu.Unlock()
+	if aux != nil && !spent {
+		if freed := aux(); freed > 0 {
+			g.auxRuns.Add(1)
+		} else {
+			g.mu.Lock()
+			g.auxSpentGen = gen
+			g.mu.Unlock()
+		}
+	}
+	g.auxMu.Unlock()
+}
+
+// Buffer is one spillable unit — the columns of one shard — either resident
+// as [][]V arrays or parked in a fixed-width little-endian segment file.
+// The arrays are immutable once managed: eviction drops the buffer's
+// reference and reload reads a fresh copy, so a reader that fetched the
+// arrays before an eviction keeps a valid snapshot (the happens-before edge
+// is the atomic data pointer). V is constrained to uint32-width values so
+// the segment format is the storage format.
+type Buffer[V ~uint32] struct {
+	// gov is the owning governor, nil after detach/Discard. An atomic
+	// pointer because readers (Pin/load) check it without the buffer
+	// lock while Release/Discard — e.g. Engine.Close racing an in-flight
+	// evaluation — clear it.
+	gov   atomic.Pointer[Governor]
+	id    string
+	rows  int
+	bytes int64
+
+	data atomic.Pointer[[][]V]
+	pins atomic.Int64
+
+	// mu serializes park/load transitions and file IO. Lock order:
+	// Buffer.mu before Governor.mu.
+	mu     sync.Mutex
+	path   string
+	onDisk bool
+	arity  int
+}
+
+// Manage registers cols (rows valid rows per column) with the governor and
+// returns the buffer now owning them. The caller must treat the arrays as
+// immutable from this point on. A nil governor returns an inert buffer that
+// is always resident and never files anything.
+func Manage[V ~uint32](g *Governor, cols [][]V, rows int) *Buffer[V] {
+	// Trim capacity slack out of the accounting and the arrays themselves:
+	// the buffer's contract is "rows × arity × 4 bytes".
+	for c := range cols {
+		cols[c] = cols[c][:rows:rows]
+	}
+	b := &Buffer[V]{rows: rows, arity: len(cols), bytes: int64(rows) * int64(len(cols)) * 4}
+	b.data.Store(&cols)
+	if g != nil {
+		b.gov.Store(g)
+		b.id = g.nextID()
+		g.register(b.id, b, b.bytes)
+	}
+	return b
+}
+
+// Bytes returns the column bytes this buffer accounts for.
+func (b *Buffer[V]) Bytes() int64 { return b.bytes }
+
+// Resident reports whether the columns are currently in memory.
+func (b *Buffer[V]) Resident() bool { return b.data.Load() != nil }
+
+// Cols returns the resident columns, loading the segment back first when
+// the buffer is parked. The returned arrays are an immutable snapshot: they
+// stay valid (and correct) even if the buffer is evicted afterwards.
+func (b *Buffer[V]) Cols() [][]V {
+	if p := b.data.Load(); p != nil {
+		return *p
+	}
+	return b.load()
+}
+
+// Pin returns the resident columns and holds them resident — the buffer
+// cannot be evicted — until the matching Unpin. Pins nest.
+func (b *Buffer[V]) Pin() [][]V {
+	b.pins.Add(1)
+	if p := b.data.Load(); p != nil {
+		if g := b.gov.Load(); g != nil {
+			g.touch(b.id, b)
+		}
+		return *p
+	}
+	return b.load()
+}
+
+// Unpin releases a Pin.
+func (b *Buffer[V]) Unpin() {
+	if b.pins.Add(-1) < 0 {
+		panic("spill: Unpin without matching Pin")
+	}
+}
+
+// load reads the segment back into memory (or returns the columns loaded
+// by a concurrent caller), counting the reload and the wait.
+func (b *Buffer[V]) load() [][]V {
+	g := b.gov.Load()
+	if g == nil {
+		// Release/detach restores residency before clearing the governor,
+		// so a reader that raced it re-checks under the lock and finds
+		// the data. Parked data with no governor only exists after
+		// Discard, whose contract forbids further reads.
+		b.mu.Lock()
+		p := b.data.Load()
+		b.mu.Unlock()
+		if p != nil {
+			return *p
+		}
+		panic("spill: read of a discarded parked buffer")
+	}
+	g.pinWaits.Add(1)
+	b.mu.Lock()
+	cols := b.loadLocked(g)
+	b.mu.Unlock()
+	// Reloading may push the governor over budget; evict colder buffers.
+	// Outside b.mu: enforcement takes other buffers' locks.
+	g.enforce()
+	return cols
+}
+
+// loadLocked is load's body; the caller holds b.mu and resolved the
+// governor.
+func (b *Buffer[V]) loadLocked(g *Governor) [][]V {
+	if p := b.data.Load(); p != nil {
+		return *p
+	}
+	raw, err := os.ReadFile(b.path)
+	if err != nil || len(raw) != int(b.bytes) {
+		// A missing or truncated segment is unrecoverable storage loss;
+		// every caller of Cols is a read of relation storage that cannot
+		// fail. This cannot happen short of outside interference with the
+		// governor's private directory.
+		panic(fmt.Sprintf("spill: segment %s corrupt: read %d bytes of %d (err %v)", b.path, len(raw), b.bytes, err))
+	}
+	cols := make([][]V, b.arity)
+	off := 0
+	for c := range cols {
+		col := make([]V, b.rows)
+		for i := range col {
+			col[i] = V(binary.LittleEndian.Uint32(raw[off:]))
+			off += 4
+		}
+		cols[c] = col
+	}
+	b.data.Store(&cols)
+	g.spilled.Add(-1)
+	g.reloaded.Add(1)
+	g.activity.Add(1)
+	g.addResident(b.bytes)
+	g.touch(b.id, b)
+	return cols
+}
+
+// tryEvict implements evictable: park the columns in the segment file and
+// drop the in-memory arrays, unless the buffer is pinned, already parked,
+// or busy. TryLock (rather than Lock) keeps enforcement deadlock-free: a
+// buffer mid-load holds its own lock while enforcing, and two concurrent
+// loads must not queue on evicting each other.
+func (b *Buffer[V]) tryEvict() int64 {
+	if !b.mu.TryLock() {
+		return 0
+	}
+	defer b.mu.Unlock()
+	g := b.gov.Load()
+	if g == nil || b.pins.Load() > 0 {
+		return 0
+	}
+	p := b.data.Load()
+	if p == nil {
+		return 0
+	}
+	if !b.onDisk {
+		if err := b.write(*p, g); err != nil {
+			return 0 // best effort: keep the data resident
+		}
+		b.onDisk = true
+		g.onDisk.Add(b.bytes)
+	}
+	b.data.Store(nil)
+	// Re-check pins after the nil store: Pin increments before it loads
+	// the data pointer, so a racing Pin either saw nil (its slow path
+	// waits on b.mu and reloads) or is visible here — in which case undo,
+	// honoring Pin's cannot-be-evicted contract (the segment write stays
+	// valid either way).
+	if b.pins.Load() > 0 {
+		b.data.Store(p)
+		return 0
+	}
+	g.resident.Add(-b.bytes)
+	g.spilled.Add(1)
+	g.evicted.Add(1)
+	g.activity.Add(1)
+	// Leave the recency list: a parked buffer is no candidate until a
+	// reload re-inserts it, keeping enforcement scans O(resident).
+	g.parked(b.id)
+	return b.bytes
+}
+
+// writeBlockBytes is the scratch-buffer size of segment writes: eviction
+// happens exactly when memory is tight, so serialization must not
+// allocate the shard's own footprint a second time.
+const writeBlockBytes = 64 << 10
+
+// write serializes the columns into the segment file: each column in
+// order, each value a fixed-width little-endian uint32, streamed through
+// a fixed-size block buffer. The write goes to a temp name and is renamed
+// into place so a half-written segment is never read.
+func (b *Buffer[V]) write(cols [][]V, g *Governor) error {
+	dir, err := g.spillDir()
+	if err != nil {
+		return err
+	}
+	if b.path == "" {
+		b.path = filepath.Join(dir, b.id+".seg")
+	}
+	tmp := b.path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o600)
+	if err != nil {
+		return err
+	}
+	fail := func(err error) error {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	buf := make([]byte, 0, writeBlockBytes)
+	for _, col := range cols {
+		for _, v := range col[:b.rows] {
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(v))
+			if len(buf) == cap(buf) {
+				if _, err := f.Write(buf); err != nil {
+					return fail(err)
+				}
+				buf = buf[:0]
+			}
+		}
+	}
+	if len(buf) > 0 {
+		if _, err := f.Write(buf); err != nil {
+			return fail(err)
+		}
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, b.path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}
+
+// Release detaches the buffer from its governor: the columns are made
+// resident (reloading if parked), the segment file is deleted, and the
+// governor stops tracking the buffer. Called when a managed relation is
+// about to be mutated — the storage contract reverts to plain slices.
+func (b *Buffer[V]) Release() {
+	_ = b.detach()
+}
+
+// Discard drops the buffer's spill state WITHOUT restoring residency: the
+// segment file is deleted, the governor's accounting and registry forget
+// the buffer, and parked contents are simply gone. Only for buffers whose
+// relation is garbage — one evaluation's intermediates after the
+// evaluation returned (Scope batches these). Resident columns stay
+// readable by stragglers; a parked discarded buffer must never be read
+// again. Idempotent, and a no-op after Release.
+func (b *Buffer[V]) Discard() {
+	b.mu.Lock()
+	g := b.gov.Load()
+	if g == nil {
+		b.mu.Unlock()
+		return
+	}
+	resident := b.data.Load() != nil
+	if b.onDisk {
+		b.onDisk = false
+		g.onDisk.Add(-b.bytes)
+		_ = os.Remove(b.path)
+	}
+	b.gov.Store(nil)
+	b.mu.Unlock()
+	if resident {
+		g.resident.Add(-b.bytes)
+	} else {
+		g.spilled.Add(-1)
+	}
+	g.forget(b.id)
+}
+
+// Scope batches the transient buffers of one evaluation — intermediates
+// that are garbage once the evaluation returns — for bulk Discard, so a
+// long-lived engine's governor does not accumulate resident bytes,
+// registry entries, and segment files per query. Track is safe for
+// concurrent use (operators govern outputs from pool workers); Close is
+// called once, after the last read of the tracked relations.
+type Scope struct {
+	mu   sync.Mutex
+	bufs []interface{ Discard() }
+}
+
+// NewScope returns an empty scope.
+func NewScope() *Scope { return &Scope{} }
+
+// Track registers a buffer for discard at Close (nil-safe on both sides).
+func (s *Scope) Track(b interface{ Discard() }) {
+	if s == nil || b == nil {
+		return
+	}
+	s.mu.Lock()
+	s.bufs = append(s.bufs, b)
+	s.mu.Unlock()
+}
+
+// Close discards every tracked buffer.
+func (s *Scope) Close() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	bufs := s.bufs
+	s.bufs = nil
+	s.mu.Unlock()
+	for _, b := range bufs {
+		b.Discard()
+	}
+}
+
+// detach is Release's body, named for Governor.Close.
+func (b *Buffer[V]) detach() error {
+	b.mu.Lock()
+	g := b.gov.Load()
+	if g == nil {
+		b.mu.Unlock()
+		return nil
+	}
+	if b.data.Load() == nil {
+		b.loadLocked(g) // restore residency so the owner keeps readable storage
+	}
+	if b.onDisk {
+		b.onDisk = false
+		g.onDisk.Add(-b.bytes)
+		_ = os.Remove(b.path)
+	}
+	b.gov.Store(nil)
+	b.mu.Unlock()
+	g.resident.Add(-b.bytes)
+	g.forget(b.id)
+	return nil
+}

@@ -5,7 +5,8 @@
 # every package directory must contain at least one .go file opening with a
 # "// Package <name> ..." comment (or "// Command <name> ..." for mains).
 # This keeps the doc.go files of the execution stack — shard, eval, plan,
-# relation — enforced rather than aspirational.
+# relation, spill (the pin/unpin and eviction contracts) — enforced rather
+# than aspirational. New packages are picked up automatically via go list.
 set -e
 fail=0
 for dir in $(go list -f '{{.Dir}}' ./...); do
