@@ -425,3 +425,31 @@ func BenchmarkEngineChainScaledSharded(b *testing.B) {
 	benchEngineWith(b, NewEngine(WithSharding(1024, 16)),
 		"Q(A,E) <- R(A,B), S(B,C), T(C,D), U(D,E).", benchScaledChainDB())
 }
+
+// Benchmarks of the streamed execution layer (PR 6). Streaming is the
+// Engine default, so the sharded benchmarks above already measure the
+// column-batch pipelines; these mirror them with the materialized
+// executors (WithMaterializedExec) so the pair isolates what streaming
+// costs or saves on wall-clock, and sweep the batch size on the chain.
+// BENCH_stream.json records the cqbench -streambench sweep of the same
+// comparison with peak-resident-bytes accounting.
+
+func BenchmarkEngineStarScaledShardedMaterialized(b *testing.B) {
+	benchEngineWith(b, NewEngine(WithSharding(1024, 16), WithMaterializedExec()),
+		"Q(X,Y,Z,W) <- E(X,Y), E(X,Z), E(X,W).", benchScaledStarDB())
+}
+
+func BenchmarkEngineChainScaledShardedMaterialized(b *testing.B) {
+	benchEngineWith(b, NewEngine(WithSharding(1024, 16), WithMaterializedExec()),
+		"Q(A,E) <- R(A,B), S(B,C), T(C,D), U(D,E).", benchScaledChainDB())
+}
+
+func BenchmarkEngineChainScaledStreamedBatchSize(b *testing.B) {
+	db := benchScaledChainDB()
+	for _, bs := range []int{64, 1024, 8192} {
+		b.Run(fmt.Sprintf("batch=%d", bs), func(b *testing.B) {
+			benchEngineWith(b, NewEngine(WithSharding(1024, 16), WithBatchSize(bs)),
+				"Q(A,E) <- R(A,B), S(B,C), T(C,D), U(D,E).", db)
+		})
+	}
+}

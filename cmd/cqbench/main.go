@@ -28,6 +28,13 @@
 // price and eviction/reload traffic of each cap. The recorded document
 // lives in BENCH_spill.json.
 //
+// With -streambench it compares the materialize-per-operator executors
+// against the streamed column-batch pipelines at batch sizes 64, 1024 and
+// 8192 on the scaled workloads, recording wall-clock and the governor's
+// peak-resident-bytes high-water mark for each (with -membudget, both
+// sides run at that shared forcing budget). The recorded document lives
+// in BENCH_stream.json.
+//
 // Usage:
 //
 //	cqbench -list
@@ -36,6 +43,7 @@
 //	cqbench -planbench [-json] [-shards N] [-baseline BENCH_baseline.json [-threshold 3]]
 //	cqbench -shardbench [-json] [-shards N] [-skew F] [-membudget N]
 //	cqbench -spillbench [-json] [-shards N] [-membudget N]
+//	cqbench -streambench [-json] [-shards N] [-membudget N]
 package main
 
 import (
@@ -55,6 +63,7 @@ func main() {
 	planbench := flag.Bool("planbench", false, "benchmark planned vs fixed evaluation strategies")
 	shardbench := flag.Bool("shardbench", false, "benchmark sharded vs single-shard execution on scaled workloads")
 	spillbench := flag.Bool("spillbench", false, "sweep memory budgets (unlimited vs 1/2 vs 1/4 of peak resident bytes) over the scaled workloads")
+	streambench := flag.Bool("streambench", false, "compare materialized vs streamed executors at batch sizes 64/1024/8192 on the scaled workloads")
 	shards := flag.Int("shards", 0, "partition count for sharded runs (0 = default 16)")
 	skew := flag.Float64("skew", 0, "hot-shard split fraction for sharded runs (0 = default 0.25, negative disables)")
 	membudget := flag.Int64("membudget", 0, "resident-set budget in bytes for sharded/spill runs (0 = unlimited; with -spillbench, overrides the derived sweep)")
@@ -71,6 +80,8 @@ func main() {
 	}
 
 	switch {
+	case *streambench:
+		printStreamBench(runStreamBench(*shards, *membudget), *jsonOut)
 	case *spillbench:
 		printSpillBench(runSpillBench(*shards, *membudget), *jsonOut)
 	case *shardbench:

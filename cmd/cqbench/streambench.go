@@ -1,0 +1,187 @@
+package main
+
+// The stream benchmark compares the two executors the engine can run: the
+// materialize-per-operator path (WithMaterializedExec) against the
+// default streamed column-batch pipelines, at several batch sizes, on the
+// scaled workloads. Both sides run under the same huge-budget governor so
+// PeakResidentBytes records what each executor actually kept registered —
+// the materialized side's intermediates versus the streamed side's base
+// partitions and sinks — and a -membudget override runs both sides at one
+// shared forcing budget instead. The recorded document lives in
+// BENCH_stream.json; the interesting columns are peak_vs_materialized
+// (the residency the pipelines avoid) and wall_vs_materialized (the price
+// paid for it, expected ~1.0).
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+
+	cqbound "cqbound"
+	"cqbound/internal/eval"
+)
+
+// streamBenchBatchSizes are the batch sizes the streamed side sweeps:
+// small enough that per-batch overhead would show, the default, and large
+// enough that batches approach small-relation sizes.
+var streamBenchBatchSizes = []int{64, 1024, 8192}
+
+// StreamRun is one (workload, executor, batch size) measurement.
+type StreamRun struct {
+	// Mode is "materialized" or "streamed".
+	Mode string `json:"mode"`
+	// BatchSize is the streamed pipeline batch size; 0 on the
+	// materialized row.
+	BatchSize    int   `json:"batch_size"`
+	NsPerOp      int64 `json:"ns_per_op"`
+	OutputTuples int   `json:"output_tuples"`
+	// PeakResidentBytes is the governor's high-water mark over one
+	// instrumented evaluation: every byte the executor registered, on the
+	// materialized side including each operator's full output.
+	PeakResidentBytes int64 `json:"peak_resident_bytes"`
+	// WallVsMaterialized and PeakVsMaterialized are this run's ns/op and
+	// peak residency relative to the workload's materialized row.
+	WallVsMaterialized float64 `json:"wall_vs_materialized"`
+	PeakVsMaterialized float64 `json:"peak_vs_materialized"`
+
+	// Streamed-pipeline counters for the instrumented evaluation; zero on
+	// the materialized row.
+	BatchesProduced        int64 `json:"batches_produced"`
+	RowsStreamed           int64 `json:"rows_streamed"`
+	BytesNeverMaterialized int64 `json:"bytes_never_materialized"`
+}
+
+// StreamWorkloadResult groups one workload's executor sweep.
+type StreamWorkloadResult struct {
+	Name  string      `json:"name"`
+	Query string      `json:"query"`
+	Runs  []StreamRun `json:"runs"`
+}
+
+// StreamBenchReport is the top-level JSON document of -streambench.
+type StreamBenchReport struct {
+	Shards     int `json:"shards"`
+	GOMAXPROCS int `json:"gomaxprocs"`
+	// BudgetBytes is the governor budget both sides ran under: the huge
+	// accounting-only anchor by default, or the -membudget override.
+	BudgetBytes int64                  `json:"budget_bytes"`
+	Workloads   []StreamWorkloadResult `json:"workloads"`
+}
+
+// runStreamBench sweeps executors over the scaled workloads. A nonzero
+// membudget (the -membudget flag) replaces the accounting-only anchor
+// budget with a shared forcing budget on both sides.
+func runStreamBench(shards int, membudget int64) *StreamBenchReport {
+	budget := unlimitedBudget
+	if membudget > 0 {
+		budget = membudget
+	}
+	report := &StreamBenchReport{Shards: shards, GOMAXPROCS: runtime.GOMAXPROCS(0), BudgetBytes: budget}
+	if membudget <= 0 {
+		report.BudgetBytes = 0 // the anchor denotes "unlimited", as in BENCH_spill.json
+	}
+	for _, w := range scaledWorkloads() {
+		res := StreamWorkloadResult{Name: w.name, Query: w.text}
+		anchor := streamRun(w, shards, budget, 0)
+		res.Runs = append(res.Runs, anchor)
+		for _, bs := range streamBenchBatchSizes {
+			run := streamRun(w, shards, budget, bs)
+			if run.OutputTuples != anchor.OutputTuples {
+				fmt.Fprintf(os.Stderr, "cqbench: %s batch %d: streamed output %d tuples, materialized %d — correctness bug\n",
+					w.name, bs, run.OutputTuples, anchor.OutputTuples)
+				os.Exit(1)
+			}
+			if anchor.NsPerOp > 0 {
+				run.WallVsMaterialized = float64(run.NsPerOp) / float64(anchor.NsPerOp)
+			}
+			if anchor.PeakResidentBytes > 0 {
+				run.PeakVsMaterialized = float64(run.PeakResidentBytes) / float64(anchor.PeakResidentBytes)
+			}
+			res.Runs = append(res.Runs, run)
+		}
+		report.Workloads = append(report.Workloads, res)
+	}
+	return report
+}
+
+// streamRun measures one workload under one executor on a fresh database
+// and a fresh engine (fresh relations, so partition shards register with
+// this run's governor; fresh engine, so counters belong to this run).
+// batchSize 0 selects the materialized executor.
+func streamRun(w workload, shards int, budget int64, batchSize int) StreamRun {
+	ctx := context.Background()
+	db := w.db()
+	q := cqbound.MustParse(w.text)
+	opts := []cqbound.Option{
+		cqbound.WithSharding(benchShardThreshold, shards),
+		cqbound.WithMemoryBudget(budget),
+	}
+	mode := "streamed"
+	if batchSize == 0 {
+		mode = "materialized"
+		opts = append(opts, cqbound.WithMaterializedExec())
+	} else {
+		opts = append(opts, cqbound.WithBatchSize(batchSize))
+	}
+	eng := cqbound.NewEngine(opts...)
+	defer func() {
+		if err := eng.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "cqbench: closing stream engine: %v\n", err)
+		}
+	}()
+	run := func() (int, eval.Stats, error) {
+		out, _, err := eng.Evaluate(ctx, q, db)
+		if err != nil {
+			return 0, eval.Stats{}, err
+		}
+		return out.Size(), eval.Stats{}, nil
+	}
+	ns, outSize, _, err := timeStrategy(run)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cqbench: %s (%s, batch %d): %v\n", w.name, mode, batchSize, err)
+		os.Exit(1)
+	}
+	// One instrumented evaluation with counters scoped to it alone.
+	eng.ResetStats()
+	if _, _, err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "cqbench: %s (%s, batch %d) instrumented: %v\n", w.name, mode, batchSize, err)
+		os.Exit(1)
+	}
+	st := eng.StreamStats()
+	return StreamRun{
+		Mode:                   mode,
+		BatchSize:              batchSize,
+		NsPerOp:                ns,
+		OutputTuples:           outSize,
+		PeakResidentBytes:      eng.SpillStats().PeakResidentBytes,
+		WallVsMaterialized:     1,
+		PeakVsMaterialized:     1,
+		BatchesProduced:        st.BatchesProduced,
+		RowsStreamed:           st.RowsStreamed,
+		BytesNeverMaterialized: st.BytesNeverMaterialized,
+	}
+}
+
+func printStreamBench(rep *StreamBenchReport, asJSON bool) {
+	if asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fmt.Fprintln(os.Stderr, "cqbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	fmt.Printf("shards=%d gomaxprocs=%d budget=%d\n", rep.Shards, rep.GOMAXPROCS, rep.BudgetBytes)
+	for _, w := range rep.Workloads {
+		fmt.Printf("  %s\n", w.Name)
+		for _, r := range w.Runs {
+			fmt.Printf("    %-12s batch=%-5d %10dns/op out=%-7d wall=%.2fx peak=%dB (%.2fx) batches=%d rows=%d saved=%dB\n",
+				r.Mode, r.BatchSize, r.NsPerOp, r.OutputTuples, r.WallVsMaterialized,
+				r.PeakResidentBytes, r.PeakVsMaterialized,
+				r.BatchesProduced, r.RowsStreamed, r.BytesNeverMaterialized)
+		}
+	}
+}

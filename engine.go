@@ -4,6 +4,7 @@ import (
 	"context"
 	"sync"
 
+	"cqbound/internal/batch"
 	"cqbound/internal/core"
 	"cqbound/internal/lru"
 	"cqbound/internal/plan"
@@ -53,6 +54,8 @@ type Engine struct {
 	sharding *shard.Options
 	spill    *spill.Governor
 
+	stream *batch.Metrics
+
 	// Staged by options, merged into sharding by NewEngine.
 	shardingOn   bool
 	shardMinRows int
@@ -61,6 +64,8 @@ type Engine struct {
 	memBudget    int64
 	spillDir     string
 	dictSpill    bool
+	batchSize    int
+	materialized bool
 }
 
 // Option configures an Engine at construction.
@@ -110,9 +115,12 @@ func WithSkewSplitting(fraction float64) Option {
 // operator is scanning stay resident — the budget is a target the governor
 // evicts toward, never a hard cap that could wedge a query against its own
 // working set — and outputs are identical with or without a budget.
-// bytes <= 0 means unlimited. The budget takes effect on sharded execution
-// (spilling's unit is the shard), so pair it with WithSharding; SpillStats
-// reports what the governor did, and Close releases the spill files.
+// bytes <= 0 means unlimited. Spilling's unit is the shard: under the
+// default streamed execution the governor sees base-relation partitions
+// and pipeline sinks even on a single-shard engine, and WithSharding
+// raises the granularity (more, smaller victims) — pair the two when the
+// budget must track intermediates closely. SpillStats reports what the
+// governor did, and Close releases the spill files.
 func WithMemoryBudget(bytes int64) Option {
 	return func(e *Engine) {
 		e.memBudget = bytes
@@ -127,6 +135,33 @@ func WithMemoryBudget(bytes int64) Option {
 func WithSpillDir(dir string) Option {
 	return func(e *Engine) {
 		e.spillDir = dir
+	}
+}
+
+// WithBatchSize sets the row count of the column batches streamed
+// execution moves between pipeline stages (default 1024). Evaluation is
+// streamed by default: the join-project and Yannakakis executors build
+// pull-based per-shard pipelines (scan → semijoin → join probe →
+// projection) that hold one batch per stage instead of materializing every
+// operator output, so peak residency tracks the output and the probe-side
+// bindings rather than the largest intermediate. Larger batches amortize
+// per-batch overhead; smaller ones tighten the residency bound. Outputs
+// are identical at every size. StreamStats reports what the pipelines did;
+// WithMaterializedExec restores the materialize-per-operator executors.
+func WithBatchSize(rows int) Option {
+	return func(e *Engine) {
+		e.batchSize = rows
+	}
+}
+
+// WithMaterializedExec disables streamed execution: every operator
+// materializes its full output before the next starts, as before streaming
+// existed. The switch exists so the two executors can be compared honestly
+// (cqbench -streambench does) and as an escape hatch for one release;
+// outputs are identical either way.
+func WithMaterializedExec() Option {
+	return func(e *Engine) {
+		e.materialized = true
 	}
 }
 
@@ -185,6 +220,20 @@ func (e *Engine) ShardStats() ShardStats {
 	return e.sharding.Metrics.Snapshot()
 }
 
+// StreamStats is a point-in-time copy of the engine's streamed-execution
+// counters: batches and rows emitted by pipeline stages, pipelines that
+// fell back to a buffered relation, and the column bytes that flowed
+// through stages without ever being materialized — the allocation the
+// materialized executors would have paid. All zeros under
+// WithMaterializedExec.
+type StreamStats = batch.Stats
+
+// StreamStats reports what the engine's streamed pipelines did across all
+// evaluations since the engine was built (or since ResetStats).
+func (e *Engine) StreamStats() StreamStats {
+	return e.stream.Snapshot()
+}
+
 // maxCacheEntries bounds each engine cache so long-lived servers seeing
 // unbounded ad-hoc query text (user constants, generated variable names)
 // cannot grow memory monotonically. At the cap the least recently used
@@ -237,13 +286,29 @@ func NewEngine(opts ...Option) *Engine {
 			Spill:        e.spill,
 		}
 	}
+	if !e.materialized {
+		// Streamed execution is the default. It rides on shard.Options (the
+		// pipelines are per-shard), so an engine without WithSharding gets a
+		// single-shard options block: Count()==1 keeps every materialized
+		// operator in its fallback path while the executors stream.
+		if e.batchSize <= 0 {
+			e.batchSize = batch.DefaultSize
+		}
+		e.stream = &batch.Metrics{}
+		if e.sharding == nil {
+			e.sharding = &shard.Options{Shards: 1, Spill: e.spill}
+		}
+		e.sharding.BatchSize = e.batchSize
+		e.sharding.Batch = e.stream
+	}
 	return e
 }
 
 // ResetStats zeroes the engine's cumulative counters — the analysis/plan
 // cache hit/miss counts (CacheStats), the exchange-routing counters
-// (ShardStats), and the spill governor's eviction/reload/pin-wait counters
-// (SpillStats) — so callers can attribute counts to a window, e.g. one
+// (ShardStats), the streamed-pipeline counters (StreamStats), and the
+// spill governor's eviction/reload/pin-wait counters (SpillStats) — so
+// callers can attribute counts to a window, e.g. one
 // query in a benchmark sweep, instead of the engine's lifetime. Gauges
 // that describe present state (cached entries, resident and on-disk
 // bytes, currently parked shards) are left alone; the peak-resident
@@ -256,6 +321,7 @@ func (e *Engine) ResetStats() {
 	if e.sharding != nil {
 		e.sharding.Metrics.Reset()
 	}
+	e.stream.Reset()
 	e.spill.ResetCounters()
 }
 

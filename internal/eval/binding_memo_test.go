@@ -1,0 +1,62 @@
+package eval
+
+import (
+	"testing"
+
+	"cqbound/internal/cq"
+	"cqbound/internal/database"
+	"cqbound/internal/relation"
+)
+
+// TestBindingRelationMemoizesRepeatedPattern pins the repeated-variable
+// binding build to the relation memo: the constant-filtered selection for
+// R(X,X) is built once per (relation, pattern) and served from cache on
+// every later evaluation, regardless of how the query names its variables.
+func TestBindingRelationMemoizesRepeatedPattern(t *testing.T) {
+	r := relation.New("R", "a", "b")
+	r.Add("1", "1")
+	r.Add("1", "2")
+	r.Add("2", "2")
+	db := database.New()
+	db.MustAdd(r)
+
+	a := cq.MustParse("Q(X) <- R(X,X).").Body[0]
+	b1, err := bindingRelation(a, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b1.Size() != 2 || b1.Arity() != 1 {
+		t.Fatalf("R(X,X) binding: %d rows × %d cols, want 2 × 1", b1.Size(), b1.Arity())
+	}
+	// The filtered build is now in the memo: a later lookup under the same
+	// pattern key must not invoke the builder again.
+	rebuilt := false
+	r.Memo(bindingPatternKey(a), func() any {
+		rebuilt = true
+		return nil
+	})
+	if rebuilt {
+		t.Fatal("binding pattern was rebuilt on second memo access")
+	}
+	// A differently named query with the same pattern shares the build.
+	a2 := cq.MustParse("P(Y) <- R(Y,Y).").Body[0]
+	if bindingPatternKey(a2) != bindingPatternKey(a) {
+		t.Fatalf("pattern keys differ across variable renamings: %q vs %q",
+			bindingPatternKey(a2), bindingPatternKey(a))
+	}
+	b2, err := bindingRelation(a2, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !relation.Equal(b1, b2) {
+		t.Fatalf("renamed pattern returned different rows: %d vs %d", b1.Size(), b2.Size())
+	}
+	if rebuilt {
+		t.Fatal("renamed pattern rebuilt the filtered relation")
+	}
+	// A genuinely different pattern gets its own key.
+	a3 := cq.MustParse("S(X,Y) <- R(X,Y).").Body[0]
+	if bindingPatternKey(a3) == bindingPatternKey(a) {
+		t.Fatal("distinct patterns share a memo key")
+	}
+}

@@ -91,8 +91,13 @@ func JoinProjectOrdered(ctx context.Context, q *cq.Query, db *database.Database,
 // multi-join plan never collapses to one shard after its first join.
 // Steps whose inputs are below opts.MinRows — and joins with no shared
 // column to partition on — fall back to single-shard operators per step.
-// nil opts is exactly JoinProjectOrdered.
+// Options carrying a BatchSize run the streamed form instead: the same
+// plan over pull-based column-batch pipelines (internal/batch) that never
+// materialize an intermediate. nil opts is exactly JoinProjectOrdered.
 func JoinProjectExec(ctx context.Context, q *cq.Query, db *database.Database, order []int, opts *shard.Options) (*relation.Relation, Stats, error) {
+	if opts.Streaming() {
+		return joinProjectStreamed(ctx, q, db, order, opts)
+	}
 	var st Stats
 	if err := validateAtoms(q, db); err != nil {
 		return nil, st, err
@@ -267,17 +272,56 @@ func bindingRelation(a cq.Atom, db *database.Database) (*relation.Relation, erro
 		return r.Rename("bind_"+a.Relation, attrs...)
 	}
 	// Repeated variables: filter rows whose repeated positions disagree,
-	// projecting onto the first occurrence of each variable.
+	// projecting onto the first occurrence of each variable. The filtered
+	// relation depends only on the repetition PATTERN — which positions
+	// repeat which earlier position — not on the variable names, so it is
+	// built once per (relation, pattern) in the relation's memo table
+	// (shared across renames, invalidated by inserts) and renamed to this
+	// atom's variables per call.
+	attrs := make([]string, len(vars))
+	for i, v := range vars {
+		attrs[i] = string(v)
+	}
+	cached := r.Memo(bindingPatternKey(a), func() any {
+		return buildRepeatedBinding(a, r)
+	}).(*relation.Relation)
+	return cached.Rename("bind_"+a.Relation, attrs...)
+}
+
+// bindingPatternKey is the memo key of an atom's repeated-variable binding:
+// for each position, the position of the variable's first occurrence.
+// Atoms with the same pattern over the same relation share the filtered
+// build regardless of how their variables are named.
+func bindingPatternKey(a cq.Atom) string {
+	first := make(map[cq.Variable]int, len(a.Vars))
+	key := make([]byte, 0, 8+len(a.Vars))
+	key = append(key, "bindpat:"...)
+	for i, v := range a.Vars {
+		j, seen := first[v]
+		if !seen {
+			first[v] = i
+			j = i
+		}
+		key = append(key, byte(j))
+	}
+	return string(key)
+}
+
+// buildRepeatedBinding materializes the repeated-variable selection with
+// positional attribute names (the memo entry is name-agnostic; callers
+// rename). Insert cannot fail here — the tuple arity matches the schema by
+// construction — so the build is infallible, as Memo requires.
+func buildRepeatedBinding(a cq.Atom, r *relation.Relation) *relation.Relation {
+	vars := a.DistinctVars()
 	attrs := make([]string, len(vars))
 	pos := make(map[cq.Variable]int, len(vars))
 	for i, v := range vars {
-		attrs[i] = string(v)
+		attrs[i] = fmt.Sprintf("b%d", i)
 		pos[v] = i
 	}
-	out := relation.New("bind_"+a.Relation, attrs...)
+	out := relation.New("bindpat", attrs...)
 	bound := make(relation.Tuple, len(vars))
 	set := make([]bool, len(vars))
-	var insertErr error
 	r.Each(func(t relation.Tuple) bool {
 		for j := range set {
 			set[j] = false
@@ -290,13 +334,10 @@ func bindingRelation(a cq.Atom, db *database.Database) (*relation.Relation, erro
 			bound[j] = t[i]
 			set[j] = true
 		}
-		_, insertErr = out.Insert(bound)
-		return insertErr == nil
+		out.Insert(bound)
+		return true
 	})
-	if insertErr != nil {
-		return nil, insertErr
-	}
-	return out, nil
+	return out
 }
 
 // headProjection builds Q(D) from a binding relation containing (at least)

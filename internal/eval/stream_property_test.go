@@ -1,0 +1,193 @@
+// Property-based streaming harness: the same random query/database pairs
+// as the sharded harness, evaluated through the column-batch pipeline
+// executors at every partition count AND every batch size — including
+// batch size 1, where each stage hands over single-row batches and any
+// off-by-one in pipeline handoff, exchange scatter, buffered replay or
+// skew splitting surfaces immediately. Each pair runs twice: unlimited,
+// and under the forced-spill 256-byte budget so governed shards are
+// parked and reloaded while the pipelines are still pulling. Outputs must
+// be identical to unsharded Naive in all configurations.
+package eval_test
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	cqbound "cqbound"
+	"cqbound/internal/cq"
+	"cqbound/internal/database"
+	"cqbound/internal/datagen"
+	"cqbound/internal/eval"
+	"cqbound/internal/relation"
+	"cqbound/internal/shard"
+	"cqbound/internal/spill"
+)
+
+// streamBatchSizes are the batch sizes the streaming harness cycles
+// through: 1 (every stage boundary exercised per row), a small prime that
+// never divides the harness relations evenly (partial final batches
+// everywhere), and the production default.
+var streamBatchSizes = []int{1, 7, 1024}
+
+// TestPropertyStreamedAgrees re-runs the harness's random pairs through
+// the streamed executors — join-project and (when acyclic) Yannakakis
+// pipelines, plus default-streaming Engines — across the full cross of
+// shard counts and batch sizes, with and without a forced-spill budget.
+// After the sweep the shared tiny governor must have evicted and
+// reloaded, and the streamed Engines must actually have streamed batches,
+// or the harness was not exercising the paths it exists for.
+func TestPropertyStreamedAgrees(t *testing.T) {
+	iters := propertyIterations
+	if testing.Short() {
+		iters = 60
+	}
+	profiles := []datagen.QueryParams{
+		{MaxVars: 5, MaxAtoms: 4, MaxArity: 3, HeadFraction: 0.7, RepeatRelationProb: 0.3, SimpleFDProb: 0.15},
+		{MaxVars: 3, MaxAtoms: 5, MaxArity: 2, HeadFraction: 0.5, RepeatRelationProb: 0.6},
+		{MaxVars: 6, MaxAtoms: 3, MaxArity: 4, HeadFraction: 0.9, RepeatRelationProb: 0.2, CompoundFDProb: 0.3},
+		{MaxVars: 2, MaxAtoms: 3, MaxArity: 3, HeadFraction: 0.6, RepeatRelationProb: 0.5, SimpleFDProb: 0.3},
+	}
+	dbProfiles := []datagen.DBParams{
+		{Tuples: 12, Universe: 6},
+		{Tuples: 25, Universe: 4},
+		{Tuples: 6, Universe: 12},
+		{Tuples: 30, Universe: 8, ZipfS: 1.7},
+		{Tuples: 20, Universe: 15, ZipfS: 2.5},
+	}
+	gov := spill.NewGovernor(spillBudgetBytes, t.TempDir())
+	defer gov.Close()
+	// Engines are built lazily per (shards, batch size) combination —
+	// shard count and batch size cycle with coprime periods, so every
+	// combination occurs. The streamed path is the Engine default; only
+	// the batch size varies.
+	unlimited := map[[2]int]*cqbound.Engine{}
+	budgeted := map[[2]int]*cqbound.Engine{}
+	engineFor := func(m map[[2]int]*cqbound.Engine, p, bs int, extra ...cqbound.Option) *cqbound.Engine {
+		key := [2]int{p, bs}
+		if eng, ok := m[key]; ok {
+			return eng
+		}
+		opts := append([]cqbound.Option{
+			cqbound.WithSharding(0, p),
+			cqbound.WithSkewSplitting(propertySkewFraction),
+			cqbound.WithBatchSize(bs),
+		}, extra...)
+		eng := cqbound.NewEngine(opts...)
+		t.Cleanup(func() { eng.Close() })
+		m[key] = eng
+		return eng
+	}
+	for i := 0; i < iters; i++ {
+		rng := rand.New(rand.NewSource(propertyBaseSeed + int64(i)))
+		q := datagen.RandomQuery(rng, profiles[i%len(profiles)])
+		db := datagen.RandomDatabase(rng, q, dbProfiles[i%len(dbProfiles)])
+		p := shardCounts[i%len(shardCounts)]
+		bs := streamBatchSizes[i%len(streamBatchSizes)]
+		engU := engineFor(unlimited, p, bs)
+		engB := engineFor(budgeted, p, bs,
+			cqbound.WithMemoryBudget(spillBudgetBytes), cqbound.WithSpillDir(t.TempDir()))
+		if msg := streamedDisagreement(engU, engB, gov, p, bs, q, db); msg != "" {
+			check := func(q *cq.Query, db *database.Database) string {
+				return streamedDisagreement(engU, engB, gov, p, bs, q, db)
+			}
+			q, db, msg = shrink(check, q, db, msg)
+			t.Fatalf("iteration %d (seed %d, shards %d, batch %d): streamed execution disagrees after shrinking: %s\n"+
+				"minimal query:\n%s\nminimal database:\n%s",
+				i, propertyBaseSeed+int64(i), p, bs, msg, q, dumpDB(db))
+		}
+	}
+	if st := gov.Snapshot(); st.Evictions == 0 || st.ReloadedShards == 0 {
+		t.Fatalf("the forced-spill budget never spilled under streaming (evictions=%d reloads=%d)",
+			st.Evictions, st.ReloadedShards)
+	}
+	for _, eng := range unlimited {
+		if st := eng.StreamStats(); st.BatchesProduced == 0 || st.RowsStreamed == 0 {
+			t.Fatalf("a streamed engine never streamed (batches=%d rows=%d): the harness ran materialized",
+				st.BatchesProduced, st.RowsStreamed)
+		}
+	}
+}
+
+// streamedDisagreement compares streamed execution at partition count p
+// and batch size bs against unsharded Naive — bare executors unlimited
+// and under the shared tiny governor, then the two Engines — returning a
+// description of the first inconsistency ("" when all agree).
+func streamedDisagreement(engU, engB *cqbound.Engine, gov *spill.Governor, p, bs int, q *cq.Query, db *database.Database) string {
+	ctx := context.Background()
+	ref, _, err := eval.NaiveCtx(ctx, q, db)
+	if err != nil {
+		return fmt.Sprintf("naive: %v", err)
+	}
+	check := func(name string, out *relation.Relation, err error) string {
+		if err != nil {
+			return fmt.Sprintf("%s: %v", name, err)
+		}
+		if !relation.Equal(ref, out) {
+			return fmt.Sprintf("%s: %d tuples, naive has %d", name, out.Size(), ref.Size())
+		}
+		return ""
+	}
+	run := func(tag string, opts *shard.Options) string {
+		out, _, err := eval.JoinProjectExec(ctx, q, db, nil, opts)
+		if msg := check(tag+" join-project", out, err); msg != "" {
+			return msg
+		}
+		if eval.IsAcyclic(q) {
+			out, _, err = eval.YannakakisExec(ctx, q, db, opts)
+			if msg := check(tag+" yannakakis", out, err); msg != "" {
+				return msg
+			}
+		}
+		return ""
+	}
+	if msg := run("streamed", &shard.Options{
+		MinRows: 0, Shards: p, SkewFraction: propertySkewFraction, BatchSize: bs,
+	}); msg != "" {
+		return msg
+	}
+	// One scope per pair, like Engine.Evaluate, so the 220 pairs'
+	// intermediate shards don't accumulate in the shared governor.
+	scope := spill.NewScope()
+	defer scope.Close()
+	if msg := run("streamed+spill", &shard.Options{
+		MinRows: 0, Shards: p, SkewFraction: propertySkewFraction, BatchSize: bs,
+		Spill: gov, Scope: scope,
+	}); msg != "" {
+		return msg
+	}
+	out, _, err := engU.Evaluate(ctx, q, db)
+	if msg := check("streamed engine", out, err); msg != "" {
+		return msg
+	}
+	out, _, err = engB.Evaluate(ctx, q, db)
+	if msg := check("streamed budgeted engine", out, err); msg != "" {
+		return msg
+	}
+	return ""
+}
+
+// TestStreamedBatchSizeOneMatchesDefault pins the extreme directly on one
+// deterministic acyclic case: a path query evaluated at batch size 1 and
+// at the default must produce identical output, so any stage that
+// accidentally depends on batch granularity (dedup, replay, scatter)
+// fails loudly without waiting for the random sweep.
+func TestStreamedBatchSizeOneMatchesDefault(t *testing.T) {
+	q := cq.MustParse("Q(A,D) <- R(A,B), S(B,C), T(C,D).")
+	db := datagen.EdgeDB(rand.New(rand.NewSource(9)), []string{"R", "S", "T"}, 200, 30)
+	ref, _, err := eval.NaiveCtx(context.Background(), q, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bs := range []int{1, 1024} {
+		opts := &shard.Options{MinRows: 0, Shards: 4, BatchSize: bs}
+		out, _, err := eval.YannakakisExec(context.Background(), q, db, opts)
+		if err != nil {
+			t.Fatalf("batch %d: %v", bs, err)
+		}
+		if !relation.Equal(ref, out) {
+			t.Fatalf("batch %d: %d tuples, naive has %d", bs, out.Size(), ref.Size())
+		}
+	}
+}

@@ -1,0 +1,310 @@
+package eval
+
+// The streamed (column-batch pipeline) forms of the two exchange-routed
+// executors. Both mirror their materialized counterparts' routing
+// decisions; the difference is residency: the running intermediate flows as
+// a shard.Piped — per-shard pull pipelines holding one batch per stage —
+// and relations are built only where an operand must be indexed whole
+// (probe sides, semijoin reducers, subtree results) or at the final output.
+// Joins' right operands are always base bindings or forced subtree results,
+// so pipelines flow on the left throughout, which is exactly the shape
+// shard's Piped operators implement.
+
+import (
+	"context"
+	"fmt"
+	"slices"
+	"sync"
+
+	"cqbound/internal/cq"
+	"cqbound/internal/database"
+	"cqbound/internal/pool"
+	"cqbound/internal/relation"
+	"cqbound/internal/shard"
+)
+
+// joinProjectStreamed is JoinProjectExec under Options.Streaming: the
+// join-project fold never materializes an intermediate — scan, probe and
+// projection stages chain within each shard, exchanges scatter batches
+// between keys, and rows first become a relation again at the head
+// projection's sink. Bindings are resolved (and checked for emptiness) up
+// front, since an empty binding empties the output regardless of position.
+func joinProjectStreamed(ctx context.Context, q *cq.Query, db *database.Database, order []int, opts *shard.Options) (*relation.Relation, Stats, error) {
+	var st Stats
+	if err := validateAtoms(q, db); err != nil {
+		return nil, st, err
+	}
+	body, err := orderedBody(q, order)
+	if err != nil {
+		return nil, st, err
+	}
+	binds := make([]*relation.Relation, len(body))
+	for i, a := range body {
+		if binds[i], err = bindingRelation(a, db); err != nil {
+			return nil, st, err
+		}
+		if binds[i].Size() == 0 {
+			st.EarlyExit = true
+			return emptyOutput(q), st, nil
+		}
+	}
+	needLater := make([]map[cq.Variable]bool, len(body)+1)
+	needLater[len(body)] = map[cq.Variable]bool{}
+	for i := len(body) - 1; i >= 0; i-- {
+		m := make(map[cq.Variable]bool)
+		for v := range needLater[i+1] {
+			m[v] = true
+		}
+		for _, v := range body[i].Vars {
+			m[v] = true
+		}
+		needLater[i] = m
+	}
+	head := q.HeadVarSet()
+
+	project := func(pd *shard.Piped, after int) (*shard.Piped, error) {
+		var keep []string
+		for _, attr := range pd.Attrs() {
+			v := cq.Variable(attr)
+			if head[v] || needLater[after+1][v] {
+				keep = append(keep, attr)
+			}
+		}
+		if len(keep) == len(pd.Attrs()) {
+			return pd, nil
+		}
+		return projectPipedNames(ctx, opts, pd, keep)
+	}
+
+	pd := shard.PipedOf(shard.StreamOf(binds[0]), opts)
+	if pd, err = project(pd, 0); err != nil {
+		return nil, st, err
+	}
+	for i := range body[1:] {
+		if pd, err = shard.JoinPipedStream(ctx, opts, pd, binds[i+1], false); err != nil {
+			return nil, st, err
+		}
+		st.Joins++
+		if pd, err = project(pd, i+1); err != nil {
+			return nil, st, err
+		}
+	}
+	out, err := headProjectionPiped(ctx, opts, q, pd)
+	if err != nil {
+		return nil, st, err
+	}
+	// Streamed intermediates never materialize; the largest relation the
+	// plan built is the output itself.
+	st.MaxIntermediate = out.Size()
+	return out, st, nil
+}
+
+// projectPipedNames is projectNames for pipelines.
+func projectPipedNames(ctx context.Context, opts *shard.Options, pd *shard.Piped, attrs []string) (*shard.Piped, error) {
+	idx := make([]int, len(attrs))
+	for i, a := range attrs {
+		j := slices.Index(pd.Attrs(), a)
+		if j < 0 {
+			return nil, fmt.Errorf("eval: unknown attribute %q in projection", a)
+		}
+		idx[i] = j
+	}
+	return shard.ProjectPiped(ctx, opts, pd, idx)
+}
+
+// headProjectionPiped is headProjectionExec for pipelines: the head
+// projection extends the pipeline, and its sink is the first — and only —
+// full materialization of the plan. The output is Q(D): it outlives the
+// evaluation, so it is never registered with the spill governor.
+func headProjectionPiped(ctx context.Context, opts *shard.Options, q *cq.Query, pd *shard.Piped) (*relation.Relation, error) {
+	idx := make([]int, len(q.Head.Vars))
+	for i, v := range q.Head.Vars {
+		j := slices.Index(pd.Attrs(), string(v))
+		if j < 0 {
+			return nil, fmt.Errorf("eval: head variable %s missing from bindings", v)
+		}
+		idx[i] = j
+	}
+	proj, err := shard.ProjectPiped(ctx, opts, pd, idx)
+	if err != nil {
+		return nil, err
+	}
+	sunk, err := shard.MaterializePiped(ctx, opts, proj, q.Head.Relation, false)
+	if err != nil {
+		return nil, err
+	}
+	return sunk.Rel().Rename(q.Head.Relation, headAttrs(q)...)
+}
+
+// yannakakisStreamed is YannakakisExec under Options.Streaming. The
+// semijoin passes still produce relations per node — a reducer is probed
+// via its index, so it must exist whole — but each reduction itself runs
+// as a pipeline (scan → semijoin stages → sink), and every materialized
+// reduction is a subset of a base binding. The join pass builds one
+// pipeline per node (scan of the reduced binding → probes of the forced
+// child subtree results → projection); only the projected subtree results
+// — bounded by input + output after full reduction, the Yannakakis
+// guarantee — are forced, and the root's join, the plan's largest
+// intermediate, streams straight into the head projection.
+func yannakakisStreamed(ctx context.Context, q *cq.Query, db *database.Database, opts *shard.Options) (*relation.Relation, Stats, error) {
+	var st Stats
+	if err := validateAtoms(q, db); err != nil {
+		return nil, st, err
+	}
+	tree, ok := JoinTree(q)
+	if !ok {
+		return nil, st, fmt.Errorf("eval: query is not acyclic; use JoinProject or GenericJoin")
+	}
+	// Each atom's reduction flows between passes as a Stream: a pass that
+	// exchanged the binding leaves it partitioned, and the next pass's
+	// pipeline picks the partitioning up instead of re-exchanging.
+	reduced := make([]shard.Stream, len(q.Body))
+	for i, a := range q.Body {
+		b, err := bindingRelation(a, db)
+		if err != nil {
+			return nil, st, err
+		}
+		if b.Size() == 0 {
+			st.EarlyExit = true
+			return emptyOutput(q), st, nil
+		}
+		reduced[i] = shard.StreamOf(b)
+	}
+	var stMu sync.Mutex
+	countJoin := func(size int) {
+		stMu.Lock()
+		st.Joins++
+		if size > st.MaxIntermediate {
+			st.MaxIntermediate = size
+		}
+		stMu.Unlock()
+	}
+	// filter pipelines binding i through semijoins against the given
+	// reducer atoms and forces the (strictly smaller) result back into a
+	// relation, transient under the spill governor. A reducer that has been
+	// through a filter of its own is itself transient — its partitionings
+	// must die with the evaluation — while an unreduced base binding's
+	// partitions persist for reuse.
+	filtered := make([]bool, len(q.Body))
+	filter := func(i int, reducers []int) error {
+		pd := shard.PipedOf(reduced[i], opts)
+		for _, ri := range reducers {
+			var err error
+			if pd, err = shard.SemijoinPipedStream(ctx, opts, pd, reduced[ri].Rel(), filtered[ri]); err != nil {
+				return err
+			}
+			countJoin(0)
+		}
+		sunk, err := shard.MaterializePiped(ctx, opts, pd, q.Body[i].Relation+"_sj", true)
+		if err != nil {
+			return err
+		}
+		reduced[i] = sunk
+		filtered[i] = true
+		return nil
+	}
+	// Bottom-up semijoin: parent ⋉ every child, one pipeline per node.
+	var up func(n *JoinTreeNode) error
+	up = func(n *JoinTreeNode) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if err := pool.Run(ctx, 0, len(n.Children), func(i int) error {
+			return up(n.Children[i])
+		}); err != nil {
+			return err
+		}
+		if len(n.Children) == 0 {
+			return nil
+		}
+		reducers := make([]int, len(n.Children))
+		for i, c := range n.Children {
+			reducers[i] = c.AtomIndex
+		}
+		return filter(n.AtomIndex, reducers)
+	}
+	if err := up(tree); err != nil {
+		return nil, st, err
+	}
+	// Top-down semijoin: child ⋉ parent.
+	var down func(n *JoinTreeNode) error
+	down = func(n *JoinTreeNode) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		return pool.Run(ctx, 0, len(n.Children), func(i int) error {
+			c := n.Children[i]
+			if err := filter(c.AtomIndex, []int{n.AtomIndex}); err != nil {
+				return err
+			}
+			return down(c)
+		})
+	}
+	if err := down(tree); err != nil {
+		return nil, st, err
+	}
+	// Bottom-up join: each node's pipeline probes its children's forced
+	// subtree results; only the root's pipeline escapes unforced, into the
+	// head projection.
+	head := q.HeadVarSet()
+	var join func(n *JoinTreeNode) (*shard.Piped, error)
+	join = func(n *JoinTreeNode) (*shard.Piped, error) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		subs := make([]*relation.Relation, len(n.Children))
+		if err := pool.Run(ctx, 0, len(n.Children), func(i int) error {
+			pd, err := join(n.Children[i])
+			if err != nil {
+				return err
+			}
+			sunk, err := shard.MaterializePiped(ctx, opts, pd, "sub", true)
+			if err != nil {
+				return err
+			}
+			subs[i] = sunk.Rel()
+			stMu.Lock()
+			if subs[i].Size() > st.MaxIntermediate {
+				st.MaxIntermediate = subs[i].Size()
+			}
+			stMu.Unlock()
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+		cur := shard.PipedOf(reduced[n.AtomIndex], opts)
+		for _, sub := range subs {
+			var err error
+			if cur, err = shard.JoinPipedStream(ctx, opts, cur, sub, true); err != nil {
+				return nil, err
+			}
+			countJoin(0)
+		}
+		ownAttrs := reduced[n.AtomIndex].Attrs()
+		var keep []string
+		for _, attr := range cur.Attrs() {
+			if head[cq.Variable(attr)] || slices.Contains(ownAttrs, attr) {
+				keep = append(keep, attr)
+			}
+		}
+		if len(keep) == 0 {
+			return nil, fmt.Errorf("eval: internal: empty projection in Yannakakis")
+		}
+		if len(keep) == len(cur.Attrs()) {
+			return cur, nil
+		}
+		return projectPipedNames(ctx, opts, cur, keep)
+	}
+	full, err := join(tree)
+	if err != nil {
+		return nil, st, err
+	}
+	out, err := headProjectionPiped(ctx, opts, q, full)
+	if err != nil {
+		return nil, st, err
+	}
+	if out.Size() > st.MaxIntermediate {
+		st.MaxIntermediate = out.Size()
+	}
+	return out, st, nil
+}

@@ -146,9 +146,15 @@ func YannakakisCtx(ctx context.Context, q *cq.Query, db *database.Database) (*re
 // it (misaligned passes broadcast the other side instead of
 // repartitioning); the final joins then reuse those partitions when they
 // align. Inputs below opts.MinRows, and parent/child pairs sharing no
-// column, fall back to single-shard operators per step. nil opts is
+// column, fall back to single-shard operators per step. Options carrying a
+// BatchSize run the streamed form instead: semijoin reductions and the
+// final join as pull-based column-batch pipelines, with only the reduced
+// bindings and projected subtree results ever materialized. nil opts is
 // exactly YannakakisCtx.
 func YannakakisExec(ctx context.Context, q *cq.Query, db *database.Database, opts *shard.Options) (*relation.Relation, Stats, error) {
+	if opts.Streaming() {
+		return yannakakisStreamed(ctx, q, db, opts)
+	}
 	var st Stats
 	if err := validateAtoms(q, db); err != nil {
 		return nil, st, err

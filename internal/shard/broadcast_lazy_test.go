@@ -1,0 +1,85 @@
+package shard
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"cqbound/internal/relation"
+)
+
+// lazySmallView builds a FromParts view of s partitioned on col 0 whose
+// flat concatenation has not been forced, plus the flat original for
+// computing expected results.
+func lazySmallView(t *testing.T, s *relation.Relation, p int) *Sharded {
+	t.Helper()
+	base := Partition(s, 0, p)
+	parts := make([]*relation.Relation, p)
+	for k := 0; k < p; k++ {
+		parts[k] = base.Shard(k)
+	}
+	view := FromParts(s.Name, s.Attrs, 0, parts)
+	if view.Materialized() {
+		t.Fatal("fresh FromParts view already materialized")
+	}
+	return view
+}
+
+// TestBroadcastJoinKeepsSmallSideLazy pins the broadcast regression: a
+// small side arriving as a lazily assembled FromParts view is probed part
+// by part, never forced into a flat relation — sizing and probing must not
+// trigger the Rel() concatenation the stream avoided.
+func TestBroadcastJoinKeepsSmallSideLazy(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	big := randomRel(rng, "B", []string{"a", "b"}, 400, 40)
+	small := randomRel(rng, "S", []string{"b", "c"}, 20, 40)
+	// big partitioned on a non-join column: misaligned, so the small side
+	// (20 ≤ 400/4+1 rows) takes the broadcast path.
+	l := ShardedStream(Partition(big, 0, 4))
+	view := lazySmallView(t, small, 2)
+	opts := &Options{MinRows: 0, Shards: 4, Metrics: &Metrics{}}
+	got, err := NaturalJoinStream(context.Background(), opts, l, ShardedStream(view))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := relation.NaturalJoin(big, small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !relation.Equal(got.Rel(), want) {
+		t.Fatalf("broadcast join over lazy view: %d rows, want %d", got.Size(), want.Size())
+	}
+	if view.Materialized() {
+		t.Fatal("broadcast join forced the lazy small side flat")
+	}
+	if opts.Metrics.Snapshot().BroadcastOps == 0 {
+		t.Fatal("join did not take the broadcast path; the regression test proves nothing")
+	}
+}
+
+// TestSemijoinStreamKeepsLazyRightLazy is the same pin for the semijoin's
+// misaligned branch: the right side stays a lazy view, probed shard by
+// shard via SemijoinOnParts.
+func TestSemijoinStreamKeepsLazyRightLazy(t *testing.T) {
+	rng := rand.New(rand.NewSource(62))
+	l := randomRel(rng, "L", []string{"a", "b"}, 400, 40)
+	r := randomRel(rng, "S", []string{"b", "c"}, 60, 40)
+	lSt := ShardedStream(Partition(l, 0, 4)) // key a, join col b: misaligned
+	view := lazySmallView(t, r, 2)
+	opts := &Options{MinRows: 0, Shards: 4, Metrics: &Metrics{}}
+	got, err := SemijoinStream(context.Background(), opts, lSt, ShardedStream(view))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lCols, rCols := relation.SharedColsNames(l.Attrs, r.Attrs)
+	want, err := relation.SemijoinOn(l, r, lCols, rCols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !relation.Equal(got.Rel(), want) {
+		t.Fatalf("semijoin over lazy view: %d rows, want %d", got.Size(), want.Size())
+	}
+	if view.Materialized() {
+		t.Fatal("semijoin forced the lazy right side flat")
+	}
+}

@@ -633,22 +633,30 @@ func broadcastJoin(ctx context.Context, opts *Options, l, r Stream, bigIsLeft bo
 	sh := big.Sharded()
 	m.addReused(sh.Size())
 	p := sh.P()
-	flatSmall := small.Rel()
+	// The small side is probed whole in every shard, but "whole" does not
+	// require flat: a lazily assembled small view joins part by part (the
+	// join distributes over the union of its disjoint parts), so sizing and
+	// probing never force the Rel() concatenation the stream avoided.
+	smallParts := sideParts(small)
 	sh.Pin()
 	defer sh.Unpin()
-	flatSmall.Pin()
-	defer flatSmall.Unpin()
+	for _, sp := range smallParts {
+		sp.Pin()
+		defer sp.Unpin()
+	}
 	frac := opts.skewFraction()
 	bigTotal := sh.Size()
 	var tasks []task
 	for k := 0; k < p; k++ {
-		if sh.Shard(k).Size() == 0 || flatSmall.Size() == 0 {
+		if sh.Shard(k).Size() == 0 {
 			continue // empty-shard fast path
 		}
-		if bigIsLeft {
-			tasks = splitHot(tasks, k, sh.Shard(k), flatSmall, bigTotal, 0, frac, false, m)
-		} else {
-			tasks = splitHot(tasks, k, flatSmall, sh.Shard(k), 0, bigTotal, frac, true, m)
+		for _, sp := range smallParts {
+			if bigIsLeft {
+				tasks = splitHot(tasks, k, sh.Shard(k), sp, bigTotal, 0, frac, false, m)
+			} else {
+				tasks = splitHot(tasks, k, sp, sh.Shard(k), 0, bigTotal, frac, true, m)
+			}
 		}
 	}
 	raw, err := runJoinTasks(ctx, tasks, pairs, p)
@@ -670,6 +678,27 @@ func broadcastJoin(ctx context.Context, opts *Options, l, r Stream, bigIsLeft bo
 		return Stream{}, fmt.Errorf("shard: broadcast key column of %s dropped by the join projection", name)
 	}
 	return ShardedStream(FromParts(name, attrs, outKey, parts)), nil
+}
+
+// sideParts returns a stream's rows as a list of disjoint nonempty
+// relations without materializing anything: the flat relation when one
+// already exists (including a lazy view whose concatenation was already
+// forced), the nonempty shards of an assembled view otherwise.
+func sideParts(st Stream) []*relation.Relation {
+	sh := st.Sharded()
+	if sh == nil || sh.Materialized() {
+		if r := st.Rel(); r != nil && r.Size() > 0 {
+			return []*relation.Relation{r}
+		}
+		return nil
+	}
+	var parts []*relation.Relation
+	for k := 0; k < sh.P(); k++ {
+		if s := sh.Shard(k); s.Size() > 0 {
+			parts = append(parts, s)
+		}
+	}
+	return parts
 }
 
 // indexOfKept returns the output position of raw-join column c, or -1 when
@@ -750,17 +779,19 @@ func SemijoinStream(ctx context.Context, opts *Options, l, r Stream) (Stream, er
 			return Stream{}, err
 		}
 		m.addSharded()
-		return semijoinTasks(ctx, opts, lSh, func(k int) *relation.Relation { return rSh.Shard(k) }, lCols, rCols, frac, m)
+		return semijoinTasks(ctx, opts, lSh, func(k int) []*relation.Relation { return []*relation.Relation{rSh.Shard(k)} }, lCols, rCols, frac, m)
 	}
 	if l.Sharded() != nil {
 		// Misaligned l: probe the whole of r from every shard. l's
 		// partitioning survives (the output is a subset of l), so the
-		// exchange the next operator would need is still saved.
+		// exchange the next operator would need is still saved. A lazily
+		// assembled r is probed part by part (a row survives when it matches
+		// in ANY part), never forcing its Rel() concatenation.
 		m.addSharded()
 		m.addBroadcast()
 		m.addReused(l.Size())
-		flatR := r.Rel()
-		return semijoinTasks(ctx, opts, l.Sharded(), func(int) *relation.Relation { return flatR }, lCols, rCols, frac, m)
+		rParts := sideParts(r)
+		return semijoinTasks(ctx, opts, l.Sharded(), func(int) []*relation.Relation { return rParts }, lCols, rCols, frac, m)
 	}
 	// Flat l: partition both sides on the highest-cardinality shared pair.
 	pick := bestPair(l, r, lCols, rCols)
@@ -773,35 +804,62 @@ func SemijoinStream(ctx context.Context, opts *Options, l, r Stream) (Stream, er
 		return Stream{}, err
 	}
 	m.addSharded()
-	return semijoinTasks(ctx, opts, lSh, func(k int) *relation.Relation { return rSh.Shard(k) }, lCols, rCols, frac, m)
+	return semijoinTasks(ctx, opts, lSh, func(k int) []*relation.Relation { return []*relation.Relation{rSh.Shard(k)} }, lCols, rCols, frac, m)
 }
 
-// semijoinTasks runs the per-shard semijoins of lSh against rAt(k),
-// splitting hot l shards into blocks (the r side is never split — a
-// surviving row may match anywhere in r). The output keeps lSh's key.
-// Shards whose l side or r side is empty skip task generation — the
-// result is empty either way (the routing layer only reaches here with at
-// least one shared column) — and share one canonical empty part. Both
-// sides stay pinned for the duration; nonempty outputs register with the
-// options' spill governor.
-func semijoinTasks(ctx context.Context, opts *Options, lSh *Sharded, rAt func(int) *relation.Relation, lCols, rCols []int, frac float64, m *Metrics) (Stream, error) {
+// sjTask is one partition-parallel semijoin unit: shard k's slice of the
+// left side probing a list of disjoint right parts (one co-partitioned
+// shard, or every part of a broadcast side).
+type sjTask struct {
+	shard  int
+	left   *relation.Relation
+	rights []*relation.Relation
+}
+
+// semijoinTasks runs the per-shard semijoins of lSh against the parts
+// rAt(k) returns, splitting hot l shards into blocks (the r side is never
+// split — a surviving row may match anywhere in r, which is also why the
+// rights travel as a list probed via SemijoinOnParts rather than being
+// concatenated). The output keeps lSh's key. Shards whose l side or r side
+// is empty skip task generation — the result is empty either way (the
+// routing layer only reaches here with at least one shared column) — and
+// share one canonical empty part. Both sides stay pinned for the duration;
+// nonempty outputs register with the options' spill governor.
+func semijoinTasks(ctx context.Context, opts *Options, lSh *Sharded, rAt func(int) []*relation.Relation, lCols, rCols []int, frac float64, m *Metrics) (Stream, error) {
 	p := lSh.P()
 	lTotal := lSh.Size()
 	lSh.Pin()
 	defer lSh.Unpin()
-	var tasks []task
+	pinned := map[*relation.Relation]bool{}
+	var tasks []sjTask
 	for k := 0; k < p; k++ {
-		l, r := lSh.Shard(k), rAt(k)
-		if l.Size() == 0 || r.Size() == 0 {
+		l, rights := lSh.Shard(k), rAt(k)
+		rTotal := 0
+		for _, r := range rights {
+			rTotal += r.Size()
+		}
+		if l.Size() == 0 || rTotal == 0 {
 			continue // empty-shard fast path: l ⋉ r is empty
 		}
-		r.Pin()
-		defer r.Unpin()
-		tasks = splitHot(tasks, k, l, r, lTotal, 0, frac, false, m)
+		for _, r := range rights {
+			if !pinned[r] {
+				pinned[r] = true
+				r.Pin()
+				defer r.Unpin()
+			}
+		}
+		if blocks := hotBlocks(l.Size(), lTotal, frac); frac > 0 && blocks > 1 {
+			m.addSkewSplit()
+			for _, b := range sliceBlocks(l, blocks) {
+				tasks = append(tasks, sjTask{shard: k, left: b, rights: rights})
+			}
+		} else {
+			tasks = append(tasks, sjTask{shard: k, left: l, rights: rights})
+		}
 	}
 	outs := make([]*relation.Relation, len(tasks))
 	if err := pool.Run(ctx, 0, len(tasks), func(i int) error {
-		out, err := relation.SemijoinOn(tasks[i].left, tasks[i].right, lCols, rCols)
+		out, err := relation.SemijoinOnParts(tasks[i].left, tasks[i].rights, lCols, rCols)
 		if err == nil {
 			outs[i] = out
 		}

@@ -10,7 +10,9 @@ import (
 	"runtime"
 	"slices"
 	"sync"
+	"sync/atomic"
 
+	"cqbound/internal/batch"
 	"cqbound/internal/pool"
 	"cqbound/internal/relation"
 	"cqbound/internal/spill"
@@ -56,6 +58,37 @@ type Options struct {
 	// by design. nil retains intermediates in the governor until its
 	// Close.
 	Scope *spill.Scope
+	// BatchSize, when positive, turns on streamed execution: the executors
+	// build pull-based column-batch pipelines (internal/batch) of this many
+	// rows per batch through the Piped operators instead of materializing
+	// every operator output. 0 keeps the materialized operators.
+	BatchSize int
+	// Batch, when non-nil alongside BatchSize, counts what the streamed
+	// pipelines did (batches, rows, buffered fallbacks, bytes never
+	// materialized). Shared across concurrent evaluations like Metrics.
+	Batch *batch.Metrics
+}
+
+// Streaming reports whether these options select streamed (column-batch
+// pipeline) execution (nil-safe).
+func (o *Options) Streaming() bool { return o != nil && o.BatchSize > 0 }
+
+// batchSize returns the configured batch row count (nil-safe; 0 lets the
+// batch package use its default).
+func (o *Options) batchSize() int {
+	if o == nil {
+		return 0
+	}
+	return o.BatchSize
+}
+
+// batchMetrics returns the streamed-execution counters (nil-safe; nil
+// disables counting).
+func (o *Options) batchMetrics() *batch.Metrics {
+	if o == nil {
+		return nil
+	}
+	return o.Batch
 }
 
 // defaultSkewFraction is the hot-shard trigger used when Options leaves
@@ -153,8 +186,11 @@ type Sharded struct {
 	// lazy is the flat form of an assembled (FromParts) view, built on
 	// first Rel call; it is only written inside baseOnce.Do and only read
 	// after the Do returns, which is the sync.Once happens-before edge.
-	baseOnce sync.Once
-	lazy     *relation.Relation
+	// lazyBuilt flips (inside the Do) once lazy exists, so Materialized can
+	// answer without forcing the build.
+	baseOnce  sync.Once
+	lazy      *relation.Relation
+	lazyBuilt atomic.Bool
 }
 
 // Key returns the partition column (a position into Attrs()).
@@ -215,8 +251,17 @@ func (s *Sharded) Rel() *relation.Relation {
 			panic(fmt.Sprintf("shard: materializing %s: %v", s.name, err))
 		}
 		s.lazy = flat
+		s.lazyBuilt.Store(true)
 	})
 	return s.lazy
+}
+
+// Materialized reports whether the view already has a flat relation — the
+// original for a Partition view, a built lazy concat for an assembled one —
+// so callers can choose between the flat form and the per-shard parts
+// without forcing the concatenation they are trying to avoid.
+func (s *Sharded) Materialized() bool {
+	return s.eager != nil || s.lazyBuilt.Load()
 }
 
 // FromParts assembles a Sharded view from per-shard relations that are
