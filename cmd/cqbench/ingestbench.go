@@ -1,0 +1,267 @@
+package main
+
+// The ingest benchmark measures the transactional write path on the scaled
+// workloads: half of each database lands as one initial commit, the rest
+// streams in as delta batches through the epoch-based Txn API while a
+// concurrent reader keeps pinning snapshots and evaluating — the serving
+// pattern the epoch store exists for. Two figures matter:
+//
+//   - batch-apply throughput (rows/sec across the delta commits, memo
+//     maintenance included): what a writer pays to publish, and
+//   - incremental-vs-rebuild memo refresh: the first post-ingest
+//     evaluation on the incremental engine (indexes, statistics and shard
+//     partitions extended per batch at commit) against the same evaluation
+//     on a fresh engine that ingested everything at once and builds its
+//     memos from scratch.
+//
+// The recorded document lives in BENCH_ingest.json. Run under -race (CI
+// does) the concurrent reader turns the sweep into a smoke test of the
+// commit/pin/sweep paths against real evaluation traffic.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	cqbound "cqbound"
+	"cqbound/internal/relation"
+)
+
+// ingestBenchBatches is the number of delta commits per workload.
+const ingestBenchBatches = 16
+
+// IngestWorkloadResult is one workload's measurement.
+type IngestWorkloadResult struct {
+	Name  string `json:"name"`
+	Query string `json:"query"`
+	// TotalRows is the full database size; InitialRows of it land in the
+	// first commit and DeltaRows stream in across Batches delta commits.
+	TotalRows   int `json:"total_rows"`
+	InitialRows int `json:"initial_rows"`
+	DeltaRows   int `json:"delta_rows"`
+	Batches     int `json:"batches"`
+	// CommitNsPerBatch and IngestRowsPerSec cover the delta commits only:
+	// dedup, version extension, and incremental memo maintenance, measured
+	// while the concurrent reader runs.
+	CommitNsPerBatch int64   `json:"commit_ns_per_batch"`
+	IngestRowsPerSec float64 `json:"ingest_rows_per_sec"`
+	// WarmEvalNs is the first evaluation after the last delta commit on
+	// the incremental engine; ColdEvalNs is the same evaluation on a
+	// rebuilt engine with cold memos. RefreshVsRebuild is their ratio.
+	WarmEvalNs       int64   `json:"warm_eval_ns"`
+	ColdEvalNs       int64   `json:"cold_eval_ns"`
+	RefreshVsRebuild float64 `json:"refresh_vs_rebuild"`
+	OutputTuples     int     `json:"output_tuples"`
+	// Epoch-lifecycle counters of the incremental engine after the sweep:
+	// memos derived incrementally instead of rebuilt, governed buffers the
+	// retirement sweep reclaimed, and reader snapshots the bench pinned.
+	IncrementalMemos int64 `json:"incremental_memos"`
+	SweptBuffers     int64 `json:"swept_buffers"`
+	ReaderSnapshots  int64 `json:"reader_snapshots"`
+}
+
+// IngestBenchReport is the top-level JSON document of -ingestbench.
+type IngestBenchReport struct {
+	Shards      int                    `json:"shards"`
+	GOMAXPROCS  int                    `json:"gomaxprocs"`
+	BudgetBytes int64                  `json:"budget_bytes"`
+	Workloads   []IngestWorkloadResult `json:"workloads"`
+}
+
+// ingestRow is one staged tuple at the string boundary (the source
+// databases intern in the default dictionary, the engines in their own).
+type ingestRow struct {
+	rel  string
+	vals []string
+}
+
+func runIngestBench(shards int, membudget int64) *IngestBenchReport {
+	report := &IngestBenchReport{Shards: shards, GOMAXPROCS: runtime.GOMAXPROCS(0), BudgetBytes: membudget}
+	for _, w := range scaledWorkloads() {
+		report.Workloads = append(report.Workloads, ingestRun(w, shards, membudget))
+	}
+	return report
+}
+
+func ingestRun(w workload, shards int, membudget int64) IngestWorkloadResult {
+	ctx := context.Background()
+	db := w.db()
+	q := cqbound.MustParse(w.text)
+	res := IngestWorkloadResult{Name: w.name, Query: w.text, Batches: ingestBenchBatches}
+
+	// Stage every relation's rows: alternate rows into the initial commit
+	// and the delta batches so each batch touches every relation (and, at
+	// scale, most shards).
+	type schema struct {
+		name  string
+		attrs []string
+	}
+	var schemas []schema
+	var initial []ingestRow
+	batches := make([][]ingestRow, ingestBenchBatches)
+	for _, name := range db.Names() {
+		r := db.Relation(name)
+		schemas = append(schemas, schema{name: name, attrs: r.Attrs})
+		res.TotalRows += r.Size()
+		i := 0
+		r.Each(func(tp relation.Tuple) bool {
+			row := ingestRow{rel: name, vals: tp.Strings()}
+			if i%2 == 0 {
+				initial = append(initial, row)
+			} else {
+				batches[(i/2)%ingestBenchBatches] = append(batches[(i/2)%ingestBenchBatches], row)
+			}
+			i++
+			return true
+		})
+	}
+	res.InitialRows = len(initial)
+	res.DeltaRows = res.TotalRows - res.InitialRows
+
+	newEngine := func() *cqbound.Engine {
+		opts := []cqbound.Option{cqbound.WithSharding(benchShardThreshold, shards)}
+		if membudget > 0 {
+			opts = append(opts, cqbound.WithMemoryBudget(membudget))
+		}
+		return cqbound.NewEngine(opts...)
+	}
+	load := func(eng *cqbound.Engine, rows []ingestRow, create bool) {
+		txn := eng.Begin()
+		if create {
+			for _, s := range schemas {
+				if err := txn.Create(s.name, s.attrs...); err != nil {
+					ingestFatal(w, err)
+				}
+			}
+		}
+		for _, row := range rows {
+			if err := txn.Add(row.rel, row.vals...); err != nil {
+				ingestFatal(w, err)
+			}
+		}
+		if _, err := txn.Commit(); err != nil {
+			ingestFatal(w, err)
+		}
+	}
+
+	// Incremental engine: initial load, one evaluation to warm the memos
+	// the delta commits will extend, then the timed delta stream with a
+	// concurrent reader pinning snapshots throughout.
+	inc := newEngine()
+	defer inc.Close()
+	load(inc, initial, true)
+	if _, _, err := inc.Evaluate(ctx, q, liveDB(inc)); err != nil {
+		ingestFatal(w, err)
+	}
+	done := make(chan struct{})
+	readerSnaps := make(chan int64, 1)
+	go func() {
+		snaps := int64(0)
+		for {
+			select {
+			case <-done:
+				readerSnaps <- snaps
+				return
+			default:
+			}
+			snap := inc.Snapshot()
+			if _, _, err := inc.Evaluate(ctx, q, snap.DB()); err != nil {
+				snap.Close()
+				ingestFatal(w, err)
+			}
+			snap.Close()
+			snaps++
+		}
+	}()
+	var commitWall time.Duration
+	for _, batch := range batches {
+		start := time.Now()
+		load(inc, batch, false)
+		commitWall += time.Since(start)
+	}
+	close(done)
+	res.ReaderSnapshots = <-readerSnaps
+	res.CommitNsPerBatch = commitWall.Nanoseconds() / ingestBenchBatches
+	if commitWall > 0 {
+		res.IngestRowsPerSec = float64(res.DeltaRows) / commitWall.Seconds()
+	}
+
+	// Memo refresh, incremental side: the commits already extended the
+	// indexes, statistics and partitions, so this evaluation finds them
+	// warm for the final versions.
+	start := time.Now()
+	out, _, err := inc.Evaluate(ctx, q, liveDB(inc))
+	if err != nil {
+		ingestFatal(w, err)
+	}
+	res.WarmEvalNs = time.Since(start).Nanoseconds()
+	res.OutputTuples = out.Size()
+
+	// Rebuild side: same final state ingested in one commit on a fresh
+	// engine; the first evaluation builds every memo from scratch.
+	cold := newEngine()
+	defer cold.Close()
+	load(cold, append(append([]ingestRow(nil), initial...), flatten(batches)...), true)
+	start = time.Now()
+	coldOut, _, err := cold.Evaluate(ctx, q, liveDB(cold))
+	if err != nil {
+		ingestFatal(w, err)
+	}
+	res.ColdEvalNs = time.Since(start).Nanoseconds()
+	if coldOut.Size() != out.Size() {
+		fmt.Fprintf(os.Stderr, "cqbench: %s: incremental engine answered %d tuples, rebuilt engine %d — correctness bug\n",
+			w.name, out.Size(), coldOut.Size())
+		os.Exit(1)
+	}
+	if res.ColdEvalNs > 0 {
+		res.RefreshVsRebuild = float64(res.WarmEvalNs) / float64(res.ColdEvalNs)
+	}
+
+	st := inc.EpochStats()
+	res.IncrementalMemos = st.IncrementalMemos
+	res.SweptBuffers = st.SweptBuffers
+	return res
+}
+
+// liveDB pins nothing: Evaluate pins the epoch itself for the duration.
+func liveDB(eng *cqbound.Engine) *cqbound.Database {
+	snap := eng.Snapshot()
+	defer snap.Close()
+	return snap.DB()
+}
+
+func flatten(batches [][]ingestRow) []ingestRow {
+	var out []ingestRow
+	for _, b := range batches {
+		out = append(out, b...)
+	}
+	return out
+}
+
+func ingestFatal(w workload, err error) {
+	fmt.Fprintf(os.Stderr, "cqbench: %s: %v\n", w.name, err)
+	os.Exit(1)
+}
+
+func printIngestBench(rep *IngestBenchReport, asJSON bool) {
+	if asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fmt.Fprintln(os.Stderr, "cqbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	fmt.Printf("shards=%d gomaxprocs=%d budget=%d\n", rep.Shards, rep.GOMAXPROCS, rep.BudgetBytes)
+	for _, w := range rep.Workloads {
+		fmt.Printf("  %-14s rows=%d (+%d in %d batches) commit=%dns/batch ingest=%.0f rows/s\n",
+			w.Name, w.TotalRows, w.DeltaRows, w.Batches, w.CommitNsPerBatch, w.IngestRowsPerSec)
+		fmt.Printf("    refresh: warm=%dns cold=%dns (%.2fx) out=%d incmemos=%d swept=%d readers=%d\n",
+			w.WarmEvalNs, w.ColdEvalNs, w.RefreshVsRebuild, w.OutputTuples,
+			w.IncrementalMemos, w.SweptBuffers, w.ReaderSnapshots)
+	}
+}

@@ -35,6 +35,13 @@
 // sides run at that shared forcing budget). The recorded document lives
 // in BENCH_stream.json.
 //
+// With -ingestbench it measures the transactional write path on the
+// scaled workloads: delta batches committed through the epoch-based Txn
+// API while a concurrent reader pins snapshots — batch-apply throughput
+// (memo maintenance included) and the incremental-vs-rebuild cost of the
+// first post-ingest evaluation. The recorded document lives in
+// BENCH_ingest.json.
+//
 // Usage:
 //
 //	cqbench -list
@@ -44,6 +51,7 @@
 //	cqbench -shardbench [-json] [-shards N] [-skew F] [-membudget N]
 //	cqbench -spillbench [-json] [-shards N] [-membudget N]
 //	cqbench -streambench [-json] [-shards N] [-membudget N]
+//	cqbench -ingestbench [-json] [-shards N] [-membudget N]
 package main
 
 import (
@@ -64,6 +72,7 @@ func main() {
 	shardbench := flag.Bool("shardbench", false, "benchmark sharded vs single-shard execution on scaled workloads")
 	spillbench := flag.Bool("spillbench", false, "sweep memory budgets (unlimited vs 1/2 vs 1/4 of peak resident bytes) over the scaled workloads")
 	streambench := flag.Bool("streambench", false, "compare materialized vs streamed executors at batch sizes 64/1024/8192 on the scaled workloads")
+	ingestbench := flag.Bool("ingestbench", false, "measure transactional batch-apply throughput and incremental-vs-rebuild memo refresh on the scaled workloads")
 	shards := flag.Int("shards", 0, "partition count for sharded runs (0 = default 16)")
 	skew := flag.Float64("skew", 0, "hot-shard split fraction for sharded runs (0 = default 0.25, negative disables)")
 	membudget := flag.Int64("membudget", 0, "resident-set budget in bytes for sharded/spill runs (0 = unlimited; with -spillbench, overrides the derived sweep)")
@@ -80,6 +89,8 @@ func main() {
 	}
 
 	switch {
+	case *ingestbench:
+		printIngestBench(runIngestBench(*shards, *membudget), *jsonOut)
 	case *streambench:
 		printStreamBench(runStreamBench(*shards, *membudget), *jsonOut)
 	case *spillbench:

@@ -166,15 +166,31 @@ type (
 	EvalStats = eval.Stats
 )
 
-// V interns a string as a Value. Relations also intern directly from
-// strings via Relation.Add.
+// V interns a string as a Value in the process-wide default dictionary —
+// a convenience for single-engine use. Relations also intern directly from
+// strings via Relation.Add (through their own dictionary), and an Engine's
+// transactions intern in the engine's private dictionary (Engine.Dict).
 func V(s string) Value { return relation.V(s) }
 
-// ValueDict returns the process-wide dictionary every Value is interned in.
+// ValueDict returns the process-wide default dictionary: the one V,
+// Value.String, and every free-standing relation intern in. Engines own
+// private dictionaries (Engine.Dict); values from different dictionaries
+// are not comparable.
 func ValueDict() *Dict { return relation.DefaultDict() }
 
-// NewRelation creates an empty relation with the given attribute names.
+// NewDict returns a fresh, empty dictionary for callers that build
+// relation sets isolated from the process-wide default.
+func NewDict() *Dict { return relation.NewDict() }
+
+// NewRelation creates an empty relation with the given attribute names,
+// interning in the default dictionary.
 func NewRelation(name string, attrs ...string) *Relation { return relation.New(name, attrs...) }
+
+// NewRelationIn is NewRelation with an explicit dictionary: Add interns
+// there, and String resolves through it.
+func NewRelationIn(name string, d *Dict, attrs ...string) *Relation {
+	return relation.NewIn(name, d, attrs...)
+}
 
 // RelationsEqual reports whether two relations hold the same set of tuples
 // (attribute names are ignored; arity must match).
@@ -182,6 +198,10 @@ func RelationsEqual(r, s *Relation) bool { return relation.Equal(r, s) }
 
 // NewDatabase creates an empty database.
 func NewDatabase() *Database { return database.New() }
+
+// NewDatabaseIn creates an empty database whose relations intern in the
+// given dictionary.
+func NewDatabaseIn(d *Dict) *Database { return database.NewIn(d) }
 
 // Evaluate computes Q(D) with the project-early plan of Corollary 4.8.
 func Evaluate(q *Query, db *Database) (*Relation, error) {

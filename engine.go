@@ -2,10 +2,13 @@ package cqbound
 
 import (
 	"context"
+	"strconv"
 	"sync"
+	"sync/atomic"
 
 	"cqbound/internal/batch"
 	"cqbound/internal/core"
+	"cqbound/internal/database"
 	"cqbound/internal/lru"
 	"cqbound/internal/plan"
 	"cqbound/internal/pool"
@@ -55,6 +58,30 @@ type Engine struct {
 	spill    *spill.Governor
 
 	stream *batch.Metrics
+
+	// Transactional store (txn.go). txMu serializes commits and compactions;
+	// epochMu guards the epoch list, the live pointer, the byDB lookup and
+	// reader pin transitions. dict is the engine's private dictionary —
+	// swapped only by Compact, hence the atomic pointer (the spill governor's
+	// aux hook reads it without a lock). dedup holds the writer-owned
+	// tuple→row maps per relation chain, touched only under txMu.
+	txMu      sync.Mutex
+	epochMu   sync.Mutex
+	dict      atomic.Pointer[relation.Dict]
+	dedup     map[string]relation.Dedup
+	live      *epochState
+	epochs    []*epochState
+	byDB      map[*database.Database]*epochState
+	retention int
+
+	// Epoch lifecycle counters (EpochStats).
+	commits     atomic.Int64
+	retiredEps  atomic.Int64
+	sweptBufs   atomic.Int64
+	sweptBytes  atomic.Int64
+	incMemos    atomic.Int64
+	rebuiltRels atomic.Int64
+	compactions atomic.Int64
 
 	// Staged by options, merged into sharding by NewEngine.
 	shardingOn   bool
@@ -256,10 +283,25 @@ func NewEngine(opts ...Option) *Engine {
 	e := &Engine{
 		analyses: lru.New[*analysisEntry](maxCacheEntries),
 		plans:    lru.New[*planEntry](maxCacheEntries),
+		dedup:    make(map[string]relation.Dedup),
 	}
 	for _, opt := range opts {
 		opt(e)
 	}
+	// Every engine owns a private dictionary and an initial empty epoch:
+	// values ingested through transactions intern here, never in the
+	// process-wide default, so concurrent engines cannot cross-contaminate
+	// IDs (and one engine parking its dictionary cannot race another's
+	// lookups). Free-standing databases handed to Evaluate keep resolving
+	// through the default dictionary as before.
+	e.dict.Store(relation.NewDict())
+	if e.retention < 1 {
+		e.retention = 1
+	}
+	live := &epochState{epoch: 1, db: database.NewIn(e.dict.Load()).Next(1, nil)}
+	e.live = live
+	e.epochs = []*epochState{live}
+	e.byDB = map[*database.Database]*epochState{live.db: live}
 	if e.memBudget > 0 {
 		e.spill = spill.NewGovernor(e.memBudget, e.spillDir)
 		if e.dictSpill {
@@ -269,12 +311,18 @@ func NewEngine(opts ...Option) *Engine {
 				if err != nil {
 					return 0
 				}
-				freed, err := relation.DefaultDict().Park(path)
+				freed, err := e.parkableDict().Park(path)
 				if err != nil {
 					return 0
 				}
 				return freed
-			}, relation.DefaultDict().Unpark)
+			}, func() {
+				// Unpark both candidates: the parkable choice may have
+				// changed between eviction and restore (ingest filled the
+				// engine dictionary). Unpark is a no-op when resident.
+				e.dict.Load().Unpark()
+				relation.DefaultDict().Unpark()
+			})
 		}
 	}
 	if e.shardingOn {
@@ -392,24 +440,75 @@ func (e *Engine) Explain(q *Query) (*Plan, error) {
 }
 
 // Evaluate computes Q(D) under the planned strategy. For the project-early
-// strategy the atom order is re-derived from db's cardinality statistics on
-// every call (the structural plan stays cached; the order is data-dependent
-// and cheap). When the engine was built WithSharding, joins and projections
-// over relations above the row threshold run partition-parallel.
-// Cancellation of ctx aborts evaluation mid-join.
+// strategy over a free-standing database the atom order is re-derived from
+// db's cardinality statistics on every call (the structural plan stays
+// cached; the order is data-dependent and cheap); for an epoch snapshot the
+// full data-dependent plan is cached per (query, epoch) — a snapshot's
+// statistics never change, and a committed batch that inverts a skew gets a
+// fresh plan under the new epoch's key instead of a stale one. When db is
+// an epoch snapshot of this engine, the epoch is pinned for the duration:
+// the retirement sweep will not reclaim its buffers mid-evaluation. When
+// the engine was built WithSharding, joins and projections over relations
+// above the row threshold run partition-parallel. Cancellation of ctx
+// aborts evaluation mid-join.
 func (e *Engine) Evaluate(ctx context.Context, q *Query, db *Database) (*Relation, EvalStats, error) {
-	p, err := e.Explain(q)
+	if st := e.pinEpoch(db); st != nil {
+		defer e.unpinEpoch(st)
+	}
+	p, err := e.planFor(q, db)
 	if err != nil {
 		return nil, EvalStats{}, err
-	}
-	if p.Strategy == StrategyProjectEarly {
-		ordered := *p
-		ordered.AtomOrder = plan.OrderAtoms(q, db)
-		p = &ordered
 	}
 	opts, scope := e.evalOptions()
 	defer scope.Close()
 	return plan.ExecuteOpts(ctx, p, q, db, opts)
+}
+
+// planFor returns the evaluation plan for q over db. Epoch snapshots cache
+// the complete cardinality-aware plan under (query text, epoch) — the
+// snapshot is immutable, so the data-dependent atom order is as cacheable
+// as the structural facts, and retiring the epoch prunes its entries.
+// Free-standing databases keep the pre-epoch behavior: structural plan from
+// the text-keyed cache, atom order re-derived per call.
+func (e *Engine) planFor(q *Query, db *Database) (*plan.Plan, error) {
+	if db == nil || db.Epoch() == 0 {
+		p, err := e.Explain(q)
+		if err != nil {
+			return nil, err
+		}
+		if p.Strategy == StrategyProjectEarly {
+			ordered := *p
+			ordered.AtomOrder = plan.OrderAtoms(q, db)
+			p = &ordered
+		}
+		return p, nil
+	}
+	key := q.String() + epochKeySuffix(db.Epoch())
+	e.mu.Lock()
+	ent, ok := e.plans.Get(key)
+	e.mu.Unlock()
+	if ok {
+		return ent.p, ent.err
+	}
+	p, err := plan.ChooseForDB(q, db)
+	e.mu.Lock()
+	e.plans.Put(key, &planEntry{p: p, err: err})
+	e.mu.Unlock()
+	return p, err
+}
+
+// ExplainDB returns the plan Evaluate would use for q over db, including
+// the cardinality-dependent atom order — for an epoch snapshot, the cached
+// per-(query, epoch) plan. The returned plan is shared; do not modify it.
+func (e *Engine) ExplainDB(q *Query, db *Database) (*Plan, error) {
+	return e.planFor(q, db)
+}
+
+// epochKeySuffix is appended to a query's text to form its per-epoch plan
+// cache key. NUL cannot appear in canonical query text, so suffixed keys
+// never collide with the structural (text-only) entries of Explain.
+func epochKeySuffix(epoch uint64) string {
+	return "\x00@" + strconv.FormatUint(epoch, 10)
 }
 
 // evalOptions returns the sharding options for one evaluation. Under a
@@ -471,6 +570,9 @@ func (e *Engine) EvaluateBatch(ctx context.Context, queries []*Query, db *Databa
 // cyclic queries. The engine's sharding configuration applies as in
 // Evaluate.
 func (e *Engine) EvaluateStrategy(ctx context.Context, s Strategy, q *Query, db *Database) (*Relation, EvalStats, error) {
+	if st := e.pinEpoch(db); st != nil {
+		defer e.unpinEpoch(st)
+	}
 	forced := &plan.Plan{Strategy: s}
 	if s == StrategyProjectEarly {
 		forced.AtomOrder = plan.OrderAtoms(q, db)

@@ -6,21 +6,81 @@ package database
 
 import (
 	"fmt"
+	"sort"
 
 	"cqbound/internal/cq"
 	"cqbound/internal/graph"
 	"cqbound/internal/relation"
 )
 
-// Database is a set of uniquely named relations.
+// Database is a set of uniquely named relations. A database built by New
+// is mutable and resolves values through the process-wide dictionary; a
+// database published by an Engine commit is an immutable epoch snapshot —
+// Epoch reports which — holding frozen relations interned in the engine's
+// private dictionary.
 type Database struct {
 	rels  map[string]*relation.Relation
 	order []string
+
+	// dict is the dictionary the stored relations intern in; nil means the
+	// process-wide default. epoch is the engine-assigned snapshot number;
+	// 0 marks a free-standing (non-epoch) database.
+	dict  *relation.Dict
+	epoch uint64
 }
 
 // New returns an empty database.
 func New() *Database {
 	return &Database{rels: make(map[string]*relation.Relation)}
+}
+
+// NewIn returns an empty database whose relations intern in the given
+// dictionary — the constructor the Engine uses for its epoch snapshots.
+func NewIn(dict *relation.Dict) *Database {
+	d := New()
+	d.dict = dict
+	return d
+}
+
+// Epoch returns the engine-assigned snapshot number, 0 for free-standing
+// databases built by New.
+func (d *Database) Epoch() uint64 { return d.epoch }
+
+// Next returns a successor snapshot at the given epoch: relations in
+// replace override (or, mapped to nil, drop) the current ones by name,
+// entries under names the database does not hold yet are appended in
+// sorted name order, and everything else is carried over by pointer. The
+// receiver is unchanged — pinned readers keep their frozen view.
+func (d *Database) Next(epoch uint64, replace map[string]*relation.Relation) *Database {
+	out := &Database{
+		rels:  make(map[string]*relation.Relation, len(d.rels)+len(replace)),
+		dict:  d.dict,
+		epoch: epoch,
+	}
+	for _, name := range d.order {
+		nr, ok := replace[name]
+		if !ok {
+			nr = d.rels[name]
+		}
+		if nr == nil {
+			continue
+		}
+		out.rels[name] = nr
+		out.order = append(out.order, name)
+	}
+	var added []string
+	for name, nr := range replace {
+		if _, existing := d.rels[name]; existing || nr == nil {
+			continue
+		}
+		added = append(added, name)
+	}
+	sort.Strings(added)
+	for _, name := range added {
+		out.rels[name] = replace[name]
+		out.order = append(out.order, name)
+	}
+	return out
 }
 
 // Add registers a relation; names must be unique.
@@ -99,15 +159,21 @@ func (d *Database) Universe() []relation.Value {
 	for v := range set {
 		out = append(out, v)
 	}
-	relation.SortByString(out)
+	relation.SortByStringIn(d.Dict(), out)
 	return out
 }
 
 // Dict returns the dictionary that interns every value stored in the
 // database's relations. Relations must share one dictionary for joins
-// across them to compare IDs meaningfully, so this is the process-wide
-// dictionary of the relation package.
-func (d *Database) Dict() *relation.Dict { return relation.DefaultDict() }
+// across them to compare IDs meaningfully: free-standing databases share
+// the process-wide dictionary, while epoch snapshots carry their owning
+// Engine's private one.
+func (d *Database) Dict() *relation.Dict {
+	if d.dict != nil {
+		return d.dict
+	}
+	return relation.DefaultDict()
+}
 
 // CheckFDs verifies that the instance satisfies every functional dependency
 // declared on q, returning the first violation found.
@@ -146,14 +212,15 @@ func GaifmanOf(rels ...*relation.Relation) *graph.Graph {
 		if r == nil {
 			continue
 		}
+		dict := r.Dict()
 		r.Each(func(t relation.Tuple) bool {
 			for i := range t {
-				g.EnsureVertex(t[i].String())
+				g.EnsureVertex(dict.String(t[i]))
 			}
 			for i := 0; i < len(t); i++ {
 				for j := i + 1; j < len(t); j++ {
 					if t[i] != t[j] {
-						g.AddEdgeLabels(t[i].String(), t[j].String())
+						g.AddEdgeLabels(dict.String(t[i]), dict.String(t[j]))
 					}
 				}
 			}

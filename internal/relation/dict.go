@@ -234,8 +234,37 @@ func (d *Dict) Len() int {
 	return len(d.strs) + d.parkedLen
 }
 
+// CompactInto builds a new dictionary holding only the strings whose IDs
+// are marked in used (indexed by ID), assigning fresh dense IDs in the old
+// insertion order, and returns it with the old→new ID remapping (indexed by
+// old ID; entries for unused IDs are meaningless). The receiver is left
+// intact — live snapshots that interned against it keep resolving — and is
+// unparked first if it was parked, so a compaction never reads through a
+// stale park file afterwards. Engine.Compact is the caller: it rewrites the
+// live epoch's columns through the remapping and publishes them with the
+// new dictionary, so a long-lived server's string table stops growing
+// monotonically.
+func (d *Dict) CompactInto(used []bool) (*Dict, []Value) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.unparkLocked()
+	nd := NewDict()
+	remap := make([]Value, len(d.strs))
+	for id, s := range d.strs {
+		if id < len(used) && used[id] {
+			nv := Value(len(nd.strs))
+			nd.strs = append(nd.strs, s)
+			nd.ids[s] = nv
+			remap[id] = nv
+		}
+	}
+	return nd, remap
+}
+
 // V interns s in the default dictionary. It is the constructor for Value:
-// relation code uses V("x") where it once used Value("x").
+// relation code uses V("x") where it once used Value("x"). V and
+// Value.String are a single-engine convenience: every Engine owns a private
+// Dict (see Engine.Dict), and values interned here do not resolve there.
 func V(s string) Value { return defaultDict.Intern(s) }
 
 // String resolves the value through the default dictionary.

@@ -41,6 +41,33 @@
 // parent — their column positions or row indices differ from the base, so
 // delegation would serve wrong answers; they build their own memos.
 //
+// # Versions: frozen relations and delta extension
+//
+// The transactional layer (the root package's epoch store) needs relation
+// versions that never change under a reader. Freeze marks a relation
+// immutable — Insert fails, mutation must go through a transaction — and
+// Extend builds the next version from a frozen base plus a delta of new
+// rows (delta.go). The successor reuses the base's backing arrays when it
+// is the first extension of that base and appends in place (old readers
+// are bounded by their own row counts); a second extension of the same
+// base, or one whose base shares or governs its storage, clips to fresh
+// arrays so sibling versions never fork each other's spare capacity.
+//
+// Memoized structures move across versions incrementally: ExtendMemos
+// derives the successor's hash indexes (cloned posting maps, touched keys
+// clipped so the base's lists never grow under a reader) and per-column
+// distinct statistics (set union with the delta) from the base's instead
+// of rebuilding, InstallMemo lets internal/shard install incrementally
+// extended partitions, and EachMemo exposes every entry — stale ones
+// included — so the epoch sweep can reclaim governed buffers that
+// invalidation orphaned. NewDedup/Dedup is the writer-owned tuple→row map
+// that keeps set semantics O(delta) per committed batch.
+//
+// Every relation can also carry a private Dict (NewIn, AdoptDict, Dict):
+// engines intern transactional ingest in their own dictionary, and the
+// process-wide default is only the convenience for free-standing use —
+// Dict.CompactInto supports rewriting a live epoch against a fresh table.
+//
 // # The column-buffer seam
 //
 // Column storage sits behind ColumnBuffer: plain relations hold resident

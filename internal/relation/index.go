@@ -220,6 +220,7 @@ func HashJoin(r, s *Relation, pairs [][2]int) (*Relation, error) {
 	s.Pin()
 	defer s.Unpin()
 	out := New(r.Name+"_j_"+s.Name, concatAttrs(r, s)...)
+	out.dict = r.dict
 	nt := make(Tuple, 0, r.Arity()+s.Arity())
 	var buf []byte
 	for j := 0; j < probe.n; j++ {

@@ -26,11 +26,21 @@ func (t Tuple) Clone() Tuple {
 	return out
 }
 
-// Strings resolves every value of the tuple through the dictionary.
+// Strings resolves every value of the tuple through the default dictionary.
 func (t Tuple) Strings() []string {
+	return t.StringsIn(defaultDict)
+}
+
+// StringsIn resolves every value of the tuple through the given dictionary
+// (nil means the default) — the form used for relations owned by an Engine,
+// whose values are interned in a per-engine Dict.
+func (t Tuple) StringsIn(d *Dict) []string {
+	if d == nil {
+		d = defaultDict
+	}
 	out := make([]string, len(t))
 	for i, v := range t {
-		out[i] = v.String()
+		out[i] = d.String(v)
 	}
 	return out
 }
@@ -104,6 +114,21 @@ type Relation struct {
 	shared bool
 	parent *Relation
 
+	// dict is the dictionary this relation's values are interned in; nil
+	// means the process-wide default. Operators propagate it to their
+	// outputs so printing and string-sorted enumeration resolve through the
+	// owning Engine's dictionary.
+	dict *Dict
+
+	// frozen marks a relation published in an epoch snapshot: Insert
+	// rejects mutation, and ensureStats retains per-column distinct-value
+	// sets so a successor version can extend statistics incrementally.
+	// extended marks a frozen relation that has already grown a successor
+	// in place (Extend): a second Extend of the same base must reallocate
+	// its columns rather than fork the shared spare capacity.
+	frozen   bool
+	extended bool
+
 	// mu guards the memo table (statistics, hash indexes, caller memos)
 	// and the in-flight build markers that make memo builds single-flight.
 	mu       sync.Mutex
@@ -126,6 +151,39 @@ func New(name string, attrs ...string) *Relation {
 		cols:  make([][]Value, len(attrs)),
 	}
 }
+
+// NewIn creates an empty relation whose values will be interned in the
+// given dictionary (nil means the process-wide default): the constructor
+// for relations owned by an Engine. Add interns through it, and String /
+// Values resolve through it.
+func NewIn(name string, d *Dict, attrs ...string) *Relation {
+	r := New(name, attrs...)
+	r.dict = d
+	return r
+}
+
+// Dict returns the dictionary this relation's values resolve through —
+// its own when set, the process-wide default otherwise.
+func (r *Relation) Dict() *Dict {
+	if r.dict != nil {
+		return r.dict
+	}
+	return defaultDict
+}
+
+// AdoptDict records d as the relation's dictionary without touching the
+// stored IDs: for builders that assemble columns already interned in d
+// (NewFromColumns callers, compaction rewrites).
+func (r *Relation) AdoptDict(d *Dict) { r.dict = d }
+
+// Freeze marks the relation immutable: Insert returns an error from now
+// on. Epoch-published relations are frozen so every reader of a snapshot
+// sees exactly the rows that were committed; growth happens by Extend,
+// which builds a frozen successor version instead of mutating.
+func (r *Relation) Freeze() { r.frozen = true }
+
+// Frozen reports whether Freeze was called.
+func (r *Relation) Frozen() bool { return r.frozen }
 
 // NewFromColumns wraps already-built columns as a relation without copying
 // or a dedup pass: cols[c] is attribute c's column and every column must
@@ -363,6 +421,9 @@ func (r *Relation) ensureSeen() map[string]int32 {
 // Insert adds a tuple (copied). It reports whether the tuple was new and
 // returns an error on arity mismatch.
 func (r *Relation) Insert(t Tuple) (bool, error) {
+	if r.frozen {
+		return false, fmt.Errorf("relation %s: frozen (epoch-published); mutate through a transaction", r.Name)
+	}
 	if len(t) != len(r.Attrs) {
 		return false, fmt.Errorf("relation %s: tuple arity %d != %d", r.Name, len(t), len(r.Attrs))
 	}
@@ -399,12 +460,14 @@ func (r *Relation) MustInsert(vals ...Value) {
 	}
 }
 
-// Add interns the strings and inserts them as a tuple, panicking on arity
-// mismatch — the convenience constructor tests and generators use.
+// Add interns the strings (in the relation's dictionary) and inserts them
+// as a tuple, panicking on arity mismatch — the convenience constructor
+// tests and generators use.
 func (r *Relation) Add(vals ...string) {
+	d := r.Dict()
 	t := make(Tuple, len(vals))
 	for i, s := range vals {
-		t[i] = V(s)
+		t[i] = d.Intern(s)
 	}
 	if _, err := r.Insert(t); err != nil {
 		panic(err)
@@ -434,6 +497,7 @@ func (r *Relation) AttrIndex(name string) int {
 // storage copy-on-write.
 func (r *Relation) share(name string, attrs []string) *Relation {
 	out := New(name, attrs...)
+	out.dict = r.dict
 	out.n = r.n
 	if r.buf != nil {
 		// Borrow the governed buffer itself rather than its current arrays:
@@ -478,6 +542,7 @@ func (r *Relation) Rename(name string, attrs ...string) (*Relation, error) {
 // passed to pred is a reused buffer (see Each).
 func (r *Relation) Select(pred func(Tuple) bool) *Relation {
 	out := New(r.Name+"_sel", r.Attrs...)
+	out.dict = r.dict
 	r.Each(func(t Tuple) bool {
 		if pred(t) {
 			out.appendRowUnchecked(t)
@@ -505,6 +570,7 @@ func (r *Relation) ProjectIdx(idx ...int) (*Relation, error) {
 		attrs[i] = name
 	}
 	out := New(r.Name+"_proj", attrs...)
+	out.dict = r.dict
 	out.seen = make(map[string]int32, r.n)
 	r.Pin()
 	defer r.Unpin()
@@ -545,6 +611,7 @@ func (r *Relation) Project(attrs ...string) (*Relation, error) {
 // primitive of partition shards and semijoin outputs.
 func (r *Relation) Gather(name string, rows []int32) *Relation {
 	out := New(name, r.Attrs...)
+	out.dict = r.dict
 	out.n = len(rows)
 	r.Pin()
 	defer r.Unpin()
@@ -577,6 +644,9 @@ func GatherMulti(name string, attrs []string, srcs []*Relation, rows [][]int32) 
 	for i, src := range srcs {
 		if src.Arity() != len(attrs) {
 			return nil, fmt.Errorf("relation: gather source %s has arity %d, want %d", src.Name, src.Arity(), len(attrs))
+		}
+		if out.dict == nil {
+			out.dict = src.dict
 		}
 		total += len(rows[i])
 	}
@@ -614,6 +684,9 @@ func Concat(name string, attrs []string, parts ...*Relation) (*Relation, error) 
 	for _, p := range parts {
 		if p.Arity() != len(attrs) {
 			return nil, fmt.Errorf("relation: concat arity mismatch: part %s has %d attrs, want %d", p.Name, p.Arity(), len(attrs))
+		}
+		if out.dict == nil {
+			out.dict = p.dict
 		}
 		total += p.n
 	}
@@ -654,6 +727,7 @@ func (r *Relation) ProjectView(name string, attrs []string, idx ...int) (*Relati
 		seen[j] = true
 	}
 	out := New(name, attrs...)
+	out.dict = r.dict
 	out.n = r.n
 	d := r.data()
 	for i, j := range idx {
@@ -678,6 +752,7 @@ func (r *Relation) Slice(name string, lo, hi int) (*Relation, error) {
 		return nil, fmt.Errorf("relation %s: slice [%d,%d) out of range for %d rows", r.Name, lo, hi, r.n)
 	}
 	out := New(name, r.Attrs...)
+	out.dict = r.dict
 	out.n = hi - lo
 	d := r.data()
 	for c := range d {
@@ -696,6 +771,7 @@ func Union(r, s *Relation) (*Relation, error) {
 		return nil, fmt.Errorf("relation: union arity mismatch %d vs %d", r.Arity(), s.Arity())
 	}
 	out := New(r.Name+"_u_"+s.Name, r.Attrs...)
+	out.dict = r.dict
 	var err error
 	add := func(t Tuple) bool {
 		_, err = out.Insert(t)
@@ -713,6 +789,7 @@ func Union(r, s *Relation) (*Relation, error) {
 // prefixed with its name when they clash.
 func Product(r, s *Relation) *Relation {
 	out := New(r.Name+"_x_"+s.Name, concatAttrs(r, s)...)
+	out.dict = r.dict
 	nt := make(Tuple, 0, r.Arity()+s.Arity())
 	for i := 0; i < r.n; i++ {
 		for j := 0; j < s.n; j++ {
@@ -880,16 +957,25 @@ func (r *Relation) Values() []Value {
 	for v := range set {
 		out = append(out, v)
 	}
-	SortByString(out)
+	SortByStringIn(r.Dict(), out)
 	return out
 }
 
-// SortByString sorts values by their interned strings, resolving each
-// string once instead of per comparison.
+// SortByString sorts values by their strings in the default dictionary,
+// resolving each string once instead of per comparison.
 func SortByString(vals []Value) {
+	SortByStringIn(defaultDict, vals)
+}
+
+// SortByStringIn sorts values by their interned strings in the given
+// dictionary (nil means the default).
+func SortByStringIn(d *Dict, vals []Value) {
+	if d == nil {
+		d = defaultDict
+	}
 	strs := make([]string, len(vals))
 	for i, v := range vals {
-		strs[i] = v.String()
+		strs[i] = d.String(v)
 	}
 	sort.Sort(&byResolvedString{vals, strs})
 }
@@ -930,8 +1016,9 @@ func (r *Relation) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "%s(%s) [%d tuples]", r.Name, strings.Join(r.Attrs, ","), r.Size())
 	if r.Size() <= 16 {
+		d := r.Dict()
 		r.Each(func(t Tuple) bool {
-			fmt.Fprintf(&b, "\n  (%s)", strings.Join(t.Strings(), ","))
+			fmt.Fprintf(&b, "\n  (%s)", strings.Join(t.StringsIn(d), ","))
 			return true
 		})
 	}

@@ -1,0 +1,74 @@
+package shard
+
+// Incremental partition maintenance for epoch-published relations: when a
+// commit extends a relation by a delta segment, the successor's hash
+// partitions are derived from the base's memoized ones instead of
+// re-bucketing the whole relation. Shards the delta does not touch are
+// reused by pointer — the epoch-retirement sweep keys on exactly this
+// sharing to discard only the buffers no surviving epoch can reach.
+
+import (
+	"fmt"
+
+	"cqbound/internal/relation"
+	"cqbound/internal/spill"
+)
+
+// ExtendPartitions derives next's memoized hash partitions from prev's:
+// for every valid partition memo of prev (key format shard:<col>:<P>),
+// the delta rows [prev.Size(), next.Size()) are bucketed by ShardOf,
+// untouched shards carry over by pointer, and touched shards concatenate
+// the old shard with the delta's rows into a fresh relation registered
+// with g (nil g leaves them ungoverned, like Partition). The derived
+// slices are installed in next's memo table, so the first evaluation of
+// the new epoch finds its partitions warm. Returns how many partition
+// memos were extended. The caller (the Engine's commit path) serializes
+// calls and guarantees next extends prev.
+func ExtendPartitions(prev, next *relation.Relation, g *spill.Governor) int {
+	oldN, newN := prev.Size(), next.Size()
+	count := 0
+	prev.EachMemo(func(key string, v any, valid bool) bool {
+		if !valid {
+			return true
+		}
+		var kc, p int
+		if n, err := fmt.Sscanf(key, "shard:%d:%d", &kc, &p); n != 2 || err != nil {
+			return true
+		}
+		shards, ok := v.([]*relation.Relation)
+		if !ok || len(shards) != p || kc < 0 || kc >= next.Arity() {
+			return true
+		}
+		col := next.Column(kc)
+		addRows := make([][]int32, p)
+		for i := oldN; i < newN; i++ {
+			k := ShardOf(col[i], p)
+			addRows[k] = append(addRows[k], int32(i))
+		}
+		out := make([]*relation.Relation, p)
+		for k := 0; k < p; k++ {
+			switch {
+			case len(addRows[k]) == 0:
+				// Untouched: the successor's shard IS the base's. A reader
+				// of either epoch probes the same governed buffer, and the
+				// retirement sweep sees it reachable from the survivor.
+				out[k] = shards[k]
+			case shards[k].Size() == 0:
+				ns := next.Gather(next.Name, addRows[k])
+				ns.Govern(g)
+				out[k] = ns
+			default:
+				ns, err := relation.Concat(next.Name, shards[k].Attrs, shards[k], next.Gather(next.Name, addRows[k]))
+				if err != nil {
+					return true // arities always agree; skip defensively
+				}
+				ns.Govern(g)
+				out[k] = ns
+			}
+		}
+		next.InstallMemo(key, out)
+		count++
+		return true
+	})
+	return count
+}

@@ -56,6 +56,15 @@
 // and spill directory therefore plateau at the base partitions
 // (Stats.RegisteredBuffers makes this observable).
 //
+// Under the engine's epoch store, base partitions retire with their
+// epoch: a committed batch installs extended partitions for the new
+// version (untouched shards keep their registration, replaced ones get a
+// fresh one), and the retirement sweep Discards every buffer reachable
+// only from reclaimed epochs — including partition memos that an earlier
+// design left orphaned in the registry after invalidation. Registered
+// buffers and bytes on disk thus return to the live snapshot's footprint
+// after each epoch drains, which the regression tests assert.
+//
 // # What is never spilled
 //
 // Only registered column buffers spill. Hash indexes, dedup maps, column
