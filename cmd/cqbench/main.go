@@ -35,6 +35,14 @@
 // sides run at that shared forcing budget). The recorded document lives
 // in BENCH_stream.json.
 //
+// With -tracebench it prices the observability layer on the scaled
+// workloads: each runs on a plain engine and on one with WithTracing
+// (full span tree, per-query stats deltas, sink emission per Evaluate)
+// and the report records the wall-clock overhead, targeted at <=3% at the
+// default batch size. -tracegate F fails the run when a star or path
+// workload exceeds the fraction F. The recorded document lives in
+// BENCH_trace.json.
+//
 // With -ingestbench it measures the transactional write path on the
 // scaled workloads: delta batches committed through the epoch-based Txn
 // API while a concurrent reader pins snapshots — batch-apply throughput
@@ -51,6 +59,7 @@
 //	cqbench -shardbench [-json] [-shards N] [-skew F] [-membudget N]
 //	cqbench -spillbench [-json] [-shards N] [-membudget N]
 //	cqbench -streambench [-json] [-shards N] [-membudget N]
+//	cqbench -tracebench [-json] [-shards N] [-tracegate F]
 //	cqbench -ingestbench [-json] [-shards N] [-membudget N]
 package main
 
@@ -72,6 +81,8 @@ func main() {
 	shardbench := flag.Bool("shardbench", false, "benchmark sharded vs single-shard execution on scaled workloads")
 	spillbench := flag.Bool("spillbench", false, "sweep memory budgets (unlimited vs 1/2 vs 1/4 of peak resident bytes) over the scaled workloads")
 	streambench := flag.Bool("streambench", false, "compare materialized vs streamed executors at batch sizes 64/1024/8192 on the scaled workloads")
+	tracebench := flag.Bool("tracebench", false, "measure tracing overhead (WithTracing vs plain) on the scaled workloads")
+	tracegate := flag.Float64("tracegate", 0, "with -tracebench, fail when a star/path workload's tracing overhead exceeds this fraction (0 disables)")
 	ingestbench := flag.Bool("ingestbench", false, "measure transactional batch-apply throughput and incremental-vs-rebuild memo refresh on the scaled workloads")
 	shards := flag.Int("shards", 0, "partition count for sharded runs (0 = default 16)")
 	skew := flag.Float64("skew", 0, "hot-shard split fraction for sharded runs (0 = default 0.25, negative disables)")
@@ -91,6 +102,16 @@ func main() {
 	switch {
 	case *ingestbench:
 		printIngestBench(runIngestBench(*shards, *membudget), *jsonOut)
+	case *tracebench:
+		rep := runTraceBench(*shards)
+		printTraceBench(rep, *jsonOut)
+		if *tracegate > 0 {
+			if err := checkTraceGate(rep, *tracegate); err != nil {
+				fmt.Fprintln(os.Stderr, "cqbench:", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "cqbench: tracing overhead within the %.0f%% gate\n", *tracegate*100)
+		}
 	case *streambench:
 		printStreamBench(runStreamBench(*shards, *membudget), *jsonOut)
 	case *spillbench:

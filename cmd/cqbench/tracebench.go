@@ -1,0 +1,156 @@
+package main
+
+// The trace benchmark prices the observability layer: each scaled
+// workload runs on two engines sharing one database — plain, and with
+// WithTracing, where every evaluation builds the full span tree, private
+// stats deltas and sink emission — and the report records the wall-clock
+// ratio. Tracing is meant to be cheap enough to leave on (the span count
+// per query is tens, not thousands), so the interesting column is
+// overhead, targeted at ≤3% at the default batch size. The recorded
+// document lives in BENCH_trace.json; -tracegate F turns the report into
+// a regression gate failing when a star or path workload exceeds F.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+
+	cqbound "cqbound"
+)
+
+// traceBenchPairs is how many alternating untraced/traced evaluation
+// pairs each workload gets. The reported per-mode times are the minimum
+// single-run wall times; the overhead is the median of the per-pair
+// traced/untraced ratios. Back-to-back pairing cancels slow drift (heap
+// growth, neighboring load) that hits both modes alike, and the median
+// discards pairs where a burst hit only one of the two runs — either
+// alone (a plain mean, or a ratio of means) lets scheduler noise dwarf a
+// few-percent overhead on a small machine.
+const traceBenchPairs = 11
+
+// TraceRun is one workload's traced-vs-untraced measurement.
+type TraceRun struct {
+	Name  string `json:"name"`
+	Query string `json:"query"`
+	// UntracedNsPerOp / TracedNsPerOp are the best (minimum) per-op wall
+	// times over the alternating rounds.
+	UntracedNsPerOp int64 `json:"untraced_ns_per_op"`
+	TracedNsPerOp   int64 `json:"traced_ns_per_op"`
+	// Overhead is the median per-pair traced/untraced ratio minus one;
+	// negative means noise, not speedup.
+	Overhead     float64 `json:"overhead"`
+	Spans        int     `json:"spans"`
+	OutputTuples int     `json:"output_tuples"`
+}
+
+// TraceBenchReport is the top-level JSON document of -tracebench.
+type TraceBenchReport struct {
+	Shards     int        `json:"shards"`
+	GOMAXPROCS int        `json:"gomaxprocs"`
+	BatchSize  int        `json:"batch_size"`
+	Workloads  []TraceRun `json:"workloads"`
+}
+
+// runTraceBench measures tracing overhead on the scaled workloads at the
+// default batch size.
+func runTraceBench(shards int) *TraceBenchReport {
+	report := &TraceBenchReport{Shards: shards, GOMAXPROCS: runtime.GOMAXPROCS(0), BatchSize: 1024}
+	for _, w := range scaledWorkloads() {
+		report.Workloads = append(report.Workloads, traceRun(w, shards))
+	}
+	return report
+}
+
+// traceRun times one workload untraced and traced on one shared database
+// (shared, so both engines probe the same memoized partitions and
+// indexes) in alternating rounds, keeping the minimum of each mode.
+func traceRun(w workload, shards int) TraceRun {
+	ctx := context.Background()
+	db := w.db()
+	q := cqbound.MustParse(w.text)
+	plain := cqbound.NewEngine(cqbound.WithSharding(benchShardThreshold, shards))
+	traced := cqbound.NewEngine(cqbound.WithSharding(benchShardThreshold, shards), cqbound.WithTracing())
+	fail := func(mode string, err error) {
+		fmt.Fprintf(os.Stderr, "cqbench: %s (%s): %v\n", w.name, mode, err)
+		os.Exit(1)
+	}
+	timeOne := func(eng *cqbound.Engine, mode string) int64 {
+		start := time.Now()
+		if _, _, err := eng.Evaluate(ctx, q, db); err != nil {
+			fail(mode, err)
+		}
+		return time.Since(start).Nanoseconds()
+	}
+	// Warm both engines (plan cache, partitions, memoized indexes) so the
+	// timed rounds compare steady-state evaluation.
+	outU, _, err := plain.Evaluate(ctx, q, db)
+	if err != nil {
+		fail("untraced warmup", err)
+	}
+	outT, _, tc, err := traced.EvaluateTraced(ctx, q, db)
+	if err != nil {
+		fail("traced warmup", err)
+	}
+	if !cqbound.RelationsEqual(outU, outT) {
+		fail("compare", fmt.Errorf("traced output %d tuples, untraced %d — correctness bug", outT.Size(), outU.Size()))
+	}
+	run := TraceRun{Name: w.name, Query: w.text, Spans: tc.SpanCount(), OutputTuples: outU.Size()}
+	ratios := make([]float64, 0, traceBenchPairs)
+	for pair := 0; pair < traceBenchPairs; pair++ {
+		nsU := timeOne(plain, "untraced")
+		nsT := timeOne(traced, "traced")
+		if run.UntracedNsPerOp == 0 || nsU < run.UntracedNsPerOp {
+			run.UntracedNsPerOp = nsU
+		}
+		if run.TracedNsPerOp == 0 || nsT < run.TracedNsPerOp {
+			run.TracedNsPerOp = nsT
+		}
+		if nsU > 0 {
+			ratios = append(ratios, float64(nsT)/float64(nsU))
+		}
+	}
+	if len(ratios) > 0 {
+		sort.Float64s(ratios)
+		run.Overhead = ratios[len(ratios)/2] - 1
+	}
+	return run
+}
+
+// checkTraceGate fails when a star or path workload's tracing overhead
+// exceeds limit (a fraction: 0.10 = 10%) — the CI regression gate. Other
+// workloads report but don't gate: the star and path shapes are the
+// streamed multi-stage pipelines where per-span cost would compound.
+func checkTraceGate(rep *TraceBenchReport, limit float64) error {
+	for _, r := range rep.Workloads {
+		if !strings.HasPrefix(r.Name, "star") && !strings.HasPrefix(r.Name, "path") {
+			continue
+		}
+		if r.Overhead > limit {
+			return fmt.Errorf("%s: tracing overhead %.1f%% exceeds the %.0f%% gate (untraced %dns, traced %dns)",
+				r.Name, r.Overhead*100, limit*100, r.UntracedNsPerOp, r.TracedNsPerOp)
+		}
+	}
+	return nil
+}
+
+func printTraceBench(rep *TraceBenchReport, asJSON bool) {
+	if asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fmt.Fprintln(os.Stderr, "cqbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	fmt.Printf("shards=%d gomaxprocs=%d batch=%d\n", rep.Shards, rep.GOMAXPROCS, rep.BatchSize)
+	for _, r := range rep.Workloads {
+		fmt.Printf("  %-14s untraced=%-10dns traced=%-10dns overhead=%+.1f%% spans=%d out=%d\n",
+			r.Name, r.UntracedNsPerOp, r.TracedNsPerOp, r.Overhead*100, r.Spans, r.OutputTuples)
+	}
+}

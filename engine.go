@@ -15,6 +15,7 @@ import (
 	"cqbound/internal/relation"
 	"cqbound/internal/shard"
 	"cqbound/internal/spill"
+	"cqbound/internal/trace"
 )
 
 // Planner types (internal/plan).
@@ -82,6 +83,12 @@ type Engine struct {
 	incMemos    atomic.Int64
 	rebuiltRels atomic.Int64
 	compactions atomic.Int64
+
+	// Observability (observe.go): engine-wide tracing switch, trace
+	// sinks, and the lazily-built metric registry.
+	tracingOn bool
+	sinks     []trace.Sink
+	metrics   atomic.Pointer[metricsState]
 
 	// Staged by options, merged into sharding by NewEngine.
 	shardingOn   bool
@@ -354,13 +361,16 @@ func NewEngine(opts ...Option) *Engine {
 
 // ResetStats zeroes the engine's cumulative counters — the analysis/plan
 // cache hit/miss counts (CacheStats), the exchange-routing counters
-// (ShardStats), the streamed-pipeline counters (StreamStats), and the
-// spill governor's eviction/reload/pin-wait counters (SpillStats) — so
-// callers can attribute counts to a window, e.g. one
-// query in a benchmark sweep, instead of the engine's lifetime. Gauges
-// that describe present state (cached entries, resident and on-disk
-// bytes, currently parked shards) are left alone; the peak-resident
-// high-water mark restarts from current residency.
+// (ShardStats), the streamed-pipeline counters (StreamStats), the spill
+// governor's eviction/reload/pin-wait counters (SpillStats), and the
+// epoch lifecycle counters (EpochStats: commits, retired epochs, swept
+// buffers and bytes, incremental memos, rebuilt relations, compactions)
+// — so callers can attribute counts to a window, e.g. one query in a
+// benchmark sweep, instead of the engine's lifetime. Gauges that
+// describe present state survive: cached entries, resident and on-disk
+// bytes, currently parked shards, and the EpochStats gauges LiveEpoch,
+// ActiveEpochs, PinnedReaders and DictLen. The peak-resident high-water
+// mark restarts from current residency.
 func (e *Engine) ResetStats() {
 	e.mu.Lock()
 	e.analyses.ResetStats()
@@ -371,6 +381,43 @@ func (e *Engine) ResetStats() {
 	}
 	e.stream.Reset()
 	e.spill.ResetCounters()
+	e.commits.Store(0)
+	e.retiredEps.Store(0)
+	e.sweptBufs.Store(0)
+	e.sweptBytes.Store(0)
+	e.incMemos.Store(0)
+	e.rebuiltRels.Store(0)
+	e.compactions.Store(0)
+}
+
+// EngineStats is one point-in-time copy of every engine stats family:
+// the cache hit/miss counters plus the four execution families. The
+// embedded structs are the same values the per-family accessors return.
+type EngineStats struct {
+	// CacheHits / CacheMisses are the analysis- and plan-cache lookup
+	// counters of CacheStats; CacheSize is the current entry count.
+	CacheHits   uint64
+	CacheMisses uint64
+	CacheSize   int
+	Shard       ShardStats
+	Stream      StreamStats
+	Spill       SpillStats
+	Epoch       EpochStats
+}
+
+// Stats returns every stats family in one snapshot — the one-call
+// counterpart of CacheStats + ShardStats + StreamStats + SpillStats +
+// EpochStats. Families the engine was not configured for read all zeros.
+func (e *Engine) Stats() EngineStats {
+	s := EngineStats{
+		Shard:  e.ShardStats(),
+		Stream: e.StreamStats(),
+		Spill:  e.SpillStats(),
+		Epoch:  e.EpochStats(),
+	}
+	s.CacheHits, s.CacheMisses = e.CacheStats()
+	s.CacheSize = e.CacheSize()
+	return s
 }
 
 // CacheSize reports how many distinct queries the engine currently holds an
@@ -452,6 +499,10 @@ func (e *Engine) Explain(q *Query) (*Plan, error) {
 // above the row threshold run partition-parallel. Cancellation of ctx
 // aborts evaluation mid-join.
 func (e *Engine) Evaluate(ctx context.Context, q *Query, db *Database) (*Relation, EvalStats, error) {
+	if e.tracingOn {
+		out, st, _, err := e.EvaluateTraced(ctx, q, db)
+		return out, st, err
+	}
 	if st := e.pinEpoch(db); st != nil {
 		defer e.unpinEpoch(st)
 	}
@@ -471,30 +522,52 @@ func (e *Engine) Evaluate(ctx context.Context, q *Query, db *Database) (*Relatio
 // Free-standing databases keep the pre-epoch behavior: structural plan from
 // the text-keyed cache, atom order re-derived per call.
 func (e *Engine) planFor(q *Query, db *Database) (*plan.Plan, error) {
+	p, _, err := e.planForHit(q, db)
+	return p, err
+}
+
+// planForHit is planFor, also reporting whether the plan-cache lookup hit
+// — the exact per-query cache delta a traced evaluation records (the
+// Evaluate path makes exactly one plan-cache lookup and none against the
+// analysis cache).
+func (e *Engine) planForHit(q *Query, db *Database) (*plan.Plan, bool, error) {
 	if db == nil || db.Epoch() == 0 {
-		p, err := e.Explain(q)
+		key := q.String()
+		e.mu.Lock()
+		ent, hit := e.plans.Get(key)
+		e.mu.Unlock()
+		var p *plan.Plan
+		var err error
+		if hit {
+			p, err = ent.p, ent.err
+		} else {
+			p, err = plan.Choose(q)
+			e.mu.Lock()
+			e.plans.Put(key, &planEntry{p: p, err: err})
+			e.mu.Unlock()
+		}
 		if err != nil {
-			return nil, err
+			return nil, hit, err
 		}
 		if p.Strategy == StrategyProjectEarly {
 			ordered := *p
 			ordered.AtomOrder = plan.OrderAtoms(q, db)
 			p = &ordered
 		}
-		return p, nil
+		return p, hit, nil
 	}
 	key := q.String() + epochKeySuffix(db.Epoch())
 	e.mu.Lock()
 	ent, ok := e.plans.Get(key)
 	e.mu.Unlock()
 	if ok {
-		return ent.p, ent.err
+		return ent.p, true, ent.err
 	}
 	p, err := plan.ChooseForDB(q, db)
 	e.mu.Lock()
 	e.plans.Put(key, &planEntry{p: p, err: err})
 	e.mu.Unlock()
-	return p, err
+	return p, false, err
 }
 
 // ExplainDB returns the plan Evaluate would use for q over db, including

@@ -96,6 +96,20 @@ func (m *Metrics) Snapshot() Stats {
 	}
 }
 
+// AddTo merges this Metrics' counts into dst (both nil-safe). The Engine
+// runs traced evaluations against a private Metrics so the per-query
+// delta is exact, then folds it into the shared engine-wide counters.
+func (m *Metrics) AddTo(dst *Metrics) {
+	if m == nil || dst == nil {
+		return
+	}
+	dst.Batches.Add(m.Batches.Load())
+	dst.Rows.Add(m.Rows.Load())
+	dst.BufferedFallbacks.Add(m.BufferedFallbacks.Load())
+	dst.BytesStreamed.Add(m.BytesStreamed.Load())
+	dst.BytesMaterialized.Add(m.BytesMaterialized.Load())
+}
+
 // Reset zeroes every counter (nil-safe).
 func (m *Metrics) Reset() {
 	if m == nil {

@@ -1,0 +1,145 @@
+package eval
+
+// Per-operator size estimation for the trace layer: the classical
+// System-R independence estimates, computed from the per-column distinct
+// counts the relations maintain — memoized exactly for base relations,
+// sample-estimated (shard.Stream.DistinctEstimate) for large transient
+// intermediates so estimation never rescans what evaluation just built. Traced evaluations
+// record these next to the actual row counts each operator produced —
+// the paper predicts worst-case intermediate sizes from query structure,
+// and these estimates are the per-step refinement a cost-based planner
+// would use, so the trace shows how either relates to reality. Nothing
+// here feeds back into planning (yet); estimation runs only under
+// tracing.
+
+import (
+	"math"
+	"slices"
+
+	"cqbound/internal/shard"
+)
+
+// estimateJoin estimates |l ⋈ r| from the sides' sizes and per-column
+// distinct counts: |l|·|r| / Π over shared attributes of max(V(l,a),
+// V(r,a)) — the containment-of-value-sets assumption. With no shared
+// attribute this is the cross-product size.
+func estimateJoin(l, r shard.Stream) float64 {
+	lAttrs, rAttrs := l.Attrs(), r.Attrs()
+	est := float64(l.Size()) * float64(r.Size())
+	for i, a := range lAttrs {
+		j := slices.Index(rAttrs, a)
+		if j < 0 {
+			continue
+		}
+		if m := math.Max(float64(l.DistinctEstimate(i)), float64(r.DistinctEstimate(j))); m >= 1 {
+			est /= m
+		}
+	}
+	return est
+}
+
+// estimateSemijoin estimates |l ⋉ r|: l's size scaled per shared
+// attribute by the fraction of l's values assumed to appear in r,
+// min(V(l,a), V(r,a)) / V(l,a).
+func estimateSemijoin(l, r shard.Stream) float64 {
+	lAttrs, rAttrs := l.Attrs(), r.Attrs()
+	est := float64(l.Size())
+	for i, a := range lAttrs {
+		j := slices.Index(rAttrs, a)
+		if j < 0 {
+			continue
+		}
+		dl, dr := float64(l.DistinctEstimate(i)), float64(r.DistinctEstimate(j))
+		if dl >= 1 && dr < dl {
+			est *= dr / dl
+		}
+	}
+	return est
+}
+
+// estimateProject estimates a duplicate-eliminating projection of rows
+// input rows onto the kept attributes: the input size capped by the
+// product of the kept columns' distinct counts (the size of the kept
+// domain).
+func estimateProject(in shard.Stream, keep []string) float64 {
+	attrs := in.Attrs()
+	domain := 1.0
+	for _, a := range keep {
+		if i := slices.Index(attrs, a); i >= 0 {
+			domain *= math.Max(1, float64(in.DistinctEstimate(i)))
+		}
+		if domain > float64(in.Size()) {
+			return float64(in.Size())
+		}
+	}
+	return math.Min(float64(in.Size()), domain)
+}
+
+// estimator carries the System-R estimate through a streamed plan, where
+// the running intermediate is a pipeline whose actual cardinality is
+// unknown until the sink drains: rows is the running size estimate and v
+// the per-attribute distinct estimates, both advanced join by join the
+// way a cost-based optimizer would before execution.
+type estimator struct {
+	rows float64
+	v    map[string]float64
+}
+
+// estimatorOf seeds the chain from a materialized first operand.
+func estimatorOf(st shard.Stream) *estimator {
+	e := &estimator{rows: float64(st.Size()), v: make(map[string]float64, len(st.Attrs()))}
+	for i, a := range st.Attrs() {
+		e.v[a] = math.Max(1, float64(st.DistinctEstimate(i)))
+	}
+	return e
+}
+
+// joinWith returns the estimated output size of joining the running
+// intermediate with st and advances the estimator to that state (shared
+// attributes keep the smaller distinct count, new attributes join the
+// map, and every count is capped by the new row estimate).
+func (e *estimator) joinWith(st shard.Stream) float64 {
+	est := e.rows * float64(st.Size())
+	for i, a := range st.Attrs() {
+		dr := math.Max(1, float64(st.DistinctEstimate(i)))
+		if dl, ok := e.v[a]; ok {
+			if m := math.Max(dl, dr); m >= 1 {
+				est /= m
+			}
+			e.v[a] = math.Min(dl, dr)
+		} else {
+			e.v[a] = dr
+		}
+	}
+	e.rows = est
+	for a, d := range e.v {
+		if d > est {
+			e.v[a] = math.Max(1, est)
+		}
+	}
+	return est
+}
+
+// projectTo returns the estimate after a duplicate-eliminating projection
+// onto keep and drops the discarded attributes from the state (nil-safe:
+// the executors advance a nil estimator when tracing is off).
+func (e *estimator) projectTo(keep []string) float64 {
+	if e == nil {
+		return 0
+	}
+	domain := 1.0
+	kept := make(map[string]float64, len(keep))
+	for _, a := range keep {
+		d, ok := e.v[a]
+		if !ok {
+			d = 1
+		}
+		kept[a] = d
+		if domain < e.rows {
+			domain *= d
+		}
+	}
+	e.v = kept
+	e.rows = math.Min(e.rows, domain)
+	return e.rows
+}

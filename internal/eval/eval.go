@@ -7,11 +7,13 @@ import (
 	"fmt"
 	"slices"
 	"sort"
+	"strings"
 
 	"cqbound/internal/cq"
 	"cqbound/internal/database"
 	"cqbound/internal/relation"
 	"cqbound/internal/shard"
+	"cqbound/internal/trace"
 )
 
 // Stats records what a strategy did.
@@ -135,9 +137,15 @@ func JoinProjectExec(ctx context.Context, q *cq.Query, db *database.Database, or
 		return projectNames(ctx, opts, cur, keep)
 	}
 
+	tr := opts.Tracer()
+	fold := stageSpan(opts, trace.KindStage, "join-project fold")
+	defer fold.End()
 	first, err := bindingRelation(body[0], db)
 	if err != nil {
 		return nil, st, err
+	}
+	if tr != nil {
+		scanSpan(opts, first.Name, first.Size())
 	}
 	cur := shard.StreamOf(first)
 	if cur, err = project(cur, 0); err != nil {
@@ -156,6 +164,13 @@ func JoinProjectExec(ctx context.Context, q *cq.Query, db *database.Database, or
 		if err != nil {
 			return nil, st, err
 		}
+		var jsp *trace.Span
+		if tr != nil {
+			jsp = tr.Op(trace.KindJoin, "⋈ "+next.Name)
+			jsp.AddIn(cur.Size() + next.Size())
+			jsp.SetEst(estimateJoin(cur, shard.StreamOf(next)))
+		}
+		mk := markSpill(opts, tr != nil)
 		// No pin on cur here: pinning happens below the exchange (the
 		// join pins the aligned views it fans out over, the relation
 		// operators pin the shards they scan), so a parked intermediate
@@ -165,6 +180,9 @@ func JoinProjectExec(ctx context.Context, q *cq.Query, db *database.Database, or
 		if err != nil {
 			return nil, st, err
 		}
+		setStreamOut(jsp, cur)
+		mk.annotate(jsp)
+		jsp.End()
 		st.Joins++
 		if cur.Size() > st.MaxIntermediate {
 			st.MaxIntermediate = cur.Size()
@@ -173,6 +191,7 @@ func JoinProjectExec(ctx context.Context, q *cq.Query, db *database.Database, or
 			return nil, st, err
 		}
 	}
+	fold.End()
 	out, err := headProjectionExec(ctx, opts, q, cur)
 	return out, st, err
 }
@@ -190,7 +209,20 @@ func projectNames(ctx context.Context, opts *shard.Options, cur shard.Stream, at
 		}
 		idx[i] = j
 	}
-	return shard.ProjectStream(ctx, opts, cur, idx)
+	var psp *trace.Span
+	if tr := opts.Tracer(); tr != nil {
+		psp = tr.Op(trace.KindProject, "π "+strings.Join(attrs, ","))
+		psp.AddIn(cur.Size())
+		psp.SetEst(estimateProject(cur, attrs))
+	}
+	out, err := shard.ProjectStream(ctx, opts, cur, idx)
+	if err != nil {
+		psp.End()
+		return out, err
+	}
+	setStreamOut(psp, out)
+	psp.End()
+	return out, nil
 }
 
 // orderedBody returns the body atoms along the given permutation of indices
@@ -361,10 +393,17 @@ func headProjectionExec(ctx context.Context, opts *shard.Options, q *cq.Query, b
 		}
 		idx[i] = j
 	}
+	hs := stageSpan(opts, trace.KindStage, "head projection")
+	hs.AddIn(bind.Size())
+	mk := markSpill(opts, hs != nil)
 	proj, err := shard.ProjectStream(ctx, opts, bind, idx)
 	if err != nil {
+		hs.End()
 		return nil, err
 	}
+	setStreamOut(hs, proj)
+	mk.annotate(hs)
+	hs.End()
 	return proj.Rel().Rename(q.Head.Relation, headAttrs(q)...)
 }
 
@@ -381,10 +420,24 @@ func GenericJoin(q *cq.Query, db *database.Database) (*relation.Relation, Stats,
 // containing it, iterating over the smallest. Cancellation is checked at
 // every extension step.
 func GenericJoinCtx(ctx context.Context, q *cq.Query, db *database.Database) (*relation.Relation, Stats, error) {
+	return GenericJoinExec(ctx, q, db, nil)
+}
+
+// GenericJoinExec is GenericJoinCtx taking the evaluation options. The
+// search tree is single-shard by design (ROADMAP keeps sharding it as an
+// open item), so the options carry only the tracer: under tracing each
+// atom's trie build becomes a scan span and each variable of the global
+// order an extension span counting the partial assignments that survived
+// that level — the worst-case-optimal analogue of per-join intermediate
+// sizes.
+func GenericJoinExec(ctx context.Context, q *cq.Query, db *database.Database, opts *shard.Options) (*relation.Relation, Stats, error) {
 	var st Stats
 	if err := validateAtoms(q, db); err != nil {
 		return nil, st, err
 	}
+	tr := opts.Tracer()
+	stage := stageSpan(opts, trace.KindStage, "generic join")
+	defer stage.End()
 	vars := q.Variables()
 	freq := make(map[cq.Variable]int)
 	for _, a := range q.Body {
@@ -424,13 +477,27 @@ func GenericJoinCtx(ctx context.Context, q *cq.Query, db *database.Database) (*r
 		for j, v := range av {
 			cols[j] = bind.AttrIndex(string(v))
 		}
+		var tsp *trace.Span
+		if tr != nil {
+			tsp = tr.Op(trace.KindScan, "trie "+bind.Name)
+			tsp.AddIn(bind.Size())
+		}
 		atoms[i] = &atomIndex{vars: av, root: trieFor(bind, cols)}
+		tsp.End()
 	}
 
 	// cursors[i] tracks atom i's current trie node; depth advances when the
 	// global order reaches one of the atom's variables.
 	assignment := make(map[cq.Variable]relation.Value, len(order))
 	out := emptyOutput(q)
+
+	// levelCounts[k] counts partial assignments surviving variable k —
+	// the per-level intermediate sizes of the search tree. Counted only
+	// under tracing (one branch per extension otherwise skipped).
+	var levelCounts []int64
+	if tr != nil {
+		levelCounts = make([]int64, len(order))
+	}
 
 	cursors := make([]*trieNode, len(atoms))
 	for i := range atoms {
@@ -488,6 +555,9 @@ func GenericJoinCtx(ctx context.Context, q *cq.Query, db *database.Database) (*r
 				cursors[i] = child
 			}
 			if ok {
+				if levelCounts != nil {
+					levelCounts[level]++
+				}
 				assignment[v] = val
 				if err := extend(level + 1); err != nil {
 					return err
@@ -501,6 +571,14 @@ func GenericJoinCtx(ctx context.Context, q *cq.Query, db *database.Database) (*r
 	}
 	if err := extend(0); err != nil {
 		return nil, st, err
+	}
+	if tr != nil {
+		for level, v := range order {
+			sp := tr.Op(trace.KindJoin, "extend "+string(v))
+			sp.AddOut(int(levelCounts[level]))
+			sp.End()
+		}
+		stage.AddOut(out.Size())
 	}
 	st.MaxIntermediate = out.Size()
 	return out, st, nil

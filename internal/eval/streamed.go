@@ -14,6 +14,7 @@ import (
 	"context"
 	"fmt"
 	"slices"
+	"strings"
 	"sync"
 
 	"cqbound/internal/cq"
@@ -21,6 +22,7 @@ import (
 	"cqbound/internal/pool"
 	"cqbound/internal/relation"
 	"cqbound/internal/shard"
+	"cqbound/internal/trace"
 )
 
 // joinProjectStreamed is JoinProjectExec under Options.Streaming: the
@@ -38,16 +40,24 @@ func joinProjectStreamed(ctx context.Context, q *cq.Query, db *database.Database
 	if err != nil {
 		return nil, st, err
 	}
+	tr := opts.Tracer()
+	bs := stageSpan(opts, trace.KindStage, "bindings")
 	binds := make([]*relation.Relation, len(body))
 	for i, a := range body {
 		if binds[i], err = bindingRelation(a, db); err != nil {
+			bs.End()
 			return nil, st, err
 		}
 		if binds[i].Size() == 0 {
+			bs.End()
 			st.EarlyExit = true
 			return emptyOutput(q), st, nil
 		}
+		if tr != nil {
+			scanSpan(opts, binds[i].Name, binds[i].Size())
+		}
 	}
+	bs.End()
 	needLater := make([]map[cq.Variable]bool, len(body)+1)
 	needLater[len(body)] = map[cq.Variable]bool{}
 	for i := len(body) - 1; i >= 0; i-- {
@@ -62,6 +72,7 @@ func joinProjectStreamed(ctx context.Context, q *cq.Query, db *database.Database
 	}
 	head := q.HeadVarSet()
 
+	var est *estimator
 	project := func(pd *shard.Piped, after int) (*shard.Piped, error) {
 		var keep []string
 		for _, attr := range pd.Attrs() {
@@ -73,22 +84,40 @@ func joinProjectStreamed(ctx context.Context, q *cq.Query, db *database.Database
 		if len(keep) == len(pd.Attrs()) {
 			return pd, nil
 		}
+		est.projectTo(keep)
 		return projectPipedNames(ctx, opts, pd, keep)
 	}
 
+	// The pipeline stage covers construction only; the armed operator
+	// spans under it close as the sink drains their parts.
+	ps := stageSpan(opts, trace.KindStage, "pipeline")
+	if tr != nil {
+		est = estimatorOf(shard.StreamOf(binds[0]))
+	}
 	pd := shard.PipedOf(shard.StreamOf(binds[0]), opts)
 	if pd, err = project(pd, 0); err != nil {
+		ps.End()
 		return nil, st, err
 	}
 	for i := range body[1:] {
+		var jsp *trace.Span
+		if tr != nil {
+			jsp = tr.Op(trace.KindJoin, "⋈ "+binds[i+1].Name)
+			jsp.SetEst(est.joinWith(shard.StreamOf(binds[i+1])))
+		}
 		if pd, err = shard.JoinPipedStream(ctx, opts, pd, binds[i+1], false); err != nil {
+			jsp.End()
+			ps.End()
 			return nil, st, err
 		}
+		shard.TracePiped(pd, jsp)
 		st.Joins++
 		if pd, err = project(pd, i+1); err != nil {
+			ps.End()
 			return nil, st, err
 		}
 	}
+	ps.End()
 	out, err := headProjectionPiped(ctx, opts, q, pd)
 	if err != nil {
 		return nil, st, err
@@ -99,7 +128,10 @@ func joinProjectStreamed(ctx context.Context, q *cq.Query, db *database.Database
 	return out, st, nil
 }
 
-// projectPipedNames is projectNames for pipelines.
+// projectPipedNames is projectNames for pipelines. Under tracing the
+// projection span is armed on the returned pipeline (rows and batches
+// count as the sink drains); no estimate — a pipeline input has no
+// statistics before it runs.
 func projectPipedNames(ctx context.Context, opts *shard.Options, pd *shard.Piped, attrs []string) (*shard.Piped, error) {
 	idx := make([]int, len(attrs))
 	for i, a := range attrs {
@@ -109,7 +141,16 @@ func projectPipedNames(ctx context.Context, opts *shard.Options, pd *shard.Piped
 		}
 		idx[i] = j
 	}
-	return shard.ProjectPiped(ctx, opts, pd, idx)
+	var psp *trace.Span
+	if tr := opts.Tracer(); tr != nil {
+		psp = tr.Op(trace.KindProject, "π "+strings.Join(attrs, ","))
+	}
+	out, err := shard.ProjectPiped(ctx, opts, pd, idx)
+	if err != nil {
+		psp.End()
+		return nil, err
+	}
+	return shard.TracePiped(out, psp), nil
 }
 
 // headProjectionPiped is headProjectionExec for pipelines: the head
@@ -125,14 +166,30 @@ func headProjectionPiped(ctx context.Context, opts *shard.Options, q *cq.Query, 
 		}
 		idx[i] = j
 	}
+	hs := stageSpan(opts, trace.KindStage, "head projection + sink")
+	mk := markSpill(opts, hs != nil)
 	proj, err := shard.ProjectPiped(ctx, opts, pd, idx)
 	if err != nil {
+		hs.End()
 		return nil, err
 	}
+	var ssp *trace.Span
+	if tr := opts.Tracer(); tr != nil {
+		ssp = tr.Op(trace.KindSink, "materialize "+q.Head.Relation)
+	}
+	// MaterializePiped is the drain: all upstream pipeline work happens
+	// inside this call, so the stage's wall time is the plan's execution.
 	sunk, err := shard.MaterializePiped(ctx, opts, proj, q.Head.Relation, false)
 	if err != nil {
+		ssp.End()
+		hs.End()
 		return nil, err
 	}
+	setStreamOut(ssp, sunk)
+	ssp.End()
+	setStreamOut(hs, sunk)
+	mk.annotate(hs)
+	hs.End()
 	return sunk.Rel().Rename(q.Head.Relation, headAttrs(q)...)
 }
 
@@ -158,18 +215,26 @@ func yannakakisStreamed(ctx context.Context, q *cq.Query, db *database.Database,
 	// Each atom's reduction flows between passes as a Stream: a pass that
 	// exchanged the binding leaves it partitioned, and the next pass's
 	// pipeline picks the partitioning up instead of re-exchanging.
+	tr := opts.Tracer()
+	bs := stageSpan(opts, trace.KindStage, "bindings")
 	reduced := make([]shard.Stream, len(q.Body))
 	for i, a := range q.Body {
 		b, err := bindingRelation(a, db)
 		if err != nil {
+			bs.End()
 			return nil, st, err
 		}
 		if b.Size() == 0 {
+			bs.End()
 			st.EarlyExit = true
 			return emptyOutput(q), st, nil
 		}
+		if tr != nil {
+			scanSpan(opts, b.Name, b.Size())
+		}
 		reduced[i] = shard.StreamOf(b)
 	}
+	bs.End()
 	var stMu sync.Mutex
 	countJoin := func(size int) {
 		stMu.Lock()
@@ -189,10 +254,13 @@ func yannakakisStreamed(ctx context.Context, q *cq.Query, db *database.Database,
 	filter := func(i int, reducers []int) error {
 		pd := shard.PipedOf(reduced[i], opts)
 		for _, ri := range reducers {
+			ssp := semijoinSpan(opts, tr, reduced[i], reduced[ri], q.Body[i].Relation, q.Body[ri].Relation)
 			var err error
 			if pd, err = shard.SemijoinPipedStream(ctx, opts, pd, reduced[ri].Rel(), filtered[ri]); err != nil {
+				ssp.End()
 				return err
 			}
+			shard.TracePiped(pd, ssp)
 			countJoin(0)
 		}
 		sunk, err := shard.MaterializePiped(ctx, opts, pd, q.Body[i].Relation+"_sj", true)
@@ -223,9 +291,14 @@ func yannakakisStreamed(ctx context.Context, q *cq.Query, db *database.Database,
 		}
 		return filter(n.AtomIndex, reducers)
 	}
+	su := stageSpan(opts, trace.KindStage, "semijoin up")
+	mkUp := markSpill(opts, tr != nil)
 	if err := up(tree); err != nil {
+		su.End()
 		return nil, st, err
 	}
+	mkUp.annotate(su)
+	su.End()
 	// Top-down semijoin: child ⋉ parent.
 	var down func(n *JoinTreeNode) error
 	down = func(n *JoinTreeNode) error {
@@ -240,9 +313,14 @@ func yannakakisStreamed(ctx context.Context, q *cq.Query, db *database.Database,
 			return down(c)
 		})
 	}
+	sd := stageSpan(opts, trace.KindStage, "semijoin down")
+	mkDown := markSpill(opts, tr != nil)
 	if err := down(tree); err != nil {
+		sd.End()
 		return nil, st, err
 	}
+	mkDown.annotate(sd)
+	sd.End()
 	// Bottom-up join: each node's pipeline probes its children's forced
 	// subtree results; only the root's pipeline escapes unforced, into the
 	// head projection.
@@ -274,10 +352,17 @@ func yannakakisStreamed(ctx context.Context, q *cq.Query, db *database.Database,
 		}
 		cur := shard.PipedOf(reduced[n.AtomIndex], opts)
 		for _, sub := range subs {
+			var jsp *trace.Span
+			if tr != nil {
+				jsp = tr.Op(trace.KindJoin, "⋈ under "+q.Body[n.AtomIndex].Relation)
+				jsp.SetEst(estimateJoin(reduced[n.AtomIndex], shard.StreamOf(sub)))
+			}
 			var err error
 			if cur, err = shard.JoinPipedStream(ctx, opts, cur, sub, true); err != nil {
+				jsp.End()
 				return nil, err
 			}
+			shard.TracePiped(cur, jsp)
 			countJoin(0)
 		}
 		ownAttrs := reduced[n.AtomIndex].Attrs()
@@ -295,10 +380,13 @@ func yannakakisStreamed(ctx context.Context, q *cq.Query, db *database.Database,
 		}
 		return projectPipedNames(ctx, opts, cur, keep)
 	}
+	sj := stageSpan(opts, trace.KindStage, "join pass")
 	full, err := join(tree)
 	if err != nil {
+		sj.End()
 		return nil, st, err
 	}
+	sj.End()
 	out, err := headProjectionPiped(ctx, opts, q, full)
 	if err != nil {
 		return nil, st, err

@@ -11,6 +11,7 @@ import (
 	"cqbound/internal/pool"
 	"cqbound/internal/relation"
 	"cqbound/internal/shard"
+	"cqbound/internal/trace"
 )
 
 // This file adds the classical complement to the paper's worst-case bounds:
@@ -163,18 +164,26 @@ func YannakakisExec(ctx context.Context, q *cq.Query, db *database.Database, opt
 	if !ok {
 		return nil, st, fmt.Errorf("eval: query is not acyclic; use JoinProject or GenericJoin")
 	}
+	tr := opts.Tracer()
+	bs := stageSpan(opts, trace.KindStage, "bindings")
 	bindings := make([]shard.Stream, len(q.Body))
 	for i, a := range q.Body {
 		b, err := bindingRelation(a, db)
 		if err != nil {
+			bs.End()
 			return nil, st, err
 		}
 		if b.Size() == 0 {
+			bs.End()
 			st.EarlyExit = true
 			return emptyOutput(q), st, nil
 		}
+		if tr != nil {
+			scanSpan(opts, b.Name, b.Size())
+		}
 		bindings[i] = shard.StreamOf(b)
 	}
+	bs.End()
 	// Stats are updated from worker goroutines; guard them.
 	var stMu sync.Mutex
 	countJoin := func(size int) {
@@ -197,21 +206,30 @@ func YannakakisExec(ctx context.Context, q *cq.Query, db *database.Database, opt
 			return err
 		}
 		for _, c := range n.Children {
+			ssp := semijoinSpan(opts, tr, bindings[n.AtomIndex], bindings[c.AtomIndex], q.Body[n.AtomIndex].Relation, q.Body[c.AtomIndex].Relation)
 			// Pinning happens inside the semijoin, below its exchange, so
 			// a parked binding reloads shard by shard as the pass touches
 			// it instead of being forced whole into memory here.
 			reduced, err := shard.SemijoinStream(ctx, opts, bindings[n.AtomIndex], bindings[c.AtomIndex])
 			if err != nil {
+				ssp.End()
 				return err
 			}
+			setStreamOut(ssp, reduced)
+			ssp.End()
 			bindings[n.AtomIndex] = reduced
 			countJoin(0)
 		}
 		return nil
 	}
+	su := stageSpan(opts, trace.KindStage, "semijoin up")
+	mk := markSpill(opts, tr != nil)
 	if err := up(tree); err != nil {
+		su.End()
 		return nil, st, err
 	}
+	mk.annotate(su)
+	su.End()
 	// Top-down semijoin: child ⋉ parent.
 	var down func(n *JoinTreeNode) error
 	down = func(n *JoinTreeNode) error {
@@ -220,18 +238,27 @@ func YannakakisExec(ctx context.Context, q *cq.Query, db *database.Database, opt
 		}
 		return pool.Run(ctx, 0, len(n.Children), func(i int) error {
 			c := n.Children[i]
+			ssp := semijoinSpan(opts, tr, bindings[c.AtomIndex], bindings[n.AtomIndex], q.Body[c.AtomIndex].Relation, q.Body[n.AtomIndex].Relation)
 			reduced, err := shard.SemijoinStream(ctx, opts, bindings[c.AtomIndex], bindings[n.AtomIndex])
 			if err != nil {
+				ssp.End()
 				return err
 			}
+			setStreamOut(ssp, reduced)
+			ssp.End()
 			bindings[c.AtomIndex] = reduced
 			countJoin(0)
 			return down(c)
 		})
 	}
+	sd := stageSpan(opts, trace.KindStage, "semijoin down")
+	mk = markSpill(opts, tr != nil)
 	if err := down(tree); err != nil {
+		sd.End()
 		return nil, st, err
 	}
+	mk.annotate(sd)
+	sd.End()
 	// Bottom-up join, keeping head variables plus connecting variables.
 	// Sibling subtrees join in parallel; the fold into the parent is
 	// sequential in child order, keeping results deterministic.
@@ -253,11 +280,20 @@ func YannakakisExec(ctx context.Context, q *cq.Query, db *database.Database, opt
 		}
 		cur := bindings[n.AtomIndex]
 		for _, sub := range subs {
+			var jsp *trace.Span
+			if tr != nil {
+				jsp = tr.Op(trace.KindJoin, "⋈ under "+q.Body[n.AtomIndex].Relation)
+				jsp.AddIn(cur.Size() + sub.Size())
+				jsp.SetEst(estimateJoin(cur, sub))
+			}
 			var err error
 			cur, err = shard.NaturalJoinStream(ctx, opts, cur, sub)
 			if err != nil {
+				jsp.End()
 				return shard.Stream{}, err
 			}
+			setStreamOut(jsp, cur)
+			jsp.End()
 			countJoin(cur.Size())
 		}
 		// Project to head variables plus this subtree's connection to its
@@ -287,10 +323,16 @@ func YannakakisExec(ctx context.Context, q *cq.Query, db *database.Database, opt
 		}
 		return projectNames(ctx, opts, cur, keep)
 	}
+	sj := stageSpan(opts, trace.KindStage, "join pass")
+	mk = markSpill(opts, tr != nil)
 	full, err := join(tree)
 	if err != nil {
+		sj.End()
 		return nil, st, err
 	}
+	setStreamOut(sj, full)
+	mk.annotate(sj)
+	sj.End()
 	out, err := headProjectionExec(ctx, opts, q, full)
 	if err != nil {
 		return nil, st, err

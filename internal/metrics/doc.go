@@ -1,0 +1,18 @@
+// Package metrics is the engine's typed metric registry: named gauges
+// sampled from the engine's existing counter families at read time, and
+// lock-free power-of-two histograms fed per evaluation (query latency,
+// peak intermediate rows, spilled bytes).
+//
+// The Registry exposes everything two ways: Snapshot returns a plain
+// map[string]any for programmatic consumers, and ServeHTTP implements
+// http.Handler writing the same data as a single JSON object — the shape
+// expvar serves on /debug/vars, so existing scrapers work unchanged:
+//
+//	http.Handle("/debug/cqbound", engine.Metrics())
+//
+// Gauges are callbacks, not stored values: registering one costs a map
+// entry, and the engine's counters are only read when somebody looks.
+// Histograms trade quantile precision for a wait-free Observe — counts,
+// sums and extremes are exact; P50/P90/P99 are bucketed to the nearest
+// power of two, plenty for dashboards and regression gates.
+package metrics

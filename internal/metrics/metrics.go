@@ -1,0 +1,211 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/bits"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Registry holds named metrics: gauges (callbacks sampled at read time,
+// backed by the engine's existing counters) and histograms (observation
+// distributions fed per query). A Registry is safe for concurrent use;
+// reads never block writers beyond the registration lock.
+type Registry struct {
+	mu     sync.Mutex
+	order  []string
+	gauges map[string]func() int64
+	hists  map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		gauges: make(map[string]func() int64),
+		hists:  make(map[string]*Histogram),
+	}
+}
+
+// Gauge registers fn under name; each Snapshot or HTTP read calls it for
+// the current value. Re-registering a name replaces the callback.
+func (r *Registry) Gauge(name string, fn func() int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.gauges[name]; !ok {
+		if _, ok := r.hists[name]; !ok {
+			r.order = append(r.order, name)
+		}
+	}
+	r.gauges[name] = fn
+}
+
+// NewHistogram registers (or returns the existing) histogram under name.
+func (r *Registry) NewHistogram(name string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok := r.hists[name]; ok {
+		return h
+	}
+	h := newHistogram()
+	if _, ok := r.gauges[name]; !ok {
+		r.order = append(r.order, name)
+	}
+	r.hists[name] = h
+	return h
+}
+
+// Snapshot samples every metric: gauges as int64, histograms as
+// HistogramSnapshot. The map is a fresh copy the caller owns.
+func (r *Registry) Snapshot() map[string]any {
+	r.mu.Lock()
+	names := append([]string(nil), r.order...)
+	gauges := make(map[string]func() int64, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for k, v := range r.hists {
+		hists[k] = v
+	}
+	r.mu.Unlock()
+	out := make(map[string]any, len(names))
+	for _, n := range names {
+		if fn, ok := gauges[n]; ok {
+			out[n] = fn()
+		} else if h, ok := hists[n]; ok {
+			out[n] = h.Snapshot()
+		}
+	}
+	return out
+}
+
+// ServeHTTP writes the snapshot as one JSON object, the same shape expvar
+// serves on /debug/vars, so existing expvar scrapers can point at it.
+func (r *Registry) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	snap := r.Snapshot()
+	names := make([]string, 0, len(snap))
+	for n := range snap {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	fmt.Fprintf(w, "{\n")
+	for i, n := range names {
+		b, err := json.Marshal(snap[n])
+		if err != nil {
+			continue
+		}
+		comma := ","
+		if i == len(names)-1 {
+			comma = ""
+		}
+		fmt.Fprintf(w, "%q: %s%s\n", n, b, comma)
+	}
+	fmt.Fprintf(w, "}\n")
+}
+
+// histBuckets is one bucket per bit length of the observed value: bucket 0
+// holds zero and negative observations, bucket i holds values in
+// [2^(i-1), 2^i). 64 buckets cover the full int64 range, so Observe never
+// range-checks.
+const histBuckets = 65
+
+// Histogram is a lock-free power-of-two histogram: Observe is a handful
+// of atomic adds, precise counts and sums, and quantiles approximated to
+// within a factor of two by the bucket's geometric midpoint — the right
+// trade for latency and byte-size distributions read by dashboards.
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64
+	min     atomic.Int64
+	max     atomic.Int64
+	buckets [histBuckets]atomic.Int64
+}
+
+func newHistogram() *Histogram {
+	h := &Histogram{}
+	h.min.Store(int64(^uint64(0) >> 1)) // MaxInt64 until the first observation
+	return h
+}
+
+// Observe records one value. Negative values clamp to zero.
+func (h *Histogram) Observe(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		cur := h.min.Load()
+		if v >= cur || h.min.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+	h.buckets[bits.Len64(uint64(v))].Add(1)
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram: exact count,
+// sum and extremes, quantiles approximate (bucketed by powers of two).
+type HistogramSnapshot struct {
+	Count int64 `json:"count"`
+	Sum   int64 `json:"sum"`
+	Min   int64 `json:"min"`
+	Max   int64 `json:"max"`
+	P50   int64 `json:"p50"`
+	P90   int64 `json:"p90"`
+	P99   int64 `json:"p99"`
+}
+
+// Snapshot copies the histogram's state. Concurrent Observes may land
+// between field reads; each field is individually consistent.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Count: h.count.Load(),
+		Sum:   h.sum.Load(),
+		Min:   h.min.Load(),
+		Max:   h.max.Load(),
+	}
+	if s.Count == 0 {
+		s.Min = 0
+		return s
+	}
+	var counts [histBuckets]int64
+	for i := range counts {
+		counts[i] = h.buckets[i].Load()
+	}
+	s.P50 = quantile(&counts, s.Count, 0.50)
+	s.P90 = quantile(&counts, s.Count, 0.90)
+	s.P99 = quantile(&counts, s.Count, 0.99)
+	return s
+}
+
+// quantile walks the cumulative bucket counts to the bucket holding rank
+// q·total and returns that bucket's geometric midpoint (bucket i covers
+// [2^(i-1), 2^i)); bucket 0 is exactly zero.
+func quantile(counts *[histBuckets]int64, total int64, q float64) int64 {
+	rank := int64(q * float64(total))
+	if rank >= total {
+		rank = total - 1
+	}
+	var seen int64
+	for i, c := range counts {
+		seen += c
+		if seen > rank {
+			if i == 0 {
+				return 0
+			}
+			lo := int64(1) << (i - 1)
+			return lo + lo/2
+		}
+	}
+	return 0
+}

@@ -5,6 +5,7 @@ package plan
 import (
 	"context"
 	"fmt"
+	"math"
 	"math/big"
 	"strings"
 
@@ -164,16 +165,70 @@ func Execute(ctx context.Context, p *Plan, q *cq.Query, db *database.Database) (
 // is chosen per join among the columns that order makes shared (falling
 // back to single-shard execution when a step's inputs are below the row
 // threshold or share no column). The generic join extends one variable at a
-// time and has no binary join to partition, so it ignores opts.
+// time and has no binary join to partition, so it uses opts only for
+// tracing. When opts carries a tracer, ExecuteOpts stamps the strategy and
+// the paper's worst-case bound on the root span before dispatching.
 func ExecuteOpts(ctx context.Context, p *Plan, q *cq.Query, db *database.Database, opts *shard.Options) (*relation.Relation, eval.Stats, error) {
+	annotateRoot(p, q, db, opts)
+	var (
+		out *relation.Relation
+		st  eval.Stats
+		err error
+	)
 	switch p.Strategy {
 	case StrategyYannakakis:
-		return eval.YannakakisExec(ctx, q, db, opts)
+		out, st, err = eval.YannakakisExec(ctx, q, db, opts)
 	case StrategyProjectEarly:
-		return eval.JoinProjectExec(ctx, q, db, p.AtomOrder, opts)
+		out, st, err = eval.JoinProjectExec(ctx, q, db, p.AtomOrder, opts)
 	case StrategyGenericJoin:
-		return eval.GenericJoinCtx(ctx, q, db)
+		out, st, err = eval.GenericJoinExec(ctx, q, db, opts)
 	default:
 		return nil, eval.Stats{}, fmt.Errorf("plan: unknown strategy %v", p.Strategy)
+	}
+	if err == nil && out != nil {
+		if tr := opts.Tracer(); tr != nil {
+			tr.Root().AddOut(out.Size())
+		}
+	}
+	return out, st, err
+}
+
+// annotateRoot records the chosen strategy and the paper's worst-case
+// intermediate-size bound on the evaluation's root span, so a rendered
+// trace shows the theoretical ceiling next to the actual row counts. It is
+// a no-op when opts carries no tracer.
+func annotateRoot(p *Plan, q *cq.Query, db *database.Database, opts *shard.Options) {
+	tr := opts.Tracer()
+	if tr == nil {
+		return
+	}
+	tr.SetStrategy(p.Strategy.String())
+	root := tr.Root()
+	switch p.Strategy {
+	case StrategyYannakakis:
+		in := 0
+		for _, a := range q.Body {
+			if r := db.Relation(a.Relation); r != nil {
+				in += r.Size()
+			}
+		}
+		root.SetEst(float64(in))
+		root.SetNote("Yannakakis: intermediates ≤ input + output rows")
+	case StrategyProjectEarly:
+		if p.ColorNumber != nil {
+			if rmax, err := db.RMax(q); err == nil {
+				c, _ := p.ColorNumber.Float64()
+				root.SetEst(math.Pow(float64(rmax), c))
+				root.SetNote(fmt.Sprintf("Thm 4.4 bound rmax^C = %d^%s", rmax, p.ColorNumber.RatString()))
+			}
+		}
+	case StrategyGenericJoin:
+		if p.RhoStar != nil {
+			if rmax, err := db.RMax(q); err == nil {
+				rho, _ := p.RhoStar.Float64()
+				root.SetEst(math.Pow(float64(rmax), rho))
+				root.SetNote(fmt.Sprintf("AGM bound rmax^ρ* = %d^%s", rmax, p.RhoStar.RatString()))
+			}
+		}
 	}
 }

@@ -83,6 +83,22 @@ func (r *Relation) Memo(key string, build func() any) any {
 	}
 }
 
+// peekMemo returns the value cached under key without building it —
+// callers that can substitute a cheaper approximation (DistinctEstimate)
+// use the exact memo when it is already paid for and fall back otherwise.
+func (r *Relation) peekMemo(key string) (any, bool) {
+	if p := r.delegate(); p != nil {
+		return p.peekMemo(key)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.memos[key]
+	if ok && e.size == r.n {
+		return e.v, true
+	}
+	return nil, false
+}
+
 // Index is a hash index over a column list: the fixed-width packing of a
 // row's values in those columns maps to every matching row.
 type Index struct {

@@ -17,6 +17,7 @@ import (
 
 	"cqbound/internal/pool"
 	"cqbound/internal/relation"
+	"cqbound/internal/trace"
 )
 
 // Metrics counts the routing decisions of exchange-routed execution. All
@@ -71,6 +72,21 @@ func (m *Metrics) Reset() {
 	m.ExchangedRows.Store(0)
 	m.BroadcastOps.Store(0)
 	m.SkewSplits.Store(0)
+}
+
+// AddTo merges this Metrics' counts into dst (both nil-safe). The Engine
+// runs traced evaluations against a private Metrics so the per-query
+// delta is exact, then folds it into the shared engine-wide counters.
+func (m *Metrics) AddTo(dst *Metrics) {
+	if m == nil || dst == nil {
+		return
+	}
+	dst.ShardedOps.Add(m.ShardedOps.Load())
+	dst.FallbackOps.Add(m.FallbackOps.Load())
+	dst.ReusedRows.Add(m.ReusedRows.Load())
+	dst.ExchangedRows.Add(m.ExchangedRows.Load())
+	dst.BroadcastOps.Add(m.BroadcastOps.Load())
+	dst.SkewSplits.Add(m.SkewSplits.Load())
 }
 
 // Snapshot copies the counters (nil-safe: a nil receiver reads all zeros).
@@ -223,6 +239,36 @@ func (st Stream) distinct(col int) int {
 	return n
 }
 
+// Distinct is the exported exact form of distinct. Prefer
+// DistinctEstimate in per-evaluation paths: exact counts on a fresh
+// intermediate cost a full column scan.
+func (st Stream) Distinct(col int) int {
+	if st.rel == nil && st.sh == nil {
+		return 0
+	}
+	return st.distinct(col)
+}
+
+// DistinctEstimate is Distinct's cheap form, feeding the executor's
+// per-join size estimator (the System-R chain the trace layer renders
+// next to actual row counts). Memoized counts are served exactly; large
+// unmemoized intermediates are sampled (relation.DistinctEstimate)
+// instead of scanned, keeping traced evaluation within a few percent of
+// untraced.
+func (st Stream) DistinctEstimate(col int) int {
+	if st.rel != nil {
+		return st.rel.DistinctEstimate(col)
+	}
+	if st.sh == nil {
+		return 0
+	}
+	n := 0
+	for _, sh := range st.sh.sh {
+		n += sh.DistinctEstimate(col)
+	}
+	return n
+}
+
 // Exchange aligns st to partition key `key` at count p. A stream already
 // partitioned on (key, p) is reused as is — the zero-cost case end-to-end
 // sharding exists for. An empty stream short-circuits to a view whose
@@ -249,6 +295,8 @@ func Exchange(ctx context.Context, st Stream, key, p int, opts *Options) (*Shard
 	}
 	if st.rel == nil && st.sh != nil {
 		m.addExchanged(st.sh.Size())
+		sp := exchangeSpan(opts, st, key, p, st.sh.Size())
+		defer sp.End()
 		if opts.spill() != nil {
 			return streamRepartition(st.sh, key, p, opts)
 		}
@@ -256,7 +304,40 @@ func Exchange(ctx context.Context, st Stream, key, p int, opts *Options) (*Shard
 	}
 	r := st.Rel()
 	m.addExchanged(r.Size())
+	sp := exchangeSpan(opts, st, key, p, r.Size())
+	defer sp.End()
 	return partition(r, key, p, opts.spill()), nil
+}
+
+// noteSkew records a hot-shard split: the shared routing counter always,
+// plus — under tracing — a zero-duration skew event span attached to the
+// current stage.
+func noteSkew(opts *Options, name string, blocks int) {
+	opts.metrics().addSkewSplit()
+	if tr := opts.Tracer(); tr != nil {
+		sp := tr.Op(trace.KindSkew, "skew split "+name)
+		sp.SetNote(fmt.Sprintf("%d blocks", blocks))
+		sp.End()
+	}
+}
+
+// exchangeSpan opens an operator span for a repartition of rows onto
+// (key, p), attached to the current stage (nil when tracing is off).
+func exchangeSpan(opts *Options, st Stream, key, p, rows int) *trace.Span {
+	tr := opts.Tracer()
+	if tr == nil {
+		return nil
+	}
+	attrs := st.Attrs()
+	name := "exchange " + streamName(st)
+	if key >= 0 && key < len(attrs) {
+		name += " on " + attrs[key]
+	}
+	sp := tr.Op(trace.KindExchange, name)
+	sp.AddIn(rows)
+	sp.AddOut(rows)
+	sp.SetShards(p)
+	return sp
 }
 
 // emptyPart returns — allocating on first call through cur — the single
@@ -431,10 +512,10 @@ type task struct {
 // side may be split (hash joins may split either side; semijoins must keep
 // the right side whole, since a row surviving r ⋉ s may match anywhere in
 // s).
-func splitHot(tasks []task, k int, l, r *relation.Relation, lTotal, rTotal int, frac float64, splitRight bool, m *Metrics) []task {
+func splitHot(tasks []task, k int, l, r *relation.Relation, lTotal, rTotal int, frac float64, splitRight bool, opts *Options) []task {
 	if frac > 0 {
 		if blocks := hotBlocks(l.Size(), lTotal, frac); blocks > 1 {
-			m.addSkewSplit()
+			noteSkew(opts, l.Name, blocks)
 			for _, b := range sliceBlocks(l, blocks) {
 				tasks = append(tasks, task{shard: k, left: b, right: r})
 			}
@@ -442,7 +523,7 @@ func splitHot(tasks []task, k int, l, r *relation.Relation, lTotal, rTotal int, 
 		}
 		if splitRight {
 			if blocks := hotBlocks(r.Size(), rTotal, frac); blocks > 1 {
-				m.addSkewSplit()
+				noteSkew(opts, r.Name, blocks)
 				for _, b := range sliceBlocks(r, blocks) {
 					tasks = append(tasks, task{shard: k, left: l, right: b})
 				}
@@ -600,7 +681,7 @@ func NaturalJoinStream(ctx context.Context, opts *Options, l, r Stream) (Stream,
 		if lsh.Size() == 0 || rsh.Size() == 0 {
 			continue // empty-shard fast path: the join output is empty
 		}
-		tasks = splitHot(tasks, k, lsh, rsh, lTotal, rTotal, frac, true, m)
+		tasks = splitHot(tasks, k, lsh, rsh, lTotal, rTotal, frac, true, opts)
 	}
 	raw, err := runJoinTasks(ctx, tasks, pairs, p)
 	if err != nil {
@@ -653,9 +734,9 @@ func broadcastJoin(ctx context.Context, opts *Options, l, r Stream, bigIsLeft bo
 		}
 		for _, sp := range smallParts {
 			if bigIsLeft {
-				tasks = splitHot(tasks, k, sh.Shard(k), sp, bigTotal, 0, frac, false, m)
+				tasks = splitHot(tasks, k, sh.Shard(k), sp, bigTotal, 0, frac, false, opts)
 			} else {
-				tasks = splitHot(tasks, k, sp, sh.Shard(k), 0, bigTotal, frac, true, m)
+				tasks = splitHot(tasks, k, sp, sh.Shard(k), 0, bigTotal, frac, true, opts)
 			}
 		}
 	}
@@ -849,7 +930,7 @@ func semijoinTasks(ctx context.Context, opts *Options, lSh *Sharded, rAt func(in
 			}
 		}
 		if blocks := hotBlocks(l.Size(), lTotal, frac); frac > 0 && blocks > 1 {
-			m.addSkewSplit()
+			noteSkew(opts, l.Name, blocks)
 			for _, b := range sliceBlocks(l, blocks) {
 				tasks = append(tasks, sjTask{shard: k, left: b, rights: rights})
 			}

@@ -130,7 +130,7 @@ func partitionSide(r *relation.Relation, key, p int, transient bool, opts *Optio
 func probeChain(src batch.Iterator, rsh *relation.Relation, total int, attrs []string, chain func(batch.Iterator, *relation.Relation) batch.Iterator, opts *Options) batch.Iterator {
 	if frac := opts.skewFraction(); frac > 0 {
 		if blocks := hotBlocks(rsh.Size(), total, frac); blocks > 1 {
-			opts.metrics().addSkewSplit()
+			noteSkew(opts, rsh.Name, blocks)
 			return splitProbe(src, rsh, blocks, attrs, chain, opts)
 		}
 	}
@@ -227,19 +227,19 @@ func JoinPipedStream(ctx context.Context, opts *Options, pd *Piped, next *relati
 	}
 	rSh := partitionSide(next, rCols[pick], p, transient, opts)
 	frac := opts.skewFraction()
-	ex := batch.NewExchange(pd.parts, pd.attrs, lCols[pick], p, size, frac, opts.governTransient, m.addExchanged, bm)
+	ex := batch.NewExchange(pd.parts, pd.attrs, lCols[pick], p, size, frac, opts.governTransient, exchangeCount(opts, pd.attrs[lCols[pick]], p), bm)
 	parts := make([]batch.Iterator, p)
 	for k := range parts {
 		k := k
 		rsh := rSh.Shard(k)
 		if blocks := hotBlocks(rsh.Size(), next.Size(), frac); frac > 0 && blocks > 1 {
-			m.addSkewSplit()
+			noteSkew(opts, rsh.Name, blocks)
 			parts[k] = splitProbe(ex.Part(k), rsh, blocks, attrs, chain, opts)
 			continue
 		}
 		if frac > 0 {
 			mk := func() batch.Iterator { return chain(ex.Part(k), rsh) }
-			parts[k] = batch.Grow(mk, attrs, func() bool { return ex.Hot(k) }, m.addSkewSplit)
+			parts[k] = batch.Grow(mk, attrs, func() bool { return ex.Hot(k) }, func() { noteSkew(opts, rsh.Name, 2) })
 		} else {
 			parts[k] = chain(ex.Part(k), rsh)
 		}
@@ -309,7 +309,7 @@ func SemijoinPipedStream(ctx context.Context, opts *Options, pd *Piped, next *re
 		}
 	}
 	rSh := partitionSide(next, rCols[pick], p, transient, opts)
-	ex := batch.NewExchange(pd.parts, pd.attrs, lCols[pick], p, size, 0, opts.governTransient, m.addExchanged, bm)
+	ex := batch.NewExchange(pd.parts, pd.attrs, lCols[pick], p, size, 0, opts.governTransient, exchangeCount(opts, pd.attrs[lCols[pick]], p), bm)
 	parts := make([]batch.Iterator, p)
 	for k := range parts {
 		parts[k] = batch.Semijoin(ex.Part(k), rSh.Shard(k), lCols, rCols, bm)
@@ -353,7 +353,7 @@ func ProjectPiped(ctx context.Context, opts *Options, pd *Piped, idx []int) (*Pi
 	// a projected tuple meet in one part's dedup set. No Grow here — the
 	// projection is stateful (its dedup set), so splitting one part across
 	// two chains would let duplicates slip through.
-	ex := batch.NewExchange(pd.parts, pd.attrs, idx[0], len(pd.parts), size, 0, opts.governTransient, m.addExchanged, bm)
+	ex := batch.NewExchange(pd.parts, pd.attrs, idx[0], len(pd.parts), size, 0, opts.governTransient, exchangeCount(opts, pd.attrs[idx[0]], len(pd.parts)), bm)
 	parts := make([]batch.Iterator, len(pd.parts))
 	for k := range parts {
 		parts[k] = batch.Project(ex.Part(k), idx, attrs, size, bm)

@@ -16,6 +16,7 @@ import (
 	"cqbound/internal/pool"
 	"cqbound/internal/relation"
 	"cqbound/internal/spill"
+	"cqbound/internal/trace"
 )
 
 // Options controls when and how the sharded operators engage. A nil
@@ -67,11 +68,26 @@ type Options struct {
 	// pipelines did (batches, rows, buffered fallbacks, bytes never
 	// materialized). Shared across concurrent evaluations like Metrics.
 	Batch *batch.Metrics
+	// Trace, when non-nil, is the per-evaluation tracer: executors open
+	// stage and operator spans on it, and the exchange/skew machinery in
+	// this package attaches routing spans to whatever stage is current.
+	// Unlike Metrics and Batch it is never shared: the Engine threads a
+	// fresh Tracer through each traced evaluation's private Options copy.
+	Trace *trace.Tracer
 }
 
 // Streaming reports whether these options select streamed (column-batch
 // pipeline) execution (nil-safe).
 func (o *Options) Streaming() bool { return o != nil && o.BatchSize > 0 }
+
+// Tracer returns the per-evaluation tracer (nil-safe; nil disables
+// tracing). Executors in eval/plan open their spans through it.
+func (o *Options) Tracer() *trace.Tracer {
+	if o == nil {
+		return nil
+	}
+	return o.Trace
+}
 
 // batchSize returns the configured batch row count (nil-safe; 0 lets the
 // batch package use its default).

@@ -183,6 +183,16 @@ func (g *Governor) Snapshot() Stats {
 	}
 }
 
+// EventCounts returns the cumulative eviction and reload counters with
+// two atomic loads — cheap enough for executors to diff around individual
+// plan stages when annotating trace spans (nil-safe).
+func (g *Governor) EventCounts() (evictions, reloads int64) {
+	if g == nil {
+		return 0, 0
+	}
+	return g.evicted.Load(), g.reloaded.Load()
+}
+
 // ResetCounters zeroes the cumulative counters (reloads, evictions, pin
 // waits, aux releases) while leaving the gauges — resident bytes, bytes on
 // disk, spilled shards — alone: those describe present state, not history.
@@ -416,6 +426,12 @@ type Buffer[V ~uint32] struct {
 	data atomic.Pointer[[][]V]
 	pins atomic.Int64
 
+	// scope, when set by Scope.Track, receives this buffer's spill events
+	// (evictions, reloads, pin waits) in addition to the governor's
+	// engine-wide counters — the per-evaluation attribution the trace
+	// layer reads.
+	scope atomic.Pointer[Scope]
+
 	// mu serializes park/load transitions and file IO. Lock order:
 	// Buffer.mu before Governor.mu.
 	mu     sync.Mutex
@@ -446,6 +462,10 @@ func Manage[V ~uint32](g *Governor, cols [][]V, rows int) *Buffer[V] {
 
 // Bytes returns the column bytes this buffer accounts for.
 func (b *Buffer[V]) Bytes() int64 { return b.bytes }
+
+// attachScope points the buffer's spill events at a scope's counters;
+// Scope.Track calls it through an interface assertion.
+func (b *Buffer[V]) attachScope(s *Scope) { b.scope.Store(s) }
 
 // Resident reports whether the columns are currently in memory.
 func (b *Buffer[V]) Resident() bool { return b.data.Load() != nil }
@@ -498,6 +518,7 @@ func (b *Buffer[V]) load() [][]V {
 		panic("spill: read of a discarded parked buffer")
 	}
 	g.pinWaits.Add(1)
+	b.scope.Load().notePinWait()
 	b.mu.Lock()
 	cols := b.loadLocked(g)
 	b.mu.Unlock()
@@ -534,6 +555,7 @@ func (b *Buffer[V]) loadLocked(g *Governor) [][]V {
 	b.data.Store(&cols)
 	g.spilled.Add(-1)
 	g.reloaded.Add(1)
+	b.scope.Load().noteReload()
 	g.activity.Add(1)
 	g.addResident(b.bytes)
 	g.touch(b.id, b)
@@ -578,6 +600,7 @@ func (b *Buffer[V]) tryEvict() int64 {
 	g.resident.Add(-b.bytes)
 	g.spilled.Add(1)
 	g.evicted.Add(1)
+	b.scope.Load().noteEvict(b.bytes)
 	g.activity.Add(1)
 	// Leave the recency list: a parked buffer is no candidate until a
 	// reload re-inserts it, keeping enforcement scans O(resident).
@@ -687,19 +710,81 @@ func (b *Buffer[V]) Discard() {
 type Scope struct {
 	mu   sync.Mutex
 	bufs []interface{ Discard() }
+
+	// Per-scope event counters: governor activity on the buffers tracked
+	// here, i.e. exactly this evaluation's transient intermediates. The
+	// engine's trace layer reads them through Events to attribute spill
+	// traffic to a single query without contamination from concurrent
+	// evaluations (whose transients live in their own scopes).
+	evictions    atomic.Int64
+	reloads      atomic.Int64
+	pinWaits     atomic.Int64
+	spilledBytes atomic.Int64
 }
 
 // NewScope returns an empty scope.
 func NewScope() *Scope { return &Scope{} }
 
 // Track registers a buffer for discard at Close (nil-safe on both sides).
+// Buffers that support it are also attached to the scope's event counters
+// (a buffer re-tracked by a later scope reports to the latest one).
 func (s *Scope) Track(b interface{ Discard() }) {
 	if s == nil || b == nil {
 		return
 	}
+	if a, ok := b.(interface{ attachScope(*Scope) }); ok {
+		a.attachScope(s)
+	}
 	s.mu.Lock()
 	s.bufs = append(s.bufs, b)
 	s.mu.Unlock()
+}
+
+// Events is a point-in-time copy of a scope's spill-event counters.
+type Events struct {
+	// Evictions counts the scope's buffers parked to disk.
+	Evictions int64
+	// Reloads counts the scope's buffers faulted back from disk.
+	Reloads int64
+	// PinWaits counts reads of the scope's buffers that had to wait on a
+	// segment load.
+	PinWaits int64
+	// SpilledBytes totals the bytes the evictions wrote out — the
+	// per-query spill volume the engine's histograms observe.
+	SpilledBytes int64
+}
+
+// Events returns the scope's counters (nil-safe). Valid after Close too:
+// Close discards buffers but keeps the history.
+func (s *Scope) Events() Events {
+	if s == nil {
+		return Events{}
+	}
+	return Events{
+		Evictions:    s.evictions.Load(),
+		Reloads:      s.reloads.Load(),
+		PinWaits:     s.pinWaits.Load(),
+		SpilledBytes: s.spilledBytes.Load(),
+	}
+}
+
+func (s *Scope) noteEvict(bytes int64) {
+	if s != nil {
+		s.evictions.Add(1)
+		s.spilledBytes.Add(bytes)
+	}
+}
+
+func (s *Scope) noteReload() {
+	if s != nil {
+		s.reloads.Add(1)
+	}
+}
+
+func (s *Scope) notePinWait() {
+	if s != nil {
+		s.pinWaits.Add(1)
+	}
 }
 
 // Close discards every tracked buffer.

@@ -6,14 +6,16 @@
 # "// Package <name> ..." comment (or "// Command <name> ..." for mains).
 # This keeps the doc.go files of the execution stack — shard, eval, plan,
 # relation, spill (the pin/unpin and eviction contracts), batch (the
-# pull-based iterator and batch-validity contracts) — enforced rather
-# than aspirational. New packages are picked up automatically via go list.
+# pull-based iterator and batch-validity contracts), trace (the nil-span
+# inertness contract), metrics (the wait-free observation contract) —
+# enforced rather than aspirational. New packages are picked up
+# automatically via go list.
 set -e
 fail=0
 # The execution-stack packages must keep a dedicated doc.go: their package
 # comments carry API contracts (batch validity windows, spill pin rules),
 # not just one-liners, and a dedicated file keeps them findable.
-for doc in internal/batch/doc.go internal/shard/doc.go internal/eval/doc.go internal/spill/doc.go; do
+for doc in internal/batch/doc.go internal/shard/doc.go internal/eval/doc.go internal/spill/doc.go internal/trace/doc.go internal/metrics/doc.go; do
     if [ ! -f "$doc" ]; then
         echo "checkdocs: missing $doc (execution-stack contract doc)" >&2
         fail=1
