@@ -1,0 +1,205 @@
+// Command cqload replays a mixed query workload against the cqserve HTTP
+// front-end at configurable concurrency and records the serving
+// trajectory: throughput, P50/P99 tail latency, admission rejects, and
+// peak RSS per concurrency level. The recorded document lives in
+// BENCH_serve.json — the baseline every later serving PR moves.
+//
+// The mix models a read-heavy graph service: key-anchored point lookups
+// (40%), star and path joins (30%), the cyclic triangle whose AGM bound
+// makes it the admission controller's main customer (10%), a Zipf-skewed
+// two-hop join (10%), and concurrent ingest batches that advance the
+// epoch and invalidate the result cache (10%).
+//
+// By default cqload starts an in-process server on a loopback port so
+// peak RSS covers client and server together and -race smokes the whole
+// stack (CI runs exactly that); -addr points it at an external cqserve
+// instead, where RSS then covers only the client side.
+//
+// Usage:
+//
+//	cqload [-requests N] [-concurrency 1,8,64] [-edges N] [-universe N]
+//	       [-shards N] [-membudget BYTES] [-admission BYTES] [-queue N]
+//	       [-cache N] [-seed N] [-addr host:port] [-json]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+
+	cqbound "cqbound"
+)
+
+// LoadLevelResult is one concurrency level's measurement.
+type LoadLevelResult struct {
+	Concurrency int `json:"concurrency"`
+	// Requests were issued; Succeeded returned 200, Rejected 429 (admission
+	// shedding), Errors anything else.
+	Requests  int `json:"requests"`
+	Succeeded int `json:"succeeded"`
+	Rejected  int `json:"rejected"`
+	Errors    int `json:"errors"`
+	// WallNs is the level's wall clock; Throughput counts succeeded
+	// requests per second against it.
+	WallNs     int64   `json:"wall_ns"`
+	Throughput float64 `json:"throughput_rps"`
+	// P50Ns / P99Ns are client-side latency quantiles over succeeded
+	// requests (exact, from the sorted sample).
+	P50Ns int64 `json:"p50_ns"`
+	P99Ns int64 `json:"p99_ns"`
+	// PeakRSSBytes is the process high-water mark (VmHWM) after the level
+	// — monotone across levels, so each reading is "peak so far".
+	PeakRSSBytes int64 `json:"peak_rss_bytes"`
+	// CacheHits counts responses served from the (query, epoch) result
+	// cache; Commits counts ingest requests that advanced the epoch.
+	CacheHits int            `json:"cache_hits"`
+	Commits   int            `json:"commits"`
+	ByKind    map[string]int `json:"by_kind"`
+}
+
+// LoadReport is the top-level JSON document (BENCH_serve.json).
+type LoadReport struct {
+	Addr        string            `json:"addr"`
+	GOMAXPROCS  int               `json:"gomaxprocs"`
+	Shards      int               `json:"shards"`
+	BudgetBytes int64             `json:"budget_bytes"`
+	Admission   int64             `json:"admission_bytes"`
+	Edges       int               `json:"edges"`
+	Universe    int               `json:"universe"`
+	Levels      []LoadLevelResult `json:"levels"`
+}
+
+func main() {
+	requests := flag.Int("requests", 1000, "requests per concurrency level")
+	concurrency := flag.String("concurrency", "1,8,64", "comma-separated concurrency levels")
+	edges := flag.Int("edges", 2000, "edges per base relation")
+	universe := flag.Int("universe", 200, "node universe size")
+	shards := flag.Int("shards", 0, "partition count for the in-process engine (0 = GOMAXPROCS)")
+	membudget := flag.Int64("membudget", 64<<20, "in-process engine memory budget in bytes")
+	admission := flag.Int64("admission", 8<<20, "admission budget in bytes")
+	queue := flag.Int("queue", 16, "admission queue depth")
+	cache := flag.Int("cache", 256, "result cache entries (0 disables)")
+	seed := flag.Int64("seed", 20260807, "workload RNG seed")
+	addr := flag.String("addr", "", "target an external cqserve at host:port instead of in-process")
+	asJSON := flag.Bool("json", false, "emit the report as JSON (the BENCH_serve.json document)")
+	flag.Parse()
+
+	levels, err := parseLevels(*concurrency)
+	if err != nil {
+		fatal(err)
+	}
+
+	base := *addr
+	if base == "" {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			fatal(err)
+		}
+		eng := cqbound.NewEngine(
+			cqbound.WithSharding(1024, *shards),
+			cqbound.WithMemoryBudget(*membudget),
+		)
+		defer eng.Close()
+		srv := cqbound.NewServer(eng,
+			cqbound.WithAdmissionBudget(*admission),
+			cqbound.WithAdmissionQueue(*queue),
+			cqbound.WithResultCache(*cache),
+		)
+		defer srv.Close()
+		hs := &http.Server{Handler: srv}
+		go hs.Serve(ln)
+		defer hs.Close()
+		base = ln.Addr().String()
+	}
+
+	report := &LoadReport{
+		Addr:        base,
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		Shards:      *shards,
+		BudgetBytes: *membudget,
+		Admission:   *admission,
+		Edges:       *edges,
+		Universe:    *universe,
+	}
+	h := newHarness("http://"+base, *seed, *edges, *universe)
+	if err := h.load(); err != nil {
+		fatal(err)
+	}
+	for _, c := range levels {
+		res, err := h.run(c, *requests)
+		if err != nil {
+			fatal(err)
+		}
+		report.Levels = append(report.Levels, *res)
+	}
+
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	fmt.Printf("addr=%s gomaxprocs=%d budget=%d admission=%d edges=%d\n",
+		report.Addr, report.GOMAXPROCS, report.BudgetBytes, report.Admission, report.Edges)
+	for _, l := range report.Levels {
+		fmt.Printf("  c=%-3d %6.0f req/s  p50=%-10s p99=%-10s ok=%d rejected=%d errors=%d hits=%d commits=%d rss=%dMiB\n",
+			l.Concurrency, l.Throughput, fmtNs(l.P50Ns), fmtNs(l.P99Ns),
+			l.Succeeded, l.Rejected, l.Errors, l.CacheHits, l.Commits, l.PeakRSSBytes>>20)
+	}
+}
+
+func parseLevels(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("cqload: bad concurrency level %q", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+func fmtNs(ns int64) string {
+	switch {
+	case ns >= 1e9:
+		return fmt.Sprintf("%.2fs", float64(ns)/1e9)
+	case ns >= 1e6:
+		return fmt.Sprintf("%.2fms", float64(ns)/1e6)
+	default:
+		return fmt.Sprintf("%.0fµs", float64(ns)/1e3)
+	}
+}
+
+// peakRSS reads the process high-water mark from /proc/self/status
+// (VmHWM, kibibytes); 0 where procfs is unavailable.
+func peakRSS() int64 {
+	b, err := os.ReadFile("/proc/self/status")
+	if err != nil {
+		return 0
+	}
+	for _, line := range strings.Split(string(b), "\n") {
+		if rest, ok := strings.CutPrefix(line, "VmHWM:"); ok {
+			fields := strings.Fields(rest)
+			if len(fields) >= 1 {
+				if kb, err := strconv.ParseInt(fields[0], 10, 64); err == nil {
+					return kb << 10
+				}
+			}
+		}
+	}
+	return 0
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cqload:", err)
+	os.Exit(1)
+}

@@ -577,6 +577,32 @@ func (e *Engine) ExplainDB(q *Query, db *Database) (*Plan, error) {
 	return e.planFor(q, db)
 }
 
+// BoundRows returns the paper's pre-execution worst-case row bound for
+// evaluating q over db under the planned strategy — Σ|Rᵢ| for Yannakakis
+// (intermediates ≤ input + output), rmax^C of Thm 4.4 for project-early,
+// the AGM bound rmax^ρ* for the generic join. The bound is known before
+// the query runs, which is what lets a serving front-end's admission
+// controller reserve memory (or queue or reject) instead of discovering an
+// oversized query by thrashing. When a bound's inputs are unavailable (an
+// unpriced exponent, a relation absent from db) it falls back to the total
+// input rows; planning errors propagate.
+func (e *Engine) BoundRows(q *Query, db *Database) (float64, error) {
+	p, err := e.planFor(q, db)
+	if err != nil {
+		return 0, err
+	}
+	if rows, _, ok := plan.BoundRows(p, q, db); ok {
+		return rows, nil
+	}
+	in := 0
+	for _, a := range q.Body {
+		if r := db.Relation(a.Relation); r != nil {
+			in += r.Size()
+		}
+	}
+	return float64(in), nil
+}
+
 // epochKeySuffix is appended to a query's text to form its per-epoch plan
 // cache key. NUL cannot appear in canonical query text, so suffixed keys
 // never collide with the structural (text-only) entries of Explain.

@@ -193,6 +193,44 @@ func ExecuteOpts(ctx context.Context, p *Plan, q *cq.Query, db *database.Databas
 	return out, st, err
 }
 
+// BoundRows returns the paper's pre-execution worst-case row bound for the
+// plan's strategy over db — the number annotateRoot stamps on a traced
+// root span, available before the query runs so a serving front-end can
+// admit or queue work against its memory budget: Σ|Rᵢ| for Yannakakis
+// (intermediates ≤ input + output), rmax^C for project-early (Thm 4.4),
+// and the AGM bound rmax^ρ* for the generic join. The note is the
+// human-readable form. ok is false when the inputs the bound needs (a
+// relation's rmax, the plan's exponents) are unavailable.
+func BoundRows(p *Plan, q *cq.Query, db *database.Database) (rows float64, note string, ok bool) {
+	switch p.Strategy {
+	case StrategyYannakakis:
+		in := 0
+		for _, a := range q.Body {
+			if r := db.Relation(a.Relation); r != nil {
+				in += r.Size()
+			}
+		}
+		return float64(in), "Yannakakis: intermediates ≤ input + output rows", true
+	case StrategyProjectEarly:
+		if p.ColorNumber != nil {
+			if rmax, err := db.RMax(q); err == nil {
+				c, _ := p.ColorNumber.Float64()
+				return math.Pow(float64(rmax), c),
+					fmt.Sprintf("Thm 4.4 bound rmax^C = %d^%s", rmax, p.ColorNumber.RatString()), true
+			}
+		}
+	case StrategyGenericJoin:
+		if p.RhoStar != nil {
+			if rmax, err := db.RMax(q); err == nil {
+				rho, _ := p.RhoStar.Float64()
+				return math.Pow(float64(rmax), rho),
+					fmt.Sprintf("AGM bound rmax^ρ* = %d^%s", rmax, p.RhoStar.RatString()), true
+			}
+		}
+	}
+	return 0, "", false
+}
+
 // annotateRoot records the chosen strategy and the paper's worst-case
 // intermediate-size bound on the evaluation's root span, so a rendered
 // trace shows the theoretical ceiling next to the actual row counts. It is
@@ -203,32 +241,9 @@ func annotateRoot(p *Plan, q *cq.Query, db *database.Database, opts *shard.Optio
 		return
 	}
 	tr.SetStrategy(p.Strategy.String())
-	root := tr.Root()
-	switch p.Strategy {
-	case StrategyYannakakis:
-		in := 0
-		for _, a := range q.Body {
-			if r := db.Relation(a.Relation); r != nil {
-				in += r.Size()
-			}
-		}
-		root.SetEst(float64(in))
-		root.SetNote("Yannakakis: intermediates ≤ input + output rows")
-	case StrategyProjectEarly:
-		if p.ColorNumber != nil {
-			if rmax, err := db.RMax(q); err == nil {
-				c, _ := p.ColorNumber.Float64()
-				root.SetEst(math.Pow(float64(rmax), c))
-				root.SetNote(fmt.Sprintf("Thm 4.4 bound rmax^C = %d^%s", rmax, p.ColorNumber.RatString()))
-			}
-		}
-	case StrategyGenericJoin:
-		if p.RhoStar != nil {
-			if rmax, err := db.RMax(q); err == nil {
-				rho, _ := p.RhoStar.Float64()
-				root.SetEst(math.Pow(float64(rmax), rho))
-				root.SetNote(fmt.Sprintf("AGM bound rmax^ρ* = %d^%s", rmax, p.RhoStar.RatString()))
-			}
-		}
+	if rows, note, ok := BoundRows(p, q, db); ok {
+		root := tr.Root()
+		root.SetEst(rows)
+		root.SetNote(note)
 	}
 }

@@ -1,0 +1,36 @@
+// TestMain for the serve test binary: a goleak-style goroutine check.
+// Every test in this package spins up HTTP servers, clients, and
+// evaluations that are cancelled mid-flight; none of that may leave a
+// goroutine behind (internal/pool runs no persistent workers, httptest
+// servers are closed per test, clients close idle connections). The
+// baseline is captured before any test runs; after the last test the
+// count must settle back, with a few seconds' grace for connection
+// readLoops to drain.
+package serve_test
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+)
+
+func TestMain(m *testing.M) {
+	base := runtime.NumGoroutine()
+	code := m.Run()
+	if code == 0 {
+		deadline := time.Now().Add(10 * time.Second)
+		for runtime.NumGoroutine() > base && time.Now().Before(deadline) {
+			time.Sleep(50 * time.Millisecond)
+		}
+		if n := runtime.NumGoroutine(); n > base {
+			buf := make([]byte, 1<<20)
+			buf = buf[:runtime.Stack(buf, true)]
+			fmt.Fprintf(os.Stderr, "goroutine leak: %d goroutines after tests, baseline %d\n%s\n",
+				n, base, buf)
+			code = 1
+		}
+	}
+	os.Exit(code)
+}

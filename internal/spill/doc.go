@@ -65,6 +65,18 @@
 // buffers and bytes on disk thus return to the live snapshot's footprint
 // after each epoch drains, which the regression tests assert.
 //
+// # Budget reservations
+//
+// A serving front-end admits queries against the same budget the governor
+// evicts toward: before a query runs, its planner-derived worst-case size
+// estimate is Reserved out of the budget, and the admission controller
+// (internal/serve) queues or rejects work whose reservation no longer
+// fits. Reservations are pure accounting — Stats.ReservedBytes next to
+// ResidentBytes shows committed versus actual memory — and never gate the
+// governor's own eviction, so an admitted query can still run (and spill)
+// past its estimate rather than wedge. Unreserve returns the slice when
+// the query releases its admission ticket.
+//
 // # What is never spilled
 //
 // Only registered column buffers spill. Hash indexes, dedup maps, column

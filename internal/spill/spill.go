@@ -52,6 +52,16 @@ type Stats struct {
 	// should plateau at the memoized base partitions: per-evaluation
 	// intermediates are scope-discarded when their evaluation returns.
 	RegisteredBuffers int64
+	// ReservedBytes is the budget currently committed to admitted work via
+	// Reserve (a gauge): the admission controller of a serving front-end
+	// carves a per-query slice of the budget out before the query runs, so
+	// the sum of in-flight worst-case estimates stays visible next to the
+	// actual residency. Reservations are bookkeeping, not enforcement —
+	// the governor still evicts toward its byte budget regardless — and
+	// all zeros when nothing sits in front of the engine.
+	ReservedBytes int64
+	// PeakReservedBytes is the high-water mark of ReservedBytes.
+	PeakReservedBytes int64
 }
 
 // Governor tracks the resident bytes of every registered buffer and, when a
@@ -93,14 +103,16 @@ type Governor struct {
 	auxSpentGen int64
 	activity    atomic.Int64
 
-	resident atomic.Int64
-	peak     atomic.Int64
-	spilled  atomic.Int64
-	reloaded atomic.Int64
-	onDisk   atomic.Int64
-	evicted  atomic.Int64
-	pinWaits atomic.Int64
-	auxRuns  atomic.Int64
+	resident     atomic.Int64
+	peak         atomic.Int64
+	spilled      atomic.Int64
+	reloaded     atomic.Int64
+	onDisk       atomic.Int64
+	evicted      atomic.Int64
+	pinWaits     atomic.Int64
+	auxRuns      atomic.Int64
+	reserved     atomic.Int64
+	peakReserved atomic.Int64
 }
 
 // evictable is the governor's view of a buffer: enough to push it out of
@@ -180,7 +192,48 @@ func (g *Governor) Snapshot() Stats {
 		PeakResidentBytes: g.peak.Load(),
 		AuxReleases:       g.auxRuns.Load(),
 		RegisteredBuffers: registered,
+		ReservedBytes:     g.reserved.Load(),
+		PeakReservedBytes: g.peakReserved.Load(),
 	}
+}
+
+// Reserve records bytes of the budget as committed to one admitted unit of
+// work — the scope-reservation half of a serving front-end's admission
+// control. The governor does not gate anything on reservations (the budget
+// stays a soft eviction target; a query is never wedged against its own
+// reservation): the caller decides, from ReservedBytes vs Budget, whether
+// to admit, queue, or reject the next query. Balance every Reserve with
+// exactly one Unreserve of the same size. Nil-safe.
+func (g *Governor) Reserve(bytes int64) {
+	if g == nil || bytes <= 0 {
+		return
+	}
+	now := g.reserved.Add(bytes)
+	for {
+		p := g.peakReserved.Load()
+		if now <= p || g.peakReserved.CompareAndSwap(p, now) {
+			return
+		}
+	}
+}
+
+// Unreserve returns a Reserve's bytes to the budget. Nil-safe.
+func (g *Governor) Unreserve(bytes int64) {
+	if g == nil || bytes <= 0 {
+		return
+	}
+	if g.reserved.Add(-bytes) < 0 {
+		panic("spill: Unreserve without matching Reserve")
+	}
+}
+
+// ReservedBytes returns the budget currently committed via Reserve
+// (nil-safe: 0).
+func (g *Governor) ReservedBytes() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.reserved.Load()
 }
 
 // EventCounts returns the cumulative eviction and reload counters with
@@ -206,6 +259,7 @@ func (g *Governor) ResetCounters() {
 	g.pinWaits.Store(0)
 	g.auxRuns.Store(0)
 	g.peak.Store(g.resident.Load())
+	g.peakReserved.Store(g.reserved.Load())
 }
 
 // spillDir lazily creates the governor's private spill directory. Close

@@ -339,3 +339,64 @@ func TestGovernorUsableAfterClose(t *testing.T) {
 		t.Fatalf("second Close left directories: %v", dirs)
 	}
 }
+
+// TestReservationAccounting covers the admission-reservation gauges: Reserve
+// raises ReservedBytes and its peak, Unreserve returns the slice, the peak
+// survives release, ResetCounters restarts the peak from current, and a nil
+// governor is inert for all three calls.
+func TestReservationAccounting(t *testing.T) {
+	g := NewGovernor(1<<20, t.TempDir())
+	defer g.Close()
+	g.Reserve(1000)
+	g.Reserve(500)
+	if got := g.ReservedBytes(); got != 1500 {
+		t.Fatalf("ReservedBytes = %d, want 1500", got)
+	}
+	g.Unreserve(1000)
+	st := g.Snapshot()
+	if st.ReservedBytes != 500 || st.PeakReservedBytes != 1500 {
+		t.Fatalf("after release: reserved=%d peak=%d, want 500/1500", st.ReservedBytes, st.PeakReservedBytes)
+	}
+	g.ResetCounters()
+	if st = g.Snapshot(); st.PeakReservedBytes != 500 {
+		t.Fatalf("peak after ResetCounters = %d, want 500 (current)", st.PeakReservedBytes)
+	}
+	g.Unreserve(500)
+	if got := g.ReservedBytes(); got != 0 {
+		t.Fatalf("ReservedBytes after full release = %d, want 0", got)
+	}
+
+	var nilGov *Governor
+	nilGov.Reserve(10)
+	nilGov.Unreserve(10)
+	if nilGov.ReservedBytes() != 0 {
+		t.Fatal("nil governor should report zero reservations")
+	}
+}
+
+// TestReservationConcurrent hammers Reserve/Unreserve from many goroutines;
+// run under -race this is the data-race check, and the final gauge must
+// return to zero with a peak at least one reservation high.
+func TestReservationConcurrent(t *testing.T) {
+	g := NewGovernor(0, t.TempDir())
+	defer g.Close()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				g.Reserve(64)
+				g.Unreserve(64)
+			}
+		}()
+	}
+	wg.Wait()
+	st := g.Snapshot()
+	if st.ReservedBytes != 0 {
+		t.Fatalf("ReservedBytes = %d after balanced traffic, want 0", st.ReservedBytes)
+	}
+	if st.PeakReservedBytes < 64 {
+		t.Fatalf("PeakReservedBytes = %d, want >= 64", st.PeakReservedBytes)
+	}
+}

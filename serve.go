@@ -1,0 +1,586 @@
+package cqbound
+
+// The cqserve HTTP front-end: a Server exposing one Engine to concurrent
+// network clients with per-request deadlines, bound-based admission
+// control (internal/serve), an epoch-keyed result cache, and the PR 8
+// observability surface (/metrics, ?trace=1, slow-query sinks). The
+// engine-agnostic pieces live in internal/serve; this file is the glue
+// that needs the Engine's unexported state (governor, epoch store).
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cqbound/internal/serve"
+)
+
+// Server default knobs; all overridable through server options.
+const (
+	// defaultRequestTimeout bounds each request's context.
+	defaultRequestTimeout = 30 * time.Second
+	// defaultAdmissionBudget applies when the engine has no memory budget
+	// to inherit (<= 0 governor budget means unlimited).
+	defaultAdmissionBudget = 64 << 20
+	// defaultAdmissionQueue is the FIFO depth beyond which Admit rejects.
+	defaultAdmissionQueue = 16
+	// defaultResultCacheSize is the (query, epoch) result cache capacity.
+	defaultResultCacheSize = 256
+	// estBytesPerValue is the resident cost charged per output value when
+	// converting a planner row bound to an admission reservation: one
+	// interned uint32 column cell plus index/dedup overhead.
+	estBytesPerValue = 8
+)
+
+// Server is the cqserve HTTP front-end over one Engine. Endpoints:
+//
+//	GET/POST /query?q=Q[&epoch=N][&trace=1]  evaluate Q (JSON tuples)
+//	POST     /commit                         apply a transaction (JSON ops)
+//	GET      /explain?q=Q                    plan, rationale and row bound
+//	GET      /metrics                        engine + serve metric registry
+//	POST     /snapshot                       pin the live epoch; returns it
+//	DELETE   /snapshot?epoch=N               release a pinned epoch
+//
+// Each request runs under a deadline; each query passes admission before
+// evaluation, reserving its paper-derived worst-case size out of the
+// governor budget (429 when the queue is full). Server implements
+// http.Handler and is safe for concurrent use.
+type Server struct {
+	e        *Engine
+	admit    *serve.Admission
+	cache    *serve.Cache[*cachedResult]
+	mux      *http.ServeMux
+	timeout  time.Duration
+	cacheOn  bool
+	requests atomic.Int64
+	errors   atomic.Int64
+
+	snapMu sync.Mutex
+	snaps  map[uint64]*snapSession
+	closed bool
+}
+
+// snapSession is one HTTP-pinned epoch: the underlying Snapshot, a count
+// of POST /snapshot pins outstanding (clients pinning the same epoch
+// share the session; it dies with its last DELETE), and a refcount of
+// in-flight requests reading it, so a DELETE during a long evaluation
+// defers the release instead of racing the retirement sweep.
+type snapSession struct {
+	snap     *Snapshot
+	pins     int
+	refs     int
+	released bool
+}
+
+// ServerOption configures NewServer.
+type ServerOption func(*serverConfig)
+
+type serverConfig struct {
+	timeout   time.Duration
+	budget    int64
+	queue     int
+	cacheSize int
+}
+
+// WithRequestTimeout bounds every request's context; handlers return 503
+// when it expires. d <= 0 keeps the default (30s).
+func WithRequestTimeout(d time.Duration) ServerOption {
+	return func(c *serverConfig) {
+		if d > 0 {
+			c.timeout = d
+		}
+	}
+}
+
+// WithAdmissionBudget sets the byte budget the admission controller
+// rations, overriding the default of the engine's own memory budget (or
+// 64 MiB when the engine has none).
+func WithAdmissionBudget(bytes int64) ServerOption {
+	return func(c *serverConfig) {
+		if bytes > 0 {
+			c.budget = bytes
+		}
+	}
+}
+
+// WithAdmissionQueue sets how many requests may wait for budget before
+// Admit rejects with 429. Zero queues nothing — contention rejects
+// immediately.
+func WithAdmissionQueue(n int) ServerOption {
+	return func(c *serverConfig) {
+		if n >= 0 {
+			c.queue = n
+		}
+	}
+}
+
+// WithResultCache sets the (query, epoch) result cache capacity in
+// entries. Zero disables the cache — every request re-evaluates, which
+// the saturation tests rely on.
+func WithResultCache(entries int) ServerOption {
+	return func(c *serverConfig) {
+		c.cacheSize = entries
+	}
+}
+
+// NewServer wraps e in the cqserve HTTP front-end and registers the serve
+// stats family (admission and cache counters) on e.Metrics(). The server
+// holds no goroutines of its own; Close releases any epochs still pinned
+// by snapshot sessions.
+func NewServer(e *Engine, opts ...ServerOption) *Server {
+	cfg := serverConfig{
+		timeout:   defaultRequestTimeout,
+		budget:    e.spill.Budget(),
+		queue:     defaultAdmissionQueue,
+		cacheSize: defaultResultCacheSize,
+	}
+	if cfg.budget <= 0 {
+		cfg.budget = defaultAdmissionBudget
+	}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	s := &Server{
+		e:       e,
+		admit:   serve.NewAdmission(cfg.budget, cfg.queue, e.spill),
+		timeout: cfg.timeout,
+		cacheOn: cfg.cacheSize > 0,
+		snaps:   make(map[uint64]*snapSession),
+	}
+	if s.cacheOn {
+		s.cache = serve.NewCache[*cachedResult](cfg.cacheSize)
+	} else {
+		s.cache = serve.NewCache[*cachedResult](1)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/query", s.handleQuery)
+	mux.HandleFunc("/commit", s.handleCommit)
+	mux.HandleFunc("/explain", s.handleExplain)
+	mux.Handle("/metrics", e.Metrics())
+	mux.HandleFunc("/snapshot", s.handleSnapshot)
+	s.mux = mux
+	s.registerMetrics()
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	s.mux.ServeHTTP(w, r)
+}
+
+// Close releases every epoch still pinned by a snapshot session. In-flight
+// requests on those sessions finish against their pinned state; new
+// epoch-pinned requests get 404.
+func (s *Server) Close() {
+	s.snapMu.Lock()
+	defer s.snapMu.Unlock()
+	s.closed = true
+	for epoch, sess := range s.snaps {
+		if !sess.released {
+			sess.released = true
+			if sess.refs == 0 {
+				sess.snap.Close()
+			}
+		}
+		if sess.refs == 0 {
+			delete(s.snaps, epoch)
+		}
+	}
+}
+
+// AdmissionStats snapshots the admission controller (also on /metrics as
+// the serve_admission_* gauges).
+func (s *Server) AdmissionStats() serve.AdmissionStats { return s.admit.Stats() }
+
+// ResultCacheStats snapshots the result cache (also on /metrics as the
+// serve_cache_* gauges).
+func (s *Server) ResultCacheStats() serve.CacheStats { return s.cache.Stats() }
+
+// registerMetrics adds the serve stats family to the engine's registry.
+func (s *Server) registerMetrics() {
+	reg := s.e.Metrics()
+	ag := func(name string, f func(serve.AdmissionStats) int64) {
+		reg.Gauge(name, func() int64 { return f(s.admit.Stats()) })
+	}
+	ag("serve_admission_admitted", func(st serve.AdmissionStats) int64 { return int64(st.Admitted) })
+	ag("serve_admission_rejected", func(st serve.AdmissionStats) int64 { return int64(st.Rejected) })
+	ag("serve_admission_queued", func(st serve.AdmissionStats) int64 { return int64(st.Queued) })
+	ag("serve_admission_queue_timeouts", func(st serve.AdmissionStats) int64 { return int64(st.QueueTimeouts) })
+	ag("serve_admission_waiting", func(st serve.AdmissionStats) int64 { return int64(st.Waiting) })
+	ag("serve_admission_committed_bytes", func(st serve.AdmissionStats) int64 { return st.CommittedBytes })
+	ag("serve_admission_capacity_bytes", func(st serve.AdmissionStats) int64 { return st.Capacity })
+	cg := func(name string, f func(serve.CacheStats) int64) {
+		reg.Gauge(name, func() int64 { return f(s.cache.Stats()) })
+	}
+	cg("serve_cache_hits", func(st serve.CacheStats) int64 { return int64(st.Hits) })
+	cg("serve_cache_misses", func(st serve.CacheStats) int64 { return int64(st.Misses) })
+	cg("serve_cache_invalidations", func(st serve.CacheStats) int64 { return int64(st.Invalidations) })
+	cg("serve_cache_entries", func(st serve.CacheStats) int64 { return int64(st.Entries) })
+	reg.Gauge("serve_requests", s.requests.Load)
+	reg.Gauge("serve_errors", s.errors.Load)
+}
+
+// cachedResult is one materialized query answer: everything a response
+// needs except the per-request trace.
+type cachedResult struct {
+	Attrs  []string
+	Tuples [][]string
+}
+
+// queryResponse is the /query JSON body.
+type queryResponse struct {
+	Query  string     `json:"query"`
+	Epoch  uint64     `json:"epoch"`
+	Rows   int        `json:"rows"`
+	Attrs  []string   `json:"attrs"`
+	Tuples [][]string `json:"tuples"`
+	Cached bool       `json:"cached"`
+	Trace  string     `json:"trace,omitempty"`
+}
+
+// handleQuery is the request lifecycle of ARCHITECTURE §11: resolve and
+// pin the epoch, consult the result cache, pass admission with the plan's
+// worst-case byte estimate, evaluate under the request deadline, release
+// everything (deferred even on error paths).
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	ctx, cancel := context.WithTimeout(r.Context(), s.timeout)
+	defer cancel()
+	qtext := r.FormValue("q")
+	q, err := Parse(qtext)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, "parse: %v", err)
+		return
+	}
+	traced := r.FormValue("trace") == "1"
+
+	// Pin the epoch the request reads: a held snapshot session when
+	// ?epoch=N names one, the live epoch otherwise.
+	var (
+		db      *Database
+		epoch   uint64
+		release func()
+	)
+	if es := r.FormValue("epoch"); es != "" {
+		n, err := strconv.ParseUint(es, 10, 64)
+		if err != nil {
+			s.fail(w, http.StatusBadRequest, "epoch: %v", err)
+			return
+		}
+		sess := s.acquireSession(n)
+		if sess == nil {
+			s.fail(w, http.StatusNotFound, "epoch %d is not pinned by a snapshot session", n)
+			return
+		}
+		db, epoch, release = sess.snap.DB(), n, func() { s.releaseSession(n) }
+	} else {
+		snap := s.e.Snapshot()
+		db, epoch, release = snap.DB(), snap.Epoch(), snap.Close
+	}
+	defer release()
+
+	// Cache hits skip admission: a materialized answer costs no evaluation
+	// memory. Traced requests bypass the cache so their trace is real.
+	if s.cacheOn && !traced {
+		if res, ok := s.cache.Get(qtext, epoch); ok {
+			s.reply(w, http.StatusOK, &queryResponse{
+				Query: qtext, Epoch: epoch, Rows: len(res.Tuples),
+				Attrs: res.Attrs, Tuples: res.Tuples, Cached: true,
+			})
+			return
+		}
+	}
+
+	// Admission: reserve the paper's worst-case output size.
+	rows, err := s.e.BoundRows(q, db)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, "plan: %v", err)
+		return
+	}
+	ticket, err := s.admit.Admit(ctx, estBytes(rows, q))
+	if err != nil {
+		switch {
+		case errors.Is(err, serve.ErrOverloaded):
+			w.Header().Set("Retry-After", "1")
+			s.fail(w, http.StatusTooManyRequests, "%v", err)
+		default:
+			s.fail(w, http.StatusServiceUnavailable, "admission wait: %v", err)
+		}
+		return
+	}
+	defer ticket.Release()
+
+	var (
+		out *Relation
+		tr  *Trace
+	)
+	if traced {
+		out, _, tr, err = s.e.EvaluateTraced(ctx, q, db)
+	} else {
+		out, _, err = s.e.Evaluate(ctx, q, db)
+	}
+	if err != nil {
+		switch {
+		case errors.Is(err, context.DeadlineExceeded):
+			s.fail(w, http.StatusServiceUnavailable, "evaluate: %v", err)
+		case errors.Is(err, context.Canceled):
+			// The client is gone; the status is for the access log only.
+			s.fail(w, 499, "evaluate: %v", err)
+		default:
+			s.fail(w, http.StatusUnprocessableEntity, "evaluate: %v", err)
+		}
+		return
+	}
+	res := materialize(out, db.Dict())
+	if s.cacheOn && !traced {
+		s.cache.Put(qtext, epoch, res)
+	}
+	resp := &queryResponse{
+		Query: qtext, Epoch: epoch, Rows: len(res.Tuples),
+		Attrs: res.Attrs, Tuples: res.Tuples,
+	}
+	if tr != nil {
+		resp.Trace = tr.Render()
+	}
+	s.reply(w, http.StatusOK, resp)
+}
+
+// estBytes converts a planner row bound to an admission reservation: one
+// estBytesPerValue charge per output value. Infinite or overflowing
+// estimates saturate (Admit clamps to capacity anyway).
+func estBytes(rows float64, q *Query) int64 {
+	width := len(q.Head.Vars)
+	if width < 1 {
+		width = 1
+	}
+	b := rows * float64(width) * estBytesPerValue
+	if b >= float64(1<<62) {
+		return 1 << 62
+	}
+	return int64(b)
+}
+
+// materialize renders a result relation into the strings a response and
+// the cache carry, resolving values through the evaluated snapshot's
+// dictionary (the output relation does not adopt one); the relation itself
+// is not retained.
+func materialize(out *Relation, d *Dict) *cachedResult {
+	res := &cachedResult{Attrs: append([]string(nil), out.Attrs...), Tuples: [][]string{}}
+	out.Each(func(t Tuple) bool {
+		res.Tuples = append(res.Tuples, t.StringsIn(d))
+		return true
+	})
+	return res
+}
+
+// commitRequest is the /commit JSON body: a transaction as an ordered op
+// list. Ops are applied in order inside one Txn; any failure aborts the
+// whole batch.
+type commitRequest struct {
+	Ops []commitOp `json:"ops"`
+}
+
+type commitOp struct {
+	// Op is one of "create", "append", "retract", "drop"... create needs
+	// Attrs; append and retract need Rows.
+	Op    string     `json:"op"`
+	Rel   string     `json:"rel"`
+	Attrs []string   `json:"attrs,omitempty"`
+	Rows  [][]string `json:"rows,omitempty"`
+}
+
+// handleCommit applies one transaction and publishes the next epoch. The
+// response carries the committed epoch; the result cache is swept for
+// epochs no longer readable.
+func (s *Server) handleCommit(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.fail(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var req commitRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.fail(w, http.StatusBadRequest, "decode: %v", err)
+		return
+	}
+	tx := s.e.Begin()
+	defer tx.Abort() // no-op after Commit
+	for i, op := range req.Ops {
+		var err error
+		switch op.Op {
+		case "create":
+			err = tx.Create(op.Rel, op.Attrs...)
+		case "append":
+			for _, row := range op.Rows {
+				if err = tx.Add(op.Rel, row...); err != nil {
+					break
+				}
+			}
+		case "retract":
+			for _, row := range op.Rows {
+				if err = tx.Remove(op.Rel, row...); err != nil {
+					break
+				}
+			}
+		default:
+			err = fmt.Errorf("unknown op %q", op.Op)
+		}
+		if err != nil {
+			s.fail(w, http.StatusBadRequest, "op %d (%s %s): %v", i, op.Op, op.Rel, err)
+			return
+		}
+	}
+	epoch, err := tx.Commit()
+	if err != nil {
+		s.fail(w, http.StatusUnprocessableEntity, "commit: %v", err)
+		return
+	}
+	s.sweepCache()
+	s.reply(w, http.StatusOK, map[string]uint64{"epoch": epoch})
+}
+
+// handleExplain returns the plan for q over the live epoch as text: the
+// strategy, atom order and rationale, plus the worst-case row bound the
+// admission controller would charge.
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	q, err := Parse(r.FormValue("q"))
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, "parse: %v", err)
+		return
+	}
+	snap := s.e.Snapshot()
+	defer snap.Close()
+	p, err := s.e.ExplainDB(q, snap.DB())
+	if err != nil {
+		s.fail(w, http.StatusUnprocessableEntity, "plan: %v", err)
+		return
+	}
+	rows, err := s.e.BoundRows(q, snap.DB())
+	if err != nil {
+		s.fail(w, http.StatusUnprocessableEntity, "bound: %v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintf(w, "epoch: %d\n%s\nworst-case rows: %g (admission charge %d bytes)\n",
+		snap.Epoch(), p, rows, estBytes(rows, q))
+}
+
+// handleSnapshot pins (POST) or releases (DELETE) an epoch for the
+// ?epoch=N query form. Pinning the same epoch twice shares one session.
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodPost:
+		s.snapMu.Lock()
+		if s.closed {
+			s.snapMu.Unlock()
+			s.fail(w, http.StatusServiceUnavailable, "server closed")
+			return
+		}
+		snap := s.e.Snapshot()
+		epoch := snap.Epoch()
+		if sess, ok := s.snaps[epoch]; ok {
+			sess.pins++
+			snap.Close() // session already holds this epoch
+		} else {
+			s.snaps[epoch] = &snapSession{snap: snap, pins: 1}
+		}
+		s.snapMu.Unlock()
+		s.reply(w, http.StatusOK, map[string]uint64{"epoch": epoch})
+	case http.MethodDelete:
+		n, err := strconv.ParseUint(r.FormValue("epoch"), 10, 64)
+		if err != nil {
+			s.fail(w, http.StatusBadRequest, "epoch: %v", err)
+			return
+		}
+		s.snapMu.Lock()
+		sess, ok := s.snaps[n]
+		if ok && sess.released {
+			ok = false
+		}
+		if ok {
+			sess.pins--
+			if sess.pins <= 0 {
+				sess.released = true
+				if sess.refs == 0 {
+					sess.snap.Close()
+					delete(s.snaps, n)
+				}
+			}
+		}
+		s.snapMu.Unlock()
+		if !ok {
+			s.fail(w, http.StatusNotFound, "epoch %d is not pinned", n)
+			return
+		}
+		s.sweepCache()
+		s.reply(w, http.StatusOK, map[string]uint64{"epoch": n})
+	default:
+		s.fail(w, http.StatusMethodNotAllowed, "POST or DELETE required")
+	}
+}
+
+// acquireSession refcounts the session pinning epoch n, or returns nil.
+func (s *Server) acquireSession(n uint64) *snapSession {
+	s.snapMu.Lock()
+	defer s.snapMu.Unlock()
+	sess, ok := s.snaps[n]
+	if !ok || sess.released {
+		return nil
+	}
+	sess.refs++
+	return sess
+}
+
+// releaseSession undoes acquireSession, completing a deferred DELETE when
+// the last in-flight reader leaves.
+func (s *Server) releaseSession(n uint64) {
+	s.snapMu.Lock()
+	defer s.snapMu.Unlock()
+	sess, ok := s.snaps[n]
+	if !ok {
+		return
+	}
+	sess.refs--
+	if sess.released && sess.refs == 0 {
+		sess.snap.Close()
+		delete(s.snaps, n)
+	}
+}
+
+// sweepCache drops result-cache entries for epochs that are neither live
+// nor pinned by a snapshot session.
+func (s *Server) sweepCache() {
+	if !s.cacheOn {
+		return
+	}
+	live := s.e.LiveEpoch()
+	s.snapMu.Lock()
+	pinned := make(map[uint64]bool, len(s.snaps))
+	for e, sess := range s.snaps {
+		if !sess.released {
+			pinned[e] = true
+		}
+	}
+	s.snapMu.Unlock()
+	s.cache.Sweep(func(e uint64) bool { return e == live || pinned[e] })
+}
+
+// reply writes v as a JSON response.
+func (s *Server) reply(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		s.errors.Add(1)
+	}
+}
+
+// fail writes a JSON error body and counts it.
+func (s *Server) fail(w http.ResponseWriter, status int, format string, args ...any) {
+	s.errors.Add(1)
+	s.reply(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
