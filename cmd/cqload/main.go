@@ -15,11 +15,18 @@
 // stack (CI runs exactly that); -addr points it at an external cqserve
 // instead, where RSS then covers only the client side.
 //
+// -obsbench additionally measures observability overhead: a second
+// in-process server over the same engine with the layer disabled, driven
+// through alternating rounds, medians compared (the obs_overhead row in
+// BENCH_serve.json). -obsgate fails the run when the overhead fraction
+// exceeds it — the CI regression gate.
+//
 // Usage:
 //
 //	cqload [-requests N] [-concurrency 1,8,64] [-edges N] [-universe N]
 //	       [-shards N] [-membudget BYTES] [-admission BYTES] [-queue N]
 //	       [-cache N] [-seed N] [-addr host:port] [-json]
+//	       [-obsbench] [-obsgate FRAC]
 package main
 
 import (
@@ -30,6 +37,7 @@ import (
 	"net/http"
 	"os"
 	"runtime"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -53,8 +61,11 @@ type LoadLevelResult struct {
 	// requests (exact, from the sorted sample).
 	P50Ns int64 `json:"p50_ns"`
 	P99Ns int64 `json:"p99_ns"`
-	// PeakRSSBytes is the process high-water mark (VmHWM) after the level
-	// — monotone across levels, so each reading is "peak so far".
+	// PeakRSSBytes is the process high-water mark after the level —
+	// monotone across levels, so each reading is "peak so far". Always
+	// bytes: sourced from VmHWM (kibibytes, shifted) on Linux and from
+	// getrusage ru_maxrss elsewhere, whose native unit differs per OS
+	// (KiB on Linux, bytes on Darwin) and is normalized before recording.
 	PeakRSSBytes int64 `json:"peak_rss_bytes"`
 	// CacheHits counts responses served from the (query, epoch) result
 	// cache; Commits counts ingest requests that advanced the epoch.
@@ -63,16 +74,32 @@ type LoadLevelResult struct {
 	ByKind    map[string]int `json:"by_kind"`
 }
 
+// ObsOverheadResult compares the serving path with and without the
+// observability layer (correlation middleware, rolling windows,
+// calibration recording): alternating measurement rounds against two
+// servers sharing one engine, medians compared. Overhead is the fraction
+// of throughput the observed server gives up ((off − on) / off; negative
+// means noise favored the observed side).
+type ObsOverheadResult struct {
+	Concurrency   int     `json:"concurrency"`
+	Requests      int     `json:"requests_per_round"`
+	Rounds        int     `json:"rounds"`
+	OnThroughput  float64 `json:"obs_on_rps"`
+	OffThroughput float64 `json:"obs_off_rps"`
+	Overhead      float64 `json:"overhead_frac"`
+}
+
 // LoadReport is the top-level JSON document (BENCH_serve.json).
 type LoadReport struct {
-	Addr        string            `json:"addr"`
-	GOMAXPROCS  int               `json:"gomaxprocs"`
-	Shards      int               `json:"shards"`
-	BudgetBytes int64             `json:"budget_bytes"`
-	Admission   int64             `json:"admission_bytes"`
-	Edges       int               `json:"edges"`
-	Universe    int               `json:"universe"`
-	Levels      []LoadLevelResult `json:"levels"`
+	Addr        string             `json:"addr"`
+	GOMAXPROCS  int                `json:"gomaxprocs"`
+	Shards      int                `json:"shards"`
+	BudgetBytes int64              `json:"budget_bytes"`
+	Admission   int64              `json:"admission_bytes"`
+	Edges       int                `json:"edges"`
+	Universe    int                `json:"universe"`
+	Levels      []LoadLevelResult  `json:"levels"`
+	ObsOverhead *ObsOverheadResult `json:"obs_overhead,omitempty"`
 }
 
 func main() {
@@ -88,14 +115,20 @@ func main() {
 	seed := flag.Int64("seed", 20260807, "workload RNG seed")
 	addr := flag.String("addr", "", "target an external cqserve at host:port instead of in-process")
 	asJSON := flag.Bool("json", false, "emit the report as JSON (the BENCH_serve.json document)")
+	obsBench := flag.Bool("obsbench", false, "measure observability overhead (obs-on vs obs-off servers over one engine)")
+	obsGate := flag.Float64("obsgate", 0, "fail (exit 1) when observability overhead exceeds this fraction (0 disables)")
 	flag.Parse()
 
 	levels, err := parseLevels(*concurrency)
 	if err != nil {
 		fatal(err)
 	}
+	if *obsBench && *addr != "" {
+		fatal(fmt.Errorf("-obsbench needs the in-process server pair; drop -addr"))
+	}
 
 	base := *addr
+	var offBase string
 	if base == "" {
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
@@ -116,6 +149,27 @@ func main() {
 		go hs.Serve(ln)
 		defer hs.Close()
 		base = ln.Addr().String()
+
+		if *obsBench {
+			// A second front-end over the same engine, observability off:
+			// same data, same plans, same admission config — the only
+			// difference is the layer under measurement.
+			offLn, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				fatal(err)
+			}
+			offSrv := cqbound.NewServer(eng,
+				cqbound.WithAdmissionBudget(*admission),
+				cqbound.WithAdmissionQueue(*queue),
+				cqbound.WithResultCache(*cache),
+				cqbound.WithoutObservability(),
+			)
+			defer offSrv.Close()
+			offHs := &http.Server{Handler: offSrv}
+			go offHs.Serve(offLn)
+			defer offHs.Close()
+			offBase = offLn.Addr().String()
+		}
 	}
 
 	report := &LoadReport{
@@ -139,21 +193,86 @@ func main() {
 		report.Levels = append(report.Levels, *res)
 	}
 
+	if *obsBench {
+		// The off-side harness shares the engine (and thus the dataset the
+		// on-side already loaded) but drives its own front-end.
+		offH := newHarness("http://"+offBase, *seed+1, *edges, *universe)
+		ob, err := runObsBench(h, offH, levels[len(levels)-1], *requests)
+		if err != nil {
+			fatal(err)
+		}
+		report.ObsOverhead = ob
+	}
+
 	if *asJSON {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(report); err != nil {
 			fatal(err)
 		}
-		return
+	} else {
+		fmt.Printf("addr=%s gomaxprocs=%d budget=%d admission=%d edges=%d\n",
+			report.Addr, report.GOMAXPROCS, report.BudgetBytes, report.Admission, report.Edges)
+		for _, l := range report.Levels {
+			fmt.Printf("  c=%-3d %6.0f req/s  p50=%-10s p99=%-10s ok=%d rejected=%d errors=%d hits=%d commits=%d rss=%dMiB\n",
+				l.Concurrency, l.Throughput, fmtNs(l.P50Ns), fmtNs(l.P99Ns),
+				l.Succeeded, l.Rejected, l.Errors, l.CacheHits, l.Commits, l.PeakRSSBytes>>20)
+		}
+		if ob := report.ObsOverhead; ob != nil {
+			fmt.Printf("  obs overhead c=%-3d on=%.0f req/s off=%.0f req/s overhead=%+.1f%%\n",
+				ob.Concurrency, ob.OnThroughput, ob.OffThroughput, 100*ob.Overhead)
+		}
 	}
-	fmt.Printf("addr=%s gomaxprocs=%d budget=%d admission=%d edges=%d\n",
-		report.Addr, report.GOMAXPROCS, report.BudgetBytes, report.Admission, report.Edges)
-	for _, l := range report.Levels {
-		fmt.Printf("  c=%-3d %6.0f req/s  p50=%-10s p99=%-10s ok=%d rejected=%d errors=%d hits=%d commits=%d rss=%dMiB\n",
-			l.Concurrency, l.Throughput, fmtNs(l.P50Ns), fmtNs(l.P99Ns),
-			l.Succeeded, l.Rejected, l.Errors, l.CacheHits, l.Commits, l.PeakRSSBytes>>20)
+
+	if ob := report.ObsOverhead; ob != nil && *obsGate > 0 && ob.Overhead > *obsGate {
+		fmt.Fprintf(os.Stderr, "cqload: observability overhead %.1f%% exceeds gate %.1f%%\n",
+			100*ob.Overhead, 100**obsGate)
+		os.Exit(1)
 	}
+}
+
+// runObsBench interleaves measurement rounds against the observed and
+// unobserved front-ends (one warmup round each, then `rounds` measured
+// pairs) and compares median throughputs. Interleaving keeps slow drift
+// (cache warmth, epoch advancement from the mix's ingest share, GC
+// pressure) from landing on one side only.
+func runObsBench(on, off *harness, concurrency, requests int) (*ObsOverheadResult, error) {
+	const rounds = 3
+	if _, err := on.run(concurrency, requests); err != nil {
+		return nil, err
+	}
+	if _, err := off.run(concurrency, requests); err != nil {
+		return nil, err
+	}
+	var onT, offT []float64
+	for i := 0; i < rounds; i++ {
+		r, err := on.run(concurrency, requests)
+		if err != nil {
+			return nil, err
+		}
+		onT = append(onT, r.Throughput)
+		if r, err = off.run(concurrency, requests); err != nil {
+			return nil, err
+		}
+		offT = append(offT, r.Throughput)
+	}
+	res := &ObsOverheadResult{
+		Concurrency:   concurrency,
+		Requests:      requests,
+		Rounds:        rounds,
+		OnThroughput:  median(onT),
+		OffThroughput: median(offT),
+	}
+	if res.OffThroughput > 0 {
+		res.Overhead = (res.OffThroughput - res.OnThroughput) / res.OffThroughput
+	}
+	return res, nil
+}
+
+func median(xs []float64) float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	return s[len(s)/2]
 }
 
 func parseLevels(s string) ([]int, error) {
@@ -179,9 +298,19 @@ func fmtNs(ns int64) string {
 	}
 }
 
-// peakRSS reads the process high-water mark from /proc/self/status
-// (VmHWM, kibibytes); 0 where procfs is unavailable.
+// peakRSS reads the process high-water mark: /proc/self/status (VmHWM,
+// kibibytes) where procfs exists, getrusage(2) ru_maxrss elsewhere
+// (kibibytes on Linux, bytes on Darwin — rusageRSS normalizes both to
+// bytes); 0 where neither source is available.
 func peakRSS() int64 {
+	if rss := procRSS(); rss > 0 {
+		return rss
+	}
+	return rusageRSS()
+}
+
+// procRSS parses VmHWM out of /proc/self/status; 0 without procfs.
+func procRSS() int64 {
 	b, err := os.ReadFile("/proc/self/status")
 	if err != nil {
 		return 0

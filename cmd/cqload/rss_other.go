@@ -1,0 +1,7 @@
+//go:build !unix
+
+package main
+
+// rusageRSS has no portable source on non-unix platforms; peak RSS
+// reports 0 there.
+func rusageRSS() int64 { return 0 }

@@ -1,0 +1,25 @@
+//go:build unix
+
+package main
+
+import (
+	"runtime"
+	"syscall"
+)
+
+// rusageRSS reads the process high-water mark from getrusage(2) — the
+// fallback where /proc/self/status (VmHWM) is unavailable, i.e. every
+// unix that is not Linux. ru_maxrss is kibibytes on Linux but bytes on
+// Darwin; normalize to bytes so PeakRSSBytes means the same thing
+// everywhere.
+func rusageRSS() int64 {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0
+	}
+	rss := int64(ru.Maxrss)
+	if runtime.GOOS != "darwin" {
+		rss <<= 10
+	}
+	return rss
+}

@@ -10,12 +10,21 @@
 // consistency). Admission rejects with 429 once the queue is full;
 // watch /metrics (the serve_admission_* family) to see it work.
 //
+// The serving path is observable out of the box (ARCHITECTURE §12):
+// responses carry X-Request-ID, /metrics?format=prom serves Prometheus
+// text, /healthz and /readyz answer probes, /debug/pprof profiles the
+// process, /debug/requests lists in-flight queries, and /calibration
+// reports how the paper's admission bounds track actual cardinalities.
+// -access streams the sampled JSON access log to stderr; -no-obs turns
+// the whole layer off.
+//
 // Usage:
 //
 //	cqserve [-addr :8080] [-shards N] [-shard-threshold N]
 //	        [-membudget BYTES] [-spilldir DIR]
 //	        [-admission BYTES] [-queue N] [-cache N]
 //	        [-timeout D] [-slow D] [-trace]
+//	        [-access] [-access-sample N] [-no-obs]
 package main
 
 import (
@@ -41,6 +50,9 @@ func main() {
 	timeout := flag.Duration("timeout", 30*time.Second, "per-request deadline")
 	slow := flag.Duration("slow", 0, "slow-query log threshold on stderr (0 disables)")
 	traceAll := flag.Bool("trace", false, "trace every evaluation (feeds histograms and the slow-query log)")
+	access := flag.Bool("access", false, "write the sampled JSON access log to stderr")
+	accessSample := flag.Int("access-sample", 10, "log one in N successful requests (non-200s always log)")
+	noObs := flag.Bool("no-obs", false, "disable serving-path observability (correlation, windows, /debug, /calibration)")
 	flag.Parse()
 
 	var opts []cqbound.Option
@@ -66,6 +78,11 @@ func main() {
 	}
 	if *admission > 0 {
 		srvOpts = append(srvOpts, cqbound.WithAdmissionBudget(*admission))
+	}
+	if *noObs {
+		srvOpts = append(srvOpts, cqbound.WithoutObservability())
+	} else if *access {
+		srvOpts = append(srvOpts, cqbound.WithAccessLog(os.Stderr, *accessSample))
 	}
 	srv := cqbound.NewServer(eng, srvOpts...)
 	defer srv.Close()

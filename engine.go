@@ -9,6 +9,7 @@ import (
 	"cqbound/internal/batch"
 	"cqbound/internal/core"
 	"cqbound/internal/database"
+	"cqbound/internal/eval"
 	"cqbound/internal/lru"
 	"cqbound/internal/plan"
 	"cqbound/internal/pool"
@@ -601,6 +602,32 @@ func (e *Engine) BoundRows(q *Query, db *Database) (float64, error) {
 		}
 	}
 	return float64(in), nil
+}
+
+// PlanInfo returns, in one call against the cached plan, what the serving
+// path wants to know before (and record after) an evaluation: the chosen
+// strategy's name, the paper's worst-case row bound (as BoundRows, with
+// the same Σ|Rᵢ| fallback), and the System-R independence estimate of the
+// output size. Bound versus estimate versus actual rows is the
+// bound-calibration telemetry the server aggregates per strategy and
+// query shape.
+func (e *Engine) PlanInfo(q *Query, db *Database) (strategy string, bound, estimate float64, err error) {
+	p, err := e.planFor(q, db)
+	if err != nil {
+		return "", 0, 0, err
+	}
+	if rows, _, ok := plan.BoundRows(p, q, db); ok {
+		bound = rows
+	} else {
+		in := 0
+		for _, a := range q.Body {
+			if r := db.Relation(a.Relation); r != nil {
+				in += r.Size()
+			}
+		}
+		bound = float64(in)
+	}
+	return p.Strategy.String(), bound, eval.EstimateOutput(q, db), nil
 }
 
 // epochKeySuffix is appended to a query's text to form its per-epoch plan

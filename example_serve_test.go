@@ -3,6 +3,7 @@ package cqbound_test
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"net/url"
@@ -56,4 +57,70 @@ func ExampleNewServer() {
 	// Output:
 	// epoch 2: 2 tuples (cached=false)
 	// epoch 2: 2 tuples (cached=true)
+}
+
+// ExampleNewServer_metrics shows the serving-path observability layer:
+// requests carry correlation IDs end to end, ObsStats counts what the
+// middleware saw, and /metrics?format=prom renders the same families as
+// Prometheus text exposition.
+func ExampleNewServer_metrics() {
+	eng := cqbound.NewEngine()
+	defer eng.Close()
+	srv := cqbound.NewServer(eng)
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	body := `{"ops":[
+		{"op":"create","rel":"E","attrs":["x","y"]},
+		{"op":"append","rel":"E","rows":[["a","b"],["b","c"],["c","d"]]}]}`
+	resp, err := http.Post(ts.URL+"/commit", "application/json", strings.NewReader(body))
+	if err != nil {
+		panic(err)
+	}
+	resp.Body.Close()
+
+	// A client-supplied X-Request-ID is echoed back and stamped on the
+	// access log, the slow-query record and the rendered trace, so any
+	// response is joinable to its server-side story.
+	q := url.QueryEscape("Q(X,Z) <- E(X,Y), E(Y,Z).")
+	for i := 0; i < 2; i++ {
+		req, err := http.NewRequest("GET", ts.URL+"/query?q="+q, nil)
+		if err != nil {
+			panic(err)
+		}
+		req.Header.Set("X-Request-ID", "doc-1")
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			panic(err)
+		}
+		resp.Body.Close()
+		if i == 0 {
+			fmt.Println("request id:", resp.Header.Get("X-Request-ID"))
+		}
+	}
+
+	// ObsStats snapshots the middleware counters: the commit plus both
+	// queries passed through, the repeat query hit the result cache, and
+	// the evaluated one recorded a bound-calibration sample.
+	st := srv.ObsStats()
+	fmt.Printf("requests=%d cache_hits=%d calibration_records=%d\n",
+		st.Requests, st.CacheHits, st.CalibrationRecords)
+
+	// The same families render as Prometheus text exposition.
+	resp, err = http.Get(ts.URL + "/metrics?format=prom")
+	if err != nil {
+		panic(err)
+	}
+	var prom strings.Builder
+	if _, err := io.Copy(&prom, resp.Body); err != nil {
+		panic(err)
+	}
+	resp.Body.Close()
+	fmt.Println("prom exposes serve_window_request_rate:",
+		strings.Contains(prom.String(), "# TYPE serve_window_request_rate gauge"))
+	// Output:
+	// request id: doc-1
+	// requests=3 cache_hits=1 calibration_records=1
+	// prom exposes serve_window_request_rate: true
 }

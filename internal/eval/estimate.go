@@ -16,8 +16,58 @@ import (
 	"math"
 	"slices"
 
+	"cqbound/internal/cq"
+	"cqbound/internal/database"
 	"cqbound/internal/shard"
 )
+
+// EstimateOutput is the whole-query System-R independence estimate of
+// |Q(D)|: the body atoms joined in order under containment of value sets
+// (each shared variable divides by the larger distinct count and keeps the
+// smaller), then a duplicate-eliminating projection onto the head
+// variables. It is the pre-execution cost-model counterpart of the paper's
+// worst-case bounds: BoundRows can never undershoot, this can, and the
+// calibration telemetry records how each tracks actual cardinalities.
+// Relations absent from db contribute nothing (their estimate is left to
+// planning-time errors elsewhere).
+func EstimateOutput(q *cq.Query, db *database.Database) float64 {
+	est := 1.0
+	v := make(map[cq.Variable]float64)
+	for _, a := range q.Body {
+		r := db.Relation(a.Relation)
+		if r == nil {
+			continue
+		}
+		est *= float64(r.Size())
+		for i, x := range a.Vars {
+			d := math.Max(1, float64(r.DistinctEstimate(i)))
+			if dl, ok := v[x]; ok {
+				if m := math.Max(dl, d); m >= 1 {
+					est /= m
+				}
+				v[x] = math.Min(dl, d)
+			} else {
+				v[x] = d
+			}
+		}
+		for x, d := range v {
+			if d > est {
+				v[x] = math.Max(1, est)
+			}
+		}
+	}
+	domain := 1.0
+	for _, x := range q.Head.Vars {
+		d, ok := v[x]
+		if !ok {
+			d = 1
+		}
+		if domain < est {
+			domain *= d
+		}
+	}
+	return math.Min(est, domain)
+}
 
 // estimateJoin estimates |l ⋈ r| from the sides' sizes and per-column
 // distinct counts: |l|·|r| / Π over shared attributes of max(V(l,a),

@@ -57,6 +57,35 @@ func (r *Registry) NewHistogram(name string) *Histogram {
 	return h
 }
 
+// Names returns every registered metric name in registration order — the
+// stable iteration order exporters (Prometheus exposition) render in.
+func (r *Registry) Names() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]string(nil), r.order...)
+}
+
+// GaugeValue samples the named gauge (0, false when the name is not a
+// gauge).
+func (r *Registry) GaugeValue(name string) (int64, bool) {
+	r.mu.Lock()
+	fn, ok := r.gauges[name]
+	r.mu.Unlock()
+	if !ok {
+		return 0, false
+	}
+	return fn(), true
+}
+
+// Histogram returns the named histogram, or nil when the name is not a
+// histogram. Exporters use it to reach the raw buckets that
+// HistogramSnapshot intentionally omits.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.hists[name]
+}
+
 // Snapshot samples every metric: gauges as int64, histograms as
 // HistogramSnapshot. The map is a fresh copy the caller owns.
 func (r *Registry) Snapshot() map[string]any {
@@ -151,6 +180,17 @@ func (h *Histogram) Observe(v int64) {
 		}
 	}
 	h.buckets[bits.Len64(uint64(v))].Add(1)
+}
+
+// Buckets copies the raw power-of-two bucket counts, plus the exact sum
+// and count, for exporters that render cumulative bucket series. Bucket i
+// covers [2^(i-1), 2^i); bucket 0 holds zeros.
+func (h *Histogram) Buckets() (buckets []int64, sum, count int64) {
+	buckets = make([]int64, histBuckets)
+	for i := range buckets {
+		buckets[i] = h.buckets[i].Load()
+	}
+	return buckets, h.sum.Load(), h.count.Load()
 }
 
 // HistogramSnapshot is a point-in-time copy of a histogram: exact count,

@@ -1,0 +1,104 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// AccessRecord is one JSON line of the access log. Everything a later
+// join needs is here: the correlation ID ties the line to the trace, the
+// slow-query record and /debug/requests; outcome and status explain what
+// the serving path did with the request.
+type AccessRecord struct {
+	Time      time.Time `json:"time"`
+	RequestID string    `json:"request_id"`
+	Method    string    `json:"method"`
+	Path      string    `json:"path"`
+	Query     string    `json:"query,omitempty"`
+	Status    int       `json:"status"`
+	Outcome   string    `json:"outcome,omitempty"` // ok, cached, shed, timeout, canceled, error
+	Epoch     uint64    `json:"epoch,omitempty"`
+	Cached    bool      `json:"cached,omitempty"`
+	Clamped   bool      `json:"clamped,omitempty"`
+	BoundRows float64   `json:"bound_rows,omitempty"`
+	Charge    int64     `json:"charge_bytes,omitempty"`
+	QueueNs   int64     `json:"queue_ns,omitempty"`
+	LatencyNs int64     `json:"latency_ns"`
+	Bytes     int64     `json:"bytes"`
+}
+
+// AccessLog writes sampled JSON access lines: every non-200 and every
+// clamped request is always logged (sheds, timeouts and clamps must stay
+// joinable to their traces), plain 200s are sampled one-in-every. A nil
+// *AccessLog drops everything.
+type AccessLog struct {
+	mu    sync.Mutex
+	w     io.Writer
+	every int64
+
+	seq     atomic.Int64
+	logged  atomic.Int64
+	dropped atomic.Int64
+}
+
+// NewAccessLog logs to w, sampling successful requests one-in-every
+// (every <= 1 logs all of them). Returns nil when w is nil, so callers
+// can thread an unconfigured log without checks.
+func NewAccessLog(w io.Writer, every int) *AccessLog {
+	if w == nil {
+		return nil
+	}
+	if every < 1 {
+		every = 1
+	}
+	return &AccessLog{w: w, every: int64(every)}
+}
+
+// Log writes rec as one JSON line, subject to sampling.
+func (l *AccessLog) Log(rec *AccessRecord) {
+	if l == nil || rec == nil {
+		return
+	}
+	noteworthy := rec.Status != 200 || rec.Clamped
+	if !noteworthy && l.seq.Add(1)%l.every != 0 {
+		l.dropped.Add(1)
+		return
+	}
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return
+	}
+	l.logged.Add(1)
+	l.mu.Lock()
+	l.w.Write(append(line, '\n'))
+	l.mu.Unlock()
+}
+
+// Logged returns how many lines were written.
+func (l *AccessLog) Logged() int64 {
+	if l == nil {
+		return 0
+	}
+	return l.logged.Load()
+}
+
+// Dropped returns how many successful requests sampling skipped.
+func (l *AccessLog) Dropped() int64 {
+	if l == nil {
+		return 0
+	}
+	return l.dropped.Load()
+}
+
+// Reset zeroes the written/skipped counters (sampling phase restarts).
+func (l *AccessLog) Reset() {
+	if l == nil {
+		return
+	}
+	l.seq.Store(0)
+	l.logged.Store(0)
+	l.dropped.Store(0)
+}

@@ -1,0 +1,36 @@
+// Package obs is the serving-path observability layer: the pieces that
+// make one HTTP request to the cqserve front-end explainable after the
+// fact and the serving trajectory watchable while it happens.
+//
+// Correlation. Every request carries a request ID — accepted from an
+// X-Request-ID header or a W3C traceparent, generated otherwise — held in
+// a RequestState that travels the request's context. The same ID appears
+// in the response header, the 429/error JSON bodies, the sampled access
+// log, the slow-query log, the rendered trace and /debug/requests, so any
+// shed, clamp, timeout or slow query is joinable to its full span tree.
+// RequestState setters are mutex-guarded because the in-flight registry
+// snapshots a request from other goroutines while its handler still runs.
+//
+// Windows. Counter and Sampler are rings of fixed-width buckets over an
+// injectable clock; reads merge the buckets inside the asked-for window,
+// so rates and latency quantiles are live windowed series (1m/5m), not
+// cumulative counters. A bucket older than the ring's span is reused in
+// place — nothing is ever allocated after construction and a reader never
+// blocks an observer for more than a bucket merge.
+//
+// Exposition. WriteProm renders metric families in the Prometheus text
+// format: gauges and counters as single samples, power-of-two histograms
+// as cumulative _bucket/_sum/_count triples, windowed quantiles as
+// summaries. Names and label values go through SanitizeName/ValidName so
+// a scraper never sees an invalid family.
+//
+// Calibration. Calibration records, per (strategy, query shape), the
+// log₂-ratio error of the paper's worst-case bound and of the System-R
+// estimate against the actual output cardinality — the repo's first
+// empirical read on how tight the Thm 4.4 / AGM bounds run in practice,
+// and the estimate-error history a cost-based planner will train on.
+//
+// Every exported type is nil-receiver safe on its hot-path methods: a
+// server built without observability keeps nil components and pays only
+// the nil checks.
+package obs

@@ -1,0 +1,127 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Inflight is the registry behind /debug/requests: every request in
+// flight, keyed by an opaque handle, snapshottable while the handlers
+// still run. A nil *Inflight ignores everything.
+type Inflight struct {
+	mu  sync.Mutex
+	m   map[uint64]*RequestState
+	seq uint64
+}
+
+// NewInflight returns an empty registry.
+func NewInflight() *Inflight {
+	return &Inflight{m: make(map[uint64]*RequestState)}
+}
+
+// Register adds rs and returns the handle to deregister with.
+func (f *Inflight) Register(rs *RequestState) uint64 {
+	if f == nil || rs == nil {
+		return 0
+	}
+	f.mu.Lock()
+	f.seq++
+	h := f.seq
+	f.m[h] = rs
+	f.mu.Unlock()
+	return h
+}
+
+// Done removes a registered request.
+func (f *Inflight) Done(h uint64) {
+	if f == nil || h == 0 {
+		return
+	}
+	f.mu.Lock()
+	delete(f.m, h)
+	f.mu.Unlock()
+}
+
+// Len returns the number of requests currently in flight (a gauge).
+func (f *Inflight) Len() int {
+	if f == nil {
+		return 0
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.m)
+}
+
+// RequestView is one in-flight request as /debug/requests renders it.
+type RequestView struct {
+	RequestID string  `json:"request_id"`
+	Method    string  `json:"method"`
+	Path      string  `json:"path"`
+	Query     string  `json:"query,omitempty"`
+	State     string  `json:"state"`
+	QueuePos  int     `json:"queue_pos,omitempty"`
+	ElapsedNs int64   `json:"elapsed_ns"`
+	Epoch     uint64  `json:"epoch,omitempty"`
+	BoundRows float64 `json:"bound_rows,omitempty"`
+	Charge    int64   `json:"charge_bytes,omitempty"`
+}
+
+// Snapshot copies every in-flight request, oldest first.
+func (f *Inflight) Snapshot(now time.Time) []RequestView {
+	if f == nil {
+		return nil
+	}
+	f.mu.Lock()
+	states := make([]*RequestState, 0, len(f.m))
+	for _, rs := range f.m {
+		states = append(states, rs)
+	}
+	f.mu.Unlock()
+	sort.Slice(states, func(i, j int) bool { return states[i].start.Before(states[j].start) })
+	out := make([]RequestView, 0, len(states))
+	for _, rs := range states {
+		rs.mu.Lock()
+		out = append(out, RequestView{
+			RequestID: rs.id,
+			Method:    rs.method,
+			Path:      rs.path,
+			Query:     rs.query,
+			State:     rs.state,
+			QueuePos:  rs.queuePos,
+			ElapsedNs: now.Sub(rs.start).Nanoseconds(),
+			Epoch:     rs.epoch,
+			BoundRows: rs.boundRows,
+			Charge:    rs.chargeBytes,
+		})
+		rs.mu.Unlock()
+	}
+	return out
+}
+
+// AccessRecord assembles the request's access-log line from its state
+// plus the response's status, byte count and total latency.
+func (rs *RequestState) AccessRecord(status int, bytes int64, latency time.Duration) *AccessRecord {
+	if rs == nil {
+		return nil
+	}
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	return &AccessRecord{
+		Time:      rs.start,
+		RequestID: rs.id,
+		Method:    rs.method,
+		Path:      rs.path,
+		Query:     rs.query,
+		Status:    status,
+		Outcome:   rs.outcome,
+		Epoch:     rs.epoch,
+		Cached:    rs.cached,
+		Clamped:   rs.clamped,
+		BoundRows: rs.boundRows,
+		Charge:    rs.chargeBytes,
+		QueueNs:   rs.queueNs,
+		LatencyNs: latency.Nanoseconds(),
+		Bytes:     bytes,
+	}
+}

@@ -1,0 +1,402 @@
+// End-to-end tests of the serving-path observability layer
+// (ARCHITECTURE §12) over real HTTP: request-ID correlation across the
+// access log, slow-query log, rendered trace and error bodies; the
+// introspection endpoints; the Prometheus exposition; the windowed
+// Retry-After hint on 429s; and the ObsStats reset contract.
+package serve_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/url"
+	"reflect"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	cqbound "cqbound"
+	"cqbound/internal/datagen"
+	"cqbound/internal/obs"
+)
+
+// syncBuf is a mutex-guarded buffer: the access log and slow-query log
+// write from request goroutines while the test reads.
+type syncBuf struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuf) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuf) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+// waitContains polls buf for substr — the access-log line lands just
+// after the response reaches the client, so the first read can race it.
+func waitContains(t *testing.T, buf *syncBuf, substr, what string) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for !strings.Contains(buf.String(), substr) {
+		if time.Now().After(deadline) {
+			t.Fatalf("%s never mentioned %q; contents:\n%s", what, substr, buf.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// loadTriangle commits the three-edge cycle used across these tests.
+func loadTriangle(t *testing.T, s *testSrv) {
+	t.Helper()
+	s.commit(t, []op{
+		{Op: "create", Rel: "E", Attrs: []string{"x", "y"}},
+		{Op: "append", Rel: "E", Rows: [][]string{{"a", "b"}, {"b", "c"}, {"c", "a"}}},
+		{Op: "create", Rel: "F", Attrs: []string{"x", "y"}},
+		{Op: "append", Rel: "F", Rows: [][]string{{"a", "b"}, {"b", "c"}, {"c", "a"}}},
+		{Op: "create", Rel: "G", Attrs: []string{"x", "y"}},
+		{Op: "append", Rel: "G", Rows: [][]string{{"a", "b"}, {"b", "c"}, {"c", "a"}}},
+	})
+}
+
+// TestRequestIDCorrelation drives one query carrying a client-supplied
+// X-Request-ID end to end and checks the same ID surfaces everywhere the
+// layer promises: the echoed response header, the rendered trace, the
+// slow-query record, the sampled access log, and error bodies.
+func TestRequestIDCorrelation(t *testing.T) {
+	const id = "corr-7f3a"
+	var accessLog, slowLog syncBuf
+	s := newTestSrv(t,
+		[]cqbound.Option{
+			cqbound.WithTracing(),
+			cqbound.WithTraceSink(cqbound.NewSlowQueryLog(&slowLog, 0)),
+		},
+		[]cqbound.ServerOption{cqbound.WithAccessLog(&accessLog, 1)},
+	)
+	loadTriangle(t, s)
+
+	v := url.Values{"q": {"Q(X,Y,Z) <- E(X,Y), F(Y,Z), G(Z,X)."}, "trace": {"1"}}
+	req, err := http.NewRequest(http.MethodGet, s.ts.URL+"/query?"+v.Encode(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set(obs.HeaderRequestID, id)
+	resp, err := s.c.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("query status %d: %s", resp.StatusCode, body)
+	}
+	if got := resp.Header.Get(obs.HeaderRequestID); got != id {
+		t.Fatalf("response %s = %q, want %q", obs.HeaderRequestID, got, id)
+	}
+	var qr queryResp
+	if err := json.Unmarshal(body, &qr); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(qr.Trace, "request: "+id) {
+		t.Fatalf("rendered trace does not carry the request ID:\n%s", qr.Trace)
+	}
+	waitContains(t, &slowLog, `"request_id":"`+id+`"`, "slow-query log")
+	waitContains(t, &accessLog, `"request_id":"`+id+`"`, "access log")
+
+	// Error bodies carry the ID too: a parse failure is a deterministic 400.
+	req, err = http.NewRequest(http.MethodGet, s.ts.URL+"/query?q=not+a+query", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set(obs.HeaderRequestID, id+"-bad")
+	resp, err = s.c.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("parse error status %d", resp.StatusCode)
+	}
+	var errBody struct {
+		RequestID string `json:"request_id"`
+	}
+	if err := json.Unmarshal(body, &errBody); err != nil {
+		t.Fatalf("error body not JSON: %v (%s)", err, body)
+	}
+	if errBody.RequestID != id+"-bad" {
+		t.Fatalf("error body request_id = %q, want %q", errBody.RequestID, id+"-bad")
+	}
+
+	// Without a client ID the server mints one.
+	resp, err = s.c.Get(s.ts.URL + "/query?" + url.Values{"q": {"Q(X,Y) <- E(X,Y)."}}.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.Header.Get(obs.HeaderRequestID) == "" {
+		t.Fatal("server did not mint a request ID")
+	}
+}
+
+// TestObsEndpointsSmoke is the CI smoke contract: the probe, profiling,
+// introspection and exposition endpoints all answer 200 in-process, and
+// the Prometheus body passes the shared validity checker.
+func TestObsEndpointsSmoke(t *testing.T) {
+	s := newTestSrv(t, nil, nil)
+	loadTriangle(t, s)
+	if _, code := s.query(t, "Q(X,Y,Z) <- E(X,Y), F(Y,Z), G(Z,X).", "", false); code != http.StatusOK {
+		t.Fatalf("warmup query status %d", code)
+	}
+
+	for _, path := range []string{
+		"/healthz",
+		"/readyz",
+		"/debug/requests",
+		"/calibration",
+		"/debug/pprof/profile?seconds=1",
+		"/metrics",
+		"/metrics?format=prom",
+	} {
+		resp, err := s.c.Get(s.ts.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d: %s", path, resp.StatusCode, body)
+		}
+		switch path {
+		case "/metrics?format=prom":
+			if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+				t.Fatalf("prom Content-Type = %q", ct)
+			}
+			obs.CheckPromText(t, string(body))
+			for _, want := range []string{
+				"serve_window_request_rate", "serve_window_latency_ns",
+				"serve_inflight", "calibration_bound_log2_error",
+			} {
+				if !strings.Contains(string(body), want) {
+					t.Errorf("prom exposition missing family %s", want)
+				}
+			}
+		case "/metrics":
+			var m map[string]any
+			if err := json.Unmarshal(body, &m); err != nil {
+				t.Fatalf("/metrics JSON: %v", err)
+			}
+			if _, ok := m["calibration_records"]; !ok {
+				t.Error("/metrics JSON missing calibration_records")
+			}
+		case "/calibration":
+			var c struct {
+				Records int64            `json:"records"`
+				Cells   []map[string]any `json:"cells"`
+			}
+			if err := json.Unmarshal(body, &c); err != nil {
+				t.Fatalf("/calibration JSON: %v", err)
+			}
+			if c.Records == 0 || len(c.Cells) == 0 {
+				t.Fatalf("calibration empty after a query: %s", body)
+			}
+		}
+	}
+}
+
+// TestWithoutObservability checks the off switch: no correlation header,
+// no /debug or /calibration routes, but probes and /metrics still work.
+func TestWithoutObservability(t *testing.T) {
+	s := newTestSrv(t, nil, []cqbound.ServerOption{cqbound.WithoutObservability()})
+	loadTriangle(t, s)
+
+	resp, err := s.c.Get(s.ts.URL + "/query?" + url.Values{"q": {"Q(X,Y) <- E(X,Y)."}}.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("query status %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get(obs.HeaderRequestID); got != "" {
+		t.Fatalf("obs-off server set %s = %q", obs.HeaderRequestID, got)
+	}
+	for path, want := range map[string]int{
+		"/healthz":        http.StatusOK,
+		"/readyz":         http.StatusOK,
+		"/metrics":        http.StatusOK,
+		"/debug/requests": http.StatusNotFound,
+		"/calibration":    http.StatusNotFound,
+		"/debug/pprof/":   http.StatusNotFound,
+	} {
+		resp, err := s.c.Get(s.ts.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != want {
+			t.Fatalf("GET %s: status %d, want %d", path, resp.StatusCode, want)
+		}
+	}
+	if st := s.srv.ObsStats(); st != (cqbound.ObsStats{}) {
+		t.Fatalf("obs-off ObsStats not zero: %+v", st)
+	}
+}
+
+// TestRetryAfterWindowed floods a tiny admission budget and checks every
+// 429 carries the windowed Retry-After hint in [1, 30] seconds and a
+// correlated JSON body.
+func TestRetryAfterWindowed(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	s := newTestSrv(t,
+		[]cqbound.Option{cqbound.WithSharding(0, 2)},
+		[]cqbound.ServerOption{
+			cqbound.WithResultCache(0),
+			cqbound.WithAdmissionBudget(64 << 10),
+			cqbound.WithAdmissionQueue(2),
+		},
+	)
+	db := datagen.EdgeDB(rng, []string{"E", "F", "G"}, 300, 30)
+	ops := []op{}
+	for _, name := range db.Names() {
+		r := db.Relation(name)
+		rows := make([][]string, 0, r.Size())
+		r.Each(func(tp cqbound.Tuple) bool {
+			rows = append(rows, tp.Strings())
+			return true
+		})
+		ops = append(ops, op{Op: "create", Rel: name, Attrs: r.Attrs},
+			op{Op: "append", Rel: name, Rows: rows})
+	}
+	s.commit(t, ops)
+
+	tri := url.Values{"q": {"Q(X,Y,Z) <- E(X,Y), F(Y,Z), G(Z,X)."}}.Encode()
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		rejected int
+		bad      []string
+	)
+	for w := 0; w < 16; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < 3; r++ {
+				resp, err := s.c.Get(s.ts.URL + "/query?" + tri)
+				if err != nil {
+					mu.Lock()
+					bad = append(bad, err.Error())
+					mu.Unlock()
+					return
+				}
+				body, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusTooManyRequests {
+					continue
+				}
+				mu.Lock()
+				rejected++
+				ra := resp.Header.Get("Retry-After")
+				if n, err := strconv.Atoi(ra); err != nil || n < 1 || n > 30 {
+					bad = append(bad, fmt.Sprintf("Retry-After = %q", ra))
+				}
+				if !bytes.Contains(body, []byte(`"request_id"`)) {
+					bad = append(bad, fmt.Sprintf("429 body without request_id: %s", body))
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if len(bad) > 0 {
+		t.Fatalf("bad 429 responses: %v", bad)
+	}
+	if rejected == 0 {
+		t.Skip("flood produced no 429s on this machine; hint contract unexercised")
+	}
+	if st := s.srv.ObsStats(); st.Shed == 0 {
+		t.Fatalf("ObsStats.Shed = 0 after %d rejections", rejected)
+	}
+}
+
+// TestObsStatsReset is the reset contract: after traffic every counter
+// family is live, and ResetStats zeroes them all. The walk is by
+// reflection so a counter added to ObsStats later is covered without
+// editing this test; InflightNow is the documented gauge exemption.
+func TestObsStatsReset(t *testing.T) {
+	var accessLog syncBuf
+	s := newTestSrv(t, nil, []cqbound.ServerOption{cqbound.WithAccessLog(&accessLog, 2)})
+	loadTriangle(t, s)
+
+	queries := []string{
+		"Q(X,Y,Z) <- E(X,Y), F(Y,Z), G(Z,X).",
+		"Q(X,Y) <- E(X,Y).",
+		"Q(X,Z) <- E(X,Y), F(Y,Z).",
+		"Q(X,Y) <- E(X,Y).", // repeat: cache hit
+	}
+	for _, q := range queries {
+		if _, code := s.query(t, q, "", false); code != http.StatusOK {
+			t.Fatalf("query %q status %d", q, code)
+		}
+	}
+	st := s.srv.ObsStats()
+	if st.Requests == 0 || st.Grants == 0 || st.CacheHits == 0 || st.CacheMisses == 0 ||
+		st.LatencySamples == 0 || st.CalibrationRecords == 0 || st.AccessLogged == 0 {
+		t.Fatalf("counters flat after traffic: %+v", st)
+	}
+
+	s.srv.ResetStats()
+	st = s.srv.ObsStats()
+	rv := reflect.ValueOf(st)
+	rt := rv.Type()
+	if rt.NumField() < 12 {
+		t.Fatalf("ObsStats shrank to %d fields", rt.NumField())
+	}
+	for i := 0; i < rt.NumField(); i++ {
+		f := rt.Field(i)
+		if f.Name == "InflightNow" {
+			continue // gauge: current depth, not a resettable counter
+		}
+		if f.Type.Kind() != reflect.Int64 {
+			t.Errorf("ObsStats.%s is %s; the reset walk expects int64 counters", f.Name, f.Type)
+			continue
+		}
+		if v := rv.Field(i).Int(); v != 0 {
+			t.Errorf("ObsStats.%s = %d after ResetStats, want 0", f.Name, v)
+		}
+	}
+
+	// Windows and calibration really drained, not just the struct view.
+	for _, sn := range s.srv.WindowSnapshots() {
+		if sn.Requests != 0 || sn.LatencyP99Ns != 0 {
+			t.Fatalf("window %s not drained after reset: %+v", sn.Window, sn)
+		}
+	}
+	cj, err := s.srv.CalibrationJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var c struct {
+		Records int64 `json:"records"`
+	}
+	if err := json.Unmarshal(cj, &c); err != nil {
+		t.Fatal(err)
+	}
+	if c.Records != 0 {
+		t.Fatalf("calibration not drained after reset: %s", cj)
+	}
+}

@@ -16,6 +16,9 @@ func (t *Trace) Render() string {
 	}
 	var b strings.Builder
 	fmt.Fprintf(&b, "strategy: %s\n", t.Strategy)
+	if t.RequestID != "" {
+		fmt.Fprintf(&b, "request: %s\n", t.RequestID)
+	}
 	if t.Query != "" {
 		fmt.Fprintf(&b, "query: %s\n", t.Query)
 	}

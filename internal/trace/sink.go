@@ -39,6 +39,7 @@ func NewSlowQueryLog(w io.Writer, threshold time.Duration) *SlowQueryLog {
 // slowQueryRecord is the JSON-lines schema of the slow-query log.
 type slowQueryRecord struct {
 	Time       time.Time        `json:"time"`
+	RequestID  string           `json:"request_id,omitempty"`
 	Query      string           `json:"query"`
 	Strategy   string           `json:"strategy"`
 	DurationMS float64          `json:"duration_ms"`
@@ -59,6 +60,7 @@ func (l *SlowQueryLog) Emit(t *Trace) {
 	}
 	rec := slowQueryRecord{
 		Time:       t.Start,
+		RequestID:  t.RequestID,
 		Query:      t.Query,
 		Strategy:   t.Strategy,
 		DurationMS: float64(t.Duration) / float64(time.Millisecond),

@@ -272,6 +272,7 @@ type Tracer struct {
 	stage    atomic.Pointer[Span]
 	query    string
 	strategy string
+	reqID    string
 	start    time.Time
 }
 
@@ -294,6 +295,15 @@ func (t *Tracer) Root() *Span {
 func (t *Tracer) SetStrategy(s string) {
 	if t != nil {
 		t.strategy = s
+	}
+}
+
+// SetRequestID records the serving-path correlation ID so the rendered
+// trace and the slow-query record carry the same ID as the HTTP access
+// log and /debug/requests.
+func (t *Tracer) SetRequestID(id string) {
+	if t != nil {
+		t.reqID = id
 	}
 }
 
@@ -333,11 +343,12 @@ func (t *Tracer) Finish() *Trace {
 	}
 	t.root.forceEnd()
 	return &Trace{
-		Query:    t.query,
-		Strategy: t.strategy,
-		Start:    t.start,
-		Duration: t.root.Duration(),
-		Root:     t.root,
+		Query:     t.query,
+		Strategy:  t.strategy,
+		RequestID: t.reqID,
+		Start:     t.start,
+		Duration:  t.root.Duration(),
+		Root:      t.root,
 	}
 }
 
@@ -358,12 +369,13 @@ type FamilyDelta struct {
 // Trace is a finished evaluation trace: the frozen span tree plus the
 // per-query deltas of the engine's five stats families.
 type Trace struct {
-	Query    string        `json:"query"`
-	Strategy string        `json:"strategy"`
-	Start    time.Time     `json:"start"`
-	Duration time.Duration `json:"duration_ns"`
-	Root     *Span         `json:"-"`
-	Deltas   []FamilyDelta `json:"deltas,omitempty"`
+	Query     string        `json:"query"`
+	Strategy  string        `json:"strategy"`
+	RequestID string        `json:"request_id,omitempty"`
+	Start     time.Time     `json:"start"`
+	Duration  time.Duration `json:"duration_ns"`
+	Root      *Span         `json:"-"`
+	Deltas    []FamilyDelta `json:"deltas,omitempty"`
 }
 
 // SpanCount returns the number of spans in the tree (root included).

@@ -13,6 +13,7 @@ import (
 
 	"cqbound/internal/batch"
 	"cqbound/internal/metrics"
+	"cqbound/internal/obs"
 	"cqbound/internal/plan"
 	"cqbound/internal/shard"
 	"cqbound/internal/spill"
@@ -100,6 +101,7 @@ func (e *Engine) EvaluateTraced(ctx context.Context, q *Query, db *Database) (*R
 		defer e.unpinEpoch(st)
 	}
 	tr := trace.NewTracer(q.String())
+	tr.SetRequestID(obs.RequestID(ctx))
 	ps := tr.Stage(trace.KindPlan, "plan")
 	p, hit, err := e.planForHit(q, db)
 	if hit {

@@ -15,7 +15,7 @@ fail=0
 # The execution-stack packages must keep a dedicated doc.go: their package
 # comments carry API contracts (batch validity windows, spill pin rules),
 # not just one-liners, and a dedicated file keeps them findable.
-for doc in internal/batch/doc.go internal/shard/doc.go internal/eval/doc.go internal/spill/doc.go internal/trace/doc.go internal/metrics/doc.go internal/serve/doc.go; do
+for doc in internal/batch/doc.go internal/shard/doc.go internal/eval/doc.go internal/spill/doc.go internal/trace/doc.go internal/metrics/doc.go internal/serve/doc.go internal/obs/doc.go; do
     if [ ! -f "$doc" ]; then
         echo "checkdocs: missing $doc (execution-stack contract doc)" >&2
         fail=1

@@ -12,12 +12,14 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"cqbound/internal/obs"
 	"cqbound/internal/serve"
 )
 
@@ -61,6 +63,10 @@ type Server struct {
 	requests atomic.Int64
 	errors   atomic.Int64
 
+	// obs is the serving-path observability state (serve_obs.go); nil
+	// when the server was built WithoutObservability.
+	obs *serverObs
+
 	snapMu sync.Mutex
 	snaps  map[uint64]*snapSession
 	closed bool
@@ -82,10 +88,14 @@ type snapSession struct {
 type ServerOption func(*serverConfig)
 
 type serverConfig struct {
-	timeout   time.Duration
-	budget    int64
-	queue     int
-	cacheSize int
+	timeout     time.Duration
+	budget      int64
+	queue       int
+	cacheSize   int
+	noObs       bool
+	obsClock    obs.Clock
+	accessW     io.Writer
+	accessEvery int
 }
 
 // WithRequestTimeout bounds every request's context; handlers return 503
@@ -158,21 +168,39 @@ func NewServer(e *Engine, opts ...ServerOption) *Server {
 	} else {
 		s.cache = serve.NewCache[*cachedResult](1)
 	}
+	if !cfg.noObs {
+		s.obs = newServerObs(cfg.obsClock, cfg.accessW, cfg.accessEvery)
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/query", s.handleQuery)
 	mux.HandleFunc("/commit", s.handleCommit)
 	mux.HandleFunc("/explain", s.handleExplain)
-	mux.Handle("/metrics", e.Metrics())
+	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/snapshot", s.handleSnapshot)
+	s.registerObsRoutes(mux)
 	s.mux = mux
 	s.registerMetrics()
+	s.registerObsMetrics()
 	return s
 }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.requests.Add(1)
+	if s.obs != nil {
+		s.serveObserved(w, r)
+		return
+	}
 	s.mux.ServeHTTP(w, r)
+}
+
+// now reads the server's clock: the injectable obs clock when
+// observability is on, the wall clock otherwise.
+func (s *Server) now() time.Time {
+	if s.obs != nil {
+		return s.obs.clock()
+	}
+	return time.Now()
 }
 
 // Close releases every epoch still pinned by a snapshot session. In-flight
@@ -252,12 +280,14 @@ type queryResponse struct {
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := context.WithTimeout(r.Context(), s.timeout)
 	defer cancel()
+	rs := obs.RequestFrom(ctx)
 	qtext := r.FormValue("q")
 	q, err := Parse(qtext)
 	if err != nil {
-		s.fail(w, http.StatusBadRequest, "parse: %v", err)
+		s.fail(w, r, http.StatusBadRequest, "parse: %v", err)
 		return
 	}
+	rs.SetQuery(qtext)
 	traced := r.FormValue("trace") == "1"
 
 	// Pin the epoch the request reads: a held snapshot session when
@@ -270,12 +300,12 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if es := r.FormValue("epoch"); es != "" {
 		n, err := strconv.ParseUint(es, 10, 64)
 		if err != nil {
-			s.fail(w, http.StatusBadRequest, "epoch: %v", err)
+			s.fail(w, r, http.StatusBadRequest, "epoch: %v", err)
 			return
 		}
 		sess := s.acquireSession(n)
 		if sess == nil {
-			s.fail(w, http.StatusNotFound, "epoch %d is not pinned by a snapshot session", n)
+			s.fail(w, r, http.StatusNotFound, "epoch %d is not pinned by a snapshot session", n)
 			return
 		}
 		db, epoch, release = sess.snap.DB(), n, func() { s.releaseSession(n) }
@@ -284,11 +314,22 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		db, epoch, release = snap.DB(), snap.Epoch(), snap.Close
 	}
 	defer release()
+	rs.SetEpoch(epoch)
 
 	// Cache hits skip admission: a materialized answer costs no evaluation
 	// memory. Traced requests bypass the cache so their trace is real.
 	if s.cacheOn && !traced {
-		if res, ok := s.cache.Get(qtext, epoch); ok {
+		res, ok := s.cache.Get(qtext, epoch)
+		if o := s.obs; o != nil {
+			if ok {
+				o.windows.CacheHits.Add(1)
+			} else {
+				o.windows.CacheMisses.Add(1)
+			}
+		}
+		if ok {
+			rs.MarkCached()
+			rs.SetOutcome("cached")
 			s.reply(w, http.StatusOK, &queryResponse{
 				Query: qtext, Epoch: epoch, Rows: len(res.Tuples),
 				Attrs: res.Attrs, Tuples: res.Tuples, Cached: true,
@@ -297,24 +338,48 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
-	// Admission: reserve the paper's worst-case output size.
-	rows, err := s.e.BoundRows(q, db)
+	// Admission: reserve the paper's worst-case output size. With
+	// observability on, one PlanInfo call against the cached plan also
+	// yields the strategy name and the System-R output estimate the
+	// calibration telemetry compares against actual rows.
+	var (
+		strategy string
+		bound    float64
+		estimate float64
+	)
+	if s.obs != nil {
+		strategy, bound, estimate, err = s.e.PlanInfo(q, db)
+	} else {
+		bound, err = s.e.BoundRows(q, db)
+	}
 	if err != nil {
-		s.fail(w, http.StatusBadRequest, "plan: %v", err)
+		s.fail(w, r, http.StatusBadRequest, "plan: %v", err)
 		return
 	}
-	ticket, err := s.admit.Admit(ctx, estBytes(rows, q))
+	charge := estBytes(bound, q)
+	rs.SetAdmission(bound, charge, charge > s.admit.Stats().Capacity)
+	rs.SetState("queued", s.admit.Stats().Waiting)
+	queuedAt := s.now()
+	ticket, err := s.admit.Admit(ctx, charge)
+	if o := s.obs; o != nil {
+		o.windows.QueueWait.Observe(s.now().Sub(queuedAt).Nanoseconds())
+	}
+	rs.SetQueueWait(s.now().Sub(queuedAt).Nanoseconds())
 	if err != nil {
 		switch {
 		case errors.Is(err, serve.ErrOverloaded):
-			w.Header().Set("Retry-After", "1")
-			s.fail(w, http.StatusTooManyRequests, "%v", err)
+			w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
+			s.fail(w, r, http.StatusTooManyRequests, "%v", err)
 		default:
-			s.fail(w, http.StatusServiceUnavailable, "admission wait: %v", err)
+			s.fail(w, r, http.StatusServiceUnavailable, "admission wait: %v", err)
 		}
 		return
 	}
 	defer ticket.Release()
+	if o := s.obs; o != nil {
+		o.windows.Grants.Add(1)
+	}
+	rs.SetState("evaluating", 0)
 
 	var (
 		out *Relation
@@ -328,19 +393,22 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		switch {
 		case errors.Is(err, context.DeadlineExceeded):
-			s.fail(w, http.StatusServiceUnavailable, "evaluate: %v", err)
+			s.fail(w, r, http.StatusServiceUnavailable, "evaluate: %v", err)
 		case errors.Is(err, context.Canceled):
 			// The client is gone; the status is for the access log only.
-			s.fail(w, 499, "evaluate: %v", err)
+			s.fail(w, r, 499, "evaluate: %v", err)
 		default:
-			s.fail(w, http.StatusUnprocessableEntity, "evaluate: %v", err)
+			s.fail(w, r, http.StatusUnprocessableEntity, "evaluate: %v", err)
 		}
 		return
 	}
 	res := materialize(out, db.Dict())
+	s.recordCalibration(strategy, shapeOf(q), bound, estimate, len(res.Tuples))
 	if s.cacheOn && !traced {
 		s.cache.Put(qtext, epoch, res)
 	}
+	rs.SetState("done", 0)
+	rs.SetOutcome("ok")
 	resp := &queryResponse{
 		Query: qtext, Epoch: epoch, Rows: len(res.Tuples),
 		Attrs: res.Attrs, Tuples: res.Tuples,
@@ -400,12 +468,12 @@ type commitOp struct {
 // epochs no longer readable.
 func (s *Server) handleCommit(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		s.fail(w, http.StatusMethodNotAllowed, "POST required")
+		s.fail(w, r, http.StatusMethodNotAllowed, "POST required")
 		return
 	}
 	var req commitRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		s.fail(w, http.StatusBadRequest, "decode: %v", err)
+		s.fail(w, r, http.StatusBadRequest, "decode: %v", err)
 		return
 	}
 	tx := s.e.Begin()
@@ -431,13 +499,13 @@ func (s *Server) handleCommit(w http.ResponseWriter, r *http.Request) {
 			err = fmt.Errorf("unknown op %q", op.Op)
 		}
 		if err != nil {
-			s.fail(w, http.StatusBadRequest, "op %d (%s %s): %v", i, op.Op, op.Rel, err)
+			s.fail(w, r, http.StatusBadRequest, "op %d (%s %s): %v", i, op.Op, op.Rel, err)
 			return
 		}
 	}
 	epoch, err := tx.Commit()
 	if err != nil {
-		s.fail(w, http.StatusUnprocessableEntity, "commit: %v", err)
+		s.fail(w, r, http.StatusUnprocessableEntity, "commit: %v", err)
 		return
 	}
 	s.sweepCache()
@@ -450,19 +518,19 @@ func (s *Server) handleCommit(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	q, err := Parse(r.FormValue("q"))
 	if err != nil {
-		s.fail(w, http.StatusBadRequest, "parse: %v", err)
+		s.fail(w, r, http.StatusBadRequest, "parse: %v", err)
 		return
 	}
 	snap := s.e.Snapshot()
 	defer snap.Close()
 	p, err := s.e.ExplainDB(q, snap.DB())
 	if err != nil {
-		s.fail(w, http.StatusUnprocessableEntity, "plan: %v", err)
+		s.fail(w, r, http.StatusUnprocessableEntity, "plan: %v", err)
 		return
 	}
 	rows, err := s.e.BoundRows(q, snap.DB())
 	if err != nil {
-		s.fail(w, http.StatusUnprocessableEntity, "bound: %v", err)
+		s.fail(w, r, http.StatusUnprocessableEntity, "bound: %v", err)
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -478,7 +546,7 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 		s.snapMu.Lock()
 		if s.closed {
 			s.snapMu.Unlock()
-			s.fail(w, http.StatusServiceUnavailable, "server closed")
+			s.fail(w, r, http.StatusServiceUnavailable, "server closed")
 			return
 		}
 		snap := s.e.Snapshot()
@@ -494,7 +562,7 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	case http.MethodDelete:
 		n, err := strconv.ParseUint(r.FormValue("epoch"), 10, 64)
 		if err != nil {
-			s.fail(w, http.StatusBadRequest, "epoch: %v", err)
+			s.fail(w, r, http.StatusBadRequest, "epoch: %v", err)
 			return
 		}
 		s.snapMu.Lock()
@@ -514,13 +582,13 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 		}
 		s.snapMu.Unlock()
 		if !ok {
-			s.fail(w, http.StatusNotFound, "epoch %d is not pinned", n)
+			s.fail(w, r, http.StatusNotFound, "epoch %d is not pinned", n)
 			return
 		}
 		s.sweepCache()
 		s.reply(w, http.StatusOK, map[string]uint64{"epoch": n})
 	default:
-		s.fail(w, http.StatusMethodNotAllowed, "POST or DELETE required")
+		s.fail(w, r, http.StatusMethodNotAllowed, "POST or DELETE required")
 	}
 }
 
@@ -579,8 +647,32 @@ func (s *Server) reply(w http.ResponseWriter, status int, v any) {
 	}
 }
 
-// fail writes a JSON error body and counts it.
-func (s *Server) fail(w http.ResponseWriter, status int, format string, args ...any) {
+// fail writes a JSON error body and counts it. The body carries the
+// request's correlation ID when one is attached, so a client holding a
+// 429 or 503 can quote the same ID the access log and traces recorded;
+// the request's access-log outcome is derived from the status.
+func (s *Server) fail(w http.ResponseWriter, r *http.Request, status int, format string, args ...any) {
 	s.errors.Add(1)
-	s.reply(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+	body := map[string]string{"error": fmt.Sprintf(format, args...)}
+	rs := obs.RequestFrom(r.Context())
+	if id := rs.ID(); id != "" {
+		body["request_id"] = id
+	}
+	rs.SetOutcome(outcomeForStatus(status))
+	s.reply(w, status, body)
+}
+
+// outcomeForStatus maps an error status onto the access-log outcome
+// vocabulary.
+func outcomeForStatus(status int) string {
+	switch status {
+	case http.StatusTooManyRequests:
+		return "shed"
+	case http.StatusServiceUnavailable:
+		return "timeout"
+	case 499:
+		return "canceled"
+	default:
+		return "error"
+	}
 }

@@ -1,0 +1,444 @@
+package cqbound
+
+// Serving-path observability (ARCHITECTURE §12): request correlation,
+// rolling-window SLO metrics, Prometheus text exposition, runtime
+// introspection endpoints, and bound-calibration telemetry. Everything
+// here hangs off Server.obs; a server built WithoutObservability leaves
+// it nil and every call below degrades to a nil check.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/pprof"
+	"strings"
+	"time"
+
+	"cqbound/internal/obs"
+)
+
+// serverObs is the Server's observability state: the injectable clock,
+// the rolling windows, the in-flight registry, the calibration recorder,
+// and the optional sampled access log.
+type serverObs struct {
+	clock    obs.Clock
+	windows  *obs.Windows
+	inflight *obs.Inflight
+	calib    *obs.Calibration
+	access   *obs.AccessLog
+}
+
+// newServerObs builds the obs state over the given clock (nil = wall
+// clock).
+func newServerObs(clock obs.Clock, accessW io.Writer, accessEvery int) *serverObs {
+	if clock == nil {
+		clock = time.Now
+	}
+	return &serverObs{
+		clock:    clock,
+		windows:  obs.NewWindows(clock),
+		inflight: obs.NewInflight(),
+		calib:    obs.NewCalibration(),
+		access:   obs.NewAccessLog(accessW, accessEvery),
+	}
+}
+
+// WithAccessLog enables the sampled JSON access log: every non-200 and
+// every clamped request is always logged, plain successes one-in-every.
+func WithAccessLog(w io.Writer, every int) ServerOption {
+	return func(c *serverConfig) {
+		c.accessW, c.accessEvery = w, every
+	}
+}
+
+// WithoutObservability disables the serving-path observability layer:
+// no correlation IDs, windows, calibration, access log or /debug
+// endpoints. /metrics (JSON and Prometheus) still serves the engine
+// registry. Exists for overhead measurement (cqload -obsbench) and for
+// embedders that bring their own middleware.
+func WithoutObservability() ServerOption {
+	return func(c *serverConfig) { c.noObs = true }
+}
+
+// withObsClock injects a fake clock for window tests.
+func withObsClock(clock obs.Clock) ServerOption {
+	return func(c *serverConfig) { c.obsClock = clock }
+}
+
+// statusRecorder captures the response status and body size for the
+// windows and the access log.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (w *statusRecorder) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusRecorder) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(b)
+	w.bytes += int64(n)
+	return n, err
+}
+
+// serveObserved is the correlation middleware: resolve or mint the
+// request ID, echo it on the response, register the request in the
+// in-flight table, attach its state to the context, and on the way out
+// feed the windows and the access log.
+func (s *Server) serveObserved(w http.ResponseWriter, r *http.Request) {
+	o := s.obs
+	start := o.clock()
+	id := obs.IDFromHeaders(r.Header)
+	if id == "" {
+		id = obs.NewID()
+	}
+	rs := obs.NewRequestState(id, r.Method, r.URL.Path, start)
+	h := o.inflight.Register(rs)
+	defer o.inflight.Done(h)
+	w.Header().Set(obs.HeaderRequestID, id)
+	rec := &statusRecorder{ResponseWriter: w}
+	o.windows.Requests.Add(1)
+	s.mux.ServeHTTP(rec, r.WithContext(obs.WithRequest(r.Context(), rs)))
+	if rec.status == 0 {
+		rec.status = http.StatusOK
+	}
+	latency := o.clock().Sub(start)
+	o.windows.Latency.Observe(latency.Nanoseconds())
+	if rec.status == http.StatusTooManyRequests {
+		o.windows.Shed.Add(1)
+	}
+	if rs.Clamped() {
+		o.windows.Clamped.Add(1)
+	}
+	o.access.Log(rs.AccessRecord(rec.status, rec.bytes, latency))
+}
+
+// retryAfterSeconds derives the Retry-After hint for a 429: the time the
+// current admission queue needs to drain at the windowed grant rate. The
+// +1 counts the rejected request itself. Falls back to 1s when
+// observability is off (no drain-rate window to consult).
+func (s *Server) retryAfterSeconds() int {
+	if s.obs == nil {
+		return 1
+	}
+	return obs.RetryAfterSeconds(
+		s.admit.Stats().Waiting+1,
+		s.obs.windows.Grants.Rate(time.Minute),
+	)
+}
+
+// shapeOf coarsely classifies a query for calibration cells: body atom
+// count and distinct variable count. Fine enough to separate chains from
+// triangles from stars in the benchmark mixes, coarse enough that cells
+// accumulate meaningful counts.
+func shapeOf(q *Query) string {
+	vars := make(map[string]struct{})
+	for _, a := range q.Body {
+		for _, v := range a.Vars {
+			vars[string(v)] = struct{}{}
+		}
+	}
+	return fmt.Sprintf("atoms=%d/vars=%d", len(q.Body), len(vars))
+}
+
+// recordCalibration feeds one evaluation's predicted-versus-actual rows
+// into the calibration telemetry.
+func (s *Server) recordCalibration(strategy, shape string, bound, estimate float64, actualRows int) {
+	if s.obs == nil {
+		return
+	}
+	s.obs.calib.Record(strategy, shape, bound, estimate, float64(actualRows))
+}
+
+// ObsStats is the serving-path observability counter family, reset by
+// Server.ResetStats. InflightNow is a gauge (current depth, not a
+// counter) — the reset test exempts it.
+type ObsStats struct {
+	Requests           int64 // requests through the middleware
+	Shed               int64 // 429 responses
+	Clamped            int64 // admission charges clamped to capacity
+	Grants             int64 // admission grants (drain-rate numerator)
+	CacheHits          int64 // result-cache hits
+	CacheMisses        int64 // result-cache misses
+	LatencySamples     int64 // latency observations
+	QueueWaitSamples   int64 // queue-wait observations
+	CalibrationRecords int64 // calibration evaluations recorded
+	AccessLogged       int64 // access-log lines written
+	AccessDropped      int64 // access-log lines sampled away
+	InflightNow        int64 // requests in flight right now (gauge)
+}
+
+// ObsStats snapshots the observability counters (zeroes when the server
+// was built WithoutObservability).
+func (s *Server) ObsStats() ObsStats {
+	o := s.obs
+	if o == nil {
+		return ObsStats{}
+	}
+	return ObsStats{
+		Requests:           o.windows.Requests.Total(),
+		Shed:               o.windows.Shed.Total(),
+		Clamped:            o.windows.Clamped.Total(),
+		Grants:             o.windows.Grants.Total(),
+		CacheHits:          o.windows.CacheHits.Total(),
+		CacheMisses:        o.windows.CacheMisses.Total(),
+		LatencySamples:     o.windows.Latency.TotalCount(),
+		QueueWaitSamples:   o.windows.QueueWait.TotalCount(),
+		CalibrationRecords: o.calib.Records(),
+		AccessLogged:       o.access.Logged(),
+		AccessDropped:      o.access.Dropped(),
+		InflightNow:        int64(o.inflight.Len()),
+	}
+}
+
+// ResetStats zeroes the serving-path observability counters: the rolling
+// windows, the calibration cells, and the access-log counters. The
+// engine's own families reset through Engine.ResetStats; the two compose
+// for a clean measurement interval.
+func (s *Server) ResetStats() {
+	o := s.obs
+	if o == nil {
+		return
+	}
+	o.windows.Reset()
+	o.calib.Reset()
+	o.access.Reset()
+}
+
+// registerObsRoutes adds the introspection endpoints. /healthz and
+// /readyz are registered unconditionally (they answer off server state,
+// not obs state); the /debug and /calibration endpoints need s.obs.
+func (s *Server) registerObsRoutes(mux *http.ServeMux) {
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/readyz", s.handleReadyz)
+	if s.obs == nil {
+		return
+	}
+	mux.HandleFunc("/debug/requests", s.handleDebugRequests)
+	mux.HandleFunc("/calibration", s.handleCalibration)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}
+
+// handleHealthz reports liveness: the process is up and serving.
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.Write([]byte("ok\n"))
+}
+
+// handleReadyz reports readiness: 503 once Close has run (snapshot
+// sessions drained, no new pins accepted), 200 otherwise.
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	s.snapMu.Lock()
+	closed := s.closed
+	s.snapMu.Unlock()
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if closed {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		w.Write([]byte("closing\n"))
+		return
+	}
+	w.Write([]byte("ready\n"))
+}
+
+// handleDebugRequests lists the requests in flight right now: request ID,
+// lifecycle state, elapsed time, pinned epoch, bound charge, queue
+// position.
+func (s *Server) handleDebugRequests(w http.ResponseWriter, _ *http.Request) {
+	views := s.obs.inflight.Snapshot(s.obs.clock())
+	if views == nil {
+		views = []obs.RequestView{}
+	}
+	s.reply(w, http.StatusOK, map[string]any{
+		"inflight": len(views),
+		"requests": views,
+	})
+}
+
+// handleCalibration serves the bound-calibration telemetry: per
+// (strategy, shape), the log₂-ratio error distributions of the paper's
+// worst-case bound and the System-R estimate against actual output rows.
+func (s *Server) handleCalibration(w http.ResponseWriter, _ *http.Request) {
+	cells := s.obs.calib.Snapshot()
+	if cells == nil {
+		cells = []obs.CellSnapshot{}
+	}
+	s.reply(w, http.StatusOK, map[string]any{
+		"records": s.obs.calib.Records(),
+		"cells":   cells,
+	})
+}
+
+// handleMetrics serves the metric registry: expvar-shaped JSON by
+// default, Prometheus text exposition with ?format=prom.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.FormValue("format") != "prom" {
+		s.e.Metrics().ServeHTTP(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	obs.WriteProm(w, s.promFamilies())
+}
+
+// counterSuffixes classifies registry names for the Prometheus TYPE
+// line: cumulative families (never decreasing between resets) render as
+// counters, point-in-time values as gauges. The registry itself does not
+// distinguish — everything is a sampled callback — so classification is
+// by the naming convention the engine families follow.
+var counterSuffixes = []string{
+	"_hits", "_misses", "_admitted", "_rejected", "_queued", "_timeouts",
+	"_invalidations", "_evictions", "_reloads", "_requests", "_errors",
+	"_splits", "_spills", "_commits", "_aborts", "_retired", "_total",
+}
+
+func promTypeFor(name string) obs.MetricType {
+	for _, suf := range counterSuffixes {
+		if strings.HasSuffix(name, suf) {
+			return obs.TypeCounter
+		}
+	}
+	return obs.TypeGauge
+}
+
+// promWindows is the pair of rolling windows the exposition renders.
+var promWindows = []time.Duration{time.Minute, 5 * time.Minute}
+
+// promFamilies assembles the full Prometheus exposition: every registry
+// gauge and histogram, the rolling-window serve families (labeled by
+// window), the in-flight gauge, and the calibration histograms (labeled
+// by strategy and query shape).
+func (s *Server) promFamilies() []obs.Family {
+	reg := s.e.Metrics()
+	var fams []obs.Family
+	for _, name := range reg.Names() {
+		if v, ok := reg.GaugeValue(name); ok {
+			fams = append(fams, obs.Family{
+				Name: obs.SanitizeName(name),
+				Help: "engine registry metric " + name,
+				Type: promTypeFor(name),
+				Samples: []obs.Sample{
+					{Value: float64(v)},
+				},
+			})
+			continue
+		}
+		if h := reg.Histogram(name); h != nil {
+			buckets, sum, count := h.Buckets()
+			fams = append(fams, obs.Family{
+				Name:    obs.SanitizeName(name),
+				Help:    "engine registry histogram " + name,
+				Type:    obs.TypeHistogram,
+				Samples: []obs.Sample{{Hist: obs.Pow2Hist(buckets, sum, count)}},
+			})
+		}
+	}
+	if s.obs == nil {
+		return fams
+	}
+	snaps := make([]obs.WindowSnapshot, len(promWindows))
+	for i, d := range promWindows {
+		snaps[i] = s.obs.windows.Snapshot(d)
+	}
+	gauge := func(name, help string, pick func(obs.WindowSnapshot) float64) obs.Family {
+		f := obs.Family{Name: name, Help: help, Type: obs.TypeGauge}
+		for _, sn := range snaps {
+			f.Samples = append(f.Samples, obs.Sample{
+				Labels: []obs.Label{{Name: "window", Value: sn.Window}},
+				Value:  pick(sn),
+			})
+		}
+		return f
+	}
+	fams = append(fams,
+		gauge("serve_window_request_rate", "requests per second over the rolling window",
+			func(sn obs.WindowSnapshot) float64 { return sn.RequestRate }),
+		gauge("serve_window_shed_rate", "429 sheds per second over the rolling window",
+			func(sn obs.WindowSnapshot) float64 { return sn.ShedRate }),
+		gauge("serve_window_cache_hit_ratio", "result-cache hit ratio over the rolling window",
+			func(sn obs.WindowSnapshot) float64 { return sn.CacheHitRatio }),
+	)
+	summary := func(name, help string, sampler *obs.Sampler) obs.Family {
+		f := obs.Family{Name: name, Help: help, Type: obs.TypeSummary}
+		for i, d := range promWindows {
+			dist := sampler.Window(d)
+			f.Samples = append(f.Samples, obs.Sample{
+				Labels: []obs.Label{{Name: "window", Value: snaps[i].Window}},
+				Quantiles: []obs.Quantile{
+					{Q: 0.5, Value: float64(dist.P50)},
+					{Q: 0.99, Value: float64(dist.P99)},
+				},
+				Sum:   float64(dist.Sum),
+				Count: dist.Count,
+			})
+		}
+		return f
+	}
+	fams = append(fams,
+		summary("serve_window_latency_ns", "request latency over the rolling window", s.obs.windows.Latency),
+		summary("serve_window_queue_wait_ns", "admission queue wait over the rolling window", s.obs.windows.QueueWait),
+		obs.Family{
+			Name: "serve_inflight", Help: "requests in flight right now", Type: obs.TypeGauge,
+			Samples: []obs.Sample{{Value: float64(s.obs.inflight.Len())}},
+		},
+	)
+	return append(fams, s.obs.calib.PromFamilies()...)
+}
+
+// registerObsMetrics adds the observability families to the engine's
+// registry so the JSON /metrics view and MetricsSnapshot carry them too.
+func (s *Server) registerObsMetrics() {
+	o := s.obs
+	if o == nil {
+		return
+	}
+	reg := s.e.Metrics()
+	reg.Gauge("serve_inflight", func() int64 { return int64(o.inflight.Len()) })
+	reg.Gauge("serve_shed", o.windows.Shed.Total)
+	reg.Gauge("serve_clamped", o.windows.Clamped.Total)
+	reg.Gauge("serve_grants", o.windows.Grants.Total)
+	reg.Gauge("serve_requests_1m", func() int64 { return o.windows.Requests.Sum(time.Minute) })
+	reg.Gauge("serve_shed_1m", func() int64 { return o.windows.Shed.Sum(time.Minute) })
+	reg.Gauge("serve_latency_p99_ns_1m", func() int64 { return o.windows.Latency.Window(time.Minute).P99 })
+	reg.Gauge("serve_queue_wait_p99_ns_1m", func() int64 { return o.windows.QueueWait.Window(time.Minute).P99 })
+	reg.Gauge("serve_access_logged", o.access.Logged)
+	reg.Gauge("serve_access_dropped", o.access.Dropped)
+	reg.Gauge("calibration_records", o.calib.Records)
+	reg.Gauge("calibration_cells", func() int64 { return int64(o.calib.Cells()) })
+}
+
+// WindowSnapshots returns the rolling 1m and 5m serving-path snapshots —
+// the programmatic form of the serve_window_* exposition (zeroes when
+// observability is off).
+func (s *Server) WindowSnapshots() []obs.WindowSnapshot {
+	if s.obs == nil {
+		return nil
+	}
+	out := make([]obs.WindowSnapshot, len(promWindows))
+	for i, d := range promWindows {
+		out[i] = s.obs.windows.Snapshot(d)
+	}
+	return out
+}
+
+// CalibrationJSON renders the /calibration payload (tests and embedders).
+func (s *Server) CalibrationJSON() ([]byte, error) {
+	if s.obs == nil {
+		return []byte("{}"), nil
+	}
+	return json.Marshal(map[string]any{
+		"records": s.obs.calib.Records(),
+		"cells":   s.obs.calib.Snapshot(),
+	})
+}
